@@ -1,0 +1,34 @@
+// Small shared helpers for the figure-reproduction benches: fixed-width
+// table printing and paper-comparison annotations.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace jbs::bench {
+
+inline void PrintHeader(const std::string& title, const std::string& paper) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  if (!paper.empty()) std::printf("paper: %s\n", paper.c_str());
+}
+
+inline void PrintRow(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& cell : cells) std::printf("%-*s", width, cell.c_str());
+  std::printf("\n");
+}
+
+inline std::string Fmt(double v, const char* fmt = "%.1f") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+inline std::string Pct(double baseline, double improved) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f%%",
+                (baseline - improved) / baseline * 100.0);
+  return buf;
+}
+
+}  // namespace jbs::bench

@@ -1,0 +1,42 @@
+// Reproduces Fig. 8: benefits of RDMA — JBS over TCP-family vs RDMA-family
+// protocols, Terasort, 22 slaves.
+#include "bench/bench_util.h"
+#include "cluster/job_model.h"
+
+using namespace jbs;
+using namespace jbs::cluster;
+
+int main() {
+  constexpr uint64_t kGB = 1ull << 30;
+  const std::vector<TestCase> cases = {JbsOn10GigE(), JbsOnIpoib(),
+                                       JbsOnRoce(), JbsOnRdma()};
+  bench::PrintHeader(
+      "Fig 8: Benefits of RDMA (Terasort, 22 slaves)",
+      "JBS on RDMA beats JBS on IPoIB (25.8% avg); JBS on RoCE beats JBS "
+      "on 10GigE (15.3% avg); RDMA/RoCE better at ALL sizes");
+  std::vector<std::string> header = {"input"};
+  for (const auto& test_case : cases) header.push_back(test_case.name());
+  bench::PrintRow(header, 16);
+  for (uint64_t gb : {16, 32, 64, 128, 256}) {
+    std::vector<std::string> row = {std::to_string(gb) + "GB"};
+    for (const auto& test_case : cases) {
+      row.push_back(bench::Fmt(
+          SimulateTerasort(test_case, gb * kGB).total_sec, "%.0fs"));
+    }
+    bench::PrintRow(row, 16);
+  }
+  double rdma_sum = 0, roce_sum = 0;
+  for (uint64_t gb : {16, 32, 64, 128, 256}) {
+    const double ipoib = SimulateTerasort(JbsOnIpoib(), gb * kGB).total_sec;
+    const double rdma = SimulateTerasort(JbsOnRdma(), gb * kGB).total_sec;
+    const double tcp10 = SimulateTerasort(JbsOn10GigE(), gb * kGB).total_sec;
+    const double roce = SimulateTerasort(JbsOnRoce(), gb * kGB).total_sec;
+    rdma_sum += (ipoib - rdma) / ipoib;
+    roce_sum += (tcp10 - roce) / tcp10;
+  }
+  std::printf("avg reduction JBS-RDMA vs JBS-IPoIB: %.1f%% (paper: 25.8%%)\n",
+              rdma_sum / 5 * 100);
+  std::printf("avg reduction JBS-RoCE vs JBS-10GigE: %.1f%% (paper: 15.3%%)\n",
+              roce_sum / 5 * 100);
+  return 0;
+}

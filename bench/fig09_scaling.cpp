@@ -1,0 +1,54 @@
+// Reproduces Fig. 9(a-d): strong scaling (fixed 256GB) and weak scaling
+// (6GB per ReduceTask) in both network environments.
+#include "bench/bench_util.h"
+#include "cluster/job_model.h"
+
+using namespace jbs;
+using namespace jbs::cluster;
+
+namespace {
+
+constexpr uint64_t kGB = 1ull << 30;
+
+void Scaling(const std::string& title, const std::string& claim,
+             const std::vector<TestCase>& cases, bool weak) {
+  bench::PrintHeader(title, claim);
+  std::vector<std::string> header = {"slaves", "input"};
+  for (const auto& test_case : cases) header.push_back(test_case.name());
+  bench::PrintRow(header, 16);
+  for (int slaves = 12; slaves <= 22; slaves += 2) {
+    // Weak scaling: 6GB per ReduceTask, 2 ReduceTasks per slave.
+    const uint64_t input =
+        weak ? 6ull * kGB * 2 * static_cast<uint64_t>(slaves) : 256 * kGB;
+    std::vector<std::string> row = {
+        std::to_string(slaves),
+        std::to_string(input / kGB) + "GB"};
+    for (const auto& test_case : cases) {
+      row.push_back(bench::Fmt(
+          SimulateTerasort(test_case, input, slaves).total_sec, "%.0fs"));
+    }
+    bench::PrintRow(row, 16);
+  }
+}
+
+}  // namespace
+
+int main() {
+  Scaling("Fig 9(a): Strong scaling, InfiniBand environment (256GB)",
+          "JBS-RDMA / JBS-IPoIB outperform Hadoop-IPoIB by 49.5% / 20.9% "
+          "avg; linear reduction with more slaves",
+          {HadoopOnIpoib(), JbsOnIpoib(), JbsOnRdma()}, /*weak=*/false);
+  Scaling("Fig 9(b): Weak scaling, InfiniBand environment (6GB/reducer)",
+          "JBS-RDMA / JBS-IPoIB reduce execution time by 43.6% / 21.1% avg; "
+          "stable improvement ratios",
+          {HadoopOnIpoib(), JbsOnIpoib(), JbsOnRdma()}, /*weak=*/true);
+  Scaling("Fig 9(c): Strong scaling, Ethernet environment (256GB)",
+          "JBS-RoCE up to 41.9% faster than Hadoop-10GigE; JBS-10GigE "
+          "17.6% avg",
+          {HadoopOn10GigE(), JbsOn10GigE(), JbsOnRoce()}, /*weak=*/false);
+  Scaling("Fig 9(d): Weak scaling, Ethernet environment (6GB/reducer)",
+          "JBS-RoCE up to 40.4% faster than Hadoop-10GigE; JBS-10GigE "
+          "23.8% avg",
+          {HadoopOn10GigE(), JbsOn10GigE(), JbsOnRoce()}, /*weak=*/true);
+  return 0;
+}

@@ -1,0 +1,209 @@
+// google-benchmark micro benches for the hot data-plane components: IFile
+// encode/decode, varints, CRC32, k-way merge, framing, buffer pool and the
+// map-side collector. These guard the real-mode code paths' costs.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "common/buffer_pool.h"
+#include "common/bytes.h"
+#include "common/compress.h"
+#include "common/framing.h"
+#include "common/lru_cache.h"
+#include "common/rng.h"
+#include "mapred/collector.h"
+#include "mapred/ifile.h"
+#include "mapred/merger.h"
+
+namespace jbs {
+namespace {
+
+void BM_VarintEncodeDecode(benchmark::State& state) {
+  std::vector<uint8_t> buffer;
+  int64_t sum = 0;
+  for (auto _ : state) {
+    buffer.clear();
+    for (int64_t v = 0; v < 1000; ++v) PutVarint64(buffer, v * 977);
+    size_t offset = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sum += *GetVarint64(buffer, &offset);
+    }
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_VarintEncodeDecode);
+
+void BM_Crc32(benchmark::State& state) {
+  std::vector<uint8_t> data(static_cast<size_t>(state.range(0)));
+  Rng rng(1);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(4 << 10)->Arg(128 << 10)->Arg(1 << 20);
+
+void BM_CompressShuffleSegment(benchmark::State& state) {
+  // A realistic sorted-segment payload (shared key prefixes).
+  std::vector<uint8_t> input;
+  for (int i = 0; i < 20000; ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "user_event_%08d\tcount=1\n", i);
+    const auto* p = reinterpret_cast<const uint8_t*>(buf);
+    input.insert(input.end(), p, p + 24);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Compress(input));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(input.size()));
+}
+BENCHMARK(BM_CompressShuffleSegment);
+
+void BM_DecompressShuffleSegment(benchmark::State& state) {
+  std::vector<uint8_t> input;
+  for (int i = 0; i < 20000; ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "user_event_%08d\tcount=1\n", i);
+    const auto* p = reinterpret_cast<const uint8_t*>(buf);
+    input.insert(input.end(), p, p + 24);
+  }
+  const auto compressed = Compress(input);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Decompress(compressed));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(input.size()));
+}
+BENCHMARK(BM_DecompressShuffleSegment);
+
+void BM_IFileWrite(benchmark::State& state) {
+  const std::string key = "benchmark_key_0123";
+  const std::string value(static_cast<size_t>(state.range(0)), 'v');
+  for (auto _ : state) {
+    mr::IFileWriter writer;
+    for (int i = 0; i < 1000; ++i) writer.Append(key, value);
+    benchmark::DoNotOptimize(writer.Finish());
+  }
+  state.SetBytesProcessed(state.iterations() * 1000 *
+                          static_cast<int64_t>(key.size() + value.size()));
+}
+BENCHMARK(BM_IFileWrite)->Arg(100)->Arg(1000);
+
+void BM_IFileRead(benchmark::State& state) {
+  mr::IFileWriter writer;
+  const std::string value(static_cast<size_t>(state.range(0)), 'v');
+  for (int i = 0; i < 1000; ++i) {
+    writer.Append("key_" + std::to_string(i), value);
+  }
+  const auto segment = writer.Finish();
+  for (auto _ : state) {
+    mr::IFileReader reader(segment);
+    mr::Record record;
+    while (reader.Next(&record)) benchmark::DoNotOptimize(record);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(segment.size()));
+}
+BENCHMARK(BM_IFileRead)->Arg(100)->Arg(1000);
+
+void BM_KWayMerge(benchmark::State& state) {
+  const int streams = static_cast<int>(state.range(0));
+  Rng rng(7);
+  std::vector<std::vector<mr::Record>> inputs(
+      static_cast<size_t>(streams));
+  for (auto& records : inputs) {
+    for (int i = 0; i < 2000; ++i) {
+      records.push_back({std::to_string(rng.Below(1000000)), "v"});
+    }
+    std::sort(records.begin(), records.end(),
+              [](const mr::Record& a, const mr::Record& b) {
+                return a.key < b.key;
+              });
+  }
+  int64_t merged = 0;
+  for (auto _ : state) {
+    std::vector<std::unique_ptr<mr::RecordStream>> sources;
+    for (const auto& records : inputs) {
+      sources.push_back(std::make_unique<mr::VectorStream>(records));
+    }
+    mr::KWayMerger merger(std::move(sources));
+    mr::Record record;
+    while (merger.Next(&record)) ++merged;
+  }
+  benchmark::DoNotOptimize(merged);
+  state.SetItemsProcessed(state.iterations() * streams * 2000);
+}
+BENCHMARK(BM_KWayMerge)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_FrameDecoder(benchmark::State& state) {
+  std::vector<uint8_t> wire;
+  Frame frame;
+  frame.type = 2;
+  frame.payload.resize(static_cast<size_t>(state.range(0)));
+  for (int i = 0; i < 64; ++i) EncodeFrame(frame, wire);
+  for (auto _ : state) {
+    FrameDecoder decoder;
+    (void)decoder.Feed(wire);
+    int frames = 0;
+    while (decoder.Next()) ++frames;
+    benchmark::DoNotOptimize(frames);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(wire.size()));
+}
+BENCHMARK(BM_FrameDecoder)->Arg(1024)->Arg(128 << 10);
+
+void BM_BufferPoolChurn(benchmark::State& state) {
+  BufferPool pool(128 << 10, 16);
+  for (auto _ : state) {
+    PooledBuffer a = pool.Acquire();
+    PooledBuffer b = pool.Acquire();
+    benchmark::DoNotOptimize(a.data());
+    benchmark::DoNotOptimize(b.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_BufferPoolChurn);
+
+void BM_LruConnectionCache(benchmark::State& state) {
+  LruCache<int, int> cache(512);
+  Rng rng(3);
+  for (auto _ : state) {
+    const int key = static_cast<int>(rng.Below(700));  // churns past cap
+    if (cache.Get(key) == nullptr) cache.Put(key, key);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruConnectionCache);
+
+void BM_CollectorSortSpill(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / ("bench_collector_" +
+                                   std::to_string(::getpid()));
+  Rng rng(11);
+  for (auto _ : state) {
+    mr::MapOutputCollector::Options options;
+    options.num_partitions = 4;
+    options.sort_buffer_bytes = 256 << 10;
+    options.work_dir = dir;
+    mr::MapOutputCollector collector(options);
+    for (int i = 0; i < 10000; ++i) {
+      collector.Emit("key_" + std::to_string(rng.Below(5000)),
+                     "value_payload_for_benchmarking");
+    }
+    auto handle = collector.Finish(0, 0);
+    benchmark::DoNotOptimize(handle);
+    fs::remove_all(dir);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_CollectorSortSpill);
+
+}  // namespace
+}  // namespace jbs
+
+BENCHMARK_MAIN();

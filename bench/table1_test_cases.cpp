@@ -1,0 +1,37 @@
+// Reproduces Table I: the test-case naming used across the evaluation.
+#include "bench/bench_util.h"
+#include "cluster/test_case.h"
+#include "simnet/protocol.h"
+
+using namespace jbs;
+using namespace jbs::cluster;
+
+int main() {
+  bench::PrintHeader("Table I: Test Case Description", "");
+  bench::PrintRow({"Test Case", "Transport Protocol", "Network"}, 22);
+  for (const TestCase& test_case : TableOneCases()) {
+    bench::PrintRow({test_case.name(),
+                     sim::Params(test_case.protocol).name,
+                     test_case.network()},
+                    22);
+  }
+  std::printf(
+      "\ncalibrated protocol catalog (effective payload rates):\n");
+  bench::PrintRow({"protocol", "link", "per-flow", "latency", "cpu/byte",
+                   "conn setup"},
+                  13);
+  for (auto protocol :
+       {sim::Protocol::kTcp1GigE, sim::Protocol::kTcp10GigE,
+        sim::Protocol::kIpoib, sim::Protocol::kSdp, sim::Protocol::kRoce,
+        sim::Protocol::kRdma}) {
+    const auto& p = sim::Params(protocol);
+    bench::PrintRow(
+        {p.name, bench::Fmt(p.link_bandwidth / 1e6, "%.0fMB/s"),
+         bench::Fmt(p.per_flow_cap / 1e6, "%.0fMB/s"),
+         bench::Fmt(p.latency * 1e6, "%.0fus"),
+         bench::Fmt(p.cpu_per_byte * 1e9, "%.2fns"),
+         bench::Fmt(p.connection_setup * 1e3, "%.1fms")},
+        13);
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Cluster-scale what-if tool: simulate the paper's 22-slave testbed (or
+// your own) for any Table I case, workload, and input size, printing the
+// phase breakdown, the binding resource, and the CPU trace.
+//
+//   ./cluster_simulation [case] [workload] [input_gb] [slaves]
+//   e.g.  ./cluster_simulation jbs-rdma terasort 256 22
+//         ./cluster_simulation hadoop-ipoib adjacencylist 30
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "cluster/job_model.h"
+
+using namespace jbs;
+using namespace jbs::cluster;
+
+namespace {
+
+TestCase ParseCase(const std::string& name) {
+  const bool jbs = name.rfind("jbs", 0) == 0;
+  const auto dash = name.find('-');
+  const std::string protocol =
+      dash == std::string::npos ? "ipoib" : name.substr(dash + 1);
+  return {jbs ? Engine::kJbs : Engine::kHadoop,
+          sim::ProtocolFromName(protocol)};
+}
+
+wl::Workload ParseWorkload(const std::string& name) {
+  if (name == "terasort") return wl::Workload::kTerasort;
+  if (name == "selfjoin") return wl::Workload::kSelfJoin;
+  if (name == "invertedindex") return wl::Workload::kInvertedIndex;
+  if (name == "sequencecount") return wl::Workload::kSequenceCount;
+  if (name == "adjacencylist") return wl::Workload::kAdjacencyList;
+  if (name == "wordcount") return wl::Workload::kWordCount;
+  if (name == "grep") return wl::Workload::kGrep;
+  std::fprintf(stderr, "unknown workload '%s', using terasort\n",
+               name.c_str());
+  return wl::Workload::kTerasort;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string case_name = argc > 1 ? argv[1] : "jbs-rdma";
+  const std::string workload_name = argc > 2 ? argv[2] : "terasort";
+  const uint64_t input_gb = argc > 3 ? std::strtoull(argv[3], nullptr, 10)
+                                     : 128;
+  const int slaves = argc > 4 ? std::atoi(argv[4]) : 22;
+
+  ClusterConfig config;
+  config.slaves = slaves;
+  config.test_case = ParseCase(case_name);
+  const wl::Workload workload = ParseWorkload(workload_name);
+
+  const auto result =
+      SimulateJob(config, workload, input_gb * (1ull << 30));
+
+  std::printf("%s, %s, %lluGB input, %d slaves (%d map + %d reduce slots "
+              "each)\n",
+              config.test_case.name().c_str(), wl::WorkloadName(workload),
+              (unsigned long long)input_gb, slaves, config.map_slots,
+              config.reduce_slots);
+  std::printf("  total execution time : %8.1f s\n", result.total_sec);
+  std::printf("  map phase            : %8.1f s\n", result.map_phase_sec);
+  std::printf("  shuffle drained at   : %8.1f s  (bottleneck: %s)\n",
+              result.shuffle_end_sec, result.bottleneck.c_str());
+  std::printf("  reduce tail          : %8.1f s\n", result.reduce_tail_sec);
+  std::printf("  shuffle rate/node    : %8.1f MB/s\n",
+              result.shuffle_rate_node / 1e6);
+  std::printf("  request overhead     : %8.1f s\n",
+              result.request_overhead_sec);
+  std::printf("  mean CPU utilization : %8.1f %%\n", result.mean_cpu_util);
+
+  std::printf("\nCPU utilization trace (sar-style 5s bins, subsampled):\n");
+  const size_t stride = std::max<size_t>(1, result.cpu_trace.size() / 40);
+  for (size_t i = 0; i < result.cpu_trace.size(); i += stride) {
+    const auto& sample = result.cpu_trace[i];
+    const int bars = static_cast<int>(sample.utilization / 2.0);
+    std::printf("  %6.0fs %5.1f%% |%.*s\n", sample.time_sec,
+                sample.utilization, bars,
+                "##################################################");
+  }
+  return 0;
+}

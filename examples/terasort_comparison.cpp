@@ -1,0 +1,125 @@
+// Terasort shuffle comparison (real mode): generate data with TeraGen,
+// then sort it three times — through the stock-Hadoop HTTP shuffle, JBS
+// over TCP, and JBS over SoftRdma — verifying that every run produces the
+// same globally sorted output, and reporting timings plus the connection /
+// spill behaviour that separates the designs.
+//
+//   ./terasort_comparison [records] [nodes]       (default 20000, 4)
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "baseline/plugin.h"
+#include "hdfs/minidfs.h"
+#include "jbs/plugin.h"
+#include "mapred/engine.h"
+#include "mapred/local_shuffle.h"
+#include "workloads/teragen.h"
+
+using namespace jbs;
+
+namespace {
+
+struct RunOutcome {
+  double seconds = 0;
+  uint64_t shuffle_bytes = 0;
+  bool sorted = false;
+  uint64_t records = 0;
+};
+
+RunOutcome RunOnce(hdfs::MiniDfs& dfs, mr::ShufflePlugin& plugin,
+                   const std::filesystem::path& work, int nodes,
+                   const std::string& tag) {
+  mr::LocalJobRunner::Options options;
+  options.dfs = &dfs;
+  options.plugin = &plugin;
+  options.work_dir = work;
+  options.num_nodes = nodes;
+  options.map_slots = 2;
+  options.reduce_slots = 2;
+  options.output_format = mr::OutputFormat::kRaw;
+  options.sort_buffer_bytes = 1 << 20;
+  mr::LocalJobRunner runner(options);
+
+  auto spec = wl::TerasortJob(dfs, "/tera/in", "/tera/out_" + tag,
+                              nodes * 2);
+  if (!spec.ok()) return {};
+  auto result = runner.Run(*spec);
+  if (!result.ok()) {
+    std::fprintf(stderr, "[%s] job failed: %s\n", tag.c_str(),
+                 result.status().ToString().c_str());
+    return {};
+  }
+  RunOutcome outcome;
+  outcome.seconds = result->total_sec;
+  outcome.shuffle_bytes = result->shuffle_bytes;
+  auto total = wl::ValidateSorted(dfs, result->output_files);
+  outcome.sorted = total.ok();
+  outcome.records = total.ok() ? *total : 0;
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  const uint64_t records = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                    : 20000;
+  const int nodes = argc > 2 ? std::atoi(argv[2]) : 4;
+  const fs::path root = fs::temp_directory_path() / "jbs_terasort_example";
+  fs::remove_all(root);
+
+  hdfs::MiniDfs::Options dfs_options;
+  dfs_options.root = root / "dfs";
+  dfs_options.num_datanodes = nodes;
+  dfs_options.replication = 2;
+  dfs_options.block_size = 256 << 10;  // scaled-down block
+  hdfs::MiniDfs dfs(dfs_options);
+
+  std::printf("TeraGen: %llu records (%s)...\n",
+              (unsigned long long)records,
+              HumanBytes(records * wl::kTeraRecordSize).c_str());
+  if (!wl::TeraGen(dfs, "/tera/in", records, /*seed=*/2013).ok()) return 1;
+
+  std::printf("%-28s %10s %14s %8s %10s\n", "shuffle", "time", "shuffled",
+              "sorted", "records");
+  auto report = [&](const std::string& name, const RunOutcome& outcome) {
+    std::printf("%-28s %9.3fs %14s %8s %10llu\n", name.c_str(),
+                outcome.seconds, HumanBytes(outcome.shuffle_bytes).c_str(),
+                outcome.sorted ? "yes" : "NO!",
+                (unsigned long long)outcome.records);
+  };
+
+  {
+    baseline::HadoopShufflePlugin::Options options;
+    options.spill_dir = root / "spill";
+    baseline::HadoopShufflePlugin plugin(options);
+    report("Hadoop HTTP shuffle",
+           RunOnce(dfs, plugin, root / "w_http", nodes, "http"));
+  }
+  {
+    baseline::HadoopShufflePlugin::Options options;
+    options.spill_dir = root / "spill_jvm";
+    // Scaled JVM penalty (1/10 of the Fig. 2 calibration) so the example
+    // stays interactive while still showing the stream ceilings.
+    options.penalty = baseline::JvmPenalty::Calibrated(0.1);
+    baseline::HadoopShufflePlugin plugin(options);
+    report("Hadoop HTTP + JVM penalty",
+           RunOnce(dfs, plugin, root / "w_jvm", nodes, "jvm"));
+  }
+  {
+    shuffle::JbsShufflePlugin plugin;  // TCP
+    report("JBS on TCP (epoll)",
+           RunOnce(dfs, plugin, root / "w_jbs_tcp", nodes, "jbs_tcp"));
+  }
+  {
+    shuffle::JbsOptions options;
+    options.transport = shuffle::TransportKind::kRdma;
+    shuffle::JbsShufflePlugin plugin(options);
+    report("JBS on SoftRdma (verbs)",
+           RunOnce(dfs, plugin, root / "w_jbs_rdma", nodes, "jbs_rdma"));
+  }
+
+  fs::remove_all(root);
+  return 0;
+}

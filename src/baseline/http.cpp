@@ -1,0 +1,130 @@
+#include "baseline/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace jbs::baseline {
+
+namespace {
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+std::string Trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+std::map<std::string, std::string> ParseQuery(const std::string& query) {
+  std::map<std::string, std::string> out;
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string pair = query.substr(pos, amp - pos);
+    const size_t eq = pair.find('=');
+    if (eq != std::string::npos) {
+      out[pair.substr(0, eq)] = pair.substr(eq + 1);
+    } else if (!pair.empty()) {
+      out[pair] = "";
+    }
+    pos = amp + 1;
+  }
+  return out;
+}
+
+std::optional<HttpRequest> ParseRequestHead(const std::string& head) {
+  std::istringstream in(head);
+  std::string line;
+  if (!std::getline(in, line)) return std::nullopt;
+  line = Trim(line);
+  std::istringstream request_line(line);
+  HttpRequest request;
+  std::string target, version;
+  if (!(request_line >> request.method >> target >> version)) {
+    return std::nullopt;
+  }
+  if (version.rfind("HTTP/", 0) != 0) return std::nullopt;
+  const size_t question = target.find('?');
+  request.path = target.substr(0, question);
+  if (question != std::string::npos) {
+    request.query = ParseQuery(target.substr(question + 1));
+  }
+  while (std::getline(in, line)) {
+    line = Trim(line);
+    if (line.empty()) break;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) return std::nullopt;
+    request.headers[Lower(line.substr(0, colon))] =
+        Trim(line.substr(colon + 1));
+  }
+  return request;
+}
+
+std::string BuildGetRequest(const std::string& path,
+                            const std::map<std::string, std::string>& query,
+                            bool keep_alive) {
+  std::string target = path;
+  char sep = '?';
+  for (const auto& [key, value] : query) {
+    target += sep + key + "=" + value;
+    sep = '&';
+  }
+  std::string out = "GET " + target + " HTTP/1.1\r\n";
+  out += "Host: localhost\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  return out;
+}
+
+std::string BuildResponseHead(int status, uint64_t content_length,
+                              bool keep_alive, bool compressed) {
+  const char* reason = status == 200   ? "OK"
+                       : status == 404 ? "Not Found"
+                                       : "Internal Server Error";
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason +
+                    "\r\n";
+  out += "Content-Length: " + std::to_string(content_length) + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  if (compressed) out += "X-Segment-Compressed: 1\r\n";
+  out += "\r\n";
+  return out;
+}
+
+std::optional<HttpResponseHead> ParseResponseHead(const std::string& head) {
+  std::istringstream in(head);
+  std::string line;
+  if (!std::getline(in, line)) return std::nullopt;
+  line = Trim(line);
+  std::istringstream status_line(line);
+  std::string version;
+  HttpResponseHead response;
+  if (!(status_line >> version >> response.status)) return std::nullopt;
+  if (version.rfind("HTTP/", 0) != 0) return std::nullopt;
+  while (std::getline(in, line)) {
+    line = Trim(line);
+    if (line.empty()) break;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    const std::string name = Lower(line.substr(0, colon));
+    const std::string value = Trim(line.substr(colon + 1));
+    if (name == "content-length") {
+      response.content_length = std::stoull(value);
+    } else if (name == "connection") {
+      response.keep_alive = Lower(value) == "keep-alive";
+    } else if (name == "x-segment-compressed") {
+      response.compressed = value == "1";
+    }
+  }
+  return response;
+}
+
+}  // namespace jbs::baseline

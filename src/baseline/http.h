@@ -1,0 +1,47 @@
+// Minimal HTTP/1.1 subset: exactly what Hadoop's shuffle uses — a GET with
+// query parameters answered by a 200/404 with Content-Length. Parsing is
+// factored out of the server for direct testing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace jbs::baseline {
+
+struct HttpRequest {
+  std::string method;
+  std::string path;  // without query
+  std::map<std::string, std::string> query;
+  std::map<std::string, std::string> headers;  // lower-cased names
+};
+
+/// Parses a full request head (through the blank line). Returns nullopt on
+/// malformed input.
+std::optional<HttpRequest> ParseRequestHead(const std::string& head);
+
+/// Builds "GET {path}?{query} HTTP/1.1" + headers + blank line.
+std::string BuildGetRequest(const std::string& path,
+                            const std::map<std::string, std::string>& query,
+                            bool keep_alive);
+
+/// Response head for a body of `content_length` bytes. `compressed` adds
+/// the X-Segment-Compressed marker (shuffle payload is a compressed MOF
+/// segment).
+std::string BuildResponseHead(int status, uint64_t content_length,
+                              bool keep_alive, bool compressed = false);
+
+struct HttpResponseHead {
+  int status = 0;
+  uint64_t content_length = 0;
+  bool keep_alive = false;
+  bool compressed = false;
+};
+std::optional<HttpResponseHead> ParseResponseHead(const std::string& head);
+
+/// Percent-decoding is out of scope (keys are numeric); this splits
+/// "a=1&b=2".
+std::map<std::string, std::string> ParseQuery(const std::string& query);
+
+}  // namespace jbs::baseline

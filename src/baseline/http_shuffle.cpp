@@ -1,0 +1,351 @@
+#include "baseline/http_shuffle.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <thread>
+
+#include "baseline/http.h"
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace jbs::baseline {
+
+namespace {
+
+/// Reads up to and including the blank line terminating an HTTP head.
+StatusOr<std::string> ReadHead(int fd) {
+  std::string head;
+  char c;
+  while (head.size() < 64 * 1024) {
+    const ssize_t n = ::recv(fd, &c, 1, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoError("recv failed reading HTTP head");
+    }
+    if (n == 0) {
+      if (head.empty()) return Unavailable("peer closed");
+      return IoError("peer closed mid-head");
+    }
+    head.push_back(c);
+    if (head.size() >= 4 && head.compare(head.size() - 4, 4, "\r\n\r\n") == 0) {
+      return head;
+    }
+  }
+  return IoError("HTTP head too large");
+}
+
+}  // namespace
+
+HttpShuffleServer::HttpShuffleServer(Options options)
+    : options_(options),
+      disk_throttle_(options.penalty.disk_stream_bytes_per_sec),
+      net_throttle_(options.penalty.net_stream_bytes_per_sec) {}
+
+HttpShuffleServer::~HttpShuffleServer() { Stop(); }
+
+Status HttpShuffleServer::Start() {
+  auto listener = net::ListenTcp(0);
+  JBS_RETURN_IF_ERROR(listener.status());
+  listen_fd_ = std::move(listener->first);
+  port_ = listener->second;
+  running_.store(true);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  servlets_.reserve(static_cast<size_t>(options_.servlets));
+  for (int i = 0; i < options_.servlets; ++i) {
+    servlets_.emplace_back([this] { ServletLoop(); });
+  }
+  return Status::Ok();
+}
+
+uint16_t HttpShuffleServer::port() const { return port_; }
+
+Status HttpShuffleServer::PublishMof(const mr::MofHandle& handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  published_[handle.map_task] = handle;
+  return Status::Ok();
+}
+
+void HttpShuffleServer::Stop() {
+  if (!running_.exchange(false)) return;
+  ::shutdown(listen_fd_.get(), SHUT_RDWR);
+  listen_fd_.Reset();
+  conn_cv_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (auto& servlet : servlets_) {
+    if (servlet.joinable()) servlet.join();
+  }
+  servlets_.clear();
+}
+
+mr::ShuffleServer::Stats HttpShuffleServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void HttpShuffleServer::AcceptLoop() {
+  while (running_.load()) {
+    const int raw = ::accept(listen_fd_.get(), nullptr, nullptr);
+    if (raw < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed
+    }
+    (void)net::SetNoDelay(raw);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_conns_.emplace_back(raw);
+    }
+    conn_cv_.notify_one();
+  }
+}
+
+void HttpShuffleServer::ServletLoop() {
+  for (;;) {
+    net::Fd conn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      conn_cv_.wait(lock, [&] {
+        return !running_.load() || !pending_conns_.empty();
+      });
+      if (!running_.load() && pending_conns_.empty()) return;
+      conn = std::move(pending_conns_.front());
+      pending_conns_.pop_front();
+    }
+    HandleConnection(std::move(conn));
+  }
+}
+
+void HttpShuffleServer::HandleConnection(net::Fd conn) {
+  for (;;) {
+    auto head = ReadHead(conn.get());
+    if (!head.ok()) return;
+    auto request = ParseRequestHead(*head);
+    bool keep_alive = false;
+    int status = 500;
+    bool segment_compressed = false;
+    std::vector<uint8_t> body;
+    if (request && request->method == "GET" &&
+        request->path == "/mapOutput") {
+      auto conn_header = request->headers.find("connection");
+      keep_alive = conn_header != request->headers.end() &&
+                   conn_header->second == "keep-alive";
+      const int map_task = std::atoi(request->query["map"].c_str());
+      const int partition = std::atoi(request->query["reduce"].c_str());
+      mr::MofHandle handle;
+      bool found = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = published_.find(map_task);
+        if (it != published_.end()) {
+          handle = it->second;
+          found = true;
+        }
+      }
+      if (!found) {
+        status = 404;
+      } else {
+        // The serialized HttpServlet path (Fig. 4): resolve the index,
+        // read the WHOLE segment from disk, and only then transmit.
+        auto reader = mr::MofReader::Open(handle);
+        if (reader.ok() && partition >= 0 &&
+            partition < reader->index().num_partitions()) {
+          Status read_status = reader->ReadSegment(partition, body);
+          if (read_status.ok()) {
+            segment_compressed = reader->index().compressed();
+            // Java FileInputStream pace.
+            disk_throttle_.Consume(body.size());
+            status = 200;
+          }
+        } else {
+          status = 404;
+        }
+      }
+    }
+    if (status != 200) body.clear();
+    const std::string response_head = BuildResponseHead(
+        status, body.size(), keep_alive, segment_compressed);
+    if (!net::SendAll(conn.get(),
+                      {reinterpret_cast<const uint8_t*>(response_head.data()),
+                       response_head.size()})
+             .ok()) {
+      return;
+    }
+    // Transmit only after the read finished — and at Java stream pace.
+    constexpr size_t kWriteChunk = 64 * 1024;
+    for (size_t off = 0; off < body.size(); off += kWriteChunk) {
+      const size_t n = std::min(kWriteChunk, body.size() - off);
+      net_throttle_.Consume(n);
+      if (!net::SendAll(conn.get(), {body.data() + off, n}).ok()) return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.requests;
+      stats_.bytes_served += body.size();
+    }
+    if (!keep_alive) return;
+  }
+}
+
+MofCopierClient::MofCopierClient(Options options)
+    : options_(options),
+      net_throttle_(options.penalty.net_stream_bytes_per_sec) {
+  if (!options_.spill_dir.empty()) {
+    std::filesystem::create_directories(options_.spill_dir);
+  }
+}
+
+MofCopierClient::~MofCopierClient() = default;
+
+mr::ShuffleClient::Stats MofCopierClient::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+StatusOr<MofCopierClient::FetchedBody> MofCopierClient::FetchOne(
+    const mr::MofLocation& source, int partition) {
+  // A fresh connection per fetch — the pattern whose cost JBS's
+  // consolidation removes.
+  auto fd = net::ConnectTcp(source.host, source.port);
+  JBS_RETURN_IF_ERROR(fd.status());
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.connections_opened;
+  }
+  const std::string request = BuildGetRequest(
+      "/mapOutput",
+      {{"map", std::to_string(source.map_task)},
+       {"reduce", std::to_string(partition)}},
+      /*keep_alive=*/false);
+  JBS_RETURN_IF_ERROR(net::SendAll(
+      fd->get(),
+      {reinterpret_cast<const uint8_t*>(request.data()), request.size()}));
+  auto head = ReadHead(fd->get());
+  JBS_RETURN_IF_ERROR(head.status());
+  auto response = ParseResponseHead(*head);
+  if (!response) return IoError("bad HTTP response head");
+  if (response->status != 200) {
+    return NotFound("server returned " + std::to_string(response->status));
+  }
+  FetchedBody fetched;
+  fetched.compressed = response->compressed;
+  std::vector<uint8_t>& body = fetched.bytes;
+  body.resize(response->content_length);
+  // Java socket-stream pace on the receive side.
+  constexpr size_t kReadChunk = 64 * 1024;
+  size_t off = 0;
+  while (off < body.size()) {
+    const size_t n = std::min(kReadChunk, body.size() - off);
+    JBS_RETURN_IF_ERROR(net::RecvAll(fd->get(), {body.data() + off, n}));
+    net_throttle_.Consume(n);
+    off += n;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.fetches;
+    stats_.bytes_fetched += body.size();
+  }
+  return fetched;
+}
+
+StatusOr<std::unique_ptr<mr::RecordStream>> MofCopierClient::FetchAndMerge(
+    int partition, const std::vector<mr::MofLocation>& sources) {
+  struct Fetched {
+    std::vector<uint8_t> in_memory;
+    std::filesystem::path spilled;  // non-empty if written to disk
+    bool compressed = false;
+  };
+  std::map<int, Fetched> results;
+  std::mutex results_mu;
+  Status first_error;
+  std::atomic<size_t> memory_used{0};
+
+  {
+    // MOFCopier thread pool; each copier pulls fetch tasks.
+    ThreadPool copiers(static_cast<size_t>(options_.copier_threads),
+                       "mof-copiers");
+    for (const mr::MofLocation& source : sources) {
+      copiers.Submit([&, source] {
+        // MOFCopiers retry transient fetch failures with backoff before
+        // reporting the map output as lost.
+        StatusOr<FetchedBody> body = Unavailable("not fetched");
+        for (int attempt = 0; attempt < options_.max_fetch_attempts;
+             ++attempt) {
+          if (attempt > 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                options_.retry_backoff_ms << (attempt - 1)));
+          }
+          body = FetchOne(source, partition);
+          if (body.ok() || body.status().code() == StatusCode::kNotFound) {
+            break;  // 404 is permanent
+          }
+        }
+        std::lock_guard<std::mutex> lock(results_mu);
+        if (!body.ok()) {
+          if (first_error.ok()) first_error = body.status();
+          return;
+        }
+        Fetched fetched;
+        fetched.compressed = body->compressed;
+        const size_t size = body->bytes.size();
+        if (memory_used.load() + size > options_.in_memory_budget &&
+            !options_.spill_dir.empty()) {
+          // Reduce-side spill: write the segment to local disk, to be read
+          // back during the merge — the extra disk round trip JBS's
+          // network-levitated merge avoids.
+          const auto path =
+              options_.spill_dir /
+              ("copier_spill_" + std::to_string(spill_seq_.fetch_add(1)));
+          std::ofstream out(path, std::ios::binary);
+          out.write(reinterpret_cast<const char*>(body->bytes.data()),
+                    static_cast<std::streamsize>(body->bytes.size()));
+          if (!out) {
+            if (first_error.ok()) first_error = IoError("spill write failed");
+            return;
+          }
+          fetched.spilled = path;
+          spill_count_.fetch_add(1);
+        } else {
+          memory_used.fetch_add(size);
+          fetched.in_memory = std::move(body->bytes);
+        }
+        results[source.map_task] = std::move(fetched);
+      });
+    }
+    copiers.Shutdown();
+  }
+  JBS_RETURN_IF_ERROR(first_error);
+
+  std::vector<std::unique_ptr<mr::RecordStream>> streams;
+  streams.reserve(sources.size());
+  for (const mr::MofLocation& source : sources) {
+    auto it = results.find(source.map_task);
+    if (it == results.end()) {
+      return Internal("missing fetch result for map " +
+                      std::to_string(source.map_task));
+    }
+    if (!it->second.spilled.empty()) {
+      // Read the spill back (the disk round trip).
+      std::ifstream in(it->second.spilled, std::ios::binary | std::ios::ate);
+      if (!in) return IoError("cannot re-open spill");
+      std::vector<uint8_t> data(static_cast<size_t>(in.tellg()));
+      in.seekg(0);
+      in.read(reinterpret_cast<char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+      std::error_code ec;
+      std::filesystem::remove(it->second.spilled, ec);
+      auto stream = mr::OpenSegment(std::move(data), it->second.compressed);
+      JBS_RETURN_IF_ERROR(stream.status());
+      streams.push_back(std::move(stream).value());
+    } else {
+      auto stream = mr::OpenSegment(std::move(it->second.in_memory),
+                                    it->second.compressed);
+      JBS_RETURN_IF_ERROR(stream.status());
+      streams.push_back(std::move(stream).value());
+    }
+  }
+  return std::unique_ptr<mr::RecordStream>(
+      std::make_unique<mr::KWayMerger>(std::move(streams)));
+}
+
+}  // namespace jbs::baseline

@@ -1,0 +1,53 @@
+// Plugin wrapper exposing the stock-Hadoop shuffle through the engine's
+// ShufflePlugin boundary, parameterized by the JVM penalty.
+#pragma once
+
+#include <filesystem>
+
+#include "baseline/http_shuffle.h"
+#include "mapred/shuffle.h"
+
+namespace jbs::baseline {
+
+struct HadoopShuffleOptions {
+  int servlets = 4;
+  int copier_threads = 5;
+  JvmPenalty penalty;
+  size_t in_memory_budget = 64 << 20;
+  std::filesystem::path spill_dir;
+};
+
+class HadoopShufflePlugin final : public mr::ShufflePlugin {
+ public:
+  using Options = HadoopShuffleOptions;
+
+  explicit HadoopShufflePlugin(Options options = Options())
+      : options_(std::move(options)) {}
+
+  std::string name() const override { return "hadoop-http"; }
+
+  std::unique_ptr<mr::ShuffleServer> CreateServer(
+      int /*node*/, const Config& /*conf*/) override {
+    HttpShuffleServer::Options sopts;
+    sopts.servlets = options_.servlets;
+    sopts.penalty = options_.penalty;
+    return std::make_unique<HttpShuffleServer>(sopts);
+  }
+
+  std::unique_ptr<mr::ShuffleClient> CreateClient(
+      int node, const Config& /*conf*/) override {
+    MofCopierClient::Options copts;
+    copts.copier_threads = options_.copier_threads;
+    copts.penalty = options_.penalty;
+    copts.in_memory_budget = options_.in_memory_budget;
+    if (!options_.spill_dir.empty()) {
+      copts.spill_dir = options_.spill_dir / ("node" + std::to_string(node));
+    }
+    return std::make_unique<MofCopierClient>(copts);
+  }
+
+ private:
+  Options options_;
+};
+
+}  // namespace jbs::baseline

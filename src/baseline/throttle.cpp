@@ -1,0 +1,27 @@
+#include "baseline/throttle.h"
+
+#include <thread>
+
+namespace jbs::baseline {
+
+Throttle::Throttle(double bytes_per_sec)
+    : bytes_per_sec_(bytes_per_sec),
+      available_at_(std::chrono::steady_clock::now()) {}
+
+void Throttle::Consume(size_t bytes) {
+  if (unlimited() || bytes == 0) return;
+  std::chrono::steady_clock::time_point wake;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto now = std::chrono::steady_clock::now();
+    if (available_at_ < now) available_at_ = now;
+    const auto cost = std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(std::chrono::duration<double>(
+        static_cast<double>(bytes) / bytes_per_sec_));
+    available_at_ += cost;
+    wake = available_at_;
+  }
+  std::this_thread::sleep_until(wake);
+}
+
+}  // namespace jbs::baseline

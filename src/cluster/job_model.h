@@ -1,0 +1,104 @@
+// Cluster-scale job model: reproduces the paper's 22-slave testbed runs
+// (Figs. 7-12) as a wave-based bottleneck analysis on top of the simnet
+// cost catalog. Each phase's duration comes from the binding resource
+// (disk, link, per-stream JVM ceiling, per-process JVM ceiling, request
+// overhead); CPU charges per phase produce the sar-style traces of Fig 10.
+//
+// Why analytic rather than packet-level: at 256 GB the shuffle is ~2M
+// buffer-sized chunks; the figure-level behaviour is set by which resource
+// saturates, not by per-packet interleaving. The discrete-event machinery
+// is used where queueing *is* the point (the Fig. 2 micro-benchmarks, see
+// microbench.h).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/test_case.h"
+#include "simnet/cpu.h"
+#include "simnet/protocol.h"
+#include "workloads/tarazu.h"
+
+namespace jbs::cluster {
+
+/// Calibration constants. Defaults reproduce the paper's Fig. 2 ratios and
+/// testbed characteristics; benches override a few for sweeps.
+struct CostModel {
+  // Task machinery.
+  double task_startup_sec = 1.5;   // JVM task launch + init
+  double reduce_mem_bytes = 512e6; // per-reducer in-memory merge budget
+
+  // JVM stream ceilings (Fig. 2 calibration; these are CPU-bound, so each
+  // busy stream charges ~1 core while active).
+  double java_disk_stream = 35e6;    // FileInputStream from disk
+  double java_cached_stream = 90e6;  // FileInputStream over page cache
+  double java_net_stream = 360e6;    // socket stream
+  double java_process_net_cap = 500e6;  // whole-JVM shuffle fan-in/out
+
+  // Native path costs.
+  double native_pread_cpu_per_byte = 0.5e-9;
+  double native_memcpy_rate = 3e9;
+
+  // Per-request service costs (beyond wire latency). The JBS cost splits
+  // into the supplier's disk/service share and the client's wire-stack
+  // share: socket-based transports pay syscalls + interrupts per chunk,
+  // verbs transports poll completions.
+  double jbs_request_service_sec = 0.0005;  // decode + pread + enqueue
+  double jbs_chunk_socket_sec = 0.00025;     // TCP/IPoIB per-chunk client
+  double jbs_chunk_verbs_sec = 0.00003;      // RDMA/RoCE per-chunk client
+  double java_request_cost_sec = 0.0015;  // HTTP parse + servlet dispatch
+
+  // Threads & GC.
+  double java_shuffle_threads_per_reducer = 8;
+  double jbs_threads_per_node = 3;
+  double per_thread_cores = 0.01;   // bookkeeping cores per live thread
+  double gc_overhead_frac = 0.30;   // extra CPU on java stream work
+  double java_serialization_cpu_mult = 3.0;  // (de)serialization + buffer
+                                             // churn on every java stream
+  double daemon_cores = 0.4;        // TaskTracker + DataNode background
+
+  // Node / storage.
+  double page_cache_bytes = 8e9;   // RAM left for the page cache
+  double datacache_pool_bytes = 4 << 20;  // JBS transport buffer pool/node
+
+  // Baseline server concurrency (tasktracker.http.threads).
+  int http_servlets = 40;
+  int copiers_per_reducer = 5;      // mapred.reduce.parallel.copies
+};
+
+struct ClusterConfig {
+  int slaves = 22;
+  int map_slots = 4;
+  int reduce_slots = 2;
+  uint64_t block_size = 256ull << 20;
+  TestCase test_case = HadoopOnIpoib();
+  size_t transport_buffer = 128 * 1024;  // JBS buffer size (Fig. 11)
+  sim::NodeParams node;
+  CostModel cost;
+
+  // JBS design-choice ablations (DESIGN.md §6).
+  bool jbs_pipelined_prefetch = true;
+  bool jbs_consolidation = true;
+};
+
+struct JobResult {
+  double total_sec = 0;
+  double map_phase_sec = 0;       // wave-parallel map execution
+  double shuffle_end_sec = 0;     // when the last segment lands
+  double reduce_tail_sec = 0;     // post-shuffle merge/reduce/write
+  double shuffle_rate_node = 0;   // effective per-node shuffle B/s
+  double request_overhead_sec = 0;
+  double mean_cpu_util = 0;       // % over the whole job, node average
+  std::vector<sim::CpuAccountant::Sample> cpu_trace;  // 5s bins, node avg
+  std::string bottleneck;         // which resource bound the shuffle
+};
+
+/// Simulates one job of `input_bytes` with workload `profile`.
+JobResult SimulateJob(const ClusterConfig& config, wl::Workload workload,
+                      uint64_t input_bytes);
+
+/// Convenience: Terasort at the paper's configuration.
+JobResult SimulateTerasort(const TestCase& test_case, uint64_t input_bytes,
+                           int slaves = 22);
+
+}  // namespace jbs::cluster

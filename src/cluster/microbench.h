@@ -1,0 +1,43 @@
+// Discrete-event models behind the Fig. 2 motivation micro-benchmarks:
+// here queueing and per-request interleaving are the whole point, so these
+// run on the simnet event engine rather than the wave model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simnet/protocol.h"
+
+namespace jbs::cluster {
+
+/// Language/runtime of the I/O path under test (Fig. 2's Java vs native C
+/// vs mmap comparison).
+enum class IoPath { kJavaStream, kNativeRead, kNativeMmap };
+
+const char* IoPathName(IoPath path);
+
+/// Fig. 2(a): N concurrent servlets each read one MOF from the same pair
+/// of disks; returns the mean per-MOF read time in milliseconds. Servlet
+/// reads interleave, so concurrency costs seeks; the Java path further
+/// caps each stream at the JVM stream rate.
+double SimulateMofReadTime(int concurrent_servlets, uint64_t mof_bytes,
+                           IoPath path, const sim::NodeParams& node = {},
+                           const sim::JvmParams& jvm = {});
+
+/// Fig. 2(b): one HttpServlet streams one segment to one MOFCopier over
+/// `protocol`; returns the shuffle time in milliseconds. The serving side
+/// reads the segment from the page cache and the stream is capped by the
+/// JVM on the Java path.
+double SimulateSingleStreamShuffle(uint64_t segment_bytes, bool java,
+                                   sim::Protocol protocol,
+                                   const sim::JvmParams& jvm = {});
+
+/// Fig. 2(c): `nodes` senders each push one `segment_bytes` segment into a
+/// single ReduceTask's node concurrently; returns the time until the last
+/// byte arrives, in milliseconds. Java is additionally capped by the
+/// receiving JVM's aggregate fan-in ceiling.
+double SimulateFanInShuffle(int nodes, uint64_t segment_bytes, bool java,
+                            sim::Protocol protocol,
+                            const sim::JvmParams& jvm = {});
+
+}  // namespace jbs::cluster

@@ -1,0 +1,38 @@
+#include "cluster/test_case.h"
+
+namespace jbs::cluster {
+
+std::string TestCase::name() const {
+  const std::string prefix = engine == Engine::kHadoop ? "Hadoop on " : "JBS on ";
+  switch (protocol) {
+    case sim::Protocol::kTcp1GigE: return prefix + "1GigE";
+    case sim::Protocol::kTcp10GigE: return prefix + "10GigE";
+    case sim::Protocol::kIpoib: return prefix + "IPoIB";
+    case sim::Protocol::kSdp: return prefix + "SDP";
+    case sim::Protocol::kRoce: return prefix + "RoCE";
+    case sim::Protocol::kRdma: return prefix + "RDMA";
+  }
+  return prefix + "?";
+}
+
+std::string TestCase::network() const {
+  switch (protocol) {
+    case sim::Protocol::kTcp1GigE: return "1GigE";
+    case sim::Protocol::kTcp10GigE:
+    case sim::Protocol::kRoce: return "10GigE";
+    case sim::Protocol::kIpoib:
+    case sim::Protocol::kSdp:
+    case sim::Protocol::kRdma: return "InfiniBand";
+  }
+  return "?";
+}
+
+std::vector<TestCase> TableOneCases() {
+  return {
+      HadoopOn1GigE(), HadoopOn10GigE(), HadoopOnIpoib(), HadoopOnSdp(),
+      JbsOn1GigE(),    JbsOn10GigE(),    JbsOnIpoib(),    JbsOnRoce(),
+      JbsOnRdma(),
+  };
+}
+
+}  // namespace jbs::cluster

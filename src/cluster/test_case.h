@@ -1,0 +1,46 @@
+// Table I: the named test cases of the evaluation — which shuffle engine
+// runs over which protocol/network.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "simnet/protocol.h"
+
+namespace jbs::cluster {
+
+enum class Engine { kHadoop, kJbs };
+
+struct TestCase {
+  Engine engine;
+  sim::Protocol protocol;
+
+  std::string name() const;
+  /// The "Network" column of Table I.
+  std::string network() const;
+};
+
+/// The eight rows of Table I (plus JBS on 1GigE, which Fig. 7b uses).
+std::vector<TestCase> TableOneCases();
+
+inline TestCase HadoopOn1GigE() {
+  return {Engine::kHadoop, sim::Protocol::kTcp1GigE};
+}
+inline TestCase HadoopOn10GigE() {
+  return {Engine::kHadoop, sim::Protocol::kTcp10GigE};
+}
+inline TestCase HadoopOnIpoib() {
+  return {Engine::kHadoop, sim::Protocol::kIpoib};
+}
+inline TestCase HadoopOnSdp() { return {Engine::kHadoop, sim::Protocol::kSdp}; }
+inline TestCase JbsOn1GigE() {
+  return {Engine::kJbs, sim::Protocol::kTcp1GigE};
+}
+inline TestCase JbsOn10GigE() {
+  return {Engine::kJbs, sim::Protocol::kTcp10GigE};
+}
+inline TestCase JbsOnIpoib() { return {Engine::kJbs, sim::Protocol::kIpoib}; }
+inline TestCase JbsOnRoce() { return {Engine::kJbs, sim::Protocol::kRoce}; }
+inline TestCase JbsOnRdma() { return {Engine::kJbs, sim::Protocol::kRdma}; }
+
+}  // namespace jbs::cluster

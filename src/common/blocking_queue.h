@@ -1,0 +1,97 @@
+// Bounded multi-producer/multi-consumer blocking queue. The workhorse for
+// handing fetch requests between the event threads and data threads of the
+// TCP transport (§IV-B) and between the prefetch server and transmit side
+// of the MOFSupplier (§III-B).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace jbs {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  explicit BlockingQueue(size_t capacity = SIZE_MAX) : capacity_(capacity) {}
+
+  /// Blocks while full. Returns false if the queue was closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_cv_.wait(lock,
+                      [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_cv_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false if full or closed.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty. Returns nullopt once closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_cv_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> TryPop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_cv_.notify_one();
+    return item;
+  }
+
+  /// Wakes all waiters; subsequent pushes fail, pops drain then return
+  /// nullopt.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_cv_.notify_all();
+    not_full_cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_cv_;
+  std::condition_variable not_full_cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace jbs

@@ -1,0 +1,109 @@
+#include "common/buffer_pool.h"
+
+#include <cassert>
+#include <chrono>
+
+namespace jbs {
+
+PooledBuffer::PooledBuffer(BufferPool* pool, uint8_t* data, size_t capacity)
+    : pool_(pool), data_(data), capacity_(capacity) {}
+
+PooledBuffer::~PooledBuffer() { Release(); }
+
+PooledBuffer::PooledBuffer(PooledBuffer&& other) noexcept
+    : pool_(other.pool_),
+      data_(other.data_),
+      capacity_(other.capacity_),
+      size_(other.size_) {
+  other.pool_ = nullptr;
+  other.data_ = nullptr;
+  other.capacity_ = 0;
+  other.size_ = 0;
+}
+
+PooledBuffer& PooledBuffer::operator=(PooledBuffer&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    data_ = other.data_;
+    capacity_ = other.capacity_;
+    size_ = other.size_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+    other.capacity_ = 0;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void PooledBuffer::Release() {
+  if (pool_ != nullptr && data_ != nullptr) {
+    pool_->Return(data_);
+  }
+  pool_ = nullptr;
+  data_ = nullptr;
+  capacity_ = 0;
+  size_ = 0;
+}
+
+BufferPool::BufferPool(size_t buffer_size, size_t count)
+    : buffer_size_(buffer_size),
+      count_(count),
+      arena_(new uint8_t[buffer_size * count]) {
+  assert(buffer_size > 0 && count > 0);
+  free_list_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    free_list_.push_back(arena_.get() + i * buffer_size);
+  }
+}
+
+BufferPool::~BufferPool() {
+  // All buffers must be returned before the pool dies; PooledBuffer holds a
+  // raw pointer into the arena.
+  assert(free_list_.size() == count_);
+}
+
+PooledBuffer BufferPool::Acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.acquires;
+  if (free_list_.empty()) {
+    ++stats_.blocked_acquires;
+    const auto start = std::chrono::steady_clock::now();
+    available_cv_.wait(lock, [&] { return !free_list_.empty(); });
+    const auto waited = std::chrono::steady_clock::now() - start;
+    stats_.total_wait_micros +=
+        std::chrono::duration_cast<std::chrono::microseconds>(waited).count();
+  }
+  uint8_t* data = free_list_.back();
+  free_list_.pop_back();
+  return PooledBuffer(this, data, buffer_size_);
+}
+
+PooledBuffer BufferPool::TryAcquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.acquires;
+  if (free_list_.empty()) return {};
+  uint8_t* data = free_list_.back();
+  free_list_.pop_back();
+  return PooledBuffer(this, data, buffer_size_);
+}
+
+size_t BufferPool::available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_list_.size();
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void BufferPool::Return(uint8_t* data) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_list_.push_back(data);
+  }
+  available_cv_.notify_one();
+}
+
+}  // namespace jbs

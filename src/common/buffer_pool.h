@@ -1,0 +1,88 @@
+// Fixed-size buffer pool modelling JBS "registered" transport buffers.
+// The paper (Fig. 11) shows the tension this type embodies: larger buffers
+// amortize per-request overhead but reduce the number of buffers available
+// to data threads, increasing contention. The pool has a fixed total byte
+// budget; Acquire() blocks when all buffers are checked out, and the time
+// spent blocked is surfaced via contention statistics.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace jbs {
+
+class BufferPool;
+
+/// One checked-out buffer. Returns itself to the pool on destruction.
+class PooledBuffer {
+ public:
+  PooledBuffer() = default;
+  PooledBuffer(BufferPool* pool, uint8_t* data, size_t capacity);
+  ~PooledBuffer();
+
+  PooledBuffer(PooledBuffer&& other) noexcept;
+  PooledBuffer& operator=(PooledBuffer&& other) noexcept;
+  PooledBuffer(const PooledBuffer&) = delete;
+  PooledBuffer& operator=(const PooledBuffer&) = delete;
+
+  bool valid() const { return data_ != nullptr; }
+  uint8_t* data() const { return data_; }
+  size_t capacity() const { return capacity_; }
+
+  /// Bytes of payload currently in the buffer (set by the filler).
+  size_t size() const { return size_; }
+  void set_size(size_t size) { size_ = size; }
+
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  uint8_t* data_ = nullptr;
+  size_t capacity_ = 0;
+  size_t size_ = 0;
+};
+
+class BufferPool {
+ public:
+  /// Creates `count` buffers of `buffer_size` bytes each.
+  BufferPool(size_t buffer_size, size_t count);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Blocks until a buffer is available.
+  PooledBuffer Acquire();
+
+  /// Returns an invalid buffer instead of blocking when the pool is dry.
+  PooledBuffer TryAcquire();
+
+  size_t buffer_size() const { return buffer_size_; }
+  size_t capacity() const { return count_; }
+  size_t available() const;
+
+  struct Stats {
+    uint64_t acquires = 0;
+    uint64_t blocked_acquires = 0;  // acquires that had to wait
+    uint64_t total_wait_micros = 0;
+  };
+  Stats stats() const;
+
+ private:
+  friend class PooledBuffer;
+  void Return(uint8_t* data);
+
+  const size_t buffer_size_;
+  const size_t count_;
+  std::unique_ptr<uint8_t[]> arena_;
+
+  mutable std::mutex mu_;
+  std::condition_variable available_cv_;
+  std::vector<uint8_t*> free_list_;
+  Stats stats_;
+};
+
+}  // namespace jbs

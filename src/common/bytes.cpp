@@ -1,0 +1,130 @@
+#include "common/bytes.h"
+
+#include <array>
+#include <cstdio>
+
+namespace jbs {
+
+void PutU16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v >> 24));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+void PutU64(std::vector<uint8_t>& out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>((p[0] << 8) | p[1]);
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  return (static_cast<uint64_t>(GetU32(p)) << 32) | GetU32(p + 4);
+}
+
+void PutVarint64(std::vector<uint8_t>& out, int64_t v) {
+  if (v >= -112 && v <= 127) {
+    out.push_back(static_cast<uint8_t>(v));
+    return;
+  }
+  int base = -113;  // negative numbers
+  uint64_t magnitude = ~static_cast<uint64_t>(v);
+  if (v >= 0) {
+    base = -121;  // positive numbers beyond one byte
+    magnitude = static_cast<uint64_t>(v);
+  }
+  int length = 0;
+  for (uint64_t tmp = magnitude; tmp != 0; tmp >>= 8) ++length;
+  if (length == 0) length = 1;
+  out.push_back(static_cast<uint8_t>(base - (length - 1)));
+  for (int shift = (length - 1) * 8; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<uint8_t>(magnitude >> shift));
+  }
+}
+
+std::optional<int64_t> GetVarint64(std::span<const uint8_t> data,
+                                   size_t* offset) {
+  if (*offset >= data.size()) return std::nullopt;
+  const auto first = static_cast<int8_t>(data[*offset]);
+  ++*offset;
+  if (first >= -112) return static_cast<int64_t>(first);
+  const bool negative = first >= -120;
+  const int length = negative ? (-112 - first) : (-120 - first);
+  if (*offset + static_cast<size_t>(length) > data.size()) return std::nullopt;
+  uint64_t magnitude = 0;
+  for (int i = 0; i < length; ++i) {
+    magnitude = (magnitude << 8) | data[*offset];
+    ++*offset;
+  }
+  if (negative) return static_cast<int64_t>(~magnitude);
+  return static_cast<int64_t>(magnitude);
+}
+
+size_t VarintSize(int64_t v) {
+  if (v >= -112 && v <= 127) return 1;
+  uint64_t magnitude =
+      v >= 0 ? static_cast<uint64_t>(v) : ~static_cast<uint64_t>(v);
+  size_t length = 0;
+  for (uint64_t tmp = magnitude; tmp != 0; tmp >>= 8) ++length;
+  if (length == 0) length = 1;
+  return 1 + length;
+}
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) != 0 ? (crc >> 1) ^ 0xEDB88320u : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::span<const uint8_t> data, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  uint32_t crc = ~seed;
+  for (uint8_t byte : data) {
+    crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  static constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < std::size(kUnits)) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (value == static_cast<uint64_t>(value)) {
+    std::snprintf(buf, sizeof(buf), "%llu%s",
+                  static_cast<unsigned long long>(value), kUnits[unit]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f%s", value, kUnits[unit]);
+  }
+  return buf;
+}
+
+}  // namespace jbs

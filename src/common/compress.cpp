@@ -1,0 +1,133 @@
+#include "common/compress.h"
+
+#include <cstring>
+
+#include "common/bytes.h"
+
+namespace jbs {
+
+namespace {
+
+constexpr uint8_t kMagic = 'J';
+constexpr uint8_t kVersion = 1;
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = 131;          // 0x7F + kMinMatch
+constexpr size_t kMaxDistance = 65535;
+constexpr size_t kHashBits = 15;
+constexpr size_t kHashSize = 1u << kHashBits;
+
+uint32_t Hash4(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void EmitLiterals(std::span<const uint8_t> input, size_t begin, size_t end,
+                  std::vector<uint8_t>& out) {
+  while (begin < end) {
+    const size_t run = std::min<size_t>(128, end - begin);
+    out.push_back(static_cast<uint8_t>(run - 1));
+    out.insert(out.end(), input.begin() + static_cast<ptrdiff_t>(begin),
+               input.begin() + static_cast<ptrdiff_t>(begin + run));
+    begin += run;
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t> Compress(std::span<const uint8_t> input) {
+  std::vector<uint8_t> out;
+  out.reserve(input.size() / 2 + 16);
+  out.push_back(kMagic);
+  out.push_back(kVersion);
+  PutVarint64(out, static_cast<int64_t>(input.size()));
+
+  // Single-entry hash table of the last position for each 4-byte hash.
+  std::vector<int64_t> table(kHashSize, -1);
+  size_t literal_start = 0;
+  size_t pos = 0;
+  while (pos + kMinMatch <= input.size()) {
+    const uint32_t hash = Hash4(input.data() + pos);
+    const int64_t candidate = table[hash];
+    table[hash] = static_cast<int64_t>(pos);
+    if (candidate >= 0 &&
+        pos - static_cast<size_t>(candidate) <= kMaxDistance &&
+        std::memcmp(input.data() + candidate, input.data() + pos, kMinMatch) ==
+            0) {
+      // Extend the match.
+      size_t length = kMinMatch;
+      const size_t limit = std::min(kMaxMatch, input.size() - pos);
+      while (length < limit &&
+             input[static_cast<size_t>(candidate) + length] ==
+                 input[pos + length]) {
+        ++length;
+      }
+      EmitLiterals(input, literal_start, pos, out);
+      out.push_back(static_cast<uint8_t>(0x80 | (length - kMinMatch)));
+      const auto distance = static_cast<uint16_t>(pos - candidate);
+      out.push_back(static_cast<uint8_t>(distance & 0xFF));
+      out.push_back(static_cast<uint8_t>(distance >> 8));
+      // Index a few positions inside the match so later matches can land.
+      const size_t step = length >= 16 ? 4 : 1;
+      for (size_t i = 1; i < length && pos + i + kMinMatch <= input.size();
+           i += step) {
+        table[Hash4(input.data() + pos + i)] = static_cast<int64_t>(pos + i);
+      }
+      pos += length;
+      literal_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  EmitLiterals(input, literal_start, input.size(), out);
+  return out;
+}
+
+StatusOr<std::vector<uint8_t>> Decompress(std::span<const uint8_t> input) {
+  if (input.size() < 2 || input[0] != kMagic || input[1] != kVersion) {
+    return InvalidArgument("not a compressed stream");
+  }
+  size_t offset = 2;
+  auto raw_size = GetVarint64(input, &offset);
+  if (!raw_size || *raw_size < 0) {
+    return IoError("corrupt compressed header");
+  }
+  std::vector<uint8_t> out;
+  out.reserve(static_cast<size_t>(*raw_size));
+  while (offset < input.size()) {
+    const uint8_t control = input[offset++];
+    if ((control & 0x80) == 0) {
+      const size_t run = static_cast<size_t>(control) + 1;
+      if (offset + run > input.size()) {
+        return IoError("truncated literal run");
+      }
+      out.insert(out.end(), input.begin() + static_cast<ptrdiff_t>(offset),
+                 input.begin() + static_cast<ptrdiff_t>(offset + run));
+      offset += run;
+    } else {
+      if (offset + 2 > input.size()) return IoError("truncated match token");
+      const size_t length = static_cast<size_t>(control & 0x7F) + kMinMatch;
+      const size_t distance = static_cast<size_t>(input[offset]) |
+                              (static_cast<size_t>(input[offset + 1]) << 8);
+      offset += 2;
+      if (distance == 0 || distance > out.size()) {
+        return IoError("match distance outside window");
+      }
+      // Byte-by-byte: matches may overlap themselves (RLE-style).
+      size_t from = out.size() - distance;
+      for (size_t i = 0; i < length; ++i) {
+        out.push_back(out[from + i]);
+      }
+    }
+  }
+  if (out.size() != static_cast<size_t>(*raw_size)) {
+    return IoError("decompressed size mismatch");
+  }
+  return out;
+}
+
+bool LooksCompressed(std::span<const uint8_t> data) {
+  return data.size() >= 2 && data[0] == kMagic && data[1] == kVersion;
+}
+
+}  // namespace jbs

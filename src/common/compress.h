@@ -1,0 +1,35 @@
+// Block compression for map outputs (Hadoop's mapred.compress.map.output).
+// An LZSS-family byte codec with a 64 KB window — deliberately simple, in
+// the spirit of the era's LZO/Snappy usage: cheap, byte-oriented, tuned
+// for the repetitive key prefixes of sorted shuffle segments.
+//
+// Stream layout:
+//   u8 magic 'J' | u8 version | varint raw_size | tokens...
+// Token:
+//   control byte c:
+//     c & 0x80 == 0: literal run of (c + 1) bytes follows       (1..128)
+//     c & 0x80 != 0: match of length ((c & 0x7F) + kMinMatch)   (4..131)
+//                    followed by u16 little-endian distance      (1..65535)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace jbs {
+
+/// Compresses `input`; output always decompresses to exactly `input`.
+/// Compression is skip-proof: pathological inputs expand by at most
+/// input/128 + header bytes.
+std::vector<uint8_t> Compress(std::span<const uint8_t> input);
+
+/// Decompresses a Compress() stream. Fails on malformed input (bad magic,
+/// truncated tokens, out-of-window distances, size mismatch).
+StatusOr<std::vector<uint8_t>> Decompress(std::span<const uint8_t> input);
+
+/// True if `data` starts with a Compress() header.
+bool LooksCompressed(std::span<const uint8_t> data);
+
+}  // namespace jbs

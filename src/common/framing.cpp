@@ -1,0 +1,49 @@
+#include "common/framing.h"
+
+#include <cstring>
+
+#include "common/bytes.h"
+
+namespace jbs {
+
+namespace {
+constexpr size_t kHeaderSize = 5;  // u32 length + u8 type
+}
+
+void EncodeFrame(const Frame& frame, std::vector<uint8_t>& out) {
+  PutU32(out, static_cast<uint32_t>(frame.payload.size()));
+  out.push_back(frame.type);
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+}
+
+Status FrameDecoder::Feed(std::span<const uint8_t> data) {
+  if (poisoned_) return Internal("decoder poisoned by oversized frame");
+  // Compact occasionally so the buffer does not grow without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+  return Status::Ok();
+}
+
+std::optional<Frame> FrameDecoder::Next() {
+  if (poisoned_) return std::nullopt;
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kHeaderSize) return std::nullopt;
+  const uint8_t* base = buffer_.data() + consumed_;
+  const uint32_t length = GetU32(base);
+  if (length > max_payload_) {
+    poisoned_ = true;
+    return std::nullopt;
+  }
+  if (available < kHeaderSize + length) return std::nullopt;
+  Frame frame;
+  frame.type = base[4];
+  frame.payload.assign(base + kHeaderSize, base + kHeaderSize + length);
+  consumed_ += kHeaderSize + length;
+  return frame;
+}
+
+}  // namespace jbs

@@ -1,0 +1,49 @@
+// Length-prefixed message framing shared by the shuffle wire protocol and
+// the loopback control channel between TaskTracker and the native JBS
+// processes (§III-A: "they communicate via loopback sockets").
+//
+// Wire layout of one frame:
+//   u32 payload_length | u8 type | payload bytes
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace jbs {
+
+struct Frame {
+  uint8_t type = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// Serializes a frame (header + payload) into `out`.
+void EncodeFrame(const Frame& frame, std::vector<uint8_t>& out);
+
+/// Incremental decoder: feed arbitrary byte chunks, pop whole frames.
+class FrameDecoder {
+ public:
+  /// Maximum accepted payload; oversized frames poison the decoder.
+  explicit FrameDecoder(size_t max_payload = 64 * 1024 * 1024)
+      : max_payload_(max_payload) {}
+
+  /// Appends received bytes to the internal reassembly buffer.
+  Status Feed(std::span<const uint8_t> data);
+
+  /// Returns the next complete frame, or nullopt if more bytes are needed.
+  std::optional<Frame> Next();
+
+  bool poisoned() const { return poisoned_; }
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  size_t max_payload_;
+  std::vector<uint8_t> buffer_;
+  size_t consumed_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace jbs

@@ -1,0 +1,66 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace jbs::logging {
+namespace {
+
+std::atomic<LogLevel> g_level{[] {
+  const char* env = std::getenv("JBS_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
+  return LogLevel::kWarn;
+}()};
+
+std::mutex& EmitMutex() {
+  static std::mutex m;
+  return m;
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kError: return "E";
+    case LogLevel::kOff: return "?";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+LogLevel Level() { return g_level.load(std::memory_order_relaxed); }
+
+void SetLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void Emit(LogLevel level, const char* file, int line, const std::string& msg) {
+  if (level < Level()) return;
+  using Clock = std::chrono::system_clock;
+  const auto now = Clock::now().time_since_epoch();
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  std::fprintf(stderr, "[%s %lld.%03lld %s:%d] %s\n", LevelTag(level),
+               static_cast<long long>(ms / 1000),
+               static_cast<long long>(ms % 1000), Basename(file), line,
+               msg.c_str());
+}
+
+}  // namespace jbs::logging

@@ -1,0 +1,54 @@
+// Thread-safe leveled logger. Deliberately small: the library is the
+// deliverable, not the logger. Controlled by JBS_LOG_LEVEL env or SetLevel().
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace jbs {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+namespace logging {
+
+LogLevel Level();
+void SetLevel(LogLevel level);
+
+/// Emits one formatted line to stderr under a global mutex.
+void Emit(LogLevel level, const char* file, int line, const std::string& msg);
+
+/// RAII line builder: accumulates via operator<< and emits on destruction.
+class LineLogger {
+ public:
+  LineLogger(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LineLogger() { Emit(level_, file_, line_, stream_.str()); }
+  LineLogger(const LineLogger&) = delete;
+  LineLogger& operator=(const LineLogger&) = delete;
+
+  template <typename T>
+  LineLogger& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace logging
+
+#define JBS_LOG(level)                                     \
+  if (::jbs::LogLevel::level < ::jbs::logging::Level()) {  \
+  } else                                                   \
+    ::jbs::logging::LineLogger(::jbs::LogLevel::level, __FILE__, __LINE__)
+
+#define JBS_DEBUG JBS_LOG(kDebug)
+#define JBS_INFO JBS_LOG(kInfo)
+#define JBS_WARN JBS_LOG(kWarn)
+#define JBS_ERROR JBS_LOG(kError)
+
+}  // namespace jbs

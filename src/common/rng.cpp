@@ -1,0 +1,44 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace jbs {
+
+double Rng::NextExponential(double mean) {
+  double u = NextDouble();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  // Rejection-inversion sampling (W. Hörmann & G. Derflinger).
+  if (n <= 1) return 1;
+  const double e = 1.0 - s;
+  auto h = [&](double x) {
+    return e == 0.0 ? std::log(x) : (std::pow(x, e) - 1.0) / e;
+  };
+  auto h_inv = [&](double x) {
+    return e == 0.0 ? std::exp(x) : std::pow(1.0 + e * x, 1.0 / e);
+  };
+  const double h_x1 = h(1.5) - std::pow(1.0, -s);
+  const double h_n = h(static_cast<double>(n) + 0.5);
+  for (;;) {
+    const double u = h_x1 + NextDouble() * (h_n - h_x1);
+    const double x = h_inv(u);
+    const auto k = static_cast<uint64_t>(x + 0.5);
+    const double clamped = static_cast<double>(k < 1 ? 1 : (k > n ? n : k));
+    if (u >= h(clamped + 0.5) - std::pow(clamped, -s)) {
+      return k < 1 ? 1 : (k > n ? n : k);
+    }
+  }
+}
+
+double Rng::NextGaussian(double mean, double stddev) {
+  double u1 = NextDouble();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = NextDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace jbs

@@ -1,0 +1,75 @@
+// Deterministic, seedable RNG used by every generator and the simulator.
+// splitmix64 for seeding, xoshiro256** for the stream. Determinism matters:
+// benches and tests must be reproducible run to run.
+#pragma once
+
+#include <cstdint>
+
+namespace jbs {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // splitmix64 to spread the seed across the xoshiro state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) {
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t Between(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    Below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Exponential with the given mean (for inter-arrival times).
+  double NextExponential(double mean);
+
+  /// Zipf-distributed rank in [1, n]; s is the skew (s=1 classic Zipf).
+  /// Used by the synthetic wikipedia-like text generator. Rejection-inversion
+  /// sampling, O(1) per draw.
+  uint64_t NextZipf(uint64_t n, double s);
+
+  /// Gaussian via Box-Muller.
+  double NextGaussian(double mean, double stddev);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t state_[4];
+};
+
+}  // namespace jbs

@@ -1,0 +1,78 @@
+// Measurement plumbing for benches: streaming summaries, fixed-bucket
+// histograms, and time-series samplers (the sar-style CPU traces of Fig. 10
+// come out of TimeSeries).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jbs {
+
+/// Streaming min/max/mean/variance (Welford).
+class Summary {
+ public:
+  void Add(double x);
+  void Merge(const Summary& other);
+
+  uint64_t count() const { return count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  std::string ToString() const;
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Histogram with log2 buckets; good enough for latency distributions.
+class Histogram {
+ public:
+  Histogram();
+  void Add(double value);
+  uint64_t count() const { return total_; }
+  /// Approximate percentile (0-100) via bucket interpolation.
+  double Percentile(double p) const;
+  std::string ToString() const;
+
+ private:
+  static constexpr int kBuckets = 64;
+  std::vector<uint64_t> buckets_;
+  uint64_t total_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Uniformly-sampled time series: Record(t, v); Sample(dt) averages into
+/// fixed-width bins — how `sar` output every 5 seconds is reproduced.
+class TimeSeries {
+ public:
+  void Record(double time_sec, double value);
+
+  struct Bin {
+    double time_sec;  // bin start
+    double mean;
+    uint64_t samples;
+  };
+  /// Bins all recorded points into `bin_width_sec` windows.
+  std::vector<Bin> Binned(double bin_width_sec) const;
+
+  size_t size() const { return points_.size(); }
+
+ private:
+  struct Point {
+    double t;
+    double v;
+  };
+  std::vector<Point> points_;
+};
+
+}  // namespace jbs

@@ -1,0 +1,130 @@
+// Minimal Status / StatusOr for fallible hot-path operations where
+// exceptions would be inappropriate (I/O loops, transport completions).
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace jbs {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kUnavailable,
+  kIoError,
+  kCancelled,
+  kInternal,
+};
+
+/// Result of a fallible operation: a code plus a human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+      case StatusCode::kNotFound: return "NOT_FOUND";
+      case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+      case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+      case StatusCode::kUnavailable: return "UNAVAILABLE";
+      case StatusCode::kIoError: return "IO_ERROR";
+      case StatusCode::kCancelled: return "CANCELLED";
+      case StatusCode::kInternal: return "INTERNAL";
+    }
+    return "UNKNOWN";
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgument(std::string m) {
+  return {StatusCode::kInvalidArgument, std::move(m)};
+}
+inline Status NotFound(std::string m) {
+  return {StatusCode::kNotFound, std::move(m)};
+}
+inline Status AlreadyExists(std::string m) {
+  return {StatusCode::kAlreadyExists, std::move(m)};
+}
+inline Status ResourceExhausted(std::string m) {
+  return {StatusCode::kResourceExhausted, std::move(m)};
+}
+inline Status Unavailable(std::string m) {
+  return {StatusCode::kUnavailable, std::move(m)};
+}
+inline Status IoError(std::string m) {
+  return {StatusCode::kIoError, std::move(m)};
+}
+inline Status Cancelled(std::string m) {
+  return {StatusCode::kCancelled, std::move(m)};
+}
+inline Status Internal(std::string m) {
+  return {StatusCode::kInternal, std::move(m)};
+}
+
+/// Value-or-status. Like absl::StatusOr but tiny.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT(implicit)
+    assert(!std::get<Status>(rep_).ok() && "OK status without a value");
+  }
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(implicit)
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+#define JBS_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::jbs::Status _st = (expr);              \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+}  // namespace jbs

@@ -1,0 +1,42 @@
+#include "common/thread_pool.h"
+
+#include "common/logging.h"
+
+namespace jbs {
+
+ThreadPool::ThreadPool(size_t num_threads, std::string name)
+    : name_(std::move(name)) {
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  return tasks_.Push(std::move(task));
+}
+
+void ThreadPool::Shutdown() {
+  tasks_.Close();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    auto task = tasks_.Pop();
+    if (!task) return;
+    try {
+      (*task)();
+    } catch (const std::exception& e) {
+      JBS_ERROR << "uncaught exception in pool '" << name_
+                << "': " << e.what();
+    }
+  }
+}
+
+}  // namespace jbs

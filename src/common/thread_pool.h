@@ -1,0 +1,49 @@
+// Simple fixed-size thread pool. Used where Hadoop would spawn servlet /
+// copier threads; JBS itself deliberately uses few threads (3 per
+// NetMerger), which the CPU-utilization benches account for.
+#pragma once
+
+#include <functional>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/blocking_queue.h"
+
+namespace jbs {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads, std::string name = "pool");
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; returns false if the pool is shutting down.
+  bool Submit(std::function<void()> task);
+
+  /// Enqueues a task and returns a future for its completion.
+  template <typename F>
+  auto Async(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    auto fut = task->get_future();
+    Submit([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Stops accepting work, drains the queue, joins all threads.
+  void Shutdown();
+
+  size_t size() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::string name_;
+  BlockingQueue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace jbs

@@ -1,0 +1,344 @@
+#include "hdfs/minidfs.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+
+namespace jbs::hdfs {
+
+namespace fs = std::filesystem;
+
+MiniDfs::MiniDfs(Options options) : options_(std::move(options)), rng_(options_.seed) {
+  if (options_.num_datanodes < 1) options_.num_datanodes = 1;
+  if (options_.replication < 1) options_.replication = 1;
+  options_.replication = std::min(options_.replication, options_.num_datanodes);
+  for (int node = 0; node < options_.num_datanodes; ++node) {
+    fs::create_directories(DatanodeDir(node));
+  }
+}
+
+fs::path MiniDfs::DatanodeDir(int node) const {
+  return options_.root / ("dn" + std::to_string(node));
+}
+
+fs::path MiniDfs::BlockFile(int node, BlockId id) const {
+  return DatanodeDir(node) / ("blk_" + std::to_string(id));
+}
+
+std::vector<int> MiniDfs::PlaceReplicas(int preferred_node) {
+  std::vector<int> replicas;
+  const int n = options_.num_datanodes;
+  int first = preferred_node;
+  if (first < 0 || first >= n) {
+    first = static_cast<int>(rng_.Below(static_cast<uint64_t>(n)));
+  }
+  replicas.push_back(first);
+  // Remaining replicas: distinct random nodes (rack-awareness is out of
+  // scope for a single-machine DFS).
+  while (replicas.size() < static_cast<size_t>(options_.replication)) {
+    const int candidate = static_cast<int>(rng_.Below(static_cast<uint64_t>(n)));
+    if (std::find(replicas.begin(), replicas.end(), candidate) ==
+        replicas.end()) {
+      replicas.push_back(candidate);
+    }
+  }
+  return replicas;
+}
+
+Status MiniDfs::StoreBlock(const BlockInfo& block,
+                           std::span<const uint8_t> data) {
+  for (int node : block.replicas) {
+    std::ofstream out(BlockFile(node, block.id), std::ios::binary);
+    if (!out) {
+      return IoError("cannot create block file for block " +
+                     std::to_string(block.id));
+    }
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    if (!out) {
+      return IoError("short write for block " + std::to_string(block.id));
+    }
+  }
+  return Status::Ok();
+}
+
+Status MiniDfs::CommitFile(FileInfo info) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.count(info.path) > 0) {
+    return AlreadyExists(info.path);
+  }
+  for (const BlockInfo& block : info.blocks) {
+    block_locations_[block.id] = block.replicas;
+  }
+  files_[info.path] = std::move(info);
+  return Status::Ok();
+}
+
+Status MiniDfs::WriteFile(const std::string& path,
+                          std::span<const uint8_t> data, int preferred_node) {
+  auto writer = Create(path, preferred_node);
+  JBS_RETURN_IF_ERROR(writer.status());
+  JBS_RETURN_IF_ERROR(writer->Append(data));
+  return writer->Close();
+}
+
+StatusOr<MiniDfs::Writer> MiniDfs::Create(const std::string& path,
+                                          int preferred_node) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (files_.count(path) > 0) return AlreadyExists(path);
+  }
+  return Writer(this, path, preferred_node);
+}
+
+MiniDfs::Writer::Writer(MiniDfs* dfs, std::string path, int preferred_node)
+    : dfs_(dfs), path_(std::move(path)), preferred_node_(preferred_node) {
+  info_.path = path_;
+}
+
+MiniDfs::Writer::Writer(Writer&& other) noexcept
+    : dfs_(other.dfs_),
+      path_(std::move(other.path_)),
+      preferred_node_(other.preferred_node_),
+      info_(std::move(other.info_)),
+      pending_(std::move(other.pending_)),
+      closed_(other.closed_) {
+  other.closed_ = true;  // moved-from writer must not commit
+  other.dfs_ = nullptr;
+}
+
+MiniDfs::Writer::~Writer() {
+  if (!closed_ && dfs_ != nullptr) {
+    JBS_WARN << "MiniDfs::Writer for " << path_
+             << " destroyed without Close(); file discarded";
+  }
+}
+
+Status MiniDfs::Writer::FinishBlock() {
+  if (pending_.empty()) return Status::Ok();
+  BlockInfo block;
+  {
+    std::lock_guard<std::mutex> lock(dfs_->mu_);
+    block.id = dfs_->next_block_id_++;
+  }
+  block.length = pending_.size();
+  block.checksum = Crc32(pending_);
+  block.replicas = dfs_->PlaceReplicas(preferred_node_);
+  JBS_RETURN_IF_ERROR(dfs_->StoreBlock(block, pending_));
+  info_.length += block.length;
+  info_.blocks.push_back(std::move(block));
+  pending_.clear();
+  return Status::Ok();
+}
+
+Status MiniDfs::Writer::Append(std::span<const uint8_t> data) {
+  if (closed_) return Internal("append after close");
+  const uint64_t block_size = dfs_->options_.block_size;
+  size_t offset = 0;
+  while (offset < data.size()) {
+    const size_t room = static_cast<size_t>(block_size) - pending_.size();
+    const size_t chunk = std::min(room, data.size() - offset);
+    pending_.insert(pending_.end(), data.begin() + static_cast<ptrdiff_t>(offset),
+                    data.begin() + static_cast<ptrdiff_t>(offset + chunk));
+    offset += chunk;
+    if (pending_.size() == block_size) {
+      JBS_RETURN_IF_ERROR(FinishBlock());
+    }
+  }
+  return Status::Ok();
+}
+
+Status MiniDfs::Writer::Close() {
+  if (closed_) return Internal("double close");
+  closed_ = true;
+  JBS_RETURN_IF_ERROR(FinishBlock());
+  return dfs_->CommitFile(std::move(info_));
+}
+
+Status MiniDfs::ReadRange(const std::string& path, uint64_t offset,
+                          uint64_t length, std::vector<uint8_t>& out) const {
+  FileInfo info;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(path);
+    if (it == files_.end()) return NotFound(path);
+    info = it->second;
+  }
+  if (offset + length > info.length) {
+    return InvalidArgument("range beyond EOF of " + path);
+  }
+  out.clear();
+  out.reserve(length);
+  uint64_t block_start = 0;
+  for (const BlockInfo& block : info.blocks) {
+    const uint64_t block_end = block_start + block.length;
+    if (block_end > offset && block_start < offset + length) {
+      const uint64_t read_from = std::max(offset, block_start) - block_start;
+      const uint64_t read_to =
+          std::min(offset + length, block_end) - block_start;
+      std::ifstream in(BlockFile(block.replicas.front(), block.id),
+                       std::ios::binary);
+      if (!in) return IoError("missing block " + std::to_string(block.id));
+      in.seekg(static_cast<std::streamoff>(read_from));
+      const size_t want = static_cast<size_t>(read_to - read_from);
+      const size_t prior = out.size();
+      out.resize(prior + want);
+      in.read(reinterpret_cast<char*>(out.data() + prior),
+              static_cast<std::streamsize>(want));
+      if (static_cast<size_t>(in.gcount()) != want) {
+        return IoError("short read from block " + std::to_string(block.id));
+      }
+      // Whole-block reads are cheap to verify (HDFS checks every read;
+      // we check when the read covers the full block).
+      if (options_.verify_checksums && read_from == 0 &&
+          read_to == block.length) {
+        const uint32_t crc = Crc32({out.data() + prior, want});
+        if (crc != block.checksum) {
+          return IoError("checksum mismatch in block " +
+                         std::to_string(block.id));
+        }
+      }
+    }
+    block_start = block_end;
+    if (block_start >= offset + length) break;
+  }
+  return Status::Ok();
+}
+
+Status MiniDfs::ReadFile(const std::string& path,
+                         std::vector<uint8_t>& out) const {
+  auto info = Stat(path);
+  JBS_RETURN_IF_ERROR(info.status());
+  return ReadRange(path, 0, info->length, out);
+}
+
+StatusOr<FileInfo> MiniDfs::Stat(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return NotFound(path);
+  return it->second;
+}
+
+std::vector<std::string> MiniDfs::ListFiles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, info] : files_) out.push_back(path);
+  return out;
+}
+
+Status MiniDfs::Delete(const std::string& path) {
+  FileInfo info;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(path);
+    if (it == files_.end()) return NotFound(path);
+    info = std::move(it->second);
+    files_.erase(it);
+    for (const BlockInfo& block : info.blocks) {
+      block_locations_.erase(block.id);
+    }
+  }
+  for (const BlockInfo& block : info.blocks) {
+    for (int node : block.replicas) {
+      std::error_code ec;
+      fs::remove(BlockFile(node, block.id), ec);
+    }
+  }
+  return Status::Ok();
+}
+
+bool MiniDfs::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) > 0;
+}
+
+StatusOr<std::vector<InputSplit>> MiniDfs::GetSplits(
+    const std::string& path, uint64_t split_size) const {
+  auto info = Stat(path);
+  JBS_RETURN_IF_ERROR(info.status());
+  if (split_size == 0) split_size = options_.block_size;
+  std::vector<InputSplit> splits;
+  uint64_t offset = 0;
+  size_t block_index = 0;
+  uint64_t block_start = 0;
+  while (offset < info->length) {
+    const uint64_t length = std::min(split_size, info->length - offset);
+    // Locality: the datanodes of the block containing the split start.
+    while (block_index + 1 < info->blocks.size() &&
+           block_start + info->blocks[block_index].length <= offset) {
+      block_start += info->blocks[block_index].length;
+      ++block_index;
+    }
+    InputSplit split;
+    split.path = path;
+    split.offset = offset;
+    split.length = length;
+    if (block_index < info->blocks.size()) {
+      split.hosts = info->blocks[block_index].replicas;
+    }
+    splits.push_back(std::move(split));
+    offset += length;
+  }
+  return splits;
+}
+
+StatusOr<std::filesystem::path> MiniDfs::BlockPath(BlockId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = block_locations_.find(id);
+  if (it == block_locations_.end()) {
+    return NotFound("block " + std::to_string(id));
+  }
+  return BlockFile(it->second.front(), id);
+}
+
+StatusOr<uint64_t> MiniDfs::Fsck() const {
+  std::vector<FileInfo> files;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    files.reserve(files_.size());
+    for (const auto& [path, info] : files_) files.push_back(info);
+  }
+  uint64_t corrupt = 0;
+  std::vector<uint8_t> data;
+  for (const FileInfo& info : files) {
+    for (const BlockInfo& block : info.blocks) {
+      for (int node : block.replicas) {
+        std::ifstream in(BlockFile(node, block.id), std::ios::binary);
+        if (!in) {
+          JBS_WARN << "fsck: replica of block " << block.id << " on dn"
+                   << node << " missing";
+          ++corrupt;
+          continue;
+        }
+        data.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+        if (data.size() != block.length || Crc32(data) != block.checksum) {
+          JBS_WARN << "fsck: replica of block " << block.id << " on dn"
+                   << node << " corrupt (" << info.path << ")";
+          ++corrupt;
+        }
+      }
+    }
+  }
+  return corrupt;
+}
+
+MiniDfs::UsageReport MiniDfs::Usage() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  UsageReport report;
+  report.files = files_.size();
+  for (const auto& [path, info] : files_) {
+    report.bytes += info.length;
+    report.blocks += info.blocks.size();
+    for (const BlockInfo& block : info.blocks) {
+      report.replica_bytes += block.length * block.replicas.size();
+    }
+  }
+  return report;
+}
+
+}  // namespace jbs::hdfs

@@ -1,0 +1,141 @@
+// MiniDFS: a single-machine stand-in for HDFS with the pieces MapReduce
+// actually depends on — a namenode's file->block metadata, block files on
+// local disks per logical datanode, replica placement, and input splits
+// with locality hints. Real bytes on a real filesystem; "nodes" are logical
+// so a 22-slave layout can be exercised on one machine.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace jbs::hdfs {
+
+using BlockId = uint64_t;
+
+struct BlockInfo {
+  BlockId id = 0;
+  uint64_t length = 0;
+  uint32_t checksum = 0;      // CRC32 of the block contents (HDFS-style)
+  std::vector<int> replicas;  // datanode ids holding this block
+};
+
+struct FileInfo {
+  std::string path;
+  uint64_t length = 0;
+  std::vector<BlockInfo> blocks;
+};
+
+/// One input split for a MapTask: a contiguous byte range of a file plus
+/// the datanodes that hold it locally (for delay-scheduling-style locality).
+struct InputSplit {
+  std::string path;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  std::vector<int> hosts;
+};
+
+class MiniDfs {
+ public:
+  struct Options {
+    std::filesystem::path root;     // storage root directory
+    int num_datanodes = 1;          // logical datanodes
+    int replication = 1;            // replicas per block
+    uint64_t block_size = 256ull << 20;  // paper default: 256 MB
+    uint64_t seed = 1;              // placement randomization
+    bool verify_checksums = true;   // CRC-check whole-block reads, like
+                                    // HDFS's client-side checksumming
+  };
+
+  explicit MiniDfs(Options options);
+
+  /// Creates a file from a contiguous buffer, splitting into blocks and
+  /// placing replicas (first replica on `preferred_node` if >= 0).
+  Status WriteFile(const std::string& path, std::span<const uint8_t> data,
+                   int preferred_node = -1);
+
+  /// Appends to an open-for-write file via a writer object.
+  class Writer {
+   public:
+    ~Writer();
+    Writer(Writer&&) noexcept;
+    Writer& operator=(Writer&&) = delete;
+    Status Append(std::span<const uint8_t> data);
+    /// Seals the file into the namespace. Must be called exactly once.
+    Status Close();
+
+   private:
+    friend class MiniDfs;
+    Writer(MiniDfs* dfs, std::string path, int preferred_node);
+    Status FinishBlock();
+
+    MiniDfs* dfs_;
+    std::string path_;
+    int preferred_node_;
+    FileInfo info_;
+    std::vector<uint8_t> pending_;
+    bool closed_ = false;
+  };
+  StatusOr<Writer> Create(const std::string& path, int preferred_node = -1);
+
+  /// Reads [offset, offset+length) of a file into `out` (resized).
+  Status ReadRange(const std::string& path, uint64_t offset, uint64_t length,
+                   std::vector<uint8_t>& out) const;
+
+  /// Reads the whole file.
+  Status ReadFile(const std::string& path, std::vector<uint8_t>& out) const;
+
+  StatusOr<FileInfo> Stat(const std::string& path) const;
+  std::vector<std::string> ListFiles() const;
+  Status Delete(const std::string& path);
+  bool Exists(const std::string& path) const;
+
+  /// Splits a file for MapTasks. split_size defaults to the block size
+  /// (Hadoop's default: one split per block).
+  StatusOr<std::vector<InputSplit>> GetSplits(const std::string& path,
+                                              uint64_t split_size = 0) const;
+
+  uint64_t block_size() const { return options_.block_size; }
+  int num_datanodes() const { return options_.num_datanodes; }
+
+  /// Path of the primary replica's block file (for direct/mmap access by
+  /// the native shuffle components).
+  StatusOr<std::filesystem::path> BlockPath(BlockId id) const;
+
+  /// Re-reads every replica of every block and verifies its checksum —
+  /// an fsck-style integrity sweep. Returns the number of corrupt
+  /// replicas found (with details logged), or an error on I/O failure.
+  StatusOr<uint64_t> Fsck() const;
+
+  struct UsageReport {
+    uint64_t files = 0;
+    uint64_t blocks = 0;
+    uint64_t bytes = 0;
+    uint64_t replica_bytes = 0;  // bytes including replication
+  };
+  UsageReport Usage() const;
+
+ private:
+  std::filesystem::path DatanodeDir(int node) const;
+  std::filesystem::path BlockFile(int node, BlockId id) const;
+  std::vector<int> PlaceReplicas(int preferred_node);
+  Status StoreBlock(const BlockInfo& block, std::span<const uint8_t> data);
+  Status CommitFile(FileInfo info);
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::map<std::string, FileInfo> files_;
+  std::map<BlockId, std::vector<int>> block_locations_;
+  BlockId next_block_id_ = 1;
+  Rng rng_;
+};
+
+}  // namespace jbs::hdfs

@@ -1,0 +1,31 @@
+#include "jbs/index_cache.h"
+
+namespace jbs::shuffle {
+
+StatusOr<mr::MofIndex> IndexCache::GetOrLoad(const mr::MofHandle& handle) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto* cached = cache_.Get(handle.map_task)) {
+      ++stats_.hits;
+      return *cached;
+    }
+    ++stats_.misses;
+  }
+  auto index = mr::MofIndex::Load(handle.index_path);
+  JBS_RETURN_IF_ERROR(index.status());
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.Put(handle.map_task, *index);
+  return std::move(index).value();
+}
+
+IndexCache::Stats IndexCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t IndexCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+}  // namespace jbs::shuffle

@@ -1,0 +1,33 @@
+// IndexCache (§III-B): caches parsed MOF index files so segment lookups
+// don't re-read the index from disk for every fetch request.
+#pragma once
+
+#include <mutex>
+
+#include "common/lru_cache.h"
+#include "common/status.h"
+#include "mapred/mof.h"
+
+namespace jbs::shuffle {
+
+class IndexCache {
+ public:
+  explicit IndexCache(size_t capacity = 1024) : cache_(capacity) {}
+
+  /// Returns the index for `handle`, loading and caching it on a miss.
+  StatusOr<mr::MofIndex> GetOrLoad(const mr::MofHandle& handle);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+  Stats stats() const;
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  LruCache<int, mr::MofIndex> cache_;  // map_task -> parsed index
+  Stats stats_;
+};
+
+}  // namespace jbs::shuffle

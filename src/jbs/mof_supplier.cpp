@@ -1,0 +1,271 @@
+#include "jbs/mof_supplier.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace jbs::shuffle {
+
+namespace {
+
+/// pread the range into `out` (already sized).
+Status PreadRange(const std::filesystem::path& path, uint64_t offset,
+                  std::span<uint8_t> out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return IoError("open " + path.string());
+  size_t done = 0;
+  Status status;
+  while (done < out.size()) {
+    const ssize_t n = ::pread(fd, out.data() + done, out.size() - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      status = IoError("pread " + path.string());
+      break;
+    }
+    if (n == 0) {
+      status = IoError("unexpected EOF in " + path.string());
+      break;
+    }
+    done += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  return status;
+}
+
+}  // namespace
+
+MofSupplier::MofSupplier(Options options)
+    : options_(options),
+      data_cache_(options.buffer_size, options.buffer_count),
+      index_cache_(options.index_cache_entries) {}
+
+MofSupplier::~MofSupplier() { Stop(); }
+
+Status MofSupplier::Start() {
+  if (options_.transport == nullptr) {
+    return InvalidArgument("MofSupplier needs a transport");
+  }
+  auto endpoint = options_.transport->CreateServer();
+  JBS_RETURN_IF_ERROR(endpoint.status());
+  endpoint_ = std::move(endpoint).value();
+  net::ServerEndpoint::Handlers handlers;
+  handlers.on_frame = [this](net::ConnId conn, Frame frame) {
+    OnFrame(conn, std::move(frame));
+  };
+  JBS_RETURN_IF_ERROR(endpoint_->Start(std::move(handlers)));
+  disk_thread_ = std::thread([this] { DiskLoop(); });
+  return Status::Ok();
+}
+
+uint16_t MofSupplier::port() const {
+  return endpoint_ ? endpoint_->port() : 0;
+}
+
+Status MofSupplier::PublishMof(const mr::MofHandle& handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  published_[handle.map_task] = handle;
+  return Status::Ok();
+}
+
+void MofSupplier::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  if (disk_thread_.joinable()) disk_thread_.join();
+  if (endpoint_) endpoint_->Stop();
+}
+
+mr::ShuffleServer::Stats MofSupplier::stats() const {
+  Stats out;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  out.requests = stats_.requests;
+  out.bytes_served = stats_.bytes_served;
+  return out;
+}
+
+MofSupplier::SupplierStats MofSupplier::supplier_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  SupplierStats out = stats_;
+  out.index = index_cache_.stats();
+  return out;
+}
+
+void MofSupplier::OnFrame(net::ConnId conn, Frame frame) {
+  auto request = DecodeRequest(frame);
+  if (!request) {
+    JBS_WARN << "MofSupplier: undecodable frame type "
+             << static_cast<int>(frame.type);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests;
+  }
+  PendingRequest pending{conn, *request, std::chrono::steady_clock::now()};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int group_key =
+        options_.pipelined ? request->map_task
+                           : -1;  // serialized mode: one global FIFO
+    auto& queue = groups_[group_key];
+    if (options_.pipelined) {
+      // Order within a group by (partition, offset) so consecutive disk
+      // reads walk the MOF forward.
+      auto insert_at = std::find_if(
+          queue.begin(), queue.end(), [&](const PendingRequest& other) {
+            if (other.request.partition != request->partition) {
+              return request->partition < other.request.partition;
+            }
+            return request->offset < other.request.offset;
+          });
+      queue.insert(insert_at, std::move(pending));
+    } else {
+      queue.push_back(std::move(pending));
+    }
+    // Iterators into std::map stay valid across insertions; only reset the
+    // cursor if it was exhausted.
+    if (rr_cursor_ == groups_.end()) rr_cursor_ = groups_.begin();
+  }
+  work_cv_.notify_one();
+}
+
+void MofSupplier::DiskLoop() {
+  for (;;) {
+    std::vector<PendingRequest> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stopping_ ||
+               std::any_of(groups_.begin(), groups_.end(),
+                           [](const auto& kv) { return !kv.second.empty(); });
+      });
+      if (stopping_) return;
+      // Round-robin across MOF groups: take up to prefetch_batch requests
+      // from the cursor's group, then advance the cursor.
+      if (rr_cursor_ == groups_.end()) rr_cursor_ = groups_.begin();
+      auto start = rr_cursor_;
+      while (rr_cursor_->second.empty()) {
+        ++rr_cursor_;
+        if (rr_cursor_ == groups_.end()) rr_cursor_ = groups_.begin();
+        if (rr_cursor_ == start && rr_cursor_->second.empty()) break;
+      }
+      auto& queue = rr_cursor_->second;
+      const int take =
+          options_.pipelined ? options_.prefetch_batch : 1;
+      for (int i = 0; i < take && !queue.empty(); ++i) {
+        batch.push_back(std::move(queue.front()));
+        queue.pop_front();
+      }
+      ++rr_cursor_;
+      if (rr_cursor_ == groups_.end()) rr_cursor_ = groups_.begin();
+    }
+    if (batch.empty()) continue;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.batches;
+    }
+    for (const PendingRequest& pending : batch) {
+      ServeOne(pending);
+    }
+  }
+}
+
+void MofSupplier::ServeOne(const PendingRequest& pending) {
+  const FetchRequest& request = pending.request;
+  mr::MofHandle handle;
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = published_.find(request.map_task);
+    if (it != published_.end()) {
+      handle = it->second;
+      found = true;
+    }
+  }
+  if (!found) {
+    SendError(pending.conn, request, "unknown MOF");
+    return;
+  }
+  auto index = index_cache_.GetOrLoad(handle);
+  if (!index.ok()) {
+    SendError(pending.conn, request, index.status().ToString());
+    return;
+  }
+  if (request.partition < 0 || request.partition >= index->num_partitions()) {
+    SendError(pending.conn, request, "partition out of range");
+    return;
+  }
+  const mr::IndexEntry& entry = index->entry(request.partition);
+  if (request.offset > entry.length) {
+    SendError(pending.conn, request, "offset beyond segment");
+    return;
+  }
+  // Chunk size: bounded by the client's ask, our transport buffer, and
+  // what's left of the segment.
+  const uint64_t remaining = entry.length - request.offset;
+  const uint64_t chunk =
+      std::min<uint64_t>({remaining, request.max_len,
+                          options_.buffer_size - kDataHeaderSize});
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (last_served_mof_ != request.map_task) {
+      ++stats_.group_switches;
+      last_served_mof_ = request.map_task;
+    }
+  }
+
+  // DataCache buffer: bounds in-flight disk reads; released after the data
+  // is copied into the outgoing frame.
+  PooledBuffer buffer = data_cache_.Acquire();
+  if (chunk > 0) {
+    Status st = PreadRange(handle.data_path,
+                           entry.offset + request.offset,
+                           {buffer.data(), static_cast<size_t>(chunk)});
+    if (!st.ok()) {
+      SendError(pending.conn, request, st.ToString());
+      return;
+    }
+  }
+  FetchDataHeader header;
+  header.map_task = request.map_task;
+  header.partition = request.partition;
+  header.offset = request.offset;
+  header.segment_total = entry.length;
+  header.flags = index->compressed() ? kSegmentCompressed : 0;
+  Frame frame = EncodeData(header, {buffer.data(),
+                                    static_cast<size_t>(chunk)});
+  buffer.Release();
+  Status st = endpoint_->SendAsync(pending.conn, std::move(frame));
+  const double latency_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - pending.enqueued)
+          .count();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (st.ok()) {
+    stats_.bytes_served += chunk;
+    stats_.request_latency_ms.Add(latency_ms);
+  } else {
+    ++stats_.errors;
+  }
+}
+
+void MofSupplier::SendError(net::ConnId conn, const FetchRequest& request,
+                            const std::string& message) {
+  FetchError error;
+  error.map_task = request.map_task;
+  error.partition = request.partition;
+  error.message = message;
+  endpoint_->SendAsync(conn, EncodeError(error));
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.errors;
+}
+
+}  // namespace jbs::shuffle

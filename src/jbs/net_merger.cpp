@@ -1,0 +1,267 @@
+#include "jbs/net_merger.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/logging.h"
+#include "jbs/protocol.h"
+
+namespace jbs::shuffle {
+
+NetMerger::NetMerger(Options options)
+    : options_(options),
+      connections_(options.transport, options.connection_cache_capacity) {
+  workers_.reserve(static_cast<size_t>(options_.data_threads));
+  for (int i = 0; i < options_.data_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+NetMerger::~NetMerger() { Stop(); }
+
+void NetMerger::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  connections_.CloseAll();
+}
+
+mr::ShuffleClient::Stats NetMerger::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  Stats out;
+  out.fetches = stats_.fetches;
+  out.bytes_fetched = stats_.bytes_fetched;
+  out.connections_opened = stats_.connections_opened;
+  return out;
+}
+
+NetMerger::MergerStats NetMerger::merger_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  MergerStats out = stats_;
+  // Consolidated dials are counted by the connection manager; ablation-mode
+  // per-fetch dials are counted directly in stats_.
+  out.connections_opened += connections_.stats().misses;
+  return out;
+}
+
+StatusOr<std::unique_ptr<mr::RecordStream>> NetMerger::FetchAndMerge(
+    int partition, const std::vector<mr::MofLocation>& sources) {
+  auto context = std::make_shared<CallContext>();
+  context->remaining = sources.size();
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    if (stopping_) return Unavailable("NetMerger stopped");
+    // Consolidation: requests are grouped by target node, ordered by
+    // arrival within each group.
+    for (const mr::MofLocation& source : sources) {
+      node_queues_[NodeKey(source)].push_back(
+          FetchTask{source, partition, context});
+    }
+  }
+  work_cv_.notify_all();
+
+  std::unique_lock<std::mutex> lock(context->mu);
+  context->done_cv.wait(lock, [&] { return context->remaining == 0; });
+  if (!context->error.ok()) return context->error;
+
+  // Network-levitated merge: all segments live in memory; merge directly.
+  std::vector<std::unique_ptr<mr::RecordStream>> streams;
+  streams.reserve(sources.size());
+  for (const mr::MofLocation& source : sources) {
+    auto it = context->segments.find(source.map_task);
+    if (it == context->segments.end()) {
+      return Internal("segment missing for map " +
+                      std::to_string(source.map_task));
+    }
+    auto stream = mr::OpenSegment(std::move(it->second.bytes),
+                                  it->second.compressed);
+    JBS_RETURN_IF_ERROR(stream.status());
+    streams.push_back(std::move(stream).value());
+  }
+  if (options_.merge_fan_in > 0 &&
+      streams.size() > options_.merge_fan_in) {
+    return mr::HierarchicalMerge(std::move(streams), options_.merge_fan_in);
+  }
+  return std::unique_ptr<mr::RecordStream>(
+      std::make_unique<mr::KWayMerger>(std::move(streams)));
+}
+
+bool NetMerger::NextTask(std::string* node, FetchTask* task) {
+  std::unique_lock<std::mutex> lock(sched_mu_);
+  for (;;) {
+    if (stopping_) return false;
+    // Candidate nodes: nonempty queue, not currently serviced by another
+    // data thread (one in-flight conversation per connection).
+    auto take_from = [&](const std::string& key,
+                         std::deque<FetchTask>& queue) {
+      *node = key;
+      *task = std::move(queue.front());
+      queue.pop_front();
+      busy_nodes_.insert(key);
+      if (options_.round_robin) rr_last_ = key;
+      return true;
+    };
+    if (options_.round_robin && !node_queues_.empty()) {
+      // Start scanning strictly after the last serviced node, wrapping.
+      auto start = node_queues_.upper_bound(rr_last_);
+      for (size_t i = 0; i < node_queues_.size(); ++i) {
+        if (start == node_queues_.end()) start = node_queues_.begin();
+        if (!start->second.empty() && !busy_nodes_.contains(start->first)) {
+          return take_from(start->first, start->second);
+        }
+        ++start;
+      }
+    } else {
+      // FIFO-by-key-order (the unbalanced policy JBS replaces).
+      for (auto& [key, queue] : node_queues_) {
+        if (!queue.empty() && !busy_nodes_.contains(key)) {
+          return take_from(key, queue);
+        }
+      }
+    }
+    work_cv_.wait(lock);
+  }
+}
+
+void NetMerger::WorkerLoop() {
+  std::string node;
+  FetchTask task;
+  std::string last_node;
+  while (NextTask(&node, &task)) {
+    if (node != last_node && !last_node.empty()) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.node_switches;
+    }
+    last_node = node;
+    ExecuteTask(node, task);
+    {
+      std::lock_guard<std::mutex> lock(sched_mu_);
+      busy_nodes_.erase(node);
+    }
+    work_cv_.notify_all();
+  }
+}
+
+void NetMerger::ExecuteTask(const std::string& node, const FetchTask& task) {
+  // Transient fetch failures (dropped connection, refused dial) are
+  // retried with exponential backoff, re-dialing each time — a fetch
+  // failure must not fail the ReduceTask the way a map-side fault would.
+  StatusOr<FetchedSegment> result = Unavailable("not fetched");
+  for (int attempt = 0; attempt < options_.max_fetch_attempts; ++attempt) {
+    if (attempt > 0) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.fetch_retries;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          options_.retry_backoff_ms << (attempt - 1)));
+    }
+    if (options_.consolidate) {
+      auto conn =
+          connections_.GetOrConnect(task.source.host, task.source.port);
+      if (conn.ok()) {
+        result = FetchSegment(**conn, task);
+        if (!result.ok()) {
+          connections_.Invalidate(task.source.host, task.source.port);
+        }
+      } else {
+        result = conn.status();
+      }
+    } else {
+      // Ablation / Hadoop-style: a fresh connection per fetch.
+      auto conn =
+          options_.transport->Connect(task.source.host, task.source.port);
+      if (conn.ok()) {
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.connections_opened;
+        }
+        result = FetchSegment(**conn, task);
+        (*conn)->Close();
+      } else {
+        result = conn.status();
+      }
+    }
+    if (result.ok()) break;
+    // Permanent errors (the server answered with kFetchError) don't heal
+    // with retries.
+    if (result.status().code() == StatusCode::kIoError &&
+        result.status().message().rfind("fetch error:", 0) == 0) {
+      break;
+    }
+  }
+  (void)node;
+  CompleteTask(task, std::move(result));
+}
+
+StatusOr<NetMerger::FetchedSegment> NetMerger::FetchSegment(
+    net::Connection& conn, const FetchTask& task) {
+  FetchedSegment fetched;
+  std::vector<uint8_t>& segment = fetched.bytes;
+  uint64_t offset = 0;
+  uint64_t total = 0;
+  bool know_total = false;
+  do {
+    FetchRequest request;
+    request.map_task = task.source.map_task;
+    request.partition = task.partition;
+    request.offset = offset;
+    request.max_len = static_cast<uint32_t>(options_.chunk_size);
+    JBS_RETURN_IF_ERROR(conn.Send(EncodeRequest(request)));
+    auto reply = conn.Receive();
+    JBS_RETURN_IF_ERROR(reply.status());
+    if (reply->type == kFetchError) {
+      auto error = DecodeError(*reply);
+      return IoError("fetch error: " +
+                     (error ? error->message : "undecodable"));
+    }
+    std::span<const uint8_t> data;
+    auto header = DecodeData(*reply, &data);
+    if (!header) return IoError("undecodable fetch data frame");
+    if (header->map_task != task.source.map_task ||
+        header->partition != task.partition || header->offset != offset) {
+      return Internal("fetch reply out of sequence");
+    }
+    total = header->segment_total;
+    fetched.compressed = (header->flags & kSegmentCompressed) != 0;
+    know_total = true;
+    segment.insert(segment.end(), data.begin(), data.end());
+    offset += data.size();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.chunks;
+      stats_.bytes_fetched += data.size();
+    }
+    if (offset < total && data.empty()) {
+      return Internal("server made no progress");
+    }
+  } while (!know_total || offset < total);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.fetches;
+  }
+  return fetched;
+}
+
+void NetMerger::CompleteTask(const FetchTask& task,
+                             StatusOr<FetchedSegment> result) {
+  std::shared_ptr<CallContext> context = task.context;
+  std::lock_guard<std::mutex> lock(context->mu);
+  if (result.ok()) {
+    context->segments[task.source.map_task] = std::move(result).value();
+  } else {
+    if (context->error.ok()) context->error = result.status();
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.fetch_errors;
+  }
+  --context->remaining;
+  if (context->remaining == 0) context->done_cv.notify_all();
+}
+
+}  // namespace jbs::shuffle

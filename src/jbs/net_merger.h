@@ -1,0 +1,111 @@
+// NetMerger (§III-C): the native client half of JBS. One per node, shared
+// by every ReduceTask on that node, replacing their MOFCopier thread pools.
+// Fetch requests from all reducers are consolidated into one queue per
+// remote node (so live connections scale with nodes, not copiers), ordered
+// by arrival within a node, and injected round-robin across nodes to keep
+// any one ReduceTask's burst from monopolizing the network. Fetched
+// segments stay in memory and feed the network-levitated merge — no
+// reduce-side spill.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <thread>
+
+#include "mapred/shuffle.h"
+#include "transport/connection_manager.h"
+#include "transport/transport.h"
+
+namespace jbs::shuffle {
+
+class NetMerger final : public mr::ShuffleClient {
+ public:
+  struct Options {
+    net::Transport* transport = nullptr;  // required
+    int data_threads = 3;                 // paper: 3 native threads
+    size_t chunk_size = 128 * 1024;       // max bytes per fetch round trip
+    size_t connection_cache_capacity = 512;
+    bool consolidate = true;   // ablation: false = connection per fetch
+    bool round_robin = true;   // ablation: false = drain nodes in key order
+    int max_fetch_attempts = 3;      // transient-failure retries per fetch
+    int retry_backoff_ms = 20;       // doubled per attempt
+    size_t merge_fan_in = 0;  // >0: hierarchical merge with this fan-in
+                              // (the follow-up paper's [22] tree merge);
+                              // 0 = flat network-levitated merge
+  };
+
+  explicit NetMerger(Options options);
+  ~NetMerger() override;
+
+  StatusOr<std::unique_ptr<mr::RecordStream>> FetchAndMerge(
+      int partition, const std::vector<mr::MofLocation>& sources) override;
+
+  void Stop() override;
+  Stats stats() const override;
+
+  struct MergerStats {
+    uint64_t fetches = 0;           // segments fetched
+    uint64_t chunks = 0;            // fetch round trips
+    uint64_t bytes_fetched = 0;
+    uint64_t connections_opened = 0;
+    uint64_t node_switches = 0;     // scheduler moved to a different node
+    uint64_t fetch_errors = 0;      // fetches that exhausted all attempts
+    uint64_t fetch_retries = 0;     // transient failures that were retried
+  };
+  MergerStats merger_stats() const;
+
+ private:
+  /// A fully fetched segment plus how to interpret it.
+  struct FetchedSegment {
+    std::vector<uint8_t> bytes;
+    bool compressed = false;
+  };
+
+  /// One FetchAndMerge call in flight.
+  struct CallContext {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t remaining = 0;
+    Status error;
+    std::map<int, FetchedSegment> segments;  // map_task -> segment
+  };
+
+  struct FetchTask {
+    mr::MofLocation source;
+    int partition = 0;
+    std::shared_ptr<CallContext> context;
+  };
+
+  static std::string NodeKey(const mr::MofLocation& loc) {
+    return loc.host + ":" + std::to_string(loc.port);
+  }
+
+  void WorkerLoop();
+  /// Picks the next (node, task) respecting per-node exclusivity and the
+  /// round-robin policy. Blocks until work exists or shutdown.
+  bool NextTask(std::string* node, FetchTask* task);
+  void ExecuteTask(const std::string& node, const FetchTask& task);
+  /// Runs the chunked fetch conversation; returns the segment.
+  StatusOr<FetchedSegment> FetchSegment(net::Connection& conn,
+                                        const FetchTask& task);
+  void CompleteTask(const FetchTask& task, StatusOr<FetchedSegment> result);
+
+  Options options_;
+  net::ConnectionManager connections_;
+
+  std::mutex sched_mu_;
+  std::condition_variable work_cv_;
+  std::map<std::string, std::deque<FetchTask>> node_queues_;
+  std::set<std::string> busy_nodes_;
+  std::string rr_last_;  // last node serviced (round-robin pointer)
+  bool stopping_ = false;
+
+  std::vector<std::thread> workers_;
+  mutable std::mutex stats_mu_;
+  MergerStats stats_;
+};
+
+}  // namespace jbs::shuffle

@@ -1,0 +1,71 @@
+#include "jbs/plugin.h"
+
+namespace jbs::shuffle {
+
+JbsShufflePlugin::JbsShufflePlugin(Options options) : options_(options) {
+  switch (options_.transport) {
+    case TransportKind::kTcp:
+      transport_ = net::MakeTcpTransport();
+      break;
+    case TransportKind::kRdma: {
+      net::RdmaTransportOptions ropts;
+      ropts.buffer_size = options_.buffer_size;
+      transport_ = net::MakeSoftRdmaTransport(ropts);
+      break;
+    }
+  }
+}
+
+JbsShufflePlugin::Options JbsShufflePlugin::OptionsFromConfig(
+    const Config& conf) {
+  Options options;
+  options.transport = conf.GetOr("jbs.transport", "tcp") == "rdma"
+                          ? TransportKind::kRdma
+                          : TransportKind::kTcp;
+  options.buffer_size = static_cast<size_t>(
+      conf.GetSize(conf::kTransportBufferSize, 128 * 1024));
+  options.buffer_count = static_cast<size_t>(
+      conf.GetInt(conf::kTransportBufferCount, 64));
+  options.data_threads =
+      static_cast<int>(conf.GetInt(conf::kNetMergerDataThreads, 3));
+  options.prefetch_batch =
+      static_cast<int>(conf.GetInt(conf::kPrefetchBatch, 4));
+  options.connection_cache_capacity = static_cast<size_t>(
+      conf.GetInt(conf::kConnectionCacheCapacity, 512));
+  options.pipelined = conf.GetBool("jbs.mofsupplier.pipelined", true);
+  options.merge_fan_in =
+      static_cast<size_t>(conf.GetInt("jbs.netmerger.merge.fanin", 0));
+  options.consolidate = conf.GetBool("jbs.netmerger.consolidate", true);
+  options.round_robin = conf.GetBool("jbs.netmerger.roundrobin", true);
+  return options;
+}
+
+std::string JbsShufflePlugin::name() const {
+  return options_.transport == TransportKind::kRdma ? "jbs-rdma" : "jbs-tcp";
+}
+
+std::unique_ptr<mr::ShuffleServer> JbsShufflePlugin::CreateServer(
+    int /*node*/, const Config& /*conf*/) {
+  MofSupplier::Options sopts;
+  sopts.transport = transport_.get();
+  sopts.buffer_size = options_.buffer_size;
+  sopts.buffer_count = options_.buffer_count;
+  sopts.prefetch_batch = options_.prefetch_batch;
+  sopts.pipelined = options_.pipelined;
+  return std::make_unique<MofSupplier>(sopts);
+}
+
+std::unique_ptr<mr::ShuffleClient> JbsShufflePlugin::CreateClient(
+    int /*node*/, const Config& /*conf*/) {
+  NetMerger::Options nopts;
+  nopts.transport = transport_.get();
+  nopts.data_threads = options_.data_threads;
+  nopts.chunk_size = options_.buffer_size - kDataHeaderSize;
+  nopts.connection_cache_capacity = options_.connection_cache_capacity;
+  nopts.consolidate = options_.consolidate;
+  nopts.round_robin = options_.round_robin;
+  nopts.merge_fan_in = options_.merge_fan_in;
+  return std::make_unique<NetMerger>(nopts);
+}
+
+}  // namespace jbs::shuffle

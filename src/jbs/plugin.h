@@ -1,0 +1,55 @@
+// JBS as a transparent plug-in (§III-A): wires a MofSupplier per node and a
+// NetMerger per node into the engine's ShufflePlugin boundary, over either
+// the TCP or the SoftRdma transport. Invoked "based on a runtime user
+// parameter" — here, the Config keys below; when not loaded the engine
+// runs whatever other plugin it was given, unchanged.
+#pragma once
+
+#include <memory>
+
+#include "jbs/mof_supplier.h"
+#include "jbs/net_merger.h"
+#include "mapred/shuffle.h"
+#include "transport/rdma_transport.h"
+#include "transport/transport.h"
+
+namespace jbs::shuffle {
+
+enum class TransportKind { kTcp, kRdma };
+
+struct JbsOptions {
+  TransportKind transport = TransportKind::kTcp;
+  size_t buffer_size = 128 * 1024;
+  size_t buffer_count = 64;
+  int data_threads = 3;
+  int prefetch_batch = 4;
+  size_t connection_cache_capacity = 512;
+  bool pipelined = true;    // MofSupplier prefetch pipeline
+  bool consolidate = true;  // NetMerger connection consolidation
+  bool round_robin = true;  // NetMerger balanced injection
+  size_t merge_fan_in = 0;  // >0 enables the hierarchical merge [22]
+};
+
+class JbsShufflePlugin final : public mr::ShufflePlugin {
+ public:
+  using Options = JbsOptions;
+
+  explicit JbsShufflePlugin(Options options = Options());
+
+  /// Reads jbs.* keys from a Config (transport buffer size etc.).
+  static Options OptionsFromConfig(const Config& conf);
+
+  std::string name() const override;
+  std::unique_ptr<mr::ShuffleServer> CreateServer(int node,
+                                                  const Config& conf) override;
+  std::unique_ptr<mr::ShuffleClient> CreateClient(int node,
+                                                  const Config& conf) override;
+
+  net::Transport* transport() { return transport_.get(); }
+
+ private:
+  Options options_;
+  std::unique_ptr<net::Transport> transport_;
+};
+
+}  // namespace jbs::shuffle

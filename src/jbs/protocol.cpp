@@ -1,0 +1,82 @@
+#include "jbs/protocol.h"
+
+#include "common/bytes.h"
+
+namespace jbs::shuffle {
+
+Frame EncodeRequest(const FetchRequest& request) {
+  Frame frame;
+  frame.type = kFetchRequest;
+  PutU32(frame.payload, static_cast<uint32_t>(request.map_task));
+  PutU32(frame.payload, static_cast<uint32_t>(request.partition));
+  PutU64(frame.payload, request.offset);
+  PutU32(frame.payload, request.max_len);
+  return frame;
+}
+
+std::optional<FetchRequest> DecodeRequest(const Frame& frame) {
+  if (frame.type != kFetchRequest || frame.payload.size() != 20) {
+    return std::nullopt;
+  }
+  const uint8_t* p = frame.payload.data();
+  FetchRequest request;
+  request.map_task = static_cast<int32_t>(GetU32(p));
+  request.partition = static_cast<int32_t>(GetU32(p + 4));
+  request.offset = GetU64(p + 8);
+  request.max_len = GetU32(p + 16);
+  return request;
+}
+
+Frame EncodeData(const FetchDataHeader& header,
+                 std::span<const uint8_t> data) {
+  Frame frame;
+  frame.type = kFetchData;
+  frame.payload.reserve(kDataHeaderSize + data.size());
+  PutU32(frame.payload, static_cast<uint32_t>(header.map_task));
+  PutU32(frame.payload, static_cast<uint32_t>(header.partition));
+  PutU64(frame.payload, header.offset);
+  PutU64(frame.payload, header.segment_total);
+  PutU32(frame.payload, header.flags);
+  frame.payload.insert(frame.payload.end(), data.begin(), data.end());
+  return frame;
+}
+
+std::optional<FetchDataHeader> DecodeData(const Frame& frame,
+                                          std::span<const uint8_t>* data) {
+  if (frame.type != kFetchData || frame.payload.size() < kDataHeaderSize) {
+    return std::nullopt;
+  }
+  const uint8_t* p = frame.payload.data();
+  FetchDataHeader header;
+  header.map_task = static_cast<int32_t>(GetU32(p));
+  header.partition = static_cast<int32_t>(GetU32(p + 4));
+  header.offset = GetU64(p + 8);
+  header.segment_total = GetU64(p + 16);
+  header.flags = GetU32(p + 24);
+  *data = std::span<const uint8_t>(frame.payload).subspan(kDataHeaderSize);
+  return header;
+}
+
+Frame EncodeError(const FetchError& error) {
+  Frame frame;
+  frame.type = kFetchError;
+  PutU32(frame.payload, static_cast<uint32_t>(error.map_task));
+  PutU32(frame.payload, static_cast<uint32_t>(error.partition));
+  frame.payload.insert(frame.payload.end(), error.message.begin(),
+                       error.message.end());
+  return frame;
+}
+
+std::optional<FetchError> DecodeError(const Frame& frame) {
+  if (frame.type != kFetchError || frame.payload.size() < 8) {
+    return std::nullopt;
+  }
+  const uint8_t* p = frame.payload.data();
+  FetchError error;
+  error.map_task = static_cast<int32_t>(GetU32(p));
+  error.partition = static_cast<int32_t>(GetU32(p + 4));
+  error.message.assign(frame.payload.begin() + 8, frame.payload.end());
+  return error;
+}
+
+}  // namespace jbs::shuffle

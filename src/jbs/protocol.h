@@ -1,0 +1,71 @@
+// JBS fetch wire protocol. A fetch conversation moves one MOF segment in
+// transport-buffer-sized chunks:
+//
+//   client -> server : kFetchRequest {map_task, partition, offset, max_len}
+//   server -> client : kFetchData    {map_task, partition, offset,
+//                                     segment_total, flags, data bytes}
+//   server -> client : kFetchError   {map_task, partition, message}
+//
+// Chunking to the transport buffer size is what makes the protocol work
+// unchanged over the verbs backend (pre-posted receive buffers) and what
+// Fig. 11 sweeps.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/framing.h"
+
+namespace jbs::shuffle {
+
+enum FrameType : uint8_t {
+  kFetchRequest = 1,
+  kFetchData = 2,
+  kFetchError = 3,
+};
+
+struct FetchRequest {
+  int32_t map_task = 0;
+  int32_t partition = 0;
+  uint64_t offset = 0;   // into the segment
+  uint32_t max_len = 0;  // server returns at most this many bytes
+};
+
+/// FetchDataHeader flag: segment bytes are block-compressed.
+inline constexpr uint32_t kSegmentCompressed = 1u << 0;
+
+struct FetchDataHeader {
+  int32_t map_task = 0;
+  int32_t partition = 0;
+  uint64_t offset = 0;
+  uint64_t segment_total = 0;  // full segment length, lets the client plan
+  uint32_t flags = 0;          // kSegmentCompressed etc.
+};
+
+struct FetchError {
+  int32_t map_task = 0;
+  int32_t partition = 0;
+  std::string message;
+};
+
+Frame EncodeRequest(const FetchRequest& request);
+std::optional<FetchRequest> DecodeRequest(const Frame& frame);
+
+/// Builds a data frame: header followed by `data`.
+Frame EncodeData(const FetchDataHeader& header, std::span<const uint8_t> data);
+
+/// Decodes header; `data` is set to the payload bytes after it (view into
+/// the frame's payload).
+std::optional<FetchDataHeader> DecodeData(const Frame& frame,
+                                          std::span<const uint8_t>* data);
+
+Frame EncodeError(const FetchError& error);
+std::optional<FetchError> DecodeError(const Frame& frame);
+
+/// Wire size of the data-frame header, for sizing chunk payloads.
+inline constexpr size_t kDataHeaderSize = 4 + 4 + 8 + 8 + 4;
+
+}  // namespace jbs::shuffle

@@ -1,0 +1,34 @@
+#include "mapred/api.h"
+
+#include <algorithm>
+
+namespace jbs::mr {
+
+int RangePartitioner::Partition(std::string_view key,
+                                int num_partitions) const {
+  // upper_bound over split points: number of points <= key.
+  const auto it = std::upper_bound(split_points_.begin(), split_points_.end(),
+                                   key, [](std::string_view k,
+                                           const std::string& point) {
+                                     return k < point;
+                                   });
+  const int partition =
+      static_cast<int>(std::distance(split_points_.begin(), it));
+  return std::min(partition, num_partitions - 1);
+}
+
+std::vector<std::string> RangePartitioner::SelectSplitPoints(
+    std::vector<std::string> sample, int num_partitions) {
+  std::sort(sample.begin(), sample.end());
+  std::vector<std::string> points;
+  if (num_partitions <= 1 || sample.empty()) return points;
+  points.reserve(static_cast<size_t>(num_partitions) - 1);
+  for (int i = 1; i < num_partitions; ++i) {
+    const size_t index = sample.size() * static_cast<size_t>(i) /
+                         static_cast<size_t>(num_partitions);
+    points.push_back(sample[index]);
+  }
+  return points;
+}
+
+}  // namespace jbs::mr

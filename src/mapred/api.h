@@ -1,0 +1,95 @@
+// Public user-facing MapReduce API: the map and reduce interfaces the paper
+// deliberately leaves untouched ("without changing the user programming
+// interfaces such as the user-defined map and reduce functions", §III-A).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "mapred/types.h"
+
+namespace jbs::mr {
+
+/// Receives (key, value) pairs emitted by map or reduce functions.
+class Emitter {
+ public:
+  virtual ~Emitter() = default;
+  virtual void Emit(std::string_view key, std::string_view value) = 0;
+};
+
+/// User map function: one call per input record.
+using MapFn =
+    std::function<void(std::string_view key, std::string_view value,
+                       Emitter& out)>;
+
+/// User reduce function: one call per key group.
+using ReduceFn = std::function<void(
+    const std::string& key, const std::vector<std::string>& values,
+    Emitter& out)>;
+
+/// Optional combiner, same shape as reduce, run on map-side spills.
+using CombineFn = ReduceFn;
+
+/// Maps a key to a reduce partition.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+  virtual int Partition(std::string_view key, int num_partitions) const = 0;
+};
+
+/// Hadoop's default: hash(key) mod R.
+class HashPartitioner final : public Partitioner {
+ public:
+  int Partition(std::string_view key, int num_partitions) const override {
+    // CRC as a stable, platform-independent hash.
+    const uint32_t h = Crc32(
+        {reinterpret_cast<const uint8_t*>(key.data()), key.size()});
+    return static_cast<int>(h % static_cast<uint32_t>(num_partitions));
+  }
+};
+
+/// Range partitioner over sampled split points (Terasort's partitioner:
+/// keeps reduce outputs globally sorted).
+class RangePartitioner final : public Partitioner {
+ public:
+  /// `split_points` must be sorted; partition i gets keys in
+  /// [split_points[i-1], split_points[i]).
+  explicit RangePartitioner(std::vector<std::string> split_points)
+      : split_points_(std::move(split_points)) {}
+
+  int Partition(std::string_view key, int num_partitions) const override;
+
+  /// Chooses R-1 split points from a sample of keys.
+  static std::vector<std::string> SelectSplitPoints(
+      std::vector<std::string> sample, int num_partitions);
+
+ private:
+  std::vector<std::string> split_points_;
+};
+
+/// How an input split's bytes become (key, value) records for map calls.
+enum class InputFormat {
+  kLines,        // key = byte offset (decimal), value = line text
+  kFixedRecords, // fixed-size records; key = first key_width bytes
+};
+
+struct JobSpec {
+  std::string name = "job";
+  std::string input_path;         // MiniDFS path
+  std::string output_dir;         // MiniDFS path prefix for part-r-* files
+  MapFn map;
+  ReduceFn reduce;
+  CombineFn combine;              // optional
+  std::shared_ptr<Partitioner> partitioner =
+      std::make_shared<HashPartitioner>();
+  int num_reducers = 1;
+  InputFormat input_format = InputFormat::kLines;
+  int fixed_record_size = 100;    // for kFixedRecords (Terasort layout)
+  int fixed_key_size = 10;
+};
+
+}  // namespace jbs::mr

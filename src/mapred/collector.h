@@ -1,0 +1,67 @@
+// Map-side output collector: buffers emitted (partition, key, value)
+// triples, sorts by (partition, key), spills to disk when the sort buffer
+// fills, and merges all spills into the task's final MOF + index file.
+// Runs the optional combiner on each spill and on the final merge, exactly
+// where Hadoop runs it.
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "mapred/api.h"
+#include "mapred/mof.h"
+#include "mapred/types.h"
+
+namespace jbs::mr {
+
+class MapOutputCollector final : public Emitter {
+ public:
+  struct Options {
+    int num_partitions = 1;
+    std::shared_ptr<Partitioner> partitioner;
+    size_t sort_buffer_bytes = 64 << 20;  // io.sort.mb analogue
+    std::filesystem::path work_dir;       // spill + final MOF directory
+    CombineFn combiner;                   // optional
+    bool compress = false;  // compress final MOF segments
+                            // (mapred.compress.map.output); spills stay
+                            // raw since they are merged locally anyway
+  };
+
+  explicit MapOutputCollector(Options options);
+
+  /// Emitter interface used by the user map function.
+  void Emit(std::string_view key, std::string_view value) override;
+
+  /// Sorts/spills what remains, merges spills, writes the final MOF.
+  StatusOr<MofHandle> Finish(int map_task, int node);
+
+  uint64_t records_collected() const { return records_; }
+  uint64_t bytes_collected() const { return bytes_; }
+  int spills() const { return spill_count_; }
+  const Status& status() const { return status_; }
+
+ private:
+  struct Entry {
+    int partition;
+    Record record;
+  };
+
+  /// Sorts buffer_ and writes one spill file (a mini-MOF); clears buffer_.
+  void SpillBuffer();
+
+  /// Applies the combiner to a sorted run of same-partition records.
+  std::vector<Record> CombineRun(std::vector<Record> run) const;
+
+  Options options_;
+  std::vector<Entry> buffer_;
+  size_t buffered_bytes_ = 0;
+  uint64_t records_ = 0;
+  uint64_t bytes_ = 0;
+  int spill_count_ = 0;
+  std::vector<MofHandle> spill_handles_;
+  Status status_;
+};
+
+}  // namespace jbs::mr

@@ -1,0 +1,94 @@
+// LocalJobRunner: a miniature Hadoop runtime driving real jobs on real
+// bytes in one process. Logical nodes each get map/reduce slots, a shuffle
+// server, and a shuffle client; task placement honours split locality
+// (HDFS-style) and reducers are assigned round-robin. The shuffle itself is
+// whatever ShufflePlugin is injected — that is the JBS plug-in boundary.
+#pragma once
+
+#include <filesystem>
+#include <mutex>
+
+#include "common/config.h"
+#include "common/status.h"
+#include "hdfs/minidfs.h"
+#include "mapred/api.h"
+#include "mapred/shuffle.h"
+
+namespace jbs::mr {
+
+/// How reduce output is rendered into the DFS output file.
+enum class OutputFormat {
+  kKeyTabValue,  // "key\tvalue\n" text lines
+  kRaw,          // key bytes then value bytes, no separators (Terasort)
+  kValueOnly,    // "value\n" (inverted index style listings)
+};
+
+struct JobCounters {
+  uint64_t map_tasks = 0;
+  uint64_t reduce_tasks = 0;
+  uint64_t map_input_records = 0;
+  uint64_t map_output_records = 0;
+  uint64_t map_output_bytes = 0;
+  uint64_t map_spills = 0;
+  uint64_t reduce_input_records = 0;
+  uint64_t reduce_output_records = 0;
+  uint64_t task_retries = 0;  // failed attempts that were re-executed
+  uint64_t shuffle_bytes = 0;
+  uint64_t local_maps = 0;  // maps scheduled on a node holding their split
+  double map_phase_sec = 0;
+  double reduce_phase_sec = 0;
+  double total_sec = 0;
+  std::vector<std::string> output_files;
+};
+
+class LocalJobRunner {
+ public:
+  struct Options {
+    hdfs::MiniDfs* dfs = nullptr;         // required
+    ShufflePlugin* plugin = nullptr;      // required
+    std::filesystem::path work_dir;       // intermediate data root
+    int num_nodes = 1;
+    int map_slots = 4;                    // per node (paper: 4)
+    int reduce_slots = 2;                 // per node (paper: 2)
+    uint64_t split_size = 0;              // 0 = DFS block size
+    size_t sort_buffer_bytes = 16 << 20;
+    OutputFormat output_format = OutputFormat::kKeyTabValue;
+    int max_task_attempts = 2;  // mapred.map/reduce.max.attempts analogue
+    Config conf;
+  };
+
+  explicit LocalJobRunner(Options options);
+
+  /// Runs one job to completion. Thread-safe against nothing: one job at a
+  /// time per runner (matching JobTracker serialization per job).
+  StatusOr<JobCounters> Run(const JobSpec& spec);
+
+ private:
+  struct MapAssignment {
+    int map_task;
+    int node;
+    hdfs::InputSplit split;
+  };
+
+  /// Locality-aware split->node assignment (delay-scheduling flavoured).
+  std::vector<MapAssignment> AssignMaps(
+      const std::vector<hdfs::InputSplit>& splits, uint64_t* local_maps);
+
+  Status RunMapTask(const JobSpec& spec, const MapAssignment& assignment,
+                    ShuffleServer* server, JobCounters* counters);
+  Status RunReduceTask(const JobSpec& spec, int reduce_task, int node,
+                       ShuffleClient* client,
+                       const std::vector<MofLocation>& sources,
+                       JobCounters* counters);
+
+  /// Parses split bytes into (key,value) map inputs per the input format.
+  Status ForEachInputRecord(
+      const JobSpec& spec, const hdfs::InputSplit& split,
+      const std::function<void(std::string_view, std::string_view)>& fn,
+      uint64_t* records);
+
+  Options options_;
+  std::mutex counters_mu_;
+};
+
+}  // namespace jbs::mr

@@ -1,0 +1,71 @@
+#include "mapred/ifile.h"
+
+#include <cassert>
+
+#include "common/bytes.h"
+
+namespace jbs::mr {
+
+void IFileWriter::Append(const Record& record) {
+  Append(record.key, record.value);
+}
+
+void IFileWriter::Append(std::string_view key, std::string_view value) {
+  assert(!finished_);
+  PutVarint64(buffer_, static_cast<int64_t>(key.size()));
+  PutVarint64(buffer_, static_cast<int64_t>(value.size()));
+  buffer_.insert(buffer_.end(), key.begin(), key.end());
+  buffer_.insert(buffer_.end(), value.begin(), value.end());
+  ++records_;
+}
+
+std::vector<uint8_t> IFileWriter::Finish() {
+  assert(!finished_);
+  finished_ = true;
+  PutVarint64(buffer_, -1);
+  PutVarint64(buffer_, -1);
+  const uint32_t crc = Crc32(buffer_);
+  PutU32(buffer_, crc);
+  return std::move(buffer_);
+}
+
+bool IFileReader::Next(Record* record) {
+  if (done_ || !status_.ok()) return false;
+  auto key_len = GetVarint64(data_, &offset_);
+  auto value_len = GetVarint64(data_, &offset_);
+  if (!key_len || !value_len) {
+    status_ = IoError("truncated IFile segment header");
+    return false;
+  }
+  if (*key_len == -1 && *value_len == -1) {
+    done_ = true;
+    return false;
+  }
+  if (*key_len < 0 || *value_len < 0 ||
+      offset_ + static_cast<uint64_t>(*key_len) +
+              static_cast<uint64_t>(*value_len) >
+          data_.size()) {
+    status_ = IoError("corrupt IFile record lengths");
+    return false;
+  }
+  record->key.assign(reinterpret_cast<const char*>(data_.data() + offset_),
+                     static_cast<size_t>(*key_len));
+  offset_ += static_cast<size_t>(*key_len);
+  record->value.assign(reinterpret_cast<const char*>(data_.data() + offset_),
+                       static_cast<size_t>(*value_len));
+  offset_ += static_cast<size_t>(*value_len);
+  ++records_read_;
+  return true;
+}
+
+Status IFileReader::VerifyChecksum() const {
+  if (data_.size() < 4) return IoError("segment shorter than trailer");
+  const uint32_t stored = GetU32(data_.data() + data_.size() - 4);
+  const uint32_t computed = Crc32(data_.first(data_.size() - 4));
+  if (stored != computed) {
+    return IoError("IFile checksum mismatch");
+  }
+  return Status::Ok();
+}
+
+}  // namespace jbs::mr

@@ -1,0 +1,68 @@
+// IFile-style segment record format (the layout inside one MOF partition
+// segment):
+//
+//   repeat: varint(key_len) varint(value_len) key value
+//   end:    varint(-1) varint(-1)
+//   trailer: u32 crc32 over everything before the trailer
+//
+// Matches Hadoop's IFile in spirit: self-delimiting records, an explicit
+// EOF marker so a truncated segment is detectable, and a checksum.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mapred/types.h"
+
+namespace jbs::mr {
+
+/// Serializes records into an in-memory IFile segment.
+class IFileWriter {
+ public:
+  IFileWriter() = default;
+
+  void Append(const Record& record);
+  void Append(std::string_view key, std::string_view value);
+
+  /// Writes the EOF marker + checksum and returns the completed segment.
+  /// The writer must not be reused afterwards.
+  std::vector<uint8_t> Finish();
+
+  uint64_t records() const { return records_; }
+  /// Bytes written so far (excluding the trailer-to-come).
+  size_t bytes() const { return buffer_.size(); }
+
+ private:
+  std::vector<uint8_t> buffer_;
+  uint64_t records_ = 0;
+  bool finished_ = false;
+};
+
+/// Streaming reader over a complete IFile segment.
+class IFileReader {
+ public:
+  explicit IFileReader(std::span<const uint8_t> segment)
+      : data_(segment) {}
+
+  /// Reads the next record. Returns false at the EOF marker. Sets a failed
+  /// status() on malformed input.
+  bool Next(Record* record);
+
+  /// Validates the trailer checksum of the whole segment up front.
+  Status VerifyChecksum() const;
+
+  const Status& status() const { return status_; }
+  uint64_t records_read() const { return records_read_; }
+
+ private:
+  std::span<const uint8_t> data_;
+  size_t offset_ = 0;
+  bool done_ = false;
+  Status status_;
+  uint64_t records_read_ = 0;
+};
+
+}  // namespace jbs::mr

@@ -1,0 +1,92 @@
+#include "mapred/local_shuffle.h"
+
+namespace jbs::mr {
+
+Status LocalMofRegistry::Publish(const MofHandle& handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  mofs_[handle.map_task] = handle;
+  return Status::Ok();
+}
+
+StatusOr<MofHandle> LocalMofRegistry::Lookup(int map_task) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = mofs_.find(map_task);
+  if (it == mofs_.end()) {
+    return NotFound("MOF for map task " + std::to_string(map_task));
+  }
+  return it->second;
+}
+
+size_t LocalMofRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mofs_.size();
+}
+
+namespace {
+
+class LocalServer final : public ShuffleServer {
+ public:
+  explicit LocalServer(LocalMofRegistry* registry) : registry_(registry) {}
+
+  Status Start() override { return Status::Ok(); }
+  uint16_t port() const override { return 0; }
+  Status PublishMof(const MofHandle& handle) override {
+    return registry_->Publish(handle);
+  }
+  void Stop() override {}
+
+ private:
+  LocalMofRegistry* registry_;
+};
+
+class LocalClient final : public ShuffleClient {
+ public:
+  explicit LocalClient(LocalMofRegistry* registry) : registry_(registry) {}
+
+  StatusOr<std::unique_ptr<RecordStream>> FetchAndMerge(
+      int partition, const std::vector<MofLocation>& sources) override {
+    std::vector<std::unique_ptr<RecordStream>> streams;
+    streams.reserve(sources.size());
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const MofLocation& source : sources) {
+      auto handle = registry_->Lookup(source.map_task);
+      JBS_RETURN_IF_ERROR(handle.status());
+      auto reader = MofReader::Open(*handle);
+      JBS_RETURN_IF_ERROR(reader.status());
+      std::vector<uint8_t> segment;
+      JBS_RETURN_IF_ERROR(reader->ReadSegment(partition, segment));
+      stats_.bytes_fetched += segment.size();
+      ++stats_.fetches;
+      auto stream =
+          OpenSegment(std::move(segment), reader->index().compressed());
+      JBS_RETURN_IF_ERROR(stream.status());
+      streams.push_back(std::move(stream).value());
+    }
+    return std::unique_ptr<RecordStream>(
+        std::make_unique<KWayMerger>(std::move(streams)));
+  }
+
+  Stats stats() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+ private:
+  LocalMofRegistry* registry_;
+  mutable std::mutex mu_;
+  Stats stats_;
+};
+
+}  // namespace
+
+std::unique_ptr<ShuffleServer> LocalShufflePlugin::CreateServer(
+    int /*node*/, const Config& /*conf*/) {
+  return std::make_unique<LocalServer>(&registry_);
+}
+
+std::unique_ptr<ShuffleClient> LocalShufflePlugin::CreateClient(
+    int /*node*/, const Config& /*conf*/) {
+  return std::make_unique<LocalClient>(&registry_);
+}
+
+}  // namespace jbs::mr

@@ -1,0 +1,41 @@
+// In-process shuffle: the client reads MOF segments straight from disk via
+// a shared registry, no sockets. Serves three purposes: engine tests that
+// don't want a network, an upper-bound reference ("zero transport cost")
+// for benches, and a worked example of the plug-in interface.
+#pragma once
+
+#include <map>
+#include <mutex>
+
+#include "mapred/shuffle.h"
+
+namespace jbs::mr {
+
+class LocalMofRegistry {
+ public:
+  Status Publish(const MofHandle& handle);
+  StatusOr<MofHandle> Lookup(int map_task) const;
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<int, MofHandle> mofs_;  // map_task -> handle
+};
+
+class LocalShufflePlugin final : public ShufflePlugin {
+ public:
+  LocalShufflePlugin() = default;
+
+  std::string name() const override { return "local"; }
+  std::unique_ptr<ShuffleServer> CreateServer(int node,
+                                              const Config& conf) override;
+  std::unique_ptr<ShuffleClient> CreateClient(int node,
+                                              const Config& conf) override;
+
+  LocalMofRegistry& registry() { return registry_; }
+
+ private:
+  LocalMofRegistry registry_;
+};
+
+}  // namespace jbs::mr

@@ -1,0 +1,124 @@
+// K-way merge machinery shared by the map-side spill merge, the baseline
+// reduce merge, and the JBS NetMerger's network-levitated merge. A
+// RecordStream is any sorted (key,value) iterator; KWayMerger merges many
+// of them with a binary heap; GroupIterator turns the merged stream into
+// (key, values...) groups for the reduce function.
+#pragma once
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/status.h"
+#include "mapred/ifile.h"
+#include "mapred/types.h"
+
+namespace jbs::mr {
+
+/// Abstract sorted record stream.
+class RecordStream {
+ public:
+  virtual ~RecordStream() = default;
+  /// Advances to the next record; false at end-of-stream or on error
+  /// (check status()).
+  virtual bool Next(Record* record) = 0;
+  virtual const Status& status() const = 0;
+};
+
+/// RecordStream over an in-memory IFile segment (owns the bytes).
+class SegmentStream final : public RecordStream {
+ public:
+  explicit SegmentStream(std::vector<uint8_t> segment)
+      : segment_(std::move(segment)), reader_(segment_) {}
+
+  bool Next(Record* record) override { return reader_.Next(record); }
+  const Status& status() const override { return reader_.status(); }
+
+ private:
+  std::vector<uint8_t> segment_;
+  IFileReader reader_;
+};
+
+/// RecordStream over a vector of records (test helper / combiner output).
+class VectorStream final : public RecordStream {
+ public:
+  explicit VectorStream(std::vector<Record> records)
+      : records_(std::move(records)) {}
+
+  bool Next(Record* record) override {
+    if (index_ >= records_.size()) return false;
+    *record = records_[index_++];
+    return true;
+  }
+  const Status& status() const override { return ok_; }
+
+ private:
+  std::vector<Record> records_;
+  size_t index_ = 0;
+  Status ok_;
+};
+
+/// Merges N sorted streams into one sorted stream. Stable across inputs:
+/// ties are broken by input index, so records from earlier streams come
+/// first within equal keys.
+class KWayMerger final : public RecordStream {
+ public:
+  explicit KWayMerger(std::vector<std::unique_ptr<RecordStream>> inputs);
+
+  bool Next(Record* record) override;
+  const Status& status() const override { return status_; }
+
+ private:
+  struct HeapItem {
+    Record record;
+    size_t source;
+  };
+  struct HeapCompare {
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
+      if (a.record.key != b.record.key) return a.record.key > b.record.key;
+      return a.source > b.source;
+    }
+  };
+
+  bool Refill(size_t source);
+
+  std::vector<std::unique_ptr<RecordStream>> inputs_;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, HeapCompare> heap_;
+  Status status_;
+  bool primed_ = false;
+};
+
+/// Hierarchical merge (Que et al., the paper's follow-up [22]): when the
+/// number of input streams exceeds `fan_in`, merge them in a tree —
+/// groups of `fan_in` streams collapse into intermediate runs until one
+/// level fits. Bounds the comparator working set and the number of
+/// simultaneously open streams at the cost of extra passes; with
+/// streams <= fan_in it degenerates to a single KWayMerger.
+std::unique_ptr<RecordStream> HierarchicalMerge(
+    std::vector<std::unique_ptr<RecordStream>> inputs, size_t fan_in);
+
+/// Wraps fetched segment bytes into a sorted record stream, decompressing
+/// first when the MOF was written with kMofCompressed. The one entry point
+/// every shuffle client (local, HTTP, JBS) uses to interpret segments.
+StatusOr<std::unique_ptr<RecordStream>> OpenSegment(
+    std::vector<uint8_t> segment, bool compressed);
+
+/// Groups a sorted stream by key: NextGroup() yields one key plus all its
+/// values. The reduce-function driver.
+class GroupIterator {
+ public:
+  explicit GroupIterator(RecordStream* stream) : stream_(stream) {}
+
+  /// Fills key/values with the next group; false when exhausted.
+  bool NextGroup(std::string* key, std::vector<std::string>* values);
+
+  const Status& status() const { return stream_->status(); }
+
+ private:
+  RecordStream* stream_;
+  Record lookahead_;
+  bool have_lookahead_ = false;
+  bool exhausted_ = false;
+};
+
+}  // namespace jbs::mr

@@ -1,0 +1,34 @@
+// Core MapReduce value types. Keys and values are binary-safe byte strings
+// ordered bytewise (Hadoop's BytesWritable comparator).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace jbs::mr {
+
+struct Record {
+  std::string key;
+  std::string value;
+
+  friend bool operator==(const Record&, const Record&) = default;
+};
+
+/// Bytewise comparison used for map-side sort and reduce-side merge.
+inline bool KeyLess(const std::string& a, const std::string& b) {
+  return a < b;
+}
+
+struct TaskAttemptId {
+  int job = 0;
+  int task = 0;     // map or reduce index
+  bool is_map = true;
+
+  std::string ToString() const {
+    return "attempt_j" + std::to_string(job) + (is_map ? "_m" : "_r") +
+           std::to_string(task);
+  }
+  friend bool operator==(const TaskAttemptId&, const TaskAttemptId&) = default;
+};
+
+}  // namespace jbs::mr

@@ -1,0 +1,60 @@
+#include "simnet/cpu.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace jbs::sim {
+
+CpuAccountant::CpuAccountant(int cores, double bin_width_sec)
+    : cores_(cores), bin_width_(bin_width_sec) {
+  assert(cores_ > 0 && bin_width_ > 0);
+}
+
+void CpuAccountant::EnsureBin(size_t index) {
+  if (busy_core_seconds_.size() <= index) {
+    busy_core_seconds_.resize(index + 1, 0.0);
+  }
+}
+
+void CpuAccountant::Charge(SimTime start, SimTime end, double core_seconds) {
+  if (end <= start || core_seconds <= 0) return;
+  total_core_seconds_ += core_seconds;
+  const double rate = core_seconds / (end - start);  // cores busy
+  const auto first_bin = static_cast<size_t>(start / bin_width_);
+  const auto last_bin = static_cast<size_t>(end / bin_width_);
+  EnsureBin(last_bin);
+  for (size_t bin = first_bin; bin <= last_bin; ++bin) {
+    const double bin_start = static_cast<double>(bin) * bin_width_;
+    const double overlap = std::min(end, bin_start + bin_width_) -
+                           std::max(start, bin_start);
+    if (overlap > 0) busy_core_seconds_[bin] += rate * overlap;
+  }
+}
+
+std::vector<CpuAccountant::Sample> CpuAccountant::Trace(
+    SimTime end_time) const {
+  std::vector<Sample> out;
+  const auto bins = static_cast<size_t>(std::ceil(end_time / bin_width_));
+  out.reserve(bins);
+  for (size_t bin = 0; bin < bins; ++bin) {
+    const double busy =
+        bin < busy_core_seconds_.size() ? busy_core_seconds_[bin] : 0.0;
+    const double util = 100.0 * busy / (cores_ * bin_width_);
+    out.push_back({static_cast<double>(bin) * bin_width_,
+                   std::min(util, 100.0)});
+  }
+  return out;
+}
+
+double CpuAccountant::MeanUtilization(SimTime end_time) const {
+  if (end_time <= 0) return 0.0;
+  double busy = 0.0;
+  const auto bins = static_cast<size_t>(std::ceil(end_time / bin_width_));
+  for (size_t bin = 0; bin < bins && bin < busy_core_seconds_.size(); ++bin) {
+    busy += busy_core_seconds_[bin];
+  }
+  return std::min(100.0, 100.0 * busy / (cores_ * end_time));
+}
+
+}  // namespace jbs::sim

@@ -1,0 +1,52 @@
+// Per-node CPU accounting for the sar-style utilization traces of Fig. 10.
+// Work is charged as (start, duration, cores) intervals; utilization is the
+// charged core-seconds in a bin divided by cores * bin width, capped at
+// 100%. This is accounting, not scheduling: the simulator's timing models
+// already embed CPU contention in their rate caps, so double-charging is
+// avoided by construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simnet/simulator.h"
+
+namespace jbs::sim {
+
+class CpuAccountant {
+ public:
+  /// `cores` per node; `bin_width` controls trace resolution (sar used 5s).
+  CpuAccountant(int cores, double bin_width_sec = 5.0);
+
+  /// Charges `core_seconds` of work spread uniformly over [start, end).
+  void Charge(SimTime start, SimTime end, double core_seconds);
+
+  /// Charges a constant number of busy cores over [start, end).
+  void ChargeCores(SimTime start, SimTime end, double cores_busy) {
+    Charge(start, end, cores_busy * (end - start));
+  }
+
+  struct Sample {
+    double time_sec;     // bin start
+    double utilization;  // 0..100 (%)
+  };
+
+  /// The utilization trace up to `end_time` (bins with no charge are 0%).
+  std::vector<Sample> Trace(SimTime end_time) const;
+
+  /// Mean utilization (%) over [0, end_time).
+  double MeanUtilization(SimTime end_time) const;
+
+  double total_core_seconds() const { return total_core_seconds_; }
+  int cores() const { return cores_; }
+
+ private:
+  int cores_;
+  double bin_width_;
+  std::vector<double> busy_core_seconds_;  // per bin
+  double total_core_seconds_ = 0.0;
+
+  void EnsureBin(size_t index);
+};
+
+}  // namespace jbs::sim

@@ -1,0 +1,52 @@
+#include "simnet/disk.h"
+
+#include <cassert>
+#include <utility>
+
+namespace jbs::sim {
+
+DiskModel::DiskModel(Simulator* sim, DiskParams params)
+    : sim_(sim), params_(params) {
+  assert(params_.seq_bandwidth > 0);
+}
+
+void DiskModel::Read(double bytes, ReadOptions options, Callback on_complete) {
+  queue_.push_back(Request{bytes, options, std::move(on_complete),
+                           sim_->Now()});
+  MaybeStartNext();
+}
+
+void DiskModel::Write(double bytes, ReadOptions options,
+                      Callback on_complete) {
+  // Same service discipline; the distinction is for callers' bookkeeping.
+  Read(bytes, options, std::move(on_complete));
+}
+
+double DiskModel::ServiceTime(const Request& request) const {
+  if (request.options.cache_hit) {
+    return request.bytes / params_.cache_bandwidth;
+  }
+  const double seek = request.options.sequential ? 0.0 : params_.seek_time;
+  return seek + request.bytes / params_.seq_bandwidth;
+}
+
+void DiskModel::MaybeStartNext() {
+  if (busy_ || queue_.empty()) return;
+  Request request = std::move(queue_.front());
+  queue_.pop_front();
+  busy_ = true;
+  total_queue_wait_ += sim_->Now() - request.enqueued_at;
+  if (!request.options.cache_hit && !request.options.sequential) ++seeks_;
+  const double service = ServiceTime(request);
+  busy_time_ += service;
+  bytes_serviced_ += request.bytes;
+  sim_->Schedule(service, [this, cb = std::move(request.on_complete)] {
+    busy_ = false;
+    // Fire the completion before starting the next request so reentrant
+    // submissions from the callback line up behind the existing queue.
+    cb(sim_->Now());
+    MaybeStartNext();
+  });
+}
+
+}  // namespace jbs::sim

@@ -1,0 +1,121 @@
+#include "simnet/fair_share.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace jbs::sim {
+
+namespace {
+// Completion tolerance: below this many bytes a flow is considered done.
+// Avoids infinite rescheduling from floating-point residue.
+constexpr double kEpsilonBytes = 1e-6;
+}  // namespace
+
+FairShareResource::FairShareResource(Simulator* sim,
+                                     double capacity_bytes_per_sec)
+    : sim_(sim), capacity_(capacity_bytes_per_sec) {
+  assert(capacity_ > 0);
+}
+
+FairShareResource::FlowId FairShareResource::StartFlow(
+    double bytes, double rate_cap, CompletionCallback on_complete) {
+  AdvanceTo(sim_->Now());
+  const FlowId id = next_id_++;
+  if (bytes <= kEpsilonBytes) {
+    // Zero-length flows complete "now" but asynchronously, preserving the
+    // invariant that callbacks never run inside StartFlow.
+    auto cb = std::move(on_complete);
+    sim_->Schedule(0, [cb = std::move(cb), this] { cb(sim_->Now()); });
+    return id;
+  }
+  flows_[id] = Flow{bytes, bytes, rate_cap, 0.0, std::move(on_complete)};
+  Reschedule();
+  return id;
+}
+
+void FairShareResource::CancelFlow(FlowId id) {
+  AdvanceTo(sim_->Now());
+  flows_.erase(id);
+  Reschedule();
+}
+
+double FairShareResource::FlowRate(FlowId id) const {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+void FairShareResource::AdvanceTo(SimTime now) {
+  const double dt = now - last_update_;
+  last_update_ = now;
+  if (dt <= 0) return;
+  for (auto& [id, flow] : flows_) {
+    flow.remaining -= flow.rate * dt;
+    if (flow.remaining < 0) flow.remaining = 0;
+  }
+}
+
+void FairShareResource::ComputeRates() {
+  // Max-min fairness with per-flow caps: repeatedly grant capped flows
+  // their cap when it is below the equal share, then re-divide the rest.
+  std::vector<Flow*> unassigned;
+  unassigned.reserve(flows_.size());
+  for (auto& [id, flow] : flows_) unassigned.push_back(&flow);
+  double remaining_capacity = capacity_;
+  bool changed = true;
+  while (changed && !unassigned.empty()) {
+    changed = false;
+    const double share =
+        remaining_capacity / static_cast<double>(unassigned.size());
+    for (auto it = unassigned.begin(); it != unassigned.end();) {
+      if ((*it)->rate_cap <= share) {
+        (*it)->rate = (*it)->rate_cap;
+        remaining_capacity -= (*it)->rate;
+        it = unassigned.erase(it);
+        changed = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (!unassigned.empty()) {
+    const double share =
+        remaining_capacity / static_cast<double>(unassigned.size());
+    for (Flow* flow : unassigned) flow->rate = share;
+  }
+}
+
+void FairShareResource::Reschedule() {
+  ++timer_generation_;  // invalidate any outstanding timer
+  if (flows_.empty()) return;
+  ComputeRates();
+  double earliest = std::numeric_limits<double>::infinity();
+  for (const auto& [id, flow] : flows_) {
+    if (flow.rate <= 0) continue;
+    earliest = std::min(earliest, flow.remaining / flow.rate);
+  }
+  assert(earliest < std::numeric_limits<double>::infinity());
+  const uint64_t generation = timer_generation_;
+  sim_->Schedule(earliest, [this, generation] { OnTimer(generation); });
+}
+
+void FairShareResource::OnTimer(uint64_t generation) {
+  if (generation != timer_generation_) return;  // superseded
+  AdvanceTo(sim_->Now());
+  // Collect finished flows first; callbacks may start new flows reentrantly.
+  std::vector<CompletionCallback> finished;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.remaining <= kEpsilonBytes) {
+      finished.push_back(std::move(it->second.on_complete));
+      bytes_completed_ += it->second.total;
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  Reschedule();
+  const SimTime now = sim_->Now();
+  for (auto& cb : finished) cb(now);
+}
+
+}  // namespace jbs::sim

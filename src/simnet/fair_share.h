@@ -1,0 +1,73 @@
+// Fluid-flow processor-sharing resource: a capacity (bytes/second) divided
+// max-min fairly among active flows, each optionally rate-capped. This one
+// primitive models network links (flows = connections), and the throughput
+// caps model per-connection TCP limits and the JVM's per-stream processing
+// ceiling (the mechanism behind Fig. 2b: on 1GigE the link cap binds first
+// and hides the JVM cap; on InfiniBand the JVM cap binds and costs 3.4x).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+
+#include "simnet/simulator.h"
+
+namespace jbs::sim {
+
+class FairShareResource {
+ public:
+  using FlowId = uint64_t;
+  using CompletionCallback = std::function<void(SimTime completion_time)>;
+
+  FairShareResource(Simulator* sim, double capacity_bytes_per_sec);
+
+  /// Starts a flow of `bytes`. `rate_cap` limits this flow regardless of
+  /// spare capacity (use infinity for none). `on_complete` fires when the
+  /// last byte is serviced.
+  FlowId StartFlow(double bytes, double rate_cap,
+                   CompletionCallback on_complete);
+
+  FlowId StartFlow(double bytes, CompletionCallback on_complete) {
+    return StartFlow(bytes, std::numeric_limits<double>::infinity(),
+                     std::move(on_complete));
+  }
+
+  /// Aborts a flow; its callback never fires.
+  void CancelFlow(FlowId id);
+
+  size_t active_flows() const { return flows_.size(); }
+  double capacity() const { return capacity_; }
+
+  /// Instantaneous rate currently granted to a flow (0 if unknown).
+  double FlowRate(FlowId id) const;
+
+  /// Total bytes fully serviced since construction.
+  double bytes_completed() const { return bytes_completed_; }
+
+ private:
+  struct Flow {
+    double remaining;
+    double total;
+    double rate_cap;
+    double rate = 0.0;  // current max-min share
+    CompletionCallback on_complete;
+  };
+
+  /// Advances all flows by the time elapsed since last_update_, recomputes
+  /// max-min rates, and schedules the next completion event.
+  void Reschedule();
+  void AdvanceTo(SimTime now);
+  void ComputeRates();
+  void OnTimer(uint64_t generation);
+
+  Simulator* sim_;
+  double capacity_;
+  std::unordered_map<FlowId, Flow> flows_;
+  FlowId next_id_ = 1;
+  SimTime last_update_ = 0.0;
+  uint64_t timer_generation_ = 0;
+  double bytes_completed_ = 0.0;
+};
+
+}  // namespace jbs::sim

@@ -1,0 +1,39 @@
+#include "simnet/protocol.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace jbs::sim {
+
+namespace {
+
+// Bandwidths are effective payload rates, not wire rates. CPU-per-byte
+// folds in memory copies: classic TCP moves every byte through ~2 copies a
+// side; SDP removes the kernel copy; RoCE/RDMA place data directly into
+// registered buffers.
+const std::array<ProtocolParams, 6> kCatalog = {{
+    {"TCP/1GigE", 117e6, 117e6, 50e-6, 1.6e-9, 0.5e-3, false},
+    {"TCP/10GigE", 1.15e9, 1.0e9, 40e-6, 1.6e-9, 0.3e-3, false},
+    {"IPoIB", 1.3e9, 1.0e9, 25e-6, 1.8e-9, 0.3e-3, false},
+    {"SDP", 1.5e9, 1.2e9, 15e-6, 1.1e-9, 0.4e-3, false},
+    {"RoCE", 1.15e9, 1.1e9, 4e-6, 0.25e-9, 1.5e-3, true},
+    {"RDMA", 3.2e9, 3.0e9, 2e-6, 0.2e-9, 1.5e-3, true},
+}};
+
+}  // namespace
+
+const ProtocolParams& Params(Protocol protocol) {
+  return kCatalog[static_cast<size_t>(protocol)];
+}
+
+Protocol ProtocolFromName(const std::string& name) {
+  if (name == "1gige" || name == "tcp1g") return Protocol::kTcp1GigE;
+  if (name == "10gige" || name == "tcp10g") return Protocol::kTcp10GigE;
+  if (name == "ipoib") return Protocol::kIpoib;
+  if (name == "sdp") return Protocol::kSdp;
+  if (name == "roce") return Protocol::kRoce;
+  if (name == "rdma") return Protocol::kRdma;
+  throw std::invalid_argument("unknown protocol: " + name);
+}
+
+}  // namespace jbs::sim

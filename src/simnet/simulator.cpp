@@ -1,0 +1,70 @@
+#include "simnet/simulator.h"
+
+#include <cassert>
+
+namespace jbs::sim {
+
+Simulator::EventId Simulator::Schedule(SimTime delay, Callback fn) {
+  if (delay < 0) delay = 0;
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+Simulator::EventId Simulator::ScheduleAt(SimTime when, Callback fn) {
+  assert(when >= now_);
+  const uint64_t seq = next_seq_++;
+  if (cancelled_.size() <= seq) cancelled_.resize(seq + 64, false);
+  queue_.push(Event{when, seq, std::move(fn)});
+  ++live_pending_;
+  return EventId(seq);
+}
+
+bool Simulator::Cancel(EventId id) {
+  if (id.seq_ == 0 || id.seq_ >= cancelled_.size()) return false;
+  if (cancelled_[id.seq_]) return false;
+  // We cannot cheaply know whether it already fired; callers only cancel
+  // events they know are pending. Mark and decrement optimistically.
+  cancelled_[id.seq_] = true;
+  if (live_pending_ > 0) --live_pending_;
+  return true;
+}
+
+bool Simulator::PopNext(Event& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top returns const ref; move via const_cast is the
+    // standard idiom to avoid copying the std::function.
+    out = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (!cancelled_[out.seq]) {
+      cancelled_[out.seq] = true;  // mark fired so late Cancel() is a no-op
+      return true;
+    }
+  }
+  return false;
+}
+
+SimTime Simulator::Run() {
+  Event ev;
+  while (PopNext(ev)) {
+    now_ = ev.when;
+    --live_pending_;
+    ++events_processed_;
+    ev.fn();
+  }
+  return now_;
+}
+
+SimTime Simulator::RunUntil(SimTime deadline) {
+  while (!queue_.empty()) {
+    if (queue_.top().when > deadline) break;
+    Event ev;
+    if (!PopNext(ev)) break;
+    now_ = ev.when;
+    --live_pending_;
+    ++events_processed_;
+    ev.fn();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+}  // namespace jbs::sim

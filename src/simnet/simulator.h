@@ -1,0 +1,76 @@
+// Discrete-event simulation engine. Single-threaded, deterministic: events
+// fire in (time, insertion-sequence) order, so two runs with the same seed
+// produce identical traces. All cluster-scale experiments (Figs. 7-12) run
+// on this engine; the real transport/MapReduce code paths are exercised by
+// the loopback "real mode" instead.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace jbs::sim {
+
+using SimTime = double;  // seconds since simulation start
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Handle for cancelling a scheduled event.
+  class EventId {
+   public:
+    EventId() = default;
+
+   private:
+    friend class Simulator;
+    explicit EventId(uint64_t seq) : seq_(seq) {}
+    uint64_t seq_ = 0;
+  };
+
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` seconds from now. Negative delays clamp
+  /// to zero (fire this instant, after currently-pending same-time events).
+  EventId Schedule(SimTime delay, Callback fn);
+
+  /// Schedules at an absolute time (>= Now()).
+  EventId ScheduleAt(SimTime when, Callback fn);
+
+  /// Cancels a pending event. No effect if it already fired. Returns true
+  /// if the event was pending.
+  bool Cancel(EventId id);
+
+  /// Runs until the event queue is empty. Returns the final time.
+  SimTime Run();
+
+  /// Runs until `deadline`; pending later events remain queued.
+  SimTime RunUntil(SimTime deadline);
+
+  uint64_t events_processed() const { return events_processed_; }
+  size_t pending_events() const { return live_pending_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;
+    Callback fn;
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  bool PopNext(Event& out);
+
+  SimTime now_ = 0.0;
+  uint64_t next_seq_ = 1;
+  uint64_t events_processed_ = 0;
+  size_t live_pending_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  // Cancelled events stay in the heap but are skipped on pop.
+  std::vector<bool> cancelled_;  // indexed by seq
+};
+
+}  // namespace jbs::sim

@@ -1,0 +1,75 @@
+#include "transport/connection_manager.h"
+
+namespace jbs::net {
+
+ConnectionManager::ConnectionManager(Transport* transport, size_t capacity)
+    : transport_(transport),
+      capacity_(capacity),
+      cache_(capacity, [this](const std::string&,
+                              std::shared_ptr<Connection>& conn) {
+        // Evicted under mu_; shared_ptr keeps in-flight users alive, but
+        // the connection is closed so they fail fast and re-dial.
+        conn->Close();
+        ++stats_.evictions;
+      }) {}
+
+StatusOr<std::shared_ptr<Connection>> ConnectionManager::GetOrConnect(
+    const std::string& host, uint16_t port) {
+  const std::string key = Key(host, port);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto* cached = cache_.Get(key)) {
+      if ((*cached)->alive()) {
+        ++stats_.hits;
+        return *cached;
+      }
+      cache_.Erase(key);
+    }
+    ++stats_.misses;
+  }
+  // Dial outside the lock: connection setup can be slow (especially RDMA)
+  // and must not serialize all other lookups.
+  auto conn = transport_->Connect(host, port);
+  if (!conn.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.dial_failures;
+    return conn.status();
+  }
+  std::shared_ptr<Connection> shared = std::move(conn).value();
+  std::lock_guard<std::mutex> lock(mu_);
+  // A racing dial may have beaten us; prefer the existing live one.
+  if (auto* cached = cache_.Get(key)) {
+    if ((*cached)->alive()) {
+      shared->Close();
+      return *cached;
+    }
+  }
+  cache_.Put(key, shared);
+  return shared;
+}
+
+void ConnectionManager::Invalidate(const std::string& host, uint16_t port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string key = Key(host, port);
+  if (auto* cached = cache_.Get(key)) {
+    (*cached)->Close();
+    cache_.Erase(key);
+  }
+}
+
+void ConnectionManager::CloseAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.Clear();
+}
+
+ConnectionManager::Stats ConnectionManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t ConnectionManager::active_connections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+}  // namespace jbs::net

@@ -1,0 +1,58 @@
+// Connection reuse with an LRU cap (§IV-A): "Since the cost of setting up
+// RDMA connection is relatively high, we keep newly created connections
+// for reuse by default. We allow a maximum of 512 active connections. When
+// this threshold is reached, connections are torn down based on the LRU
+// order." Shared by the TCP path (§IV-B uses the same 512 threshold).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/lru_cache.h"
+#include "transport/transport.h"
+
+namespace jbs::net {
+
+class ConnectionManager {
+ public:
+  static constexpr size_t kDefaultCapacity = 512;
+
+  ConnectionManager(Transport* transport, size_t capacity = kDefaultCapacity);
+
+  /// Returns a cached live connection to host:port, or dials a new one.
+  /// The first fetch request to a node triggers connection establishment;
+  /// later requests reuse it.
+  StatusOr<std::shared_ptr<Connection>> GetOrConnect(const std::string& host,
+                                                     uint16_t port);
+
+  /// Drops a connection (e.g. after an I/O error) so the next request
+  /// re-establishes it.
+  void Invalidate(const std::string& host, uint16_t port);
+
+  /// Closes everything.
+  void CloseAll();
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t dial_failures = 0;
+  };
+  Stats stats() const;
+  size_t active_connections() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  static std::string Key(const std::string& host, uint16_t port) {
+    return host + ":" + std::to_string(port);
+  }
+
+  Transport* transport_;
+  size_t capacity_;
+  mutable std::mutex mu_;
+  LruCache<std::string, std::shared_ptr<Connection>> cache_;
+  Stats stats_;
+};
+
+}  // namespace jbs::net

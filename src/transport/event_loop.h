@@ -1,0 +1,74 @@
+// epoll wrapper: the event-driven core of the TCP server endpoint (§IV-B:
+// "Both client and server use the epoll interface to monitor and detect
+// events from concurrent connections"). One thread runs the loop; other
+// threads inject work via RunInLoop (eventfd wakeup).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "transport/socket_util.h"
+
+namespace jbs::net {
+
+class EventLoop {
+ public:
+  /// Bitmask passed to fd callbacks.
+  static constexpr uint32_t kReadable = 1;
+  static constexpr uint32_t kWritable = 2;
+  static constexpr uint32_t kError = 4;
+
+  using FdCallback = std::function<void(uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Starts the loop thread.
+  Status Start();
+
+  /// Stops and joins the loop thread; all registrations dropped.
+  void Stop();
+
+  /// Registers a (nonblocking) fd. Callbacks run on the loop thread.
+  /// Must be called from the loop thread or before Start().
+  Status Add(int fd, bool want_read, bool want_write, FdCallback callback);
+
+  /// Changes interest set. Loop thread only.
+  Status Modify(int fd, bool want_read, bool want_write);
+
+  /// Unregisters (does not close). Loop thread only.
+  void Remove(int fd);
+
+  /// Schedules `fn` to run on the loop thread; wakes the loop. Any thread.
+  void RunInLoop(std::function<void()> fn);
+
+  bool InLoopThread() const {
+    return std::this_thread::get_id() == loop_thread_id_;
+  }
+
+ private:
+  void Loop();
+  void DrainPending();
+
+  Fd epoll_fd_;
+  Fd wake_fd_;  // eventfd
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::thread::id loop_thread_id_;
+
+  std::unordered_map<int, FdCallback> callbacks_;
+
+  std::mutex pending_mu_;
+  std::vector<std::function<void()>> pending_;
+};
+
+}  // namespace jbs::net

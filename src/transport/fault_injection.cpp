@@ -1,0 +1,57 @@
+#include "transport/fault_injection.h"
+
+namespace jbs::net {
+
+class FaultInjectingTransport::FlakyConnection final : public Connection {
+ public:
+  FlakyConnection(std::unique_ptr<Connection> inner, int break_after,
+                  std::atomic<int>* broken_counter)
+      : inner_(std::move(inner)),
+        sends_left_(break_after),
+        broken_counter_(broken_counter) {}
+
+  Status Send(const Frame& frame) override {
+    if (sends_left_ > 0 && sends_left_.fetch_sub(1) == 1) {
+      broken_counter_->fetch_add(1);
+      inner_->Close();
+      return Unavailable("injected connection break");
+    }
+    if (!inner_->alive()) return Unavailable("connection broken");
+    return inner_->Send(frame);
+  }
+
+  StatusOr<Frame> Receive() override { return inner_->Receive(); }
+  void Close() override { inner_->Close(); }
+  bool alive() const override { return inner_->alive(); }
+  uint64_t bytes_sent() const override { return inner_->bytes_sent(); }
+  uint64_t bytes_received() const override {
+    return inner_->bytes_received();
+  }
+
+ private:
+  std::unique_ptr<Connection> inner_;
+  std::atomic<int> sends_left_;
+  std::atomic<int>* broken_counter_;
+};
+
+StatusOr<std::unique_ptr<Connection>> FaultInjectingTransport::Connect(
+    const std::string& host, uint16_t port) {
+  connects_attempted_.fetch_add(1);
+  int expected = failing_connects_.load();
+  while (expected > 0) {
+    if (failing_connects_.compare_exchange_weak(expected, expected - 1)) {
+      connects_failed_.fetch_add(1);
+      return Unavailable("injected connect failure");
+    }
+  }
+  auto conn = inner_->Connect(host, port);
+  JBS_RETURN_IF_ERROR(conn.status());
+  const int break_after = break_after_sends_.load();
+  if (break_after > 0) {
+    return std::unique_ptr<Connection>(std::make_unique<FlakyConnection>(
+        std::move(conn).value(), break_after, &connections_broken_));
+  }
+  return conn;
+}
+
+}  // namespace jbs::net

@@ -1,0 +1,51 @@
+// Deterministic fault injection around any Transport: scripted connect
+// failures and mid-conversation connection drops. Used by the fault-
+// tolerance tests and the failure-injection benches; in production code
+// the wrapper is simply not installed.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "transport/transport.h"
+
+namespace jbs::net {
+
+class FaultInjectingTransport final : public Transport {
+ public:
+  explicit FaultInjectingTransport(Transport* inner) : inner_(inner) {}
+
+  std::string name() const override { return inner_->name() + "+faults"; }
+
+  /// The next `n` Connect() calls fail with kUnavailable.
+  void FailNextConnects(int n) { failing_connects_.store(n); }
+
+  /// Every connection created from now on dies after `sends` successful
+  /// Send() calls (0 disables). Receive on a dead connection fails too.
+  void BreakConnectionsAfterSends(int sends) {
+    break_after_sends_.store(sends);
+  }
+
+  int connects_attempted() const { return connects_attempted_.load(); }
+  int connects_failed() const { return connects_failed_.load(); }
+  int connections_broken() const { return connections_broken_.load(); }
+
+  StatusOr<std::unique_ptr<ServerEndpoint>> CreateServer() override {
+    return inner_->CreateServer();
+  }
+
+  StatusOr<std::unique_ptr<Connection>> Connect(const std::string& host,
+                                                uint16_t port) override;
+
+ private:
+  class FlakyConnection;
+
+  Transport* inner_;
+  std::atomic<int> failing_connects_{0};
+  std::atomic<int> break_after_sends_{0};
+  std::atomic<int> connects_attempted_{0};
+  std::atomic<int> connects_failed_{0};
+  std::atomic<int> connections_broken_{0};
+};
+
+}  // namespace jbs::net

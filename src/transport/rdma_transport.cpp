@@ -1,0 +1,362 @@
+#include "transport/rdma_transport.h"
+
+#include <atomic>
+#include <thread>
+#include <unordered_map>
+
+#include "common/blocking_queue.h"
+#include "common/logging.h"
+#include "transport/soft_rdma.h"
+
+namespace jbs::net {
+
+namespace {
+
+using verbs::CmEvent;
+using verbs::CmEventType;
+using verbs::CompletionQueue;
+using verbs::EventChannel;
+using verbs::MemoryRegion;
+using verbs::ProtectionDomain;
+using verbs::QueuePair;
+using verbs::RdmaServer;
+using verbs::WcOpcode;
+using verbs::WcStatus;
+using verbs::WorkCompletion;
+
+/// Registered+posted receive buffer ring for one queue pair.
+class RecvRing {
+ public:
+  RecvRing(ProtectionDomain* pd, size_t buffer_size, size_t count)
+      : buffer_size_(buffer_size),
+        arena_(new uint8_t[buffer_size * count]) {
+    regions_.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      regions_.push_back(
+          pd->Register(arena_.get() + i * buffer_size, buffer_size));
+    }
+  }
+
+  Status PostAll(QueuePair* qp) {
+    for (size_t i = 0; i < regions_.size(); ++i) {
+      JBS_RETURN_IF_ERROR(qp->PostRecv(static_cast<uint64_t>(i), regions_[i]));
+    }
+    return Status::Ok();
+  }
+
+  Status Repost(QueuePair* qp, uint64_t wr_id) {
+    return qp->PostRecv(wr_id, regions_[static_cast<size_t>(wr_id)]);
+  }
+
+  const MemoryRegion& region(uint64_t wr_id) const {
+    return regions_[static_cast<size_t>(wr_id)];
+  }
+
+  size_t buffer_size() const { return buffer_size_; }
+
+ private:
+  size_t buffer_size_;
+  std::unique_ptr<uint8_t[]> arena_;
+  std::vector<MemoryRegion> regions_;
+};
+
+class RdmaConnection final : public Connection {
+ public:
+  RdmaConnection(std::unique_ptr<QueuePair> qp,
+                 std::unique_ptr<ProtectionDomain> pd,
+                 std::unique_ptr<CompletionQueue> send_cq,
+                 std::unique_ptr<CompletionQueue> recv_cq,
+                 std::unique_ptr<RecvRing> ring)
+      : pd_(std::move(pd)),
+        send_cq_(std::move(send_cq)),
+        recv_cq_(std::move(recv_cq)),
+        ring_(std::move(ring)),
+        qp_(std::move(qp)) {}
+
+  ~RdmaConnection() override { Close(); }
+
+  Status Send(const Frame& frame) override {
+    if (frame.payload.size() > ring_->buffer_size()) {
+      return InvalidArgument("frame exceeds transport buffer size");
+    }
+    std::lock_guard<std::mutex> lock(send_mu_);
+    JBS_RETURN_IF_ERROR(
+        qp_->PostSend(next_send_wr_++, frame.type, frame.payload));
+    auto wc = send_cq_->WaitPoll();
+    if (!wc || wc->status != WcStatus::kSuccess) {
+      return Unavailable("send completion failed");
+    }
+    return Status::Ok();
+  }
+
+  StatusOr<Frame> Receive() override {
+    auto wc = recv_cq_->WaitPoll();
+    if (!wc) return Unavailable("connection shut down");
+    if (wc->status == WcStatus::kFlushed) {
+      return Unavailable("peer closed");
+    }
+    if (wc->status != WcStatus::kSuccess) {
+      return IoError("receive completion error");
+    }
+    Frame frame;
+    frame.type = wc->msg_type;
+    const MemoryRegion& mr = ring_->region(wc->wr_id);
+    frame.payload.assign(mr.addr, mr.addr + wc->byte_len);
+    JBS_RETURN_IF_ERROR(ring_->Repost(qp_.get(), wc->wr_id));
+    return frame;
+  }
+
+  void Close() override {
+    if (closed_.exchange(true)) return;
+    qp_->Disconnect();
+    send_cq_->Shutdown();
+    recv_cq_->Shutdown();
+  }
+
+  bool alive() const override {
+    return !closed_ && qp_->state() == QueuePair::State::kRts;
+  }
+  uint64_t bytes_sent() const override { return qp_->bytes_sent(); }
+  uint64_t bytes_received() const override { return qp_->bytes_received(); }
+
+ private:
+  std::unique_ptr<ProtectionDomain> pd_;
+  std::unique_ptr<CompletionQueue> send_cq_;
+  std::unique_ptr<CompletionQueue> recv_cq_;
+  std::unique_ptr<RecvRing> ring_;
+  std::unique_ptr<QueuePair> qp_;
+  std::mutex send_mu_;
+  uint64_t next_send_wr_ = 1;
+  std::atomic<bool> closed_{false};
+};
+
+class RdmaServerEndpoint final : public ServerEndpoint {
+ public:
+  explicit RdmaServerEndpoint(RdmaTransportOptions options)
+      : options_(options), server_(&channel_) {}
+
+  ~RdmaServerEndpoint() override { Stop(); }
+
+  Status Start(Handlers handlers) override {
+    handlers_ = std::move(handlers);
+    JBS_RETURN_IF_ERROR(server_.Listen());
+    running_.store(true);
+    cm_thread_ = std::thread([this] { CmLoop(); });
+    recv_thread_ = std::thread([this] { RecvLoop(); });
+    send_thread_ = std::thread([this] { SendLoop(); });
+    return Status::Ok();
+  }
+
+  uint16_t port() const override { return server_.port(); }
+
+  Status SendAsync(ConnId conn, Frame frame) override {
+    if (frame.payload.size() > options_.buffer_size) {
+      return InvalidArgument("frame exceeds transport buffer size");
+    }
+    if (!send_queue_.Push({conn, std::move(frame)})) {
+      return Unavailable("endpoint stopped");
+    }
+    return Status::Ok();
+  }
+
+  void Stop() override {
+    if (!running_.exchange(false)) return;
+    server_.Stop();
+    channel_.Shutdown();
+    send_queue_.Close();
+    recv_cq_.Shutdown();
+    send_cq_.Shutdown();
+    if (cm_thread_.joinable()) cm_thread_.join();
+    if (send_thread_.joinable()) send_thread_.join();
+    if (recv_thread_.joinable()) recv_thread_.join();
+    std::lock_guard<std::mutex> lock(mu_);
+    conns_.clear();
+  }
+
+  Stats stats() const override {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return stats_;
+  }
+
+ private:
+  struct ConnState {
+    std::unique_ptr<QueuePair> qp;
+    std::unique_ptr<RecvRing> ring;
+  };
+
+  // wr_id layout for the shared recv CQ: high bits = conn, low = buffer.
+  static constexpr uint64_t kBufferBits = 20;
+  static uint64_t MakeWr(ConnId conn, uint64_t buffer) {
+    return (conn << kBufferBits) | buffer;
+  }
+  static ConnId WrConn(uint64_t wr) { return wr >> kBufferBits; }
+  static uint64_t WrBuffer(uint64_t wr) {
+    return wr & ((1ull << kBufferBits) - 1);
+  }
+
+  void CmLoop() {
+    // The paper's "additional thread managing network events": services
+    // the RDMA event channel, accepting connection requests.
+    while (running_.load()) {
+      auto event = channel_.WaitEvent();
+      if (!event) return;
+      if (event->type != CmEventType::kConnectRequest) continue;
+      auto qp = server_.Accept(event->request_id, &pd_, &send_cq_, &recv_cq_);
+      if (!qp.ok()) {
+        JBS_WARN << "rdma_accept failed: " << qp.status().ToString();
+        continue;
+      }
+      const ConnId id = event->request_id;
+      auto ring = std::make_unique<RecvRing>(&pd_, options_.buffer_size,
+                                             options_.buffers_per_connection);
+      // Post with conn-qualified wr_ids into the shared CQ.
+      bool ok = true;
+      for (size_t i = 0; i < options_.buffers_per_connection; ++i) {
+        if (!(*qp)->PostRecv(MakeWr(id, i), ring->region(i)).ok()) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        conns_[id] = ConnState{std::move(qp).value(), std::move(ring)};
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.connections_accepted;
+      }
+      if (handlers_.on_connect) handlers_.on_connect(id);
+    }
+  }
+
+  void RecvLoop() {
+    while (running_.load()) {
+      auto wc = recv_cq_.WaitPoll();
+      if (!wc) return;
+      const ConnId id = WrConn(wc->wr_id);
+      if (wc->opcode != WcOpcode::kRecv) continue;
+      if (wc->status == WcStatus::kFlushed) {
+        DropConn(id);
+        continue;
+      }
+      if (wc->status != WcStatus::kSuccess) {
+        DropConn(id);
+        continue;
+      }
+      Frame frame;
+      frame.type = wc->msg_type;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = conns_.find(id);
+        if (it == conns_.end()) continue;
+        const MemoryRegion& mr =
+            it->second.ring->region(WrBuffer(wc->wr_id));
+        frame.payload.assign(mr.addr, mr.addr + wc->byte_len);
+        it->second.qp->PostRecv(wc->wr_id,
+                                it->second.ring->region(WrBuffer(wc->wr_id)));
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.frames_received;
+      }
+      if (handlers_.on_frame) handlers_.on_frame(id, std::move(frame));
+    }
+  }
+
+  void SendLoop() {
+    for (;;) {
+      auto item = send_queue_.Pop();
+      if (!item) return;
+      auto& [conn, frame] = *item;
+      std::unique_lock<std::mutex> lock(mu_);
+      auto it = conns_.find(conn);
+      if (it == conns_.end()) continue;
+      QueuePair* qp = it->second.qp.get();
+      lock.unlock();
+      if (qp->PostSend(next_send_wr_++, frame.type, frame.payload).ok()) {
+        std::lock_guard<std::mutex> slock(stats_mu_);
+        ++stats_.frames_sent;
+        stats_.bytes_sent += frame.payload.size();
+      }
+      send_cq_.Poll();  // drain send completions
+    }
+  }
+
+  void DropConn(ConnId id) {
+    std::unique_ptr<QueuePair> dying;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = conns_.find(id);
+      if (it == conns_.end()) return;
+      dying = std::move(it->second.qp);
+      conns_.erase(it);
+    }
+    dying->Disconnect();
+    // Do not join here: DropConn runs on the recv thread, and ~QueuePair
+    // joins its receiver thread, which is safe (different thread).
+    dying.reset();
+    if (handlers_.on_disconnect) handlers_.on_disconnect(id);
+  }
+
+  RdmaTransportOptions options_;
+  Handlers handlers_;
+  EventChannel channel_;
+  RdmaServer server_;
+  ProtectionDomain pd_;
+  CompletionQueue send_cq_;
+  CompletionQueue recv_cq_;
+
+  std::atomic<bool> running_{false};
+  std::thread cm_thread_;
+  std::thread recv_thread_;
+  std::thread send_thread_;
+  BlockingQueue<std::pair<ConnId, Frame>> send_queue_;
+  std::atomic<uint64_t> next_send_wr_{1};
+
+  mutable std::mutex mu_;
+  std::unordered_map<ConnId, ConnState> conns_;
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+class SoftRdmaTransport final : public Transport {
+ public:
+  explicit SoftRdmaTransport(RdmaTransportOptions options)
+      : options_(options) {}
+
+  std::string name() const override { return "soft-rdma"; }
+
+  StatusOr<std::unique_ptr<ServerEndpoint>> CreateServer() override {
+    return std::unique_ptr<ServerEndpoint>(
+        std::make_unique<RdmaServerEndpoint>(options_));
+  }
+
+  StatusOr<std::unique_ptr<Connection>> Connect(const std::string& host,
+                                                uint16_t port) override {
+    auto pd = std::make_unique<ProtectionDomain>();
+    auto send_cq = std::make_unique<CompletionQueue>();
+    auto recv_cq = std::make_unique<CompletionQueue>();
+    auto qp = verbs::RdmaConnect(host, port, pd.get(), send_cq.get(),
+                                 recv_cq.get());
+    JBS_RETURN_IF_ERROR(qp.status());
+    auto ring = std::make_unique<RecvRing>(pd.get(), options_.buffer_size,
+                                           options_.buffers_per_connection);
+    JBS_RETURN_IF_ERROR(ring->PostAll(qp->get()));
+    return std::unique_ptr<Connection>(std::make_unique<RdmaConnection>(
+        std::move(qp).value(), std::move(pd), std::move(send_cq),
+        std::move(recv_cq), std::move(ring)));
+  }
+
+ private:
+  RdmaTransportOptions options_;
+};
+
+}  // namespace
+
+std::unique_ptr<Transport> MakeSoftRdmaTransport(
+    RdmaTransportOptions options) {
+  return std::make_unique<SoftRdmaTransport>(options);
+}
+
+}  // namespace jbs::net

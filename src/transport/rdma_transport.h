@@ -1,0 +1,23 @@
+// Adapts the SoftRdma verbs layer to the common Transport API, so the
+// shuffle components run unchanged over TCP or "RDMA" — the portability
+// claim of §III-A/§IV. Each connection owns a protection domain's worth of
+// registered, pre-posted receive buffers (the transport buffers whose size
+// Fig. 11 sweeps); frames must fit in one buffer, which is why the JBS
+// fetch protocol chunks segment data to the transport buffer size.
+#pragma once
+
+#include <cstddef>
+
+#include "transport/transport.h"
+
+namespace jbs::net {
+
+struct RdmaTransportOptions {
+  size_t buffer_size = 128 * 1024;  // paper default (Fig. 11)
+  size_t buffers_per_connection = 16;
+};
+
+std::unique_ptr<Transport> MakeSoftRdmaTransport(
+    RdmaTransportOptions options = {});
+
+}  // namespace jbs::net

@@ -1,0 +1,116 @@
+#include "transport/socket_util.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace jbs::net {
+
+namespace {
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+}  // namespace
+
+void Fd::Reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<std::pair<Fd, uint16_t>> ListenTcp(uint16_t port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return IoError(Errno("socket"));
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return IoError(Errno("bind"));
+  }
+  if (::listen(fd.get(), backlog) != 0) return IoError(Errno("listen"));
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return IoError(Errno("getsockname"));
+  }
+  return std::make_pair(std::move(fd), ntohs(addr.sin_port));
+}
+
+StatusOr<Fd> ConnectTcp(const std::string& host, uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return IoError(Errno("socket"));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgument("bad address " + host);
+  }
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Unavailable(Errno("connect"));
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return IoError(Errno("fcntl(F_GETFL)"));
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return IoError(Errno("fcntl(F_SETFL)"));
+  }
+  return Status::Ok();
+}
+
+Status SetNoDelay(int fd) {
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    return IoError(Errno("setsockopt(TCP_NODELAY)"));
+  }
+  return Status::Ok();
+}
+
+Status SendAll(int fd, std::span<const uint8_t> data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoError(Errno("send"));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status RecvAll(int fd, std::span<uint8_t> out) {
+  size_t received = 0;
+  while (received < out.size()) {
+    const ssize_t n = ::recv(fd, out.data() + received,
+                             out.size() - received, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoError(Errno("recv"));
+    }
+    if (n == 0) {
+      if (received == 0) return Unavailable("peer closed");
+      return IoError("peer closed mid-frame");
+    }
+    received += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace jbs::net

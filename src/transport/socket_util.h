@@ -1,0 +1,59 @@
+// Thin RAII + helper layer over POSIX sockets.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace jbs::net {
+
+/// Owning file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { Reset(); }
+  Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() { return std::exchange(fd_, -1); }
+  void Reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a TCP listener bound to 127.0.0.1:`port` (0 = ephemeral).
+/// Returns the fd and the bound port.
+StatusOr<std::pair<Fd, uint16_t>> ListenTcp(uint16_t port, int backlog = 128);
+
+/// Blocking connect to host:port with TCP_NODELAY.
+StatusOr<Fd> ConnectTcp(const std::string& host, uint16_t port);
+
+Status SetNonBlocking(int fd);
+
+/// Disables Nagle; required on every message-oriented socket or the
+/// request/response pattern stalls on delayed ACKs.
+Status SetNoDelay(int fd);
+
+/// Writes the whole buffer (blocking fd), retrying on EINTR/partial.
+Status SendAll(int fd, std::span<const uint8_t> data);
+
+/// Reads exactly `out.size()` bytes. kUnavailable on clean peer close at a
+/// frame boundary (0 bytes read so far), kIoError otherwise.
+Status RecvAll(int fd, std::span<uint8_t> out);
+
+}  // namespace jbs::net

@@ -1,0 +1,489 @@
+#include "transport/soft_rdma.h"
+
+#include <sys/socket.h>
+
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+
+namespace jbs::net::verbs {
+
+namespace {
+// Handshake message types on the wire (distinct from application types,
+// which travel in data messages).
+constexpr uint8_t kMsgConnReq = 0xF1;
+constexpr uint8_t kMsgConnAccept = 0xF2;
+constexpr uint8_t kMsgData = 0xF3;
+constexpr uint8_t kMsgRdmaReadReq = 0xF4;   // req_id u64 | addr u64 | rkey u32 | len u32
+constexpr uint8_t kMsgRdmaReadResp = 0xF5;  // req_id u64 | status u8 | data
+
+// Wire: u32 payload_len | u8 wire_type | u8 app_type | payload
+Status SendMessage(int fd, std::mutex& mu, uint8_t wire_type,
+                   uint8_t app_type, std::span<const uint8_t> payload) {
+  std::vector<uint8_t> header;
+  header.reserve(6);
+  PutU32(header, static_cast<uint32_t>(payload.size()));
+  header.push_back(wire_type);
+  header.push_back(app_type);
+  std::lock_guard<std::mutex> lock(mu);
+  JBS_RETURN_IF_ERROR(SendAll(fd, header));
+  if (!payload.empty()) JBS_RETURN_IF_ERROR(SendAll(fd, payload));
+  return Status::Ok();
+}
+}  // namespace
+
+MemoryRegion ProtectionDomain::Register(void* addr, size_t length) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MemoryRegion mr;
+  mr.addr = static_cast<uint8_t*>(addr);
+  mr.length = length;
+  mr.lkey = next_lkey_++;
+  regions_[mr.lkey] = {mr.addr, mr.length};
+  return mr;
+}
+
+bool ProtectionDomain::Owns(const MemoryRegion& mr) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = regions_.find(mr.lkey);
+  if (it == regions_.end()) return false;
+  // The MR must sit inside the registered region.
+  return mr.addr >= it->second.first &&
+         mr.addr + mr.length <= it->second.first + it->second.second;
+}
+
+bool ProtectionDomain::ValidateRemoteAccess(uint32_t rkey,
+                                            const uint8_t* addr,
+                                            size_t length) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = regions_.find(rkey);
+  if (it == regions_.end()) return false;
+  return addr >= it->second.first &&
+         addr + length <= it->second.first + it->second.second;
+}
+
+size_t ProtectionDomain::registered_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return regions_.size();
+}
+
+std::optional<WorkCompletion> CompletionQueue::Poll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (completions_.empty()) return std::nullopt;
+  WorkCompletion wc = completions_.front();
+  completions_.pop_front();
+  return wc;
+}
+
+std::optional<WorkCompletion> CompletionQueue::WaitPoll() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return shutdown_ || !completions_.empty(); });
+  if (completions_.empty()) return std::nullopt;
+  WorkCompletion wc = completions_.front();
+  completions_.pop_front();
+  return wc;
+}
+
+void CompletionQueue::Push(WorkCompletion wc) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    completions_.push_back(wc);
+  }
+  cv_.notify_one();
+}
+
+void CompletionQueue::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+size_t CompletionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completions_.size();
+}
+
+QueuePair::QueuePair(Fd socket, ProtectionDomain* pd,
+                     CompletionQueue* send_cq, CompletionQueue* recv_cq)
+    : socket_(std::move(socket)),
+      pd_(pd),
+      send_cq_(send_cq),
+      recv_cq_(recv_cq) {
+  receiver_ = std::thread([this] { ReceiverLoop(); });
+}
+
+QueuePair::~QueuePair() {
+  Disconnect();
+  if (receiver_.joinable()) receiver_.join();
+}
+
+Status QueuePair::PostRecv(uint64_t wr_id, MemoryRegion buffer) {
+  if (!pd_->Owns(buffer)) {
+    return InvalidArgument("recv buffer not in protection domain");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ != State::kRts) return Unavailable("QP not in RTS");
+    posted_recvs_.push_back({wr_id, buffer});
+  }
+  recv_posted_cv_.notify_one();
+  return Status::Ok();
+}
+
+Status QueuePair::PostSend(uint64_t wr_id, uint8_t msg_type,
+                           std::span<const uint8_t> payload) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ != State::kRts) return Unavailable("QP not in RTS");
+  }
+  Status st = SendMessage(socket_.get(), send_mu_, kMsgData, msg_type,
+                          payload);
+  WorkCompletion wc;
+  wc.wr_id = wr_id;
+  wc.opcode = WcOpcode::kSend;
+  wc.byte_len = static_cast<uint32_t>(payload.size());
+  wc.msg_type = msg_type;
+  if (st.ok()) {
+    bytes_sent_ += payload.size();
+    wc.status = WcStatus::kSuccess;
+  } else {
+    std::lock_guard<std::mutex> lock(mu_);
+    state_ = State::kError;
+    wc.status = WcStatus::kError;
+  }
+  send_cq_->Push(wc);
+  return st;
+}
+
+Status QueuePair::PostRdmaRead(uint64_t wr_id, MemoryRegion local,
+                               uint64_t remote_addr, uint32_t rkey,
+                               uint32_t length) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ != State::kRts) return Unavailable("QP not in RTS");
+  }
+  if (!pd_->Owns(local) || local.length < length) {
+    return InvalidArgument("local buffer invalid for RDMA READ");
+  }
+  uint64_t read_id;
+  {
+    std::lock_guard<std::mutex> lock(reads_mu_);
+    read_id = next_read_id_++;
+    pending_reads_[read_id] = PendingRead{wr_id, local};
+  }
+  std::vector<uint8_t> request;
+  request.reserve(24);
+  PutU64(request, read_id);
+  PutU64(request, remote_addr);
+  PutU32(request, rkey);
+  PutU32(request, length);
+  Status st =
+      SendMessage(socket_.get(), send_mu_, kMsgRdmaReadReq, 0, request);
+  if (!st.ok()) {
+    std::lock_guard<std::mutex> lock(reads_mu_);
+    pending_reads_.erase(read_id);
+  }
+  return st;
+}
+
+void QueuePair::HandleRdmaReadRequest(std::span<const uint8_t> request) {
+  // One-sided semantics: serviced entirely here on the "NIC" (receiver
+  // thread); no posted receive is consumed and no completion is raised on
+  // this side.
+  if (request.size() != 24) return;
+  const uint64_t read_id = GetU64(request.data());
+  const uint64_t remote_addr = GetU64(request.data() + 8);
+  const uint32_t rkey = GetU32(request.data() + 16);
+  const uint32_t length = GetU32(request.data() + 20);
+  const auto* addr = reinterpret_cast<const uint8_t*>(
+      static_cast<uintptr_t>(remote_addr));
+  std::vector<uint8_t> response;
+  PutU64(response, read_id);
+  if (pd_->ValidateRemoteAccess(rkey, addr, length)) {
+    response.push_back(1);  // OK
+    response.insert(response.end(), addr, addr + length);
+  } else {
+    response.push_back(0);  // remote access error
+  }
+  (void)SendMessage(socket_.get(), send_mu_, kMsgRdmaReadResp, 0, response);
+}
+
+void QueuePair::HandleRdmaReadResponse(std::span<const uint8_t> response) {
+  if (response.size() < 9) return;
+  const uint64_t read_id = GetU64(response.data());
+  PendingRead pending;
+  {
+    std::lock_guard<std::mutex> lock(reads_mu_);
+    auto it = pending_reads_.find(read_id);
+    if (it == pending_reads_.end()) return;
+    pending = it->second;
+    pending_reads_.erase(it);
+  }
+  WorkCompletion wc;
+  wc.wr_id = pending.wr_id;
+  wc.opcode = WcOpcode::kRdmaRead;
+  const bool granted = response[8] == 1;
+  const size_t payload = response.size() - 9;
+  if (!granted) {
+    wc.status = WcStatus::kRemoteAccessError;
+  } else if (payload > pending.local.length) {
+    wc.status = WcStatus::kLocalLengthError;
+  } else {
+    std::memcpy(pending.local.addr, response.data() + 9, payload);
+    bytes_received_ += payload;
+    wc.status = WcStatus::kSuccess;
+    wc.byte_len = static_cast<uint32_t>(payload);
+  }
+  // Verbs: RDMA READ completions surface on the requester's send CQ.
+  send_cq_->Push(wc);
+}
+
+std::optional<QueuePair::PostedRecv> QueuePair::TakePostedRecv() {
+  std::unique_lock<std::mutex> lock(mu_);
+  recv_posted_cv_.wait(lock, [&] {
+    return state_ != State::kRts || !posted_recvs_.empty();
+  });
+  if (posted_recvs_.empty()) return std::nullopt;
+  PostedRecv posted = posted_recvs_.front();
+  posted_recvs_.pop_front();
+  return posted;
+}
+
+void QueuePair::ReceiverLoop() {
+  for (;;) {
+    uint8_t header[6];
+    if (!RecvAll(socket_.get(), header).ok()) break;
+    const uint32_t length = GetU32(header);
+    const uint8_t wire_type = header[4];
+    const uint8_t app_type = header[5];
+    if (wire_type == kMsgRdmaReadReq || wire_type == kMsgRdmaReadResp) {
+      std::vector<uint8_t> control(length);
+      if (length > 0 && !RecvAll(socket_.get(), control).ok()) break;
+      if (wire_type == kMsgRdmaReadReq) {
+        HandleRdmaReadRequest(control);
+      } else {
+        HandleRdmaReadResponse(control);
+      }
+      continue;
+    }
+    if (wire_type != kMsgData) break;  // protocol violation
+
+    // RNR semantics: block until the application posts a buffer. TCP
+    // backpressure stalls the sender meanwhile, like RNR NAK + retry.
+    auto posted = TakePostedRecv();
+    if (!posted) break;
+
+    WorkCompletion wc;
+    wc.wr_id = posted->wr_id;
+    wc.opcode = WcOpcode::kRecv;
+    wc.byte_len = length;
+    wc.msg_type = app_type;
+    if (length > posted->buffer.length) {
+      // Drain the wire to stay in sync, then report the length error.
+      std::vector<uint8_t> sink(length);
+      if (!RecvAll(socket_.get(), sink).ok()) break;
+      wc.status = WcStatus::kLocalLengthError;
+      recv_cq_->Push(wc);
+      continue;
+    }
+    if (length > 0 &&
+        !RecvAll(socket_.get(), {posted->buffer.addr, length}).ok()) {
+      wc.status = WcStatus::kError;
+      recv_cq_->Push(wc);
+      break;
+    }
+    bytes_received_ += length;
+    wc.status = WcStatus::kSuccess;
+    recv_cq_->Push(wc);
+  }
+  // Flush outstanding receives (ibv flush-error semantics on QP teardown).
+  std::deque<PostedRecv> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ == State::kRts) state_ = State::kClosed;
+    orphans.swap(posted_recvs_);
+  }
+  recv_posted_cv_.notify_all();
+  for (const PostedRecv& posted : orphans) {
+    WorkCompletion wc;
+    wc.wr_id = posted.wr_id;
+    wc.opcode = WcOpcode::kRecv;
+    wc.status = WcStatus::kFlushed;
+    recv_cq_->Push(wc);
+  }
+  // Outstanding RDMA READs flush to the send CQ.
+  std::unordered_map<uint64_t, PendingRead> orphan_reads;
+  {
+    std::lock_guard<std::mutex> lock(reads_mu_);
+    orphan_reads.swap(pending_reads_);
+  }
+  for (const auto& [id, pending] : orphan_reads) {
+    WorkCompletion wc;
+    wc.wr_id = pending.wr_id;
+    wc.opcode = WcOpcode::kRdmaRead;
+    wc.status = WcStatus::kFlushed;
+    send_cq_->Push(wc);
+  }
+}
+
+void QueuePair::Disconnect() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ == State::kClosed) return;
+    state_ = State::kClosed;
+  }
+  ::shutdown(socket_.get(), SHUT_RDWR);
+  recv_posted_cv_.notify_all();
+}
+
+QueuePair::State QueuePair::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+size_t QueuePair::posted_recvs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return posted_recvs_.size();
+}
+
+std::optional<CmEvent> EventChannel::WaitEvent() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return shutdown_ || !events_.empty(); });
+  if (events_.empty()) return std::nullopt;
+  CmEvent event = events_.front();
+  events_.pop_front();
+  return event;
+}
+
+std::optional<CmEvent> EventChannel::PollEvent() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.empty()) return std::nullopt;
+  CmEvent event = events_.front();
+  events_.pop_front();
+  return event;
+}
+
+void EventChannel::Push(CmEvent event) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(event);
+  }
+  cv_.notify_one();
+}
+
+void EventChannel::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+RdmaServer::~RdmaServer() { Stop(); }
+
+Status RdmaServer::Listen(uint16_t port) {
+  auto listener = ListenTcp(port);
+  JBS_RETURN_IF_ERROR(listener.status());
+  listen_fd_ = std::move(listener->first);
+  port_ = listener->second;
+  running_.store(true);
+  listener_ = std::thread([this] { ListenLoop(); });
+  return Status::Ok();
+}
+
+void RdmaServer::ListenLoop() {
+  while (running_.load()) {
+    const int raw = ::accept(listen_fd_.get(), nullptr, nullptr);
+    if (raw < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed
+    }
+    Fd conn(raw);
+    (void)SetNoDelay(conn.get());
+    // The connection request carries a kMsgConnReq "private data" message.
+    uint8_t header[6];
+    if (!RecvAll(conn.get(), header).ok() || header[4] != kMsgConnReq) {
+      continue;  // not a well-formed rdma_connect
+    }
+    const uint32_t private_len = GetU32(header);
+    if (private_len > 0) {
+      std::vector<uint8_t> private_data(private_len);
+      if (!RecvAll(conn.get(), private_data).ok()) continue;
+    }
+    uint64_t request_id;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      request_id = next_request_id_++;
+      pending_[request_id] = std::move(conn);
+    }
+    channel_->Push({CmEventType::kConnectRequest, request_id});
+  }
+}
+
+StatusOr<std::unique_ptr<QueuePair>> RdmaServer::Accept(
+    uint64_t request_id, ProtectionDomain* pd, CompletionQueue* send_cq,
+    CompletionQueue* recv_cq) {
+  Fd conn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pending_.find(request_id);
+    if (it == pending_.end()) {
+      return NotFound("no pending connect request " +
+                      std::to_string(request_id));
+    }
+    conn = std::move(it->second);
+    pending_.erase(it);
+  }
+  // Accept-reply completes the handshake (Fig. 6's "Accept Reply" arrow).
+  std::mutex tmp_mu;
+  JBS_RETURN_IF_ERROR(
+      SendMessage(conn.get(), tmp_mu, kMsgConnAccept, 0, {}));
+  channel_->Push({CmEventType::kEstablished, request_id});
+  return std::make_unique<QueuePair>(std::move(conn), pd, send_cq, recv_cq);
+}
+
+Status RdmaServer::Reject(uint64_t request_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) {
+    return NotFound("no pending connect request");
+  }
+  pending_.erase(it);  // closing the fd signals rejection
+  return Status::Ok();
+}
+
+void RdmaServer::Stop() {
+  if (!running_.exchange(false)) return;
+  ::shutdown(listen_fd_.get(), SHUT_RDWR);
+  listen_fd_.Reset();
+  if (listener_.joinable()) listener_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.clear();
+}
+
+StatusOr<std::unique_ptr<QueuePair>> RdmaConnect(const std::string& host,
+                                                 uint16_t port,
+                                                 ProtectionDomain* pd,
+                                                 CompletionQueue* send_cq,
+                                                 CompletionQueue* recv_cq) {
+  // alloc conn + rdma_connect.
+  auto fd = ConnectTcp(host, port);
+  JBS_RETURN_IF_ERROR(fd.status());
+  std::mutex tmp_mu;
+  JBS_RETURN_IF_ERROR(
+      SendMessage(fd->get(), tmp_mu, kMsgConnReq, 0, {}));
+  // Block until the accept-reply; a closed socket means rejection.
+  uint8_t header[6];
+  Status st = RecvAll(fd->get(), header);
+  if (!st.ok()) return Unavailable("connection rejected by server");
+  if (header[4] != kMsgConnAccept) {
+    return Internal("unexpected handshake reply");
+  }
+  // Established on the client side.
+  return std::make_unique<QueuePair>(std::move(fd).value(), pd, send_cq,
+                                     recv_cq);
+}
+
+}  // namespace jbs::net::verbs

@@ -1,0 +1,244 @@
+// SoftRdma: a software emulation of the verbs/rdma_cm API surface that JBS
+// uses on InfiniBand and RoCE (§IV-A), faithful in *semantics* rather than
+// speed: reliable-connection queue pairs, pre-posted receive buffers with
+// direct data placement (payload lands in the registered buffer, no
+// intermediate copy on the receive path), completion queues, and the
+// rdma_cm connection-establishment state machine of Fig. 6
+// (rdma_listen -> CONNECT_REQUEST -> rdma_accept -> ESTABLISHED on both
+// ends). The wire underneath is a loopback TCP socket — the substitution
+// documented in DESIGN.md; protocol-level costs are modelled in simnet.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "transport/socket_util.h"
+
+namespace jbs::net::verbs {
+
+/// A registered memory region (ibv_mr analogue). Registration pins the
+/// region in the protection domain; receives may only land in registered
+/// memory.
+struct MemoryRegion {
+  uint8_t* addr = nullptr;
+  size_t length = 0;
+  uint32_t lkey = 0;
+};
+
+class ProtectionDomain {
+ public:
+  MemoryRegion Register(void* addr, size_t length);
+  bool Owns(const MemoryRegion& mr) const;
+  /// Validates a remote-access request: does [addr, addr+length) sit
+  /// inside the region registered under `rkey`?
+  bool ValidateRemoteAccess(uint32_t rkey, const uint8_t* addr,
+                            size_t length) const;
+  size_t registered_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  uint32_t next_lkey_ = 1;
+  std::unordered_map<uint32_t, std::pair<uint8_t*, size_t>> regions_;
+};
+
+enum class WcOpcode { kSend, kRecv, kRdmaRead };
+enum class WcStatus {
+  kSuccess,
+  kFlushed,
+  kLocalLengthError,
+  kRemoteAccessError,  // RDMA READ outside the peer's registration
+  kError,
+};
+
+struct WorkCompletion {
+  uint64_t wr_id = 0;
+  WcOpcode opcode = WcOpcode::kSend;
+  WcStatus status = WcStatus::kSuccess;
+  uint32_t byte_len = 0;
+  uint8_t msg_type = 0;  // application tag carried with each message
+};
+
+class CompletionQueue {
+ public:
+  /// Nonblocking poll (ibv_poll_cq).
+  std::optional<WorkCompletion> Poll();
+
+  /// Blocks until a completion arrives or the CQ is shut down.
+  std::optional<WorkCompletion> WaitPoll();
+
+  void Push(WorkCompletion wc);
+  void Shutdown();
+  size_t depth() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<WorkCompletion> completions_;
+  bool shutdown_ = false;
+};
+
+/// Reliable-connection queue pair over an established socket.
+class QueuePair {
+ public:
+  enum class State { kRts, kError, kClosed };
+
+  QueuePair(Fd socket, ProtectionDomain* pd, CompletionQueue* send_cq,
+            CompletionQueue* recv_cq);
+  ~QueuePair();
+
+  QueuePair(const QueuePair&) = delete;
+  QueuePair& operator=(const QueuePair&) = delete;
+
+  /// Posts a receive buffer. Incoming messages are placed directly into
+  /// posted buffers in FIFO order; a message larger than its buffer
+  /// completes with kLocalLengthError. The region must be registered.
+  Status PostRecv(uint64_t wr_id, MemoryRegion buffer);
+
+  /// Sends a message; completion lands in the send CQ. Thread-safe.
+  Status PostSend(uint64_t wr_id, uint8_t msg_type,
+                  std::span<const uint8_t> payload);
+
+  /// One-sided RDMA READ: pulls `length` bytes from the peer's registered
+  /// memory at (remote_addr, rkey) into `local` — no receive posted and no
+  /// completion raised on the peer (its "CPU" stays out of the path, which
+  /// is the whole point of the verb). Completion (WcOpcode::kRdmaRead)
+  /// lands in the requester's send CQ, per verbs semantics. `local` must
+  /// be at least `length` bytes and registered in this side's PD.
+  Status PostRdmaRead(uint64_t wr_id, MemoryRegion local,
+                      uint64_t remote_addr, uint32_t rkey, uint32_t length);
+
+  /// Tears the connection down; pending receives flush with kFlushed.
+  void Disconnect();
+
+  State state() const;
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t bytes_received() const { return bytes_received_; }
+  size_t posted_recvs() const;
+
+ private:
+  friend class RdmaServer;
+  friend StatusOr<std::unique_ptr<QueuePair>> RdmaConnect(
+      const std::string&, uint16_t, ProtectionDomain*, CompletionQueue*,
+      CompletionQueue*);
+
+  void ReceiverLoop();
+  struct PostedRecv {
+    uint64_t wr_id;
+    MemoryRegion buffer;
+  };
+  /// Blocks until a recv is posted or the QP dies.
+  std::optional<PostedRecv> TakePostedRecv();
+  /// Responder half of RDMA READ, run on the receiver thread.
+  void HandleRdmaReadRequest(std::span<const uint8_t> request);
+  /// Requester half: places the reply into the pending read's buffer.
+  void HandleRdmaReadResponse(std::span<const uint8_t> response);
+
+  Fd socket_;
+  ProtectionDomain* pd_;
+  CompletionQueue* send_cq_;
+  CompletionQueue* recv_cq_;
+
+  mutable std::mutex mu_;
+  std::condition_variable recv_posted_cv_;
+  std::deque<PostedRecv> posted_recvs_;
+  State state_ = State::kRts;
+
+  std::mutex send_mu_;
+  std::thread receiver_;
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> bytes_received_{0};
+
+  struct PendingRead {
+    uint64_t wr_id;
+    MemoryRegion local;
+  };
+  std::mutex reads_mu_;
+  std::unordered_map<uint64_t, PendingRead> pending_reads_;
+  uint64_t next_read_id_ = 1;
+};
+
+/// rdma_cm events (the subset Fig. 6 exercises).
+enum class CmEventType {
+  kConnectRequest,
+  kEstablished,
+  kDisconnected,
+  kConnectError,
+};
+
+struct CmEvent {
+  CmEventType type;
+  uint64_t request_id = 0;  // for kConnectRequest: pass to Accept/Reject
+};
+
+/// Delivers connection-management events to the "additional thread
+/// managing network events" the paper describes.
+class EventChannel {
+ public:
+  std::optional<CmEvent> WaitEvent();
+  std::optional<CmEvent> PollEvent();
+  void Push(CmEvent event);
+  void Shutdown();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<CmEvent> events_;
+  bool shutdown_ = false;
+};
+
+/// Server half of Fig. 6: rdma_listen / CONNECT_REQUEST / rdma_accept.
+class RdmaServer {
+ public:
+  explicit RdmaServer(EventChannel* channel) : channel_(channel) {}
+  ~RdmaServer();
+
+  /// rdma_listen(): binds 127.0.0.1 (0 = ephemeral port), starts the
+  /// listener thread; connection requests surface on the event channel.
+  Status Listen(uint16_t port = 0);
+  uint16_t port() const { return port_; }
+
+  /// rdma_accept(): completes the handshake for a pending request,
+  /// allocating the connection (QP). Fires kEstablished on the channel.
+  StatusOr<std::unique_ptr<QueuePair>> Accept(uint64_t request_id,
+                                              ProtectionDomain* pd,
+                                              CompletionQueue* send_cq,
+                                              CompletionQueue* recv_cq);
+
+  /// rdma_reject(): refuses a pending request.
+  Status Reject(uint64_t request_id);
+
+  void Stop();
+
+ private:
+  void ListenLoop();
+
+  EventChannel* channel_;
+  Fd listen_fd_;
+  uint16_t port_ = 0;
+  std::thread listener_;
+  std::atomic<bool> running_{false};
+
+  std::mutex mu_;
+  std::unordered_map<uint64_t, Fd> pending_;  // request_id -> socket
+  uint64_t next_request_id_ = 1;
+};
+
+/// Client half of Fig. 6: alloc conn + rdma_connect, blocking until the
+/// accept-reply ("established" on both sides). Returns a ready QP.
+StatusOr<std::unique_ptr<QueuePair>> RdmaConnect(const std::string& host,
+                                                 uint16_t port,
+                                                 ProtectionDomain* pd,
+                                                 CompletionQueue* send_cq,
+                                                 CompletionQueue* recv_cq);
+
+}  // namespace jbs::net::verbs

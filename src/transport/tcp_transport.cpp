@@ -1,0 +1,304 @@
+// TCP/IP backend (§IV-B): blocking framed client connections; an
+// event-driven (epoll) server endpoint where one network thread detects
+// readability across all connections, decodes request frames, and streams
+// queued response buffers out asynchronously.
+#include "transport/tcp_transport.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+#include "transport/event_loop.h"
+#include "transport/socket_util.h"
+
+namespace jbs::net {
+
+namespace {
+
+class TcpConnection final : public Connection {
+ public:
+  explicit TcpConnection(Fd fd) : fd_(std::move(fd)) {}
+
+  ~TcpConnection() override { Close(); }
+
+  Status Send(const Frame& frame) override {
+    std::lock_guard<std::mutex> lock(send_mu_);
+    if (!alive_) return Unavailable("connection closed");
+    wire_.clear();
+    EncodeFrame(frame, wire_);
+    Status st = SendAll(fd_.get(), wire_);
+    if (!st.ok()) {
+      alive_ = false;
+      return st;
+    }
+    bytes_sent_ += wire_.size();
+    return Status::Ok();
+  }
+
+  StatusOr<Frame> Receive() override {
+    if (!alive_) return Unavailable("connection closed");
+    uint8_t header[5];
+    Status st = RecvAll(fd_.get(), header);
+    if (!st.ok()) {
+      alive_ = false;
+      return st;
+    }
+    const uint32_t length = GetU32(header);
+    Frame frame;
+    frame.type = header[4];
+    frame.payload.resize(length);
+    if (length > 0) {
+      st = RecvAll(fd_.get(), frame.payload);
+      if (!st.ok()) {
+        alive_ = false;
+        return st;
+      }
+    }
+    bytes_received_ += 5 + length;
+    return frame;
+  }
+
+  void Close() override {
+    std::lock_guard<std::mutex> lock(send_mu_);
+    alive_ = false;
+    fd_.Reset();
+  }
+
+  bool alive() const override { return alive_; }
+  uint64_t bytes_sent() const override { return bytes_sent_; }
+  uint64_t bytes_received() const override { return bytes_received_; }
+
+ private:
+  Fd fd_;
+  std::mutex send_mu_;
+  std::vector<uint8_t> wire_;  // reused encode buffer (guarded by send_mu_)
+  std::atomic<bool> alive_{true};
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> bytes_received_{0};
+};
+
+class TcpServerEndpoint final : public ServerEndpoint {
+ public:
+  ~TcpServerEndpoint() override { Stop(); }
+
+  Status Start(Handlers handlers) override {
+    handlers_ = std::move(handlers);
+    auto listener = ListenTcp(/*port=*/0);
+    JBS_RETURN_IF_ERROR(listener.status());
+    listen_fd_ = std::move(listener->first);
+    port_ = listener->second;
+    JBS_RETURN_IF_ERROR(SetNonBlocking(listen_fd_.get()));
+    JBS_RETURN_IF_ERROR(loop_.Start());
+    Status add_status;
+    // Registration must happen on the loop thread.
+    std::promise<Status> done;
+    loop_.RunInLoop([this, &done] {
+      done.set_value(loop_.Add(listen_fd_.get(), /*read=*/true,
+                               /*write=*/false,
+                               [this](uint32_t) { AcceptReady(); }));
+    });
+    return done.get_future().get();
+  }
+
+  uint16_t port() const override { return port_; }
+
+  Status SendAsync(ConnId conn, Frame frame) override {
+    auto wire = std::make_shared<std::vector<uint8_t>>();
+    EncodeFrame(frame, *wire);
+    loop_.RunInLoop([this, conn, wire] {
+      auto it = conns_.find(conn);
+      if (it == conns_.end()) return;
+      it->second.out_queue.push_back(std::move(*wire));
+      ++stats_.frames_sent;
+      FlushWrites(conn);
+    });
+    return Status::Ok();
+  }
+
+  void Stop() override {
+    if (stopped_.exchange(true)) return;
+    loop_.Stop();
+    conns_.clear();
+    listen_fd_.Reset();
+  }
+
+  Stats stats() const override {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return stats_;
+  }
+
+ private:
+  struct ConnState {
+    Fd fd;
+    FrameDecoder decoder;
+    std::deque<std::vector<uint8_t>> out_queue;
+    size_t out_offset = 0;  // into front of out_queue
+    bool want_write = false;
+  };
+
+  void AcceptReady() {
+    for (;;) {
+      const int raw = ::accept4(listen_fd_.get(), nullptr, nullptr,
+                                SOCK_NONBLOCK);
+      if (raw < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR) continue;
+        JBS_WARN << "accept: " << std::strerror(errno);
+        return;
+      }
+      const ConnId id = next_conn_id_++;
+      (void)SetNoDelay(raw);
+      ConnState state;
+      state.fd = Fd(raw);
+      auto [it, inserted] = conns_.emplace(id, std::move(state));
+      Status st = loop_.Add(raw, /*read=*/true, /*write=*/false,
+                            [this, id](uint32_t events) {
+                              OnConnEvent(id, events);
+                            });
+      if (!st.ok()) {
+        conns_.erase(it);
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.connections_accepted;
+      }
+      if (handlers_.on_connect) handlers_.on_connect(id);
+    }
+  }
+
+  void OnConnEvent(ConnId id, uint32_t events) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    if ((events & EventLoop::kError) != 0) {
+      CloseConn(id);
+      return;
+    }
+    if ((events & EventLoop::kReadable) != 0 && !ReadReady(id)) return;
+    if ((events & EventLoop::kWritable) != 0) FlushWrites(id);
+  }
+
+  /// Returns false if the connection was closed.
+  bool ReadReady(ConnId id) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return false;
+    ConnState& state = it->second;
+    uint8_t chunk[64 * 1024];
+    for (;;) {
+      const ssize_t n = ::recv(state.fd.get(), chunk, sizeof(chunk), 0);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        CloseConn(id);
+        return false;
+      }
+      if (n == 0) {
+        CloseConn(id);
+        return false;
+      }
+      if (!state.decoder.Feed({chunk, static_cast<size_t>(n)}).ok()) {
+        CloseConn(id);
+        return false;
+      }
+      while (auto frame = state.decoder.Next()) {
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.frames_received;
+        }
+        if (handlers_.on_frame) handlers_.on_frame(id, std::move(*frame));
+        // The handler may have closed this connection.
+        if (conns_.find(id) == conns_.end()) return false;
+      }
+      if (state.decoder.poisoned()) {
+        CloseConn(id);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void FlushWrites(ConnId id) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    ConnState& state = it->second;
+    while (!state.out_queue.empty()) {
+      const auto& buffer = state.out_queue.front();
+      const ssize_t n =
+          ::send(state.fd.get(), buffer.data() + state.out_offset,
+                 buffer.size() - state.out_offset, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        CloseConn(id);
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        stats_.bytes_sent += static_cast<uint64_t>(n);
+      }
+      state.out_offset += static_cast<size_t>(n);
+      if (state.out_offset == buffer.size()) {
+        state.out_queue.pop_front();
+        state.out_offset = 0;
+      }
+    }
+    const bool need_write = !state.out_queue.empty();
+    if (need_write != state.want_write) {
+      state.want_write = need_write;
+      loop_.Modify(state.fd.get(), /*read=*/true, /*write=*/need_write);
+    }
+  }
+
+  void CloseConn(ConnId id) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    loop_.Remove(it->second.fd.get());
+    conns_.erase(it);
+    if (handlers_.on_disconnect) handlers_.on_disconnect(id);
+  }
+
+  Handlers handlers_;
+  EventLoop loop_;
+  Fd listen_fd_;
+  uint16_t port_ = 0;
+  ConnId next_conn_id_ = 1;
+  std::unordered_map<ConnId, ConnState> conns_;  // loop thread only
+  std::atomic<bool> stopped_{false};
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+class TcpTransport final : public Transport {
+ public:
+  std::string name() const override { return "tcp"; }
+
+  StatusOr<std::unique_ptr<ServerEndpoint>> CreateServer() override {
+    return std::unique_ptr<ServerEndpoint>(
+        std::make_unique<TcpServerEndpoint>());
+  }
+
+  StatusOr<std::unique_ptr<Connection>> Connect(const std::string& host,
+                                                uint16_t port) override {
+    auto fd = ConnectTcp(host, port);
+    JBS_RETURN_IF_ERROR(fd.status());
+    return std::unique_ptr<Connection>(
+        std::make_unique<TcpConnection>(std::move(fd).value()));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Transport> MakeTcpTransport() {
+  return std::make_unique<TcpTransport>();
+}
+
+}  // namespace jbs::net

@@ -1,0 +1,5 @@
+// See transport.h; this header only exists to give the .cpp a home for
+// includes in the conventional layout.
+#pragma once
+
+#include "transport/transport.h"

@@ -1,0 +1,90 @@
+// Portable transport layer (§IV). One abstract API with two backends:
+//
+//   - TcpTransport: real nonblocking sockets; the server side multiplexes
+//     all connections with one epoll event thread and queues outbound
+//     frames for asynchronous transmission (§IV-B's event-driven model).
+//   - SoftRdmaTransport: a verbs-style emulation (queue pairs, completion
+//     queues, rdma_cm-style event channel) preserving the §IV-A
+//     connection-establishment state machine without RDMA hardware.
+//
+// Client side is a blocking framed Connection (thread-safe Send, single
+// reader), matching how NetMerger data threads drive fetch conversations.
+// Server side is a ServerEndpoint: callback-driven request intake plus
+// asynchronous sends, matching the MOFSupplier pipeline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/framing.h"
+#include "common/status.h"
+
+namespace jbs::net {
+
+/// Identifies one accepted connection within a ServerEndpoint.
+using ConnId = uint64_t;
+
+/// Client-side connection: framed, blocking. Send is safe from multiple
+/// threads (frames are serialized whole); Receive must have one reader.
+class Connection {
+ public:
+  virtual ~Connection() = default;
+  virtual Status Send(const Frame& frame) = 0;
+  virtual StatusOr<Frame> Receive() = 0;
+  virtual void Close() = 0;
+  virtual bool alive() const = 0;
+  /// Bytes moved in each direction (for shuffle accounting).
+  virtual uint64_t bytes_sent() const = 0;
+  virtual uint64_t bytes_received() const = 0;
+};
+
+/// Server-side endpoint handling many connections.
+class ServerEndpoint {
+ public:
+  struct Handlers {
+    std::function<void(ConnId)> on_connect;
+    std::function<void(ConnId, Frame)> on_frame;
+    std::function<void(ConnId)> on_disconnect;
+  };
+
+  virtual ~ServerEndpoint() = default;
+
+  /// Binds, starts the event machinery, and begins delivering callbacks
+  /// (from the endpoint's internal thread — handlers must be fast or
+  /// hand off).
+  virtual Status Start(Handlers handlers) = 0;
+
+  virtual uint16_t port() const = 0;
+
+  /// Queues a frame for asynchronous transmission to a connection. Safe
+  /// from any thread.
+  virtual Status SendAsync(ConnId conn, Frame frame) = 0;
+
+  /// Stops the event thread and closes all connections.
+  virtual void Stop() = 0;
+
+  struct Stats {
+    uint64_t connections_accepted = 0;
+    uint64_t frames_received = 0;
+    uint64_t frames_sent = 0;
+    uint64_t bytes_sent = 0;
+  };
+  virtual Stats stats() const = 0;
+};
+
+/// Factory for one protocol family.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual std::string name() const = 0;
+  virtual StatusOr<std::unique_ptr<ServerEndpoint>> CreateServer() = 0;
+  virtual StatusOr<std::unique_ptr<Connection>> Connect(
+      const std::string& host, uint16_t port) = 0;
+};
+
+/// Creates the TCP/IP transport (§IV-B).
+std::unique_ptr<Transport> MakeTcpTransport();
+
+}  // namespace jbs::net

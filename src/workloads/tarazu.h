@@ -1,0 +1,70 @@
+// Tarazu benchmark suite (§V-F): SelfJoin, InvertedIndex, SequenceCount,
+// AdjacencyList — the shuffle-heavy group — plus WordCount and Grep, the
+// shuffle-light group. Each comes with a synthetic input generator (the
+// substitution for the paper's wikipedia / database inputs) and a JobSpec
+// factory. ShuffleProfile carries the per-workload intermediate-data ratio
+// the cluster simulator uses for Fig. 12.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "hdfs/minidfs.h"
+#include "mapred/api.h"
+
+namespace jbs::wl {
+
+enum class Workload {
+  kTerasort,
+  kSelfJoin,
+  kInvertedIndex,
+  kSequenceCount,
+  kAdjacencyList,
+  kWordCount,
+  kGrep,
+};
+
+const char* WorkloadName(Workload workload);
+
+/// How a workload loads the cluster, independent of input size.
+struct ShuffleProfile {
+  double shuffle_ratio;    // intermediate bytes / input bytes
+  double output_ratio;     // final output bytes / input bytes
+  double map_cpu_per_mb;   // core-seconds of user map work per input MB
+  double reduce_cpu_per_mb;
+  double reducer_skew;     // max reducer load / mean reducer load; key
+                           // distribution dependent (zipf-ish inputs skew
+                           // hard, sampled range partitioning does not)
+};
+
+/// Calibrated per-workload profiles (see the table in tarazu.cpp).
+ShuffleProfile ProfileFor(Workload workload);
+
+/// Zipf-distributed text: `lines` lines of `words_per_line` words drawn
+/// from a `vocabulary`-word dictionary (the wikipedia stand-in).
+Status GenerateText(hdfs::MiniDfs& dfs, const std::string& path,
+                    uint64_t lines, int words_per_line, uint64_t vocabulary,
+                    uint64_t seed);
+
+/// Edge-list input "src dst" for AdjacencyList (the database stand-in).
+Status GenerateEdges(hdfs::MiniDfs& dfs, const std::string& path,
+                     uint64_t edges, uint64_t nodes, uint64_t seed);
+
+/// Key-tuple lines "k1 k2 k3" for SelfJoin.
+Status GenerateTuples(hdfs::MiniDfs& dfs, const std::string& path,
+                      uint64_t lines, uint64_t key_space, uint64_t seed);
+
+mr::JobSpec WordCountJob(const std::string& input, const std::string& output,
+                         int reducers);
+mr::JobSpec GrepJob(const std::string& input, const std::string& output,
+                    int reducers, const std::string& pattern);
+mr::JobSpec InvertedIndexJob(const std::string& input,
+                             const std::string& output, int reducers);
+mr::JobSpec SequenceCountJob(const std::string& input,
+                             const std::string& output, int reducers);
+mr::JobSpec AdjacencyListJob(const std::string& input,
+                             const std::string& output, int reducers);
+mr::JobSpec SelfJoinJob(const std::string& input, const std::string& output,
+                        int reducers);
+
+}  // namespace jbs::wl

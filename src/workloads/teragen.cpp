@@ -1,0 +1,115 @@
+#include "workloads/teragen.h"
+
+#include "common/rng.h"
+
+namespace jbs::wl {
+
+namespace {
+// Printable key alphabet, preserving byte order == lexicographic order.
+constexpr char kAlphabet[] =
+    "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+constexpr size_t kAlphabetSize = sizeof(kAlphabet) - 1;
+}  // namespace
+
+Status TeraGen(hdfs::MiniDfs& dfs, const std::string& path,
+               uint64_t num_records, uint64_t seed) {
+  auto writer = dfs.Create(path);
+  JBS_RETURN_IF_ERROR(writer.status());
+  Rng rng(seed);
+  std::vector<uint8_t> batch;
+  constexpr uint64_t kBatchRecords = 4096;
+  batch.reserve(kBatchRecords * kTeraRecordSize);
+  char record[kTeraRecordSize];
+  for (uint64_t i = 0; i < num_records; ++i) {
+    for (int k = 0; k < kTeraKeySize; ++k) {
+      record[k] = kAlphabet[rng.Below(kAlphabetSize)];
+    }
+    // 90-byte payload: zero-padded row id + filler, as teragen does.
+    std::snprintf(record + kTeraKeySize, sizeof(record) - kTeraKeySize,
+                  "%020llu", static_cast<unsigned long long>(i));
+    for (int v = kTeraKeySize + 20; v < kTeraRecordSize; ++v) {
+      record[v] = static_cast<char>('A' + (i + v) % 26);
+    }
+    batch.insert(batch.end(), record, record + kTeraRecordSize);
+    if (batch.size() >= kBatchRecords * kTeraRecordSize) {
+      JBS_RETURN_IF_ERROR(writer->Append(batch));
+      batch.clear();
+    }
+  }
+  if (!batch.empty()) JBS_RETURN_IF_ERROR(writer->Append(batch));
+  return writer->Close();
+}
+
+StatusOr<std::vector<std::string>> TeraSample(hdfs::MiniDfs& dfs,
+                                              const std::string& path,
+                                              size_t sample_size) {
+  auto info = dfs.Stat(path);
+  JBS_RETURN_IF_ERROR(info.status());
+  const uint64_t records = info->length / kTeraRecordSize;
+  if (records == 0) return std::vector<std::string>{};
+  std::vector<std::string> sample;
+  sample.reserve(sample_size);
+  const uint64_t stride = std::max<uint64_t>(1, records / sample_size);
+  std::vector<uint8_t> buf;
+  for (uint64_t r = 0; r < records && sample.size() < sample_size;
+       r += stride) {
+    JBS_RETURN_IF_ERROR(
+        dfs.ReadRange(path, r * kTeraRecordSize, kTeraKeySize, buf));
+    sample.emplace_back(buf.begin(), buf.end());
+  }
+  return sample;
+}
+
+StatusOr<mr::JobSpec> TerasortJob(hdfs::MiniDfs& dfs,
+                                  const std::string& input_path,
+                                  const std::string& output_dir,
+                                  int num_reducers) {
+  auto sample = TeraSample(dfs, input_path, 1000);
+  JBS_RETURN_IF_ERROR(sample.status());
+  auto points =
+      mr::RangePartitioner::SelectSplitPoints(std::move(sample).value(),
+                                              num_reducers);
+  mr::JobSpec spec;
+  spec.name = "terasort";
+  spec.input_path = input_path;
+  spec.output_dir = output_dir;
+  spec.num_reducers = num_reducers;
+  spec.input_format = mr::InputFormat::kFixedRecords;
+  spec.fixed_record_size = kTeraRecordSize;
+  spec.fixed_key_size = kTeraKeySize;
+  spec.partitioner =
+      std::make_shared<mr::RangePartitioner>(std::move(points));
+  spec.map = [](std::string_view key, std::string_view value,
+                mr::Emitter& e) { e.Emit(key, value); };
+  spec.reduce = [](const std::string& key,
+                   const std::vector<std::string>& values, mr::Emitter& e) {
+    for (const auto& value : values) e.Emit(key, value);
+  };
+  return spec;
+}
+
+StatusOr<uint64_t> ValidateSorted(hdfs::MiniDfs& dfs,
+                                  const std::vector<std::string>& parts) {
+  uint64_t total = 0;
+  std::string previous_key;
+  for (const std::string& part : parts) {
+    std::vector<uint8_t> data;
+    JBS_RETURN_IF_ERROR(dfs.ReadFile(part, data));
+    if (data.size() % kTeraRecordSize != 0) {
+      return Internal("output not a multiple of the record size");
+    }
+    for (size_t off = 0; off < data.size(); off += kTeraRecordSize) {
+      std::string key(reinterpret_cast<const char*>(data.data() + off),
+                      kTeraKeySize);
+      if (key < previous_key) {
+        return Internal("output out of order at record " +
+                        std::to_string(total));
+      }
+      previous_key = std::move(key);
+      ++total;
+    }
+  }
+  return total;
+}
+
+}  // namespace jbs::wl

@@ -1,0 +1,39 @@
+// TeraGen / Terasort (§V: "we focus on the data-intensive Terasort, whose
+// size of intermediate data is equal to its input size"). Records follow
+// the classic layout: 100 bytes = 10-byte key + 90-byte payload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "hdfs/minidfs.h"
+#include "mapred/api.h"
+
+namespace jbs::wl {
+
+inline constexpr int kTeraRecordSize = 100;
+inline constexpr int kTeraKeySize = 10;
+
+/// Writes `num_records` Terasort records to `path` in the DFS.
+Status TeraGen(hdfs::MiniDfs& dfs, const std::string& path,
+               uint64_t num_records, uint64_t seed);
+
+/// Samples `sample_size` keys from the input (for the range partitioner).
+StatusOr<std::vector<std::string>> TeraSample(hdfs::MiniDfs& dfs,
+                                              const std::string& path,
+                                              size_t sample_size);
+
+/// Builds the Terasort job: identity map/reduce over fixed records with a
+/// sampled range partitioner so concatenated outputs are globally sorted.
+StatusOr<mr::JobSpec> TerasortJob(hdfs::MiniDfs& dfs,
+                                  const std::string& input_path,
+                                  const std::string& output_dir,
+                                  int num_reducers);
+
+/// Validates that the reduce outputs are each sorted and globally ordered
+/// across part files; returns the total record count.
+StatusOr<uint64_t> ValidateSorted(hdfs::MiniDfs& dfs,
+                                  const std::vector<std::string>& parts);
+
+}  // namespace jbs::wl

@@ -1,0 +1,187 @@
+#include "baseline/http_shuffle.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+
+#include "baseline/throttle.h"
+#include "mapred/ifile.h"
+
+namespace jbs::baseline {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(ThrottleTest, UnlimitedNeverSleeps) {
+  Throttle throttle(0);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 1000; ++i) throttle.Consume(1 << 20);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 0.1);
+}
+
+TEST(ThrottleTest, EnforcesRate) {
+  Throttle throttle(1e6);  // 1 MB/s
+  const auto start = std::chrono::steady_clock::now();
+  // 200 KB at 1 MB/s should take ~0.2s.
+  for (int i = 0; i < 20; ++i) throttle.Consume(10 * 1024);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GT(elapsed, 0.15);
+  EXPECT_LT(elapsed, 0.6);
+}
+
+TEST(ThrottleTest, ConcurrentConsumersShareRate) {
+  Throttle throttle(2e6);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10; ++i) throttle.Consume(10 * 1024);
+    });
+  }
+  for (auto& t : threads) t.join();
+  // 400 KB total at 2 MB/s ~= 0.2s regardless of thread count.
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GT(elapsed, 0.12);
+}
+
+class HttpShuffleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("http_shuffle_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  mr::MofHandle MakeMof(int map_task, int partitions, int records) {
+    mr::MofWriter writer(dir_ / ("mof_" + std::to_string(map_task)));
+    for (int p = 0; p < partitions; ++p) {
+      mr::IFileWriter segment;
+      for (int r = 0; r < records; ++r) {
+        char key[32];
+        std::snprintf(key, sizeof(key), "m%02dp%02dr%04d", map_task, p, r);
+        segment.Append(key, "value");
+      }
+      const uint64_t n = segment.records();
+      EXPECT_TRUE(writer.AppendSegment(segment.Finish(), n).ok());
+    }
+    auto handle = writer.Finish(map_task, 0);
+    EXPECT_TRUE(handle.ok());
+    return *handle;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(HttpShuffleTest, ServerAndCopierRoundTrip) {
+  HttpShuffleServer server({.servlets = 2, .penalty = JvmPenalty::None()});
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(server.PublishMof(MakeMof(0, 2, 30)).ok());
+  ASSERT_TRUE(server.PublishMof(MakeMof(1, 2, 30)).ok());
+
+  MofCopierClient::Options copts;
+  copts.copier_threads = 3;
+  copts.spill_dir = dir_ / "spill";
+  MofCopierClient copier(copts);
+  std::vector<mr::MofLocation> sources = {
+      {0, 0, "127.0.0.1", server.port()},
+      {1, 0, "127.0.0.1", server.port()},
+  };
+  auto stream = copier.FetchAndMerge(1, sources);
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  mr::Record record;
+  size_t count = 0;
+  std::string last;
+  while ((*stream)->Next(&record)) {
+    EXPECT_GE(record.key, last);
+    last = record.key;
+    ++count;
+  }
+  EXPECT_EQ(count, 60u);
+  EXPECT_EQ(server.stats().requests, 2u);
+  EXPECT_EQ(copier.stats().connections_opened, 2u);
+  server.Stop();
+}
+
+TEST_F(HttpShuffleTest, MissingMofGives404) {
+  HttpShuffleServer server({.servlets = 1, .penalty = JvmPenalty::None()});
+  ASSERT_TRUE(server.Start().ok());
+  MofCopierClient::Options copts;
+  copts.spill_dir = dir_ / "spill";
+  MofCopierClient copier(copts);
+  auto stream =
+      copier.FetchAndMerge(0, {{42, 0, "127.0.0.1", server.port()}});
+  EXPECT_FALSE(stream.ok());
+  EXPECT_EQ(stream.status().code(), StatusCode::kNotFound);
+  server.Stop();
+}
+
+TEST_F(HttpShuffleTest, SpillAndReadBackPreservesData) {
+  HttpShuffleServer server({.servlets = 2, .penalty = JvmPenalty::None()});
+  ASSERT_TRUE(server.Start().ok());
+  std::vector<mr::MofLocation> sources;
+  for (int m = 0; m < 4; ++m) {
+    ASSERT_TRUE(server.PublishMof(MakeMof(m, 1, 50)).ok());
+    sources.push_back({m, 0, "127.0.0.1", server.port()});
+  }
+  MofCopierClient::Options copts;
+  copts.in_memory_budget = 512;  // forces spills
+  copts.spill_dir = dir_ / "spill";
+  MofCopierClient copier(copts);
+  auto stream = copier.FetchAndMerge(0, sources);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_GT(copier.spills(), 0u);
+  mr::Record record;
+  size_t count = 0;
+  while ((*stream)->Next(&record)) ++count;
+  EXPECT_EQ(count, 200u);
+  server.Stop();
+}
+
+TEST_F(HttpShuffleTest, JvmPenaltySlowsTransfer) {
+  // Same fetch with and without the throttle: penalized must be measurably
+  // slower (this is the real-mode analogue of Fig. 2b).
+  auto run = [&](JvmPenalty penalty, int map_task) {
+    HttpShuffleServer server({.servlets = 1, .penalty = penalty});
+    EXPECT_TRUE(server.Start().ok());
+    EXPECT_TRUE(server.PublishMof(MakeMof(map_task, 1, 2000)).ok());
+    MofCopierClient::Options copts;
+    copts.spill_dir = dir_ / "spill";
+    copts.penalty = penalty;
+    MofCopierClient copier(copts);
+    const auto start = std::chrono::steady_clock::now();
+    auto stream =
+        copier.FetchAndMerge(0, {{map_task, 0, "127.0.0.1", server.port()}});
+    EXPECT_TRUE(stream.ok());
+    mr::Record record;
+    while ((*stream)->Next(&record)) {
+    }
+    server.Stop();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  const double fast = run(JvmPenalty::None(), 0);
+  JvmPenalty slow_penalty;
+  slow_penalty.disk_stream_bytes_per_sec = 400e3;  // scaled for test speed
+  slow_penalty.net_stream_bytes_per_sec = 400e3;
+  const double slow = run(slow_penalty, 1);
+  EXPECT_GT(slow, fast * 2) << "fast=" << fast << " slow=" << slow;
+}
+
+TEST_F(HttpShuffleTest, CalibratedPenaltyRatios) {
+  const JvmPenalty penalty = JvmPenalty::Calibrated(1.0);
+  EXPECT_NEAR(penalty.disk_stream_bytes_per_sec, 35e6, 1e5);
+  EXPECT_NEAR(penalty.net_stream_bytes_per_sec, 360e6, 1e6);
+  EXPECT_TRUE(JvmPenalty::None().disk_stream_bytes_per_sec == 0);
+}
+
+}  // namespace
+}  // namespace jbs::baseline

@@ -1,0 +1,69 @@
+#include "baseline/http.h"
+
+#include <gtest/gtest.h>
+
+namespace jbs::baseline {
+namespace {
+
+TEST(HttpTest, ParseSimpleGet) {
+  auto request = ParseRequestHead(
+      "GET /mapOutput?map=3&reduce=1 HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "Connection: keep-alive\r\n"
+      "\r\n");
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->method, "GET");
+  EXPECT_EQ(request->path, "/mapOutput");
+  EXPECT_EQ(request->query.at("map"), "3");
+  EXPECT_EQ(request->query.at("reduce"), "1");
+  EXPECT_EQ(request->headers.at("connection"), "keep-alive");
+}
+
+TEST(HttpTest, ParseNoQuery) {
+  auto request = ParseRequestHead("GET /health HTTP/1.0\r\n\r\n");
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->path, "/health");
+  EXPECT_TRUE(request->query.empty());
+}
+
+TEST(HttpTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseRequestHead("").has_value());
+  EXPECT_FALSE(ParseRequestHead("NOT A REQUEST\r\n\r\n").has_value());
+  EXPECT_FALSE(ParseRequestHead("GET /x SMTP/1.0\r\n\r\n").has_value());
+  EXPECT_FALSE(
+      ParseRequestHead("GET /x HTTP/1.1\r\nbadheader\r\n\r\n").has_value());
+}
+
+TEST(HttpTest, BuildAndReparseRequest) {
+  const std::string wire =
+      BuildGetRequest("/mapOutput", {{"map", "7"}, {"reduce", "2"}}, true);
+  auto request = ParseRequestHead(wire);
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->query.at("map"), "7");
+  EXPECT_EQ(request->headers.at("connection"), "keep-alive");
+}
+
+TEST(HttpTest, ResponseHeadRoundTrip) {
+  auto head = ParseResponseHead(BuildResponseHead(200, 123456, true));
+  ASSERT_TRUE(head.has_value());
+  EXPECT_EQ(head->status, 200);
+  EXPECT_EQ(head->content_length, 123456u);
+  EXPECT_TRUE(head->keep_alive);
+
+  auto not_found = ParseResponseHead(BuildResponseHead(404, 0, false));
+  ASSERT_TRUE(not_found.has_value());
+  EXPECT_EQ(not_found->status, 404);
+  EXPECT_FALSE(not_found->keep_alive);
+}
+
+TEST(HttpTest, ParseQueryEdgeCases) {
+  auto q = ParseQuery("a=1&b=&c&d=4");
+  EXPECT_EQ(q.at("a"), "1");
+  EXPECT_EQ(q.at("b"), "");
+  EXPECT_EQ(q.at("c"), "");
+  EXPECT_EQ(q.at("d"), "4");
+  EXPECT_TRUE(ParseQuery("").empty());
+}
+
+}  // namespace
+}  // namespace jbs::baseline

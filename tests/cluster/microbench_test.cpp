@@ -1,0 +1,92 @@
+// Shape assertions for the Fig. 2 micro-benchmark models: the paper's
+// motivation numbers must come out of the simulator qualitatively.
+#include "cluster/microbench.h"
+
+#include <gtest/gtest.h>
+
+namespace jbs::cluster {
+namespace {
+
+constexpr uint64_t kMof = 64ull << 20;
+
+TEST(Fig2aModel, JavaStreamRoughly3xSlowerThanNativeRead) {
+  const double java = SimulateMofReadTime(1, kMof, IoPath::kJavaStream);
+  const double native = SimulateMofReadTime(1, kMof, IoPath::kNativeRead);
+  EXPECT_GT(java / native, 2.0);
+  EXPECT_LT(java / native, 5.0);
+}
+
+TEST(Fig2aModel, MmapFasterThanRead) {
+  const double mmap = SimulateMofReadTime(4, kMof, IoPath::kNativeMmap);
+  const double read = SimulateMofReadTime(4, kMof, IoPath::kNativeRead);
+  EXPECT_LT(mmap, read);
+}
+
+TEST(Fig2aModel, MeanReadTimeGrowsWithConcurrency) {
+  double previous = 0;
+  for (int servlets : {1, 2, 4, 8, 16}) {
+    const double t = SimulateMofReadTime(servlets, kMof,
+                                         IoPath::kNativeRead);
+    EXPECT_GT(t, previous) << servlets;
+    previous = t;
+  }
+}
+
+TEST(Fig2bModel, JvmHiddenOn1GigE) {
+  // On 1GigE the link binds first: Java and native within a few percent.
+  const double java =
+      SimulateSingleStreamShuffle(64 << 20, true, sim::Protocol::kTcp1GigE);
+  const double native =
+      SimulateSingleStreamShuffle(64 << 20, false, sim::Protocol::kTcp1GigE);
+  EXPECT_LT(java / native, 1.5);
+}
+
+TEST(Fig2bModel, JvmCostsAbout3xOnInfiniBand) {
+  const double java =
+      SimulateSingleStreamShuffle(64 << 20, true, sim::Protocol::kIpoib);
+  const double native =
+      SimulateSingleStreamShuffle(64 << 20, false, sim::Protocol::kIpoib);
+  EXPECT_GT(java / native, 2.5);
+  EXPECT_LT(java / native, 5.0);
+}
+
+TEST(Fig2bModel, TimeScalesWithSegmentSize) {
+  double previous = 0;
+  for (uint64_t mb : {1, 4, 16, 64, 256}) {
+    const double t = SimulateSingleStreamShuffle(mb << 20, false,
+                                                 sim::Protocol::kIpoib);
+    EXPECT_GT(t, previous);
+    previous = t;
+  }
+}
+
+TEST(Fig2cModel, JvmFanInOverheadAbove2x) {
+  // "when one ReduceTask is fetching segments simultaneously from
+  // multiple nodes, JVM imposes above 2.5x overhead" on InfiniBand.
+  const double java =
+      SimulateFanInShuffle(12, 32 << 20, true, sim::Protocol::kIpoib);
+  const double native =
+      SimulateFanInShuffle(12, 32 << 20, false, sim::Protocol::kIpoib);
+  EXPECT_GT(java / native, 2.0);
+}
+
+TEST(Fig2cModel, FanInHiddenOn1GigE) {
+  const double java =
+      SimulateFanInShuffle(12, 32 << 20, true, sim::Protocol::kTcp1GigE);
+  const double native =
+      SimulateFanInShuffle(12, 32 << 20, false, sim::Protocol::kTcp1GigE);
+  EXPECT_LT(java / native, 1.3);
+}
+
+TEST(Fig2cModel, TimeGrowsWithNodeCount) {
+  double previous = 0;
+  for (int nodes : {2, 6, 10, 14, 18}) {
+    const double t =
+        SimulateFanInShuffle(nodes, 32 << 20, false, sim::Protocol::kIpoib);
+    EXPECT_GE(t, previous);
+    previous = t;
+  }
+}
+
+}  // namespace
+}  // namespace jbs::cluster

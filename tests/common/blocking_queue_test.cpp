@@ -1,0 +1,112 @@
+#include "common/blocking_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace jbs {
+namespace {
+
+TEST(BlockingQueueTest, FifoOrder) {
+  BlockingQueue<int> q;
+  q.Push(1);
+  q.Push(2);
+  q.Push(3);
+  EXPECT_EQ(q.Pop(), 1);
+  EXPECT_EQ(q.Pop(), 2);
+  EXPECT_EQ(q.Pop(), 3);
+}
+
+TEST(BlockingQueueTest, TryPopEmptyReturnsNullopt) {
+  BlockingQueue<int> q;
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(BlockingQueueTest, TryPushRespectsCapacity) {
+  BlockingQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));
+  q.Pop();
+  EXPECT_TRUE(q.TryPush(3));
+}
+
+TEST(BlockingQueueTest, CloseDrainsThenReturnsNullopt) {
+  BlockingQueue<int> q;
+  q.Push(1);
+  q.Push(2);
+  q.Close();
+  EXPECT_FALSE(q.Push(3));
+  EXPECT_EQ(q.Pop(), 1);
+  EXPECT_EQ(q.Pop(), 2);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BlockingQueueTest, CloseWakesBlockedPop) {
+  BlockingQueue<int> q;
+  std::atomic<bool> woke{false};
+  std::thread popper([&] {
+    auto v = q.Pop();
+    EXPECT_FALSE(v.has_value());
+    woke = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  popper.join();
+  EXPECT_TRUE(woke);
+}
+
+TEST(BlockingQueueTest, BoundedPushBlocksUntilPop) {
+  BlockingQueue<int> q(1);
+  q.Push(1);
+  std::atomic<bool> pushed{false};
+  std::thread pusher([&] {
+    q.Push(2);
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed);
+  EXPECT_EQ(q.Pop(), 1);
+  pusher.join();
+  EXPECT_TRUE(pushed);
+  EXPECT_EQ(q.Pop(), 2);
+}
+
+TEST(BlockingQueueTest, MpmcConservesItems) {
+  BlockingQueue<int> q(16);
+  constexpr int kProducers = 3;
+  constexpr int kItemsEach = 400;
+  std::atomic<int64_t> consumed_sum{0};
+  std::atomic<int> consumed_count{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      for (;;) {
+        auto v = q.Pop();
+        if (!v) return;
+        consumed_sum.fetch_add(*v, std::memory_order_relaxed);
+        consumed_count.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kItemsEach; ++i) q.Push(p * kItemsEach + i);
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+
+  const int total = kProducers * kItemsEach;
+  EXPECT_EQ(consumed_count.load(), total);
+  EXPECT_EQ(consumed_sum.load(), int64_t{total} * (total - 1) / 2);
+}
+
+}  // namespace
+}  // namespace jbs

@@ -1,0 +1,139 @@
+#include "common/compress.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.h"
+
+namespace jbs {
+namespace {
+
+std::vector<uint8_t> Bytes(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(CompressTest, EmptyInput) {
+  auto compressed = Compress({});
+  auto restored = Decompress(compressed);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->empty());
+}
+
+TEST(CompressTest, RoundTripText) {
+  const auto input = Bytes(
+      "the quick brown fox jumps over the lazy dog; "
+      "the quick brown fox jumps over the lazy dog; "
+      "the quick brown fox jumps again and again and again");
+  auto compressed = Compress(input);
+  EXPECT_LT(compressed.size(), input.size());  // repetitive -> shrinks
+  auto restored = Decompress(compressed);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, input);
+}
+
+TEST(CompressTest, HighlyRepetitiveCompressesHard) {
+  std::vector<uint8_t> input(100000, 'A');
+  auto compressed = Compress(input);
+  EXPECT_LT(compressed.size(), input.size() / 20);
+  auto restored = Decompress(compressed);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, input);
+}
+
+TEST(CompressTest, OverlappingMatchRleStyle) {
+  // "abcabcabc..." exercises matches whose source overlaps the output
+  // being produced (distance < length).
+  std::vector<uint8_t> input;
+  for (int i = 0; i < 1000; ++i) input.push_back(static_cast<uint8_t>("abc"[i % 3]));
+  auto restored = Decompress(Compress(input));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, input);
+}
+
+TEST(CompressTest, IncompressibleExpandsBoundedly) {
+  Rng rng(17);
+  std::vector<uint8_t> input(50000);
+  for (auto& b : input) b = static_cast<uint8_t>(rng.Next());
+  auto compressed = Compress(input);
+  // Worst case: 1 control byte per 128 literals + header.
+  EXPECT_LE(compressed.size(), input.size() + input.size() / 128 + 16);
+  auto restored = Decompress(compressed);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, input);
+}
+
+class CompressFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CompressFuzz, RandomStructuredRoundTrip) {
+  // Property: decompress(compress(x)) == x on mixed random/repetitive data.
+  Rng rng(GetParam());
+  std::vector<uint8_t> input;
+  const int sections = 1 + static_cast<int>(rng.Below(20));
+  for (int s = 0; s < sections; ++s) {
+    const size_t len = rng.Below(5000);
+    if (rng.Below(2) == 0) {
+      const auto fill = static_cast<uint8_t>(rng.Next());
+      input.insert(input.end(), len, fill);
+    } else {
+      for (size_t i = 0; i < len; ++i) {
+        input.push_back(static_cast<uint8_t>(rng.Below(8) * 31));
+      }
+    }
+  }
+  auto restored = Decompress(Compress(input));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(CompressTest, RejectsGarbageHeader) {
+  EXPECT_FALSE(Decompress({}).ok());
+  EXPECT_FALSE(Decompress(Bytes("XY")).ok());
+  EXPECT_FALSE(Decompress(Bytes("not compressed at all")).ok());
+}
+
+TEST(CompressTest, RejectsTruncatedStream) {
+  auto compressed = Compress(Bytes("hello hello hello hello hello"));
+  compressed.resize(compressed.size() - 3);
+  EXPECT_FALSE(Decompress(compressed).ok());
+}
+
+TEST(CompressTest, RejectsCorruptDistance) {
+  std::vector<uint8_t> input(2000, 'z');
+  auto compressed = Compress(input);
+  // Find a match token (high bit set) and blow up its distance.
+  for (size_t i = 4; i + 2 < compressed.size(); ++i) {
+    if ((compressed[i] & 0x80) != 0) {
+      compressed[i + 1] = 0xFF;
+      compressed[i + 2] = 0xFF;
+      break;
+    }
+  }
+  EXPECT_FALSE(Decompress(compressed).ok());
+}
+
+TEST(CompressTest, LooksCompressedDetection) {
+  auto compressed = Compress(Bytes("payload"));
+  EXPECT_TRUE(LooksCompressed(compressed));
+  EXPECT_FALSE(LooksCompressed(Bytes("plainly not")));
+  EXPECT_FALSE(LooksCompressed({}));
+}
+
+TEST(CompressTest, SortedShuffleSegmentShrinks) {
+  // The motivating case: sorted keys share long prefixes.
+  std::vector<uint8_t> input;
+  for (int i = 0; i < 2000; ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "user_event_%08d\tcount=1\n", i);
+    const auto* p = reinterpret_cast<const uint8_t*>(buf);
+    input.insert(input.end(), p, p + std::strlen(buf));
+  }
+  auto compressed = Compress(input);
+  EXPECT_LT(compressed.size(), input.size() / 2);
+}
+
+}  // namespace
+}  // namespace jbs

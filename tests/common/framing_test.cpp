@@ -1,0 +1,100 @@
+#include "common/framing.h"
+
+#include <gtest/gtest.h>
+
+namespace jbs {
+namespace {
+
+Frame MakeFrame(uint8_t type, const std::string& payload) {
+  Frame f;
+  f.type = type;
+  f.payload.assign(payload.begin(), payload.end());
+  return f;
+}
+
+TEST(FramingTest, EncodeDecodeRoundTrip) {
+  std::vector<uint8_t> wire;
+  EncodeFrame(MakeFrame(7, "hello"), wire);
+  FrameDecoder dec;
+  ASSERT_TRUE(dec.Feed(wire).ok());
+  auto frame = dec.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, 7);
+  EXPECT_EQ(std::string(frame->payload.begin(), frame->payload.end()),
+            "hello");
+  EXPECT_FALSE(dec.Next().has_value());
+}
+
+TEST(FramingTest, EmptyPayload) {
+  std::vector<uint8_t> wire;
+  EncodeFrame(MakeFrame(1, ""), wire);
+  EXPECT_EQ(wire.size(), 5u);
+  FrameDecoder dec;
+  ASSERT_TRUE(dec.Feed(wire).ok());
+  auto frame = dec.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_TRUE(frame->payload.empty());
+}
+
+TEST(FramingTest, ByteAtATimeDelivery) {
+  std::vector<uint8_t> wire;
+  EncodeFrame(MakeFrame(3, "fragmented"), wire);
+  FrameDecoder dec;
+  for (size_t i = 0; i < wire.size(); ++i) {
+    EXPECT_FALSE(dec.Next().has_value());
+    ASSERT_TRUE(dec.Feed({&wire[i], 1}).ok());
+  }
+  auto frame = dec.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(std::string(frame->payload.begin(), frame->payload.end()),
+            "fragmented");
+}
+
+TEST(FramingTest, MultipleFramesInOneChunk) {
+  std::vector<uint8_t> wire;
+  EncodeFrame(MakeFrame(1, "a"), wire);
+  EncodeFrame(MakeFrame(2, "bb"), wire);
+  EncodeFrame(MakeFrame(3, "ccc"), wire);
+  FrameDecoder dec;
+  ASSERT_TRUE(dec.Feed(wire).ok());
+  for (uint8_t expected_type = 1; expected_type <= 3; ++expected_type) {
+    auto frame = dec.Next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, expected_type);
+    EXPECT_EQ(frame->payload.size(), expected_type);
+  }
+  EXPECT_FALSE(dec.Next().has_value());
+  EXPECT_EQ(dec.buffered_bytes(), 0u);
+}
+
+TEST(FramingTest, OversizedFramePoisons) {
+  std::vector<uint8_t> wire;
+  Frame big;
+  big.type = 9;
+  big.payload.resize(2048);
+  EncodeFrame(big, wire);
+  FrameDecoder dec(/*max_payload=*/1024);
+  ASSERT_TRUE(dec.Feed(wire).ok());
+  EXPECT_FALSE(dec.Next().has_value());
+  EXPECT_TRUE(dec.poisoned());
+  EXPECT_FALSE(dec.Feed(wire).ok());
+}
+
+TEST(FramingTest, InterleavedFeedAndNext) {
+  std::vector<uint8_t> wire;
+  EncodeFrame(MakeFrame(1, "first"), wire);
+  EncodeFrame(MakeFrame(2, "second"), wire);
+  FrameDecoder dec;
+  const size_t half = wire.size() / 2;
+  ASSERT_TRUE(dec.Feed({wire.data(), half}).ok());
+  auto f1 = dec.Next();
+  ASSERT_TRUE(f1.has_value());
+  EXPECT_EQ(f1->type, 1);
+  ASSERT_TRUE(dec.Feed({wire.data() + half, wire.size() - half}).ok());
+  auto f2 = dec.Next();
+  ASSERT_TRUE(f2.has_value());
+  EXPECT_EQ(f2->type, 2);
+}
+
+}  // namespace
+}  // namespace jbs

@@ -1,0 +1,100 @@
+#include "common/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace jbs {
+namespace {
+
+TEST(LruCacheTest, PutGet) {
+  LruCache<int, std::string> cache(4);
+  cache.Put(1, "one");
+  cache.Put(2, "two");
+  ASSERT_NE(cache.Get(1), nullptr);
+  EXPECT_EQ(*cache.Get(1), "one");
+  EXPECT_EQ(cache.Get(3), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> cache(3);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(3, 30);
+  ASSERT_NE(cache.Get(1), nullptr);  // promote 1; LRU is now 2
+  EXPECT_TRUE(cache.Put(4, 40));     // evicts 2
+  EXPECT_EQ(cache.Get(2), nullptr);
+  EXPECT_NE(cache.Get(1), nullptr);
+  EXPECT_NE(cache.Get(3), nullptr);
+  EXPECT_NE(cache.Get(4), nullptr);
+  EXPECT_EQ(cache.eviction_count(), 1u);
+}
+
+TEST(LruCacheTest, PutExistingKeyUpdatesWithoutEviction) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  EXPECT_FALSE(cache.Put(1, 11));
+  EXPECT_EQ(*cache.Get(1), 11);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCacheTest, EvictionCallbackFires) {
+  std::vector<int> evicted;
+  LruCache<int, int> cache(2, [&](const int& k, int&) { evicted.push_back(k); });
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(3, 30);  // evicts 1
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], 1);
+  cache.Clear();
+  EXPECT_EQ(evicted.size(), 3u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCacheTest, PeekDoesNotPromote) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  EXPECT_NE(cache.Peek(1), nullptr);  // no promotion: 1 stays LRU
+  cache.Put(3, 30);
+  EXPECT_EQ(cache.Peek(1), nullptr);
+  EXPECT_NE(cache.Peek(2), nullptr);
+}
+
+TEST(LruCacheTest, OldestKeyTracksLru) {
+  LruCache<int, int> cache(3);
+  EXPECT_FALSE(cache.OldestKey().has_value());
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  EXPECT_EQ(cache.OldestKey(), 1);
+  cache.Get(1);
+  EXPECT_EQ(cache.OldestKey(), 2);
+}
+
+TEST(LruCacheTest, Erase) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  EXPECT_TRUE(cache.Erase(1));
+  EXPECT_FALSE(cache.Erase(1));
+  EXPECT_EQ(cache.Get(1), nullptr);
+}
+
+TEST(LruCacheTest, ConnectionCapScenario) {
+  // Models the paper's 512-connection LRU cap: inserting 600 distinct
+  // connections must keep only the 512 most recent.
+  constexpr size_t kCap = 512;
+  size_t closed = 0;
+  LruCache<int, int> cache(kCap, [&](const int&, int&) { ++closed; });
+  for (int i = 0; i < 600; ++i) cache.Put(i, i);
+  EXPECT_EQ(cache.size(), kCap);
+  EXPECT_EQ(closed, 600 - kCap);
+  EXPECT_EQ(cache.Peek(0), nullptr);
+  EXPECT_NE(cache.Peek(599), nullptr);
+  EXPECT_EQ(cache.OldestKey(), 600 - static_cast<int>(kCap));
+}
+
+}  // namespace
+}  // namespace jbs

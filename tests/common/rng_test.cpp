@@ -1,0 +1,122 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace jbs {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(RngTest, BetweenInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.Between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformityRoughChiSquare) {
+  Rng rng(13);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100000;
+  int counts[kBuckets] = {0};
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.Below(kBuckets)];
+  }
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  double chi2 = 0;
+  for (int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  // 9 dof, p=0.001 critical value is ~27.9.
+  EXPECT_LT(chi2, 27.9);
+}
+
+TEST(RngTest, ExponentialMeanConverges) {
+  Rng rng(17);
+  double sum = 0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.NextExponential(5.0);
+  EXPECT_NEAR(sum / kSamples, 5.0, 0.1);
+}
+
+TEST(RngTest, ZipfRankOneDominates) {
+  Rng rng(19);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) ++counts[rng.NextZipf(1000, 1.0)];
+  // Rank 1 must be most frequent and all ranks in range.
+  for (const auto& [rank, _] : counts) {
+    EXPECT_GE(rank, 1u);
+    EXPECT_LE(rank, 1000u);
+  }
+  int max_count = 0;
+  uint64_t max_rank = 0;
+  for (const auto& [rank, count] : counts) {
+    if (count > max_count) {
+      max_count = count;
+      max_rank = rank;
+    }
+  }
+  EXPECT_EQ(max_rank, 1u);
+  // Zipf(s=1): rank 1 ~ 2x rank 2.
+  EXPECT_GT(counts[1], counts[2]);
+}
+
+TEST(RngTest, ZipfDegenerateN1) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextZipf(1, 1.2), 1u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(29);
+  double sum = 0, sum_sq = 0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.NextGaussian(10.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kSamples;
+  const double var = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+}  // namespace
+}  // namespace jbs

@@ -1,0 +1,67 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace jbs {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = NotFound("mof_3");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "mof_3");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: mof_3");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(InvalidArgument("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(AlreadyExists("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(ResourceExhausted("").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(Unavailable("").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(IoError("").code(), StatusCode::kIoError);
+  EXPECT_EQ(Cancelled("").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Internal("").code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = IoError("disk gone");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kIoError);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(5);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> owned = std::move(v).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v = std::string("shuffle");
+  EXPECT_EQ(v->size(), 7u);
+}
+
+Status FailsFast() {
+  JBS_RETURN_IF_ERROR(Unavailable("nope"));
+  return Internal("unreachable");
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_EQ(FailsFast().code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace jbs

@@ -1,0 +1,289 @@
+#include "hdfs/minidfs.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/rng.h"
+
+namespace jbs::hdfs {
+namespace {
+
+namespace fs = std::filesystem;
+
+class MiniDfsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("minidfs_test_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  MiniDfs Make(int nodes = 3, int replication = 2,
+               uint64_t block_size = 1024) {
+    MiniDfs::Options opts;
+    opts.root = root_;
+    opts.num_datanodes = nodes;
+    opts.replication = replication;
+    opts.block_size = block_size;
+    return MiniDfs(opts);
+  }
+
+  static std::vector<uint8_t> RandomBytes(size_t n, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<uint8_t> data(n);
+    for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
+    return data;
+  }
+
+  fs::path root_;
+};
+
+TEST_F(MiniDfsTest, WriteReadRoundTrip) {
+  MiniDfs dfs = Make();
+  auto data = RandomBytes(5000, 1);  // spans 5 blocks of 1024
+  ASSERT_TRUE(dfs.WriteFile("/input/part-0", data).ok());
+  std::vector<uint8_t> read_back;
+  ASSERT_TRUE(dfs.ReadFile("/input/part-0", read_back).ok());
+  EXPECT_EQ(read_back, data);
+}
+
+TEST_F(MiniDfsTest, StatReportsBlocksAndLength) {
+  MiniDfs dfs = Make();
+  auto data = RandomBytes(2500, 2);
+  ASSERT_TRUE(dfs.WriteFile("/f", data).ok());
+  auto info = dfs.Stat("/f");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->length, 2500u);
+  ASSERT_EQ(info->blocks.size(), 3u);  // 1024 + 1024 + 452
+  EXPECT_EQ(info->blocks[0].length, 1024u);
+  EXPECT_EQ(info->blocks[2].length, 452u);
+  for (const auto& block : info->blocks) {
+    EXPECT_EQ(block.replicas.size(), 2u);
+    EXPECT_NE(block.replicas[0], block.replicas[1]);
+  }
+}
+
+TEST_F(MiniDfsTest, ReadRangeAcrossBlockBoundary) {
+  MiniDfs dfs = Make();
+  auto data = RandomBytes(3000, 3);
+  ASSERT_TRUE(dfs.WriteFile("/f", data).ok());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(dfs.ReadRange("/f", 1000, 1048, out).ok());
+  EXPECT_EQ(out, std::vector<uint8_t>(data.begin() + 1000,
+                                      data.begin() + 2048));
+}
+
+TEST_F(MiniDfsTest, ReadRangeBeyondEofFails) {
+  MiniDfs dfs = Make();
+  ASSERT_TRUE(dfs.WriteFile("/f", RandomBytes(100, 4)).ok());
+  std::vector<uint8_t> out;
+  EXPECT_EQ(dfs.ReadRange("/f", 50, 100, out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(MiniDfsTest, DuplicateCreateFails) {
+  MiniDfs dfs = Make();
+  ASSERT_TRUE(dfs.WriteFile("/f", RandomBytes(10, 5)).ok());
+  EXPECT_EQ(dfs.WriteFile("/f", RandomBytes(10, 6)).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(MiniDfsTest, MissingFileNotFound) {
+  MiniDfs dfs = Make();
+  std::vector<uint8_t> out;
+  EXPECT_EQ(dfs.ReadFile("/missing", out).code(), StatusCode::kNotFound);
+  EXPECT_EQ(dfs.Stat("/missing").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(dfs.Delete("/missing").code(), StatusCode::kNotFound);
+  EXPECT_FALSE(dfs.Exists("/missing"));
+}
+
+TEST_F(MiniDfsTest, DeleteRemovesBlocks) {
+  MiniDfs dfs = Make();
+  ASSERT_TRUE(dfs.WriteFile("/f", RandomBytes(3000, 7)).ok());
+  EXPECT_GT(dfs.Usage().blocks, 0u);
+  ASSERT_TRUE(dfs.Delete("/f").ok());
+  EXPECT_FALSE(dfs.Exists("/f"));
+  EXPECT_EQ(dfs.Usage().blocks, 0u);
+  // No stray block files on disk.
+  size_t block_files = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(root_)) {
+    if (entry.is_regular_file()) ++block_files;
+  }
+  EXPECT_EQ(block_files, 0u);
+}
+
+TEST_F(MiniDfsTest, StreamingWriterMatchesOneShot) {
+  MiniDfs dfs = Make();
+  auto data = RandomBytes(4096 + 123, 8);
+  auto writer = dfs.Create("/streamed");
+  ASSERT_TRUE(writer.ok());
+  // Append in awkward chunk sizes crossing block boundaries.
+  size_t offset = 0;
+  const size_t chunks[] = {1, 700, 1024, 2000, 4096};
+  for (size_t chunk : chunks) {
+    const size_t n = std::min(chunk, data.size() - offset);
+    ASSERT_TRUE(writer->Append({data.data() + offset, n}).ok());
+    offset += n;
+  }
+  ASSERT_EQ(offset, data.size());
+  ASSERT_TRUE(writer->Close().ok());
+  std::vector<uint8_t> read_back;
+  ASSERT_TRUE(dfs.ReadFile("/streamed", read_back).ok());
+  EXPECT_EQ(read_back, data);
+}
+
+TEST_F(MiniDfsTest, DoubleCloseFails) {
+  MiniDfs dfs = Make();
+  auto writer = dfs.Create("/f");
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Close().ok());
+  EXPECT_FALSE(writer->Close().ok());
+}
+
+TEST_F(MiniDfsTest, SplitsCoverFileExactly) {
+  MiniDfs dfs = Make(/*nodes=*/4, /*replication=*/2, /*block_size=*/1000);
+  ASSERT_TRUE(dfs.WriteFile("/f", RandomBytes(3500, 9)).ok());
+  auto splits = dfs.GetSplits("/f");
+  ASSERT_TRUE(splits.ok());
+  ASSERT_EQ(splits->size(), 4u);
+  uint64_t covered = 0;
+  for (const auto& split : *splits) {
+    EXPECT_EQ(split.offset, covered);
+    covered += split.length;
+    EXPECT_FALSE(split.hosts.empty());
+  }
+  EXPECT_EQ(covered, 3500u);
+}
+
+TEST_F(MiniDfsTest, SplitLocalityMatchesBlockReplicas) {
+  MiniDfs dfs = Make(4, 2, 1000);
+  ASSERT_TRUE(dfs.WriteFile("/f", RandomBytes(2000, 10)).ok());
+  auto info = dfs.Stat("/f");
+  auto splits = dfs.GetSplits("/f");
+  ASSERT_TRUE(splits.ok());
+  ASSERT_EQ(splits->size(), 2u);
+  EXPECT_EQ((*splits)[0].hosts, info->blocks[0].replicas);
+  EXPECT_EQ((*splits)[1].hosts, info->blocks[1].replicas);
+}
+
+TEST_F(MiniDfsTest, PreferredNodeGetsPrimaryReplica) {
+  MiniDfs dfs = Make(4, 1, 1024);
+  ASSERT_TRUE(dfs.WriteFile("/f", RandomBytes(2048, 11), /*preferred=*/2).ok());
+  auto info = dfs.Stat("/f");
+  ASSERT_TRUE(info.ok());
+  for (const auto& block : info->blocks) {
+    EXPECT_EQ(block.replicas.front(), 2);
+  }
+}
+
+TEST_F(MiniDfsTest, BlockPathPointsAtRealFile) {
+  MiniDfs dfs = Make();
+  ASSERT_TRUE(dfs.WriteFile("/f", RandomBytes(500, 12)).ok());
+  auto info = dfs.Stat("/f");
+  auto path = dfs.BlockPath(info->blocks[0].id);
+  ASSERT_TRUE(path.ok());
+  EXPECT_TRUE(fs::exists(*path));
+  EXPECT_EQ(fs::file_size(*path), 500u);
+}
+
+TEST_F(MiniDfsTest, UsageReport) {
+  MiniDfs dfs = Make(3, 2, 1024);
+  ASSERT_TRUE(dfs.WriteFile("/a", RandomBytes(1024, 13)).ok());
+  ASSERT_TRUE(dfs.WriteFile("/b", RandomBytes(512, 14)).ok());
+  auto usage = dfs.Usage();
+  EXPECT_EQ(usage.files, 2u);
+  EXPECT_EQ(usage.blocks, 2u);
+  EXPECT_EQ(usage.bytes, 1536u);
+  EXPECT_EQ(usage.replica_bytes, 3072u);
+}
+
+TEST_F(MiniDfsTest, ListFiles) {
+  MiniDfs dfs = Make();
+  ASSERT_TRUE(dfs.WriteFile("/x/1", RandomBytes(10, 15)).ok());
+  ASSERT_TRUE(dfs.WriteFile("/x/2", RandomBytes(10, 16)).ok());
+  auto files = dfs.ListFiles();
+  EXPECT_EQ(files, (std::vector<std::string>{"/x/1", "/x/2"}));
+}
+
+TEST_F(MiniDfsTest, ChecksumDetectsBitRot) {
+  MiniDfs dfs = Make(/*nodes=*/2, /*replication=*/1, /*block_size=*/1024);
+  ASSERT_TRUE(dfs.WriteFile("/f", RandomBytes(1024, 77)).ok());
+  auto info = dfs.Stat("/f");
+  ASSERT_TRUE(info.ok());
+  // Flip a bit in the primary replica's block file.
+  auto path = dfs.BlockPath(info->blocks[0].id);
+  ASSERT_TRUE(path.ok());
+  {
+    std::fstream f(*path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(100);
+    char c;
+    f.seekg(100);
+    f.get(c);
+    f.seekp(100);
+    f.put(static_cast<char>(c ^ 0x40));
+  }
+  std::vector<uint8_t> out;
+  Status st = dfs.ReadFile("/f", out);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("checksum"), std::string::npos);
+}
+
+TEST_F(MiniDfsTest, FsckCountsCorruptReplicas) {
+  MiniDfs dfs = Make(3, 2, 1024);
+  ASSERT_TRUE(dfs.WriteFile("/a", RandomBytes(2048, 88)).ok());
+  ASSERT_TRUE(dfs.WriteFile("/b", RandomBytes(512, 89)).ok());
+  auto clean = dfs.Fsck();
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(*clean, 0u);
+  // Corrupt one replica of one block.
+  auto info = dfs.Stat("/a");
+  ASSERT_TRUE(info.ok());
+  auto path = dfs.BlockPath(info->blocks[1].id);
+  ASSERT_TRUE(path.ok());
+  {
+    std::fstream f(*path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(0);
+    f.put('\x7f');
+  }
+  auto after = dfs.Fsck();
+  ASSERT_TRUE(after.ok());
+  EXPECT_GE(*after, 1u);
+}
+
+TEST_F(MiniDfsTest, ChecksumVerificationCanBeDisabled) {
+  MiniDfs::Options opts;
+  opts.root = root_;
+  opts.num_datanodes = 1;
+  opts.block_size = 1024;
+  opts.verify_checksums = false;
+  MiniDfs dfs(opts);
+  ASSERT_TRUE(dfs.WriteFile("/f", RandomBytes(1024, 90)).ok());
+  auto info = dfs.Stat("/f");
+  auto path = dfs.BlockPath(info->blocks[0].id);
+  {
+    std::fstream f(*path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(10);
+    f.put('!');
+  }
+  std::vector<uint8_t> out;
+  EXPECT_TRUE(dfs.ReadFile("/f", out).ok());  // rot goes unnoticed
+}
+
+TEST_F(MiniDfsTest, EmptyFile) {
+  MiniDfs dfs = Make();
+  ASSERT_TRUE(dfs.WriteFile("/empty", {}).ok());
+  auto info = dfs.Stat("/empty");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->length, 0u);
+  EXPECT_TRUE(info->blocks.empty());
+  auto splits = dfs.GetSplits("/empty");
+  ASSERT_TRUE(splits.ok());
+  EXPECT_TRUE(splits->empty());
+}
+
+}  // namespace
+}  // namespace jbs::hdfs

@@ -1,0 +1,232 @@
+// Integration tests of the MOFSupplier server against a hand-driven client
+// speaking the fetch protocol directly.
+#include "jbs/mof_supplier.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/rng.h"
+#include "jbs/protocol.h"
+#include "mapred/ifile.h"
+#include "transport/transport.h"
+
+namespace jbs::shuffle {
+namespace {
+
+namespace fs = std::filesystem;
+
+class MofSupplierTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("supplier_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+    transport_ = net::MakeTcpTransport();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  /// Writes a MOF with `partitions` segments of `records_per_segment`.
+  mr::MofHandle MakeMof(int map_task, int partitions,
+                        int records_per_segment) {
+    mr::MofWriter writer(dir_ / ("mof_" + std::to_string(map_task)));
+    for (int p = 0; p < partitions; ++p) {
+      mr::IFileWriter segment;
+      for (int r = 0; r < records_per_segment; ++r) {
+        segment.Append("key_" + std::to_string(p) + "_" + std::to_string(r),
+                       std::string(100, static_cast<char>('a' + p)));
+      }
+      const uint64_t n = segment.records();
+      EXPECT_TRUE(writer.AppendSegment(segment.Finish(), n).ok());
+    }
+    auto handle = writer.Finish(map_task, 0);
+    EXPECT_TRUE(handle.ok());
+    return *handle;
+  }
+
+  MofSupplier MakeSupplier(size_t buffer_size = 4096, bool pipelined = true) {
+    MofSupplier::Options options;
+    options.transport = transport_.get();
+    options.buffer_size = buffer_size;
+    options.buffer_count = 8;
+    options.pipelined = pipelined;
+    return MofSupplier(options);
+  }
+
+  /// Full chunked fetch of one segment over one connection.
+  StatusOr<std::vector<uint8_t>> Fetch(net::Connection& conn, int map_task,
+                                       int partition, uint32_t chunk) {
+    std::vector<uint8_t> segment;
+    uint64_t offset = 0, total = 0;
+    bool first = true;
+    do {
+      FetchRequest request{map_task, partition, offset, chunk};
+      JBS_RETURN_IF_ERROR(conn.Send(EncodeRequest(request)));
+      auto reply = conn.Receive();
+      JBS_RETURN_IF_ERROR(reply.status());
+      if (reply->type == kFetchError) {
+        auto error = DecodeError(*reply);
+        return IoError(error ? error->message : "?");
+      }
+      std::span<const uint8_t> data;
+      auto header = DecodeData(*reply, &data);
+      if (!header) return IoError("bad frame");
+      total = header->segment_total;
+      segment.insert(segment.end(), data.begin(), data.end());
+      offset += data.size();
+      first = false;
+    } while (first || offset < total);
+    return segment;
+  }
+
+  fs::path dir_;
+  std::unique_ptr<net::Transport> transport_;
+};
+
+TEST_F(MofSupplierTest, ServesWholeSegmentInChunks) {
+  auto supplier = MakeSupplier(/*buffer_size=*/1024);
+  ASSERT_TRUE(supplier.Start().ok());
+  auto handle = MakeMof(0, 2, 50);
+  ASSERT_TRUE(supplier.PublishMof(handle).ok());
+
+  auto conn = transport_->Connect("127.0.0.1", supplier.port());
+  ASSERT_TRUE(conn.ok());
+  auto segment = Fetch(**conn, 0, 1, 900);
+  ASSERT_TRUE(segment.ok()) << segment.status().ToString();
+
+  // Compare against a direct disk read.
+  auto reader = mr::MofReader::Open(handle);
+  ASSERT_TRUE(reader.ok());
+  std::vector<uint8_t> expected;
+  ASSERT_TRUE(reader->ReadSegment(1, expected).ok());
+  EXPECT_EQ(*segment, expected);
+  EXPECT_GT(supplier.supplier_stats().requests, 1u);  // chunked
+  supplier.Stop();
+}
+
+TEST_F(MofSupplierTest, ContentIsValidIFile) {
+  auto supplier = MakeSupplier();
+  ASSERT_TRUE(supplier.Start().ok());
+  ASSERT_TRUE(supplier.PublishMof(MakeMof(5, 1, 20)).ok());
+  auto conn = transport_->Connect("127.0.0.1", supplier.port());
+  ASSERT_TRUE(conn.ok());
+  auto segment = Fetch(**conn, 5, 0, 2048);
+  ASSERT_TRUE(segment.ok());
+  mr::IFileReader records(*segment);
+  ASSERT_TRUE(records.VerifyChecksum().ok());
+  mr::Record record;
+  int count = 0;
+  while (records.Next(&record)) ++count;
+  EXPECT_TRUE(records.status().ok());
+  EXPECT_EQ(count, 20);
+  supplier.Stop();
+}
+
+TEST_F(MofSupplierTest, UnknownMofReturnsError) {
+  auto supplier = MakeSupplier();
+  ASSERT_TRUE(supplier.Start().ok());
+  auto conn = transport_->Connect("127.0.0.1", supplier.port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE((*conn)->Send(EncodeRequest({99, 0, 0, 1024})).ok());
+  auto reply = (*conn)->Receive();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->type, kFetchError);
+  supplier.Stop();
+}
+
+TEST_F(MofSupplierTest, PartitionOutOfRangeReturnsError) {
+  auto supplier = MakeSupplier();
+  ASSERT_TRUE(supplier.Start().ok());
+  ASSERT_TRUE(supplier.PublishMof(MakeMof(1, 2, 5)).ok());
+  auto conn = transport_->Connect("127.0.0.1", supplier.port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE((*conn)->Send(EncodeRequest({1, 7, 0, 1024})).ok());
+  auto reply = (*conn)->Receive();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->type, kFetchError);
+  supplier.Stop();
+}
+
+TEST_F(MofSupplierTest, EmptySegmentFetchable) {
+  auto supplier = MakeSupplier();
+  ASSERT_TRUE(supplier.Start().ok());
+  ASSERT_TRUE(supplier.PublishMof(MakeMof(2, 1, 0)).ok());
+  auto conn = transport_->Connect("127.0.0.1", supplier.port());
+  ASSERT_TRUE(conn.ok());
+  auto segment = Fetch(**conn, 2, 0, 1024);
+  ASSERT_TRUE(segment.ok());
+  // An "empty" IFile segment still has the EOF marker + checksum.
+  mr::IFileReader records(*segment);
+  ASSERT_TRUE(records.VerifyChecksum().ok());
+  mr::Record record;
+  EXPECT_FALSE(records.Next(&record));
+  EXPECT_TRUE(records.status().ok());
+  supplier.Stop();
+}
+
+TEST_F(MofSupplierTest, IndexCacheHitsOnRepeatedFetches) {
+  auto supplier = MakeSupplier();
+  ASSERT_TRUE(supplier.Start().ok());
+  ASSERT_TRUE(supplier.PublishMof(MakeMof(3, 4, 10)).ok());
+  auto conn = transport_->Connect("127.0.0.1", supplier.port());
+  ASSERT_TRUE(conn.ok());
+  for (int p = 0; p < 4; ++p) {
+    ASSERT_TRUE(Fetch(**conn, 3, p, 64 * 1024).ok());
+  }
+  auto stats = supplier.supplier_stats();
+  EXPECT_EQ(stats.index.misses, 1u);
+  EXPECT_GE(stats.index.hits, 3u);
+  supplier.Stop();
+}
+
+TEST_F(MofSupplierTest, ConcurrentClientsAllServed) {
+  auto supplier = MakeSupplier(/*buffer_size=*/2048);
+  ASSERT_TRUE(supplier.Start().ok());
+  constexpr int kMofs = 4;
+  std::vector<std::vector<uint8_t>> expected(kMofs);
+  for (int m = 0; m < kMofs; ++m) {
+    auto handle = MakeMof(m, 1, 40);
+    ASSERT_TRUE(supplier.PublishMof(handle).ok());
+    auto reader = mr::MofReader::Open(handle);
+    ASSERT_TRUE(reader->ReadSegment(0, expected[static_cast<size_t>(m)]).ok());
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kMofs; ++c) {
+    clients.emplace_back([&, c] {
+      auto conn = transport_->Connect("127.0.0.1", supplier.port());
+      if (!conn.ok()) {
+        ++failures;
+        return;
+      }
+      auto segment = Fetch(**conn, c, 0, 1500);
+      if (!segment.ok() || *segment != expected[static_cast<size_t>(c)]) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(supplier.supplier_stats().batches, 1u);
+  supplier.Stop();
+}
+
+TEST_F(MofSupplierTest, SerializedModeStillCorrect) {
+  auto supplier = MakeSupplier(4096, /*pipelined=*/false);
+  ASSERT_TRUE(supplier.Start().ok());
+  auto handle = MakeMof(0, 1, 30);
+  ASSERT_TRUE(supplier.PublishMof(handle).ok());
+  auto conn = transport_->Connect("127.0.0.1", supplier.port());
+  ASSERT_TRUE(conn.ok());
+  auto segment = Fetch(**conn, 0, 0, 64 * 1024);
+  ASSERT_TRUE(segment.ok());
+  auto reader = mr::MofReader::Open(handle);
+  std::vector<uint8_t> expected;
+  ASSERT_TRUE(reader->ReadSegment(0, expected).ok());
+  EXPECT_EQ(*segment, expected);
+  supplier.Stop();
+}
+
+}  // namespace
+}  // namespace jbs::shuffle

@@ -1,0 +1,206 @@
+// NetMerger against real MofSupplier servers ("nodes") over loopback.
+#include "jbs/net_merger.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+
+#include "jbs/mof_supplier.h"
+#include "mapred/ifile.h"
+#include "transport/transport.h"
+
+namespace jbs::shuffle {
+namespace {
+
+namespace fs = std::filesystem;
+
+class NetMergerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("merger_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+    transport_ = net::MakeTcpTransport();
+  }
+  void TearDown() override {
+    suppliers_.clear();
+    fs::remove_all(dir_);
+  }
+
+  /// Brings up `nodes` suppliers; each node hosts `mofs_per_node` MOFs with
+  /// `partitions` sorted segments. Returns the MofLocations.
+  std::vector<mr::MofLocation> MakeCluster(int nodes, int mofs_per_node,
+                                           int partitions,
+                                           int records_per_segment) {
+    std::vector<mr::MofLocation> locations;
+    int map_task = 0;
+    for (int n = 0; n < nodes; ++n) {
+      MofSupplier::Options options;
+      options.transport = transport_.get();
+      options.buffer_size = 2048;
+      options.buffer_count = 8;
+      auto supplier = std::make_unique<MofSupplier>(options);
+      EXPECT_TRUE(supplier->Start().ok());
+      for (int m = 0; m < mofs_per_node; ++m, ++map_task) {
+        mr::MofWriter writer(dir_ / ("mof_" + std::to_string(map_task)));
+        for (int p = 0; p < partitions; ++p) {
+          mr::IFileWriter segment;
+          for (int r = 0; r < records_per_segment; ++r) {
+            // Keys interleave across maps so the merge is nontrivial.
+            char key[32];
+            std::snprintf(key, sizeof(key), "k%05d", r * 100 + map_task);
+            segment.Append(key, "v" + std::to_string(map_task));
+            expected_[p].emplace(key);
+          }
+          const uint64_t cnt = segment.records();
+          EXPECT_TRUE(writer.AppendSegment(segment.Finish(), cnt).ok());
+        }
+        auto handle = writer.Finish(map_task, n);
+        EXPECT_TRUE(handle.ok());
+        EXPECT_TRUE(supplier->PublishMof(*handle).ok());
+        locations.push_back(
+            {map_task, n, "127.0.0.1", supplier->port()});
+      }
+      suppliers_.push_back(std::move(supplier));
+    }
+    return locations;
+  }
+
+  NetMerger MakeMerger(bool consolidate = true, bool round_robin = true,
+                       int data_threads = 3) {
+    NetMerger::Options options;
+    options.transport = transport_.get();
+    options.data_threads = data_threads;
+    options.chunk_size = 1500;
+    options.consolidate = consolidate;
+    options.round_robin = round_robin;
+    return NetMerger(options);
+  }
+
+  /// Asserts the stream is sorted and matches the expected multiset.
+  void CheckMerged(mr::RecordStream& stream, int partition,
+                   size_t expected_records) {
+    mr::Record record;
+    std::string last;
+    size_t count = 0;
+    while (stream.Next(&record)) {
+      EXPECT_GE(record.key, last);
+      last = record.key;
+      ++count;
+    }
+    EXPECT_TRUE(stream.status().ok());
+    EXPECT_EQ(count, expected_records);
+    (void)partition;
+  }
+
+  fs::path dir_;
+  std::unique_ptr<net::Transport> transport_;
+  std::vector<std::unique_ptr<MofSupplier>> suppliers_;
+  std::map<int, std::multiset<std::string>> expected_;
+};
+
+TEST_F(NetMergerTest, MergesAcrossNodesSorted) {
+  auto locations = MakeCluster(/*nodes=*/3, /*mofs=*/2, /*partitions=*/2,
+                               /*records=*/25);
+  auto merger = MakeMerger();
+  auto stream = merger.FetchAndMerge(1, locations);
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  CheckMerged(**stream, 1, 6 * 25);
+  auto stats = merger.merger_stats();
+  EXPECT_EQ(stats.fetches, 6u);
+  EXPECT_GT(stats.bytes_fetched, 0u);
+  merger.Stop();
+}
+
+TEST_F(NetMergerTest, ConsolidationUsesOneConnectionPerNode) {
+  auto locations = MakeCluster(3, 4, 1, 10);
+  auto merger = MakeMerger(/*consolidate=*/true);
+  ASSERT_TRUE(merger.FetchAndMerge(0, locations).ok());
+  // 12 fetches but only 3 nodes -> exactly 3 dials.
+  EXPECT_EQ(merger.merger_stats().connections_opened, 3u);
+  merger.Stop();
+}
+
+TEST_F(NetMergerTest, NoConsolidationDialsPerFetch) {
+  auto locations = MakeCluster(3, 4, 1, 10);
+  auto merger = MakeMerger(/*consolidate=*/false);
+  ASSERT_TRUE(merger.FetchAndMerge(0, locations).ok());
+  EXPECT_EQ(merger.merger_stats().connections_opened, 12u);
+  merger.Stop();
+}
+
+TEST_F(NetMergerTest, ConcurrentReducersShareMerger) {
+  // Two "reducers" on the same node call FetchAndMerge concurrently — the
+  // consolidation scenario of §III-C.
+  auto locations = MakeCluster(2, 3, 2, 15);
+  auto merger = MakeMerger();
+  Status s0, s1;
+  std::thread r0([&] {
+    auto stream = merger.FetchAndMerge(0, locations);
+    s0 = stream.status();
+    if (stream.ok()) CheckMerged(**stream, 0, 6 * 15);
+  });
+  std::thread r1([&] {
+    auto stream = merger.FetchAndMerge(1, locations);
+    s1 = stream.status();
+    if (stream.ok()) CheckMerged(**stream, 1, 6 * 15);
+  });
+  r0.join();
+  r1.join();
+  EXPECT_TRUE(s0.ok()) << s0.ToString();
+  EXPECT_TRUE(s1.ok()) << s1.ToString();
+  // Still only one connection per remote node despite 2 reducers.
+  EXPECT_EQ(merger.merger_stats().connections_opened, 2u);
+  merger.Stop();
+}
+
+TEST_F(NetMergerTest, RoundRobinSwitchesNodes) {
+  auto locations = MakeCluster(4, 3, 1, 10);
+  auto merger = MakeMerger(/*consolidate=*/true, /*round_robin=*/true,
+                           /*data_threads=*/1);
+  ASSERT_TRUE(merger.FetchAndMerge(0, locations).ok());
+  // With 1 data thread, RR must alternate nodes: 12 tasks across 4 nodes
+  // yields ~11 switches; key-ordered FIFO would do 3.
+  EXPECT_GE(merger.merger_stats().node_switches, 8u);
+  merger.Stop();
+}
+
+TEST_F(NetMergerTest, FifoModeDrainsNodeByNode) {
+  auto locations = MakeCluster(4, 3, 1, 10);
+  auto merger = MakeMerger(/*consolidate=*/true, /*round_robin=*/false,
+                           /*data_threads=*/1);
+  ASSERT_TRUE(merger.FetchAndMerge(0, locations).ok());
+  EXPECT_LE(merger.merger_stats().node_switches, 3u);
+  merger.Stop();
+}
+
+TEST_F(NetMergerTest, FetchErrorPropagates) {
+  auto locations = MakeCluster(1, 1, 1, 5);
+  locations.push_back({999, 0, "127.0.0.1", locations[0].port});  // no MOF
+  auto merger = MakeMerger();
+  auto stream = merger.FetchAndMerge(0, locations);
+  EXPECT_FALSE(stream.ok());
+  EXPECT_EQ(merger.merger_stats().fetch_errors, 1u);
+  merger.Stop();
+}
+
+TEST_F(NetMergerTest, UnreachableNodeFails) {
+  auto locations = MakeCluster(1, 1, 1, 5);
+  locations.push_back({1, 9, "127.0.0.1", 1});  // nothing listens on port 1
+  auto merger = MakeMerger();
+  auto stream = merger.FetchAndMerge(0, locations);
+  EXPECT_FALSE(stream.ok());
+  merger.Stop();
+}
+
+TEST_F(NetMergerTest, StopUnblocksWorkers) {
+  auto merger = MakeMerger();
+  merger.Stop();  // no work: must return promptly and not hang
+  auto stream = merger.FetchAndMerge(0, {});
+  EXPECT_FALSE(stream.ok());
+}
+
+}  // namespace
+}  // namespace jbs::shuffle

@@ -1,0 +1,170 @@
+// End-to-end equivalence: the same job run through the local shuffle, the
+// stock-Hadoop HTTP shuffle, JBS-over-TCP, and JBS-over-SoftRdma must
+// produce byte-identical output — JBS is a *transparent* plug-in (§III-A).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "baseline/plugin.h"
+#include "common/rng.h"
+#include "jbs/plugin.h"
+#include "mapred/engine.h"
+#include "mapred/local_shuffle.h"
+
+namespace jbs {
+namespace {
+
+namespace fs = std::filesystem;
+
+class PluginE2eTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("plugin_e2e_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(root_);
+    hdfs::MiniDfs::Options dopts;
+    dopts.root = root_ / "dfs";
+    dopts.num_datanodes = 3;
+    dopts.replication = 2;
+    dopts.block_size = 8192;
+    dfs_ = std::make_unique<hdfs::MiniDfs>(dopts);
+
+    // Deterministic multi-block wordcount input.
+    std::string text;
+    Rng rng(123);
+    const char* words[] = {"jvm",  "bypass", "shuffle", "merge",
+                           "rdma", "epoll",  "segment", "mof"};
+    for (int i = 0; i < 2500; ++i) {
+      text += words[rng.Below(8)];
+      text += (i % 6 == 5) ? '\n' : ' ';
+    }
+    text += '\n';
+    ASSERT_TRUE(
+        dfs_->WriteFile("/in/text",
+                        {reinterpret_cast<const uint8_t*>(text.data()),
+                         text.size()})
+            .ok());
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  mr::JobSpec WordCount(const std::string& out) {
+    mr::JobSpec spec;
+    spec.name = "wc";
+    spec.input_path = "/in/text";
+    spec.output_dir = out;
+    spec.num_reducers = 4;
+    spec.map = [](std::string_view, std::string_view line, mr::Emitter& e) {
+      size_t pos = 0;
+      while (pos < line.size()) {
+        size_t end = line.find(' ', pos);
+        if (end == std::string_view::npos) end = line.size();
+        if (end > pos) e.Emit(line.substr(pos, end - pos), "1");
+        pos = end + 1;
+      }
+    };
+    spec.reduce = [](const std::string& key,
+                     const std::vector<std::string>& values, mr::Emitter& e) {
+      e.Emit(key, std::to_string(values.size()));
+    };
+    return spec;
+  }
+
+  std::string RunWith(mr::ShufflePlugin& plugin, const std::string& tag) {
+    mr::LocalJobRunner::Options opts;
+    opts.dfs = dfs_.get();
+    opts.plugin = &plugin;
+    opts.work_dir = root_ / ("work_" + tag);
+    opts.num_nodes = 3;
+    opts.map_slots = 2;
+    opts.reduce_slots = 2;
+    opts.sort_buffer_bytes = 4096;  // force spills
+    mr::LocalJobRunner runner(opts);
+    auto result = runner.Run(WordCount("/out/" + tag));
+    EXPECT_TRUE(result.ok()) << tag << ": " << result.status().ToString();
+    if (!result.ok()) return "<failed:" + tag + ">";
+    EXPECT_GT(result->shuffle_bytes, 0u) << tag;
+    std::string all;
+    for (const auto& file : result->output_files) {
+      std::vector<uint8_t> data;
+      EXPECT_TRUE(dfs_->ReadFile(file, data).ok());
+      all.append(data.begin(), data.end());
+    }
+    return all;
+  }
+
+  fs::path root_;
+  std::unique_ptr<hdfs::MiniDfs> dfs_;
+};
+
+TEST_F(PluginE2eTest, AllShufflesProduceIdenticalOutput) {
+  mr::LocalShufflePlugin local;
+  const std::string reference = RunWith(local, "local");
+  ASSERT_FALSE(reference.empty());
+
+  baseline::HadoopShufflePlugin::Options hopts;
+  hopts.spill_dir = root_ / "spills";
+  baseline::HadoopShufflePlugin hadoop(hopts);
+  EXPECT_EQ(RunWith(hadoop, "hadoop"), reference);
+
+  shuffle::JbsShufflePlugin jbs_tcp;
+  EXPECT_EQ(RunWith(jbs_tcp, "jbs_tcp"), reference);
+
+  shuffle::JbsOptions ropts;
+  ropts.transport = shuffle::TransportKind::kRdma;
+  ropts.buffer_size = 32 * 1024;
+  shuffle::JbsShufflePlugin jbs_rdma(ropts);
+  EXPECT_EQ(RunWith(jbs_rdma, "jbs_rdma"), reference);
+}
+
+TEST_F(PluginE2eTest, JbsSmallBuffersStillCorrect) {
+  // Tiny transport buffers force heavy chunking (the 8KB end of Fig. 11).
+  shuffle::JbsOptions opts;
+  opts.buffer_size = 4096;
+  shuffle::JbsShufflePlugin tiny(opts);
+  mr::LocalShufflePlugin local;
+  EXPECT_EQ(RunWith(tiny, "tiny"), RunWith(local, "local_ref"));
+}
+
+TEST_F(PluginE2eTest, JbsAblationsStillCorrect) {
+  mr::LocalShufflePlugin local;
+  const std::string reference = RunWith(local, "local");
+
+  shuffle::JbsOptions no_pipeline;
+  no_pipeline.pipelined = false;
+  shuffle::JbsShufflePlugin p1(no_pipeline);
+  EXPECT_EQ(RunWith(p1, "nopipe"), reference);
+
+  shuffle::JbsOptions no_consolidate;
+  no_consolidate.consolidate = false;
+  no_consolidate.round_robin = false;
+  shuffle::JbsShufflePlugin p2(no_consolidate);
+  EXPECT_EQ(RunWith(p2, "nocons"), reference);
+}
+
+TEST_F(PluginE2eTest, BaselineWithSpillsMatches) {
+  mr::LocalShufflePlugin local;
+  const std::string reference = RunWith(local, "local");
+  baseline::HadoopShufflePlugin::Options hopts;
+  hopts.in_memory_budget = 1024;  // force copier spills + read-back
+  hopts.spill_dir = root_ / "spills2";
+  baseline::HadoopShufflePlugin hadoop(hopts);
+  EXPECT_EQ(RunWith(hadoop, "hadoop_spill"), reference);
+}
+
+TEST_F(PluginE2eTest, OptionsFromConfigParsesKeys) {
+  Config conf;
+  conf.Set("jbs.transport", "rdma");
+  conf.Set(conf::kTransportBufferSize, "64KB");
+  conf.SetInt(conf::kNetMergerDataThreads, 5);
+  conf.SetBool("jbs.netmerger.consolidate", false);
+  auto opts = shuffle::JbsShufflePlugin::OptionsFromConfig(conf);
+  EXPECT_EQ(opts.transport, shuffle::TransportKind::kRdma);
+  EXPECT_EQ(opts.buffer_size, 64u * 1024);
+  EXPECT_EQ(opts.data_threads, 5);
+  EXPECT_FALSE(opts.consolidate);
+  EXPECT_TRUE(opts.round_robin);
+}
+
+}  // namespace
+}  // namespace jbs

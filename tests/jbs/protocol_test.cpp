@@ -1,0 +1,73 @@
+#include "jbs/protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace jbs::shuffle {
+namespace {
+
+TEST(ProtocolTest, RequestRoundTrip) {
+  FetchRequest request;
+  request.map_task = 42;
+  request.partition = 7;
+  request.offset = 1ull << 40;
+  request.max_len = 128 * 1024;
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->map_task, 42);
+  EXPECT_EQ(decoded->partition, 7);
+  EXPECT_EQ(decoded->offset, 1ull << 40);
+  EXPECT_EQ(decoded->max_len, 128u * 1024);
+}
+
+TEST(ProtocolTest, DataRoundTrip) {
+  FetchDataHeader header;
+  header.map_task = 3;
+  header.partition = 1;
+  header.offset = 4096;
+  header.segment_total = 999999;
+  std::vector<uint8_t> data = {1, 2, 3, 4, 5};
+  Frame frame = EncodeData(header, data);
+  EXPECT_EQ(frame.payload.size(), kDataHeaderSize + data.size());
+  std::span<const uint8_t> out;
+  auto decoded = DecodeData(frame, &out);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->map_task, 3);
+  EXPECT_EQ(decoded->offset, 4096u);
+  EXPECT_EQ(decoded->segment_total, 999999u);
+  EXPECT_EQ(std::vector<uint8_t>(out.begin(), out.end()), data);
+}
+
+TEST(ProtocolTest, EmptyDataPayloadAllowed) {
+  FetchDataHeader header;
+  header.segment_total = 0;
+  Frame frame = EncodeData(header, {});
+  std::span<const uint8_t> out;
+  auto decoded = DecodeData(frame, &out);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ProtocolTest, ErrorRoundTrip) {
+  FetchError error;
+  error.map_task = 9;
+  error.partition = 2;
+  error.message = "unknown MOF";
+  auto decoded = DecodeError(EncodeError(error));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->map_task, 9);
+  EXPECT_EQ(decoded->message, "unknown MOF");
+}
+
+TEST(ProtocolTest, WrongTypeRejected) {
+  Frame frame = EncodeRequest({});
+  EXPECT_FALSE(DecodeError(frame).has_value());
+  std::span<const uint8_t> data;
+  EXPECT_FALSE(DecodeData(frame, &data).has_value());
+  Frame short_frame;
+  short_frame.type = kFetchRequest;
+  short_frame.payload.resize(3);
+  EXPECT_FALSE(DecodeRequest(short_frame).has_value());
+}
+
+}  // namespace
+}  // namespace jbs::shuffle

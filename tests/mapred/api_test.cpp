@@ -1,0 +1,108 @@
+#include "mapred/api.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace jbs::mr {
+namespace {
+
+TEST(HashPartitionerTest, InRangeAndDeterministic) {
+  HashPartitioner p;
+  for (int r : {1, 2, 7, 64}) {
+    for (int i = 0; i < 500; ++i) {
+      const std::string key = "key_" + std::to_string(i);
+      const int part = p.Partition(key, r);
+      EXPECT_GE(part, 0);
+      EXPECT_LT(part, r);
+      EXPECT_EQ(part, p.Partition(key, r));
+    }
+  }
+}
+
+TEST(HashPartitionerTest, RoughlyBalanced) {
+  HashPartitioner p;
+  constexpr int kReducers = 8;
+  constexpr int kKeys = 8000;
+  int counts[kReducers] = {0};
+  for (int i = 0; i < kKeys; ++i) {
+    ++counts[p.Partition("key_" + std::to_string(i), kReducers)];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, kKeys / kReducers / 2);
+    EXPECT_LT(c, kKeys / kReducers * 2);
+  }
+}
+
+TEST(RangePartitionerTest, RespectsSplitPoints) {
+  RangePartitioner p({"h", "p"});
+  EXPECT_EQ(p.Partition("apple", 3), 0);
+  EXPECT_EQ(p.Partition("g", 3), 0);
+  EXPECT_EQ(p.Partition("h", 3), 1);  // boundary goes right
+  EXPECT_EQ(p.Partition("monkey", 3), 1);
+  EXPECT_EQ(p.Partition("p", 3), 2);
+  EXPECT_EQ(p.Partition("zebra", 3), 2);
+}
+
+TEST(RangePartitionerTest, OutputIsGloballySorted) {
+  // The Terasort property: partition ids must be non-decreasing in key
+  // order.
+  Rng rng(3);
+  std::vector<std::string> sample;
+  for (int i = 0; i < 1000; ++i) {
+    sample.push_back(std::to_string(10000 + rng.Below(90000)));
+  }
+  auto points = RangePartitioner::SelectSplitPoints(sample, 10);
+  ASSERT_EQ(points.size(), 9u);
+  EXPECT_TRUE(std::is_sorted(points.begin(), points.end()));
+  RangePartitioner p(points);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 2000; ++i) {
+    keys.push_back(std::to_string(10000 + rng.Below(90000)));
+  }
+  std::sort(keys.begin(), keys.end());
+  int last_partition = 0;
+  for (const auto& key : keys) {
+    const int part = p.Partition(key, 10);
+    EXPECT_GE(part, last_partition);
+    last_partition = part;
+  }
+}
+
+TEST(RangePartitionerTest, BalancedOnUniformSample) {
+  Rng rng(5);
+  std::vector<std::string> sample;
+  for (int i = 0; i < 10000; ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%08llu",
+                  static_cast<unsigned long long>(rng.Below(100000000)));
+    sample.emplace_back(buf);
+  }
+  auto points = RangePartitioner::SelectSplitPoints(sample, 8);
+  RangePartitioner p(points);
+  int counts[8] = {0};
+  for (int i = 0; i < 20000; ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%08llu",
+                  static_cast<unsigned long long>(rng.Below(100000000)));
+    ++counts[p.Partition(buf, 8)];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 20000 / 8 / 2);
+    EXPECT_LT(c, 20000 / 8 * 2);
+  }
+}
+
+TEST(RangePartitionerTest, SinglePartitionAlwaysZero) {
+  auto points = RangePartitioner::SelectSplitPoints({"a", "b", "c"}, 1);
+  EXPECT_TRUE(points.empty());
+  RangePartitioner p(points);
+  EXPECT_EQ(p.Partition("anything", 1), 0);
+}
+
+TEST(RangePartitionerTest, EmptySampleYieldsNoPoints) {
+  EXPECT_TRUE(RangePartitioner::SelectSplitPoints({}, 5).empty());
+}
+
+}  // namespace
+}  // namespace jbs::mr

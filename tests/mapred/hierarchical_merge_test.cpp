@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "mapred/merger.h"
+
+namespace jbs::mr {
+namespace {
+
+std::vector<std::unique_ptr<RecordStream>> RandomSortedStreams(
+    int count, int records_each, uint64_t seed,
+    std::vector<Record>* all_out) {
+  Rng rng(seed);
+  std::vector<std::unique_ptr<RecordStream>> streams;
+  for (int s = 0; s < count; ++s) {
+    std::vector<Record> records;
+    for (int r = 0; r < records_each; ++r) {
+      records.push_back({std::to_string(rng.Below(100000)),
+                         "v" + std::to_string(s)});
+    }
+    std::sort(records.begin(), records.end(),
+              [](const Record& a, const Record& b) { return a.key < b.key; });
+    if (all_out) {
+      all_out->insert(all_out->end(), records.begin(), records.end());
+    }
+    streams.push_back(std::make_unique<VectorStream>(std::move(records)));
+  }
+  return streams;
+}
+
+std::vector<Record> Drain(RecordStream& stream) {
+  std::vector<Record> out;
+  Record record;
+  while (stream.Next(&record)) out.push_back(record);
+  return out;
+}
+
+TEST(HierarchicalMergeTest, EquivalentToFlatMerge) {
+  std::vector<Record> all;
+  auto streams = RandomSortedStreams(20, 50, 1, &all);
+  std::sort(all.begin(), all.end(),
+            [](const Record& a, const Record& b) { return a.key < b.key; });
+
+  auto merged = HierarchicalMerge(std::move(streams), /*fan_in=*/4);
+  auto result = Drain(*merged);
+  ASSERT_TRUE(merged->status().ok());
+  ASSERT_EQ(result.size(), all.size());
+  for (size_t i = 0; i < result.size(); ++i) {
+    EXPECT_EQ(result[i].key, all[i].key);
+  }
+}
+
+class FanInSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FanInSweep, AllFanInsProduceSortedCompleteOutput) {
+  auto streams = RandomSortedStreams(33, 40, GetParam(), nullptr);
+  auto merged = HierarchicalMerge(std::move(streams), GetParam());
+  auto result = Drain(*merged);
+  EXPECT_TRUE(merged->status().ok());
+  EXPECT_EQ(result.size(), 33u * 40u);
+  EXPECT_TRUE(std::is_sorted(result.begin(), result.end(),
+                             [](const Record& a, const Record& b) {
+                               return a.key < b.key;
+                             }));
+}
+
+INSTANTIATE_TEST_SUITE_P(FanIns, FanInSweep,
+                         ::testing::Values(2, 3, 4, 8, 16, 64));
+
+TEST(HierarchicalMergeTest, FewStreamsDegenerateToFlat) {
+  auto streams = RandomSortedStreams(3, 10, 5, nullptr);
+  auto merged = HierarchicalMerge(std::move(streams), /*fan_in=*/16);
+  EXPECT_EQ(Drain(*merged).size(), 30u);
+}
+
+TEST(HierarchicalMergeTest, EmptyInputs) {
+  auto merged = HierarchicalMerge({}, 4);
+  Record record;
+  EXPECT_FALSE(merged->Next(&record));
+  EXPECT_TRUE(merged->status().ok());
+}
+
+TEST(HierarchicalMergeTest, FanInBelowTwoClamped) {
+  auto streams = RandomSortedStreams(5, 5, 9, nullptr);
+  auto merged = HierarchicalMerge(std::move(streams), /*fan_in=*/0);
+  EXPECT_EQ(Drain(*merged).size(), 25u);
+}
+
+TEST(HierarchicalMergeTest, PropagatesInputError) {
+  class BrokenStream final : public RecordStream {
+   public:
+    bool Next(Record* record) override {
+      if (done_) return false;
+      done_ = true;
+      record->key = "k";
+      return true;
+    }
+    const Status& status() const override { return status_; }
+
+   private:
+    bool done_ = false;
+    Status status_ = IoError("broken");
+  };
+  std::vector<std::unique_ptr<RecordStream>> streams;
+  for (int i = 0; i < 6; ++i) {
+    streams.push_back(std::make_unique<BrokenStream>());
+  }
+  auto merged = HierarchicalMerge(std::move(streams), 2);
+  Record record;
+  while (merged->Next(&record)) {
+  }
+  EXPECT_FALSE(merged->status().ok());
+}
+
+TEST(HierarchicalMergeTest, StableWithinEqualKeysAcrossLevels) {
+  // Ordering within equal keys must follow input-stream order even when
+  // merged through a tree.
+  std::vector<std::unique_ptr<RecordStream>> streams;
+  for (int s = 0; s < 9; ++s) {
+    streams.push_back(std::make_unique<VectorStream>(
+        std::vector<Record>{{"same", std::to_string(s)}}));
+  }
+  auto merged = HierarchicalMerge(std::move(streams), 3);
+  auto result = Drain(*merged);
+  ASSERT_EQ(result.size(), 9u);
+  for (int s = 0; s < 9; ++s) {
+    EXPECT_EQ(result[static_cast<size_t>(s)].value, std::to_string(s));
+  }
+}
+
+}  // namespace
+}  // namespace jbs::mr

@@ -1,0 +1,128 @@
+#include "mapred/ifile.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace jbs::mr {
+namespace {
+
+TEST(IFileTest, RoundTrip) {
+  IFileWriter writer;
+  writer.Append("apple", "1");
+  writer.Append("banana", "22");
+  writer.Append("cherry", "333");
+  EXPECT_EQ(writer.records(), 3u);
+  auto segment = writer.Finish();
+
+  IFileReader reader(segment);
+  ASSERT_TRUE(reader.VerifyChecksum().ok());
+  Record record;
+  ASSERT_TRUE(reader.Next(&record));
+  EXPECT_EQ(record, (Record{"apple", "1"}));
+  ASSERT_TRUE(reader.Next(&record));
+  EXPECT_EQ(record, (Record{"banana", "22"}));
+  ASSERT_TRUE(reader.Next(&record));
+  EXPECT_EQ(record, (Record{"cherry", "333"}));
+  EXPECT_FALSE(reader.Next(&record));
+  EXPECT_TRUE(reader.status().ok());
+  EXPECT_EQ(reader.records_read(), 3u);
+}
+
+TEST(IFileTest, EmptySegment) {
+  IFileWriter writer;
+  auto segment = writer.Finish();
+  EXPECT_EQ(segment.size(), 2u + 4u);  // two varint(-1) markers + crc
+  IFileReader reader(segment);
+  ASSERT_TRUE(reader.VerifyChecksum().ok());
+  Record record;
+  EXPECT_FALSE(reader.Next(&record));
+  EXPECT_TRUE(reader.status().ok());
+}
+
+TEST(IFileTest, BinaryKeysAndValues) {
+  IFileWriter writer;
+  std::string key("\x00\x01\xff\n\t", 5);
+  std::string value(1000, '\0');
+  writer.Append(key, value);
+  auto segment = writer.Finish();
+  IFileReader reader(segment);
+  Record record;
+  ASSERT_TRUE(reader.Next(&record));
+  EXPECT_EQ(record.key, key);
+  EXPECT_EQ(record.value, value);
+}
+
+TEST(IFileTest, EmptyKeyAndValueAllowed) {
+  IFileWriter writer;
+  writer.Append("", "");
+  auto segment = writer.Finish();
+  IFileReader reader(segment);
+  Record record;
+  ASSERT_TRUE(reader.Next(&record));
+  EXPECT_TRUE(record.key.empty());
+  EXPECT_TRUE(record.value.empty());
+  EXPECT_FALSE(reader.Next(&record));
+  EXPECT_TRUE(reader.status().ok());
+}
+
+TEST(IFileTest, TruncationDetected) {
+  IFileWriter writer;
+  writer.Append("key", "value");
+  auto segment = writer.Finish();
+  // Chop the EOF marker + trailer off: reader must report an error, not a
+  // clean end.
+  segment.resize(segment.size() - 6);
+  IFileReader reader(segment);
+  Record record;
+  while (reader.Next(&record)) {
+  }
+  EXPECT_FALSE(reader.status().ok());
+}
+
+TEST(IFileTest, CorruptionDetectedByChecksum) {
+  IFileWriter writer;
+  writer.Append("key", "value");
+  auto segment = writer.Finish();
+  segment[5] ^= 0x40;
+  IFileReader reader(segment);
+  EXPECT_FALSE(reader.VerifyChecksum().ok());
+}
+
+TEST(IFileTest, CorruptLengthRejected) {
+  IFileWriter writer;
+  writer.Append("key", "value");
+  auto segment = writer.Finish();
+  // Overwrite the first varint (key length 3) with a huge length.
+  segment[0] = 0x7f;  // 127 > remaining bytes
+  IFileReader reader(segment);
+  Record record;
+  EXPECT_FALSE(reader.Next(&record));
+  EXPECT_FALSE(reader.status().ok());
+}
+
+TEST(IFileTest, LargeSegmentRoundTrip) {
+  IFileWriter writer;
+  Rng rng(99);
+  std::vector<Record> expected;
+  for (int i = 0; i < 5000; ++i) {
+    Record r;
+    r.key = "key_" + std::to_string(rng.Below(100000));
+    r.value.assign(rng.Below(64), 'v');
+    writer.Append(r);
+    expected.push_back(std::move(r));
+  }
+  auto segment = writer.Finish();
+  IFileReader reader(segment);
+  ASSERT_TRUE(reader.VerifyChecksum().ok());
+  Record record;
+  for (const Record& want : expected) {
+    ASSERT_TRUE(reader.Next(&record));
+    EXPECT_EQ(record, want);
+  }
+  EXPECT_FALSE(reader.Next(&record));
+  EXPECT_TRUE(reader.status().ok());
+}
+
+}  // namespace
+}  // namespace jbs::mr

@@ -1,0 +1,164 @@
+#include "mapred/merger.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace jbs::mr {
+namespace {
+
+std::unique_ptr<RecordStream> Stream(std::vector<Record> records) {
+  return std::make_unique<VectorStream>(std::move(records));
+}
+
+std::vector<Record> Drain(RecordStream& stream) {
+  std::vector<Record> out;
+  Record record;
+  while (stream.Next(&record)) out.push_back(record);
+  return out;
+}
+
+TEST(KWayMergerTest, MergesTwoSortedStreams) {
+  std::vector<std::unique_ptr<RecordStream>> inputs;
+  inputs.push_back(Stream({{"a", "1"}, {"c", "3"}, {"e", "5"}}));
+  inputs.push_back(Stream({{"b", "2"}, {"d", "4"}}));
+  KWayMerger merger(std::move(inputs));
+  auto merged = Drain(merger);
+  ASSERT_EQ(merged.size(), 5u);
+  for (size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_LE(merged[i - 1].key, merged[i].key);
+  }
+  EXPECT_EQ(merged[0].key, "a");
+  EXPECT_EQ(merged[4].key, "e");
+}
+
+TEST(KWayMergerTest, EmptyInputs) {
+  std::vector<std::unique_ptr<RecordStream>> inputs;
+  inputs.push_back(Stream({}));
+  inputs.push_back(Stream({}));
+  KWayMerger merger(std::move(inputs));
+  EXPECT_TRUE(Drain(merger).empty());
+  EXPECT_TRUE(merger.status().ok());
+}
+
+TEST(KWayMergerTest, NoInputs) {
+  KWayMerger merger({});
+  EXPECT_TRUE(Drain(merger).empty());
+}
+
+TEST(KWayMergerTest, DuplicateKeysStableAcrossStreams) {
+  std::vector<std::unique_ptr<RecordStream>> inputs;
+  inputs.push_back(Stream({{"k", "from0a"}, {"k", "from0b"}}));
+  inputs.push_back(Stream({{"k", "from1"}}));
+  KWayMerger merger(std::move(inputs));
+  auto merged = Drain(merger);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].value, "from0a");
+  EXPECT_EQ(merged[1].value, "from0b");
+  EXPECT_EQ(merged[2].value, "from1");
+}
+
+TEST(KWayMergerTest, ManyStreamsPropertySweep) {
+  // Property: merging K sorted random streams == sorting the union.
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::unique_ptr<RecordStream>> inputs;
+    std::vector<Record> all;
+    const int k = 1 + static_cast<int>(rng.Below(12));
+    for (int s = 0; s < k; ++s) {
+      std::vector<Record> records;
+      const int n = static_cast<int>(rng.Below(50));
+      for (int i = 0; i < n; ++i) {
+        records.push_back({std::to_string(rng.Below(1000)), "v"});
+      }
+      std::sort(records.begin(), records.end(),
+                [](const Record& a, const Record& b) { return a.key < b.key; });
+      all.insert(all.end(), records.begin(), records.end());
+      inputs.push_back(Stream(std::move(records)));
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const Record& a, const Record& b) {
+                       return a.key < b.key;
+                     });
+    KWayMerger merger(std::move(inputs));
+    auto merged = Drain(merger);
+    ASSERT_EQ(merged.size(), all.size());
+    for (size_t i = 0; i < merged.size(); ++i) {
+      EXPECT_EQ(merged[i].key, all[i].key) << "trial " << trial;
+    }
+  }
+}
+
+TEST(KWayMergerTest, PropagatesStreamError) {
+  class BrokenStream final : public RecordStream {
+   public:
+    bool Next(Record* record) override {
+      if (emitted_) return false;
+      emitted_ = true;
+      record->key = "x";
+      return true;
+    }
+    const Status& status() const override { return status_; }
+    bool emitted_ = false;
+    Status status_ = IoError("segment corrupted");
+  };
+  std::vector<std::unique_ptr<RecordStream>> inputs;
+  inputs.push_back(std::make_unique<BrokenStream>());
+  KWayMerger merger(std::move(inputs));
+  Record record;
+  while (merger.Next(&record)) {
+  }
+  EXPECT_FALSE(merger.status().ok());
+}
+
+TEST(GroupIteratorTest, GroupsConsecutiveKeys) {
+  VectorStream stream(
+      {{"a", "1"}, {"a", "2"}, {"b", "3"}, {"c", "4"}, {"c", "5"}});
+  GroupIterator groups(&stream);
+  std::string key;
+  std::vector<std::string> values;
+  ASSERT_TRUE(groups.NextGroup(&key, &values));
+  EXPECT_EQ(key, "a");
+  EXPECT_EQ(values, (std::vector<std::string>{"1", "2"}));
+  ASSERT_TRUE(groups.NextGroup(&key, &values));
+  EXPECT_EQ(key, "b");
+  EXPECT_EQ(values, (std::vector<std::string>{"3"}));
+  ASSERT_TRUE(groups.NextGroup(&key, &values));
+  EXPECT_EQ(key, "c");
+  EXPECT_EQ(values.size(), 2u);
+  EXPECT_FALSE(groups.NextGroup(&key, &values));
+  EXPECT_FALSE(groups.NextGroup(&key, &values));  // stable after end
+}
+
+TEST(GroupIteratorTest, EmptyStream) {
+  VectorStream stream({});
+  GroupIterator groups(&stream);
+  std::string key;
+  std::vector<std::string> values;
+  EXPECT_FALSE(groups.NextGroup(&key, &values));
+}
+
+TEST(GroupIteratorTest, SingleGroup) {
+  VectorStream stream({{"only", "v1"}, {"only", "v2"}, {"only", "v3"}});
+  GroupIterator groups(&stream);
+  std::string key;
+  std::vector<std::string> values;
+  ASSERT_TRUE(groups.NextGroup(&key, &values));
+  EXPECT_EQ(values.size(), 3u);
+  EXPECT_FALSE(groups.NextGroup(&key, &values));
+}
+
+TEST(SegmentStreamTest, ReadsIFileSegment) {
+  IFileWriter writer;
+  writer.Append("x", "1");
+  writer.Append("y", "2");
+  SegmentStream stream(writer.Finish());
+  auto records = Drain(stream);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_TRUE(stream.status().ok());
+}
+
+}  // namespace
+}  // namespace jbs::mr

@@ -1,0 +1,65 @@
+#include "simnet/cpu.h"
+
+#include <gtest/gtest.h>
+
+namespace jbs::sim {
+namespace {
+
+TEST(CpuTest, SingleChargeUtilization) {
+  CpuAccountant cpu(/*cores=*/10, /*bin_width=*/1.0);
+  // 5 core-seconds over 1 second = 5 busy cores = 50%.
+  cpu.Charge(0.0, 1.0, 5.0);
+  auto trace = cpu.Trace(1.0);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_DOUBLE_EQ(trace[0].utilization, 50.0);
+}
+
+TEST(CpuTest, ChargeSpansBins) {
+  CpuAccountant cpu(4, 1.0);
+  // 4 core-seconds uniformly over [0.5, 2.5): rate = 2 cores busy.
+  cpu.Charge(0.5, 2.5, 4.0);
+  auto trace = cpu.Trace(3.0);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_DOUBLE_EQ(trace[0].utilization, 25.0);  // 0.5s * 2 cores / 4
+  EXPECT_DOUBLE_EQ(trace[1].utilization, 50.0);
+  EXPECT_DOUBLE_EQ(trace[2].utilization, 25.0);
+}
+
+TEST(CpuTest, UtilizationCappedAt100) {
+  CpuAccountant cpu(2, 1.0);
+  cpu.Charge(0.0, 1.0, 10.0);  // overcommitted
+  auto trace = cpu.Trace(1.0);
+  EXPECT_DOUBLE_EQ(trace[0].utilization, 100.0);
+}
+
+TEST(CpuTest, MeanUtilization) {
+  CpuAccountant cpu(10, 1.0);
+  cpu.Charge(0.0, 1.0, 10.0);  // 100% for 1s
+  cpu.Charge(1.0, 2.0, 0.0);   // ignored: zero work
+  EXPECT_DOUBLE_EQ(cpu.MeanUtilization(2.0), 50.0);
+}
+
+TEST(CpuTest, EmptyTraceIsZero) {
+  CpuAccountant cpu(8, 5.0);
+  auto trace = cpu.Trace(20.0);
+  ASSERT_EQ(trace.size(), 4u);
+  for (const auto& s : trace) EXPECT_DOUBLE_EQ(s.utilization, 0.0);
+  EXPECT_DOUBLE_EQ(cpu.MeanUtilization(20.0), 0.0);
+}
+
+TEST(CpuTest, ChargeCoresHelper) {
+  CpuAccountant cpu(24, 5.0);
+  cpu.ChargeCores(0.0, 10.0, 12.0);  // half the node for 10s
+  EXPECT_DOUBLE_EQ(cpu.MeanUtilization(10.0), 50.0);
+  EXPECT_DOUBLE_EQ(cpu.total_core_seconds(), 120.0);
+}
+
+TEST(CpuTest, ZeroOrNegativeIntervalIgnored) {
+  CpuAccountant cpu(4, 1.0);
+  cpu.Charge(1.0, 1.0, 5.0);
+  cpu.Charge(2.0, 1.0, 5.0);
+  EXPECT_DOUBLE_EQ(cpu.total_core_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace jbs::sim

@@ -1,0 +1,140 @@
+#include "simnet/fair_share.h"
+
+#include <gtest/gtest.h>
+
+namespace jbs::sim {
+namespace {
+
+TEST(FairShareTest, SingleFlowRunsAtCapacity) {
+  Simulator sim;
+  FairShareResource link(&sim, 100.0);  // 100 B/s
+  double done_at = -1;
+  link.StartFlow(200.0, [&](SimTime t) { done_at = t; });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(done_at, 2.0);
+  EXPECT_DOUBLE_EQ(link.bytes_completed(), 200.0);
+}
+
+TEST(FairShareTest, TwoEqualFlowsShareCapacity) {
+  Simulator sim;
+  FairShareResource link(&sim, 100.0);
+  double t1 = -1, t2 = -1;
+  link.StartFlow(100.0, [&](SimTime t) { t1 = t; });
+  link.StartFlow(100.0, [&](SimTime t) { t2 = t; });
+  sim.Run();
+  // Both proceed at 50 B/s and finish together at t=2.
+  EXPECT_DOUBLE_EQ(t1, 2.0);
+  EXPECT_DOUBLE_EQ(t2, 2.0);
+}
+
+TEST(FairShareTest, ShortFlowFreesBandwidthForLongFlow) {
+  Simulator sim;
+  FairShareResource link(&sim, 100.0);
+  double t_short = -1, t_long = -1;
+  link.StartFlow(50.0, [&](SimTime t) { t_short = t; });
+  link.StartFlow(150.0, [&](SimTime t) { t_long = t; });
+  sim.Run();
+  // Shared at 50 B/s: short finishes at t=1 (50B); long has 100B left and
+  // then runs at 100 B/s, finishing at t=2.
+  EXPECT_DOUBLE_EQ(t_short, 1.0);
+  EXPECT_DOUBLE_EQ(t_long, 2.0);
+}
+
+TEST(FairShareTest, RateCapLimitsFlowBelowFairShare) {
+  Simulator sim;
+  FairShareResource link(&sim, 100.0);
+  double t_capped = -1;
+  link.StartFlow(50.0, /*rate_cap=*/10.0, [&](SimTime t) { t_capped = t; });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(t_capped, 5.0);  // 50 B at 10 B/s despite idle link
+}
+
+TEST(FairShareTest, MaxMinRedistribuesCappedLeftover) {
+  Simulator sim;
+  FairShareResource link(&sim, 100.0);
+  double t_capped = -1, t_free = -1;
+  // Capped flow takes 20; the free flow should get the remaining 80.
+  link.StartFlow(20.0, /*rate_cap=*/20.0, [&](SimTime t) { t_capped = t; });
+  link.StartFlow(80.0, [&](SimTime t) { t_free = t; });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(t_capped, 1.0);
+  EXPECT_DOUBLE_EQ(t_free, 1.0);
+}
+
+TEST(FairShareTest, LateArrivalSlowsExistingFlow) {
+  Simulator sim;
+  FairShareResource link(&sim, 100.0);
+  double t1 = -1, t2 = -1;
+  link.StartFlow(100.0, [&](SimTime t) { t1 = t; });
+  sim.Schedule(0.5, [&] { link.StartFlow(25.0, [&](SimTime t) { t2 = t; }); });
+  sim.Run();
+  // Flow1 does 50B alone by t=0.5, then shares: both at 50B/s. Flow2 (25B)
+  // finishes at t=1.0; flow1 has 25B left, full rate, done at t=1.25.
+  EXPECT_DOUBLE_EQ(t2, 1.0);
+  EXPECT_DOUBLE_EQ(t1, 1.25);
+}
+
+TEST(FairShareTest, ZeroByteFlowCompletesImmediately) {
+  Simulator sim;
+  FairShareResource link(&sim, 100.0);
+  double t = -1;
+  link.StartFlow(0.0, [&](SimTime when) { t = when; });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(t, 0.0);
+}
+
+TEST(FairShareTest, CancelledFlowNeverCompletes) {
+  Simulator sim;
+  FairShareResource link(&sim, 100.0);
+  bool fired = false;
+  double t_other = -1;
+  auto id = link.StartFlow(1000.0, [&](SimTime) { fired = true; });
+  link.StartFlow(100.0, [&](SimTime t) { t_other = t; });
+  sim.Schedule(0.1, [&] { link.CancelFlow(id); });
+  sim.Run();
+  EXPECT_FALSE(fired);
+  // Other flow: 0.1s at 50B/s (5B), then 95B at 100B/s -> t=1.05.
+  EXPECT_NEAR(t_other, 1.05, 1e-9);
+}
+
+TEST(FairShareTest, CompletionCallbackCanStartNewFlow) {
+  Simulator sim;
+  FairShareResource link(&sim, 100.0);
+  double t_second = -1;
+  link.StartFlow(100.0, [&](SimTime) {
+    link.StartFlow(100.0, [&](SimTime t) { t_second = t; });
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(t_second, 2.0);
+}
+
+TEST(FairShareTest, ManyFlowsConservationOfBytes) {
+  Simulator sim;
+  FairShareResource link(&sim, 1000.0);
+  int completed = 0;
+  double total_bytes = 0;
+  for (int i = 1; i <= 50; ++i) {
+    const double bytes = i * 10.0;
+    total_bytes += bytes;
+    link.StartFlow(bytes, [&](SimTime) { ++completed; });
+  }
+  sim.Run();
+  EXPECT_EQ(completed, 50);
+  EXPECT_NEAR(link.bytes_completed(), total_bytes, 1e-6);
+  // Work conservation: finish no earlier than total/capacity.
+  EXPECT_GE(sim.Now(), total_bytes / 1000.0 - 1e-9);
+}
+
+TEST(FairShareTest, AggregateThroughputNeverExceedsCapacity) {
+  Simulator sim;
+  FairShareResource link(&sim, 100.0);
+  double last_finish = 0;
+  for (int i = 0; i < 10; ++i) {
+    link.StartFlow(100.0, [&](SimTime t) { last_finish = t; });
+  }
+  sim.Run();
+  EXPECT_NEAR(last_finish, 10.0, 1e-9);  // 1000 bytes / 100 B/s
+}
+
+}  // namespace
+}  // namespace jbs::sim

@@ -1,0 +1,85 @@
+#include "simnet/protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace jbs::sim {
+namespace {
+
+TEST(ProtocolTest, CatalogOrderingMatchesPaper) {
+  // Bandwidth ordering: 1GigE < 10GigE ~ RoCE < IPoIB < SDP < RDMA.
+  EXPECT_LT(Params(Protocol::kTcp1GigE).link_bandwidth,
+            Params(Protocol::kTcp10GigE).link_bandwidth);
+  EXPECT_LE(Params(Protocol::kTcp10GigE).link_bandwidth,
+            Params(Protocol::kIpoib).link_bandwidth);
+  EXPECT_LT(Params(Protocol::kIpoib).link_bandwidth,
+            Params(Protocol::kSdp).link_bandwidth);
+  EXPECT_LT(Params(Protocol::kSdp).link_bandwidth,
+            Params(Protocol::kRdma).link_bandwidth);
+}
+
+TEST(ProtocolTest, RdmaLikeProtocolsAreCpuCheap) {
+  // RDMA's selling points (§I): low CPU via zero-copy.
+  EXPECT_LT(Params(Protocol::kRdma).cpu_per_byte,
+            Params(Protocol::kIpoib).cpu_per_byte / 4);
+  EXPECT_LT(Params(Protocol::kRoce).cpu_per_byte,
+            Params(Protocol::kTcp10GigE).cpu_per_byte / 4);
+  EXPECT_TRUE(Params(Protocol::kRdma).rdma_semantics);
+  EXPECT_TRUE(Params(Protocol::kRoce).rdma_semantics);
+  EXPECT_FALSE(Params(Protocol::kSdp).rdma_semantics);
+}
+
+TEST(ProtocolTest, RdmaConnectionSetupIsExpensive) {
+  // §IV-A: "the cost of setting up RDMA connection is relatively high" —
+  // the reason JBS caches connections.
+  EXPECT_GT(Params(Protocol::kRdma).connection_setup,
+            Params(Protocol::kTcp10GigE).connection_setup);
+}
+
+TEST(ProtocolTest, SdpReducesCpuVersusIpoib) {
+  // §V-D: Hadoop on SDP uses ~15.8% less CPU than Hadoop on IPoIB.
+  EXPECT_LT(Params(Protocol::kSdp).cpu_per_byte,
+            Params(Protocol::kIpoib).cpu_per_byte);
+}
+
+TEST(ProtocolTest, FromNameRoundTrip) {
+  EXPECT_EQ(ProtocolFromName("1gige"), Protocol::kTcp1GigE);
+  EXPECT_EQ(ProtocolFromName("10gige"), Protocol::kTcp10GigE);
+  EXPECT_EQ(ProtocolFromName("ipoib"), Protocol::kIpoib);
+  EXPECT_EQ(ProtocolFromName("sdp"), Protocol::kSdp);
+  EXPECT_EQ(ProtocolFromName("roce"), Protocol::kRoce);
+  EXPECT_EQ(ProtocolFromName("rdma"), Protocol::kRdma);
+  EXPECT_THROW(ProtocolFromName("carrier-pigeon"), std::invalid_argument);
+}
+
+TEST(ProtocolTest, JvmCapsReproduceFig2Ratios) {
+  const JvmParams jvm;
+  const NativeParams native;
+  const NodeParams node;
+  // Fig 2(a): java stream disk read ~3.1x slower than native read.
+  const double native_disk = std::min(native.disk_stream_cap,
+                                      node.disk_seq_bandwidth);
+  const double java_disk = std::min(jvm.disk_stream_cap,
+                                    node.disk_seq_bandwidth);
+  EXPECT_NEAR(native_disk / java_disk, 3.1, 0.5);
+
+  // Fig 2(b) on InfiniBand: java stream ~3.4x below native per-flow rate.
+  const double ib_flow = Params(Protocol::kIpoib).per_flow_cap;
+  const double java_net = std::min(jvm.net_stream_cap, ib_flow);
+  EXPECT_NEAR(ib_flow / java_net, 3.4, 1.0);
+
+  // Fig 2(b) on 1GigE: the link binds first — java cap invisible.
+  const double ge_flow = Params(Protocol::kTcp1GigE).per_flow_cap;
+  EXPECT_DOUBLE_EQ(std::min(jvm.net_stream_cap, ge_flow), ge_flow);
+
+  // Fig 2(c): whole-JVM fan-in at least 2.5x below the native link rate.
+  EXPECT_GE(Params(Protocol::kIpoib).link_bandwidth / jvm.process_net_cap,
+            2.5);
+}
+
+TEST(ProtocolTest, ThreadCountsMatchPaper) {
+  EXPECT_GE(JvmParams{}.shuffle_threads_per_reducer, 8);
+  EXPECT_EQ(NativeParams{}.netmerger_threads, 3);
+}
+
+}  // namespace
+}  // namespace jbs::sim

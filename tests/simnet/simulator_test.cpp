@@ -1,0 +1,110 @@
+#include "simnet/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace jbs::sim {
+namespace {
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(3.0, [&] { order.push_back(3); });
+  sim.Schedule(1.0, [&] { order.push_back(1); });
+  sim.Schedule(2.0, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.Now(), 3.0);
+}
+
+TEST(SimulatorTest, SameTimeFifoByInsertion) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.Schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  std::vector<double> fire_times;
+  sim.Schedule(1.0, [&] {
+    fire_times.push_back(sim.Now());
+    sim.Schedule(0.5, [&] { fire_times.push_back(sim.Now()); });
+  });
+  sim.Run();
+  ASSERT_EQ(fire_times.size(), 2u);
+  EXPECT_DOUBLE_EQ(fire_times[0], 1.0);
+  EXPECT_DOUBLE_EQ(fire_times[1], 1.5);
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator sim;
+  bool fired = false;
+  sim.Schedule(1.0, [&] {
+    sim.Schedule(-5.0, [&] {
+      fired = true;
+      EXPECT_DOUBLE_EQ(sim.Now(), 1.0);
+    });
+  });
+  sim.Run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  auto id = sim.Schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));  // second cancel is a no-op
+  sim.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+TEST(SimulatorTest, CancelAfterFireIsNoop) {
+  Simulator sim;
+  auto id = sim.Schedule(1.0, [] {});
+  sim.Run();
+  EXPECT_FALSE(sim.Cancel(id));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<double> fired;
+  sim.Schedule(1.0, [&] { fired.push_back(1.0); });
+  sim.Schedule(5.0, [&] { fired.push_back(5.0); });
+  sim.RunUntil(2.0);
+  EXPECT_EQ(fired, std::vector<double>{1.0});
+  EXPECT_DOUBLE_EQ(sim.Now(), 2.0);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.Run();
+  EXPECT_EQ(fired.size(), 2u);
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 100; ++i) {
+      sim.Schedule((i * 37) % 10, [&order, i] { order.push_back(i); });
+    }
+    sim.Run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(SimulatorTest, ManyEventsProcessedCount) {
+  Simulator sim;
+  for (int i = 0; i < 1000; ++i) sim.Schedule(i * 0.001, [] {});
+  sim.Run();
+  EXPECT_EQ(sim.events_processed(), 1000u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+}  // namespace
+}  // namespace jbs::sim

@@ -1,0 +1,153 @@
+#include "transport/connection_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace jbs::net {
+namespace {
+
+/// Transport double that mints fake connections and counts dials.
+class FakeTransport final : public Transport {
+ public:
+  class FakeConnection final : public Connection {
+   public:
+    explicit FakeConnection(std::atomic<int>* closed) : closed_(closed) {}
+    Status Send(const Frame&) override { return Status::Ok(); }
+    StatusOr<Frame> Receive() override { return Unavailable("fake"); }
+    void Close() override {
+      if (!dead_.exchange(true)) closed_->fetch_add(1);
+    }
+    bool alive() const override { return !dead_; }
+    uint64_t bytes_sent() const override { return 0; }
+    uint64_t bytes_received() const override { return 0; }
+
+   private:
+    std::atomic<int>* closed_;
+    std::atomic<bool> dead_{false};
+  };
+
+  std::string name() const override { return "fake"; }
+  StatusOr<std::unique_ptr<ServerEndpoint>> CreateServer() override {
+    return Internal("not used");
+  }
+  StatusOr<std::unique_ptr<Connection>> Connect(const std::string&,
+                                                uint16_t port) override {
+    if (fail_dials) return Unavailable("refused");
+    ++dials;
+    auto conn = std::make_unique<FakeConnection>(&closed);
+    last = conn.get();
+    return std::unique_ptr<Connection>(std::move(conn));
+  }
+
+  std::atomic<int> dials{0};
+  std::atomic<int> closed{0};
+  bool fail_dials = false;
+  FakeConnection* last = nullptr;
+};
+
+TEST(ConnectionManagerTest, ReusesLiveConnection) {
+  FakeTransport transport;
+  ConnectionManager manager(&transport, 4);
+  auto c1 = manager.GetOrConnect("10.0.0.1", 1000);
+  auto c2 = manager.GetOrConnect("10.0.0.1", 1000);
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  EXPECT_EQ(c1->get(), c2->get());
+  EXPECT_EQ(transport.dials.load(), 1);
+  EXPECT_EQ(manager.stats().hits, 1u);
+  EXPECT_EQ(manager.stats().misses, 1u);
+}
+
+TEST(ConnectionManagerTest, DistinctEndpointsDialSeparately) {
+  FakeTransport transport;
+  ConnectionManager manager(&transport, 4);
+  ASSERT_TRUE(manager.GetOrConnect("10.0.0.1", 1000).ok());
+  ASSERT_TRUE(manager.GetOrConnect("10.0.0.1", 1001).ok());
+  ASSERT_TRUE(manager.GetOrConnect("10.0.0.2", 1000).ok());
+  EXPECT_EQ(transport.dials.load(), 3);
+  EXPECT_EQ(manager.active_connections(), 3u);
+}
+
+TEST(ConnectionManagerTest, LruEvictionClosesOldest) {
+  FakeTransport transport;
+  ConnectionManager manager(&transport, 2);
+  ASSERT_TRUE(manager.GetOrConnect("n1", 1).ok());
+  ASSERT_TRUE(manager.GetOrConnect("n2", 1).ok());
+  ASSERT_TRUE(manager.GetOrConnect("n1", 1).ok());  // promote n1
+  ASSERT_TRUE(manager.GetOrConnect("n3", 1).ok());  // evicts n2
+  EXPECT_EQ(manager.active_connections(), 2u);
+  EXPECT_EQ(manager.stats().evictions, 1u);
+  EXPECT_EQ(transport.closed.load(), 1);
+  // n2 must re-dial; n1 must not.
+  const int dials_before = transport.dials.load();
+  ASSERT_TRUE(manager.GetOrConnect("n1", 1).ok());
+  EXPECT_EQ(transport.dials.load(), dials_before);
+  ASSERT_TRUE(manager.GetOrConnect("n2", 1).ok());
+  EXPECT_EQ(transport.dials.load(), dials_before + 1);
+}
+
+TEST(ConnectionManagerTest, DeadConnectionRedialed) {
+  FakeTransport transport;
+  ConnectionManager manager(&transport, 4);
+  auto c1 = manager.GetOrConnect("n1", 1);
+  ASSERT_TRUE(c1.ok());
+  (*c1)->Close();
+  auto c2 = manager.GetOrConnect("n1", 1);
+  ASSERT_TRUE(c2.ok());
+  EXPECT_NE(c1->get(), c2->get());
+  EXPECT_EQ(transport.dials.load(), 2);
+}
+
+TEST(ConnectionManagerTest, DialFailurePropagates) {
+  FakeTransport transport;
+  transport.fail_dials = true;
+  ConnectionManager manager(&transport, 4);
+  auto result = manager.GetOrConnect("n1", 1);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(manager.stats().dial_failures, 1u);
+  EXPECT_EQ(manager.active_connections(), 0u);
+}
+
+TEST(ConnectionManagerTest, InvalidateForcesRedial) {
+  FakeTransport transport;
+  ConnectionManager manager(&transport, 4);
+  ASSERT_TRUE(manager.GetOrConnect("n1", 1).ok());
+  manager.Invalidate("n1", 1);
+  EXPECT_EQ(manager.active_connections(), 0u);
+  ASSERT_TRUE(manager.GetOrConnect("n1", 1).ok());
+  EXPECT_EQ(transport.dials.load(), 2);
+}
+
+TEST(ConnectionManagerTest, CloseAllEmptiesCache) {
+  FakeTransport transport;
+  ConnectionManager manager(&transport, 8);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(manager.GetOrConnect("n" + std::to_string(i), 1).ok());
+  }
+  manager.CloseAll();
+  EXPECT_EQ(manager.active_connections(), 0u);
+  EXPECT_EQ(transport.closed.load(), 5);
+}
+
+TEST(ConnectionManagerTest, DefaultCapacityIs512) {
+  FakeTransport transport;
+  ConnectionManager manager(&transport);
+  EXPECT_EQ(manager.capacity(), 512u);
+}
+
+TEST(ConnectionManagerTest, PaperScenario512Cap) {
+  // 600 distinct endpoints through a 512-cap manager: exactly 88 LRU
+  // teardowns, oldest first.
+  FakeTransport transport;
+  ConnectionManager manager(&transport, 512);
+  for (int i = 0; i < 600; ++i) {
+    ASSERT_TRUE(manager.GetOrConnect("node" + std::to_string(i), 1).ok());
+  }
+  EXPECT_EQ(manager.active_connections(), 512u);
+  EXPECT_EQ(manager.stats().evictions, 88u);
+  EXPECT_EQ(transport.closed.load(), 88);
+}
+
+}  // namespace
+}  // namespace jbs::net

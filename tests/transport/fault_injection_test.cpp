@@ -1,0 +1,68 @@
+#include "transport/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include "transport/transport.h"
+
+namespace jbs::net {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    inner_ = MakeTcpTransport();
+    flaky_ = std::make_unique<FaultInjectingTransport>(inner_.get());
+    auto server = inner_->CreateServer();
+    ASSERT_TRUE(server.ok());
+    server_ = std::move(server).value();
+    ServerEndpoint::Handlers handlers;
+    handlers.on_frame = [this](ConnId conn, Frame frame) {
+      (void)server_->SendAsync(conn, std::move(frame));
+    };
+    ASSERT_TRUE(server_->Start(handlers).ok());
+  }
+  void TearDown() override { server_->Stop(); }
+
+  std::unique_ptr<Transport> inner_;
+  std::unique_ptr<FaultInjectingTransport> flaky_;
+  std::unique_ptr<ServerEndpoint> server_;
+};
+
+TEST_F(FaultInjectionTest, PassThroughWhenHealthy) {
+  auto conn = flaky_->Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(conn.ok());
+  Frame f;
+  f.type = 1;
+  f.payload = {1, 2, 3};
+  ASSERT_TRUE((*conn)->Send(f).ok());
+  auto reply = (*conn)->Receive();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->payload, f.payload);
+  EXPECT_EQ(flaky_->name(), "tcp+faults");
+}
+
+TEST_F(FaultInjectionTest, FailsExactlyNConnects) {
+  flaky_->FailNextConnects(2);
+  EXPECT_FALSE(flaky_->Connect("127.0.0.1", server_->port()).ok());
+  EXPECT_FALSE(flaky_->Connect("127.0.0.1", server_->port()).ok());
+  EXPECT_TRUE(flaky_->Connect("127.0.0.1", server_->port()).ok());
+  EXPECT_EQ(flaky_->connects_failed(), 2);
+  EXPECT_EQ(flaky_->connects_attempted(), 3);
+}
+
+TEST_F(FaultInjectionTest, BreaksConnectionAfterKSends) {
+  flaky_->BreakConnectionsAfterSends(3);
+  auto conn = flaky_->Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(conn.ok());
+  Frame f;
+  f.type = 2;
+  ASSERT_TRUE((*conn)->Send(f).ok());
+  ASSERT_TRUE((*conn)->Send(f).ok());
+  EXPECT_FALSE((*conn)->Send(f).ok());  // third send breaks
+  EXPECT_FALSE((*conn)->alive());
+  EXPECT_FALSE((*conn)->Send(f).ok());  // stays broken
+  EXPECT_EQ(flaky_->connections_broken(), 1);
+}
+
+}  // namespace
+}  // namespace jbs::net

@@ -1,0 +1,194 @@
+// One-sided RDMA READ semantics on the SoftRdma layer: the requester
+// pulls registered remote memory without the responder posting receives
+// or seeing completions — how UDA fetches MOF data over verbs.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "transport/soft_rdma.h"
+
+namespace jbs::net::verbs {
+namespace {
+
+class RdmaReadTest : public ::testing::Test {
+ protected:
+  struct Side {
+    ProtectionDomain pd;
+    CompletionQueue send_cq;
+    CompletionQueue recv_cq;
+    std::unique_ptr<QueuePair> qp;
+  };
+
+  void Establish() {
+    ASSERT_TRUE(server_.Listen().ok());
+    std::thread client_thread([&] {
+      auto qp = RdmaConnect("127.0.0.1", server_.port(), &client_.pd,
+                            &client_.send_cq, &client_.recv_cq);
+      ASSERT_TRUE(qp.ok());
+      client_.qp = std::move(qp).value();
+    });
+    auto event = channel_.WaitEvent();
+    ASSERT_TRUE(event.has_value());
+    auto qp = server_.Accept(event->request_id, &server_side_.pd,
+                             &server_side_.send_cq, &server_side_.recv_cq);
+    ASSERT_TRUE(qp.ok());
+    server_side_.qp = std::move(qp).value();
+    channel_.WaitEvent();  // drain ESTABLISHED
+    client_thread.join();
+  }
+
+  EventChannel channel_;
+  RdmaServer server_{&channel_};
+  Side client_;
+  Side server_side_;
+};
+
+TEST_F(RdmaReadTest, ReadsRemoteRegisteredMemory) {
+  Establish();
+  // The "server" exposes a segment in registered memory and goes idle.
+  std::vector<uint8_t> remote(4096);
+  for (size_t i = 0; i < remote.size(); ++i) {
+    remote[i] = static_cast<uint8_t>(i * 7);
+  }
+  MemoryRegion remote_mr =
+      server_side_.pd.Register(remote.data(), remote.size());
+
+  std::vector<uint8_t> local(4096, 0);
+  MemoryRegion local_mr = client_.pd.Register(local.data(), local.size());
+  ASSERT_TRUE(client_.qp
+                  ->PostRdmaRead(
+                      /*wr_id=*/55, local_mr,
+                      reinterpret_cast<uint64_t>(remote.data()),
+                      remote_mr.lkey, 4096)
+                  .ok());
+  auto wc = client_.send_cq.WaitPoll();
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->opcode, WcOpcode::kRdmaRead);
+  EXPECT_EQ(wc->status, WcStatus::kSuccess);
+  EXPECT_EQ(wc->wr_id, 55u);
+  EXPECT_EQ(wc->byte_len, 4096u);
+  EXPECT_EQ(local, remote);
+  // One-sided: the responder saw NO completion anywhere.
+  EXPECT_EQ(server_side_.recv_cq.depth(), 0u);
+  EXPECT_EQ(server_side_.send_cq.depth(), 0u);
+}
+
+TEST_F(RdmaReadTest, SubRangeRead) {
+  Establish();
+  std::vector<uint8_t> remote(1000);
+  for (size_t i = 0; i < remote.size(); ++i) {
+    remote[i] = static_cast<uint8_t>(i);
+  }
+  MemoryRegion remote_mr =
+      server_side_.pd.Register(remote.data(), remote.size());
+  std::vector<uint8_t> local(100);
+  MemoryRegion local_mr = client_.pd.Register(local.data(), local.size());
+  // Read bytes [500, 600) of the remote region.
+  ASSERT_TRUE(client_.qp
+                  ->PostRdmaRead(
+                      1, local_mr,
+                      reinterpret_cast<uint64_t>(remote.data() + 500),
+                      remote_mr.lkey, 100)
+                  .ok());
+  auto wc = client_.send_cq.WaitPoll();
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->status, WcStatus::kSuccess);
+  EXPECT_EQ(local[0], 500 % 256);
+  EXPECT_EQ(local[99], 599 % 256);
+}
+
+TEST_F(RdmaReadTest, BadRkeyYieldsRemoteAccessError) {
+  Establish();
+  std::vector<uint8_t> remote(128);
+  server_side_.pd.Register(remote.data(), remote.size());
+  std::vector<uint8_t> local(128);
+  MemoryRegion local_mr = client_.pd.Register(local.data(), local.size());
+  ASSERT_TRUE(client_.qp
+                  ->PostRdmaRead(2, local_mr,
+                                 reinterpret_cast<uint64_t>(remote.data()),
+                                 /*rkey=*/424242, 128)
+                  .ok());
+  auto wc = client_.send_cq.WaitPoll();
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->status, WcStatus::kRemoteAccessError);
+}
+
+TEST_F(RdmaReadTest, OutOfBoundsReadRejected) {
+  Establish();
+  std::vector<uint8_t> remote(128);
+  MemoryRegion remote_mr =
+      server_side_.pd.Register(remote.data(), remote.size());
+  std::vector<uint8_t> local(4096);
+  MemoryRegion local_mr = client_.pd.Register(local.data(), local.size());
+  // Length exceeds the registered remote region.
+  ASSERT_TRUE(client_.qp
+                  ->PostRdmaRead(3, local_mr,
+                                 reinterpret_cast<uint64_t>(remote.data()),
+                                 remote_mr.lkey, 4096)
+                  .ok());
+  auto wc = client_.send_cq.WaitPoll();
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->status, WcStatus::kRemoteAccessError);
+}
+
+TEST_F(RdmaReadTest, UnregisteredLocalBufferRejectedLocally) {
+  Establish();
+  std::vector<uint8_t> local(64);
+  MemoryRegion fake;
+  fake.addr = local.data();
+  fake.length = local.size();
+  fake.lkey = 777;
+  EXPECT_FALSE(client_.qp->PostRdmaRead(4, fake, 0, 1, 64).ok());
+}
+
+TEST_F(RdmaReadTest, ReadsInterleaveWithSendRecvTraffic) {
+  Establish();
+  std::vector<uint8_t> remote(256, 0xEE);
+  MemoryRegion remote_mr =
+      server_side_.pd.Register(remote.data(), remote.size());
+  std::vector<uint8_t> local(256);
+  MemoryRegion local_mr = client_.pd.Register(local.data(), local.size());
+  // Post a two-sided receive on the client, then interleave a READ with a
+  // server->client SEND.
+  std::vector<uint8_t> recv_buf(64);
+  MemoryRegion recv_mr = client_.pd.Register(recv_buf.data(), recv_buf.size());
+  ASSERT_TRUE(client_.qp->PostRecv(10, recv_mr).ok());
+  ASSERT_TRUE(client_.qp
+                  ->PostRdmaRead(11, local_mr,
+                                 reinterpret_cast<uint64_t>(remote.data()),
+                                 remote_mr.lkey, 256)
+                  .ok());
+  std::vector<uint8_t> ping = {'h', 'i'};
+  ASSERT_TRUE(server_side_.qp->PostSend(12, 3, ping).ok());
+
+  auto read_wc = client_.send_cq.WaitPoll();
+  ASSERT_TRUE(read_wc.has_value());
+  EXPECT_EQ(read_wc->status, WcStatus::kSuccess);
+  EXPECT_EQ(local, remote);
+  auto recv_wc = client_.recv_cq.WaitPoll();
+  ASSERT_TRUE(recv_wc.has_value());
+  EXPECT_EQ(recv_wc->status, WcStatus::kSuccess);
+  EXPECT_EQ(recv_buf[0], 'h');
+}
+
+TEST_F(RdmaReadTest, DisconnectFlushesPendingReads) {
+  Establish();
+  std::vector<uint8_t> local(64);
+  MemoryRegion local_mr = client_.pd.Register(local.data(), local.size());
+  // Kill the responder side first so the read can never be answered, then
+  // post: the teardown must flush it.
+  server_side_.qp->Disconnect();
+  // The post may succeed (socket half-open) or fail; either way the
+  // requester must not hang and must see a flush/err completion if posted.
+  Status st = client_.qp->PostRdmaRead(
+      20, local_mr, reinterpret_cast<uint64_t>(local.data()), 1, 64);
+  client_.qp->Disconnect();
+  if (st.ok()) {
+    auto wc = client_.send_cq.WaitPoll();
+    ASSERT_TRUE(wc.has_value());
+    EXPECT_NE(wc->status, WcStatus::kSuccess);
+  }
+}
+
+}  // namespace
+}  // namespace jbs::net::verbs

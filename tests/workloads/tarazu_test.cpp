@@ -1,0 +1,156 @@
+#include "workloads/tarazu.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "mapred/engine.h"
+#include "mapred/local_shuffle.h"
+
+namespace jbs::wl {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TarazuTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("tarazu_test_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(root_);
+    hdfs::MiniDfs::Options opts;
+    opts.root = root_;
+    opts.num_datanodes = 2;
+    opts.block_size = 8192;
+    dfs_ = std::make_unique<hdfs::MiniDfs>(opts);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  StatusOr<mr::JobCounters> Run(const mr::JobSpec& spec) {
+    mr::LocalShufflePlugin plugin;
+    mr::LocalJobRunner::Options opts;
+    opts.dfs = dfs_.get();
+    opts.plugin = &plugin;
+    opts.work_dir = root_ / ("work_" + spec.name);
+    opts.num_nodes = 2;
+    mr::LocalJobRunner runner(opts);
+    return runner.Run(spec);
+  }
+
+  std::string ReadAll(const std::vector<std::string>& files) {
+    std::string all;
+    for (const auto& f : files) {
+      std::vector<uint8_t> data;
+      EXPECT_TRUE(dfs_->ReadFile(f, data).ok());
+      all.append(data.begin(), data.end());
+    }
+    return all;
+  }
+
+  fs::path root_;
+  std::unique_ptr<hdfs::MiniDfs> dfs_;
+};
+
+TEST_F(TarazuTest, GeneratorsProduceRequestedLines) {
+  ASSERT_TRUE(GenerateText(*dfs_, "/text", 200, 8, 1000, 1).ok());
+  ASSERT_TRUE(GenerateEdges(*dfs_, "/edges", 150, 50, 2).ok());
+  ASSERT_TRUE(GenerateTuples(*dfs_, "/tuples", 100, 30, 3).ok());
+  for (const auto& [path, lines] :
+       std::vector<std::pair<std::string, int>>{
+           {"/text", 200}, {"/edges", 150}, {"/tuples", 100}}) {
+    std::vector<uint8_t> data;
+    ASSERT_TRUE(dfs_->ReadFile(path, data).ok());
+    EXPECT_EQ(std::count(data.begin(), data.end(), '\n'), lines) << path;
+  }
+}
+
+TEST_F(TarazuTest, WordCountSumsMatchInput) {
+  ASSERT_TRUE(GenerateText(*dfs_, "/wc", 300, 5, 100, 4).ok());
+  auto result = Run(WordCountJob("/wc", "/out/wc", 2));
+  ASSERT_TRUE(result.ok());
+  // Total counted words == 300 lines * 5 words.
+  int64_t total = 0;
+  std::istringstream in(ReadAll(result->output_files));
+  std::string line;
+  while (std::getline(in, line)) {
+    total += std::stoll(line.substr(line.find('\t') + 1));
+  }
+  EXPECT_EQ(total, 1500);
+  // Combiner active: shuffle must be far smaller than map output.
+  EXPECT_LT(result->shuffle_bytes, result->map_output_bytes);
+}
+
+TEST_F(TarazuTest, GrepCountsOnlyMatchingLines) {
+  ASSERT_TRUE(dfs_->WriteFile(
+      "/grep", AsBytes("needle here\nnothing\nanother needle\nnope\n"))
+                  .ok());
+  auto result = Run(GrepJob("/grep", "/out/grep", 1, "needle"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(ReadAll(result->output_files), "needle\t2\n");
+}
+
+TEST_F(TarazuTest, InvertedIndexListsDocumentsPerWord) {
+  ASSERT_TRUE(
+      dfs_->WriteFile("/ii", AsBytes("alpha beta\nbeta gamma\n")).ok());
+  auto result = Run(InvertedIndexJob("/ii", "/out/ii", 1));
+  ASSERT_TRUE(result.ok());
+  const std::string out = ReadAll(result->output_files);
+  // "beta" appears in both lines (doc ids = byte offsets 0 and 11).
+  EXPECT_NE(out.find("beta\t0,11"), std::string::npos) << out;
+  EXPECT_NE(out.find("alpha\t0"), std::string::npos);
+  EXPECT_NE(out.find("gamma\t11"), std::string::npos);
+}
+
+TEST_F(TarazuTest, SequenceCountCountsBigrams) {
+  ASSERT_TRUE(
+      dfs_->WriteFile("/sc", AsBytes("a b a b\nb a b\n")).ok());
+  auto result = Run(SequenceCountJob("/sc", "/out/sc", 1));
+  ASSERT_TRUE(result.ok());
+  const std::string out = ReadAll(result->output_files);
+  // line1: "a b","b a","a b"; line2: "b a","a b" -> a b:3, b a:2.
+  EXPECT_NE(out.find("a b\t3"), std::string::npos) << out;
+  EXPECT_NE(out.find("b a\t2"), std::string::npos) << out;
+}
+
+TEST_F(TarazuTest, AdjacencyListSortsUniqueNeighbours) {
+  ASSERT_TRUE(dfs_->WriteFile(
+      "/adj", AsBytes("n1 n3\nn1 n2\nn1 n3\nn2 n1\n")).ok());
+  auto result = Run(AdjacencyListJob("/adj", "/out/adj", 1));
+  ASSERT_TRUE(result.ok());
+  const std::string out = ReadAll(result->output_files);
+  EXPECT_NE(out.find("n1\tn2,n3"), std::string::npos) << out;
+  EXPECT_NE(out.find("n2\tn1"), std::string::npos);
+}
+
+TEST_F(TarazuTest, SelfJoinPairsSharedPrefixes) {
+  ASSERT_TRUE(dfs_->WriteFile(
+      "/sj", AsBytes("k1 k2 k3\nk1 k2 k4\nk5 k6 k7\n")).ok());
+  auto result = Run(SelfJoinJob("/sj", "/out/sj", 1));
+  ASSERT_TRUE(result.ok());
+  const std::string out = ReadAll(result->output_files);
+  // Prefix "k1 k2" is shared by k3 and k4 -> one joined pair.
+  EXPECT_NE(out.find("k1 k2\tk3 k4"), std::string::npos) << out;
+  // "k5 k6" has only one completion -> no pair emitted.
+  EXPECT_EQ(out.find("k5 k6\t"), std::string::npos);
+}
+
+TEST_F(TarazuTest, ProfilesSeparateHeavyAndLightShufflers) {
+  for (Workload heavy : {Workload::kSelfJoin, Workload::kInvertedIndex,
+                         Workload::kSequenceCount, Workload::kAdjacencyList,
+                         Workload::kTerasort}) {
+    EXPECT_GT(ProfileFor(heavy).shuffle_ratio, 0.5) << WorkloadName(heavy);
+  }
+  for (Workload light : {Workload::kWordCount, Workload::kGrep}) {
+    EXPECT_LT(ProfileFor(light).shuffle_ratio, 0.1) << WorkloadName(light);
+  }
+}
+
+TEST_F(TarazuTest, WorkloadNamesAreStable) {
+  EXPECT_STREQ(WorkloadName(Workload::kSelfJoin), "SelfJoin");
+  EXPECT_STREQ(WorkloadName(Workload::kGrep), "Grep");
+}
+
+}  // namespace
+}  // namespace jbs::wl

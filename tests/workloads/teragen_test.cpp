@@ -1,0 +1,98 @@
+#include "workloads/teragen.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "mapred/engine.h"
+#include "mapred/local_shuffle.h"
+
+namespace jbs::wl {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TeragenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("teragen_test_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(root_);
+    hdfs::MiniDfs::Options opts;
+    opts.root = root_;
+    opts.num_datanodes = 3;
+    opts.block_size = 10000;  // 100 records per block
+    dfs_ = std::make_unique<hdfs::MiniDfs>(opts);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  fs::path root_;
+  std::unique_ptr<hdfs::MiniDfs> dfs_;
+};
+
+TEST_F(TeragenTest, GeneratesExactRecordCount) {
+  ASSERT_TRUE(TeraGen(*dfs_, "/tera/in", 1234, 1).ok());
+  auto info = dfs_->Stat("/tera/in");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->length, 1234u * kTeraRecordSize);
+}
+
+TEST_F(TeragenTest, DeterministicForSeed) {
+  ASSERT_TRUE(TeraGen(*dfs_, "/a", 100, 7).ok());
+  ASSERT_TRUE(TeraGen(*dfs_, "/b", 100, 7).ok());
+  ASSERT_TRUE(TeraGen(*dfs_, "/c", 100, 8).ok());
+  std::vector<uint8_t> a, b, c;
+  ASSERT_TRUE(dfs_->ReadFile("/a", a).ok());
+  ASSERT_TRUE(dfs_->ReadFile("/b", b).ok());
+  ASSERT_TRUE(dfs_->ReadFile("/c", c).ok());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST_F(TeragenTest, SampleReturnsKeys) {
+  ASSERT_TRUE(TeraGen(*dfs_, "/t", 500, 3).ok());
+  auto sample = TeraSample(*dfs_, "/t", 50);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_GE(sample->size(), 40u);
+  for (const auto& key : *sample) {
+    EXPECT_EQ(key.size(), static_cast<size_t>(kTeraKeySize));
+  }
+}
+
+TEST_F(TeragenTest, TerasortEndToEndGloballySorted) {
+  constexpr uint64_t kRecords = 2000;
+  ASSERT_TRUE(TeraGen(*dfs_, "/tera/in", kRecords, 11).ok());
+
+  mr::LocalShufflePlugin plugin;
+  mr::LocalJobRunner::Options opts;
+  opts.dfs = dfs_.get();
+  opts.plugin = &plugin;
+  opts.work_dir = root_ / "work";
+  opts.num_nodes = 3;
+  opts.output_format = mr::OutputFormat::kRaw;
+  opts.sort_buffer_bytes = 16384;  // force spills
+  mr::LocalJobRunner runner(opts);
+
+  auto spec = TerasortJob(*dfs_, "/tera/in", "/tera/out", 4);
+  ASSERT_TRUE(spec.ok());
+  auto result = runner.Run(*spec);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->map_input_records, kRecords);
+
+  auto total = ValidateSorted(*dfs_, result->output_files);
+  ASSERT_TRUE(total.ok()) << total.status().ToString();
+  EXPECT_EQ(*total, kRecords);
+}
+
+TEST_F(TeragenTest, ValidateDetectsDisorder) {
+  // Two records out of order must be rejected.
+  std::vector<uint8_t> bad(2 * kTeraRecordSize, 'x');
+  bad[0] = 'Z';
+  bad[kTeraRecordSize] = 'A';
+  ASSERT_TRUE(dfs_->WriteFile("/bad", bad).ok());
+  EXPECT_FALSE(ValidateSorted(*dfs_, {"/bad"}).ok());
+}
+
+}  // namespace
+}  // namespace jbs::wl
