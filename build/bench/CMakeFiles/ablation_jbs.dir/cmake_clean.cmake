@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_jbs.dir/ablation_jbs.cpp.o"
+  "CMakeFiles/ablation_jbs.dir/ablation_jbs.cpp.o.d"
+  "ablation_jbs"
+  "ablation_jbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_jbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig04_05_pipelining.cpp" "bench/CMakeFiles/fig04_05_pipelining.dir/fig04_05_pipelining.cpp.o" "gcc" "bench/CMakeFiles/fig04_05_pipelining.dir/fig04_05_pipelining.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jbs/CMakeFiles/jbs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapred/CMakeFiles/jbs_mapred.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/jbs_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/jbs_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

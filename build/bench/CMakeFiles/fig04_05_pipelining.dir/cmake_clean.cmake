@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_05_pipelining.dir/fig04_05_pipelining.cpp.o"
+  "CMakeFiles/fig04_05_pipelining.dir/fig04_05_pipelining.cpp.o.d"
+  "fig04_05_pipelining"
+  "fig04_05_pipelining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_05_pipelining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

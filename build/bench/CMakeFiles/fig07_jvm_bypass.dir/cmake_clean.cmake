@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_jvm_bypass.dir/fig07_jvm_bypass.cpp.o"
+  "CMakeFiles/fig07_jvm_bypass.dir/fig07_jvm_bypass.cpp.o.d"
+  "fig07_jvm_bypass"
+  "fig07_jvm_bypass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_jvm_bypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

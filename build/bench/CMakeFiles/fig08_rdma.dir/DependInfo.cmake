@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig08_rdma.cpp" "bench/CMakeFiles/fig08_rdma.dir/fig08_rdma.cpp.o" "gcc" "bench/CMakeFiles/fig08_rdma.dir/fig08_rdma.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/jbs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/jbs_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/jbs_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapred/CMakeFiles/jbs_mapred.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/jbs_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

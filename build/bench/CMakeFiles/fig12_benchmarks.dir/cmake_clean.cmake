@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_benchmarks.dir/fig12_benchmarks.cpp.o"
+  "CMakeFiles/fig12_benchmarks.dir/fig12_benchmarks.cpp.o.d"
+  "fig12_benchmarks"
+  "fig12_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jbs_cli.dir/jbs_cli.cpp.o"
+  "CMakeFiles/jbs_cli.dir/jbs_cli.cpp.o.d"
+  "jbs_cli"
+  "jbs_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jbs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tarazu_suite.dir/tarazu_suite.cpp.o"
+  "CMakeFiles/tarazu_suite.dir/tarazu_suite.cpp.o.d"
+  "tarazu_suite"
+  "tarazu_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tarazu_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/terasort_comparison.cpp" "examples/CMakeFiles/terasort_comparison.dir/terasort_comparison.cpp.o" "gcc" "examples/CMakeFiles/terasort_comparison.dir/terasort_comparison.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jbs/CMakeFiles/jbs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/jbs_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/jbs_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/jbs_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapred/CMakeFiles/jbs_mapred.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/jbs_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

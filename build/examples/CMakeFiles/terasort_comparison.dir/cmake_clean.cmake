@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terasort_comparison.dir/terasort_comparison.cpp.o"
+  "CMakeFiles/terasort_comparison.dir/terasort_comparison.cpp.o.d"
+  "terasort_comparison"
+  "terasort_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terasort_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

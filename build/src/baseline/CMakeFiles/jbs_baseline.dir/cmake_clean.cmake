@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jbs_baseline.dir/http.cpp.o"
+  "CMakeFiles/jbs_baseline.dir/http.cpp.o.d"
+  "CMakeFiles/jbs_baseline.dir/http_shuffle.cpp.o"
+  "CMakeFiles/jbs_baseline.dir/http_shuffle.cpp.o.d"
+  "CMakeFiles/jbs_baseline.dir/throttle.cpp.o"
+  "CMakeFiles/jbs_baseline.dir/throttle.cpp.o.d"
+  "libjbs_baseline.a"
+  "libjbs_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jbs_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jbs_cluster.dir/job_model.cpp.o"
+  "CMakeFiles/jbs_cluster.dir/job_model.cpp.o.d"
+  "CMakeFiles/jbs_cluster.dir/microbench.cpp.o"
+  "CMakeFiles/jbs_cluster.dir/microbench.cpp.o.d"
+  "CMakeFiles/jbs_cluster.dir/test_case.cpp.o"
+  "CMakeFiles/jbs_cluster.dir/test_case.cpp.o.d"
+  "libjbs_cluster.a"
+  "libjbs_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jbs_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

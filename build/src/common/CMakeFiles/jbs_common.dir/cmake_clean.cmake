@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jbs_common.dir/buffer_pool.cpp.o"
+  "CMakeFiles/jbs_common.dir/buffer_pool.cpp.o.d"
+  "CMakeFiles/jbs_common.dir/bytes.cpp.o"
+  "CMakeFiles/jbs_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/jbs_common.dir/compress.cpp.o"
+  "CMakeFiles/jbs_common.dir/compress.cpp.o.d"
+  "CMakeFiles/jbs_common.dir/config.cpp.o"
+  "CMakeFiles/jbs_common.dir/config.cpp.o.d"
+  "CMakeFiles/jbs_common.dir/framing.cpp.o"
+  "CMakeFiles/jbs_common.dir/framing.cpp.o.d"
+  "CMakeFiles/jbs_common.dir/logging.cpp.o"
+  "CMakeFiles/jbs_common.dir/logging.cpp.o.d"
+  "CMakeFiles/jbs_common.dir/rng.cpp.o"
+  "CMakeFiles/jbs_common.dir/rng.cpp.o.d"
+  "CMakeFiles/jbs_common.dir/stats.cpp.o"
+  "CMakeFiles/jbs_common.dir/stats.cpp.o.d"
+  "CMakeFiles/jbs_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/jbs_common.dir/thread_pool.cpp.o.d"
+  "libjbs_common.a"
+  "libjbs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jbs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

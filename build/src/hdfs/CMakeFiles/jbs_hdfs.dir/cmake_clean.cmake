@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jbs_hdfs.dir/minidfs.cpp.o"
+  "CMakeFiles/jbs_hdfs.dir/minidfs.cpp.o.d"
+  "libjbs_hdfs.a"
+  "libjbs_hdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jbs_hdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jbs/index_cache.cpp" "src/jbs/CMakeFiles/jbs_core.dir/index_cache.cpp.o" "gcc" "src/jbs/CMakeFiles/jbs_core.dir/index_cache.cpp.o.d"
+  "/root/repo/src/jbs/mof_supplier.cpp" "src/jbs/CMakeFiles/jbs_core.dir/mof_supplier.cpp.o" "gcc" "src/jbs/CMakeFiles/jbs_core.dir/mof_supplier.cpp.o.d"
+  "/root/repo/src/jbs/net_merger.cpp" "src/jbs/CMakeFiles/jbs_core.dir/net_merger.cpp.o" "gcc" "src/jbs/CMakeFiles/jbs_core.dir/net_merger.cpp.o.d"
+  "/root/repo/src/jbs/plugin.cpp" "src/jbs/CMakeFiles/jbs_core.dir/plugin.cpp.o" "gcc" "src/jbs/CMakeFiles/jbs_core.dir/plugin.cpp.o.d"
+  "/root/repo/src/jbs/protocol.cpp" "src/jbs/CMakeFiles/jbs_core.dir/protocol.cpp.o" "gcc" "src/jbs/CMakeFiles/jbs_core.dir/protocol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/jbs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapred/CMakeFiles/jbs_mapred.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/jbs_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/jbs_hdfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jbs_core.dir/index_cache.cpp.o"
+  "CMakeFiles/jbs_core.dir/index_cache.cpp.o.d"
+  "CMakeFiles/jbs_core.dir/mof_supplier.cpp.o"
+  "CMakeFiles/jbs_core.dir/mof_supplier.cpp.o.d"
+  "CMakeFiles/jbs_core.dir/net_merger.cpp.o"
+  "CMakeFiles/jbs_core.dir/net_merger.cpp.o.d"
+  "CMakeFiles/jbs_core.dir/plugin.cpp.o"
+  "CMakeFiles/jbs_core.dir/plugin.cpp.o.d"
+  "CMakeFiles/jbs_core.dir/protocol.cpp.o"
+  "CMakeFiles/jbs_core.dir/protocol.cpp.o.d"
+  "libjbs_core.a"
+  "libjbs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jbs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapred/api.cpp" "src/mapred/CMakeFiles/jbs_mapred.dir/api.cpp.o" "gcc" "src/mapred/CMakeFiles/jbs_mapred.dir/api.cpp.o.d"
+  "/root/repo/src/mapred/collector.cpp" "src/mapred/CMakeFiles/jbs_mapred.dir/collector.cpp.o" "gcc" "src/mapred/CMakeFiles/jbs_mapred.dir/collector.cpp.o.d"
+  "/root/repo/src/mapred/engine.cpp" "src/mapred/CMakeFiles/jbs_mapred.dir/engine.cpp.o" "gcc" "src/mapred/CMakeFiles/jbs_mapred.dir/engine.cpp.o.d"
+  "/root/repo/src/mapred/ifile.cpp" "src/mapred/CMakeFiles/jbs_mapred.dir/ifile.cpp.o" "gcc" "src/mapred/CMakeFiles/jbs_mapred.dir/ifile.cpp.o.d"
+  "/root/repo/src/mapred/local_shuffle.cpp" "src/mapred/CMakeFiles/jbs_mapred.dir/local_shuffle.cpp.o" "gcc" "src/mapred/CMakeFiles/jbs_mapred.dir/local_shuffle.cpp.o.d"
+  "/root/repo/src/mapred/merger.cpp" "src/mapred/CMakeFiles/jbs_mapred.dir/merger.cpp.o" "gcc" "src/mapred/CMakeFiles/jbs_mapred.dir/merger.cpp.o.d"
+  "/root/repo/src/mapred/mof.cpp" "src/mapred/CMakeFiles/jbs_mapred.dir/mof.cpp.o" "gcc" "src/mapred/CMakeFiles/jbs_mapred.dir/mof.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/jbs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/jbs_hdfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

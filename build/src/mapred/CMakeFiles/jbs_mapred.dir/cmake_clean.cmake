@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jbs_mapred.dir/api.cpp.o"
+  "CMakeFiles/jbs_mapred.dir/api.cpp.o.d"
+  "CMakeFiles/jbs_mapred.dir/collector.cpp.o"
+  "CMakeFiles/jbs_mapred.dir/collector.cpp.o.d"
+  "CMakeFiles/jbs_mapred.dir/engine.cpp.o"
+  "CMakeFiles/jbs_mapred.dir/engine.cpp.o.d"
+  "CMakeFiles/jbs_mapred.dir/ifile.cpp.o"
+  "CMakeFiles/jbs_mapred.dir/ifile.cpp.o.d"
+  "CMakeFiles/jbs_mapred.dir/local_shuffle.cpp.o"
+  "CMakeFiles/jbs_mapred.dir/local_shuffle.cpp.o.d"
+  "CMakeFiles/jbs_mapred.dir/merger.cpp.o"
+  "CMakeFiles/jbs_mapred.dir/merger.cpp.o.d"
+  "CMakeFiles/jbs_mapred.dir/mof.cpp.o"
+  "CMakeFiles/jbs_mapred.dir/mof.cpp.o.d"
+  "libjbs_mapred.a"
+  "libjbs_mapred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jbs_mapred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

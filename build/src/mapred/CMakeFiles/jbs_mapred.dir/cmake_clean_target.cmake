@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjbs_mapred.a"
+)

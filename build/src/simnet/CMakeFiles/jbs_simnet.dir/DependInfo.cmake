@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/cpu.cpp" "src/simnet/CMakeFiles/jbs_simnet.dir/cpu.cpp.o" "gcc" "src/simnet/CMakeFiles/jbs_simnet.dir/cpu.cpp.o.d"
+  "/root/repo/src/simnet/disk.cpp" "src/simnet/CMakeFiles/jbs_simnet.dir/disk.cpp.o" "gcc" "src/simnet/CMakeFiles/jbs_simnet.dir/disk.cpp.o.d"
+  "/root/repo/src/simnet/fair_share.cpp" "src/simnet/CMakeFiles/jbs_simnet.dir/fair_share.cpp.o" "gcc" "src/simnet/CMakeFiles/jbs_simnet.dir/fair_share.cpp.o.d"
+  "/root/repo/src/simnet/protocol.cpp" "src/simnet/CMakeFiles/jbs_simnet.dir/protocol.cpp.o" "gcc" "src/simnet/CMakeFiles/jbs_simnet.dir/protocol.cpp.o.d"
+  "/root/repo/src/simnet/simulator.cpp" "src/simnet/CMakeFiles/jbs_simnet.dir/simulator.cpp.o" "gcc" "src/simnet/CMakeFiles/jbs_simnet.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/jbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

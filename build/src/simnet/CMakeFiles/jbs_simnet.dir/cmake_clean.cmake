@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jbs_simnet.dir/cpu.cpp.o"
+  "CMakeFiles/jbs_simnet.dir/cpu.cpp.o.d"
+  "CMakeFiles/jbs_simnet.dir/disk.cpp.o"
+  "CMakeFiles/jbs_simnet.dir/disk.cpp.o.d"
+  "CMakeFiles/jbs_simnet.dir/fair_share.cpp.o"
+  "CMakeFiles/jbs_simnet.dir/fair_share.cpp.o.d"
+  "CMakeFiles/jbs_simnet.dir/protocol.cpp.o"
+  "CMakeFiles/jbs_simnet.dir/protocol.cpp.o.d"
+  "CMakeFiles/jbs_simnet.dir/simulator.cpp.o"
+  "CMakeFiles/jbs_simnet.dir/simulator.cpp.o.d"
+  "libjbs_simnet.a"
+  "libjbs_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jbs_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjbs_simnet.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/connection_manager.cpp" "src/transport/CMakeFiles/jbs_transport.dir/connection_manager.cpp.o" "gcc" "src/transport/CMakeFiles/jbs_transport.dir/connection_manager.cpp.o.d"
+  "/root/repo/src/transport/event_loop.cpp" "src/transport/CMakeFiles/jbs_transport.dir/event_loop.cpp.o" "gcc" "src/transport/CMakeFiles/jbs_transport.dir/event_loop.cpp.o.d"
+  "/root/repo/src/transport/fault_injection.cpp" "src/transport/CMakeFiles/jbs_transport.dir/fault_injection.cpp.o" "gcc" "src/transport/CMakeFiles/jbs_transport.dir/fault_injection.cpp.o.d"
+  "/root/repo/src/transport/rdma_transport.cpp" "src/transport/CMakeFiles/jbs_transport.dir/rdma_transport.cpp.o" "gcc" "src/transport/CMakeFiles/jbs_transport.dir/rdma_transport.cpp.o.d"
+  "/root/repo/src/transport/socket_util.cpp" "src/transport/CMakeFiles/jbs_transport.dir/socket_util.cpp.o" "gcc" "src/transport/CMakeFiles/jbs_transport.dir/socket_util.cpp.o.d"
+  "/root/repo/src/transport/soft_rdma.cpp" "src/transport/CMakeFiles/jbs_transport.dir/soft_rdma.cpp.o" "gcc" "src/transport/CMakeFiles/jbs_transport.dir/soft_rdma.cpp.o.d"
+  "/root/repo/src/transport/tcp_transport.cpp" "src/transport/CMakeFiles/jbs_transport.dir/tcp_transport.cpp.o" "gcc" "src/transport/CMakeFiles/jbs_transport.dir/tcp_transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/jbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jbs_transport.dir/connection_manager.cpp.o"
+  "CMakeFiles/jbs_transport.dir/connection_manager.cpp.o.d"
+  "CMakeFiles/jbs_transport.dir/event_loop.cpp.o"
+  "CMakeFiles/jbs_transport.dir/event_loop.cpp.o.d"
+  "CMakeFiles/jbs_transport.dir/fault_injection.cpp.o"
+  "CMakeFiles/jbs_transport.dir/fault_injection.cpp.o.d"
+  "CMakeFiles/jbs_transport.dir/rdma_transport.cpp.o"
+  "CMakeFiles/jbs_transport.dir/rdma_transport.cpp.o.d"
+  "CMakeFiles/jbs_transport.dir/socket_util.cpp.o"
+  "CMakeFiles/jbs_transport.dir/socket_util.cpp.o.d"
+  "CMakeFiles/jbs_transport.dir/soft_rdma.cpp.o"
+  "CMakeFiles/jbs_transport.dir/soft_rdma.cpp.o.d"
+  "CMakeFiles/jbs_transport.dir/tcp_transport.cpp.o"
+  "CMakeFiles/jbs_transport.dir/tcp_transport.cpp.o.d"
+  "libjbs_transport.a"
+  "libjbs_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jbs_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/tarazu.cpp" "src/workloads/CMakeFiles/jbs_workloads.dir/tarazu.cpp.o" "gcc" "src/workloads/CMakeFiles/jbs_workloads.dir/tarazu.cpp.o.d"
+  "/root/repo/src/workloads/teragen.cpp" "src/workloads/CMakeFiles/jbs_workloads.dir/teragen.cpp.o" "gcc" "src/workloads/CMakeFiles/jbs_workloads.dir/teragen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/jbs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/jbs_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapred/CMakeFiles/jbs_mapred.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

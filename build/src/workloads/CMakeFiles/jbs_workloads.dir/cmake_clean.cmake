@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jbs_workloads.dir/tarazu.cpp.o"
+  "CMakeFiles/jbs_workloads.dir/tarazu.cpp.o.d"
+  "CMakeFiles/jbs_workloads.dir/teragen.cpp.o"
+  "CMakeFiles/jbs_workloads.dir/teragen.cpp.o.d"
+  "libjbs_workloads.a"
+  "libjbs_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jbs_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

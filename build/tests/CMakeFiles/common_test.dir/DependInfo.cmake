@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/blocking_queue_test.cpp" "tests/CMakeFiles/common_test.dir/common/blocking_queue_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/blocking_queue_test.cpp.o.d"
+  "/root/repo/tests/common/buffer_pool_test.cpp" "tests/CMakeFiles/common_test.dir/common/buffer_pool_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/buffer_pool_test.cpp.o.d"
+  "/root/repo/tests/common/bytes_test.cpp" "tests/CMakeFiles/common_test.dir/common/bytes_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/bytes_test.cpp.o.d"
+  "/root/repo/tests/common/compress_test.cpp" "tests/CMakeFiles/common_test.dir/common/compress_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/compress_test.cpp.o.d"
+  "/root/repo/tests/common/config_test.cpp" "tests/CMakeFiles/common_test.dir/common/config_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/config_test.cpp.o.d"
+  "/root/repo/tests/common/framing_test.cpp" "tests/CMakeFiles/common_test.dir/common/framing_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/framing_test.cpp.o.d"
+  "/root/repo/tests/common/lru_cache_test.cpp" "tests/CMakeFiles/common_test.dir/common/lru_cache_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/lru_cache_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/common_test.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/stats_test.cpp" "tests/CMakeFiles/common_test.dir/common/stats_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/stats_test.cpp.o.d"
+  "/root/repo/tests/common/status_test.cpp" "tests/CMakeFiles/common_test.dir/common/status_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/status_test.cpp.o.d"
+  "/root/repo/tests/common/thread_pool_test.cpp" "tests/CMakeFiles/common_test.dir/common/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/thread_pool_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/jbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/jbs/compress_e2e_test.cpp" "tests/CMakeFiles/jbs_test.dir/jbs/compress_e2e_test.cpp.o" "gcc" "tests/CMakeFiles/jbs_test.dir/jbs/compress_e2e_test.cpp.o.d"
+  "/root/repo/tests/jbs/engine_stress_test.cpp" "tests/CMakeFiles/jbs_test.dir/jbs/engine_stress_test.cpp.o" "gcc" "tests/CMakeFiles/jbs_test.dir/jbs/engine_stress_test.cpp.o.d"
+  "/root/repo/tests/jbs/fault_tolerance_test.cpp" "tests/CMakeFiles/jbs_test.dir/jbs/fault_tolerance_test.cpp.o" "gcc" "tests/CMakeFiles/jbs_test.dir/jbs/fault_tolerance_test.cpp.o.d"
+  "/root/repo/tests/jbs/mof_supplier_test.cpp" "tests/CMakeFiles/jbs_test.dir/jbs/mof_supplier_test.cpp.o" "gcc" "tests/CMakeFiles/jbs_test.dir/jbs/mof_supplier_test.cpp.o.d"
+  "/root/repo/tests/jbs/net_merger_test.cpp" "tests/CMakeFiles/jbs_test.dir/jbs/net_merger_test.cpp.o" "gcc" "tests/CMakeFiles/jbs_test.dir/jbs/net_merger_test.cpp.o.d"
+  "/root/repo/tests/jbs/plugin_e2e_test.cpp" "tests/CMakeFiles/jbs_test.dir/jbs/plugin_e2e_test.cpp.o" "gcc" "tests/CMakeFiles/jbs_test.dir/jbs/plugin_e2e_test.cpp.o.d"
+  "/root/repo/tests/jbs/protocol_test.cpp" "tests/CMakeFiles/jbs_test.dir/jbs/protocol_test.cpp.o" "gcc" "tests/CMakeFiles/jbs_test.dir/jbs/protocol_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jbs/CMakeFiles/jbs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/jbs_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/jbs_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/jbs_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapred/CMakeFiles/jbs_mapred.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/jbs_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

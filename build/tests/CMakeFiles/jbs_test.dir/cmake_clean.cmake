@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jbs_test.dir/jbs/compress_e2e_test.cpp.o"
+  "CMakeFiles/jbs_test.dir/jbs/compress_e2e_test.cpp.o.d"
+  "CMakeFiles/jbs_test.dir/jbs/engine_stress_test.cpp.o"
+  "CMakeFiles/jbs_test.dir/jbs/engine_stress_test.cpp.o.d"
+  "CMakeFiles/jbs_test.dir/jbs/fault_tolerance_test.cpp.o"
+  "CMakeFiles/jbs_test.dir/jbs/fault_tolerance_test.cpp.o.d"
+  "CMakeFiles/jbs_test.dir/jbs/mof_supplier_test.cpp.o"
+  "CMakeFiles/jbs_test.dir/jbs/mof_supplier_test.cpp.o.d"
+  "CMakeFiles/jbs_test.dir/jbs/net_merger_test.cpp.o"
+  "CMakeFiles/jbs_test.dir/jbs/net_merger_test.cpp.o.d"
+  "CMakeFiles/jbs_test.dir/jbs/plugin_e2e_test.cpp.o"
+  "CMakeFiles/jbs_test.dir/jbs/plugin_e2e_test.cpp.o.d"
+  "CMakeFiles/jbs_test.dir/jbs/protocol_test.cpp.o"
+  "CMakeFiles/jbs_test.dir/jbs/protocol_test.cpp.o.d"
+  "jbs_test"
+  "jbs_test.pdb"
+  "jbs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jbs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mapred/api_test.cpp" "tests/CMakeFiles/mapred_test.dir/mapred/api_test.cpp.o" "gcc" "tests/CMakeFiles/mapred_test.dir/mapred/api_test.cpp.o.d"
+  "/root/repo/tests/mapred/collector_test.cpp" "tests/CMakeFiles/mapred_test.dir/mapred/collector_test.cpp.o" "gcc" "tests/CMakeFiles/mapred_test.dir/mapred/collector_test.cpp.o.d"
+  "/root/repo/tests/mapred/compress_integration_test.cpp" "tests/CMakeFiles/mapred_test.dir/mapred/compress_integration_test.cpp.o" "gcc" "tests/CMakeFiles/mapred_test.dir/mapred/compress_integration_test.cpp.o.d"
+  "/root/repo/tests/mapred/engine_test.cpp" "tests/CMakeFiles/mapred_test.dir/mapred/engine_test.cpp.o" "gcc" "tests/CMakeFiles/mapred_test.dir/mapred/engine_test.cpp.o.d"
+  "/root/repo/tests/mapred/hierarchical_merge_test.cpp" "tests/CMakeFiles/mapred_test.dir/mapred/hierarchical_merge_test.cpp.o" "gcc" "tests/CMakeFiles/mapred_test.dir/mapred/hierarchical_merge_test.cpp.o.d"
+  "/root/repo/tests/mapred/ifile_test.cpp" "tests/CMakeFiles/mapred_test.dir/mapred/ifile_test.cpp.o" "gcc" "tests/CMakeFiles/mapred_test.dir/mapred/ifile_test.cpp.o.d"
+  "/root/repo/tests/mapred/merger_test.cpp" "tests/CMakeFiles/mapred_test.dir/mapred/merger_test.cpp.o" "gcc" "tests/CMakeFiles/mapred_test.dir/mapred/merger_test.cpp.o.d"
+  "/root/repo/tests/mapred/mof_test.cpp" "tests/CMakeFiles/mapred_test.dir/mapred/mof_test.cpp.o" "gcc" "tests/CMakeFiles/mapred_test.dir/mapred/mof_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapred/CMakeFiles/jbs_mapred.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/jbs_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapred_test.dir/mapred/api_test.cpp.o"
+  "CMakeFiles/mapred_test.dir/mapred/api_test.cpp.o.d"
+  "CMakeFiles/mapred_test.dir/mapred/collector_test.cpp.o"
+  "CMakeFiles/mapred_test.dir/mapred/collector_test.cpp.o.d"
+  "CMakeFiles/mapred_test.dir/mapred/compress_integration_test.cpp.o"
+  "CMakeFiles/mapred_test.dir/mapred/compress_integration_test.cpp.o.d"
+  "CMakeFiles/mapred_test.dir/mapred/engine_test.cpp.o"
+  "CMakeFiles/mapred_test.dir/mapred/engine_test.cpp.o.d"
+  "CMakeFiles/mapred_test.dir/mapred/hierarchical_merge_test.cpp.o"
+  "CMakeFiles/mapred_test.dir/mapred/hierarchical_merge_test.cpp.o.d"
+  "CMakeFiles/mapred_test.dir/mapred/ifile_test.cpp.o"
+  "CMakeFiles/mapred_test.dir/mapred/ifile_test.cpp.o.d"
+  "CMakeFiles/mapred_test.dir/mapred/merger_test.cpp.o"
+  "CMakeFiles/mapred_test.dir/mapred/merger_test.cpp.o.d"
+  "CMakeFiles/mapred_test.dir/mapred/mof_test.cpp.o"
+  "CMakeFiles/mapred_test.dir/mapred/mof_test.cpp.o.d"
+  "mapred_test"
+  "mapred_test.pdb"
+  "mapred_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapred_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simnet/cpu_test.cpp" "tests/CMakeFiles/simnet_test.dir/simnet/cpu_test.cpp.o" "gcc" "tests/CMakeFiles/simnet_test.dir/simnet/cpu_test.cpp.o.d"
+  "/root/repo/tests/simnet/disk_test.cpp" "tests/CMakeFiles/simnet_test.dir/simnet/disk_test.cpp.o" "gcc" "tests/CMakeFiles/simnet_test.dir/simnet/disk_test.cpp.o.d"
+  "/root/repo/tests/simnet/fair_share_property_test.cpp" "tests/CMakeFiles/simnet_test.dir/simnet/fair_share_property_test.cpp.o" "gcc" "tests/CMakeFiles/simnet_test.dir/simnet/fair_share_property_test.cpp.o.d"
+  "/root/repo/tests/simnet/fair_share_test.cpp" "tests/CMakeFiles/simnet_test.dir/simnet/fair_share_test.cpp.o" "gcc" "tests/CMakeFiles/simnet_test.dir/simnet/fair_share_test.cpp.o.d"
+  "/root/repo/tests/simnet/protocol_test.cpp" "tests/CMakeFiles/simnet_test.dir/simnet/protocol_test.cpp.o" "gcc" "tests/CMakeFiles/simnet_test.dir/simnet/protocol_test.cpp.o.d"
+  "/root/repo/tests/simnet/simulator_test.cpp" "tests/CMakeFiles/simnet_test.dir/simnet/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/simnet_test.dir/simnet/simulator_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simnet/CMakeFiles/jbs_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/transport/connection_manager_test.cpp" "tests/CMakeFiles/transport_test.dir/transport/connection_manager_test.cpp.o" "gcc" "tests/CMakeFiles/transport_test.dir/transport/connection_manager_test.cpp.o.d"
+  "/root/repo/tests/transport/fault_injection_test.cpp" "tests/CMakeFiles/transport_test.dir/transport/fault_injection_test.cpp.o" "gcc" "tests/CMakeFiles/transport_test.dir/transport/fault_injection_test.cpp.o.d"
+  "/root/repo/tests/transport/rdma_read_test.cpp" "tests/CMakeFiles/transport_test.dir/transport/rdma_read_test.cpp.o" "gcc" "tests/CMakeFiles/transport_test.dir/transport/rdma_read_test.cpp.o.d"
+  "/root/repo/tests/transport/rdma_transport_test.cpp" "tests/CMakeFiles/transport_test.dir/transport/rdma_transport_test.cpp.o" "gcc" "tests/CMakeFiles/transport_test.dir/transport/rdma_transport_test.cpp.o.d"
+  "/root/repo/tests/transport/soft_rdma_test.cpp" "tests/CMakeFiles/transport_test.dir/transport/soft_rdma_test.cpp.o" "gcc" "tests/CMakeFiles/transport_test.dir/transport/soft_rdma_test.cpp.o.d"
+  "/root/repo/tests/transport/tcp_transport_test.cpp" "tests/CMakeFiles/transport_test.dir/transport/tcp_transport_test.cpp.o" "gcc" "tests/CMakeFiles/transport_test.dir/transport/tcp_transport_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transport/CMakeFiles/jbs_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
