@@ -1,8 +1,19 @@
 // Real-mode counterpart of Figs. 4 and 5: the same fetch workload served
 // by the MOFSupplier in serialized per-request mode (HttpServlet-style,
-// Fig. 4) vs. with grouped, batched, pipelined prefetching (Fig. 5).
-// Reports wall time, per-request latency, and how often the disk server
-// switched between MOFs (the locality the grouping buys).
+// Fig. 4) vs. with the two-stage pipelined serve path (Fig. 5): a pool of
+// prefetch threads preading through the fd cache into DataCache buffers,
+// a dedicated send stage, and windowed chunk fetching on the client.
+// Sweeps the pipeline depth (prefetch_threads x fetch_window) and reports
+// wall time, throughput, per-request latency, and MOF switches.
+//
+// Runs with MofSupplier's calibrated disk model enabled (seek penalty on
+// non-sequential preads + streaming-bandwidth cap, identical for every
+// mode): the paper's serialized-vs-pipelined gap is driven by seek-bound
+// spindles, which this container's NVMe + page cache would otherwise hide.
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
 #include <filesystem>
 #include <thread>
 #include <vector>
@@ -10,6 +21,7 @@
 #include "bench/bench_util.h"
 #include "jbs/mof_supplier.h"
 #include "jbs/net_merger.h"
+#include "jbs/protocol.h"
 #include "mapred/ifile.h"
 #include "transport/transport.h"
 
@@ -19,21 +31,58 @@ namespace {
 
 namespace fs = std::filesystem;
 
+struct RunConfig {
+  const char* label;
+  bool pipelined;
+  int prefetch_threads;
+  int fetch_window;
+};
+
 struct RunStats {
   double wall_ms = 0;
+  double throughput_mbs = 0;
   double mean_latency_ms = 0;
   uint64_t group_switches = 0;
   uint64_t requests = 0;
 };
 
-RunStats RunOnce(bool pipelined, const fs::path& dir,
-                 net::Transport& transport,
+/// Evicts the MOF data files from the page cache so every run's preads hit
+/// storage — the disk/network overlap Figs. 4/5 are about only exists when
+/// the disk stage has real latency.
+void DropCaches(const std::vector<mr::MofHandle>& handles) {
+  for (const auto& handle : handles) {
+    const int fd = ::open(handle.data_path.c_str(), O_RDONLY);
+    if (fd < 0) continue;
+    ::fdatasync(fd);
+    ::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
+    ::close(fd);
+  }
+  // fadvise only drops clean, unpinned pages and occasionally leaves a run
+  // cache-hot; when running privileged, drop the page cache outright.
+  if (std::FILE* f = std::fopen("/proc/sys/vm/drop_caches", "w")) {
+    ::sync();
+    std::fputs("1", f);
+    std::fclose(f);
+  }
+}
+
+RunStats RunOnce(const RunConfig& config, net::Transport& transport,
                  const std::vector<mr::MofHandle>& handles) {
+  DropCaches(handles);
   shuffle::MofSupplier::Options options;
   options.transport = &transport;
-  options.buffer_size = 64 * 1024;
+  options.buffer_size = 32 * 1024;
+  options.buffer_count = 128;
   options.prefetch_batch = 8;
-  options.pipelined = pipelined;
+  // Calibrated paper-class disk (see MofSupplier::Options): this
+  // container's NVMe streams either access pattern at device speed, hiding
+  // the seek cost that interleaved per-request service pays on the paper's
+  // spindles. Both modes are charged the identical model at the pread
+  // choke point, so the comparison isolates access pattern + overlap.
+  options.disk_bytes_per_sec = 500e6;
+  options.disk_seek_ms = 0.1;
+  options.prefetch_threads = config.prefetch_threads;
+  options.pipelined = config.pipelined;
   shuffle::MofSupplier supplier(options);
   if (!supplier.Start().ok()) return {};
   for (const auto& handle : handles) (void)supplier.PublishMof(handle);
@@ -45,22 +94,25 @@ RunStats RunOnce(bool pipelined, const fs::path& dir,
   std::vector<std::thread> reducers;
   for (int partition = 0; partition < 4; ++partition) {
     reducers.emplace_back([&, partition] {
+      // Each reducer is its own process in a real deployment: give it its
+      // own transport (event loop) instead of sharing the server's.
+      auto client_transport = net::MakeTcpTransport();
       shuffle::NetMerger::Options merger_options;
-      merger_options.transport = &transport;
-      merger_options.chunk_size = 60 * 1024;
-      merger_options.data_threads = 2;
+      merger_options.transport = client_transport.get();
+      merger_options.chunk_size = 32 * 1024 - shuffle::kDataHeaderSize;
+      merger_options.data_threads = 1;  // one conversation per reducer:
+                                        // stop-and-wait vs window shows
+      merger_options.fetch_window = config.fetch_window;
       shuffle::NetMerger merger(merger_options);
       std::vector<mr::MofLocation> sources;
       for (size_t m = 0; m < handles.size(); ++m) {
         sources.push_back({static_cast<int>(m), 0, "127.0.0.1",
                            supplier.port()});
       }
+      // FetchAndMerge returns once every segment is in memory; the wall
+      // clock measures the serve path, not the downstream record merge.
       auto stream = merger.FetchAndMerge(partition, sources);
-      if (stream.ok()) {
-        mr::Record record;
-        while ((*stream)->Next(&record)) {
-        }
-      }
+      if (!stream.ok()) std::abort();
       merger.Stop();
     });
   }
@@ -72,6 +124,9 @@ RunStats RunOnce(bool pipelined, const fs::path& dir,
   const auto stats = supplier.supplier_stats();
   RunStats out;
   out.wall_ms = wall_ms;
+  out.throughput_mbs =
+      static_cast<double>(stats.bytes_served) / (1024.0 * 1024.0) /
+      (wall_ms / 1000.0);
   out.mean_latency_ms = stats.request_latency_ms.mean();
   out.group_switches = stats.group_switches;
   out.requests = stats.requests;
@@ -87,13 +142,13 @@ int main() {
   fs::create_directories(dir);
   auto transport = net::MakeTcpTransport();
 
-  // 8 MOFs x 4 partitions x ~256KB segments.
+  // 8 MOFs x 4 partitions x ~900KB segments (multi-chunk at 32KB buffers).
   std::vector<mr::MofHandle> handles;
   for (int m = 0; m < 8; ++m) {
     mr::MofWriter writer(dir / ("mof_" + std::to_string(m)));
     for (int p = 0; p < 4; ++p) {
       mr::IFileWriter segment;
-      for (int r = 0; r < 1200; ++r) {
+      for (int r = 0; r < 4800; ++r) {
         segment.Append("key_" + std::to_string(r * 8 + m),
                        std::string(180, static_cast<char>('a' + p)));
       }
@@ -107,28 +162,60 @@ int main() {
 
   bench::PrintHeader(
       "Figs. 4/5 (real loopback): serialized HttpServlet-style service vs "
-      "MOFSupplier pipelined prefetching",
-      "grouping + batching raises disk locality and cuts per-request "
-      "queueing delay");
-  bench::PrintRow({"mode", "wall", "mean req latency", "MOF switches",
-                   "requests"},
-                  20);
-  for (int repeat = 0; repeat < 2; ++repeat) {
-    const auto serialized = RunOnce(false, dir, *transport, handles);
-    const auto pipelined = RunOnce(true, dir, *transport, handles);
-    bench::PrintRow({"serialized (Fig.4)",
-                     bench::Fmt(serialized.wall_ms, "%.1fms"),
-                     bench::Fmt(serialized.mean_latency_ms, "%.2fms"),
-                     std::to_string(serialized.group_switches),
-                     std::to_string(serialized.requests)},
-                    20);
-    bench::PrintRow({"pipelined (Fig.5)",
-                     bench::Fmt(pipelined.wall_ms, "%.1fms"),
-                     bench::Fmt(pipelined.mean_latency_ms, "%.2fms"),
-                     std::to_string(pipelined.group_switches),
-                     std::to_string(pipelined.requests)},
-                    20);
+      "MOFSupplier two-stage pipelined prefetching",
+      "prefetch pool + fd cache + send stage overlap disk and network; "
+      "windowed chunk fetching removes per-chunk round trips");
+  bench::PrintRow({"mode (threads x window)", "wall", "throughput",
+                   "mean req latency", "MOF switches", "requests"},
+                  24);
+  const RunConfig kConfigs[] = {
+      {"serialized (Fig.4)", false, 1, 1},
+      {"pipelined 1x1", true, 1, 1},
+      {"pipelined 1x4", true, 1, 4},
+      {"pipelined 2x4 (default)", true, 2, 4},
+      {"pipelined 4x4", true, 4, 4},
+      {"pipelined 4x8", true, 4, 8},
+  };
+  // Warmup: fills the page cache and spins up CPU clocks so the measured
+  // repeats compare modes, not machine state.
+  (void)RunOnce(kConfigs[0], *transport, handles);
+  (void)RunOnce(kConfigs[3], *transport, handles);
+  constexpr int kRepeats = 5;
+  constexpr size_t kNumConfigs = std::size(kConfigs);
+  std::vector<std::vector<double>> throughputs(kNumConfigs);
+  for (int repeat = 0; repeat < kRepeats; ++repeat) {
+    for (size_t c = 0; c < kNumConfigs; ++c) {
+      const RunStats stats = RunOnce(kConfigs[c], *transport, handles);
+      throughputs[c].push_back(stats.throughput_mbs);
+      bench::PrintRow({kConfigs[c].label, bench::Fmt(stats.wall_ms, "%.1fms"),
+                       bench::Fmt(stats.throughput_mbs, "%.0fMB/s"),
+                       bench::Fmt(stats.mean_latency_ms, "%.2fms"),
+                       std::to_string(stats.group_switches),
+                       std::to_string(stats.requests)},
+                      24);
+    }
   }
+  // Per-config medians: robust to the occasional run where the page-cache
+  // eviction loses to concurrent machine activity.
+  const auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  double serialized_mbs = 0;
+  double best_mbs = 0;
+  const char* best_label = "";
+  for (size_t c = 0; c < kNumConfigs; ++c) {
+    const double m = median(throughputs[c]);
+    if (!kConfigs[c].pipelined) {
+      serialized_mbs = std::max(serialized_mbs, m);
+    } else if (m > best_mbs) {
+      best_mbs = m;
+      best_label = kConfigs[c].label;
+    }
+  }
+  std::printf("\nbest pipelined (%s) / serialized, median of %d: %.2fx\n",
+              best_label, kRepeats,
+              serialized_mbs > 0 ? best_mbs / serialized_mbs : 0.0);
   fs::remove_all(dir);
   return 0;
 }

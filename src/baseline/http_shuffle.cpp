@@ -69,10 +69,12 @@ Status HttpShuffleServer::PublishMof(const mr::MofHandle& handle) {
 
 void HttpShuffleServer::Stop() {
   if (!running_.exchange(false)) return;
+  // shutdown() wakes the blocked accept(); the fd itself must stay alive
+  // until the acceptor thread has observed the failure and exited.
   ::shutdown(listen_fd_.get(), SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
   listen_fd_.Reset();
   conn_cv_.notify_all();
-  if (acceptor_.joinable()) acceptor_.join();
   for (auto& servlet : servlets_) {
     if (servlet.joinable()) servlet.join();
   }

@@ -67,12 +67,14 @@ PooledBuffer BufferPool::Acquire() {
   std::unique_lock<std::mutex> lock(mu_);
   ++stats_.acquires;
   if (free_list_.empty()) {
+    if (cancelled_) return {};
     ++stats_.blocked_acquires;
     const auto start = std::chrono::steady_clock::now();
-    available_cv_.wait(lock, [&] { return !free_list_.empty(); });
+    available_cv_.wait(lock, [&] { return cancelled_ || !free_list_.empty(); });
     const auto waited = std::chrono::steady_clock::now() - start;
     stats_.total_wait_micros +=
         std::chrono::duration_cast<std::chrono::microseconds>(waited).count();
+    if (free_list_.empty()) return {};
   }
   uint8_t* data = free_list_.back();
   free_list_.pop_back();
@@ -96,6 +98,14 @@ size_t BufferPool::available() const {
 BufferPool::Stats BufferPool::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+void BufferPool::Cancel() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancelled_ = true;
+  }
+  available_cv_.notify_all();
 }
 
 void BufferPool::Return(uint8_t* data) {

@@ -54,11 +54,18 @@ class BufferPool {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Blocks until a buffer is available.
+  /// Blocks until a buffer is available. Returns an invalid buffer if the
+  /// pool was cancelled while (or before) waiting.
   PooledBuffer Acquire();
 
   /// Returns an invalid buffer instead of blocking when the pool is dry.
   PooledBuffer TryAcquire();
+
+  /// Wakes every blocked Acquire() and makes it (and all future dry
+  /// acquires) return an invalid buffer — shutdown support for pipeline
+  /// stages parked on an exhausted pool. Buffers already checked out are
+  /// unaffected and must still be returned.
+  void Cancel();
 
   size_t buffer_size() const { return buffer_size_; }
   size_t capacity() const { return count_; }
@@ -82,6 +89,7 @@ class BufferPool {
   mutable std::mutex mu_;
   std::condition_variable available_cv_;
   std::vector<uint8_t*> free_list_;
+  bool cancelled_ = false;
   Stats stats_;
 };
 

@@ -56,8 +56,13 @@ inline constexpr const char* kDataCacheSize = "jbs.mofsupplier.datacache.size";
 inline constexpr const char* kIndexCacheEntries =
     "jbs.mofsupplier.indexcache.entries";
 inline constexpr const char* kPrefetchBatch = "jbs.mofsupplier.prefetch.batch";
+inline constexpr const char* kPrefetchThreads =
+    "jbs.mofsupplier.prefetch.threads";
+inline constexpr const char* kFdCacheEntries =
+    "jbs.mofsupplier.fdcache.entries";
 inline constexpr const char* kNetMergerDataThreads =
     "jbs.netmerger.data.threads";
+inline constexpr const char* kFetchWindow = "jbs.netmerger.fetch.window";
 inline constexpr const char* kMapSlotsPerNode = "mapred.map.slots";
 inline constexpr const char* kReduceSlotsPerNode = "mapred.reduce.slots";
 inline constexpr const char* kBlockSize = "dfs.block.size";

@@ -1,0 +1,53 @@
+#include "common/fd_cache.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace jbs {
+
+FdCache::OpenFile::~OpenFile() {
+  if (fd >= 0) ::close(fd);
+}
+
+FdCache::FdCache(size_t capacity) : cache_(capacity) {}
+
+StatusOr<FdCache::Handle> FdCache::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto* cached = cache_.Get(path)) {
+    ++stats_.hits;
+    return Handle(*cached);
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    ++stats_.open_failures;
+    return IoError("open " + path);
+  }
+  ++stats_.misses;
+  auto file = std::make_shared<const OpenFile>(fd);
+  cache_.Put(path, file);
+  return Handle(std::move(file));
+}
+
+bool FdCache::Invalidate(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.Erase(path);
+}
+
+void FdCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.Clear();
+}
+
+FdCache::Stats FdCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats out = stats_;
+  out.evictions = cache_.eviction_count();
+  return out;
+}
+
+size_t FdCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+}  // namespace jbs

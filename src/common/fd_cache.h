@@ -1,0 +1,74 @@
+// LRU cache of open file descriptors. The MOFSupplier serve path preads
+// every chunk of every segment from a MOF data file; opening the file per
+// pread costs a path walk and an inode lookup on the hottest loop of the
+// server. The cache keeps descriptors for recently served MOFs open and
+// hands out shared handles, so concurrent prefetch threads can read the
+// same file while eviction (capacity pressure or explicit invalidation)
+// closes the descriptor only after the last handle drops.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/lru_cache.h"
+#include "common/status.h"
+
+namespace jbs {
+
+class FdCache {
+  /// Shared state for one open descriptor; closes it on destruction.
+  struct OpenFile {
+    explicit OpenFile(int fd_in) : fd(fd_in) {}
+    OpenFile(const OpenFile&) = delete;
+    OpenFile& operator=(const OpenFile&) = delete;
+    ~OpenFile();
+    const int fd;
+  };
+
+ public:
+  /// A checked-out descriptor. Keeps the underlying fd open even if the
+  /// cache entry is evicted or invalidated while the handle is live.
+  class Handle {
+   public:
+    Handle() = default;
+    bool valid() const { return file_ != nullptr; }
+    int fd() const { return file_ ? file_->fd : -1; }
+
+   private:
+    friend class FdCache;
+    explicit Handle(std::shared_ptr<const OpenFile> file)
+        : file_(std::move(file)) {}
+    std::shared_ptr<const OpenFile> file_;
+  };
+
+  explicit FdCache(size_t capacity);
+
+  /// Returns a handle for `path`, opening (O_RDONLY) and caching on a miss.
+  StatusOr<Handle> Open(const std::string& path);
+
+  /// Drops the cache entry for `path` (e.g. after an I/O error, when the
+  /// descriptor may be stale). Outstanding handles stay usable; the next
+  /// Open() reopens the file. Returns true if an entry was dropped.
+  bool Invalidate(const std::string& path);
+
+  /// Drops every cached descriptor.
+  void Clear();
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t open_failures = 0;
+  };
+  Stats stats() const;
+  size_t size() const;
+  size_t capacity() const { return cache_.capacity(); }
+
+ private:
+  mutable std::mutex mu_;
+  LruCache<std::string, std::shared_ptr<const OpenFile>> cache_;
+  Stats stats_;
+};
+
+}  // namespace jbs

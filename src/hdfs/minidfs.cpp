@@ -29,6 +29,8 @@ fs::path MiniDfs::BlockFile(int node, BlockId id) const {
 }
 
 std::vector<int> MiniDfs::PlaceReplicas(int preferred_node) {
+  // rng_ is shared by every concurrent Writer.
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<int> replicas;
   const int n = options_.num_datanodes;
   int first = preferred_node;

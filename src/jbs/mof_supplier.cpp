@@ -1,9 +1,10 @@
 #include "jbs/mof_supplier.h"
 
-#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
+#include <climits>
 
 #include "common/logging.h"
 
@@ -11,29 +12,21 @@ namespace jbs::shuffle {
 
 namespace {
 
-/// pread the range into `out` (already sized).
-Status PreadRange(const std::filesystem::path& path, uint64_t offset,
-                  std::span<uint8_t> out) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) return IoError("open " + path.string());
+/// pread the range at `offset` from `fd` into `out` (already sized).
+Status PreadFd(int fd, const std::string& path, uint64_t offset,
+               std::span<uint8_t> out) {
   size_t done = 0;
-  Status status;
   while (done < out.size()) {
     const ssize_t n = ::pread(fd, out.data() + done, out.size() - done,
                               static_cast<off_t>(offset + done));
     if (n < 0) {
       if (errno == EINTR) continue;
-      status = IoError("pread " + path.string());
-      break;
+      return IoError("pread " + path);
     }
-    if (n == 0) {
-      status = IoError("unexpected EOF in " + path.string());
-      break;
-    }
+    if (n == 0) return IoError("unexpected EOF in " + path);
     done += static_cast<size_t>(n);
   }
-  ::close(fd);
-  return status;
+  return Status::Ok();
 }
 
 }  // namespace
@@ -41,7 +34,9 @@ Status PreadRange(const std::filesystem::path& path, uint64_t offset,
 MofSupplier::MofSupplier(Options options)
     : options_(options),
       data_cache_(options.buffer_size, options.buffer_count),
-      index_cache_(options.index_cache_entries) {}
+      index_cache_(options.index_cache_entries),
+      fd_cache_(std::max<size_t>(1, options.fd_cache_entries)),
+      send_queue_(options.buffer_count) {}
 
 MofSupplier::~MofSupplier() { Stop(); }
 
@@ -57,7 +52,17 @@ Status MofSupplier::Start() {
     OnFrame(conn, std::move(frame));
   };
   JBS_RETURN_IF_ERROR(endpoint_->Start(std::move(handlers)));
-  disk_thread_ = std::thread([this] { DiskLoop(); });
+  // Serialized ablation mode keeps the seed's single disk thread; the
+  // pipelined serve path runs a pool plus the dedicated send stage.
+  const int disk_threads =
+      options_.pipelined ? std::max(1, options_.prefetch_threads) : 1;
+  disk_threads_.reserve(static_cast<size_t>(disk_threads));
+  for (int i = 0; i < disk_threads; ++i) {
+    disk_threads_.emplace_back([this] { DiskLoop(); });
+  }
+  if (options_.pipelined) {
+    send_thread_ = std::thread([this] { SendLoop(); });
+  }
   return Status::Ok();
 }
 
@@ -78,7 +83,14 @@ void MofSupplier::Stop() {
     stopping_ = true;
   }
   work_cv_.notify_all();
-  if (disk_thread_.joinable()) disk_thread_.join();
+  data_cache_.Cancel();  // unblock disk threads parked on a dry pool
+  for (auto& thread : disk_threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  // Producers are gone: close the stage boundary and let the send thread
+  // drain already-read replies before exiting.
+  send_queue_.Close();
+  if (send_thread_.joinable()) send_thread_.join();
   if (endpoint_) endpoint_->Stop();
 }
 
@@ -90,10 +102,16 @@ mr::ShuffleServer::Stats MofSupplier::stats() const {
   return out;
 }
 
+size_t MofSupplier::pending_group_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return groups_.size();
+}
+
 MofSupplier::SupplierStats MofSupplier::supplier_stats() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   SupplierStats out = stats_;
   out.index = index_cache_.stats();
+  out.fd = fd_cache_.stats();
   return out;
 }
 
@@ -129,91 +147,111 @@ void MofSupplier::OnFrame(net::ConnId conn, Frame frame) {
     } else {
       queue.push_back(std::move(pending));
     }
-    // Iterators into std::map stay valid across insertions; only reset the
-    // cursor if it was exhausted.
-    if (rr_cursor_ == groups_.end()) rr_cursor_ = groups_.begin();
   }
   work_cv_.notify_one();
 }
 
-void MofSupplier::DiskLoop() {
+bool MofSupplier::NextBatch(std::vector<PendingRequest>* batch,
+                            int* group_key) {
+  batch->clear();
+  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    std::vector<PendingRequest> batch;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        return stopping_ ||
-               std::any_of(groups_.begin(), groups_.end(),
-                           [](const auto& kv) { return !kv.second.empty(); });
-      });
-      if (stopping_) return;
-      // Round-robin across MOF groups: take up to prefetch_batch requests
-      // from the cursor's group, then advance the cursor.
-      if (rr_cursor_ == groups_.end()) rr_cursor_ = groups_.begin();
-      auto start = rr_cursor_;
-      while (rr_cursor_->second.empty()) {
-        ++rr_cursor_;
-        if (rr_cursor_ == groups_.end()) rr_cursor_ = groups_.begin();
-        if (rr_cursor_ == start && rr_cursor_->second.empty()) break;
+    if (stopping_) return false;
+    // Round-robin across MOF groups, starting strictly after the last
+    // group served and skipping groups another disk thread has checked
+    // out (per-group exclusivity keeps (map, partition) replies in offset
+    // order across the thread pool).
+    auto it = groups_.upper_bound(rr_last_);
+    for (size_t i = 0; i < groups_.size(); ++i) {
+      if (it == groups_.end()) it = groups_.begin();
+      if (!busy_groups_.contains(it->first)) {
+        *group_key = it->first;
+        auto& queue = it->second;
+        const int take = options_.pipelined ? options_.prefetch_batch : 1;
+        for (int k = 0; k < take && !queue.empty(); ++k) {
+          batch->push_back(std::move(queue.front()));
+          queue.pop_front();
+        }
+        busy_groups_.insert(it->first);
+        rr_last_ = it->first;
+        // Groups are erased as they drain; OnFrame recreates them on
+        // demand, so finished map tasks don't leak queue entries.
+        if (queue.empty()) groups_.erase(it);
+        return true;
       }
-      auto& queue = rr_cursor_->second;
-      const int take =
-          options_.pipelined ? options_.prefetch_batch : 1;
-      for (int i = 0; i < take && !queue.empty(); ++i) {
-        batch.push_back(std::move(queue.front()));
-        queue.pop_front();
-      }
-      ++rr_cursor_;
-      if (rr_cursor_ == groups_.end()) rr_cursor_ = groups_.begin();
+      ++it;
     }
-    if (batch.empty()) continue;
+    work_cv_.wait(lock);
+  }
+}
+
+void MofSupplier::DiskLoop() {
+  std::vector<PendingRequest> batch;
+  int group_key = 0;
+  while (NextBatch(&batch, &group_key)) {
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.batches;
     }
     for (const PendingRequest& pending : batch) {
-      ServeOne(pending);
+      if (options_.pipelined) {
+        PrefetchOne(pending);
+      } else {
+        ServeInline(pending);
+      }
     }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      busy_groups_.erase(group_key);
+    }
+    // Another disk thread may be waiting for this group to free up.
+    work_cv_.notify_all();
   }
 }
 
-void MofSupplier::ServeOne(const PendingRequest& pending) {
+bool MofSupplier::ResolveRequest(
+    const PendingRequest& pending, mr::MofHandle* handle,
+    FetchDataHeader* header, uint64_t* disk_offset, uint64_t* chunk,
+    const std::function<void(const std::string&)>& fail) {
   const FetchRequest& request = pending.request;
-  mr::MofHandle handle;
   bool found = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = published_.find(request.map_task);
     if (it != published_.end()) {
-      handle = it->second;
+      *handle = it->second;
       found = true;
     }
   }
   if (!found) {
-    SendError(pending.conn, request, "unknown MOF");
-    return;
+    fail("unknown MOF");
+    return false;
   }
-  auto index = index_cache_.GetOrLoad(handle);
+  auto index = index_cache_.GetOrLoad(*handle);
   if (!index.ok()) {
-    SendError(pending.conn, request, index.status().ToString());
-    return;
+    fail(index.status().ToString());
+    return false;
   }
   if (request.partition < 0 || request.partition >= index->num_partitions()) {
-    SendError(pending.conn, request, "partition out of range");
-    return;
+    fail("partition out of range");
+    return false;
   }
   const mr::IndexEntry& entry = index->entry(request.partition);
   if (request.offset > entry.length) {
-    SendError(pending.conn, request, "offset beyond segment");
-    return;
+    fail("offset beyond segment");
+    return false;
   }
   // Chunk size: bounded by the client's ask, our transport buffer, and
   // what's left of the segment.
   const uint64_t remaining = entry.length - request.offset;
-  const uint64_t chunk =
-      std::min<uint64_t>({remaining, request.max_len,
-                          options_.buffer_size - kDataHeaderSize});
-
+  *chunk = std::min<uint64_t>({remaining, request.max_len,
+                               options_.buffer_size - kDataHeaderSize});
+  *disk_offset = entry.offset + request.offset;
+  header->map_task = request.map_task;
+  header->partition = request.partition;
+  header->offset = request.offset;
+  header->segment_total = entry.length;
+  header->flags = index->compressed() ? kSegmentCompressed : 0;
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     if (last_served_mof_ != request.map_task) {
@@ -221,25 +259,133 @@ void MofSupplier::ServeOne(const PendingRequest& pending) {
       last_served_mof_ = request.map_task;
     }
   }
+  return true;
+}
 
-  // DataCache buffer: bounds in-flight disk reads; released after the data
-  // is copied into the outgoing frame.
+Status MofSupplier::PreadInto(const mr::MofHandle& handle, uint64_t offset,
+                              std::span<uint8_t> out) {
+  const std::string path = handle.data_path.string();
+  auto file = fd_cache_.Open(path);
+  if (!file.ok()) return file.status();
+  ChargeDiskModel(file->fd(), offset, out.size());
+  Status st = PreadFd(file->fd(), path, offset, out);
+  // A failed read may mean the descriptor went stale (file replaced);
+  // drop it so the next request reopens the path.
+  if (!st.ok()) fd_cache_.Invalidate(path);
+  return st;
+}
+
+void MofSupplier::ChargeDiskModel(int fd, uint64_t offset, size_t bytes) {
+  if (options_.disk_seek_ms <= 0 && options_.disk_bytes_per_sec <= 0) return;
+  std::chrono::steady_clock::time_point ready;
+  {
+    std::lock_guard<std::mutex> lock(disk_model_mu_);
+    // A read that does not continue the descriptor's previous read breaks
+    // the sequential stream (readahead misses; on a spindle, the head
+    // moves). Descriptor reuse after fd-cache eviction at worst charges
+    // one spurious seek.
+    auto [it, inserted] = disk_stream_pos_.try_emplace(fd, 0);
+    const bool seek = inserted || it->second != offset;
+    it->second = offset + bytes;
+    double ms = seek ? options_.disk_seek_ms : 0.0;
+    if (options_.disk_bytes_per_sec > 0) {
+      ms += static_cast<double>(bytes) / options_.disk_bytes_per_sec * 1e3;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (disk_available_at_ < now) disk_available_at_ = now;
+    disk_available_at_ +=
+        std::chrono::microseconds(static_cast<int64_t>(ms * 1e3));
+    ready = disk_available_at_;
+  }
+  std::this_thread::sleep_until(ready);
+}
+
+void MofSupplier::PrefetchOne(const PendingRequest& pending) {
+  mr::MofHandle handle;
+  FetchDataHeader header;
+  uint64_t disk_offset = 0;
+  uint64_t chunk = 0;
+  if (!ResolveRequest(pending, &handle, &header, &disk_offset, &chunk,
+                      [&](const std::string& message) {
+                        EnqueueError(pending.conn, pending.request, message,
+                                     pending.enqueued);
+                      })) {
+    return;
+  }
+  // DataCache buffer: bounds in-flight disk reads. Pool exhaustion blocks
+  // here, throttling the disk stage until the send stage releases buffers
+  // — the pipeline's natural backpressure.
   PooledBuffer buffer = data_cache_.Acquire();
+  if (!buffer.valid()) return;  // pool cancelled: shutting down
   if (chunk > 0) {
-    Status st = PreadRange(handle.data_path,
-                           entry.offset + request.offset,
-                           {buffer.data(), static_cast<size_t>(chunk)});
+    Status st = PreadInto(handle, disk_offset,
+                          {buffer.data(), static_cast<size_t>(chunk)});
     if (!st.ok()) {
-      SendError(pending.conn, request, st.ToString());
+      EnqueueError(pending.conn, pending.request, st.ToString(),
+                   pending.enqueued);
       return;
     }
   }
+  buffer.set_size(static_cast<size_t>(chunk));
+  ReadyReply ready;
+  ready.conn = pending.conn;
+  ready.header = header;
+  ready.buffer = std::move(buffer);
+  ready.enqueued = pending.enqueued;
+  // Push only fails once the queue is closed (shutdown); the dropped
+  // reply's buffer returns to the pool via its destructor.
+  (void)send_queue_.Push(std::move(ready));
+}
+
+void MofSupplier::SendLoop() {
+  while (auto ready = send_queue_.Pop()) {
+    if (ready->is_error) {
+      endpoint_->SendAsync(ready->conn, EncodeError(ready->error));
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.errors;
+      continue;
+    }
+    Frame frame = EncodeData(
+        ready->header, {ready->buffer.data(), ready->buffer.size()});
+    const size_t chunk = ready->buffer.size();
+    ready->buffer.Release();  // encode copied; free the disk stage early
+    Status st = endpoint_->SendAsync(ready->conn, std::move(frame));
+    const double latency_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - ready->enqueued)
+            .count();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (st.ok()) {
+      stats_.bytes_served += chunk;
+      stats_.request_latency_ms.Add(latency_ms);
+    } else {
+      ++stats_.errors;
+    }
+  }
+}
+
+void MofSupplier::ServeInline(const PendingRequest& pending) {
+  const FetchRequest& request = pending.request;
+  mr::MofHandle handle;
   FetchDataHeader header;
-  header.map_task = request.map_task;
-  header.partition = request.partition;
-  header.offset = request.offset;
-  header.segment_total = entry.length;
-  header.flags = index->compressed() ? kSegmentCompressed : 0;
+  uint64_t disk_offset = 0;
+  uint64_t chunk = 0;
+  if (!ResolveRequest(pending, &handle, &header, &disk_offset, &chunk,
+                      [&](const std::string& message) {
+                        SendErrorNow(pending.conn, request, message);
+                      })) {
+    return;
+  }
+  PooledBuffer buffer = data_cache_.Acquire();
+  if (!buffer.valid()) return;
+  if (chunk > 0) {
+    Status st = PreadInto(handle, disk_offset,
+                          {buffer.data(), static_cast<size_t>(chunk)});
+    if (!st.ok()) {
+      SendErrorNow(pending.conn, request, st.ToString());
+      return;
+    }
+  }
   Frame frame = EncodeData(header, {buffer.data(),
                                     static_cast<size_t>(chunk)});
   buffer.Release();
@@ -257,8 +403,21 @@ void MofSupplier::ServeOne(const PendingRequest& pending) {
   }
 }
 
-void MofSupplier::SendError(net::ConnId conn, const FetchRequest& request,
-                            const std::string& message) {
+void MofSupplier::EnqueueError(net::ConnId conn, const FetchRequest& request,
+                               const std::string& message,
+                               std::chrono::steady_clock::time_point enqueued) {
+  ReadyReply ready;
+  ready.conn = conn;
+  ready.is_error = true;
+  ready.error.map_task = request.map_task;
+  ready.error.partition = request.partition;
+  ready.error.message = message;
+  ready.enqueued = enqueued;
+  (void)send_queue_.Push(std::move(ready));
+}
+
+void MofSupplier::SendErrorNow(net::ConnId conn, const FetchRequest& request,
+                               const std::string& message) {
   FetchError error;
   error.map_task = request.map_task;
   error.partition = request.partition;

@@ -204,16 +204,24 @@ StatusOr<NetMerger::FetchedSegment> NetMerger::FetchSegment(
     net::Connection& conn, const FetchTask& task) {
   FetchedSegment fetched;
   std::vector<uint8_t>& segment = fetched.bytes;
-  uint64_t offset = 0;
-  uint64_t total = 0;
-  bool know_total = false;
-  do {
+  // Per-chunk counters accumulate locally and fold into stats_ once per
+  // segment, so a multi-chunk fetch takes one stats lock, not one per
+  // round trip.
+  uint64_t local_chunks = 0;
+  uint64_t local_bytes = 0;
+
+  const auto send_request = [&](uint64_t offset) -> Status {
     FetchRequest request;
     request.map_task = task.source.map_task;
     request.partition = task.partition;
     request.offset = offset;
     request.max_len = static_cast<uint32_t>(options_.chunk_size);
-    JBS_RETURN_IF_ERROR(conn.Send(EncodeRequest(request)));
+    return conn.Send(EncodeRequest(request));
+  };
+  // Receives one data reply, validating it continues the segment at
+  // `expect_offset`; appends the payload and returns its size.
+  const auto receive_chunk = [&](uint64_t expect_offset,
+                                 uint64_t* total) -> StatusOr<uint64_t> {
     auto reply = conn.Receive();
     JBS_RETURN_IF_ERROR(reply.status());
     if (reply->type == kFetchError) {
@@ -225,25 +233,59 @@ StatusOr<NetMerger::FetchedSegment> NetMerger::FetchSegment(
     auto header = DecodeData(*reply, &data);
     if (!header) return IoError("undecodable fetch data frame");
     if (header->map_task != task.source.map_task ||
-        header->partition != task.partition || header->offset != offset) {
+        header->partition != task.partition ||
+        header->offset != expect_offset) {
       return Internal("fetch reply out of sequence");
     }
-    total = header->segment_total;
+    *total = header->segment_total;
     fetched.compressed = (header->flags & kSegmentCompressed) != 0;
-    know_total = true;
     segment.insert(segment.end(), data.begin(), data.end());
-    offset += data.size();
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.chunks;
-      stats_.bytes_fetched += data.size();
+    ++local_chunks;
+    local_bytes += data.size();
+    return static_cast<uint64_t>(data.size());
+  };
+
+  // First chunk alone: it establishes segment_total (so the segment vector
+  // is reserved once instead of reallocating per chunk) and the server's
+  // chunk stride (the server may cap below our chunk_size ask).
+  JBS_RETURN_IF_ERROR(send_request(0));
+  uint64_t total = 0;
+  auto first = receive_chunk(0, &total);
+  JBS_RETURN_IF_ERROR(first.status());
+  segment.reserve(total);
+  uint64_t offset = *first;
+  if (offset < total) {
+    if (*first == 0) return Internal("server made no progress");
+    const uint64_t stride = *first;
+    // Windowed pipelining: keep up to fetch_window chunk requests in
+    // flight so the server's disk stage works ahead of the network and
+    // each reply costs far less than a full round trip. fetch_window = 1
+    // degrades to the seed's stop-and-wait ping-pong.
+    const int window = std::max(1, options_.fetch_window);
+    uint64_t next_send = offset;
+    int in_flight = 0;
+    while (in_flight < window && next_send < total) {
+      JBS_RETURN_IF_ERROR(send_request(next_send));
+      next_send += stride;
+      ++in_flight;
     }
-    if (offset < total && data.empty()) {
-      return Internal("server made no progress");
+    while (offset < total) {
+      auto chunk = receive_chunk(offset, &total);
+      JBS_RETURN_IF_ERROR(chunk.status());
+      if (*chunk == 0) return Internal("server made no progress");
+      offset += *chunk;
+      --in_flight;
+      while (in_flight < window && next_send < total) {
+        JBS_RETURN_IF_ERROR(send_request(next_send));
+        next_send += stride;
+        ++in_flight;
+      }
     }
-  } while (!know_total || offset < total);
+  }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.chunks += local_chunks;
+    stats_.bytes_fetched += local_bytes;
     ++stats_.fetches;
   }
   return fetched;

@@ -27,6 +27,8 @@ class NetMerger final : public mr::ShuffleClient {
     net::Transport* transport = nullptr;  // required
     int data_threads = 3;                 // paper: 3 native threads
     size_t chunk_size = 128 * 1024;       // max bytes per fetch round trip
+    int fetch_window = 4;  // chunk requests kept in flight per connection
+                           // (1 = the seed's stop-and-wait ping-pong)
     size_t connection_cache_capacity = 512;
     bool consolidate = true;   // ablation: false = connection per fetch
     bool round_robin = true;   // ablation: false = drain nodes in key order

@@ -30,6 +30,12 @@ JbsShufflePlugin::Options JbsShufflePlugin::OptionsFromConfig(
       static_cast<int>(conf.GetInt(conf::kNetMergerDataThreads, 3));
   options.prefetch_batch =
       static_cast<int>(conf.GetInt(conf::kPrefetchBatch, 4));
+  options.prefetch_threads =
+      static_cast<int>(conf.GetInt(conf::kPrefetchThreads, 2));
+  options.fd_cache_entries =
+      static_cast<size_t>(conf.GetInt(conf::kFdCacheEntries, 128));
+  options.fetch_window =
+      static_cast<int>(conf.GetInt(conf::kFetchWindow, 4));
   options.connection_cache_capacity = static_cast<size_t>(
       conf.GetInt(conf::kConnectionCacheCapacity, 512));
   options.pipelined = conf.GetBool("jbs.mofsupplier.pipelined", true);
@@ -51,6 +57,8 @@ std::unique_ptr<mr::ShuffleServer> JbsShufflePlugin::CreateServer(
   sopts.buffer_size = options_.buffer_size;
   sopts.buffer_count = options_.buffer_count;
   sopts.prefetch_batch = options_.prefetch_batch;
+  sopts.prefetch_threads = options_.prefetch_threads;
+  sopts.fd_cache_entries = options_.fd_cache_entries;
   sopts.pipelined = options_.pipelined;
   return std::make_unique<MofSupplier>(sopts);
 }
@@ -61,6 +69,7 @@ std::unique_ptr<mr::ShuffleClient> JbsShufflePlugin::CreateClient(
   nopts.transport = transport_.get();
   nopts.data_threads = options_.data_threads;
   nopts.chunk_size = options_.buffer_size - kDataHeaderSize;
+  nopts.fetch_window = options_.fetch_window;
   nopts.connection_cache_capacity = options_.connection_cache_capacity;
   nopts.consolidate = options_.consolidate;
   nopts.round_robin = options_.round_robin;

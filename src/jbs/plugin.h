@@ -23,6 +23,9 @@ struct JbsOptions {
   size_t buffer_count = 64;
   int data_threads = 3;
   int prefetch_batch = 4;
+  int prefetch_threads = 2;      // MofSupplier disk-stage pool
+  size_t fd_cache_entries = 128; // MofSupplier open-fd LRU
+  int fetch_window = 4;          // NetMerger chunk requests in flight
   size_t connection_cache_capacity = 512;
   bool pipelined = true;    // MofSupplier prefetch pipeline
   bool consolidate = true;  // NetMerger connection consolidation

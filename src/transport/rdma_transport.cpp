@@ -180,7 +180,9 @@ class RdmaServerEndpoint final : public ServerEndpoint {
 
  private:
   struct ConnState {
-    std::unique_ptr<QueuePair> qp;
+    // shared_ptr: the send thread keeps the QP alive across a PostSend even
+    // if the recv thread drops the connection concurrently.
+    std::shared_ptr<QueuePair> qp;
     std::unique_ptr<RecvRing> ring;
   };
 
@@ -209,18 +211,29 @@ class RdmaServerEndpoint final : public ServerEndpoint {
       const ConnId id = event->request_id;
       auto ring = std::make_unique<RecvRing>(&pd_, options_.buffer_size,
                                              options_.buffers_per_connection);
+      std::shared_ptr<QueuePair> accepted = std::move(qp).value();
+      RecvRing* ring_ptr = ring.get();
+      // Register the connection before posting: the QP's receiver is
+      // already live, so a completion can reach RecvLoop the instant a
+      // buffer is posted — if the conn isn't in the map yet, that first
+      // request frame would be dropped and its buffer never reposted,
+      // leaving the client blocked forever.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        conns_[id] = ConnState{accepted, std::move(ring)};
+      }
       // Post with conn-qualified wr_ids into the shared CQ.
       bool ok = true;
       for (size_t i = 0; i < options_.buffers_per_connection; ++i) {
-        if (!(*qp)->PostRecv(MakeWr(id, i), ring->region(i)).ok()) {
+        if (!accepted->PostRecv(MakeWr(id, i), ring_ptr->region(i)).ok()) {
           ok = false;
           break;
         }
       }
-      if (!ok) continue;
-      {
+      if (!ok) {
         std::lock_guard<std::mutex> lock(mu_);
-        conns_[id] = ConnState{std::move(qp).value(), std::move(ring)};
+        conns_.erase(id);
+        continue;
       }
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
@@ -272,7 +285,7 @@ class RdmaServerEndpoint final : public ServerEndpoint {
       std::unique_lock<std::mutex> lock(mu_);
       auto it = conns_.find(conn);
       if (it == conns_.end()) continue;
-      QueuePair* qp = it->second.qp.get();
+      std::shared_ptr<QueuePair> qp = it->second.qp;
       lock.unlock();
       if (qp->PostSend(next_send_wr_++, frame.type, frame.payload).ok()) {
         std::lock_guard<std::mutex> slock(stats_mu_);
@@ -284,7 +297,7 @@ class RdmaServerEndpoint final : public ServerEndpoint {
   }
 
   void DropConn(ConnId id) {
-    std::unique_ptr<QueuePair> dying;
+    std::shared_ptr<QueuePair> dying;
     {
       std::lock_guard<std::mutex> lock(mu_);
       auto it = conns_.find(id);

@@ -456,9 +456,11 @@ Status RdmaServer::Reject(uint64_t request_id) {
 
 void RdmaServer::Stop() {
   if (!running_.exchange(false)) return;
+  // shutdown() wakes the blocked accept(); the fd itself must stay alive
+  // until the listener thread has observed the failure and exited.
   ::shutdown(listen_fd_.get(), SHUT_RDWR);
-  listen_fd_.Reset();
   if (listener_.joinable()) listener_.join();
+  listen_fd_.Reset();
   std::lock_guard<std::mutex> lock(mu_);
   pending_.clear();
 }

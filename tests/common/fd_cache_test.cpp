@@ -1,0 +1,118 @@
+#include "common/fd_cache.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace jbs {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FdCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("fd_cache_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string MakeFile(const std::string& name, const std::string& content) {
+    const fs::path path = dir_ / name;
+    std::ofstream out(path);
+    out << content;
+    return path.string();
+  }
+
+  static std::string ReadAll(const FdCache::Handle& handle, size_t n) {
+    std::string out(n, '\0');
+    const ssize_t got = ::pread(handle.fd(), out.data(), n, 0);
+    EXPECT_EQ(got, static_cast<ssize_t>(n));
+    return out;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(FdCacheTest, HitReusesOpenDescriptor) {
+  FdCache cache(4);
+  const std::string path = MakeFile("a", "hello");
+  auto first = cache.Open(path);
+  ASSERT_TRUE(first.ok());
+  auto second = cache.Open(path);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->fd(), second->fd());
+  EXPECT_EQ(ReadAll(*second, 5), "hello");
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(FdCacheTest, CapacityEvictsLeastRecentlyUsed) {
+  FdCache cache(2);
+  const std::string a = MakeFile("a", "aa");
+  const std::string b = MakeFile("b", "bb");
+  const std::string c = MakeFile("c", "cc");
+  ASSERT_TRUE(cache.Open(a).ok());
+  ASSERT_TRUE(cache.Open(b).ok());
+  ASSERT_TRUE(cache.Open(c).ok());  // evicts a
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  ASSERT_TRUE(cache.Open(b).ok());  // still cached
+  EXPECT_EQ(cache.stats().hits, 1u);
+  ASSERT_TRUE(cache.Open(a).ok());  // was evicted: a fresh open
+  EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+TEST_F(FdCacheTest, EvictedDescriptorStaysOpenWhileHandleHeld) {
+  FdCache cache(1);
+  const std::string a = MakeFile("a", "first");
+  auto held = cache.Open(a);
+  ASSERT_TRUE(held.ok());
+  ASSERT_TRUE(cache.Open(MakeFile("b", "second")).ok());  // evicts a
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // The held handle keeps the evicted descriptor alive and readable.
+  EXPECT_EQ(ReadAll(*held, 5), "first");
+}
+
+TEST_F(FdCacheTest, InvalidateForcesReopen) {
+  FdCache cache(4);
+  const std::string path = MakeFile("a", "old");
+  auto stale = cache.Open(path);
+  ASSERT_TRUE(stale.ok());
+  EXPECT_TRUE(cache.Invalidate(path));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Invalidate(path));  // already gone
+  // Stale handle still reads the old descriptor...
+  EXPECT_EQ(ReadAll(*stale, 3), "old");
+  // ...but the next Open is a miss that returns a fresh descriptor.
+  auto fresh = cache.Open(path);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST_F(FdCacheTest, MissingFileReportsOpenFailure) {
+  FdCache cache(4);
+  auto result = cache.Open((dir_ / "nope").string());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(cache.stats().open_failures, 1u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(FdCacheTest, ClearDropsEverything) {
+  FdCache cache(4);
+  ASSERT_TRUE(cache.Open(MakeFile("a", "a")).ok());
+  ASSERT_TRUE(cache.Open(MakeFile("b", "b")).ok());
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+}  // namespace
+}  // namespace jbs
