@@ -63,6 +63,15 @@ inline constexpr const char* kFdCacheEntries =
 inline constexpr const char* kNetMergerDataThreads =
     "jbs.netmerger.data.threads";
 inline constexpr const char* kFetchWindow = "jbs.netmerger.fetch.window";
+// Fetch-path robustness knobs (0 disables the bound).
+inline constexpr const char* kFetchDeadlineMs =
+    "jbs.netmerger.fetch.deadline_ms";
+inline constexpr const char* kConnectTimeoutMs =
+    "jbs.netmerger.connect.timeout_ms";
+inline constexpr const char* kChunkTimeoutMs =
+    "jbs.netmerger.chunk.timeout_ms";
+inline constexpr const char* kConnectionIdleMs =
+    "jbs.transport.connection.idle_ms";
 inline constexpr const char* kMapSlotsPerNode = "mapred.map.slots";
 inline constexpr const char* kReduceSlotsPerNode = "mapred.reduce.slots";
 inline constexpr const char* kBlockSize = "dfs.block.size";

@@ -18,6 +18,7 @@ enum class StatusCode {
   kUnavailable,
   kIoError,
   kCancelled,
+  kDeadlineExceeded,
   kInternal,
 };
 
@@ -49,6 +50,7 @@ class Status {
       case StatusCode::kUnavailable: return "UNAVAILABLE";
       case StatusCode::kIoError: return "IO_ERROR";
       case StatusCode::kCancelled: return "CANCELLED";
+      case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
       case StatusCode::kInternal: return "INTERNAL";
     }
     return "UNKNOWN";
@@ -79,6 +81,9 @@ inline Status IoError(std::string m) {
 }
 inline Status Cancelled(std::string m) {
   return {StatusCode::kCancelled, std::move(m)};
+}
+inline Status DeadlineExceeded(std::string m) {
+  return {StatusCode::kDeadlineExceeded, std::move(m)};
 }
 inline Status Internal(std::string m) {
   return {StatusCode::kInternal, std::move(m)};

@@ -51,6 +51,7 @@ Status MofSupplier::Start() {
   handlers.on_frame = [this](net::ConnId conn, Frame frame) {
     OnFrame(conn, std::move(frame));
   };
+  handlers.on_disconnect = [this](net::ConnId conn) { OnDisconnect(conn); };
   JBS_RETURN_IF_ERROR(endpoint_->Start(std::move(handlers)));
   // Serialized ablation mode keeps the seed's single disk thread; the
   // pipelined serve path runs a pool plus the dedicated send stage.
@@ -149,6 +150,33 @@ void MofSupplier::OnFrame(net::ConnId conn, Frame frame) {
     }
   }
   work_cv_.notify_one();
+}
+
+void MofSupplier::OnDisconnect(net::ConnId conn) {
+  uint64_t purged = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = groups_.begin(); it != groups_.end();) {
+      auto& queue = it->second;
+      const size_t before = queue.size();
+      queue.erase(std::remove_if(queue.begin(), queue.end(),
+                                 [&](const PendingRequest& pending) {
+                                   return pending.conn == conn;
+                                 }),
+                  queue.end());
+      purged += before - queue.size();
+      // Same eager erasure as NextBatch; busy_groups_ is a separate set,
+      // so erasing a checked-out group's (now empty) queue entry is safe.
+      it = queue.empty() ? groups_.erase(it) : std::next(it);
+    }
+  }
+  if (purged > 0) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.disconnect_purges += purged;
+  }
+  // Requests already checked out by a disk thread or sitting in the send
+  // queue still flow through; their SendAsync fails against the dead
+  // ConnId and is counted as an error.
 }
 
 bool MofSupplier::NextBatch(std::vector<PendingRequest>* batch,

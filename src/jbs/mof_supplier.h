@@ -79,6 +79,8 @@ class MofSupplier final : public mr::ShuffleServer {
     uint64_t batches = 0;          // disk-server turns
     uint64_t group_switches = 0;   // MOF changes between consecutive reads
     uint64_t errors = 0;
+    uint64_t disconnect_purges = 0;  // queued requests dropped because
+                                     // their connection went away
     IndexCache::Stats index;
     FdCache::Stats fd;
     Summary request_latency_ms;    // enqueue -> response handed to transport
@@ -109,6 +111,9 @@ class MofSupplier final : public mr::ShuffleServer {
   };
 
   void OnFrame(net::ConnId conn, Frame frame);
+  /// Drops queued requests from a departed connection so the disk stage
+  /// doesn't read (and the send stage doesn't encode) for a dead peer.
+  void OnDisconnect(net::ConnId conn);
   void DiskLoop();
   /// Pops the next round-robin batch and checks its group out (busy) so no
   /// other disk thread serves the same MOF concurrently. Blocks until work

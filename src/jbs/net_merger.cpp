@@ -10,7 +10,9 @@ namespace jbs::shuffle {
 
 NetMerger::NetMerger(Options options)
     : options_(options),
-      connections_(options.transport, options.connection_cache_capacity) {
+      connections_(options.transport, options.connection_cache_capacity,
+                   options.connection_idle_ms),
+      rng_(options.backoff_jitter_seed) {
   workers_.reserve(static_cast<size_t>(options_.data_threads));
   for (int i = 0; i < options_.data_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -20,24 +22,43 @@ NetMerger::NetMerger(Options options)
 NetMerger::~NetMerger() { Stop(); }
 
 void NetMerger::Stop() {
+  std::map<std::string, std::deque<FetchTask>> orphans;
   {
     std::lock_guard<std::mutex> lock(sched_mu_);
     if (stopping_) return;
     stopping_ = true;
+    orphans.swap(node_queues_);
   }
+  cancelled_.store(true);
   work_cv_.notify_all();
+  // Wake data threads blocked in Send/Receive on a cached connection and
+  // make any racing dial fail fast.
+  connections_.Shutdown();
+  {
+    // Ablation-mode per-fetch connections live outside the manager; close
+    // them too so those threads unblock.
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    for (net::Connection* conn : inflight_conns_) conn->Close();
+  }
+  // Fail every queued (never claimed) task so its FetchAndMerge caller
+  // unblocks; in-flight tasks are failed by their own data thread once
+  // its connection dies.
+  for (auto& [node, queue] : orphans) {
+    for (FetchTask& task : queue) {
+      CompleteTask(task, Unavailable("NetMerger stopped"));
+    }
+  }
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
-  connections_.CloseAll();
 }
 
 mr::ShuffleClient::Stats NetMerger::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
   Stats out;
-  out.fetches = stats_.fetches;
-  out.bytes_fetched = stats_.bytes_fetched;
-  out.connections_opened = stats_.connections_opened;
+  MergerStats merger = merger_stats();
+  out.fetches = merger.fetches;
+  out.bytes_fetched = merger.bytes_fetched;
+  out.connections_opened = merger.connections_opened;
   return out;
 }
 
@@ -45,23 +66,55 @@ NetMerger::MergerStats NetMerger::merger_stats() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   MergerStats out = stats_;
   // Consolidated dials are counted by the connection manager; ablation-mode
-  // per-fetch dials are counted directly in stats_.
-  out.connections_opened += connections_.stats().misses;
+  // per-fetch dials are counted directly in stats_. A cache miss whose dial
+  // failed never opened a connection, so failures don't count.
+  const net::ConnectionManager::Stats cs = connections_.stats();
+  out.connections_opened += cs.misses - cs.dial_failures;
   return out;
+}
+
+size_t NetMerger::pending_node_count() const {
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  return node_queues_.size();
 }
 
 StatusOr<std::unique_ptr<mr::RecordStream>> NetMerger::FetchAndMerge(
     int partition, const std::vector<mr::MofLocation>& sources) {
+  // Duplicate locations (a speculative map attempt reported twice, say)
+  // would fetch the same segment twice and then consume the stored bytes
+  // twice — the second open sees a moved-out segment. Collapse exact
+  // duplicates to one fetch; duplicates that disagree on where the map's
+  // output lives are a caller bug.
+  std::vector<const mr::MofLocation*> unique;
+  unique.reserve(sources.size());
+  {
+    std::map<int, const mr::MofLocation*> by_map;
+    for (const mr::MofLocation& source : sources) {
+      auto [it, inserted] = by_map.emplace(source.map_task, &source);
+      if (inserted) {
+        unique.push_back(&source);
+        continue;
+      }
+      const mr::MofLocation& prev = *it->second;
+      if (prev.host != source.host || prev.port != source.port ||
+          prev.node != source.node) {
+        return InvalidArgument("conflicting locations for map " +
+                               std::to_string(source.map_task) + ": " +
+                               NodeKey(prev) + " vs " + NodeKey(source));
+      }
+    }
+  }
+
   auto context = std::make_shared<CallContext>();
-  context->remaining = sources.size();
+  context->remaining = unique.size();
   {
     std::lock_guard<std::mutex> lock(sched_mu_);
     if (stopping_) return Unavailable("NetMerger stopped");
     // Consolidation: requests are grouped by target node, ordered by
     // arrival within each group.
-    for (const mr::MofLocation& source : sources) {
-      node_queues_[NodeKey(source)].push_back(
-          FetchTask{source, partition, context});
+    for (const mr::MofLocation* source : unique) {
+      node_queues_[NodeKey(*source)].push_back(
+          FetchTask{*source, partition, context});
     }
   }
   work_cv_.notify_all();
@@ -72,12 +125,12 @@ StatusOr<std::unique_ptr<mr::RecordStream>> NetMerger::FetchAndMerge(
 
   // Network-levitated merge: all segments live in memory; merge directly.
   std::vector<std::unique_ptr<mr::RecordStream>> streams;
-  streams.reserve(sources.size());
-  for (const mr::MofLocation& source : sources) {
-    auto it = context->segments.find(source.map_task);
+  streams.reserve(unique.size());
+  for (const mr::MofLocation* source : unique) {
+    auto it = context->segments.find(source->map_task);
     if (it == context->segments.end()) {
       return Internal("segment missing for map " +
-                      std::to_string(source.map_task));
+                      std::to_string(source->map_task));
     }
     auto stream = mr::OpenSegment(std::move(it->second.bytes),
                                   it->second.compressed);
@@ -105,6 +158,10 @@ bool NetMerger::NextTask(std::string* node, FetchTask* task) {
       queue.pop_front();
       busy_nodes_.insert(key);
       if (options_.round_robin) rr_last_ = key;
+      // Erase drained queues: otherwise node_queues_ keeps one tombstone
+      // entry per remote node ever fetched from for the job's lifetime.
+      // (*node is the surviving copy; `key` dangles after the erase.)
+      if (queue.empty()) node_queues_.erase(*node);
       return true;
     };
     if (options_.round_robin && !node_queues_.empty()) {
@@ -140,6 +197,9 @@ void NetMerger::WorkerLoop() {
     }
     last_node = node;
     ExecuteTask(node, task);
+    // Drop the shared context before blocking in NextTask again, so the
+    // FetchAndMerge caller is the last owner once all segments land.
+    task = FetchTask{};
     {
       std::lock_guard<std::mutex> lock(sched_mu_);
       busy_nodes_.erase(node);
@@ -148,25 +208,68 @@ void NetMerger::WorkerLoop() {
   }
 }
 
+int64_t NetMerger::NextBackoffMs(int attempt,
+                                 const net::Deadline& fetch_deadline) {
+  // Cap the shift: `20 << 40` is UB on int and a multi-day sleep besides.
+  const int shift = std::min(attempt - 1, 10);
+  int64_t backoff =
+      static_cast<int64_t>(std::max(1, options_.retry_backoff_ms)) << shift;
+  if (options_.max_retry_backoff_ms > 0) {
+    backoff = std::min<int64_t>(backoff, options_.max_retry_backoff_ms);
+  }
+  {
+    // Jitter in [backoff/2, backoff] decorrelates the data threads
+    // hammering one recovering node in lockstep.
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    backoff = rng_.Between(backoff - backoff / 2, backoff);
+  }
+  if (!fetch_deadline.infinite()) {
+    backoff = std::min(backoff, fetch_deadline.remaining_ms());
+  }
+  return backoff;
+}
+
 void NetMerger::ExecuteTask(const std::string& node, const FetchTask& task) {
-  // Transient fetch failures (dropped connection, refused dial) are
-  // retried with exponential backoff, re-dialing each time — a fetch
-  // failure must not fail the ReduceTask the way a map-side fault would.
+  // Transient fetch failures (dropped connection, refused dial, blown
+  // chunk deadline) are retried with capped jittered backoff, re-dialing
+  // each time — a fetch failure must not fail the ReduceTask the way a
+  // map-side fault would. One deadline budgets the whole fetch, retries
+  // included, so a silent peer costs bounded time, not attempts × timeout.
+  const net::Deadline fetch_deadline =
+      net::Deadline::AfterMs(options_.fetch_deadline_ms);
   StatusOr<FetchedSegment> result = Unavailable("not fetched");
   for (int attempt = 0; attempt < options_.max_fetch_attempts; ++attempt) {
+    if (cancelled_.load()) {
+      result = Unavailable("NetMerger stopped");
+      break;
+    }
     if (attempt > 0) {
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.fetch_retries;
       }
-      std::this_thread::sleep_for(std::chrono::milliseconds(
-          options_.retry_backoff_ms << (attempt - 1)));
+      const int64_t backoff = NextBackoffMs(attempt, fetch_deadline);
+      std::unique_lock<std::mutex> lock(sched_mu_);
+      // Interruptible sleep: Stop() must not wait out a backoff.
+      work_cv_.wait_for(lock, std::chrono::milliseconds(backoff),
+                        [&] { return stopping_; });
+      if (stopping_) {
+        result = Unavailable("NetMerger stopped");
+        break;
+      }
     }
+    if (fetch_deadline.expired()) {
+      result = DeadlineExceeded("fetch deadline exhausted for map " +
+                                std::to_string(task.source.map_task));
+      break;
+    }
+    const net::Deadline dial_deadline = net::Deadline::Sooner(
+        fetch_deadline, net::Deadline::AfterMs(options_.connect_timeout_ms));
     if (options_.consolidate) {
-      auto conn =
-          connections_.GetOrConnect(task.source.host, task.source.port);
+      auto conn = connections_.GetOrConnect(task.source.host,
+                                            task.source.port, dial_deadline);
       if (conn.ok()) {
-        result = FetchSegment(**conn, task);
+        result = FetchSegment(**conn, task, fetch_deadline);
         if (!result.ok()) {
           connections_.Invalidate(task.source.host, task.source.port);
         }
@@ -175,20 +278,40 @@ void NetMerger::ExecuteTask(const std::string& node, const FetchTask& task) {
       }
     } else {
       // Ablation / Hadoop-style: a fresh connection per fetch.
-      auto conn =
-          options_.transport->Connect(task.source.host, task.source.port);
+      auto conn = options_.transport->Connect(
+          task.source.host, task.source.port, dial_deadline);
       if (conn.ok()) {
+        net::Connection* raw = conn->get();
+        bool raced_stop = false;
+        {
+          std::lock_guard<std::mutex> lock(inflight_mu_);
+          if (cancelled_.load()) {
+            raced_stop = true;
+          } else {
+            inflight_conns_.insert(raw);
+          }
+        }
+        if (raced_stop) {
+          (*conn)->Close();
+          result = Unavailable("NetMerger stopped");
+          break;
+        }
         {
           std::lock_guard<std::mutex> lock(stats_mu_);
           ++stats_.connections_opened;
         }
-        result = FetchSegment(**conn, task);
+        result = FetchSegment(**conn, task, fetch_deadline);
+        {
+          std::lock_guard<std::mutex> lock(inflight_mu_);
+          inflight_conns_.erase(raw);
+        }
         (*conn)->Close();
       } else {
         result = conn.status();
       }
     }
     if (result.ok()) break;
+    if (cancelled_.load()) break;
     // Permanent errors (the server answered with kFetchError) don't heal
     // with retries.
     if (result.status().code() == StatusCode::kIoError &&
@@ -201,7 +324,8 @@ void NetMerger::ExecuteTask(const std::string& node, const FetchTask& task) {
 }
 
 StatusOr<NetMerger::FetchedSegment> NetMerger::FetchSegment(
-    net::Connection& conn, const FetchTask& task) {
+    net::Connection& conn, const FetchTask& task,
+    const net::Deadline& deadline) {
   FetchedSegment fetched;
   std::vector<uint8_t>& segment = fetched.bytes;
   // Per-chunk counters accumulate locally and fold into stats_ once per
@@ -210,19 +334,27 @@ StatusOr<NetMerger::FetchedSegment> NetMerger::FetchSegment(
   uint64_t local_chunks = 0;
   uint64_t local_bytes = 0;
 
+  // Each wire operation gets the tighter of the fetch budget and the
+  // per-chunk timeout; the chunk clock restarts per operation, so a slow
+  // *peer* trips it but a long multi-chunk segment does not.
+  const auto op_deadline = [&] {
+    return net::Deadline::Sooner(
+        deadline, net::Deadline::AfterMs(options_.chunk_timeout_ms));
+  };
+
   const auto send_request = [&](uint64_t offset) -> Status {
     FetchRequest request;
     request.map_task = task.source.map_task;
     request.partition = task.partition;
     request.offset = offset;
     request.max_len = static_cast<uint32_t>(options_.chunk_size);
-    return conn.Send(EncodeRequest(request));
+    return conn.Send(EncodeRequest(request), op_deadline());
   };
   // Receives one data reply, validating it continues the segment at
   // `expect_offset`; appends the payload and returns its size.
   const auto receive_chunk = [&](uint64_t expect_offset,
                                  uint64_t* total) -> StatusOr<uint64_t> {
-    auto reply = conn.Receive();
+    auto reply = conn.Receive(op_deadline());
     JBS_RETURN_IF_ERROR(reply.status());
     if (reply->type == kFetchError) {
       auto error = DecodeError(*reply);
@@ -299,8 +431,12 @@ void NetMerger::CompleteTask(const FetchTask& task,
     context->segments[task.source.map_task] = std::move(result).value();
   } else {
     if (context->error.ok()) context->error = result.status();
-    std::lock_guard<std::mutex> slock(stats_mu_);
-    ++stats_.fetch_errors;
+    if (!cancelled_.load()) {
+      // Tasks drained by Stop() aren't fetch failures; count only fetches
+      // that genuinely exhausted their attempts.
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.fetch_errors;
+    }
   }
   --context->remaining;
   if (context->remaining == 0) context->done_cv.notify_all();

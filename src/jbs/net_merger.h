@@ -6,8 +6,15 @@
 // any one ReduceTask's burst from monopolizing the network. Fetched
 // segments stay in memory and feed the network-levitated merge — no
 // reduce-side spill.
+//
+// Every wire operation is deadline-bounded: a fetch gets one time budget
+// covering all retry attempts, each dial and each chunk round trip may be
+// bounded tighter, and Stop() cancels everything in flight — queued and
+// executing fetches complete with kUnavailable, so no FetchAndMerge caller
+// is left blocked on a silent peer.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <map>
@@ -15,8 +22,10 @@
 #include <set>
 #include <thread>
 
+#include "common/rng.h"
 #include "mapred/shuffle.h"
 #include "transport/connection_manager.h"
+#include "transport/deadline.h"
 #include "transport/transport.h"
 
 namespace jbs::shuffle {
@@ -33,7 +42,15 @@ class NetMerger final : public mr::ShuffleClient {
     bool consolidate = true;   // ablation: false = connection per fetch
     bool round_robin = true;   // ablation: false = drain nodes in key order
     int max_fetch_attempts = 3;      // transient-failure retries per fetch
-    int retry_backoff_ms = 20;       // doubled per attempt
+    int retry_backoff_ms = 20;       // doubled per attempt, jittered
+    int max_retry_backoff_ms = 2000;  // backoff ceiling (0 = uncapped)
+    int64_t fetch_deadline_ms = 0;   // budget for one fetch incl. retries
+                                     // (0 = unbounded)
+    int64_t connect_timeout_ms = 0;  // per-dial bound (0 = unbounded)
+    int64_t chunk_timeout_ms = 0;    // per chunk round trip (0 = unbounded)
+    int64_t connection_idle_ms = 0;  // evict cached connections idle this
+                                     // long (0 = LRU only)
+    uint64_t backoff_jitter_seed = 0x6A6274735F6E6D32ull;  // deterministic
     size_t merge_fan_in = 0;  // >0: hierarchical merge with this fan-in
                               // (the follow-up paper's [22] tree merge);
                               // 0 = flat network-levitated merge
@@ -45,6 +62,9 @@ class NetMerger final : public mr::ShuffleClient {
   StatusOr<std::unique_ptr<mr::RecordStream>> FetchAndMerge(
       int partition, const std::vector<mr::MofLocation>& sources) override;
 
+  /// Cancels all fetch work and joins the data threads. Queued and
+  /// in-flight fetches fail with kUnavailable, so every FetchAndMerge
+  /// caller — including ones blocked on a silent peer — returns promptly.
   void Stop() override;
   Stats stats() const override;
 
@@ -58,6 +78,10 @@ class NetMerger final : public mr::ShuffleClient {
     uint64_t fetch_retries = 0;     // transient failures that were retried
   };
   MergerStats merger_stats() const;
+
+  /// Remote nodes with queued (not yet claimed) fetch tasks. Drained
+  /// nodes are removed, so an idle merger reports 0.
+  size_t pending_node_count() const;
 
  private:
   /// A fully fetched segment plus how to interpret it.
@@ -90,20 +114,36 @@ class NetMerger final : public mr::ShuffleClient {
   /// round-robin policy. Blocks until work exists or shutdown.
   bool NextTask(std::string* node, FetchTask* task);
   void ExecuteTask(const std::string& node, const FetchTask& task);
-  /// Runs the chunked fetch conversation; returns the segment.
+  /// Runs the chunked fetch conversation; returns the segment. Each chunk
+  /// round trip is bounded by the sooner of `deadline` and the per-chunk
+  /// timeout.
   StatusOr<FetchedSegment> FetchSegment(net::Connection& conn,
-                                        const FetchTask& task);
+                                        const FetchTask& task,
+                                        const net::Deadline& deadline);
   void CompleteTask(const FetchTask& task, StatusOr<FetchedSegment> result);
+  /// Capped, jittered exponential backoff for retry `attempt` (>= 1),
+  /// clamped so the sleep never overruns the fetch deadline.
+  int64_t NextBackoffMs(int attempt, const net::Deadline& fetch_deadline);
 
   Options options_;
   net::ConnectionManager connections_;
 
-  std::mutex sched_mu_;
+  mutable std::mutex sched_mu_;
   std::condition_variable work_cv_;
   std::map<std::string, std::deque<FetchTask>> node_queues_;
   std::set<std::string> busy_nodes_;
   std::string rr_last_;  // last node serviced (round-robin pointer)
   bool stopping_ = false;
+  std::atomic<bool> cancelled_{false};
+
+  // Ablation-mode (consolidate = false) connections aren't in the
+  // connection manager, so Stop() closes them through this set to wake
+  // any data thread blocked mid-conversation.
+  std::mutex inflight_mu_;
+  std::set<net::Connection*> inflight_conns_;
+
+  std::mutex rng_mu_;
+  Rng rng_;
 
   std::vector<std::thread> workers_;
   mutable std::mutex stats_mu_;

@@ -43,6 +43,10 @@ JbsShufflePlugin::Options JbsShufflePlugin::OptionsFromConfig(
       static_cast<size_t>(conf.GetInt("jbs.netmerger.merge.fanin", 0));
   options.consolidate = conf.GetBool("jbs.netmerger.consolidate", true);
   options.round_robin = conf.GetBool("jbs.netmerger.roundrobin", true);
+  options.fetch_deadline_ms = conf.GetInt(conf::kFetchDeadlineMs, 0);
+  options.connect_timeout_ms = conf.GetInt(conf::kConnectTimeoutMs, 0);
+  options.chunk_timeout_ms = conf.GetInt(conf::kChunkTimeoutMs, 0);
+  options.connection_idle_ms = conf.GetInt(conf::kConnectionIdleMs, 0);
   return options;
 }
 
@@ -74,6 +78,10 @@ std::unique_ptr<mr::ShuffleClient> JbsShufflePlugin::CreateClient(
   nopts.consolidate = options_.consolidate;
   nopts.round_robin = options_.round_robin;
   nopts.merge_fan_in = options_.merge_fan_in;
+  nopts.fetch_deadline_ms = options_.fetch_deadline_ms;
+  nopts.connect_timeout_ms = options_.connect_timeout_ms;
+  nopts.chunk_timeout_ms = options_.chunk_timeout_ms;
+  nopts.connection_idle_ms = options_.connection_idle_ms;
   return std::make_unique<NetMerger>(nopts);
 }
 

@@ -31,6 +31,10 @@ struct JbsOptions {
   bool consolidate = true;  // NetMerger connection consolidation
   bool round_robin = true;  // NetMerger balanced injection
   size_t merge_fan_in = 0;  // >0 enables the hierarchical merge [22]
+  int64_t fetch_deadline_ms = 0;   // per-fetch budget incl. retries (0=off)
+  int64_t connect_timeout_ms = 0;  // per-dial bound (0=off)
+  int64_t chunk_timeout_ms = 0;    // per chunk round trip (0=off)
+  int64_t connection_idle_ms = 0;  // cached-connection staleness (0=off)
 };
 
 class JbsShufflePlugin final : public mr::ShufflePlugin {

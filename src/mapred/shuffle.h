@@ -58,6 +58,10 @@ class ShuffleClient {
   virtual StatusOr<std::unique_ptr<RecordStream>> FetchAndMerge(
       int partition, const std::vector<MofLocation>& sources) = 0;
 
+  /// Stops the client and drains: every FetchAndMerge call blocked at the
+  /// time of the call — including ones waiting on an unresponsive peer —
+  /// must return promptly (with kUnavailable), and later calls fail fast.
+  /// Stop() must not wait for in-flight network conversations to finish.
   virtual void Stop() {}
 
   struct Stats {

@@ -2,34 +2,47 @@
 
 namespace jbs::net {
 
-ConnectionManager::ConnectionManager(Transport* transport, size_t capacity)
+ConnectionManager::ConnectionManager(Transport* transport, size_t capacity,
+                                     int64_t idle_timeout_ms)
     : transport_(transport),
       capacity_(capacity),
-      cache_(capacity, [this](const std::string&,
-                              std::shared_ptr<Connection>& conn) {
+      idle_timeout_(std::chrono::milliseconds(
+          idle_timeout_ms > 0 ? idle_timeout_ms : 0)),
+      cache_(capacity, [this](const std::string&, Cached& cached) {
         // Evicted under mu_; shared_ptr keeps in-flight users alive, but
         // the connection is closed so they fail fast and re-dial.
-        conn->Close();
+        cached.conn->Close();
         ++stats_.evictions;
       }) {}
 
+bool ConnectionManager::IdleExpired(const Cached& cached) const {
+  return idle_timeout_.count() > 0 &&
+         std::chrono::steady_clock::now() - cached.last_used > idle_timeout_;
+}
+
 StatusOr<std::shared_ptr<Connection>> ConnectionManager::GetOrConnect(
-    const std::string& host, uint16_t port) {
+    const std::string& host, uint16_t port, const Deadline& deadline) {
   const std::string key = Key(host, port);
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return Unavailable("connection manager shut down");
     if (auto* cached = cache_.Get(key)) {
-      if ((*cached)->alive()) {
+      if (cached->conn->alive() && !IdleExpired(*cached)) {
         ++stats_.hits;
-        return *cached;
+        cached->last_used = std::chrono::steady_clock::now();
+        return cached->conn;
       }
+      // Dead, or cached-but-stale: re-dial rather than burn the caller's
+      // deadline discovering the staleness one failed I/O at a time.
+      if (cached->conn->alive()) ++stats_.idle_evictions;
+      cached->conn->Close();
       cache_.Erase(key);
     }
     ++stats_.misses;
   }
   // Dial outside the lock: connection setup can be slow (especially RDMA)
   // and must not serialize all other lookups.
-  auto conn = transport_->Connect(host, port);
+  auto conn = transport_->Connect(host, port, deadline);
   if (!conn.ok()) {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.dial_failures;
@@ -37,14 +50,20 @@ StatusOr<std::shared_ptr<Connection>> ConnectionManager::GetOrConnect(
   }
   std::shared_ptr<Connection> shared = std::move(conn).value();
   std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) {
+    // Stop() raced our dial; the fresh connection must not outlive it.
+    shared->Close();
+    return Unavailable("connection manager shut down");
+  }
   // A racing dial may have beaten us; prefer the existing live one.
   if (auto* cached = cache_.Get(key)) {
-    if ((*cached)->alive()) {
+    if (cached->conn->alive()) {
       shared->Close();
-      return *cached;
+      cached->last_used = std::chrono::steady_clock::now();
+      return cached->conn;
     }
   }
-  cache_.Put(key, shared);
+  cache_.Put(key, Cached{shared, std::chrono::steady_clock::now()});
   return shared;
 }
 
@@ -52,13 +71,19 @@ void ConnectionManager::Invalidate(const std::string& host, uint16_t port) {
   std::lock_guard<std::mutex> lock(mu_);
   const std::string key = Key(host, port);
   if (auto* cached = cache_.Get(key)) {
-    (*cached)->Close();
+    cached->conn->Close();
     cache_.Erase(key);
   }
 }
 
 void ConnectionManager::CloseAll() {
   std::lock_guard<std::mutex> lock(mu_);
+  cache_.Clear();
+}
+
+void ConnectionManager::Shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_ = true;
   cache_.Clear();
 }
 

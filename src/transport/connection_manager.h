@@ -3,8 +3,14 @@
 // for reuse by default. We allow a maximum of 512 active connections. When
 // this threshold is reached, connections are torn down based on the LRU
 // order." Shared by the TCP path (§IV-B uses the same 512 threshold).
+//
+// Long-lived cached connections go stale (peer restarted, NAT mapping
+// expired) without the socket observing it; an optional idle timeout
+// tears down connections unused for that long, so a fetch re-dials
+// instead of burning its deadline on a dead wire.
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -18,13 +24,18 @@ class ConnectionManager {
  public:
   static constexpr size_t kDefaultCapacity = 512;
 
-  ConnectionManager(Transport* transport, size_t capacity = kDefaultCapacity);
+  /// `idle_timeout_ms > 0` evicts cached connections not used for that
+  /// long (checked on lookup); 0 keeps connections until LRU eviction.
+  ConnectionManager(Transport* transport, size_t capacity = kDefaultCapacity,
+                    int64_t idle_timeout_ms = 0);
 
-  /// Returns a cached live connection to host:port, or dials a new one.
-  /// The first fetch request to a node triggers connection establishment;
-  /// later requests reuse it.
-  StatusOr<std::shared_ptr<Connection>> GetOrConnect(const std::string& host,
-                                                     uint16_t port);
+  /// Returns a cached live connection to host:port, or dials a new one
+  /// (bounded by `deadline`). The first fetch request to a node triggers
+  /// connection establishment; later requests reuse it. After Shutdown()
+  /// every call fails fast with kUnavailable.
+  StatusOr<std::shared_ptr<Connection>> GetOrConnect(
+      const std::string& host, uint16_t port,
+      const Deadline& deadline = Deadline());
 
   /// Drops a connection (e.g. after an I/O error) so the next request
   /// re-establishes it.
@@ -33,25 +44,40 @@ class ConnectionManager {
   /// Closes everything.
   void CloseAll();
 
+  /// Closes everything and fails all future GetOrConnect calls — the
+  /// cancellation half of NetMerger::Stop(). Closing wakes any thread
+  /// blocked in Send/Receive on a cached connection.
+  void Shutdown();
+
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
     uint64_t dial_failures = 0;
+    uint64_t idle_evictions = 0;
   };
   Stats stats() const;
   size_t active_connections() const;
   size_t capacity() const { return capacity_; }
 
  private:
+  struct Cached {
+    std::shared_ptr<Connection> conn;
+    std::chrono::steady_clock::time_point last_used;
+  };
+
   static std::string Key(const std::string& host, uint16_t port) {
     return host + ":" + std::to_string(port);
   }
 
+  bool IdleExpired(const Cached& cached) const;
+
   Transport* transport_;
   size_t capacity_;
+  std::chrono::milliseconds idle_timeout_;
   mutable std::mutex mu_;
-  LruCache<std::string, std::shared_ptr<Connection>> cache_;
+  bool shutdown_ = false;
+  LruCache<std::string, Cached> cache_;
   Stats stats_;
 };
 

@@ -1,0 +1,74 @@
+// Deadline: an absolute time bound threaded through the transport and
+// shuffle client so no wire operation can block forever. A default-
+// constructed (infinite) deadline preserves the old blocking behavior;
+// a finite one makes Connect/Send/Receive return kDeadlineExceeded once
+// the bound passes. Deadlines compose by taking the sooner of two bounds
+// (e.g. a per-chunk timeout inside a per-fetch budget).
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+namespace jbs::net {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Never expires; operations block as long as the peer is alive.
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+
+  static Deadline At(Clock::time_point when) { return Deadline(when); }
+
+  static Deadline After(std::chrono::milliseconds ms) {
+    return Deadline(Clock::now() + ms);
+  }
+
+  /// `ms <= 0` means no bound (infinite), matching the config convention
+  /// where 0 disables a timeout knob.
+  static Deadline AfterMs(int64_t ms) {
+    if (ms <= 0) return Infinite();
+    return After(std::chrono::milliseconds(ms));
+  }
+
+  bool infinite() const { return infinite_; }
+
+  bool expired() const { return !infinite_ && Clock::now() >= when_; }
+
+  Clock::time_point time() const { return when_; }
+
+  /// Milliseconds until expiry, clamped to >= 0. Infinite deadlines report
+  /// a large positive value; callers should check infinite() first.
+  int64_t remaining_ms() const {
+    if (infinite_) return INT64_MAX;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        when_ - Clock::now());
+    return std::max<int64_t>(0, left.count());
+  }
+
+  /// Timeout argument for poll(2): -1 blocks indefinitely; a finite
+  /// deadline clamps into [0, INT_MAX].
+  int poll_timeout_ms() const {
+    if (infinite_) return -1;
+    const int64_t left = remaining_ms();
+    return static_cast<int>(std::min<int64_t>(left, INT32_MAX));
+  }
+
+  /// The tighter of the two bounds.
+  static Deadline Sooner(const Deadline& a, const Deadline& b) {
+    if (a.infinite_) return b;
+    if (b.infinite_) return a;
+    return Deadline(std::min(a.when_, b.when_));
+  }
+
+ private:
+  explicit Deadline(Clock::time_point when) : infinite_(false), when_(when) {}
+
+  bool infinite_ = true;
+  Clock::time_point when_{};
+};
+
+}  // namespace jbs::net

@@ -1,27 +1,54 @@
 #include "transport/fault_injection.h"
 
+#include <chrono>
+#include <thread>
+
 namespace jbs::net {
 
 class FaultInjectingTransport::FlakyConnection final : public Connection {
  public:
-  FlakyConnection(std::unique_ptr<Connection> inner, int break_after,
-                  std::atomic<int>* broken_counter)
+  FlakyConnection(std::unique_ptr<Connection> inner,
+                  FaultInjectingTransport* owner, int break_after)
       : inner_(std::move(inner)),
-        sends_left_(break_after),
-        broken_counter_(broken_counter) {}
+        owner_(owner),
+        hole_(owner->blackhole_),
+        sends_left_(break_after) {}
 
-  Status Send(const Frame& frame) override {
+  Status Send(const Frame& frame, const Deadline& deadline) override {
     if (sends_left_ > 0 && sends_left_.fetch_sub(1) == 1) {
-      broken_counter_->fetch_add(1);
+      owner_->connections_broken_.fetch_add(1);
       inner_->Close();
       return Unavailable("injected connection break");
     }
     if (!inner_->alive()) return Unavailable("connection broken");
-    return inner_->Send(frame);
+    return inner_->Send(frame, deadline);
   }
 
-  StatusOr<Frame> Receive() override { return inner_->Receive(); }
-  void Close() override { inner_->Close(); }
+  StatusOr<Frame> Receive(const Deadline& deadline) override {
+    if (TakeToken(owner_->blackholed_receives_)) {
+      owner_->receives_blackholed_.fetch_add(1);
+      Status parked = Park(deadline, "injected silent peer");
+      if (!parked.ok()) return parked;
+      // Released: behave like a peer that finally woke up.
+    } else if (TakeToken(owner_->delayed_receives_)) {
+      owner_->receives_delayed_.fetch_add(1);
+      const auto delay =
+          std::chrono::milliseconds(owner_->receive_delay_ms_.load());
+      const Deadline nap = Deadline::Sooner(deadline, Deadline::After(delay));
+      std::this_thread::sleep_until(nap.time());
+      if (deadline.expired()) {
+        return DeadlineExceeded("injected slow peer");
+      }
+    }
+    return inner_->Receive(deadline);
+  }
+
+  void Close() override {
+    closed_.store(true);
+    inner_->Close();
+    hole_->cv.notify_all();  // wake a Receive parked in a blackhole
+  }
+
   bool alive() const override { return inner_->alive(); }
   uint64_t bytes_sent() const override { return inner_->bytes_sent(); }
   uint64_t bytes_received() const override {
@@ -29,29 +56,76 @@ class FaultInjectingTransport::FlakyConnection final : public Connection {
   }
 
  private:
+  /// Blocks like a silent peer. Ok() when released; otherwise the error
+  /// the caller should report.
+  Status Park(const Deadline& deadline, const char* what) {
+    std::unique_lock<std::mutex> lock(hole_->mu);
+    const uint64_t gen = hole_->release_gen;
+    const auto woken = [&] {
+      return closed_.load() || hole_->release_gen != gen;
+    };
+    if (deadline.infinite()) {
+      hole_->cv.wait(lock, woken);
+    } else {
+      hole_->cv.wait_until(lock, deadline.time(), woken);
+    }
+    if (closed_.load()) return Unavailable("connection closed");
+    if (hole_->release_gen != gen) return Status::Ok();
+    return DeadlineExceeded(what);
+  }
+
   std::unique_ptr<Connection> inner_;
+  FaultInjectingTransport* owner_;
+  std::shared_ptr<Blackhole> hole_;
   std::atomic<int> sends_left_;
-  std::atomic<int>* broken_counter_;
+  std::atomic<bool> closed_{false};
 };
 
-StatusOr<std::unique_ptr<Connection>> FaultInjectingTransport::Connect(
-    const std::string& host, uint16_t port) {
-  connects_attempted_.fetch_add(1);
-  int expected = failing_connects_.load();
+bool FaultInjectingTransport::TakeToken(std::atomic<int>& counter) {
+  int expected = counter.load();
   while (expected > 0) {
-    if (failing_connects_.compare_exchange_weak(expected, expected - 1)) {
-      connects_failed_.fetch_add(1);
-      return Unavailable("injected connect failure");
+    if (counter.compare_exchange_weak(expected, expected - 1)) return true;
+  }
+  return false;
+}
+
+void FaultInjectingTransport::ReleaseBlackholes() {
+  {
+    std::lock_guard<std::mutex> lock(blackhole_->mu);
+    ++blackhole_->release_gen;
+  }
+  blackhole_->cv.notify_all();
+}
+
+StatusOr<std::unique_ptr<Connection>> FaultInjectingTransport::Connect(
+    const std::string& host, uint16_t port, const Deadline& deadline) {
+  connects_attempted_.fetch_add(1);
+  if (TakeToken(failing_connects_)) {
+    connects_failed_.fetch_add(1);
+    return Unavailable("injected connect failure");
+  }
+  if (TakeToken(blackholed_connects_)) {
+    connects_blackholed_.fetch_add(1);
+    std::unique_lock<std::mutex> lock(blackhole_->mu);
+    const uint64_t gen = blackhole_->release_gen;
+    const auto woken = [&] { return blackhole_->release_gen != gen; };
+    if (deadline.infinite()) {
+      blackhole_->cv.wait(lock, woken);
+    } else {
+      blackhole_->cv.wait_until(lock, deadline.time(), woken);
     }
+    if (blackhole_->release_gen == gen) {
+      connects_failed_.fetch_add(1);
+      return DeadlineExceeded("injected connect blackhole");
+    }
+    // Released: fall through to a real dial.
   }
-  auto conn = inner_->Connect(host, port);
+  auto conn = inner_->Connect(host, port, deadline);
   JBS_RETURN_IF_ERROR(conn.status());
-  const int break_after = break_after_sends_.load();
-  if (break_after > 0) {
-    return std::unique_ptr<Connection>(std::make_unique<FlakyConnection>(
-        std::move(conn).value(), break_after, &connections_broken_));
-  }
-  return conn;
+  // Always wrap: blackhole/delay modes may be armed after this connection
+  // is established (a live connection can turn into a silent peer later).
+  return std::unique_ptr<Connection>(std::make_unique<FlakyConnection>(
+      std::move(conn).value(), this, break_after_sends_.load()));
 }
 
 }  // namespace jbs::net

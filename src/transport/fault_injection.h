@@ -1,11 +1,14 @@
 // Deterministic fault injection around any Transport: scripted connect
-// failures and mid-conversation connection drops. Used by the fault-
-// tolerance tests and the failure-injection benches; in production code
+// failures, mid-conversation connection drops, delayed receives, and
+// blackholed (silent-peer) receives/connects. Used by the fault-tolerance
+// and deadline tests and the failure-injection benches; in production code
 // the wrapper is simply not installed.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 
 #include "transport/transport.h"
 
@@ -26,26 +29,73 @@ class FaultInjectingTransport final : public Transport {
     break_after_sends_.store(sends);
   }
 
+  /// The next `n` Receive() calls stall `ms` milliseconds before
+  /// delegating — a slow peer. A receive whose deadline expires during the
+  /// stall fails with kDeadlineExceeded without consuming wire data.
+  void DelayNextReceives(int ms, int n) {
+    receive_delay_ms_.store(ms);
+    delayed_receives_.store(n);
+  }
+
+  /// The next `n` Receive() calls behave like a peer that accepted the
+  /// connection and went silent: they block until the deadline expires
+  /// (kDeadlineExceeded), the connection is closed (kUnavailable), or
+  /// ReleaseBlackholes() is called (then delegate normally).
+  void BlackholeNextReceives(int n) { blackholed_receives_.store(n); }
+
+  /// The next `n` Connect() calls hang like a dial to a dead-but-routed
+  /// host: block until the deadline expires (kDeadlineExceeded) or
+  /// ReleaseBlackholes() is called (then dial normally).
+  void BlackholeNextConnects(int n) { blackholed_connects_.store(n); }
+
+  /// Wakes every operation currently parked in a blackhole and lets it
+  /// proceed normally. Pending (unconsumed) blackhole tokens stay armed.
+  void ReleaseBlackholes();
+
   int connects_attempted() const { return connects_attempted_.load(); }
   int connects_failed() const { return connects_failed_.load(); }
   int connections_broken() const { return connections_broken_.load(); }
+  int receives_delayed() const { return receives_delayed_.load(); }
+  int receives_blackholed() const { return receives_blackholed_.load(); }
+  int connects_blackholed() const { return connects_blackholed_.load(); }
 
   StatusOr<std::unique_ptr<ServerEndpoint>> CreateServer() override {
     return inner_->CreateServer();
   }
 
-  StatusOr<std::unique_ptr<Connection>> Connect(const std::string& host,
-                                                uint16_t port) override;
+  using Transport::Connect;
+  StatusOr<std::unique_ptr<Connection>> Connect(
+      const std::string& host, uint16_t port,
+      const Deadline& deadline) override;
 
  private:
   class FlakyConnection;
 
+  /// Shared park bench for blackholed operations: they wait here for a
+  /// deadline, a connection close, or a release broadcast.
+  struct Blackhole {
+    std::mutex mu;
+    std::condition_variable cv;
+    uint64_t release_gen = 0;
+  };
+
+  /// Atomically consumes one token from `counter` if any remain.
+  static bool TakeToken(std::atomic<int>& counter);
+
   Transport* inner_;
+  std::shared_ptr<Blackhole> blackhole_ = std::make_shared<Blackhole>();
   std::atomic<int> failing_connects_{0};
   std::atomic<int> break_after_sends_{0};
+  std::atomic<int> receive_delay_ms_{0};
+  std::atomic<int> delayed_receives_{0};
+  std::atomic<int> blackholed_receives_{0};
+  std::atomic<int> blackholed_connects_{0};
   std::atomic<int> connects_attempted_{0};
   std::atomic<int> connects_failed_{0};
   std::atomic<int> connections_broken_{0};
+  std::atomic<int> receives_delayed_{0};
+  std::atomic<int> receives_blackholed_{0};
+  std::atomic<int> connects_blackholed_{0};
 };
 
 }  // namespace jbs::net

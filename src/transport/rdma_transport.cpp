@@ -75,23 +75,32 @@ class RdmaConnection final : public Connection {
 
   ~RdmaConnection() override { Close(); }
 
-  Status Send(const Frame& frame) override {
+  Status Send(const Frame& frame, const Deadline& deadline) override {
     if (frame.payload.size() > ring_->buffer_size()) {
       return InvalidArgument("frame exceeds transport buffer size");
     }
     std::lock_guard<std::mutex> lock(send_mu_);
     JBS_RETURN_IF_ERROR(
         qp_->PostSend(next_send_wr_++, frame.type, frame.payload));
-    auto wc = send_cq_->WaitPoll();
-    if (!wc || wc->status != WcStatus::kSuccess) {
+    auto wc = send_cq_->WaitPoll(deadline);
+    if (!wc) {
+      if (deadline.expired()) return DeadlineExceeded("send completion wait");
+      return Unavailable("send completion failed");
+    }
+    if (wc->status != WcStatus::kSuccess) {
       return Unavailable("send completion failed");
     }
     return Status::Ok();
   }
 
-  StatusOr<Frame> Receive() override {
-    auto wc = recv_cq_->WaitPoll();
-    if (!wc) return Unavailable("connection shut down");
+  StatusOr<Frame> Receive(const Deadline& deadline) override {
+    auto wc = recv_cq_->WaitPoll(deadline);
+    if (!wc) {
+      if (deadline.expired()) {
+        return DeadlineExceeded("receive completion wait");
+      }
+      return Unavailable("connection shut down");
+    }
     if (wc->status == WcStatus::kFlushed) {
       return Unavailable("peer closed");
     }
@@ -345,13 +354,15 @@ class SoftRdmaTransport final : public Transport {
         std::make_unique<RdmaServerEndpoint>(options_));
   }
 
-  StatusOr<std::unique_ptr<Connection>> Connect(const std::string& host,
-                                                uint16_t port) override {
+  using Transport::Connect;
+  StatusOr<std::unique_ptr<Connection>> Connect(
+      const std::string& host, uint16_t port,
+      const Deadline& deadline) override {
     auto pd = std::make_unique<ProtectionDomain>();
     auto send_cq = std::make_unique<CompletionQueue>();
     auto recv_cq = std::make_unique<CompletionQueue>();
     auto qp = verbs::RdmaConnect(host, port, pd.get(), send_cq.get(),
-                                 recv_cq.get());
+                                 recv_cq.get(), deadline);
     JBS_RETURN_IF_ERROR(qp.status());
     auto ring = std::make_unique<RecvRing>(pd.get(), options_.buffer_size,
                                            options_.buffers_per_connection);

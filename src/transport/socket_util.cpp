@@ -4,6 +4,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -46,7 +47,8 @@ StatusOr<std::pair<Fd, uint16_t>> ListenTcp(uint16_t port, int backlog) {
   return std::make_pair(std::move(fd), ntohs(addr.sin_port));
 }
 
-StatusOr<Fd> ConnectTcp(const std::string& host, uint16_t port) {
+StatusOr<Fd> ConnectTcp(const std::string& host, uint16_t port,
+                        const Deadline& deadline) {
   Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) return IoError(Errno("socket"));
   sockaddr_in addr{};
@@ -55,9 +57,30 @@ StatusOr<Fd> ConnectTcp(const std::string& host, uint16_t port) {
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
     return InvalidArgument("bad address " + host);
   }
-  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    return Unavailable(Errno("connect"));
+  if (deadline.infinite()) {
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      return Unavailable(Errno("connect"));
+    }
+  } else {
+    // Bounded handshake: nonblocking connect, poll for completion, then
+    // restore blocking mode for the framed conversation.
+    JBS_RETURN_IF_ERROR(SetNonBlocking(fd.get()));
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      if (errno != EINPROGRESS) return Unavailable(Errno("connect"));
+      JBS_RETURN_IF_ERROR(WaitWritable(fd.get(), deadline));
+      int err = 0;
+      socklen_t len = sizeof(err);
+      if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+        return IoError(Errno("getsockopt(SO_ERROR)"));
+      }
+      if (err != 0) {
+        errno = err;
+        return Unavailable(Errno("connect"));
+      }
+    }
+    JBS_RETURN_IF_ERROR(SetBlocking(fd.get()));
   }
   const int one = 1;
   ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -73,6 +96,46 @@ Status SetNonBlocking(int fd) {
   return Status::Ok();
 }
 
+Status SetBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return IoError(Errno("fcntl(F_GETFL)"));
+  if (::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK) < 0) {
+    return IoError(Errno("fcntl(F_SETFL)"));
+  }
+  return Status::Ok();
+}
+
+namespace {
+Status WaitFor(int fd, short events, const char* what,
+               const Deadline& deadline) {
+  for (;;) {
+    pollfd pfd{fd, events, 0};
+    const int n = ::poll(&pfd, 1, deadline.poll_timeout_ms());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoError(Errno("poll"));
+    }
+    if (n == 0) {
+      if (deadline.expired()) {
+        return DeadlineExceeded(std::string("deadline waiting for ") + what);
+      }
+      continue;  // spurious zero-timeout wakeup; re-arm with remaining time
+    }
+    // Readable/writable includes POLLERR/POLLHUP: let the following
+    // recv/send observe and report the actual socket error.
+    return Status::Ok();
+  }
+}
+}  // namespace
+
+Status WaitReadable(int fd, const Deadline& deadline) {
+  return WaitFor(fd, POLLIN, "readable", deadline);
+}
+
+Status WaitWritable(int fd, const Deadline& deadline) {
+  return WaitFor(fd, POLLOUT, "writable", deadline);
+}
+
 Status SetNoDelay(int fd) {
   const int one = 1;
   if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
@@ -81,13 +144,17 @@ Status SetNoDelay(int fd) {
   return Status::Ok();
 }
 
-Status SendAll(int fd, std::span<const uint8_t> data) {
+Status SendAll(int fd, std::span<const uint8_t> data,
+               const Deadline& deadline) {
+  const bool bounded = !deadline.infinite();
   size_t sent = 0;
   while (sent < data.size()) {
+    if (bounded) JBS_RETURN_IF_ERROR(WaitWritable(fd, deadline));
     const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
+                             MSG_NOSIGNAL | (bounded ? MSG_DONTWAIT : 0));
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (bounded && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
       return IoError(Errno("send"));
     }
     sent += static_cast<size_t>(n);
@@ -95,13 +162,16 @@ Status SendAll(int fd, std::span<const uint8_t> data) {
   return Status::Ok();
 }
 
-Status RecvAll(int fd, std::span<uint8_t> out) {
+Status RecvAll(int fd, std::span<uint8_t> out, const Deadline& deadline) {
+  const bool bounded = !deadline.infinite();
   size_t received = 0;
   while (received < out.size()) {
-    const ssize_t n = ::recv(fd, out.data() + received,
-                             out.size() - received, 0);
+    if (bounded) JBS_RETURN_IF_ERROR(WaitReadable(fd, deadline));
+    const ssize_t n = ::recv(fd, out.data() + received, out.size() - received,
+                             bounded ? MSG_DONTWAIT : 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (bounded && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
       return IoError(Errno("recv"));
     }
     if (n == 0) {

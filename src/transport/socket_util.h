@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/status.h"
+#include "transport/deadline.h"
 
 namespace jbs::net {
 
@@ -40,20 +41,35 @@ class Fd {
 /// Returns the fd and the bound port.
 StatusOr<std::pair<Fd, uint16_t>> ListenTcp(uint16_t port, int backlog = 128);
 
-/// Blocking connect to host:port with TCP_NODELAY.
-StatusOr<Fd> ConnectTcp(const std::string& host, uint16_t port);
+/// Connect to host:port with TCP_NODELAY. A finite deadline bounds the
+/// three-way handshake (nonblocking connect + poll) and fails with
+/// kDeadlineExceeded; an infinite one blocks in connect(2).
+StatusOr<Fd> ConnectTcp(const std::string& host, uint16_t port,
+                        const Deadline& deadline = Deadline());
 
 Status SetNonBlocking(int fd);
+Status SetBlocking(int fd);
 
 /// Disables Nagle; required on every message-oriented socket or the
 /// request/response pattern stalls on delayed ACKs.
 Status SetNoDelay(int fd);
 
-/// Writes the whole buffer (blocking fd), retrying on EINTR/partial.
-Status SendAll(int fd, std::span<const uint8_t> data);
+/// Blocks until `fd` is readable (resp. writable), the deadline passes
+/// (kDeadlineExceeded), or the fd errors. poll(2)-based; EINTR retried.
+Status WaitReadable(int fd, const Deadline& deadline);
+Status WaitWritable(int fd, const Deadline& deadline);
+
+/// Writes the whole buffer, retrying on EINTR/partial. With a finite
+/// deadline each write is poll(2)-guarded so a stalled peer (zero window)
+/// fails with kDeadlineExceeded instead of wedging the caller.
+Status SendAll(int fd, std::span<const uint8_t> data,
+               const Deadline& deadline = Deadline());
 
 /// Reads exactly `out.size()` bytes. kUnavailable on clean peer close at a
-/// frame boundary (0 bytes read so far), kIoError otherwise.
-Status RecvAll(int fd, std::span<uint8_t> out);
+/// frame boundary (0 bytes read so far), kIoError otherwise. With a finite
+/// deadline each read is poll(2)-guarded: a silent peer fails with
+/// kDeadlineExceeded instead of blocking forever.
+Status RecvAll(int fd, std::span<uint8_t> out,
+               const Deadline& deadline = Deadline());
 
 }  // namespace jbs::net

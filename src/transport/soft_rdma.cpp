@@ -76,9 +76,19 @@ std::optional<WorkCompletion> CompletionQueue::Poll() {
 }
 
 std::optional<WorkCompletion> CompletionQueue::WaitPoll() {
+  return WaitPoll(Deadline());
+}
+
+std::optional<WorkCompletion> CompletionQueue::WaitPoll(
+    const Deadline& deadline) {
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return shutdown_ || !completions_.empty(); });
-  if (completions_.empty()) return std::nullopt;
+  const auto ready = [&] { return shutdown_ || !completions_.empty(); };
+  if (deadline.infinite()) {
+    cv_.wait(lock, ready);
+  } else if (!cv_.wait_until(lock, deadline.time(), ready)) {
+    return std::nullopt;  // timed out; caller checks deadline.expired()
+  }
+  if (completions_.empty()) return std::nullopt;  // shutdown
   WorkCompletion wc = completions_.front();
   completions_.pop_front();
   return wc;
@@ -469,17 +479,23 @@ StatusOr<std::unique_ptr<QueuePair>> RdmaConnect(const std::string& host,
                                                  uint16_t port,
                                                  ProtectionDomain* pd,
                                                  CompletionQueue* send_cq,
-                                                 CompletionQueue* recv_cq) {
+                                                 CompletionQueue* recv_cq,
+                                                 const Deadline& deadline) {
   // alloc conn + rdma_connect.
-  auto fd = ConnectTcp(host, port);
+  auto fd = ConnectTcp(host, port, deadline);
   JBS_RETURN_IF_ERROR(fd.status());
   std::mutex tmp_mu;
   JBS_RETURN_IF_ERROR(
       SendMessage(fd->get(), tmp_mu, kMsgConnReq, 0, {}));
-  // Block until the accept-reply; a closed socket means rejection.
+  // Block until the accept-reply; a closed socket means rejection, an
+  // expired deadline means the server accepted the TCP dial but never
+  // completed the rdma_cm handshake.
   uint8_t header[6];
-  Status st = RecvAll(fd->get(), header);
-  if (!st.ok()) return Unavailable("connection rejected by server");
+  Status st = RecvAll(fd->get(), header, deadline);
+  if (!st.ok()) {
+    if (st.code() == StatusCode::kDeadlineExceeded) return st;
+    return Unavailable("connection rejected by server");
+  }
   if (header[4] != kMsgConnAccept) {
     return Internal("unexpected handshake reply");
   }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "transport/deadline.h"
 #include "transport/socket_util.h"
 
 namespace jbs::net::verbs {
@@ -76,6 +77,11 @@ class CompletionQueue {
   /// Blocks until a completion arrives or the CQ is shut down.
   std::optional<WorkCompletion> WaitPoll();
 
+  /// Bounded wait: additionally returns nullopt once `deadline` passes
+  /// (the completion-wait analogue of a hardware CQ poll timeout).
+  /// Distinguish timeout from shutdown via deadline.expired().
+  std::optional<WorkCompletion> WaitPoll(const Deadline& deadline);
+
   void Push(WorkCompletion wc);
   void Shutdown();
   size_t depth() const;
@@ -129,7 +135,7 @@ class QueuePair {
   friend class RdmaServer;
   friend StatusOr<std::unique_ptr<QueuePair>> RdmaConnect(
       const std::string&, uint16_t, ProtectionDomain*, CompletionQueue*,
-      CompletionQueue*);
+      CompletionQueue*, const Deadline&);
 
   void ReceiverLoop();
   struct PostedRecv {
@@ -234,11 +240,11 @@ class RdmaServer {
 };
 
 /// Client half of Fig. 6: alloc conn + rdma_connect, blocking until the
-/// accept-reply ("established" on both sides). Returns a ready QP.
-StatusOr<std::unique_ptr<QueuePair>> RdmaConnect(const std::string& host,
-                                                 uint16_t port,
-                                                 ProtectionDomain* pd,
-                                                 CompletionQueue* send_cq,
-                                                 CompletionQueue* recv_cq);
+/// accept-reply ("established" on both sides). Returns a ready QP. A
+/// finite deadline bounds both the TCP dial and the accept-reply wait.
+StatusOr<std::unique_ptr<QueuePair>> RdmaConnect(
+    const std::string& host, uint16_t port, ProtectionDomain* pd,
+    CompletionQueue* send_cq, CompletionQueue* recv_cq,
+    const Deadline& deadline = Deadline());
 
 }  // namespace jbs::net::verbs

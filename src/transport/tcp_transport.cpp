@@ -30,12 +30,12 @@ class TcpConnection final : public Connection {
 
   ~TcpConnection() override { Close(); }
 
-  Status Send(const Frame& frame) override {
+  Status Send(const Frame& frame, const Deadline& deadline) override {
     std::lock_guard<std::mutex> lock(send_mu_);
     if (!alive_) return Unavailable("connection closed");
     wire_.clear();
     EncodeFrame(frame, wire_);
-    Status st = SendAll(fd_.get(), wire_);
+    Status st = SendAll(fd_.get(), wire_, deadline);
     if (!st.ok()) {
       alive_ = false;
       return st;
@@ -44,10 +44,10 @@ class TcpConnection final : public Connection {
     return Status::Ok();
   }
 
-  StatusOr<Frame> Receive() override {
+  StatusOr<Frame> Receive(const Deadline& deadline) override {
     if (!alive_) return Unavailable("connection closed");
     uint8_t header[5];
-    Status st = RecvAll(fd_.get(), header);
+    Status st = RecvAll(fd_.get(), header, deadline);
     if (!st.ok()) {
       alive_ = false;
       return st;
@@ -57,7 +57,7 @@ class TcpConnection final : public Connection {
     frame.type = header[4];
     frame.payload.resize(length);
     if (length > 0) {
-      st = RecvAll(fd_.get(), frame.payload);
+      st = RecvAll(fd_.get(), frame.payload, deadline);
       if (!st.ok()) {
         alive_ = false;
         return st;
@@ -68,9 +68,13 @@ class TcpConnection final : public Connection {
   }
 
   void Close() override {
-    std::lock_guard<std::mutex> lock(send_mu_);
-    alive_ = false;
-    fd_.Reset();
+    // Cancellation-safe: shutdown (not close) so a thread blocked in
+    // Send/Receive wakes with an error immediately. The descriptor itself
+    // stays open until destruction — closing it here would race a
+    // concurrent recv on the fd number.
+    if (alive_.exchange(false)) {
+      if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+    }
   }
 
   bool alive() const override { return alive_; }
@@ -114,13 +118,22 @@ class TcpServerEndpoint final : public ServerEndpoint {
   Status SendAsync(ConnId conn, Frame frame) override {
     auto wire = std::make_shared<std::vector<uint8_t>>();
     EncodeFrame(frame, *wire);
-    loop_.RunInLoop([this, conn, wire] {
+    auto enqueue = [this, conn, wire] {
       auto it = conns_.find(conn);
       if (it == conns_.end()) return;
       it->second.out_queue.push_back(std::move(*wire));
       ++stats_.frames_sent;
       FlushWrites(conn);
-    });
+    };
+    // From the loop thread (e.g. an on_frame handler replying inline) run
+    // synchronously: if the peer half-closed right after its request, the
+    // EOF must find the reply already queued, not parked behind it in the
+    // pending-task list.
+    if (loop_.InLoopThread()) {
+      enqueue();
+    } else {
+      loop_.RunInLoop(std::move(enqueue));
+    }
     return Status::Ok();
   }
 
@@ -143,6 +156,7 @@ class TcpServerEndpoint final : public ServerEndpoint {
     std::deque<std::vector<uint8_t>> out_queue;
     size_t out_offset = 0;  // into front of out_queue
     bool want_write = false;
+    bool peer_half_closed = false;  // client sent FIN; drain replies first
   };
 
   void AcceptReady() {
@@ -202,8 +216,17 @@ class TcpServerEndpoint final : public ServerEndpoint {
         return false;
       }
       if (n == 0) {
-        CloseConn(id);
-        return false;
+        // FIN from the peer. A half-closed client (shutdown(SHUT_WR)) is
+        // still reading: drain the queued replies before closing rather
+        // than dropping them on the floor.
+        if (state.out_queue.empty()) {
+          CloseConn(id);
+          return false;
+        }
+        state.peer_half_closed = true;
+        loop_.Modify(state.fd.get(), /*read=*/false, /*write=*/true);
+        state.want_write = true;
+        return true;
       }
       if (!state.decoder.Feed({chunk, static_cast<size_t>(n)}).ok()) {
         CloseConn(id);
@@ -251,10 +274,16 @@ class TcpServerEndpoint final : public ServerEndpoint {
         state.out_offset = 0;
       }
     }
+    if (state.out_queue.empty() && state.peer_half_closed) {
+      // Replies drained to a half-closed peer: now the connection is done.
+      CloseConn(id);
+      return;
+    }
     const bool need_write = !state.out_queue.empty();
     if (need_write != state.want_write) {
       state.want_write = need_write;
-      loop_.Modify(state.fd.get(), /*read=*/true, /*write=*/need_write);
+      loop_.Modify(state.fd.get(), /*read=*/!state.peer_half_closed,
+                   /*write=*/need_write);
     }
   }
 
@@ -286,9 +315,11 @@ class TcpTransport final : public Transport {
         std::make_unique<TcpServerEndpoint>());
   }
 
-  StatusOr<std::unique_ptr<Connection>> Connect(const std::string& host,
-                                                uint16_t port) override {
-    auto fd = ConnectTcp(host, port);
+  using Transport::Connect;
+  StatusOr<std::unique_ptr<Connection>> Connect(
+      const std::string& host, uint16_t port,
+      const Deadline& deadline) override {
+    auto fd = ConnectTcp(host, port, deadline);
     JBS_RETURN_IF_ERROR(fd.status());
     return std::unique_ptr<Connection>(
         std::make_unique<TcpConnection>(std::move(fd).value()));

@@ -20,6 +20,7 @@
 
 #include "common/framing.h"
 #include "common/status.h"
+#include "transport/deadline.h"
 
 namespace jbs::net {
 
@@ -28,11 +29,23 @@ using ConnId = uint64_t;
 
 /// Client-side connection: framed, blocking. Send is safe from multiple
 /// threads (frames are serialized whole); Receive must have one reader.
+///
+/// Every wire operation takes a Deadline: an infinite one (the overloads
+/// without the argument) blocks until the peer acts or the connection is
+/// closed; a finite one returns kDeadlineExceeded once it passes, leaving
+/// the connection in an indeterminate mid-frame state — callers must treat
+/// a timed-out connection as dead and re-dial.
+///
+/// Close() is cancellation-safe: it may be called from any thread while
+/// another thread is blocked in Send/Receive, and must unblock that thread
+/// promptly (the blocked call fails with kUnavailable).
 class Connection {
  public:
   virtual ~Connection() = default;
-  virtual Status Send(const Frame& frame) = 0;
-  virtual StatusOr<Frame> Receive() = 0;
+  virtual Status Send(const Frame& frame, const Deadline& deadline) = 0;
+  virtual StatusOr<Frame> Receive(const Deadline& deadline) = 0;
+  Status Send(const Frame& frame) { return Send(frame, Deadline()); }
+  StatusOr<Frame> Receive() { return Receive(Deadline()); }
   virtual void Close() = 0;
   virtual bool alive() const = 0;
   /// Bytes moved in each direction (for shuffle accounting).
@@ -80,8 +93,14 @@ class Transport {
   virtual ~Transport() = default;
   virtual std::string name() const = 0;
   virtual StatusOr<std::unique_ptr<ServerEndpoint>> CreateServer() = 0;
+  /// Dials host:port. A finite deadline bounds connection establishment
+  /// (including any handshake) and fails with kDeadlineExceeded.
   virtual StatusOr<std::unique_ptr<Connection>> Connect(
-      const std::string& host, uint16_t port) = 0;
+      const std::string& host, uint16_t port, const Deadline& deadline) = 0;
+  StatusOr<std::unique_ptr<Connection>> Connect(const std::string& host,
+                                                uint16_t port) {
+    return Connect(host, port, Deadline());
+  }
 };
 
 /// Creates the TCP/IP transport (§IV-B).

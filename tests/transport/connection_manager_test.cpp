@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 
 namespace jbs::net {
 namespace {
@@ -13,8 +15,12 @@ class FakeTransport final : public Transport {
   class FakeConnection final : public Connection {
    public:
     explicit FakeConnection(std::atomic<int>* closed) : closed_(closed) {}
-    Status Send(const Frame&) override { return Status::Ok(); }
-    StatusOr<Frame> Receive() override { return Unavailable("fake"); }
+    Status Send(const Frame&, const Deadline&) override {
+      return Status::Ok();
+    }
+    StatusOr<Frame> Receive(const Deadline&) override {
+      return Unavailable("fake");
+    }
     void Close() override {
       if (!dead_.exchange(true)) closed_->fetch_add(1);
     }
@@ -31,8 +37,9 @@ class FakeTransport final : public Transport {
   StatusOr<std::unique_ptr<ServerEndpoint>> CreateServer() override {
     return Internal("not used");
   }
-  StatusOr<std::unique_ptr<Connection>> Connect(const std::string&,
-                                                uint16_t port) override {
+  using Transport::Connect;
+  StatusOr<std::unique_ptr<Connection>> Connect(
+      const std::string&, uint16_t port, const Deadline&) override {
     if (fail_dials) return Unavailable("refused");
     ++dials;
     auto conn = std::make_unique<FakeConnection>(&closed);
@@ -128,6 +135,44 @@ TEST(ConnectionManagerTest, CloseAllEmptiesCache) {
   manager.CloseAll();
   EXPECT_EQ(manager.active_connections(), 0u);
   EXPECT_EQ(transport.closed.load(), 5);
+}
+
+TEST(ConnectionManagerTest, IdleConnectionEvictedAndRedialed) {
+  FakeTransport transport;
+  ConnectionManager manager(&transport, 4, /*idle_timeout_ms=*/1);
+  auto c1 = manager.GetOrConnect("n1", 1);
+  ASSERT_TRUE(c1.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  auto c2 = manager.GetOrConnect("n1", 1);
+  ASSERT_TRUE(c2.ok());
+  EXPECT_NE(c1->get(), c2->get());
+  EXPECT_EQ(transport.dials.load(), 2);
+  EXPECT_EQ(manager.stats().idle_evictions, 1u);
+  EXPECT_FALSE((*c1)->alive());  // stale connection was closed, not leaked
+}
+
+TEST(ConnectionManagerTest, ZeroIdleTimeoutNeverEvictsByAge) {
+  FakeTransport transport;
+  ConnectionManager manager(&transport, 4, /*idle_timeout_ms=*/0);
+  ASSERT_TRUE(manager.GetOrConnect("n1", 1).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_TRUE(manager.GetOrConnect("n1", 1).ok());
+  EXPECT_EQ(transport.dials.load(), 1);
+  EXPECT_EQ(manager.stats().idle_evictions, 0u);
+}
+
+TEST(ConnectionManagerTest, ShutdownClosesAndFailsFast) {
+  FakeTransport transport;
+  ConnectionManager manager(&transport, 4);
+  ASSERT_TRUE(manager.GetOrConnect("n1", 1).ok());
+  ASSERT_TRUE(manager.GetOrConnect("n2", 1).ok());
+  manager.Shutdown();
+  EXPECT_EQ(transport.closed.load(), 2);
+  EXPECT_EQ(manager.active_connections(), 0u);
+  auto result = manager.GetOrConnect("n3", 1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(transport.dials.load(), 2);  // no dial after shutdown
 }
 
 TEST(ConnectionManagerTest, DefaultCapacityIs512) {

@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
 #include <atomic>
 #include <future>
 #include <thread>
 
+#include "common/framing.h"
+#include "transport/socket_util.h"
 #include "transport/transport.h"
 
 namespace jbs::net {
@@ -182,6 +186,48 @@ TEST_F(TcpTransportTest, ByteCountersAdvance) {
   ASSERT_TRUE((*conn)->Receive().ok());
   EXPECT_EQ((*conn)->bytes_sent(), 5u + 5u);  // header + payload
   EXPECT_EQ((*conn)->bytes_received(), 10u);
+  (*server)->Stop();
+}
+
+TEST_F(TcpTransportTest, HalfClosedPeerStillDrainsReplies) {
+  // A client may shutdown(SHUT_WR) after its last request while still
+  // reading replies. The server must drain queued output to the
+  // half-closed peer before tearing the connection down, not treat the
+  // EOF as a full disconnect.
+  auto server = transport_->CreateServer();
+  ASSERT_TRUE(server.ok());
+  ServerEndpoint::Handlers handlers;
+  handlers.on_frame = [&](ConnId conn, Frame frame) {
+    (*server)->SendAsync(conn, std::move(frame));
+  };
+  ASSERT_TRUE((*server)->Start(handlers).ok());
+
+  auto fd = ConnectTcp("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(fd.ok());
+  constexpr int kRequests = 3;
+  std::vector<uint8_t> wire;
+  for (int i = 0; i < kRequests; ++i) {
+    EncodeFrame(MakeFrame(static_cast<uint8_t>(i), "drain me"), wire);
+  }
+  ASSERT_TRUE(SendAll(fd->get(), wire).ok());
+  // Half-close: no more requests, but we still expect every reply.
+  ASSERT_EQ(::shutdown(fd->get(), SHUT_WR), 0);
+
+  FrameDecoder decoder;
+  int got = 0;
+  uint8_t buf[256];
+  while (got < kRequests) {
+    const ssize_t n = ::recv(fd->get(), buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0) << "server closed before draining replies";
+    ASSERT_TRUE(decoder.Feed({buf, static_cast<size_t>(n)}).ok());
+    while (auto frame = decoder.Next()) {
+      EXPECT_EQ(frame->type, static_cast<uint8_t>(got));
+      ++got;
+    }
+  }
+  // After the drain the server closes its side: clean EOF, not a reset.
+  const ssize_t eof = ::recv(fd->get(), buf, sizeof(buf), 0);
+  EXPECT_EQ(eof, 0);
   (*server)->Stop();
 }
 
