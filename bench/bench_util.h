@@ -1,10 +1,14 @@
 // Small shared helpers for the figure-reproduction benches: fixed-width
-// table printing and paper-comparison annotations.
+// table printing, paper-comparison annotations, and metrics exposition
+// dumps (so a bench run doubles as an observability check).
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
+
+#include "common/metrics.h"
 
 namespace jbs::bench {
 
@@ -29,6 +33,22 @@ inline std::string Pct(double baseline, double improved) {
   std::snprintf(buf, sizeof(buf), "%.1f%%",
                 (baseline - improved) / baseline * 100.0);
   return buf;
+}
+
+/// Prints a registry's full Prometheus-style exposition under a banner.
+inline void PrintMetrics(const MetricsRegistry& registry,
+                         const std::string& title) {
+  std::printf("\n--- metrics: %s ---\n%s", title.c_str(),
+              registry.DumpText().c_str());
+}
+
+/// Writes DumpJson() to `path` (for plotting scripts); false on IO error.
+inline bool WriteMetricsJson(const MetricsRegistry& registry,
+                             const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << registry.DumpJson() << "\n";
+  return static_cast<bool>(out);
 }
 
 }  // namespace jbs::bench

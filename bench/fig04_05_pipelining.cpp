@@ -67,10 +67,13 @@ void DropCaches(const std::vector<mr::MofHandle>& handles) {
 }
 
 RunStats RunOnce(const RunConfig& config, net::Transport& transport,
-                 const std::vector<mr::MofHandle>& handles) {
+                 const std::vector<mr::MofHandle>& handles,
+                 MetricsRegistry* metrics = nullptr) {
   DropCaches(handles);
   shuffle::MofSupplier::Options options;
   options.transport = &transport;
+  options.metrics = metrics;  // nullptr = private per-run registry
+  options.instance = "supplier";
   options.buffer_size = 32 * 1024;
   options.buffer_count = 128;
   options.prefetch_batch = 8;
@@ -99,6 +102,8 @@ RunStats RunOnce(const RunConfig& config, net::Transport& transport,
       auto client_transport = net::MakeTcpTransport();
       shuffle::NetMerger::Options merger_options;
       merger_options.transport = client_transport.get();
+      merger_options.metrics = metrics;
+      merger_options.instance = "reducer" + std::to_string(partition);
       merger_options.chunk_size = 32 * 1024 - shuffle::kDataHeaderSize;
       merger_options.data_threads = 1;  // one conversation per reducer:
                                         // stop-and-wait vs window shows
@@ -216,6 +221,15 @@ int main() {
   std::printf("\nbest pipelined (%s) / serialized, median of %d: %.2fx\n",
               best_label, kRepeats,
               serialized_mbs > 0 ? best_mbs / serialized_mbs : 0.0);
+
+  // One extra instrumented run with a shared registry: server and all
+  // reducers publish into one exposition, showing the unified metrics
+  // layer (fetch-latency histograms, cache hit rates, queue depths) that
+  // the sweep's summary table condenses.
+  MetricsRegistry registry;
+  (void)RunOnce(kConfigs[3], *transport, handles, &registry);
+  bench::PrintMetrics(registry, "pipelined 2x4, supplier + 4 reducers");
+
   fs::remove_all(dir);
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <fstream>
 #include <thread>
 
@@ -41,7 +42,28 @@ StatusOr<std::string> ReadHead(int fd) {
 HttpShuffleServer::HttpShuffleServer(Options options)
     : options_(options),
       disk_throttle_(options.penalty.disk_stream_bytes_per_sec),
-      net_throttle_(options.penalty.net_stream_bytes_per_sec) {}
+      net_throttle_(options.penalty.net_stream_bytes_per_sec) {
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  const MetricLabels base = BaseLabels();
+  requests_c_ = metrics_->GetCounter("shuffle_requests_total", base);
+  bytes_served_c_ = metrics_->GetCounter("shuffle_bytes_served_total", base);
+  errors_c_ = metrics_->GetCounter("shuffle_serve_errors_total", base);
+  request_latency_ms_h_ =
+      metrics_->GetHistogram("shuffle_request_latency_ms", base);
+}
+
+MetricLabels HttpShuffleServer::BaseLabels() const {
+  MetricLabels labels{{"server", "httpservlet"}};
+  if (!options_.instance.empty()) {
+    labels.emplace_back("instance", options_.instance);
+  }
+  return labels;
+}
 
 HttpShuffleServer::~HttpShuffleServer() { Stop(); }
 
@@ -82,8 +104,10 @@ void HttpShuffleServer::Stop() {
 }
 
 mr::ShuffleServer::Stats HttpShuffleServer::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  Stats out;
+  out.requests = requests_c_->value();
+  out.bytes_served = bytes_served_c_->value();
+  return out;
 }
 
 void HttpShuffleServer::AcceptLoop() {
@@ -122,6 +146,10 @@ void HttpShuffleServer::HandleConnection(net::Fd conn) {
   for (;;) {
     auto head = ReadHead(conn.get());
     if (!head.ok()) return;
+    // Request clock starts once the head has arrived: measures the
+    // serialized read+transmit service time, same span the MofSupplier
+    // histogram covers (enqueue -> response handed off).
+    const auto request_start = std::chrono::steady_clock::now();
     auto request = ParseRequestHead(*head);
     bool keep_alive = false;
     int status = 500;
@@ -180,11 +208,13 @@ void HttpShuffleServer::HandleConnection(net::Fd conn) {
       net_throttle_.Consume(n);
       if (!net::SendAll(conn.get(), {body.data() + off, n}).ok()) return;
     }
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.requests;
-      stats_.bytes_served += body.size();
-    }
+    requests_c_->Increment();
+    bytes_served_c_->Increment(body.size());
+    if (status != 200) errors_c_->Increment();
+    request_latency_ms_h_->Observe(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - request_start)
+            .count());
     if (!keep_alive) return;
   }
 }
@@ -195,13 +225,39 @@ MofCopierClient::MofCopierClient(Options options)
   if (!options_.spill_dir.empty()) {
     std::filesystem::create_directories(options_.spill_dir);
   }
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  const MetricLabels base = BaseLabels();
+  fetches_c_ = metrics_->GetCounter("shuffle_fetches_total", base);
+  bytes_fetched_c_ = metrics_->GetCounter("shuffle_bytes_fetched_total", base);
+  connections_opened_c_ =
+      metrics_->GetCounter("shuffle_connections_opened_total", base);
+  fetch_errors_c_ = metrics_->GetCounter("shuffle_fetch_errors_total", base);
+  spills_c_ = metrics_->GetCounter("baseline_copier_spills_total", base);
+  fetch_latency_ms_h_ =
+      metrics_->GetHistogram("shuffle_fetch_latency_ms", base);
 }
 
 MofCopierClient::~MofCopierClient() = default;
 
+MetricLabels MofCopierClient::BaseLabels() const {
+  MetricLabels labels{{"client", "mofcopier"}};
+  if (!options_.instance.empty()) {
+    labels.emplace_back("instance", options_.instance);
+  }
+  return labels;
+}
+
 mr::ShuffleClient::Stats MofCopierClient::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  Stats out;
+  out.fetches = fetches_c_->value();
+  out.bytes_fetched = bytes_fetched_c_->value();
+  out.connections_opened = connections_opened_c_->value();
+  return out;
 }
 
 StatusOr<MofCopierClient::FetchedBody> MofCopierClient::FetchOne(
@@ -210,10 +266,7 @@ StatusOr<MofCopierClient::FetchedBody> MofCopierClient::FetchOne(
   // consolidation removes.
   auto fd = net::ConnectTcp(source.host, source.port);
   JBS_RETURN_IF_ERROR(fd.status());
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.connections_opened;
-  }
+  connections_opened_c_->Increment();
   const std::string request = BuildGetRequest(
       "/mapOutput",
       {{"map", std::to_string(source.map_task)},
@@ -242,11 +295,8 @@ StatusOr<MofCopierClient::FetchedBody> MofCopierClient::FetchOne(
     net_throttle_.Consume(n);
     off += n;
   }
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.fetches;
-    stats_.bytes_fetched += body.size();
-  }
+  fetches_c_->Increment();
+  bytes_fetched_c_->Increment(body.size());
   return fetched;
 }
 
@@ -270,6 +320,7 @@ StatusOr<std::unique_ptr<mr::RecordStream>> MofCopierClient::FetchAndMerge(
       copiers.Submit([&, source] {
         // MOFCopiers retry transient fetch failures with backoff before
         // reporting the map output as lost.
+        const auto fetch_start = std::chrono::steady_clock::now();
         StatusOr<FetchedBody> body = Unavailable("not fetched");
         for (int attempt = 0; attempt < options_.max_fetch_attempts;
              ++attempt) {
@@ -282,8 +333,15 @@ StatusOr<std::unique_ptr<mr::RecordStream>> MofCopierClient::FetchAndMerge(
             break;  // 404 is permanent
           }
         }
+        // Same span as NetMerger's fetch-latency series: the whole fetch
+        // including retries, so the two clients compare like for like.
+        fetch_latency_ms_h_->Observe(
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - fetch_start)
+                .count());
         std::lock_guard<std::mutex> lock(results_mu);
         if (!body.ok()) {
+          fetch_errors_c_->Increment();
           if (first_error.ok()) first_error = body.status();
           return;
         }
@@ -306,7 +364,7 @@ StatusOr<std::unique_ptr<mr::RecordStream>> MofCopierClient::FetchAndMerge(
             return;
           }
           fetched.spilled = path;
-          spill_count_.fetch_add(1);
+          spills_c_->Increment();
         } else {
           memory_used.fetch_add(size);
           fetched.in_memory = std::move(body->bytes);

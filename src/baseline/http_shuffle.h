@@ -24,6 +24,7 @@
 #include <thread>
 
 #include "baseline/throttle.h"
+#include "common/metrics.h"
 #include "mapred/shuffle.h"
 #include "transport/socket_util.h"
 
@@ -50,6 +51,11 @@ class HttpShuffleServer final : public mr::ShuffleServer {
   struct Options {
     int servlets = 4;  // concurrent HttpServlet threads
     JvmPenalty penalty;
+    // Observability: shared registry (e.g. the plugin's) or nullptr for a
+    // private one. Publishes the same shuffle_* series as MofSupplier
+    // (server="httpservlet"), so JBS-vs-baseline reads one exposition.
+    MetricsRegistry* metrics = nullptr;
+    std::string instance{};
   };
 
   explicit HttpShuffleServer(Options options);
@@ -61,11 +67,15 @@ class HttpShuffleServer final : public mr::ShuffleServer {
   void Stop() override;
   Stats stats() const override;
 
+  /// The registry this server publishes into (owned or shared).
+  MetricsRegistry& metrics() const { return *metrics_; }
+
  private:
   void AcceptLoop();
   void ServletLoop();
   /// Handles one connection (possibly many keep-alive requests).
   void HandleConnection(net::Fd conn);
+  MetricLabels BaseLabels() const;
 
   Options options_;
   net::Fd listen_fd_;
@@ -81,8 +91,13 @@ class HttpShuffleServer final : public mr::ShuffleServer {
 
   Throttle disk_throttle_;
   Throttle net_throttle_;
-  mutable std::mutex stats_mu_;
-  Stats stats_;
+
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_ = nullptr;
+  MetricCounter* requests_c_ = nullptr;
+  MetricCounter* bytes_served_c_ = nullptr;
+  MetricCounter* errors_c_ = nullptr;
+  MetricHistogram* request_latency_ms_h_ = nullptr;
 };
 
 class MofCopierClient final : public mr::ShuffleClient {
@@ -94,6 +109,11 @@ class MofCopierClient final : public mr::ShuffleClient {
     std::filesystem::path spill_dir;     // required if spilling possible
     int max_fetch_attempts = 3;          // Hadoop fetch retries
     int retry_backoff_ms = 20;
+    // Observability: shared registry (e.g. the plugin's) or nullptr for a
+    // private one. Publishes the same shuffle_* series as NetMerger
+    // (client="mofcopier"), so JBS-vs-baseline reads one exposition.
+    MetricsRegistry* metrics = nullptr;
+    std::string instance{};
   };
 
   explicit MofCopierClient(Options options);
@@ -105,7 +125,10 @@ class MofCopierClient final : public mr::ShuffleClient {
   void Stop() override {}
   Stats stats() const override;
 
-  uint64_t spills() const { return spill_count_.load(); }
+  uint64_t spills() const { return spills_c_->value(); }
+
+  /// The registry this client publishes into (owned or shared).
+  MetricsRegistry& metrics() const { return *metrics_; }
 
  private:
   struct FetchedBody {
@@ -114,13 +137,20 @@ class MofCopierClient final : public mr::ShuffleClient {
   };
   StatusOr<FetchedBody> FetchOne(const mr::MofLocation& source,
                                  int partition);
+  MetricLabels BaseLabels() const;
 
   Options options_;
   Throttle net_throttle_;
-  std::atomic<uint64_t> spill_count_{0};
   std::atomic<uint64_t> spill_seq_{0};
-  mutable std::mutex stats_mu_;
-  Stats stats_;
+
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_ = nullptr;
+  MetricCounter* fetches_c_ = nullptr;
+  MetricCounter* bytes_fetched_c_ = nullptr;
+  MetricCounter* connections_opened_c_ = nullptr;
+  MetricCounter* fetch_errors_c_ = nullptr;
+  MetricCounter* spills_c_ = nullptr;
+  MetricHistogram* fetch_latency_ms_h_ = nullptr;
 };
 
 }  // namespace jbs::baseline

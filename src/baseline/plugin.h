@@ -27,10 +27,12 @@ class HadoopShufflePlugin final : public mr::ShufflePlugin {
   std::string name() const override { return "hadoop-http"; }
 
   std::unique_ptr<mr::ShuffleServer> CreateServer(
-      int /*node*/, const Config& /*conf*/) override {
+      int node, const Config& /*conf*/) override {
     HttpShuffleServer::Options sopts;
     sopts.servlets = options_.servlets;
     sopts.penalty = options_.penalty;
+    sopts.metrics = &metrics_;
+    sopts.instance = "node" + std::to_string(node);
     return std::make_unique<HttpShuffleServer>(sopts);
   }
 
@@ -43,11 +45,19 @@ class HadoopShufflePlugin final : public mr::ShufflePlugin {
     if (!options_.spill_dir.empty()) {
       copts.spill_dir = options_.spill_dir / ("node" + std::to_string(node));
     }
+    copts.metrics = &metrics_;
+    copts.instance = "node" + std::to_string(node);
     return std::make_unique<MofCopierClient>(copts);
   }
 
+  /// Unified observability: every server and copier client this plugin
+  /// creates publishes into this registry, mirroring JbsShufflePlugin so
+  /// benches compare the two from identical expositions.
+  jbs::MetricsRegistry& metrics() { return metrics_; }
+
  private:
   Options options_;
+  jbs::MetricsRegistry metrics_;
 };
 
 }  // namespace jbs::baseline

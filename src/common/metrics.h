@@ -1,0 +1,192 @@
+// Unified shuffle observability: a thread-safe registry of named, labeled
+// counters, gauges, and log2 histograms, plus a fixed-size per-fetch trace
+// ring. The paper's evaluation (Figs. 7-12) is built on fine-grained
+// visibility into the shuffle — per-phase timings, CPU traces, connection
+// counts — so every shuffle component (NetMerger, MofSupplier, the
+// baseline HTTP shuffle, the transports) publishes into one registry and
+// benches/tests read it back via DumpText() (Prometheus-style exposition)
+// or DumpJson().
+//
+// Concurrency model:
+//   - Registration (Get*) takes one sharded lock keyed by (name, labels);
+//     the returned pointer is stable for the registry's lifetime, so hot
+//     paths register once and then increment lock-free.
+//   - Counter/gauge updates are atomics; histogram observations take a
+//     per-histogram mutex (an observation is two streaming updates).
+//   - Dump*() walks the shards and emits deterministically sorted output.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace jbs {
+
+/// Label set for one metric instance, e.g. {{"client", "netmerger"}}.
+/// Order-insensitive: labels are canonicalized (sorted by key) on lookup.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing counter. Increment is lock-free.
+class MetricCounter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time value (queue depth, cache occupancy). Set/Add are
+/// lock-free (CAS loop for the floating-point add).
+class MetricGauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Latency/size distribution: a log2-bucket Histogram plus a Welford
+/// Summary (exact count/sum/mean), both behind one mutex.
+class MetricHistogram {
+ public:
+  void Observe(double value);
+  uint64_t count() const;
+  /// Snapshot copies — safe to read while writers observe.
+  Histogram histogram() const;
+  Summary summary() const;
+
+ private:
+  mutable std::mutex mu_;
+  Histogram histogram_;
+  Summary summary_;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create. The returned pointer stays valid (and keeps
+  /// accumulating) for the registry's lifetime.
+  MetricCounter* GetCounter(std::string_view name, MetricLabels labels = {});
+  MetricGauge* GetGauge(std::string_view name, MetricLabels labels = {});
+  MetricHistogram* GetHistogram(std::string_view name,
+                                MetricLabels labels = {});
+
+  /// Registers a gauge evaluated lazily at dump time (for values owned by
+  /// a component, e.g. a cache's occupancy). `owner` is an opaque token;
+  /// the component MUST call UnregisterCallbacks(owner) before the
+  /// captured state dies, or a later dump reads freed memory.
+  void RegisterCallbackGauge(const void* owner, std::string_view name,
+                             MetricLabels labels, std::function<double()> fn);
+  /// Drops every callback gauge registered with `owner`. Idempotent.
+  void UnregisterCallbacks(const void* owner);
+
+  /// Prometheus-style text exposition, deterministically sorted by
+  /// (name, labels). Histograms emit cumulative _bucket{le=...} lines
+  /// plus _sum and _count.
+  std::string DumpText() const;
+  /// One JSON object: {"counters": [...], "gauges": [...],
+  /// "histograms": [...]}, same deterministic order as DumpText().
+  std::string DumpJson() const;
+
+ private:
+  struct Key {
+    std::string name;
+    MetricLabels labels;  // canonical (sorted by label key)
+    bool operator<(const Key& other) const {
+      if (name != other.name) return name < other.name;
+      return labels < other.labels;
+    }
+  };
+  struct CallbackGauge {
+    const void* owner;
+    std::function<double()> fn;
+  };
+  static constexpr size_t kShards = 16;
+  struct Shard {
+    std::mutex mu;
+    std::map<Key, std::unique_ptr<MetricCounter>> counters;
+    std::map<Key, std::unique_ptr<MetricGauge>> gauges;
+    std::map<Key, std::unique_ptr<MetricHistogram>> histograms;
+    std::map<Key, CallbackGauge> callback_gauges;
+  };
+
+  static Key MakeKey(std::string_view name, MetricLabels labels);
+  Shard& ShardFor(const Key& key);
+  const Shard& ShardFor(const Key& key) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Lifecycle stages of one fetch, in causal order.
+enum class TraceEvent : uint8_t {
+  kQueued = 0,         // task entered a NetMerger node queue
+  kDialed,             // connection established (detail: attempt, 1-based)
+  kRequestSent,        // first chunk request on the wire
+  kChunkReceived,      // one chunk landed (detail: payload bytes)
+  kRetry,              // transient failure, backing off (detail: attempt)
+  kMerged,             // segment complete, handed to the merge
+  kFailed,             // fetch gave up (detail: StatusCode)
+};
+std::string_view TraceEventName(TraceEvent event);
+
+struct TraceEntry {
+  uint64_t fetch_id = 0;
+  TraceEvent event = TraceEvent::kQueued;
+  int64_t t_us = 0;    // monotonic micros since recorder creation
+  int64_t detail = 0;  // event-specific (see TraceEvent)
+};
+
+/// Fixed-size ring buffer of TraceEntry, thread-safe, overwrite-oldest.
+/// Cheap enough to leave always-on: one mutex and a slot write per event.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(size_t capacity = 4096);
+
+  /// Allocates the next fetch id (1-based, monotonic).
+  uint64_t BeginFetch() { return next_fetch_id_.fetch_add(1) + 1; }
+
+  void Record(uint64_t fetch_id, TraceEvent event, int64_t detail = 0);
+
+  /// All retained entries, oldest first.
+  std::vector<TraceEntry> Snapshot() const;
+  /// Retained entries for one fetch, oldest first.
+  std::vector<TraceEntry> ForFetch(uint64_t fetch_id) const;
+  /// Human-readable timeline (one line per entry), for tests and benches.
+  std::string DumpText() const;
+
+  size_t capacity() const { return capacity_; }
+  /// Total entries ever recorded (>= retained count).
+  uint64_t recorded() const;
+  /// Entries overwritten by ring wraparound.
+  uint64_t dropped() const;
+
+ private:
+  const size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<uint64_t> next_fetch_id_{0};
+  mutable std::mutex mu_;
+  std::vector<TraceEntry> ring_;
+  size_t head_ = 0;  // next write slot once the ring is full
+  uint64_t recorded_ = 0;
+};
+
+}  // namespace jbs

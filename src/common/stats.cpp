@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <map>
 
 namespace jbs {
@@ -58,13 +59,25 @@ Histogram::Histogram() : buckets_(kBuckets, 0) {}
 
 namespace {
 int BucketFor(double value) {
+  // Caller guarantees value is finite and >= 0.
   if (value < 1.0) return 0;
   const int exponent = static_cast<int>(std::log2(value));
-  return std::min(exponent + 1, 63);
+  return std::min(exponent + 1, Histogram::kNumBuckets - 1);
 }
 }  // namespace
 
+double Histogram::BucketUpperBound(int i) {
+  return i == 0 ? 1.0 : std::pow(2.0, i);
+}
+
 void Histogram::Add(double value) {
+  if (std::isnan(value)) {
+    // NaN fails every comparison: it would pass the `< 1.0` guard into
+    // log2, where static_cast<int>(NaN) is UB.
+    ++rejected_;
+    return;
+  }
+  value = std::clamp(value, 0.0, std::numeric_limits<double>::max());
   if (total_ == 0) {
     min_ = value;
     max_ = value;
@@ -107,7 +120,10 @@ void TimeSeries::Record(double time_sec, double value) {
 std::vector<TimeSeries::Bin> TimeSeries::Binned(double bin_width_sec) const {
   std::map<int64_t, std::pair<double, uint64_t>> bins;
   for (const Point& p : points_) {
-    const auto idx = static_cast<int64_t>(p.t / bin_width_sec);
+    // floor, not truncation: a cast rounds negative quotients toward zero,
+    // putting pre-epoch-relative timestamps (t in [-w, 0)) into bin 0
+    // instead of bin -1.
+    const auto idx = static_cast<int64_t>(std::floor(p.t / bin_width_sec));
     auto& [sum, n] = bins[idx];
     sum += p.v;
     ++n;

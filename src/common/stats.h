@@ -34,19 +34,33 @@ class Summary {
 };
 
 /// Histogram with log2 buckets; good enough for latency distributions.
+/// Values are clamped to [0, DBL_MAX] before bucketing (negative and -inf
+/// observations land in the first bucket, +inf in the last); NaN is
+/// rejected and counted separately — feeding NaN to log2 and casting the
+/// result to int is UB, and a poisoned min/max would corrupt every later
+/// percentile.
 class Histogram {
  public:
   Histogram();
   void Add(double value);
   uint64_t count() const { return total_; }
+  /// NaN observations dropped by Add().
+  uint64_t rejected() const { return rejected_; }
   /// Approximate percentile (0-100) via bucket interpolation.
   double Percentile(double p) const;
   std::string ToString() const;
 
+  static constexpr int kNumBuckets = 64;
+  /// Exclusive upper bound of bucket `i`: bucket 0 is [0, 1), bucket i>0
+  /// is [2^(i-1), 2^i); the last bucket absorbs everything above.
+  static double BucketUpperBound(int i);
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+
  private:
-  static constexpr int kBuckets = 64;
+  static constexpr int kBuckets = kNumBuckets;
   std::vector<uint64_t> buckets_;
   uint64_t total_ = 0;
+  uint64_t rejected_ = 0;
   double min_ = 0.0;
   double max_ = 0.0;
 };

@@ -36,7 +36,71 @@ MofSupplier::MofSupplier(Options options)
       data_cache_(options.buffer_size, options.buffer_count),
       index_cache_(options.index_cache_entries),
       fd_cache_(std::max<size_t>(1, options.fd_cache_entries)),
-      send_queue_(options.buffer_count) {}
+      send_queue_(options.buffer_count) {
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  // shuffle_* names are shared with the baseline HttpShuffleServer (same
+  // instrumentation, different `server` label) so JBS-vs-baseline
+  // comparisons read one exposition; jbs_mofsupplier_* are JBS-internal.
+  const MetricLabels base = BaseLabels();
+  requests_c_ = metrics_->GetCounter("shuffle_requests_total", base);
+  bytes_served_c_ = metrics_->GetCounter("shuffle_bytes_served_total", base);
+  errors_c_ = metrics_->GetCounter("shuffle_serve_errors_total", base);
+  request_latency_ms_h_ =
+      metrics_->GetHistogram("shuffle_request_latency_ms", base);
+  batches_c_ = metrics_->GetCounter("jbs_mofsupplier_batches_total", base);
+  group_switches_c_ =
+      metrics_->GetCounter("jbs_mofsupplier_group_switches_total", base);
+  disconnect_purges_c_ =
+      metrics_->GetCounter("jbs_mofsupplier_disconnect_purges_total", base);
+}
+
+MetricLabels MofSupplier::BaseLabels() const {
+  MetricLabels labels{{"server", "mofsupplier"}};
+  if (!options_.instance.empty()) {
+    labels.emplace_back("instance", options_.instance);
+  }
+  return labels;
+}
+
+void MofSupplier::RefreshGauges() const {
+  const MetricLabels base = BaseLabels();
+  const auto set = [&](const char* name, double v) {
+    metrics_->GetGauge(name, base)->Set(v);
+  };
+  const FdCache::Stats fd = fd_cache_.stats();
+  set("jbs_mofsupplier_fdcache_hits", static_cast<double>(fd.hits));
+  set("jbs_mofsupplier_fdcache_misses", static_cast<double>(fd.misses));
+  set("jbs_mofsupplier_fdcache_evictions", static_cast<double>(fd.evictions));
+  set("jbs_mofsupplier_fdcache_open_failures",
+      static_cast<double>(fd.open_failures));
+  const IndexCache::Stats index = index_cache_.stats();
+  set("jbs_mofsupplier_indexcache_hits", static_cast<double>(index.hits));
+  set("jbs_mofsupplier_indexcache_misses", static_cast<double>(index.misses));
+  // DataCache occupancy: buffers checked out by the disk stage or waiting
+  // in the send queue.
+  set("jbs_mofsupplier_datacache_buffers_total",
+      static_cast<double>(data_cache_.capacity()));
+  set("jbs_mofsupplier_datacache_buffers_in_use",
+      static_cast<double>(data_cache_.capacity() - data_cache_.available()));
+  set("jbs_mofsupplier_send_queue_depth",
+      static_cast<double>(send_queue_.size()));
+  set("jbs_mofsupplier_pending_groups",
+      static_cast<double>(pending_group_count()));
+  if (endpoint_) {
+    const net::ServerEndpoint::Stats ep = endpoint_->stats();
+    set("jbs_mofsupplier_endpoint_bytes_sent",
+        static_cast<double>(ep.bytes_sent));
+    set("jbs_mofsupplier_endpoint_send_queue_depth",
+        static_cast<double>(ep.send_queue_depth));
+    set("jbs_mofsupplier_endpoint_connections_accepted",
+        static_cast<double>(ep.connections_accepted));
+  }
+}
 
 MofSupplier::~MofSupplier() { Stop(); }
 
@@ -93,13 +157,13 @@ void MofSupplier::Stop() {
   send_queue_.Close();
   if (send_thread_.joinable()) send_thread_.join();
   if (endpoint_) endpoint_->Stop();
+  RefreshGauges();
 }
 
 mr::ShuffleServer::Stats MofSupplier::stats() const {
   Stats out;
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  out.requests = stats_.requests;
-  out.bytes_served = stats_.bytes_served;
+  out.requests = requests_c_->value();
+  out.bytes_served = bytes_served_c_->value();
   return out;
 }
 
@@ -109,10 +173,18 @@ size_t MofSupplier::pending_group_count() const {
 }
 
 MofSupplier::SupplierStats MofSupplier::supplier_stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  SupplierStats out = stats_;
+  // Thin view over the registry counters.
+  RefreshGauges();
+  SupplierStats out;
+  out.requests = requests_c_->value();
+  out.bytes_served = bytes_served_c_->value();
+  out.batches = batches_c_->value();
+  out.group_switches = group_switches_c_->value();
+  out.errors = errors_c_->value();
+  out.disconnect_purges = disconnect_purges_c_->value();
   out.index = index_cache_.stats();
   out.fd = fd_cache_.stats();
+  out.request_latency_ms = request_latency_ms_h_->summary();
   return out;
 }
 
@@ -123,10 +195,7 @@ void MofSupplier::OnFrame(net::ConnId conn, Frame frame) {
              << static_cast<int>(frame.type);
     return;
   }
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.requests;
-  }
+  requests_c_->Increment();
   PendingRequest pending{conn, *request, std::chrono::steady_clock::now()};
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -170,10 +239,7 @@ void MofSupplier::OnDisconnect(net::ConnId conn) {
       it = queue.empty() ? groups_.erase(it) : std::next(it);
     }
   }
-  if (purged > 0) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.disconnect_purges += purged;
-  }
+  if (purged > 0) disconnect_purges_c_->Increment(purged);
   // Requests already checked out by a disk thread or sitting in the send
   // queue still flow through; their SendAsync fails against the dead
   // ConnId and is counted as an error.
@@ -217,10 +283,7 @@ void MofSupplier::DiskLoop() {
   std::vector<PendingRequest> batch;
   int group_key = 0;
   while (NextBatch(&batch, &group_key)) {
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.batches;
-    }
+    batches_c_->Increment();
     for (const PendingRequest& pending : batch) {
       if (options_.pipelined) {
         PrefetchOne(pending);
@@ -281,9 +344,9 @@ bool MofSupplier::ResolveRequest(
   header->segment_total = entry.length;
   header->flags = index->compressed() ? kSegmentCompressed : 0;
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    std::lock_guard<std::mutex> lock(last_served_mu_);
     if (last_served_mof_ != request.map_task) {
-      ++stats_.group_switches;
+      group_switches_c_->Increment();
       last_served_mof_ = request.map_task;
     }
   }
@@ -369,8 +432,7 @@ void MofSupplier::SendLoop() {
   while (auto ready = send_queue_.Pop()) {
     if (ready->is_error) {
       endpoint_->SendAsync(ready->conn, EncodeError(ready->error));
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.errors;
+      errors_c_->Increment();
       continue;
     }
     Frame frame = EncodeData(
@@ -382,12 +444,11 @@ void MofSupplier::SendLoop() {
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - ready->enqueued)
             .count();
-    std::lock_guard<std::mutex> lock(stats_mu_);
     if (st.ok()) {
-      stats_.bytes_served += chunk;
-      stats_.request_latency_ms.Add(latency_ms);
+      bytes_served_c_->Increment(chunk);
+      request_latency_ms_h_->Observe(latency_ms);
     } else {
-      ++stats_.errors;
+      errors_c_->Increment();
     }
   }
 }
@@ -422,12 +483,11 @@ void MofSupplier::ServeInline(const PendingRequest& pending) {
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - pending.enqueued)
           .count();
-  std::lock_guard<std::mutex> lock(stats_mu_);
   if (st.ok()) {
-    stats_.bytes_served += chunk;
-    stats_.request_latency_ms.Add(latency_ms);
+    bytes_served_c_->Increment(chunk);
+    request_latency_ms_h_->Observe(latency_ms);
   } else {
-    ++stats_.errors;
+    errors_c_->Increment();
   }
 }
 
@@ -451,8 +511,7 @@ void MofSupplier::SendErrorNow(net::ConnId conn, const FetchRequest& request,
   error.partition = request.partition;
   error.message = message;
   endpoint_->SendAsync(conn, EncodeError(error));
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ++stats_.errors;
+  errors_c_->Increment();
 }
 
 }  // namespace jbs::shuffle

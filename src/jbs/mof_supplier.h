@@ -32,6 +32,7 @@
 #include "common/blocking_queue.h"
 #include "common/buffer_pool.h"
 #include "common/fd_cache.h"
+#include "common/metrics.h"
 #include "common/stats.h"
 #include "jbs/index_cache.h"
 #include "jbs/protocol.h"
@@ -62,6 +63,12 @@ class MofSupplier final : public mr::ShuffleServer {
     // default) disables the model entirely.
     double disk_bytes_per_sec = 0;
     double disk_seek_ms = 0;
+    // Observability: a shared MetricsRegistry (e.g. the plugin's, so
+    // client and server publish into one exposition), or nullptr for a
+    // private one owned by this supplier. `instance` distinguishes
+    // per-instance gauges when the registry is shared.
+    MetricsRegistry* metrics = nullptr;
+    std::string instance{};
   };
 
   explicit MofSupplier(Options options);
@@ -73,6 +80,9 @@ class MofSupplier final : public mr::ShuffleServer {
   void Stop() override;
   Stats stats() const override;
 
+  /// Legacy stats view, now a thin read of the MetricsRegistry counters —
+  /// kept so existing callers (tests, benches) don't have to learn metric
+  /// names.
   struct SupplierStats {
     uint64_t requests = 0;
     uint64_t bytes_served = 0;
@@ -86,6 +96,9 @@ class MofSupplier final : public mr::ShuffleServer {
     Summary request_latency_ms;    // enqueue -> response handed to transport
   };
   SupplierStats supplier_stats() const;
+
+  /// The registry this supplier publishes into (owned or shared).
+  MetricsRegistry& metrics() const { return *metrics_; }
 
   /// Live request-group queues. Drained groups are erased eagerly, so this
   /// returns to 0 between bursts instead of growing with finished maps.
@@ -143,12 +156,31 @@ class MofSupplier final : public mr::ShuffleServer {
   /// Sleeps for the modeled disk time of a pread (see
   /// Options::disk_seek_ms); no-op when the model is disabled.
   void ChargeDiskModel(int fd, uint64_t offset, size_t bytes);
+  /// Labels shared by all of this supplier's metrics.
+  MetricLabels BaseLabels() const;
+  /// Re-exports component-owned values (cache hit counters, DataCache
+  /// occupancy, send-queue depth, endpoint byte counts) as push gauges.
+  /// Called from the stats accessors and Stop(), so dumps taken after
+  /// shutdown still carry final values.
+  void RefreshGauges() const;
 
   Options options_;
   std::unique_ptr<net::ServerEndpoint> endpoint_;
   BufferPool data_cache_;
   IndexCache index_cache_;
   FdCache fd_cache_;
+
+  // Observability plumbing: pointers into metrics_ (never null; falls back
+  // to the owned registry when options don't share one).
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_ = nullptr;
+  MetricCounter* requests_c_ = nullptr;
+  MetricCounter* bytes_served_c_ = nullptr;
+  MetricCounter* batches_c_ = nullptr;
+  MetricCounter* group_switches_c_ = nullptr;
+  MetricCounter* errors_c_ = nullptr;
+  MetricCounter* disconnect_purges_c_ = nullptr;
+  MetricHistogram* request_latency_ms_h_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
@@ -161,6 +193,9 @@ class MofSupplier final : public mr::ShuffleServer {
   std::set<int> busy_groups_;  // groups checked out by a disk thread
   int rr_last_ = INT_MIN;      // round-robin pointer (last group served)
   bool stopping_ = false;
+
+  // group_switches detection only; all counters live in the registry.
+  mutable std::mutex last_served_mu_;
   int last_served_mof_ = -1;
 
   // Calibrated-disk model state: a token bucket serializing modeled disk
@@ -172,9 +207,6 @@ class MofSupplier final : public mr::ShuffleServer {
   std::vector<std::thread> disk_threads_;
   std::thread send_thread_;
   BlockingQueue<ReadyReply> send_queue_;
-
-  mutable std::mutex stats_mu_;
-  SupplierStats stats_;
 };
 
 }  // namespace jbs::shuffle

@@ -13,10 +13,72 @@ NetMerger::NetMerger(Options options)
       connections_(options.transport, options.connection_cache_capacity,
                    options.connection_idle_ms),
       rng_(options.backoff_jitter_seed) {
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  if (options_.trace != nullptr) {
+    trace_ = options_.trace;
+  } else {
+    owned_trace_ = std::make_unique<TraceRecorder>(options_.trace_capacity);
+    trace_ = owned_trace_.get();
+  }
+  // shuffle_* names are shared with the baseline MofCopierClient (same
+  // instrumentation, different `client` label) so JBS-vs-baseline
+  // comparisons read one exposition; jbs_netmerger_* are JBS-internal.
+  const MetricLabels base = BaseLabels();
+  fetches_c_ = metrics_->GetCounter("shuffle_fetches_total", base);
+  bytes_fetched_c_ = metrics_->GetCounter("shuffle_bytes_fetched_total", base);
+  connections_opened_c_ =
+      metrics_->GetCounter("shuffle_connections_opened_total", base);
+  fetch_errors_c_ = metrics_->GetCounter("shuffle_fetch_errors_total", base);
+  fetch_latency_ms_h_ =
+      metrics_->GetHistogram("shuffle_fetch_latency_ms", base);
+  chunks_c_ = metrics_->GetCounter("jbs_netmerger_chunks_total", base);
+  node_switches_c_ =
+      metrics_->GetCounter("jbs_netmerger_node_switches_total", base);
+  fetch_retries_c_ =
+      metrics_->GetCounter("jbs_netmerger_fetch_retries_total", base);
+  deadline_expiries_c_ =
+      metrics_->GetCounter("jbs_netmerger_deadline_expiries_total", base);
+  fetch_attempts_h_ =
+      metrics_->GetHistogram("jbs_netmerger_fetch_attempts", base);
   workers_.reserve(static_cast<size_t>(options_.data_threads));
   for (int i = 0; i < options_.data_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+}
+
+MetricLabels NetMerger::BaseLabels() const {
+  MetricLabels labels{{"client", "netmerger"}};
+  if (!options_.instance.empty()) {
+    labels.emplace_back("instance", options_.instance);
+  }
+  return labels;
+}
+
+void NetMerger::SetQueueDepth(const std::string& node, size_t depth) {
+  MetricLabels labels = BaseLabels();
+  labels.emplace_back("node", node);
+  metrics_->GetGauge("jbs_netmerger_queue_depth", std::move(labels))
+      ->Set(static_cast<double>(depth));
+}
+
+void NetMerger::RefreshConnectionGauges() const {
+  const net::ConnectionManager::Stats cs = connections_.stats();
+  const MetricLabels base = BaseLabels();
+  const auto set = [&](const char* name, double v) {
+    metrics_->GetGauge(name, base)->Set(v);
+  };
+  set("jbs_connmgr_hits", static_cast<double>(cs.hits));
+  set("jbs_connmgr_misses", static_cast<double>(cs.misses));
+  set("jbs_connmgr_evictions", static_cast<double>(cs.evictions));
+  set("jbs_connmgr_dial_failures", static_cast<double>(cs.dial_failures));
+  set("jbs_connmgr_idle_evictions", static_cast<double>(cs.idle_evictions));
+  set("jbs_connmgr_active_connections",
+      static_cast<double>(connections_.active_connections()));
 }
 
 NetMerger::~NetMerger() { Stop(); }
@@ -47,10 +109,12 @@ void NetMerger::Stop() {
     for (FetchTask& task : queue) {
       CompleteTask(task, Unavailable("NetMerger stopped"));
     }
+    SetQueueDepth(node, 0);
   }
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
+  RefreshConnectionGauges();
 }
 
 mr::ShuffleClient::Stats NetMerger::stats() const {
@@ -63,14 +127,25 @@ mr::ShuffleClient::Stats NetMerger::stats() const {
 }
 
 NetMerger::MergerStats NetMerger::merger_stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  MergerStats out = stats_;
-  // Consolidated dials are counted by the connection manager; ablation-mode
-  // per-fetch dials are counted directly in stats_. A cache miss whose dial
-  // failed never opened a connection, so failures don't count.
-  const net::ConnectionManager::Stats cs = connections_.stats();
-  out.connections_opened += cs.misses - cs.dial_failures;
+  // Thin view over the registry counters. connections_opened is counted
+  // at the dial site in both modes (the manager reports whether a
+  // GetOrConnect actually dialed), so manager-routed dials are never
+  // double-counted against the old misses-derived estimate.
+  RefreshConnectionGauges();
+  MergerStats out;
+  out.fetches = fetches_c_->value();
+  out.chunks = chunks_c_->value();
+  out.bytes_fetched = bytes_fetched_c_->value();
+  out.connections_opened = connections_opened_c_->value();
+  out.node_switches = node_switches_c_->value();
+  out.fetch_errors = fetch_errors_c_->value();
+  out.fetch_retries = fetch_retries_c_->value();
+  out.deadline_expiries = deadline_expiries_c_->value();
   return out;
+}
+
+net::ConnectionManager::Stats NetMerger::connection_stats() const {
+  return connections_.stats();
 }
 
 size_t NetMerger::pending_node_count() const {
@@ -113,8 +188,12 @@ StatusOr<std::unique_ptr<mr::RecordStream>> NetMerger::FetchAndMerge(
     // Consolidation: requests are grouped by target node, ordered by
     // arrival within each group.
     for (const mr::MofLocation* source : unique) {
-      node_queues_[NodeKey(*source)].push_back(
-          FetchTask{*source, partition, context});
+      const uint64_t fetch_id = trace_->BeginFetch();
+      trace_->Record(fetch_id, TraceEvent::kQueued, source->map_task);
+      const std::string node = NodeKey(*source);
+      auto& queue = node_queues_[node];
+      queue.push_back(FetchTask{*source, partition, fetch_id, context});
+      SetQueueDepth(node, queue.size());
     }
   }
   work_cv_.notify_all();
@@ -158,6 +237,7 @@ bool NetMerger::NextTask(std::string* node, FetchTask* task) {
       queue.pop_front();
       busy_nodes_.insert(key);
       if (options_.round_robin) rr_last_ = key;
+      SetQueueDepth(key, queue.size());
       // Erase drained queues: otherwise node_queues_ keeps one tombstone
       // entry per remote node ever fetched from for the job's lifetime.
       // (*node is the surviving copy; `key` dangles after the erase.)
@@ -192,8 +272,7 @@ void NetMerger::WorkerLoop() {
   std::string last_node;
   while (NextTask(&node, &task)) {
     if (node != last_node && !last_node.empty()) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.node_switches;
+      node_switches_c_->Increment();
     }
     last_node = node;
     ExecuteTask(node, task);
@@ -237,17 +316,18 @@ void NetMerger::ExecuteTask(const std::string& node, const FetchTask& task) {
   // included, so a silent peer costs bounded time, not attempts × timeout.
   const net::Deadline fetch_deadline =
       net::Deadline::AfterMs(options_.fetch_deadline_ms);
+  const auto fetch_start = std::chrono::steady_clock::now();
+  int attempts_used = 0;
   StatusOr<FetchedSegment> result = Unavailable("not fetched");
   for (int attempt = 0; attempt < options_.max_fetch_attempts; ++attempt) {
+    attempts_used = attempt + 1;
     if (cancelled_.load()) {
       result = Unavailable("NetMerger stopped");
       break;
     }
     if (attempt > 0) {
-      {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.fetch_retries;
-      }
+      fetch_retries_c_->Increment();
+      trace_->Record(task.fetch_id, TraceEvent::kRetry, attempt);
       const int64_t backoff = NextBackoffMs(attempt, fetch_deadline);
       std::unique_lock<std::mutex> lock(sched_mu_);
       // Interruptible sleep: Stop() must not wait out a backoff.
@@ -259,6 +339,7 @@ void NetMerger::ExecuteTask(const std::string& node, const FetchTask& task) {
       }
     }
     if (fetch_deadline.expired()) {
+      deadline_expiries_c_->Increment();
       result = DeadlineExceeded("fetch deadline exhausted for map " +
                                 std::to_string(task.source.map_task));
       break;
@@ -266,9 +347,15 @@ void NetMerger::ExecuteTask(const std::string& node, const FetchTask& task) {
     const net::Deadline dial_deadline = net::Deadline::Sooner(
         fetch_deadline, net::Deadline::AfterMs(options_.connect_timeout_ms));
     if (options_.consolidate) {
-      auto conn = connections_.GetOrConnect(task.source.host,
-                                            task.source.port, dial_deadline);
+      bool dialed = false;
+      auto conn = connections_.GetOrConnect(
+          task.source.host, task.source.port, dial_deadline, &dialed);
+      // The manager is the sole authority on whether this lookup opened a
+      // connection; counting here (not from the manager's miss counter)
+      // keeps one increment per dial across both modes.
+      if (dialed) connections_opened_c_->Increment();
       if (conn.ok()) {
+        trace_->Record(task.fetch_id, TraceEvent::kDialed, attempt + 1);
         result = FetchSegment(**conn, task, fetch_deadline);
         if (!result.ok()) {
           connections_.Invalidate(task.source.host, task.source.port);
@@ -296,10 +383,8 @@ void NetMerger::ExecuteTask(const std::string& node, const FetchTask& task) {
           result = Unavailable("NetMerger stopped");
           break;
         }
-        {
-          std::lock_guard<std::mutex> lock(stats_mu_);
-          ++stats_.connections_opened;
-        }
+        connections_opened_c_->Increment();
+        trace_->Record(task.fetch_id, TraceEvent::kDialed, attempt + 1);
         result = FetchSegment(**conn, task, fetch_deadline);
         {
           std::lock_guard<std::mutex> lock(inflight_mu_);
@@ -320,6 +405,11 @@ void NetMerger::ExecuteTask(const std::string& node, const FetchTask& task) {
     }
   }
   (void)node;
+  const double latency_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - fetch_start)
+                                .count();
+  fetch_latency_ms_h_->Observe(latency_ms);
+  fetch_attempts_h_->Observe(static_cast<double>(attempts_used));
   CompleteTask(task, std::move(result));
 }
 
@@ -328,9 +418,9 @@ StatusOr<NetMerger::FetchedSegment> NetMerger::FetchSegment(
     const net::Deadline& deadline) {
   FetchedSegment fetched;
   std::vector<uint8_t>& segment = fetched.bytes;
-  // Per-chunk counters accumulate locally and fold into stats_ once per
-  // segment, so a multi-chunk fetch takes one stats lock, not one per
-  // round trip.
+  // Per-chunk counters accumulate locally and fold into the registry once
+  // per segment, so a multi-chunk fetch issues one atomic add per counter,
+  // not one per round trip.
   uint64_t local_chunks = 0;
   uint64_t local_bytes = 0;
 
@@ -374,6 +464,8 @@ StatusOr<NetMerger::FetchedSegment> NetMerger::FetchSegment(
     segment.insert(segment.end(), data.begin(), data.end());
     ++local_chunks;
     local_bytes += data.size();
+    trace_->Record(task.fetch_id, TraceEvent::kChunkReceived,
+                   static_cast<int64_t>(data.size()));
     return static_cast<uint64_t>(data.size());
   };
 
@@ -381,6 +473,7 @@ StatusOr<NetMerger::FetchedSegment> NetMerger::FetchSegment(
   // is reserved once instead of reallocating per chunk) and the server's
   // chunk stride (the server may cap below our chunk_size ask).
   JBS_RETURN_IF_ERROR(send_request(0));
+  trace_->Record(task.fetch_id, TraceEvent::kRequestSent);
   uint64_t total = 0;
   auto first = receive_chunk(0, &total);
   JBS_RETURN_IF_ERROR(first.status());
@@ -414,12 +507,9 @@ StatusOr<NetMerger::FetchedSegment> NetMerger::FetchSegment(
       }
     }
   }
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.chunks += local_chunks;
-    stats_.bytes_fetched += local_bytes;
-    ++stats_.fetches;
-  }
+  chunks_c_->Increment(local_chunks);
+  bytes_fetched_c_->Increment(local_bytes);
+  fetches_c_->Increment();
   return fetched;
 }
 
@@ -428,14 +518,17 @@ void NetMerger::CompleteTask(const FetchTask& task,
   std::shared_ptr<CallContext> context = task.context;
   std::lock_guard<std::mutex> lock(context->mu);
   if (result.ok()) {
+    trace_->Record(task.fetch_id, TraceEvent::kMerged,
+                   static_cast<int64_t>(result->bytes.size()));
     context->segments[task.source.map_task] = std::move(result).value();
   } else {
+    trace_->Record(task.fetch_id, TraceEvent::kFailed,
+                   static_cast<int64_t>(result.status().code()));
     if (context->error.ok()) context->error = result.status();
     if (!cancelled_.load()) {
       // Tasks drained by Stop() aren't fetch failures; count only fetches
       // that genuinely exhausted their attempts.
-      std::lock_guard<std::mutex> slock(stats_mu_);
-      ++stats_.fetch_errors;
+      fetch_errors_c_->Increment();
     }
   }
   --context->remaining;

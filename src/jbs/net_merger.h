@@ -22,6 +22,7 @@
 #include <set>
 #include <thread>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "mapred/shuffle.h"
 #include "transport/connection_manager.h"
@@ -54,6 +55,14 @@ class NetMerger final : public mr::ShuffleClient {
     size_t merge_fan_in = 0;  // >0: hierarchical merge with this fan-in
                               // (the follow-up paper's [22] tree merge);
                               // 0 = flat network-levitated merge
+    // Observability: a shared MetricsRegistry / TraceRecorder (e.g. the
+    // plugin's, so client and server publish into one exposition), or
+    // nullptr for a private one owned by this merger. `instance`
+    // distinguishes per-instance gauges when the registry is shared.
+    MetricsRegistry* metrics = nullptr;
+    TraceRecorder* trace = nullptr;
+    size_t trace_capacity = 4096;  // private-recorder ring size
+    std::string instance{};
   };
 
   explicit NetMerger(Options options);
@@ -68,6 +77,9 @@ class NetMerger final : public mr::ShuffleClient {
   void Stop() override;
   Stats stats() const override;
 
+  /// Legacy stats view, now a thin read of the MetricsRegistry counters —
+  /// kept so existing callers (tests, benches) don't have to learn metric
+  /// names.
   struct MergerStats {
     uint64_t fetches = 0;           // segments fetched
     uint64_t chunks = 0;            // fetch round trips
@@ -76,8 +88,20 @@ class NetMerger final : public mr::ShuffleClient {
     uint64_t node_switches = 0;     // scheduler moved to a different node
     uint64_t fetch_errors = 0;      // fetches that exhausted all attempts
     uint64_t fetch_retries = 0;     // transient failures that were retried
+    uint64_t deadline_expiries = 0; // fetches that blew their time budget
   };
   MergerStats merger_stats() const;
+
+  /// Connection-cache counters (hits/misses/evictions/dial failures) from
+  /// the underlying manager — the raw series merger_stats() used to derive
+  /// connections_opened from, now exposed so tests can lock the
+  /// no-double-count invariant.
+  net::ConnectionManager::Stats connection_stats() const;
+
+  /// The registry this merger publishes into (owned or shared).
+  MetricsRegistry& metrics() const { return *metrics_; }
+  /// Per-fetch lifecycle timeline (owned or shared).
+  TraceRecorder& trace() const { return *trace_; }
 
   /// Remote nodes with queued (not yet claimed) fetch tasks. Drained
   /// nodes are removed, so an idle merger reports 0.
@@ -102,6 +126,7 @@ class NetMerger final : public mr::ShuffleClient {
   struct FetchTask {
     mr::MofLocation source;
     int partition = 0;
+    uint64_t fetch_id = 0;  // TraceRecorder id for this fetch's timeline
     std::shared_ptr<CallContext> context;
   };
 
@@ -124,9 +149,35 @@ class NetMerger final : public mr::ShuffleClient {
   /// Capped, jittered exponential backoff for retry `attempt` (>= 1),
   /// clamped so the sleep never overruns the fetch deadline.
   int64_t NextBackoffMs(int attempt, const net::Deadline& fetch_deadline);
+  /// Labels shared by all of this merger's metrics.
+  MetricLabels BaseLabels() const;
+  /// Publishes `depth` for the node's queue-depth gauge. Caller holds
+  /// sched_mu_ (the registry lock is a leaf, so nesting is safe).
+  void SetQueueDepth(const std::string& node, size_t depth);
+  /// Re-exports the connection-manager counters as gauges (they're owned
+  /// by the manager, not the registry). Called from the stats accessors
+  /// and Stop(), so dumps taken after shutdown still carry final values.
+  void RefreshConnectionGauges() const;
 
   Options options_;
   net::ConnectionManager connections_;
+
+  // Observability plumbing: pointers into metrics_ (never null; falls back
+  // to the owned registry/recorder when options don't share one).
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_ = nullptr;
+  std::unique_ptr<TraceRecorder> owned_trace_;
+  TraceRecorder* trace_ = nullptr;
+  MetricCounter* fetches_c_ = nullptr;
+  MetricCounter* chunks_c_ = nullptr;
+  MetricCounter* bytes_fetched_c_ = nullptr;
+  MetricCounter* connections_opened_c_ = nullptr;
+  MetricCounter* node_switches_c_ = nullptr;
+  MetricCounter* fetch_errors_c_ = nullptr;
+  MetricCounter* fetch_retries_c_ = nullptr;
+  MetricCounter* deadline_expiries_c_ = nullptr;
+  MetricHistogram* fetch_latency_ms_h_ = nullptr;
+  MetricHistogram* fetch_attempts_h_ = nullptr;
 
   mutable std::mutex sched_mu_;
   std::condition_variable work_cv_;
@@ -146,8 +197,6 @@ class NetMerger final : public mr::ShuffleClient {
   Rng rng_;
 
   std::vector<std::thread> workers_;
-  mutable std::mutex stats_mu_;
-  MergerStats stats_;
 };
 
 }  // namespace jbs::shuffle

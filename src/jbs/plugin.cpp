@@ -55,9 +55,11 @@ std::string JbsShufflePlugin::name() const {
 }
 
 std::unique_ptr<mr::ShuffleServer> JbsShufflePlugin::CreateServer(
-    int /*node*/, const Config& /*conf*/) {
+    int node, const Config& /*conf*/) {
   MofSupplier::Options sopts;
   sopts.transport = transport_.get();
+  sopts.metrics = &metrics_;
+  sopts.instance = "node" + std::to_string(node);
   sopts.buffer_size = options_.buffer_size;
   sopts.buffer_count = options_.buffer_count;
   sopts.prefetch_batch = options_.prefetch_batch;
@@ -68,9 +70,12 @@ std::unique_ptr<mr::ShuffleServer> JbsShufflePlugin::CreateServer(
 }
 
 std::unique_ptr<mr::ShuffleClient> JbsShufflePlugin::CreateClient(
-    int /*node*/, const Config& /*conf*/) {
+    int node, const Config& /*conf*/) {
   NetMerger::Options nopts;
   nopts.transport = transport_.get();
+  nopts.metrics = &metrics_;
+  nopts.trace = &trace_;
+  nopts.instance = "node" + std::to_string(node);
   nopts.data_threads = options_.data_threads;
   nopts.chunk_size = options_.buffer_size - kDataHeaderSize;
   nopts.fetch_window = options_.fetch_window;

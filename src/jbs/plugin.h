@@ -54,8 +54,17 @@ class JbsShufflePlugin final : public mr::ShufflePlugin {
 
   net::Transport* transport() { return transport_.get(); }
 
+  /// Unified observability: every supplier and merger this plugin creates
+  /// publishes into this registry (gauges carry an `instance="nodeN"`
+  /// label) and this per-fetch trace ring, so one DumpText() shows the
+  /// whole job's shuffle.
+  MetricsRegistry& metrics() { return metrics_; }
+  TraceRecorder& trace() { return trace_; }
+
  private:
   Options options_;
+  MetricsRegistry metrics_;
+  TraceRecorder trace_{16384};
   std::unique_ptr<net::Transport> transport_;
 };
 

@@ -21,7 +21,9 @@ bool ConnectionManager::IdleExpired(const Cached& cached) const {
 }
 
 StatusOr<std::shared_ptr<Connection>> ConnectionManager::GetOrConnect(
-    const std::string& host, uint16_t port, const Deadline& deadline) {
+    const std::string& host, uint16_t port, const Deadline& deadline,
+    bool* dialed) {
+  if (dialed != nullptr) *dialed = false;
   const std::string key = Key(host, port);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -48,6 +50,7 @@ StatusOr<std::shared_ptr<Connection>> ConnectionManager::GetOrConnect(
     ++stats_.dial_failures;
     return conn.status();
   }
+  if (dialed != nullptr) *dialed = true;
   std::shared_ptr<Connection> shared = std::move(conn).value();
   std::lock_guard<std::mutex> lock(mu_);
   if (shutdown_) {

@@ -33,9 +33,15 @@ class ConnectionManager {
   /// (bounded by `deadline`). The first fetch request to a node triggers
   /// connection establishment; later requests reuse it. After Shutdown()
   /// every call fails fast with kUnavailable.
+  ///
+  /// `dialed`, when non-null, is set to true iff this call opened a fresh
+  /// connection (a successful dial — even one that then lost a caching
+  /// race to a concurrent dial). This is the single authority callers use
+  /// to count connections opened, so manager-routed and direct dials are
+  /// never double-counted.
   StatusOr<std::shared_ptr<Connection>> GetOrConnect(
       const std::string& host, uint16_t port,
-      const Deadline& deadline = Deadline());
+      const Deadline& deadline = Deadline(), bool* dialed = nullptr);
 
   /// Drops a connection (e.g. after an I/O error) so the next request
   /// re-establishes it.

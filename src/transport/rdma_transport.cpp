@@ -184,7 +184,9 @@ class RdmaServerEndpoint final : public ServerEndpoint {
 
   Stats stats() const override {
     std::lock_guard<std::mutex> lock(stats_mu_);
-    return stats_;
+    Stats out = stats_;
+    out.send_queue_depth = send_queue_.size();
+    return out;
   }
 
  private:

@@ -123,6 +123,7 @@ class TcpServerEndpoint final : public ServerEndpoint {
       if (it == conns_.end()) return;
       it->second.out_queue.push_back(std::move(*wire));
       ++stats_.frames_sent;
+      queued_frames_.fetch_add(1, std::memory_order_relaxed);
       FlushWrites(conn);
     };
     // From the loop thread (e.g. an on_frame handler replying inline) run
@@ -146,7 +147,9 @@ class TcpServerEndpoint final : public ServerEndpoint {
 
   Stats stats() const override {
     std::lock_guard<std::mutex> lock(stats_mu_);
-    return stats_;
+    Stats out = stats_;
+    out.send_queue_depth = queued_frames_.load(std::memory_order_relaxed);
+    return out;
   }
 
  private:
@@ -272,6 +275,7 @@ class TcpServerEndpoint final : public ServerEndpoint {
       if (state.out_offset == buffer.size()) {
         state.out_queue.pop_front();
         state.out_offset = 0;
+        queued_frames_.fetch_sub(1, std::memory_order_relaxed);
       }
     }
     if (state.out_queue.empty() && state.peer_half_closed) {
@@ -290,6 +294,8 @@ class TcpServerEndpoint final : public ServerEndpoint {
   void CloseConn(ConnId id) {
     auto it = conns_.find(id);
     if (it == conns_.end()) return;
+    queued_frames_.fetch_sub(it->second.out_queue.size(),
+                             std::memory_order_relaxed);
     loop_.Remove(it->second.fd.get());
     conns_.erase(it);
     if (handlers_.on_disconnect) handlers_.on_disconnect(id);
@@ -301,6 +307,9 @@ class TcpServerEndpoint final : public ServerEndpoint {
   uint16_t port_ = 0;
   ConnId next_conn_id_ = 1;
   std::unordered_map<ConnId, ConnState> conns_;  // loop thread only
+  // Frames enqueued but not fully written; atomic so stats() can read it
+  // off the loop thread.
+  std::atomic<uint64_t> queued_frames_{0};
   std::atomic<bool> stopped_{false};
   mutable std::mutex stats_mu_;
   Stats stats_;

@@ -83,6 +83,9 @@ class ServerEndpoint {
     uint64_t frames_received = 0;
     uint64_t frames_sent = 0;
     uint64_t bytes_sent = 0;
+    /// Frames accepted by SendAsync but not yet fully on the wire — an
+    /// instantaneous backlog depth, not a cumulative count.
+    uint64_t send_queue_depth = 0;
   };
   virtual Stats stats() const = 0;
 };

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 namespace jbs {
 namespace {
 
@@ -69,6 +72,51 @@ TEST(HistogramTest, SingleValue) {
   EXPECT_DOUBLE_EQ(h.Percentile(99), 42.0);
 }
 
+TEST(HistogramTest, NanIsRejectedNotBucketed) {
+  // Regression: log2(NaN) cast to int is UB; NaN also fails every
+  // comparison, so it used to sail past the `< 1.0` guard.
+  Histogram h;
+  h.Add(std::nan(""));
+  h.Add(-std::nan(""));
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.rejected(), 2u);
+  h.Add(5.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.rejected(), 2u);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 5.0);
+}
+
+TEST(HistogramTest, NegativesClampToBucketZero) {
+  // Regression: log2 of a negative is NaN, so negatives were misbucketed
+  // through the same UB cast. They now clamp to 0 (bucket 0).
+  Histogram h;
+  h.Add(-1.0);
+  h.Add(-1e308);
+  h.Add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.rejected(), 0u);
+  EXPECT_EQ(h.buckets()[0], 3u);
+  // min/max saw the clamped 0.0, not the raw negatives.
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+}
+
+TEST(HistogramTest, PositiveInfinityClampsToLastBucket) {
+  Histogram h;
+  h.Add(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.buckets()[Histogram::kNumBuckets - 1], 1u);
+}
+
+TEST(HistogramTest, BucketUpperBoundsArePowersOfTwo) {
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(0), 1.0);
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(1), 2.0);
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(10), 1024.0);
+  // And values land below their bucket's bound.
+  Histogram h;
+  h.Add(700.0);  // 2^9 < 700 <= 2^10
+  EXPECT_EQ(h.buckets()[10], 1u);
+}
+
 TEST(TimeSeriesTest, BinsAverageValues) {
   TimeSeries ts;
   ts.Record(0.0, 10.0);
@@ -91,6 +139,26 @@ TEST(TimeSeriesTest, EmptyBinsOmitted) {
   auto bins = ts.Binned(5.0);
   ASSERT_EQ(bins.size(), 2u);
   EXPECT_DOUBLE_EQ(bins[1].time_sec, 20.0);
+}
+
+TEST(TimeSeriesTest, NegativeTimestampsBinByFloorNotTruncation) {
+  // Regression: static_cast<int64_t>(t / w) rounds toward zero, so
+  // t in (-w, 0) used to share bin 0 with t in [0, w) instead of getting
+  // bin -1.
+  TimeSeries ts;
+  ts.Record(-2.5, 10.0);  // bin -1: [-5, 0)
+  ts.Record(-5.0, 20.0);  // bin -1
+  ts.Record(2.5, 30.0);   // bin 0: [0, 5)
+  ts.Record(-7.5, 40.0);  // bin -2: [-10, -5)
+  auto bins = ts.Binned(5.0);
+  ASSERT_EQ(bins.size(), 3u);
+  EXPECT_DOUBLE_EQ(bins[0].time_sec, -10.0);
+  EXPECT_EQ(bins[0].samples, 1u);
+  EXPECT_DOUBLE_EQ(bins[1].time_sec, -5.0);
+  EXPECT_EQ(bins[1].samples, 2u);
+  EXPECT_DOUBLE_EQ(bins[1].mean, 15.0);
+  EXPECT_DOUBLE_EQ(bins[2].time_sec, 0.0);
+  EXPECT_EQ(bins[2].samples, 1u);
 }
 
 }  // namespace

@@ -110,6 +110,41 @@ TEST_P(FetchRobustnessTest, SilentPeerFetchFailsWithinDeadline) {
   merger.Stop();
 }
 
+TEST_P(FetchRobustnessTest, DeadlineExpiryLeavesCompleteTraceTimeline) {
+  auto locations = MakeSuppliers(1);
+  flaky_->BlackholeNextReceives(100);
+  auto options = BaseOptions();
+  // No chunk timeout: the blackholed receive blocks until the fetch
+  // deadline itself expires, which is the expiry path under test.
+  options.fetch_deadline_ms = 400;
+  options.max_fetch_attempts = 3;
+  shuffle::NetMerger merger(options);
+  auto stream = merger.FetchAndMerge(0, locations);
+  ASSERT_FALSE(stream.ok());
+  EXPECT_EQ(stream.status().code(), StatusCode::kDeadlineExceeded)
+      << stream.status().ToString();
+  EXPECT_GT(merger.merger_stats().deadline_expiries, 0u);
+
+  // The lone fetch is id 1 in the merger's private recorder. Its timeline
+  // must tell the whole story: queued, dialed, then failed — with the
+  // failure carrying the status code and monotonic timestamps throughout.
+  const auto timeline = merger.trace().ForFetch(1);
+  ASSERT_GE(timeline.size(), 3u);
+  EXPECT_EQ(timeline.front().event, TraceEvent::kQueued);
+  bool dialed = false;
+  for (const auto& entry : timeline) {
+    if (entry.event == TraceEvent::kDialed) dialed = true;
+  }
+  EXPECT_TRUE(dialed);
+  EXPECT_EQ(timeline.back().event, TraceEvent::kFailed);
+  EXPECT_EQ(timeline.back().detail,
+            static_cast<int64_t>(StatusCode::kDeadlineExceeded));
+  for (size_t i = 1; i < timeline.size(); ++i) {
+    EXPECT_GE(timeline[i].t_us, timeline[i - 1].t_us);
+  }
+  merger.Stop();
+}
+
 TEST_P(FetchRobustnessTest, StopUnblocksEveryFetchAndMergeCaller) {
   auto locations = MakeSuppliers(1);
   // Every receive hangs forever and no deadlines are configured: without

@@ -131,6 +131,48 @@ TEST_F(NetMergerTest, NoConsolidationDialsPerFetch) {
   merger.Stop();
 }
 
+TEST_F(NetMergerTest, RefetchDoesNotDoubleCountConnectionsOpened) {
+  // Regression: consolidated dials used to be counted both by the merger
+  // and via the connection-manager miss path, so connections_opened could
+  // drift above the number of actual dials. The dial itself (the manager's
+  // `dialed` out-param) is now the single authority.
+  auto locations = MakeCluster(3, 4, 1, 10);
+  auto merger = MakeMerger(/*consolidate=*/true);
+  ASSERT_TRUE(merger.FetchAndMerge(0, locations).ok());
+  ASSERT_TRUE(merger.FetchAndMerge(0, locations).ok());
+  // 24 fetches across two rounds; the second round reuses the 3 cached
+  // connections, so exactly 3 dials total.
+  EXPECT_EQ(merger.merger_stats().connections_opened, 3u);
+  const auto cs = merger.connection_stats();
+  // Invariant: every successful dial is a cache miss that didn't fail.
+  EXPECT_EQ(cs.misses - cs.dial_failures,
+            merger.merger_stats().connections_opened);
+  EXPECT_GT(cs.hits, 0u);
+  merger.Stop();
+}
+
+TEST_F(NetMergerTest, MetricsExpositionCoversFetchPath) {
+  auto locations = MakeCluster(2, 2, 1, 10);
+  auto merger = MakeMerger();
+  ASSERT_TRUE(merger.FetchAndMerge(0, locations).ok());
+  merger.Stop();
+  const std::string text = merger.metrics().DumpText();
+  EXPECT_NE(text.find("shuffle_fetches_total{client=\"netmerger\"} 4"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("shuffle_connections_opened_total"), std::string::npos);
+  EXPECT_NE(text.find("shuffle_fetch_latency_ms_count"), std::string::npos);
+  EXPECT_NE(text.find("jbs_connmgr_hits"), std::string::npos);
+  // Every fetch left a complete trace ending in a merge.
+  const auto entries = merger.trace().Snapshot();
+  EXPECT_FALSE(entries.empty());
+  size_t merged = 0;
+  for (const auto& entry : entries) {
+    if (entry.event == TraceEvent::kMerged) ++merged;
+  }
+  EXPECT_EQ(merged, 4u);
+}
+
 TEST_F(NetMergerTest, ConcurrentReducersShareMerger) {
   // Two "reducers" on the same node call FetchAndMerge concurrently — the
   // consolidation scenario of §III-C.

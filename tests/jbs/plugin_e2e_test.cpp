@@ -3,7 +3,9 @@
 // produce byte-identical output — JBS is a *transparent* plug-in (§III-A).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
+#include <string>
 
 #include "baseline/plugin.h"
 #include "common/rng.h"
@@ -15,6 +17,26 @@ namespace jbs {
 namespace {
 
 namespace fs = std::filesystem;
+
+/// Sums the values of every exposition line starting with `prefix`
+/// (e.g. `shuffle_fetches_total{` sums the counter across instances).
+uint64_t SumMetric(const std::string& text, const std::string& prefix) {
+  uint64_t sum = 0;
+  size_t pos = 0;
+  while ((pos = text.find(prefix, pos)) != std::string::npos) {
+    const size_t line_end = text.find('\n', pos);
+    const std::string line = text.substr(
+        pos, line_end == std::string::npos ? std::string::npos
+                                           : line_end - pos);
+    const size_t space = line.rfind(' ');
+    if (space != std::string::npos) {
+      sum += std::strtoull(line.c_str() + space + 1, nullptr, 10);
+    }
+    if (line_end == std::string::npos) break;
+    pos = line_end;
+  }
+  return sum;
+}
 
 class PluginE2eTest : public ::testing::Test {
  protected:
@@ -115,6 +137,40 @@ TEST_F(PluginE2eTest, AllShufflesProduceIdenticalOutput) {
   ropts.buffer_size = 32 * 1024;
   shuffle::JbsShufflePlugin jbs_rdma(ropts);
   EXPECT_EQ(RunWith(jbs_rdma, "jbs_rdma"), reference);
+}
+
+TEST_F(PluginE2eTest, RunPopulatesMetricsAndTrace) {
+  // A full JBS job publishes client + server series into the plugin's one
+  // shared registry, and the trace ring holds complete fetch lifecycles.
+  shuffle::JbsShufflePlugin jbs_tcp;
+  RunWith(jbs_tcp, "jbs_metrics");
+  const std::string text = jbs_tcp.metrics().DumpText();
+  EXPECT_GT(SumMetric(text, "shuffle_fetch_latency_ms_count{"), 0u) << text;
+  EXPECT_GT(SumMetric(text, "shuffle_fetches_total{"), 0u);
+  EXPECT_GT(SumMetric(text, "shuffle_connections_opened_total{"), 0u);
+  EXPECT_GT(SumMetric(text, "shuffle_bytes_served_total{"), 0u);
+  EXPECT_GT(SumMetric(text, "shuffle_requests_total{"), 0u);
+  EXPECT_NE(text.find("jbs_mofsupplier_fdcache_hits{"), std::string::npos);
+  EXPECT_NE(text.find("jbs_connmgr_hits{"), std::string::npos);
+  // Per-node instances stay distinguishable in the shared registry.
+  EXPECT_NE(text.find("instance=\"node0\""), std::string::npos);
+  size_t merged = 0;
+  for (const auto& entry : jbs_tcp.trace().Snapshot()) {
+    if (entry.event == TraceEvent::kMerged) ++merged;
+  }
+  EXPECT_GT(merged, 0u);
+
+  // The baseline publishes the *same* shuffle_* names under its own
+  // client/server labels, so JBS-vs-baseline dumps compare directly.
+  baseline::HadoopShufflePlugin::Options hopts;
+  hopts.spill_dir = root_ / "spills_metrics";
+  baseline::HadoopShufflePlugin hadoop(hopts);
+  RunWith(hadoop, "hadoop_metrics");
+  const std::string btext = hadoop.metrics().DumpText();
+  EXPECT_GT(SumMetric(btext, "shuffle_fetches_total{"), 0u) << btext;
+  EXPECT_GT(SumMetric(btext, "shuffle_requests_total{"), 0u);
+  EXPECT_NE(btext.find("client=\"mofcopier\""), std::string::npos);
+  EXPECT_NE(btext.find("server=\"httpservlet\""), std::string::npos);
 }
 
 TEST_F(PluginE2eTest, JbsSmallBuffersStillCorrect) {
