@@ -221,7 +221,8 @@ void HttpShuffleServer::HandleConnection(net::Fd conn) {
 
 MofCopierClient::MofCopierClient(Options options)
     : options_(options),
-      net_throttle_(options.penalty.net_stream_bytes_per_sec) {
+      net_throttle_(options.penalty.net_stream_bytes_per_sec),
+      rng_(options.backoff_jitter_seed) {
   if (!options_.spill_dir.empty()) {
     std::filesystem::create_directories(options_.spill_dir);
   }
@@ -325,8 +326,17 @@ StatusOr<std::unique_ptr<mr::RecordStream>> MofCopierClient::FetchAndMerge(
         for (int attempt = 0; attempt < options_.max_fetch_attempts;
              ++attempt) {
           if (attempt > 0) {
-            std::this_thread::sleep_for(std::chrono::milliseconds(
-                options_.retry_backoff_ms << (attempt - 1)));
+            // Capped + jittered (common/rng.h): the naive
+            // `base << (attempt - 1)` both overflows int and sleeps for
+            // days once attempt counts grow.
+            int64_t backoff;
+            {
+              std::lock_guard<std::mutex> lock(rng_mu_);
+              backoff = CappedJitteredBackoffMs(
+                  options_.retry_backoff_ms, attempt,
+                  options_.max_retry_backoff_ms, rng_);
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
           }
           body = FetchOne(source, partition);
           if (body.ok() || body.status().code() == StatusCode::kNotFound) {

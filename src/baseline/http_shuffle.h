@@ -25,6 +25,7 @@
 
 #include "baseline/throttle.h"
 #include "common/metrics.h"
+#include "common/rng.h"
 #include "mapred/shuffle.h"
 #include "transport/socket_util.h"
 
@@ -108,7 +109,9 @@ class MofCopierClient final : public mr::ShuffleClient {
     size_t in_memory_budget = 64 << 20;  // beyond this, spill to disk
     std::filesystem::path spill_dir;     // required if spilling possible
     int max_fetch_attempts = 3;          // Hadoop fetch retries
-    int retry_backoff_ms = 20;
+    int retry_backoff_ms = 20;           // doubled per attempt, jittered
+    int max_retry_backoff_ms = 2000;     // backoff ceiling (0 = uncapped)
+    uint64_t backoff_jitter_seed = 0x6D6F66636F707972ull;  // deterministic
     // Observability: shared registry (e.g. the plugin's) or nullptr for a
     // private one. Publishes the same shuffle_* series as NetMerger
     // (client="mofcopier"), so JBS-vs-baseline reads one exposition.
@@ -142,6 +145,10 @@ class MofCopierClient final : public mr::ShuffleClient {
   Options options_;
   Throttle net_throttle_;
   std::atomic<uint64_t> spill_seq_{0};
+
+  // Backoff jitter source, shared by all copier threads.
+  std::mutex rng_mu_;
+  Rng rng_;
 
   std::unique_ptr<MetricsRegistry> owned_metrics_;
   MetricsRegistry* metrics_ = nullptr;

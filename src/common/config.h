@@ -72,6 +72,18 @@ inline constexpr const char* kChunkTimeoutMs =
     "jbs.netmerger.chunk.timeout_ms";
 inline constexpr const char* kConnectionIdleMs =
     "jbs.transport.connection.idle_ms";
+// Integrity + supplier-failover knobs.
+inline constexpr const char* kVerifyCrc = "jbs.fetch.verify_crc";
+inline constexpr const char* kCrcCacheEntries =
+    "jbs.mofsupplier.crccache.entries";
+inline constexpr const char* kHealthSuspectAfter =
+    "jbs.netmerger.health.suspect_after";
+inline constexpr const char* kHealthPenalizeAfter =
+    "jbs.netmerger.health.penalize_after";
+inline constexpr const char* kHealthPenaltyMs =
+    "jbs.netmerger.health.penalty_ms";
+inline constexpr const char* kHealthPenaltyMaxMs =
+    "jbs.netmerger.health.penalty_max_ms";
 inline constexpr const char* kMapSlotsPerNode = "mapred.map.slots";
 inline constexpr const char* kReduceSlotsPerNode = "mapred.reduce.slots";
 inline constexpr const char* kBlockSize = "dfs.block.size";

@@ -316,7 +316,9 @@ std::string_view TraceEventName(TraceEvent event) {
     case TraceEvent::kDialed: return "dialed";
     case TraceEvent::kRequestSent: return "request_sent";
     case TraceEvent::kChunkReceived: return "chunk_received";
+    case TraceEvent::kCorrupt: return "corrupt";
     case TraceEvent::kRetry: return "retry";
+    case TraceEvent::kFailover: return "failover";
     case TraceEvent::kMerged: return "merged";
     case TraceEvent::kFailed: return "failed";
   }

@@ -142,7 +142,10 @@ enum class TraceEvent : uint8_t {
   kDialed,             // connection established (detail: attempt, 1-based)
   kRequestSent,        // first chunk request on the wire
   kChunkReceived,      // one chunk landed (detail: payload bytes)
+  kCorrupt,            // chunk failed CRC verification (detail: offset)
   kRetry,              // transient failure, backing off (detail: attempt)
+  kFailover,           // rerouted to a replica location (detail: replicas
+                       // still untried after the switch)
   kMerged,             // segment complete, handed to the merge
   kFailed,             // fetch gave up (detail: StatusCode)
 };

@@ -1,5 +1,6 @@
 #include "common/rng.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace jbs {
@@ -39,6 +40,14 @@ double Rng::NextGaussian(double mean, double stddev) {
   const double u2 = NextDouble();
   const double mag = std::sqrt(-2.0 * std::log(u1));
   return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+int64_t CappedJitteredBackoffMs(int base_ms, int attempt, int64_t max_ms,
+                                Rng& rng) {
+  const int shift = std::min(std::max(attempt, 1) - 1, 10);
+  int64_t backoff = static_cast<int64_t>(std::max(1, base_ms)) << shift;
+  if (max_ms > 0) backoff = std::min(backoff, max_ms);
+  return rng.Between(backoff - backoff / 2, backoff);
 }
 
 }  // namespace jbs

@@ -72,4 +72,13 @@ class Rng {
   uint64_t state_[4];
 };
 
+/// Capped, jittered exponential backoff shared by every fetch retry loop
+/// (NetMerger, MOFCopier): base_ms doubled per attempt (attempt >= 1) with
+/// the shift capped so huge attempt counts can't overflow (`20 << 40` is
+/// UB on int and a multi-day sleep besides), clamped to max_ms when
+/// max_ms > 0, then jittered into [backoff/2, backoff] so retrying threads
+/// don't hammer a recovering peer in lockstep.
+int64_t CappedJitteredBackoffMs(int base_ms, int attempt, int64_t max_ms,
+                                Rng& rng);
+
 }  // namespace jbs

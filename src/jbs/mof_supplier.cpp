@@ -6,6 +6,7 @@
 #include <chrono>
 #include <climits>
 
+#include "common/bytes.h"
 #include "common/logging.h"
 
 namespace jbs::shuffle {
@@ -36,6 +37,7 @@ MofSupplier::MofSupplier(Options options)
       data_cache_(options.buffer_size, options.buffer_count),
       index_cache_(options.index_cache_entries),
       fd_cache_(std::max<size_t>(1, options.fd_cache_entries)),
+      crc_cache_(std::max<size_t>(1, options.crc_cache_entries)),
       send_queue_(options.buffer_count) {
   if (options_.metrics != nullptr) {
     metrics_ = options_.metrics;
@@ -57,6 +59,45 @@ MofSupplier::MofSupplier(Options options)
       metrics_->GetCounter("jbs_mofsupplier_group_switches_total", base);
   disconnect_purges_c_ =
       metrics_->GetCounter("jbs_mofsupplier_disconnect_purges_total", base);
+  crc_cache_hits_c_ =
+      metrics_->GetCounter("jbs_mofsupplier_crc_cache_hits_total", base);
+  crc_cache_misses_c_ =
+      metrics_->GetCounter("jbs_mofsupplier_crc_cache_misses_total", base);
+}
+
+uint32_t MofSupplier::ChunkDataCrc(const FetchRequest& request,
+                                   std::span<const uint8_t> data) {
+  const std::string key = std::to_string(request.map_task) + "/" +
+                          std::to_string(request.partition) + "/" +
+                          std::to_string(request.offset) + "/" +
+                          std::to_string(data.size());
+  {
+    std::lock_guard<std::mutex> lock(crc_cache_mu_);
+    if (const uint32_t* cached = crc_cache_.Get(key)) {
+      crc_cache_hits_c_->Increment();
+      return *cached;
+    }
+  }
+  // Hash outside the lock: the CRC pass over a 128KB chunk is the
+  // expensive part and must not serialize the disk-thread pool.
+  const uint32_t crc = Crc32(data);
+  {
+    std::lock_guard<std::mutex> lock(crc_cache_mu_);
+    crc_cache_.Put(key, crc);
+  }
+  crc_cache_misses_c_->Increment();
+  return crc;
+}
+
+void MofSupplier::StampChunkCrc(FetchDataHeader* header,
+                                const FetchRequest& request,
+                                std::span<const uint8_t> data) {
+  if (!options_.chunk_crc) return;
+  header->flags |= kChunkHasCrc;
+  // The cached part covers the payload; the 28-byte header fold is cheap
+  // enough to pay per send (it differs per retransmit anyway only if the
+  // request does).
+  header->crc32 = ChunkWireCrc(*header, ChunkDataCrc(request, data));
 }
 
 MetricLabels MofSupplier::BaseLabels() const {
@@ -418,6 +459,10 @@ void MofSupplier::PrefetchOne(const PendingRequest& pending) {
     }
   }
   buffer.set_size(static_cast<size_t>(chunk));
+  // CRC in the disk stage: the hash overlaps the send stage's transmits
+  // the same way the reads do.
+  StampChunkCrc(&header, pending.request,
+                {buffer.data(), static_cast<size_t>(chunk)});
   ReadyReply ready;
   ready.conn = pending.conn;
   ready.header = header;
@@ -475,6 +520,8 @@ void MofSupplier::ServeInline(const PendingRequest& pending) {
       return;
     }
   }
+  StampChunkCrc(&header, request,
+                {buffer.data(), static_cast<size_t>(chunk)});
   Frame frame = EncodeData(header, {buffer.data(),
                                     static_cast<size_t>(chunk)});
   buffer.Release();

@@ -32,6 +32,7 @@
 #include "common/blocking_queue.h"
 #include "common/buffer_pool.h"
 #include "common/fd_cache.h"
+#include "common/lru_cache.h"
 #include "common/metrics.h"
 #include "common/stats.h"
 #include "jbs/index_cache.h"
@@ -49,6 +50,11 @@ class MofSupplier final : public mr::ShuffleServer {
     size_t buffer_count = 64;             // DataCache = size * count
     size_t index_cache_entries = 1024;
     size_t fd_cache_entries = 128;  // open MOF data-file descriptors
+    bool chunk_crc = true;    // stamp every data chunk with a CRC32 the
+                              // client can verify before merging
+    size_t crc_cache_entries = 4096;  // per-chunk data-CRC memo (LRU), so
+                                      // a retransmitted chunk re-reads the
+                                      // disk but never re-hashes the bytes
     int prefetch_batch = 4;   // requests served per group per turn
     int prefetch_threads = 2; // disk-stage pool (pipelined mode only)
     bool pipelined = true;    // ablation: false degrades to serialized
@@ -153,6 +159,13 @@ class MofSupplier final : public mr::ShuffleServer {
                     const std::string& message);
   Status PreadInto(const mr::MofHandle& handle, uint64_t offset,
                    std::span<uint8_t> out);
+  /// Data-payload CRC for one resolved chunk, via the LRU memo (MOFs are
+  /// immutable once published, so a cached value never goes stale).
+  uint32_t ChunkDataCrc(const FetchRequest& request,
+                        std::span<const uint8_t> data);
+  /// Stamps `header` with the full wire CRC (kChunkHasCrc) when enabled.
+  void StampChunkCrc(FetchDataHeader* header, const FetchRequest& request,
+                     std::span<const uint8_t> data);
   /// Sleeps for the modeled disk time of a pread (see
   /// Options::disk_seek_ms); no-op when the model is disabled.
   void ChargeDiskModel(int fd, uint64_t offset, size_t bytes);
@@ -169,6 +182,13 @@ class MofSupplier final : public mr::ShuffleServer {
   BufferPool data_cache_;
   IndexCache index_cache_;
   FdCache fd_cache_;
+
+  // Chunk-CRC memo: (map, partition, offset, len) -> CRC32 of the payload
+  // bytes, so the hot path hashes each chunk once, not per retransmit.
+  std::mutex crc_cache_mu_;
+  LruCache<std::string, uint32_t> crc_cache_;
+  MetricCounter* crc_cache_hits_c_ = nullptr;
+  MetricCounter* crc_cache_misses_c_ = nullptr;
 
   // Observability plumbing: pointers into metrics_ (never null; falls back
   // to the owned registry when options don't share one).

@@ -3,10 +3,36 @@
 #include <algorithm>
 #include <thread>
 
+#include "common/bytes.h"
 #include "common/logging.h"
 #include "jbs/protocol.h"
 
 namespace jbs::shuffle {
+
+namespace {
+
+/// Maps one failed fetch attempt to the health-tracker taxonomy. A dial
+/// that never connected is a connect fault regardless of status code; past
+/// the dial, the status itself decides.
+NodeHealthTracker::Failure ClassifyFailure(const Status& status, bool dialed) {
+  if (!dialed) return NodeHealthTracker::Failure::kConnect;
+  if (status.code() == StatusCode::kDeadlineExceeded) {
+    return NodeHealthTracker::Failure::kTimeout;
+  }
+  if (status.message().rfind("chunk CRC mismatch", 0) == 0) {
+    return NodeHealthTracker::Failure::kCorrupt;
+  }
+  return NodeHealthTracker::Failure::kOther;
+}
+
+/// Permanent server verdicts (the supplier answered kFetchError): retrying
+/// the same node cannot heal these, but a replica might hold the segment.
+bool IsPermanentFetchError(const Status& status) {
+  return status.code() == StatusCode::kIoError &&
+         status.message().rfind("fetch error:", 0) == 0;
+}
+
+}  // namespace
 
 NetMerger::NetMerger(Options options)
     : options_(options),
@@ -45,6 +71,14 @@ NetMerger::NetMerger(Options options)
       metrics_->GetCounter("jbs_netmerger_deadline_expiries_total", base);
   fetch_attempts_h_ =
       metrics_->GetHistogram("jbs_netmerger_fetch_attempts", base);
+  chunks_corrupt_c_ =
+      metrics_->GetCounter("jbs_netmerger_chunks_corrupt_total", base);
+  failovers_c_ = metrics_->GetCounter("jbs_netmerger_failovers_total", base);
+  health_ = std::make_unique<NodeHealthTracker>(
+      NodeHealthTracker::Options{
+          options_.health_suspect_after, options_.health_penalize_after,
+          options_.health_penalty_ms, options_.health_penalty_max_ms},
+      metrics_, base);
   workers_.reserve(static_cast<size_t>(options_.data_threads));
   for (int i = 0; i < options_.data_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -141,7 +175,14 @@ NetMerger::MergerStats NetMerger::merger_stats() const {
   out.fetch_errors = fetch_errors_c_->value();
   out.fetch_retries = fetch_retries_c_->value();
   out.deadline_expiries = deadline_expiries_c_->value();
+  out.chunks_corrupt = chunks_corrupt_c_->value();
+  out.failovers = failovers_c_->value();
+  out.penalties = health_->penalties();
   return out;
+}
+
+NodeState NetMerger::node_health(const std::string& node) {
+  return health_->state(node);
 }
 
 net::ConnectionManager::Stats NetMerger::connection_stats() const {
@@ -155,28 +196,37 @@ size_t NetMerger::pending_node_count() const {
 
 StatusOr<std::unique_ptr<mr::RecordStream>> NetMerger::FetchAndMerge(
     int partition, const std::vector<mr::MofLocation>& sources) {
-  // Duplicate locations (a speculative map attempt reported twice, say)
-  // would fetch the same segment twice and then consume the stored bytes
-  // twice — the second open sees a moved-out segment. Collapse exact
-  // duplicates to one fetch; duplicates that disagree on where the map's
-  // output lives are a caller bug.
-  std::vector<const mr::MofLocation*> unique;
+  // Duplicate locations for one map are either exact duplicates (a
+  // speculative attempt reported twice — collapse to one fetch, since
+  // fetching twice would consume the stored bytes twice) or replicas:
+  // distinct nodes that each hold a copy of the map's output. Replicas
+  // become failover alternates — the fetch reroutes to the next copy when
+  // its current node exhausts attempts or sits in the penalty box.
+  struct Replica {
+    mr::MofLocation primary;
+    std::vector<mr::MofLocation> alternates;
+  };
+  std::vector<Replica> unique;
   unique.reserve(sources.size());
   {
-    std::map<int, const mr::MofLocation*> by_map;
+    std::map<int, size_t> by_map;  // map_task -> index into `unique`
     for (const mr::MofLocation& source : sources) {
-      auto [it, inserted] = by_map.emplace(source.map_task, &source);
+      auto [it, inserted] = by_map.emplace(source.map_task, unique.size());
       if (inserted) {
-        unique.push_back(&source);
+        unique.push_back(Replica{source, {}});
         continue;
       }
-      const mr::MofLocation& prev = *it->second;
-      if (prev.host != source.host || prev.port != source.port ||
-          prev.node != source.node) {
-        return InvalidArgument("conflicting locations for map " +
-                               std::to_string(source.map_task) + ": " +
-                               NodeKey(prev) + " vs " + NodeKey(source));
+      Replica& replica = unique[it->second];
+      const auto same_place = [&](const mr::MofLocation& loc) {
+        return loc.host == source.host && loc.port == source.port &&
+               loc.node == source.node;
+      };
+      if (same_place(replica.primary) ||
+          std::any_of(replica.alternates.begin(), replica.alternates.end(),
+                      same_place)) {
+        continue;  // exact duplicate
       }
+      replica.alternates.push_back(source);
     }
   }
 
@@ -187,12 +237,29 @@ StatusOr<std::unique_ptr<mr::RecordStream>> NetMerger::FetchAndMerge(
     if (stopping_) return Unavailable("NetMerger stopped");
     // Consolidation: requests are grouped by target node, ordered by
     // arrival within each group.
-    for (const mr::MofLocation* source : unique) {
+    for (const Replica& replica : unique) {
       const uint64_t fetch_id = trace_->BeginFetch();
-      trace_->Record(fetch_id, TraceEvent::kQueued, source->map_task);
-      const std::string node = NodeKey(*source);
+      trace_->Record(fetch_id, TraceEvent::kQueued, replica.primary.map_task);
+      FetchTask task;
+      task.source = replica.primary;
+      task.partition = partition;
+      task.fetch_id = fetch_id;
+      task.context = context;
+      task.alternates = replica.alternates;
+      // Initial routing: prefer the first replica not currently serving a
+      // penalty sentence. If every copy is boxed, queue on the primary and
+      // let the scheduler wait out the earliest release.
+      if (health_->penalized(NodeKey(task.source))) {
+        for (mr::MofLocation& alternate : task.alternates) {
+          if (!health_->penalized(NodeKey(alternate))) {
+            std::swap(task.source, alternate);
+            break;
+          }
+        }
+      }
+      const std::string node = NodeKey(task.source);
       auto& queue = node_queues_[node];
-      queue.push_back(FetchTask{*source, partition, fetch_id, context});
+      queue.push_back(std::move(task));
       SetQueueDepth(node, queue.size());
     }
   }
@@ -205,11 +272,11 @@ StatusOr<std::unique_ptr<mr::RecordStream>> NetMerger::FetchAndMerge(
   // Network-levitated merge: all segments live in memory; merge directly.
   std::vector<std::unique_ptr<mr::RecordStream>> streams;
   streams.reserve(unique.size());
-  for (const mr::MofLocation* source : unique) {
-    auto it = context->segments.find(source->map_task);
+  for (const Replica& replica : unique) {
+    auto it = context->segments.find(replica.primary.map_task);
     if (it == context->segments.end()) {
       return Internal("segment missing for map " +
-                      std::to_string(source->map_task));
+                      std::to_string(replica.primary.map_task));
     }
     auto stream = mr::OpenSegment(std::move(it->second.bytes),
                                   it->second.compressed);
@@ -228,8 +295,67 @@ bool NetMerger::NextTask(std::string* node, FetchTask* task) {
   std::unique_lock<std::mutex> lock(sched_mu_);
   for (;;) {
     if (stopping_) return false;
+    // Reroute queued work off penalized nodes: a task with a healthy
+    // replica should not wait out another node's sentence. Bounded by the
+    // per-task reroute budget so two half-dead replicas can't ping-pong a
+    // task forever.
+    {
+      std::vector<FetchTask> moved;
+      for (auto it = node_queues_.begin(); it != node_queues_.end();) {
+        if (it->second.empty() || !health_->penalized(it->first)) {
+          ++it;
+          continue;
+        }
+        auto& queue = it->second;
+        for (auto qit = queue.begin(); qit != queue.end();) {
+          auto alternate = std::find_if(
+              qit->alternates.begin(), qit->alternates.end(),
+              [&](const mr::MofLocation& loc) {
+                return !health_->penalized(NodeKey(loc));
+              });
+          if (alternate == qit->alternates.end() ||
+              qit->reroutes >= options_.max_failovers) {
+            ++qit;
+            continue;
+          }
+          const size_t alt_index =
+              static_cast<size_t>(alternate - qit->alternates.begin());
+          FetchTask rerouted = std::move(*qit);
+          qit = queue.erase(qit);
+          std::swap(rerouted.source, rerouted.alternates[alt_index]);
+          moved.push_back(std::move(rerouted));
+        }
+        SetQueueDepth(it->first, queue.size());
+        if (queue.empty()) {
+          it = node_queues_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      for (FetchTask& rerouted : moved) {
+        ++rerouted.reroutes;
+        failovers_c_->Increment();
+        trace_->Record(rerouted.fetch_id, TraceEvent::kFailover,
+                       static_cast<int64_t>(rerouted.alternates.size()));
+        const std::string dest = NodeKey(rerouted.source);
+        auto& queue = node_queues_[dest];
+        queue.push_back(std::move(rerouted));
+        SetQueueDepth(dest, queue.size());
+      }
+    }
     // Candidate nodes: nonempty queue, not currently serviced by another
-    // data thread (one in-flight conversation per connection).
+    // data thread (one in-flight conversation per connection), not in the
+    // penalty box.
+    bool skipped_penalized = false;
+    auto claimable = [&](const std::string& key,
+                         const std::deque<FetchTask>& queue) {
+      if (queue.empty() || busy_nodes_.contains(key)) return false;
+      if (health_->penalized(key)) {
+        skipped_penalized = true;
+        return false;
+      }
+      return true;
+    };
     auto take_from = [&](const std::string& key,
                          std::deque<FetchTask>& queue) {
       *node = key;
@@ -249,7 +375,7 @@ bool NetMerger::NextTask(std::string* node, FetchTask* task) {
       auto start = node_queues_.upper_bound(rr_last_);
       for (size_t i = 0; i < node_queues_.size(); ++i) {
         if (start == node_queues_.end()) start = node_queues_.begin();
-        if (!start->second.empty() && !busy_nodes_.contains(start->first)) {
+        if (claimable(start->first, start->second)) {
           return take_from(start->first, start->second);
         }
         ++start;
@@ -257,10 +383,20 @@ bool NetMerger::NextTask(std::string* node, FetchTask* task) {
     } else {
       // FIFO-by-key-order (the unbalanced policy JBS replaces).
       for (auto& [key, queue] : node_queues_) {
-        if (!queue.empty() && !busy_nodes_.contains(key)) {
+        if (claimable(key, queue)) {
           return take_from(key, queue);
         }
       }
+    }
+    if (skipped_penalized) {
+      // Only penalized work is pending: sleep until the box next opens
+      // (or new work / shutdown wakes us) instead of forever.
+      if (auto release = health_->earliest_release()) {
+        work_cv_.wait_until(lock, *release);
+        continue;
+      }
+      // The sentence expired between the scan and here; rescan.
+      continue;
     }
     work_cv_.wait(lock);
   }
@@ -275,7 +411,7 @@ void NetMerger::WorkerLoop() {
       node_switches_c_->Increment();
     }
     last_node = node;
-    ExecuteTask(node, task);
+    ExecuteTask(node, std::move(task));
     // Drop the shared context before blocking in NextTask again, so the
     // FetchAndMerge caller is the last owner once all segments land.
     task = FetchTask{};
@@ -289,18 +425,14 @@ void NetMerger::WorkerLoop() {
 
 int64_t NetMerger::NextBackoffMs(int attempt,
                                  const net::Deadline& fetch_deadline) {
-  // Cap the shift: `20 << 40` is UB on int and a multi-day sleep besides.
-  const int shift = std::min(attempt - 1, 10);
-  int64_t backoff =
-      static_cast<int64_t>(std::max(1, options_.retry_backoff_ms)) << shift;
-  if (options_.max_retry_backoff_ms > 0) {
-    backoff = std::min<int64_t>(backoff, options_.max_retry_backoff_ms);
-  }
+  int64_t backoff;
   {
-    // Jitter in [backoff/2, backoff] decorrelates the data threads
-    // hammering one recovering node in lockstep.
+    // Shared capped+jittered helper (common/rng.h): the shift is bounded
+    // (`20 << 40` is UB on int and a multi-day sleep besides) and the
+    // jitter decorrelates data threads hammering one recovering node.
     std::lock_guard<std::mutex> lock(rng_mu_);
-    backoff = rng_.Between(backoff - backoff / 2, backoff);
+    backoff = CappedJitteredBackoffMs(options_.retry_backoff_ms, attempt,
+                                      options_.max_retry_backoff_ms, rng_);
   }
   if (!fetch_deadline.infinite()) {
     backoff = std::min(backoff, fetch_deadline.remaining_ms());
@@ -308,19 +440,25 @@ int64_t NetMerger::NextBackoffMs(int attempt,
   return backoff;
 }
 
-void NetMerger::ExecuteTask(const std::string& node, const FetchTask& task) {
+void NetMerger::ExecuteTask(const std::string& node, FetchTask task) {
   // Transient fetch failures (dropped connection, refused dial, blown
-  // chunk deadline) are retried with capped jittered backoff, re-dialing
-  // each time — a fetch failure must not fail the ReduceTask the way a
-  // map-side fault would. One deadline budgets the whole fetch, retries
-  // included, so a silent peer costs bounded time, not attempts × timeout.
-  const net::Deadline fetch_deadline =
-      net::Deadline::AfterMs(options_.fetch_deadline_ms);
+  // chunk deadline, corrupt chunk) are retried with capped jittered
+  // backoff, re-dialing each time — a fetch failure must not fail the
+  // ReduceTask the way a map-side fault would. One deadline budgets the
+  // whole fetch — retries and replica failovers included — so a silent
+  // peer costs bounded time, not attempts × timeout × replicas.
+  if (!task.deadline_armed) {
+    task.deadline = net::Deadline::AfterMs(options_.fetch_deadline_ms);
+    task.deadline_armed = true;
+  }
+  const net::Deadline fetch_deadline = task.deadline;
   const auto fetch_start = std::chrono::steady_clock::now();
   int attempts_used = 0;
+  bool dialed_ok = false;
   StatusOr<FetchedSegment> result = Unavailable("not fetched");
   for (int attempt = 0; attempt < options_.max_fetch_attempts; ++attempt) {
     attempts_used = attempt + 1;
+    dialed_ok = false;
     if (cancelled_.load()) {
       result = Unavailable("NetMerger stopped");
       break;
@@ -355,6 +493,7 @@ void NetMerger::ExecuteTask(const std::string& node, const FetchTask& task) {
       // keeps one increment per dial across both modes.
       if (dialed) connections_opened_c_->Increment();
       if (conn.ok()) {
+        dialed_ok = true;
         trace_->Record(task.fetch_id, TraceEvent::kDialed, attempt + 1);
         result = FetchSegment(**conn, task, fetch_deadline);
         if (!result.ok()) {
@@ -384,6 +523,7 @@ void NetMerger::ExecuteTask(const std::string& node, const FetchTask& task) {
           break;
         }
         connections_opened_c_->Increment();
+        dialed_ok = true;
         trace_->Record(task.fetch_id, TraceEvent::kDialed, attempt + 1);
         result = FetchSegment(**conn, task, fetch_deadline);
         {
@@ -398,19 +538,70 @@ void NetMerger::ExecuteTask(const std::string& node, const FetchTask& task) {
     if (result.ok()) break;
     if (cancelled_.load()) break;
     // Permanent errors (the server answered with kFetchError) don't heal
-    // with retries.
-    if (result.status().code() == StatusCode::kIoError &&
-        result.status().message().rfind("fetch error:", 0) == 0) {
-      break;
+    // with retries of the same node — but a replica might hold the MOF, so
+    // they still fail over below.
+    if (IsPermanentFetchError(result.status())) break;
+    // Health bookkeeping: every transient attempt failure counts against
+    // the node. A fresh penalty sentence also evicts the cached connection
+    // so the first fetch after release re-dials instead of inheriting a
+    // wedged socket.
+    if (health_->RecordFailure(node,
+                               ClassifyFailure(result.status(), dialed_ok))) {
+      connections_.Invalidate(task.source.host, task.source.port);
     }
   }
-  (void)node;
+  if (!cancelled_.load() &&
+      (result.ok() || IsPermanentFetchError(result.status()))) {
+    // Either way the node is alive and speaking protocol: streak cleared.
+    health_->RecordSuccess(node);
+  }
+  if (!result.ok() && TryFailover(task, result.status())) return;
   const double latency_ms = std::chrono::duration<double, std::milli>(
                                 std::chrono::steady_clock::now() - fetch_start)
                                 .count();
   fetch_latency_ms_h_->Observe(latency_ms);
   fetch_attempts_h_->Observe(static_cast<double>(attempts_used));
   CompleteTask(task, std::move(result));
+}
+
+bool NetMerger::TryFailover(FetchTask& task, const Status& why) {
+  if (task.alternates.empty()) return false;
+  if (task.reroutes >= options_.max_failovers) return false;
+  if (cancelled_.load()) return false;
+  if (task.deadline_armed && task.deadline.expired()) return false;
+  // Prefer the first alternate not serving a sentence; failing that, take
+  // the first one anyway — its box may open before this node heals, and
+  // the scheduler knows how to wait out a sentence.
+  size_t pick = 0;
+  for (size_t i = 0; i < task.alternates.size(); ++i) {
+    if (!health_->penalized(NodeKey(task.alternates[i]))) {
+      pick = i;
+      break;
+    }
+  }
+  std::swap(task.source, task.alternates[pick]);
+  ++task.reroutes;
+  const std::string dest = NodeKey(task.source);
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    if (stopping_) {
+      // Undo so the caller completes the task against the node that
+      // actually produced `why`.
+      --task.reroutes;
+      std::swap(task.source, task.alternates[pick]);
+      return false;
+    }
+    failovers_c_->Increment();
+    trace_->Record(task.fetch_id, TraceEvent::kFailover,
+                   static_cast<int64_t>(task.alternates.size()));
+    JBS_DEBUG << "failover: map " << task.source.map_task << " -> " << dest
+              << " after: " << why.message();
+    auto& queue = node_queues_[dest];
+    queue.push_back(std::move(task));
+    SetQueueDepth(dest, queue.size());
+  }
+  work_cv_.notify_all();
+  return true;
 }
 
 StatusOr<NetMerger::FetchedSegment> NetMerger::FetchSegment(
@@ -454,6 +645,21 @@ StatusOr<NetMerger::FetchedSegment> NetMerger::FetchSegment(
     std::span<const uint8_t> data;
     auto header = DecodeData(*reply, &data);
     if (!header) return IoError("undecodable fetch data frame");
+    if (options_.verify_crc && (header->flags & kChunkHasCrc) != 0) {
+      // End-to-end integrity: recompute the wire CRC (header fields folded
+      // over the payload CRC) before any byte can enter the merge. Runs
+      // before the sequence check so a flipped offset or length field is
+      // attributed to corruption, not to a confused server.
+      const uint32_t got = ChunkWireCrc(*header, Crc32(data));
+      if (got != header->crc32) {
+        chunks_corrupt_c_->Increment();
+        trace_->Record(task.fetch_id, TraceEvent::kCorrupt,
+                       static_cast<int64_t>(header->offset));
+        return IoError("chunk CRC mismatch for map " +
+                       std::to_string(task.source.map_task) + " at offset " +
+                       std::to_string(header->offset));
+      }
+    }
     if (header->map_task != task.source.map_task ||
         header->partition != task.partition ||
         header->offset != expect_offset) {

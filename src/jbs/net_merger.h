@@ -24,6 +24,7 @@
 
 #include "common/metrics.h"
 #include "common/rng.h"
+#include "jbs/node_health.h"
 #include "mapred/shuffle.h"
 #include "transport/connection_manager.h"
 #include "transport/deadline.h"
@@ -51,6 +52,17 @@ class NetMerger final : public mr::ShuffleClient {
     int64_t chunk_timeout_ms = 0;    // per chunk round trip (0 = unbounded)
     int64_t connection_idle_ms = 0;  // evict cached connections idle this
                                      // long (0 = LRU only)
+    bool verify_crc = true;  // verify chunk CRCs before a byte enters the
+                             // merge; a mismatch is a retryable fetch fault
+    // Penalty box (see node_health.h): consecutive failures against one
+    // remote node mark it suspect, then penalized; injection routes around
+    // a penalized node until its sentence expires.
+    int health_suspect_after = 1;
+    int health_penalize_after = 3;  // <= 0 disables the box
+    int64_t health_penalty_ms = 200;
+    int64_t health_penalty_max_ms = 10000;
+    int max_failovers = 4;  // replica reroutes per fetch (bounds ping-pong
+                            // between two half-dead replica holders)
     uint64_t backoff_jitter_seed = 0x6A6274735F6E6D32ull;  // deterministic
     size_t merge_fan_in = 0;  // >0: hierarchical merge with this fan-in
                               // (the follow-up paper's [22] tree merge);
@@ -89,8 +101,15 @@ class NetMerger final : public mr::ShuffleClient {
     uint64_t fetch_errors = 0;      // fetches that exhausted all attempts
     uint64_t fetch_retries = 0;     // transient failures that were retried
     uint64_t deadline_expiries = 0; // fetches that blew their time budget
+    uint64_t chunks_corrupt = 0;    // chunks rejected by CRC verification
+    uint64_t failovers = 0;         // fetches rerouted to a replica
+    uint64_t penalties = 0;         // penalty-box sentences handed out
   };
   MergerStats merger_stats() const;
+
+  /// Health-tracker view of one remote node ("host:port"), for tests and
+  /// operators; an expired sentence is applied on read.
+  NodeState node_health(const std::string& node);
 
   /// Connection-cache counters (hits/misses/evictions/dial failures) from
   /// the underlying manager — the raw series merger_stats() used to derive
@@ -128,6 +147,16 @@ class NetMerger final : public mr::ShuffleClient {
     int partition = 0;
     uint64_t fetch_id = 0;  // TraceRecorder id for this fetch's timeline
     std::shared_ptr<CallContext> context;
+    // Replica routing: alternate locations holding the same map output
+    // (duplicate sources that disagreed on host). When `source` exhausts
+    // its attempts or sits in the penalty box, the task is re-enqueued on
+    // an alternate instead of failing the reduce.
+    std::vector<mr::MofLocation> alternates;
+    int reroutes = 0;  // failovers consumed (bounded by max_failovers)
+    // One deadline budgets the whole fetch across retries AND failovers;
+    // armed by the first ExecuteTask leg so queue wait doesn't count twice.
+    bool deadline_armed = false;
+    net::Deadline deadline;
   };
 
   static std::string NodeKey(const mr::MofLocation& loc) {
@@ -135,10 +164,19 @@ class NetMerger final : public mr::ShuffleClient {
   }
 
   void WorkerLoop();
-  /// Picks the next (node, task) respecting per-node exclusivity and the
-  /// round-robin policy. Blocks until work exists or shutdown.
+  /// Picks the next (node, task) respecting per-node exclusivity, the
+  /// round-robin policy, and the penalty box: penalized nodes are skipped,
+  /// their queued tasks rerouted to healthy replicas when possible, and
+  /// when only penalized work remains the wait is bounded by the earliest
+  /// sentence expiry. Blocks until work exists or shutdown.
   bool NextTask(std::string* node, FetchTask* task);
-  void ExecuteTask(const std::string& node, const FetchTask& task);
+  void ExecuteTask(const std::string& node, FetchTask task);
+  /// Re-enqueues `task` on its next replica after `source` failed with
+  /// `why`. Returns false (leaving the task untouched) when no failover is
+  /// possible — no alternates, reroute budget spent, fetch deadline blown,
+  /// or the merger is stopping — in which case the caller must complete
+  /// the task with `why`.
+  bool TryFailover(FetchTask& task, const Status& why);
   /// Runs the chunked fetch conversation; returns the segment. Each chunk
   /// round trip is bounded by the sooner of `deadline` and the per-chunk
   /// timeout.
@@ -176,8 +214,14 @@ class NetMerger final : public mr::ShuffleClient {
   MetricCounter* fetch_errors_c_ = nullptr;
   MetricCounter* fetch_retries_c_ = nullptr;
   MetricCounter* deadline_expiries_c_ = nullptr;
+  MetricCounter* chunks_corrupt_c_ = nullptr;
+  MetricCounter* failovers_c_ = nullptr;
   MetricHistogram* fetch_latency_ms_h_ = nullptr;
   MetricHistogram* fetch_attempts_h_ = nullptr;
+
+  // Built in the constructor once metrics_ is wired (it publishes the
+  // per-node health gauges into the same registry).
+  std::unique_ptr<NodeHealthTracker> health_;
 
   mutable std::mutex sched_mu_;
   std::condition_variable work_cv_;

@@ -1,0 +1,96 @@
+#include "jbs/node_health.h"
+
+#include <algorithm>
+
+namespace jbs::shuffle {
+
+NodeHealthTracker::NodeHealthTracker(Options options, MetricsRegistry* metrics,
+                                     MetricLabels base_labels)
+    : options_(options),
+      metrics_(metrics),
+      base_labels_(std::move(base_labels)),
+      penalties_c_(metrics_->GetCounter("jbs_netmerger_penalties_total",
+                                        base_labels_)) {}
+
+NodeHealthTracker::Node& NodeHealthTracker::GetNode(const std::string& node) {
+  auto [it, inserted] = nodes_.try_emplace(node);
+  if (inserted) {
+    MetricLabels labels = base_labels_;
+    labels.emplace_back("node", node);
+    it->second.gauge =
+        metrics_->GetGauge("jbs_netmerger_node_health", std::move(labels));
+  }
+  return it->second;
+}
+
+void NodeHealthTracker::SetState(Node& entry, NodeState state) {
+  entry.state = state;
+  entry.gauge->Set(static_cast<double>(static_cast<int>(state)));
+}
+
+void NodeHealthTracker::Refresh(Node& entry) {
+  if (entry.state == NodeState::kPenalized &&
+      std::chrono::steady_clock::now() >= entry.release) {
+    // Sentence served: out on probation. The failure streak stays, so the
+    // next failure re-penalizes immediately with a doubled sentence, while
+    // one success clears everything.
+    SetState(entry, NodeState::kSuspect);
+  }
+}
+
+bool NodeHealthTracker::RecordFailure(const std::string& node, Failure kind) {
+  (void)kind;  // all kinds weigh equally today; the trace carries the why
+  std::lock_guard<std::mutex> lock(mu_);
+  Node& entry = GetNode(node);
+  Refresh(entry);
+  ++entry.consecutive_failures;
+  if (options_.penalize_after > 0 &&
+      entry.consecutive_failures >= options_.penalize_after &&
+      entry.state != NodeState::kPenalized) {
+    int64_t sentence = options_.penalty_ms
+                       << std::min(entry.penalty_level, 10);
+    if (options_.penalty_max_ms > 0) {
+      sentence = std::min(sentence, options_.penalty_max_ms);
+    }
+    ++entry.penalty_level;
+    entry.release = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(sentence);
+    SetState(entry, NodeState::kPenalized);
+    penalties_c_->Increment();
+    return true;
+  }
+  if (entry.state == NodeState::kHealthy &&
+      entry.consecutive_failures >= std::max(1, options_.suspect_after)) {
+    SetState(entry, NodeState::kSuspect);
+  }
+  return false;
+}
+
+void NodeHealthTracker::RecordSuccess(const std::string& node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Node& entry = GetNode(node);
+  entry.consecutive_failures = 0;
+  entry.penalty_level = 0;
+  SetState(entry, NodeState::kHealthy);
+}
+
+NodeState NodeHealthTracker::state(const std::string& node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Node& entry = GetNode(node);
+  Refresh(entry);
+  return entry.state;
+}
+
+std::optional<std::chrono::steady_clock::time_point>
+NodeHealthTracker::earliest_release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::optional<std::chrono::steady_clock::time_point> earliest;
+  for (auto& [key, entry] : nodes_) {
+    Refresh(entry);
+    if (entry.state != NodeState::kPenalized) continue;
+    if (!earliest || entry.release < *earliest) earliest = entry.release;
+  }
+  return earliest;
+}
+
+}  // namespace jbs::shuffle

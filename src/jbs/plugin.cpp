@@ -47,6 +47,17 @@ JbsShufflePlugin::Options JbsShufflePlugin::OptionsFromConfig(
   options.connect_timeout_ms = conf.GetInt(conf::kConnectTimeoutMs, 0);
   options.chunk_timeout_ms = conf.GetInt(conf::kChunkTimeoutMs, 0);
   options.connection_idle_ms = conf.GetInt(conf::kConnectionIdleMs, 0);
+  options.chunk_crc = conf.GetBool(conf::kVerifyCrc, true);
+  options.verify_crc = options.chunk_crc;
+  options.crc_cache_entries =
+      static_cast<size_t>(conf.GetInt(conf::kCrcCacheEntries, 4096));
+  options.health_suspect_after =
+      static_cast<int>(conf.GetInt(conf::kHealthSuspectAfter, 1));
+  options.health_penalize_after =
+      static_cast<int>(conf.GetInt(conf::kHealthPenalizeAfter, 3));
+  options.health_penalty_ms = conf.GetInt(conf::kHealthPenaltyMs, 200);
+  options.health_penalty_max_ms =
+      conf.GetInt(conf::kHealthPenaltyMaxMs, 10000);
   return options;
 }
 
@@ -66,6 +77,8 @@ std::unique_ptr<mr::ShuffleServer> JbsShufflePlugin::CreateServer(
   sopts.prefetch_threads = options_.prefetch_threads;
   sopts.fd_cache_entries = options_.fd_cache_entries;
   sopts.pipelined = options_.pipelined;
+  sopts.chunk_crc = options_.chunk_crc;
+  sopts.crc_cache_entries = options_.crc_cache_entries;
   return std::make_unique<MofSupplier>(sopts);
 }
 
@@ -87,6 +100,11 @@ std::unique_ptr<mr::ShuffleClient> JbsShufflePlugin::CreateClient(
   nopts.connect_timeout_ms = options_.connect_timeout_ms;
   nopts.chunk_timeout_ms = options_.chunk_timeout_ms;
   nopts.connection_idle_ms = options_.connection_idle_ms;
+  nopts.verify_crc = options_.verify_crc;
+  nopts.health_suspect_after = options_.health_suspect_after;
+  nopts.health_penalize_after = options_.health_penalize_after;
+  nopts.health_penalty_ms = options_.health_penalty_ms;
+  nopts.health_penalty_max_ms = options_.health_penalty_max_ms;
   return std::make_unique<NetMerger>(nopts);
 }
 

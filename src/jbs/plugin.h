@@ -35,6 +35,15 @@ struct JbsOptions {
   int64_t connect_timeout_ms = 0;  // per-dial bound (0=off)
   int64_t chunk_timeout_ms = 0;    // per chunk round trip (0=off)
   int64_t connection_idle_ms = 0;  // cached-connection staleness (0=off)
+  // Integrity + failover (DESIGN.md §11): per-chunk CRC stamping/checking
+  // and the NetMerger penalty box.
+  bool chunk_crc = true;             // supplier stamps chunk CRCs
+  bool verify_crc = true;            // merger rejects mismatching chunks
+  size_t crc_cache_entries = 4096;   // supplier per-chunk CRC memo
+  int health_suspect_after = 1;
+  int health_penalize_after = 3;     // <= 0 disables the penalty box
+  int64_t health_penalty_ms = 200;
+  int64_t health_penalty_max_ms = 10000;
 };
 
 class JbsShufflePlugin final : public mr::ShufflePlugin {

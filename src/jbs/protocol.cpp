@@ -37,6 +37,7 @@ Frame EncodeData(const FetchDataHeader& header,
   PutU64(frame.payload, header.offset);
   PutU64(frame.payload, header.segment_total);
   PutU32(frame.payload, header.flags);
+  PutU32(frame.payload, header.crc32);
   frame.payload.insert(frame.payload.end(), data.begin(), data.end());
   return frame;
 }
@@ -53,8 +54,24 @@ std::optional<FetchDataHeader> DecodeData(const Frame& frame,
   header.offset = GetU64(p + 8);
   header.segment_total = GetU64(p + 16);
   header.flags = GetU32(p + 24);
+  header.crc32 = GetU32(p + 28);
   *data = std::span<const uint8_t>(frame.payload).subspan(kDataHeaderSize);
   return header;
+}
+
+uint32_t ChunkWireCrc(const FetchDataHeader& header, uint32_t data_crc) {
+  // Fold the header fields (in wire order, crc field excluded) into the
+  // payload CRC. Crc32's seed threading makes this equal to one CRC over
+  // payload ++ header-prefix, so both sides compute it the same way
+  // whichever part they hash first.
+  std::vector<uint8_t> prefix;
+  prefix.reserve(kDataHeaderSize - 4);
+  PutU32(prefix, static_cast<uint32_t>(header.map_task));
+  PutU32(prefix, static_cast<uint32_t>(header.partition));
+  PutU64(prefix, header.offset);
+  PutU64(prefix, header.segment_total);
+  PutU32(prefix, header.flags);
+  return Crc32(prefix, data_crc);
 }
 
 Frame EncodeError(const FetchError& error) {

@@ -36,6 +36,10 @@ struct FetchRequest {
 
 /// FetchDataHeader flag: segment bytes are block-compressed.
 inline constexpr uint32_t kSegmentCompressed = 1u << 0;
+/// FetchDataHeader flag: `crc32` carries a per-chunk checksum covering the
+/// header fields and the payload (see ChunkWireCrc). Suppliers always set
+/// it; a client that doesn't verify just ignores the field.
+inline constexpr uint32_t kChunkHasCrc = 1u << 1;
 
 struct FetchDataHeader {
   int32_t map_task = 0;
@@ -43,6 +47,7 @@ struct FetchDataHeader {
   uint64_t offset = 0;
   uint64_t segment_total = 0;  // full segment length, lets the client plan
   uint32_t flags = 0;          // kSegmentCompressed etc.
+  uint32_t crc32 = 0;          // per-chunk checksum (kChunkHasCrc)
 };
 
 struct FetchError {
@@ -65,7 +70,16 @@ std::optional<FetchDataHeader> DecodeData(const Frame& frame,
 Frame EncodeError(const FetchError& error);
 std::optional<FetchError> DecodeError(const Frame& frame);
 
+/// The chunk checksum: CRC32 over the payload bytes folded with the header
+/// fields (everything except the crc field itself), so a bit flip anywhere
+/// in the frame — including `segment_total`, which would silently truncate
+/// or inflate the client's reassembly — is detected, not just payload
+/// damage. `data_crc` is Crc32 over the payload alone; suppliers cache it
+/// per chunk so a retransmit doesn't re-hash the data, and only the cheap
+/// 28-byte header fold is paid per send.
+uint32_t ChunkWireCrc(const FetchDataHeader& header, uint32_t data_crc);
+
 /// Wire size of the data-frame header, for sizing chunk payloads.
-inline constexpr size_t kDataHeaderSize = 4 + 4 + 8 + 8 + 4;
+inline constexpr size_t kDataHeaderSize = 4 + 4 + 8 + 8 + 4 + 4;
 
 }  // namespace jbs::shuffle

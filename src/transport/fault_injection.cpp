@@ -40,7 +40,43 @@ class FaultInjectingTransport::FlakyConnection final : public Connection {
         return DeadlineExceeded("injected slow peer");
       }
     }
-    return inner_->Receive(deadline);
+    using Action = ChaosDecision::Action;
+    const ChaosDecision chaos = owner_->NextChaosDecision();
+    switch (chaos.action) {
+      case Action::kDrop:
+        owner_->chaos_drops_.fetch_add(1);
+        inner_->Close();
+        return Unavailable("chaos: injected connection drop");
+      case Action::kBlackhole: {
+        owner_->chaos_blackholes_.fetch_add(1);
+        Status parked = Park(deadline, "chaos: silent peer");
+        if (!parked.ok()) return parked;
+        break;
+      }
+      case Action::kDelay: {
+        owner_->chaos_delays_.fetch_add(1);
+        const Deadline nap = Deadline::Sooner(
+            deadline,
+            Deadline::After(std::chrono::milliseconds(chaos.delay_ms)));
+        std::this_thread::sleep_until(nap.time());
+        if (deadline.expired()) return DeadlineExceeded("chaos: slow peer");
+        break;
+      }
+      case Action::kNone:
+      case Action::kCorrupt:
+        break;
+    }
+    auto frame = inner_->Receive(deadline);
+    if (chaos.action == Action::kCorrupt && frame.ok() &&
+        !frame->payload.empty()) {
+      // One flipped bit anywhere in the frame payload — header fields and
+      // data bytes alike — exactly the fault the chunk CRC must catch.
+      const uint64_t bit =
+          chaos.entropy % (static_cast<uint64_t>(frame->payload.size()) * 8);
+      frame->payload[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+      owner_->chaos_corruptions_.fetch_add(1);
+    }
+    return frame;
   }
 
   void Close() override {
@@ -95,6 +131,68 @@ void FaultInjectingTransport::ReleaseBlackholes() {
     ++blackhole_->release_gen;
   }
   blackhole_->cv.notify_all();
+}
+
+void FaultInjectingTransport::SetChaosSchedule(std::vector<ChaosPhase> phases,
+                                               uint64_t seed) {
+  std::lock_guard<std::mutex> lock(chaos_mu_);
+  chaos_phases_ = std::move(phases);
+  chaos_phase_ = 0;
+  chaos_phase_ops_ = 0;
+  chaos_seed_ = seed;
+  chaos_rng_ = Rng(seed);
+}
+
+void FaultInjectingTransport::ClearChaos() {
+  std::lock_guard<std::mutex> lock(chaos_mu_);
+  chaos_phases_.clear();
+  chaos_phase_ = 0;
+  chaos_phase_ops_ = 0;
+}
+
+uint64_t FaultInjectingTransport::chaos_seed() const {
+  std::lock_guard<std::mutex> lock(chaos_mu_);
+  return chaos_seed_;
+}
+
+FaultInjectingTransport::ChaosDecision
+FaultInjectingTransport::NextChaosDecision() {
+  std::lock_guard<std::mutex> lock(chaos_mu_);
+  // Advance past exhausted (or empty) phases.
+  while (chaos_phase_ < chaos_phases_.size() &&
+         chaos_phase_ops_ >= chaos_phases_[chaos_phase_].ops) {
+    ++chaos_phase_;
+    chaos_phase_ops_ = 0;
+  }
+  ChaosDecision decision;
+  if (chaos_phase_ >= chaos_phases_.size()) return decision;
+  const ChaosPhase& phase = chaos_phases_[chaos_phase_];
+  ++chaos_phase_ops_;
+  // One roll decides the op's fate; a second draw is reserved for the
+  // corruption bit picker so the stream shape stays fixed per op.
+  const double roll = chaos_rng_.NextDouble();
+  decision.entropy = chaos_rng_.Next();
+  double threshold = phase.drop_prob;
+  if (roll < threshold) {
+    decision.action = ChaosDecision::Action::kDrop;
+    return decision;
+  }
+  threshold += phase.blackhole_prob;
+  if (roll < threshold) {
+    decision.action = ChaosDecision::Action::kBlackhole;
+    return decision;
+  }
+  threshold += phase.delay_prob;
+  if (roll < threshold) {
+    decision.action = ChaosDecision::Action::kDelay;
+    decision.delay_ms = phase.delay_ms;
+    return decision;
+  }
+  threshold += phase.corrupt_prob;
+  if (roll < threshold) {
+    decision.action = ChaosDecision::Action::kCorrupt;
+  }
+  return decision;
 }
 
 StatusOr<std::unique_ptr<Connection>> FaultInjectingTransport::Connect(

@@ -1,18 +1,38 @@
 // Deterministic fault injection around any Transport: scripted connect
 // failures, mid-conversation connection drops, delayed receives, and
-// blackholed (silent-peer) receives/connects. Used by the fault-tolerance
-// and deadline tests and the failure-injection benches; in production code
-// the wrapper is simply not installed.
+// blackholed (silent-peer) receives/connects — plus a seeded chaos
+// schedule (phases of bit-flip corruption, drops, delays, blackholes) for
+// end-to-end integrity tests. Used by the fault-tolerance, deadline, and
+// chaos tests and the failure-injection benches; in production code the
+// wrapper is simply not installed.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <vector>
 
+#include "common/rng.h"
 #include "transport/transport.h"
 
 namespace jbs::net {
+
+/// One phase of a scripted chaos schedule: the next `ops` Receive() calls
+/// (across all connections) each independently suffer at most one fault,
+/// chosen by the schedule's seeded RNG with these probabilities evaluated
+/// in order drop -> blackhole -> delay -> corrupt. A corrupt op flips one
+/// random bit of the received frame payload — the end-to-end CRC's job is
+/// to catch exactly this. Phases with ops <= 0 are skipped; after the last
+/// phase the wire is clean again.
+struct ChaosPhase {
+  int ops = 0;
+  double corrupt_prob = 0;
+  double drop_prob = 0;       // close the connection mid-conversation
+  double delay_prob = 0;
+  int delay_ms = 0;           // stall applied when delay_prob fires
+  double blackhole_prob = 0;  // park like a silent peer
+};
 
 class FaultInjectingTransport final : public Transport {
  public:
@@ -52,6 +72,21 @@ class FaultInjectingTransport final : public Transport {
   /// proceed normally. Pending (unconsumed) blackhole tokens stay armed.
   void ReleaseBlackholes();
 
+  /// Installs a deterministic chaos schedule driven by `seed` (see
+  /// ChaosPhase). Replaces any active schedule and restarts from the first
+  /// phase. Composes with the token-based knobs above: tokens are checked
+  /// first, the chaos decision applies to ops they leave untouched.
+  void SetChaosSchedule(std::vector<ChaosPhase> phases, uint64_t seed);
+  /// Drops the remaining schedule; the wire is clean from now on.
+  void ClearChaos();
+  /// Seed of the most recently installed schedule (0 before any).
+  uint64_t chaos_seed() const;
+
+  int chaos_corruptions() const { return chaos_corruptions_.load(); }
+  int chaos_drops() const { return chaos_drops_.load(); }
+  int chaos_delays() const { return chaos_delays_.load(); }
+  int chaos_blackholes() const { return chaos_blackholes_.load(); }
+
   int connects_attempted() const { return connects_attempted_.load(); }
   int connects_failed() const { return connects_failed_.load(); }
   int connections_broken() const { return connections_broken_.load(); }
@@ -82,6 +117,19 @@ class FaultInjectingTransport final : public Transport {
   /// Atomically consumes one token from `counter` if any remain.
   static bool TakeToken(std::atomic<int>& counter);
 
+  /// One receive op's fate under the active chaos schedule. `entropy`
+  /// carries the bit-picker draw for corruption, taken at decision time so
+  /// the RNG stream doesn't depend on payload sizes.
+  struct ChaosDecision {
+    enum class Action { kNone, kCorrupt, kDrop, kDelay, kBlackhole };
+    Action action = Action::kNone;
+    int delay_ms = 0;
+    uint64_t entropy = 0;
+  };
+  /// Consumes one op from the schedule (advancing phases) and rolls its
+  /// fate. kNone when no schedule is active or the schedule is exhausted.
+  ChaosDecision NextChaosDecision();
+
   Transport* inner_;
   std::shared_ptr<Blackhole> blackhole_ = std::make_shared<Blackhole>();
   std::atomic<int> failing_connects_{0};
@@ -96,6 +144,20 @@ class FaultInjectingTransport final : public Transport {
   std::atomic<int> receives_delayed_{0};
   std::atomic<int> receives_blackholed_{0};
   std::atomic<int> connects_blackholed_{0};
+
+  // Chaos schedule state: the phase list, the cursor, and the seeded RNG
+  // all advance together under one mutex so the draw sequence is a pure
+  // function of (seed, op order).
+  mutable std::mutex chaos_mu_;
+  std::vector<ChaosPhase> chaos_phases_;
+  size_t chaos_phase_ = 0;
+  int chaos_phase_ops_ = 0;  // ops already consumed from the current phase
+  uint64_t chaos_seed_ = 0;
+  Rng chaos_rng_{0};
+  std::atomic<int> chaos_corruptions_{0};
+  std::atomic<int> chaos_drops_{0};
+  std::atomic<int> chaos_delays_{0};
+  std::atomic<int> chaos_blackholes_{0};
 };
 
 }  // namespace jbs::net

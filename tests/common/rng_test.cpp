@@ -118,5 +118,44 @@ TEST(RngTest, GaussianMoments) {
   EXPECT_NEAR(var, 4.0, 0.1);
 }
 
+TEST(BackoffTest, GrowsExponentiallyWithinJitterBand) {
+  Rng rng(7);
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    const int64_t expected = 20ll << (attempt - 1);
+    const int64_t backoff = CappedJitteredBackoffMs(20, attempt, 0, rng);
+    EXPECT_GE(backoff, expected - expected / 2) << "attempt " << attempt;
+    EXPECT_LE(backoff, expected) << "attempt " << attempt;
+  }
+}
+
+TEST(BackoffTest, LargeAttemptCountsStayCappedAndDefined) {
+  // The naive `base << (attempt - 1)` is UB on int from attempt 32 up and
+  // a multi-day sleep long before that. The shared helper must stay
+  // bounded for any attempt count.
+  Rng rng(7);
+  for (int attempt : {11, 31, 32, 63, 64, 1000, 1 << 30}) {
+    const int64_t capped = CappedJitteredBackoffMs(20, attempt, 2000, rng);
+    EXPECT_GE(capped, 1000) << "attempt " << attempt;
+    EXPECT_LE(capped, 2000) << "attempt " << attempt;
+    // Uncapped ceiling: the shift saturates at 10 doublings.
+    const int64_t uncapped = CappedJitteredBackoffMs(20, attempt, 0, rng);
+    EXPECT_LE(uncapped, 20ll << 10) << "attempt " << attempt;
+    EXPECT_GE(uncapped, (20ll << 10) / 2) << "attempt " << attempt;
+  }
+}
+
+TEST(BackoffTest, CapBelowBaseStillHonored) {
+  Rng rng(3);
+  for (int attempt = 1; attempt <= 40; ++attempt) {
+    EXPECT_LE(CappedJitteredBackoffMs(100, attempt, 30, rng), 30);
+  }
+}
+
+TEST(BackoffTest, NonPositiveInputsDoNotCrash) {
+  Rng rng(5);
+  EXPECT_GE(CappedJitteredBackoffMs(0, 0, 0, rng), 0);
+  EXPECT_GE(CappedJitteredBackoffMs(-5, -3, 10, rng), 0);
+}
+
 }  // namespace
 }  // namespace jbs

@@ -218,15 +218,22 @@ TEST_P(FetchRobustnessTest, DuplicateSourcesCollapseToOneFetch) {
   merger.Stop();
 }
 
-TEST_P(FetchRobustnessTest, ConflictingDuplicateSourcesRejected) {
+TEST_P(FetchRobustnessTest, ConflictingDuplicatesActAsFailoverReplicas) {
+  // Duplicate sources that disagree on where the map output lives are
+  // replicas: when the first-listed copy is unreachable (a port nothing
+  // listens on), the fetch fails over to the live copy instead of failing
+  // the reduce.
   auto locations = MakeSuppliers(1);
-  mr::MofLocation conflicting = locations[0];
-  conflicting.port = static_cast<uint16_t>(locations[0].port + 1);
-  auto stream = shuffle::NetMerger(BaseOptions())
-                    .FetchAndMerge(0, {locations[0], conflicting});
-  ASSERT_FALSE(stream.ok());
-  EXPECT_EQ(stream.status().code(), StatusCode::kInvalidArgument)
-      << stream.status().ToString();
+  mr::MofLocation dead = locations[0];
+  dead.port = static_cast<uint16_t>(locations[0].port + 1);
+  auto options = BaseOptions();
+  options.max_fetch_attempts = 1;  // exhaust the dead replica quickly
+  shuffle::NetMerger merger(options);
+  auto stream = merger.FetchAndMerge(0, {dead, locations[0]});
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  EXPECT_EQ(Drain(**stream), 200u);
+  EXPECT_GE(merger.merger_stats().failovers, 1u);
+  merger.Stop();
 }
 
 TEST_P(FetchRobustnessTest, DialFailuresNotCountedAsConnectionsOpened) {

@@ -1,0 +1,145 @@
+// NodeHealthTracker state machine: healthy -> suspect -> penalized on
+// consecutive failures, exponentially growing (capped) sentences, probation
+// on release, full reset on success — and the gauges/counters that make the
+// box observable.
+#include "jbs/node_health.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace jbs::shuffle {
+namespace {
+
+using Failure = NodeHealthTracker::Failure;
+
+class NodeHealthTest : public ::testing::Test {
+ protected:
+  NodeHealthTracker::Options QuickOptions() {
+    NodeHealthTracker::Options options;
+    options.suspect_after = 1;
+    options.penalize_after = 3;
+    options.penalty_ms = 30;
+    options.penalty_max_ms = 200;
+    return options;
+  }
+
+  MetricsRegistry metrics_;
+};
+
+TEST_F(NodeHealthTest, UnknownNodeIsHealthy) {
+  NodeHealthTracker tracker(QuickOptions(), &metrics_, {});
+  EXPECT_EQ(tracker.state("never-seen:1"), NodeState::kHealthy);
+  EXPECT_FALSE(tracker.penalized("never-seen:1"));
+  EXPECT_EQ(tracker.penalties(), 0u);
+}
+
+TEST_F(NodeHealthTest, ConsecutiveFailuresWalkTheStateMachine) {
+  NodeHealthTracker tracker(QuickOptions(), &metrics_, {});
+  EXPECT_FALSE(tracker.RecordFailure("n:1", Failure::kConnect));
+  EXPECT_EQ(tracker.state("n:1"), NodeState::kSuspect);
+  EXPECT_FALSE(tracker.RecordFailure("n:1", Failure::kTimeout));
+  EXPECT_EQ(tracker.state("n:1"), NodeState::kSuspect);
+  // Third consecutive failure crosses penalize_after: the edge returns
+  // true exactly once.
+  EXPECT_TRUE(tracker.RecordFailure("n:1", Failure::kCorrupt));
+  EXPECT_EQ(tracker.state("n:1"), NodeState::kPenalized);
+  EXPECT_EQ(tracker.penalties(), 1u);
+  // Further failures while boxed are not new sentences.
+  EXPECT_FALSE(tracker.RecordFailure("n:1", Failure::kOther));
+  EXPECT_EQ(tracker.penalties(), 1u);
+}
+
+TEST_F(NodeHealthTest, SuccessResetsEverything) {
+  NodeHealthTracker tracker(QuickOptions(), &metrics_, {});
+  for (int i = 0; i < 3; ++i) tracker.RecordFailure("n:1", Failure::kConnect);
+  ASSERT_TRUE(tracker.penalized("n:1"));
+  tracker.RecordSuccess("n:1");
+  EXPECT_EQ(tracker.state("n:1"), NodeState::kHealthy);
+  // The streak restarts from zero: two more failures don't re-penalize.
+  tracker.RecordFailure("n:1", Failure::kConnect);
+  tracker.RecordFailure("n:1", Failure::kConnect);
+  EXPECT_EQ(tracker.state("n:1"), NodeState::kSuspect);
+}
+
+TEST_F(NodeHealthTest, SentenceExpiresToProbationKeepingTheStreak) {
+  NodeHealthTracker tracker(QuickOptions(), &metrics_, {});
+  for (int i = 0; i < 3; ++i) tracker.RecordFailure("n:1", Failure::kConnect);
+  ASSERT_TRUE(tracker.penalized("n:1"));
+  ASSERT_TRUE(tracker.earliest_release().has_value());
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  // Sentence (30 ms) served: out on probation, not healthy.
+  EXPECT_EQ(tracker.state("n:1"), NodeState::kSuspect);
+  // Still-dead node goes straight back in on the next failure (streak was
+  // kept through the release)...
+  EXPECT_TRUE(tracker.RecordFailure("n:1", Failure::kConnect));
+  EXPECT_EQ(tracker.penalties(), 2u);
+}
+
+TEST_F(NodeHealthTest, SentencesDoubleUpToTheCap) {
+  auto options = QuickOptions();
+  options.penalty_ms = 30;
+  options.penalty_max_ms = 45;
+  NodeHealthTracker tracker(options, &metrics_, {});
+  // First sentence: 30 ms.
+  for (int i = 0; i < 3; ++i) tracker.RecordFailure("n:1", Failure::kConnect);
+  auto first_release = tracker.earliest_release();
+  ASSERT_TRUE(first_release.has_value());
+  const auto first_len = *first_release - std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(45));
+  // Relapse: the doubled sentence (60 ms) is clamped to penalty_max_ms.
+  ASSERT_TRUE(tracker.RecordFailure("n:1", Failure::kConnect));
+  auto second_release = tracker.earliest_release();
+  ASSERT_TRUE(second_release.has_value());
+  const auto second_len = *second_release - std::chrono::steady_clock::now();
+  EXPECT_GT(second_len, first_len);
+  EXPECT_LE(second_len, std::chrono::milliseconds(45));
+}
+
+TEST_F(NodeHealthTest, DisabledBoxNeverPenalizes) {
+  auto options = QuickOptions();
+  options.penalize_after = 0;  // disabled
+  NodeHealthTracker tracker(options, &metrics_, {});
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(tracker.RecordFailure("n:1", Failure::kConnect));
+  }
+  EXPECT_EQ(tracker.state("n:1"), NodeState::kSuspect);
+  EXPECT_EQ(tracker.penalties(), 0u);
+  EXPECT_FALSE(tracker.earliest_release().has_value());
+}
+
+TEST_F(NodeHealthTest, EarliestReleaseSpansNodes) {
+  NodeHealthTracker tracker(QuickOptions(), &metrics_, {});
+  EXPECT_FALSE(tracker.earliest_release().has_value());
+  for (int i = 0; i < 3; ++i) tracker.RecordFailure("a:1", Failure::kConnect);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  for (int i = 0; i < 3; ++i) tracker.RecordFailure("b:1", Failure::kConnect);
+  auto release = tracker.earliest_release();
+  ASSERT_TRUE(release.has_value());
+  // a was sentenced first (same length), so the earliest release is a's —
+  // strictly before b's.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_EQ(tracker.state("a:1"), NodeState::kSuspect);
+  EXPECT_EQ(tracker.state("b:1"), NodeState::kSuspect);
+  EXPECT_FALSE(tracker.earliest_release().has_value());
+}
+
+TEST_F(NodeHealthTest, StatePublishedAsGauge) {
+  NodeHealthTracker tracker(QuickOptions(), &metrics_,
+                            {{"client", "netmerger"}});
+  for (int i = 0; i < 3; ++i) tracker.RecordFailure("n:1", Failure::kCorrupt);
+  MetricGauge* gauge = metrics_.GetGauge(
+      "jbs_netmerger_node_health", {{"client", "netmerger"}, {"node", "n:1"}});
+  EXPECT_EQ(gauge->value(), 2.0);  // penalized
+  tracker.RecordSuccess("n:1");
+  EXPECT_EQ(gauge->value(), 0.0);  // healthy
+  EXPECT_EQ(metrics_
+                .GetCounter("jbs_netmerger_penalties_total",
+                            {{"client", "netmerger"}})
+                ->value(),
+            1u);
+}
+
+}  // namespace
+}  // namespace jbs::shuffle

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/bytes.h"
+
 namespace jbs::shuffle {
 namespace {
 
@@ -56,6 +58,64 @@ TEST(ProtocolTest, ErrorRoundTrip) {
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(decoded->map_task, 9);
   EXPECT_EQ(decoded->message, "unknown MOF");
+}
+
+TEST(ProtocolTest, ChunkCrcRoundTrip) {
+  FetchDataHeader header;
+  header.map_task = 3;
+  header.partition = 1;
+  header.offset = 4096;
+  header.segment_total = 999999;
+  header.flags |= kChunkHasCrc;
+  std::vector<uint8_t> data = {1, 2, 3, 4, 5};
+  header.crc32 = ChunkWireCrc(header, Crc32(data));
+  std::span<const uint8_t> out;
+  const Frame frame = EncodeData(header, data);  // `out` views its payload
+  auto decoded = DecodeData(frame, &out);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->flags & kChunkHasCrc);
+  EXPECT_EQ(decoded->crc32, header.crc32);
+  // The receiver's recomputation over the decoded header + payload matches.
+  EXPECT_EQ(ChunkWireCrc(*decoded, Crc32(out)), decoded->crc32);
+}
+
+TEST(ProtocolTest, WireCrcCoversHeaderFields) {
+  // The wire CRC folds the header prefix over the payload CRC, so a
+  // flipped header field (e.g. a truncating segment_total) mismatches even
+  // when the payload arrives intact.
+  FetchDataHeader header;
+  header.map_task = 3;
+  header.offset = 4096;
+  header.segment_total = 999999;
+  header.flags |= kChunkHasCrc;
+  std::vector<uint8_t> data = {1, 2, 3, 4, 5};
+  const uint32_t data_crc = Crc32(data);
+  header.crc32 = ChunkWireCrc(header, data_crc);
+
+  FetchDataHeader tampered = header;
+  tampered.segment_total = 5;  // pretend the segment ends at this chunk
+  EXPECT_NE(ChunkWireCrc(tampered, data_crc), header.crc32);
+  tampered = header;
+  tampered.offset = 0;
+  EXPECT_NE(ChunkWireCrc(tampered, data_crc), header.crc32);
+  tampered = header;
+  tampered.map_task = 4;
+  EXPECT_NE(ChunkWireCrc(tampered, data_crc), header.crc32);
+}
+
+TEST(ProtocolTest, LegacyHeaderWithoutCrcStillDecodes) {
+  // A peer that doesn't stamp CRCs (flag clear, field zero) must remain
+  // readable — verification is gated on kChunkHasCrc.
+  FetchDataHeader header;
+  header.map_task = 1;
+  header.segment_total = 10;
+  std::vector<uint8_t> data = {9, 9};
+  std::span<const uint8_t> out;
+  const Frame frame = EncodeData(header, data);
+  auto decoded = DecodeData(frame, &out);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_FALSE(decoded->flags & kChunkHasCrc);
+  EXPECT_EQ(decoded->crc32, 0u);
 }
 
 TEST(ProtocolTest, WrongTypeRejected) {

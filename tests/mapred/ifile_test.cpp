@@ -89,6 +89,63 @@ TEST(IFileTest, CorruptionDetectedByChecksum) {
   EXPECT_FALSE(reader.VerifyChecksum().ok());
 }
 
+TEST(IFileTest, EveryPossibleBitFlipCaughtByChecksum) {
+  // CRC32 detects any single-bit error: exhaustively flip each bit of a
+  // small segment — record bytes, EOF marker, and trailer alike — and
+  // require a mismatch with a clear status every time.
+  IFileWriter writer;
+  writer.Append("key", "value");
+  const auto clean = writer.Finish();
+  for (size_t byte = 0; byte < clean.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto flipped = clean;
+      flipped[byte] ^= static_cast<uint8_t>(1u << bit);
+      IFileReader reader(flipped);
+      const Status status = reader.VerifyChecksum();
+      ASSERT_FALSE(status.ok()) << "byte " << byte << " bit " << bit;
+      EXPECT_EQ(status.code(), StatusCode::kIoError);
+      EXPECT_FALSE(status.message().empty());
+    }
+  }
+}
+
+TEST(IFileTest, TruncatedTrailerRejectedWithClearStatus) {
+  IFileWriter writer;
+  writer.Append("key", "value");
+  auto segment = writer.Finish();
+  // Cut into (but not past) the 4-byte trailer: the checksum no longer
+  // matches the bytes that remain.
+  segment.resize(segment.size() - 2);
+  EXPECT_FALSE(IFileReader(segment).VerifyChecksum().ok());
+  // Shorter than the trailer itself: structurally invalid, and the status
+  // must say so rather than crash or pass.
+  segment.resize(3);
+  const Status status = IFileReader(segment).VerifyChecksum();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.message().find("trailer"), std::string::npos);
+}
+
+TEST(IFileTest, ValueRegionBitFlipCaughtBeforeMerge) {
+  // A flipped bit inside a value doesn't break the record framing — Next()
+  // happily returns the altered bytes — so VerifyChecksum() is the only
+  // line of defense for payload integrity. This is the reduce-side half of
+  // the end-to-end story: the wire CRC guards the transfer, this trailer
+  // guards the stored segment.
+  IFileWriter writer;
+  writer.Append("key", "payload-value");
+  auto segment = writer.Finish();
+  const size_t value_byte = segment.size() - 4 /*crc*/ - 2 /*eof*/ - 5;
+  segment[value_byte] ^= 0x01;
+  IFileReader reader(segment);
+  EXPECT_FALSE(reader.VerifyChecksum().ok());
+  // Framing alone does NOT notice — which is exactly why callers must
+  // verify the trailer first.
+  Record record;
+  ASSERT_TRUE(reader.Next(&record));
+  EXPECT_NE(record.value, "payload-value");
+}
+
 TEST(IFileTest, CorruptLengthRejected) {
   IFileWriter writer;
   writer.Append("key", "value");

@@ -126,6 +126,32 @@ TEST(ConnectionManagerTest, InvalidateForcesRedial) {
   EXPECT_EQ(transport.dials.load(), 2);
 }
 
+TEST(ConnectionManagerTest, InvalidateOnPenaltyClosesAndRedialsCleanly) {
+  // The NetMerger evicts a host's cached connection the moment its health
+  // tracker penalizes the node: the next fetch after the sentence must
+  // re-dial a fresh socket, not inherit the wedged one. Lock down the
+  // contract that eviction closes (doesn't leak) the old connection, only
+  // that host is affected, and the post-release lookup reports a dial.
+  FakeTransport transport;
+  ConnectionManager manager(&transport, 4);
+  auto sick = manager.GetOrConnect("sick-node", 1);
+  ASSERT_TRUE(sick.ok());
+  ASSERT_TRUE(manager.GetOrConnect("healthy-node", 1).ok());
+  manager.Invalidate("sick-node", 1);
+  EXPECT_FALSE((*sick)->alive());  // closed, not leaked
+  EXPECT_EQ(transport.closed.load(), 1);
+  EXPECT_EQ(manager.active_connections(), 1u);  // healthy-node untouched
+  bool dialed = false;
+  auto fresh = manager.GetOrConnect("sick-node", 1, Deadline(), &dialed);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(dialed);
+  EXPECT_NE(sick->get(), fresh->get());
+  dialed = true;
+  ASSERT_TRUE(
+      manager.GetOrConnect("healthy-node", 1, Deadline(), &dialed).ok());
+  EXPECT_FALSE(dialed);  // the bystander kept its cached connection
+}
+
 TEST(ConnectionManagerTest, CloseAllEmptiesCache) {
   FakeTransport transport;
   ConnectionManager manager(&transport, 8);

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "transport/transport.h"
 
 namespace jbs::net {
@@ -48,6 +51,115 @@ TEST_F(FaultInjectionTest, FailsExactlyNConnects) {
   EXPECT_TRUE(flaky_->Connect("127.0.0.1", server_->port()).ok());
   EXPECT_EQ(flaky_->connects_failed(), 2);
   EXPECT_EQ(flaky_->connects_attempted(), 3);
+}
+
+TEST_F(FaultInjectionTest, ChaosCorruptionFlipsExactlyOneBit) {
+  flaky_->SetChaosSchedule({ChaosPhase{.ops = 1, .corrupt_prob = 1.0}}, 42);
+  EXPECT_EQ(flaky_->chaos_seed(), 42u);
+  auto conn = flaky_->Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(conn.ok());
+  Frame f;
+  f.type = 1;
+  f.payload = {0x00, 0xff, 0x55, 0xaa};
+  ASSERT_TRUE((*conn)->Send(f).ok());
+  auto reply = (*conn)->Receive();
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->payload.size(), f.payload.size());
+  int flipped_bits = 0;
+  for (size_t i = 0; i < f.payload.size(); ++i) {
+    flipped_bits += __builtin_popcount(reply->payload[i] ^ f.payload[i]);
+  }
+  EXPECT_EQ(flipped_bits, 1);  // a single bit-flip, like a real flaky link
+  EXPECT_EQ(flaky_->chaos_corruptions(), 1);
+}
+
+TEST_F(FaultInjectionTest, ChaosScheduleExhaustsPhaseThenGoesClean) {
+  flaky_->SetChaosSchedule({ChaosPhase{.ops = 2, .corrupt_prob = 1.0}}, 7);
+  auto conn = flaky_->Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(conn.ok());
+  Frame f;
+  f.type = 1;
+  f.payload = {1, 2, 3};
+  for (int op = 0; op < 5; ++op) {
+    ASSERT_TRUE((*conn)->Send(f).ok());
+    auto reply = (*conn)->Receive();
+    ASSERT_TRUE(reply.ok());
+    if (op < 2) {
+      EXPECT_NE(reply->payload, f.payload) << "op " << op;
+    } else {
+      EXPECT_EQ(reply->payload, f.payload) << "op " << op;
+    }
+  }
+  EXPECT_EQ(flaky_->chaos_corruptions(), 2);
+}
+
+TEST_F(FaultInjectionTest, ChaosIsDeterministicForSameSeed) {
+  // Same seed, same op stream -> the same ops get corrupted. This is what
+  // makes a chaos failure replayable from its printed seed.
+  auto run = [&](uint64_t seed) {
+    flaky_->SetChaosSchedule({ChaosPhase{.ops = 32, .corrupt_prob = 0.5}},
+                             seed);
+    auto conn = flaky_->Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(conn.ok());
+    Frame f;
+    f.type = 1;
+    f.payload = {1, 2, 3};
+    std::vector<bool> corrupted;
+    for (int op = 0; op < 32; ++op) {
+      EXPECT_TRUE((*conn)->Send(f).ok());
+      auto reply = (*conn)->Receive();
+      EXPECT_TRUE(reply.ok());
+      corrupted.push_back(reply->payload != f.payload);
+    }
+    flaky_->ClearChaos();
+    return corrupted;
+  };
+  const auto first = run(1234);
+  const auto second = run(1234);
+  EXPECT_EQ(first, second);
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+}
+
+TEST_F(FaultInjectionTest, ChaosDropClosesConnection) {
+  flaky_->SetChaosSchedule({ChaosPhase{.ops = 1, .drop_prob = 1.0}}, 3);
+  auto conn = flaky_->Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(conn.ok());
+  Frame f;
+  f.type = 1;
+  f.payload = {1};
+  ASSERT_TRUE((*conn)->Send(f).ok());
+  EXPECT_FALSE((*conn)->Receive().ok());
+  EXPECT_FALSE((*conn)->alive());
+  EXPECT_EQ(flaky_->chaos_drops(), 1);
+}
+
+TEST_F(FaultInjectionTest, ChaosBlackholeHonorsDeadline) {
+  flaky_->SetChaosSchedule({ChaosPhase{.ops = 1, .blackhole_prob = 1.0}}, 5);
+  auto conn = flaky_->Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(conn.ok());
+  Frame f;
+  f.type = 1;
+  f.payload = {1};
+  ASSERT_TRUE((*conn)->Send(f).ok());
+  auto reply = (*conn)->Receive(Deadline::AfterMs(50));
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(flaky_->chaos_blackholes(), 1);
+}
+
+TEST_F(FaultInjectionTest, ClearChaosRestoresCleanWire) {
+  flaky_->SetChaosSchedule({ChaosPhase{.ops = 100, .corrupt_prob = 1.0}}, 9);
+  flaky_->ClearChaos();
+  auto conn = flaky_->Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(conn.ok());
+  Frame f;
+  f.type = 1;
+  f.payload = {4, 5, 6};
+  ASSERT_TRUE((*conn)->Send(f).ok());
+  auto reply = (*conn)->Receive();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->payload, f.payload);
+  EXPECT_EQ(flaky_->chaos_corruptions(), 0);
 }
 
 TEST_F(FaultInjectionTest, BreaksConnectionAfterKSends) {
