@@ -84,7 +84,7 @@ Status HttpShuffleServer::Start() {
 uint16_t HttpShuffleServer::port() const { return port_; }
 
 Status HttpShuffleServer::PublishMof(const mr::MofHandle& handle) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   published_[handle.map_task] = handle;
   return Status::Ok();
 }
@@ -96,7 +96,7 @@ void HttpShuffleServer::Stop() {
   ::shutdown(listen_fd_.get(), SHUT_RDWR);
   if (acceptor_.joinable()) acceptor_.join();
   listen_fd_.Reset();
-  conn_cv_.notify_all();
+  conn_cv_.NotifyAll();
   for (auto& servlet : servlets_) {
     if (servlet.joinable()) servlet.join();
   }
@@ -119,10 +119,10 @@ void HttpShuffleServer::AcceptLoop() {
     }
     (void)net::SetNoDelay(raw);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       pending_conns_.emplace_back(raw);
     }
-    conn_cv_.notify_one();
+    conn_cv_.NotifyOne();
   }
 }
 
@@ -130,10 +130,8 @@ void HttpShuffleServer::ServletLoop() {
   for (;;) {
     net::Fd conn;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      conn_cv_.wait(lock, [&] {
-        return !running_.load() || !pending_conns_.empty();
-      });
+      MutexLock lock(mu_);
+      while (running_.load() && pending_conns_.empty()) conn_cv_.Wait(lock);
       if (!running_.load() && pending_conns_.empty()) return;
       conn = std::move(pending_conns_.front());
       pending_conns_.pop_front();
@@ -165,7 +163,7 @@ void HttpShuffleServer::HandleConnection(net::Fd conn) {
       mr::MofHandle handle;
       bool found = false;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         auto it = published_.find(map_task);
         if (it != published_.end()) {
           handle = it->second;
@@ -309,7 +307,7 @@ StatusOr<std::unique_ptr<mr::RecordStream>> MofCopierClient::FetchAndMerge(
     bool compressed = false;
   };
   std::map<int, Fetched> results;
-  std::mutex results_mu;
+  Mutex results_mu;
   Status first_error;
   std::atomic<size_t> memory_used{0};
 
@@ -331,7 +329,7 @@ StatusOr<std::unique_ptr<mr::RecordStream>> MofCopierClient::FetchAndMerge(
             // days once attempt counts grow.
             int64_t backoff;
             {
-              std::lock_guard<std::mutex> lock(rng_mu_);
+              MutexLock lock(rng_mu_);
               backoff = CappedJitteredBackoffMs(
                   options_.retry_backoff_ms, attempt,
                   options_.max_retry_backoff_ms, rng_);
@@ -349,7 +347,7 @@ StatusOr<std::unique_ptr<mr::RecordStream>> MofCopierClient::FetchAndMerge(
             std::chrono::duration<double, std::milli>(
                 std::chrono::steady_clock::now() - fetch_start)
                 .count());
-        std::lock_guard<std::mutex> lock(results_mu);
+        MutexLock lock(results_mu);
         if (!body.ok()) {
           fetch_errors_c_->Increment();
           if (first_error.ok()) first_error = body.status();

@@ -16,16 +16,16 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <filesystem>
 #include <map>
-#include <mutex>
 #include <thread>
 
 #include "baseline/throttle.h"
 #include "common/metrics.h"
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "mapred/shuffle.h"
 #include "transport/socket_util.h"
 
@@ -64,18 +64,18 @@ class HttpShuffleServer final : public mr::ShuffleServer {
 
   Status Start() override;
   uint16_t port() const override;
-  Status PublishMof(const mr::MofHandle& handle) override;
-  void Stop() override;
+  Status PublishMof(const mr::MofHandle& handle) override EXCLUDES(mu_);
+  void Stop() override EXCLUDES(mu_);
   Stats stats() const override;
 
   /// The registry this server publishes into (owned or shared).
   MetricsRegistry& metrics() const { return *metrics_; }
 
  private:
-  void AcceptLoop();
-  void ServletLoop();
+  void AcceptLoop() EXCLUDES(mu_);
+  void ServletLoop() EXCLUDES(mu_);
   /// Handles one connection (possibly many keep-alive requests).
-  void HandleConnection(net::Fd conn);
+  void HandleConnection(net::Fd conn) EXCLUDES(mu_);
   MetricLabels BaseLabels() const;
 
   Options options_;
@@ -85,10 +85,10 @@ class HttpShuffleServer final : public mr::ShuffleServer {
   std::vector<std::thread> servlets_;
   std::atomic<bool> running_{false};
 
-  std::mutex mu_;
-  std::condition_variable conn_cv_;
-  std::deque<net::Fd> pending_conns_;
-  std::map<int, mr::MofHandle> published_;
+  Mutex mu_;
+  CondVar conn_cv_;
+  std::deque<net::Fd> pending_conns_ GUARDED_BY(mu_);
+  std::map<int, mr::MofHandle> published_ GUARDED_BY(mu_);
 
   Throttle disk_throttle_;
   Throttle net_throttle_;
@@ -147,8 +147,8 @@ class MofCopierClient final : public mr::ShuffleClient {
   std::atomic<uint64_t> spill_seq_{0};
 
   // Backoff jitter source, shared by all copier threads.
-  std::mutex rng_mu_;
-  Rng rng_;
+  Mutex rng_mu_;
+  Rng rng_ GUARDED_BY(rng_mu_);
 
   std::unique_ptr<MetricsRegistry> owned_metrics_;
   MetricsRegistry* metrics_ = nullptr;

@@ -12,7 +12,7 @@ void Throttle::Consume(size_t bytes) {
   if (unlimited() || bytes == 0) return;
   std::chrono::steady_clock::time_point wake;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto now = std::chrono::steady_clock::now();
     if (available_at_ < now) available_at_ = now;
     const auto cost = std::chrono::duration_cast<

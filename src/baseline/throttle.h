@@ -7,7 +7,9 @@
 #pragma once
 
 #include <chrono>
-#include <mutex>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace jbs::baseline {
 
@@ -16,15 +18,15 @@ class Throttle {
   explicit Throttle(double bytes_per_sec);
 
   /// Blocks long enough that the long-run rate stays <= bytes_per_sec.
-  void Consume(size_t bytes);
+  void Consume(size_t bytes) EXCLUDES(mu_);
 
   bool unlimited() const { return bytes_per_sec_ <= 0; }
   double rate() const { return bytes_per_sec_; }
 
  private:
   double bytes_per_sec_;
-  std::mutex mu_;
-  std::chrono::steady_clock::time_point available_at_;
+  Mutex mu_;
+  std::chrono::steady_clock::time_point available_at_ GUARDED_BY(mu_);
 };
 
 }  // namespace jbs::baseline

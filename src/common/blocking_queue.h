@@ -4,10 +4,11 @@
 // of the MOFSupplier (§III-B).
 #pragma once
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace jbs {
 
@@ -17,69 +18,68 @@ class BlockingQueue {
   explicit BlockingQueue(size_t capacity = SIZE_MAX) : capacity_(capacity) {}
 
   /// Blocks while full. Returns false if the queue was closed.
-  bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_cv_.wait(lock,
-                      [&] { return closed_ || items_.size() < capacity_; });
+  bool Push(T item) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (!closed_ && items_.size() >= capacity_) not_full_cv_.Wait(lock);
     if (closed_) return false;
     items_.push_back(std::move(item));
-    lock.unlock();
-    not_empty_cv_.notify_one();
+    lock.Unlock();
+    not_empty_cv_.NotifyOne();
     return true;
   }
 
   /// Non-blocking push; false if full or closed.
-  bool TryPush(T item) {
+  bool TryPush(T item) EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
-    not_empty_cv_.notify_one();
+    not_empty_cv_.NotifyOne();
     return true;
   }
 
   /// Blocks while empty. Returns nullopt once closed and drained.
-  std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  std::optional<T> Pop() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (!closed_ && items_.empty()) not_empty_cv_.Wait(lock);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    lock.unlock();
-    not_full_cv_.notify_one();
+    lock.Unlock();
+    not_full_cv_.NotifyOne();
     return item;
   }
 
   /// Non-blocking pop.
-  std::optional<T> TryPop() {
-    std::unique_lock<std::mutex> lock(mu_);
+  std::optional<T> TryPop() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    lock.unlock();
-    not_full_cv_.notify_one();
+    lock.Unlock();
+    not_full_cv_.NotifyOne();
     return item;
   }
 
   /// Wakes all waiters; subsequent pushes fail, pops drain then return
   /// nullopt.
-  void Close() {
+  void Close() EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
-    not_empty_cv_.notify_all();
-    not_full_cv_.notify_all();
+    not_empty_cv_.NotifyAll();
+    not_full_cv_.NotifyAll();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool closed() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return closed_;
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return items_.size();
   }
 
@@ -87,11 +87,11 @@ class BlockingQueue {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_cv_;
-  std::condition_variable not_full_cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_empty_cv_;
+  CondVar not_full_cv_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace jbs

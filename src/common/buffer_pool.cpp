@@ -64,13 +64,13 @@ BufferPool::~BufferPool() {
 }
 
 PooledBuffer BufferPool::Acquire() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.acquires;
   if (free_list_.empty()) {
     if (cancelled_) return {};
     ++stats_.blocked_acquires;
     const auto start = std::chrono::steady_clock::now();
-    available_cv_.wait(lock, [&] { return cancelled_ || !free_list_.empty(); });
+    while (!cancelled_ && free_list_.empty()) available_cv_.Wait(lock);
     const auto waited = std::chrono::steady_clock::now() - start;
     stats_.total_wait_micros +=
         std::chrono::duration_cast<std::chrono::microseconds>(waited).count();
@@ -82,7 +82,7 @@ PooledBuffer BufferPool::Acquire() {
 }
 
 PooledBuffer BufferPool::TryAcquire() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.acquires;
   if (free_list_.empty()) return {};
   uint8_t* data = free_list_.back();
@@ -91,29 +91,29 @@ PooledBuffer BufferPool::TryAcquire() {
 }
 
 size_t BufferPool::available() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return free_list_.size();
 }
 
 BufferPool::Stats BufferPool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 void BufferPool::Cancel() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     cancelled_ = true;
   }
-  available_cv_.notify_all();
+  available_cv_.NotifyAll();
 }
 
 void BufferPool::Return(uint8_t* data) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     free_list_.push_back(data);
   }
-  available_cv_.notify_one();
+  available_cv_.NotifyOne();
 }
 
 }  // namespace jbs

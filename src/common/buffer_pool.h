@@ -6,11 +6,12 @@
 // spent blocked is surfaced via contention statistics.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace jbs {
 
@@ -56,41 +57,41 @@ class BufferPool {
 
   /// Blocks until a buffer is available. Returns an invalid buffer if the
   /// pool was cancelled while (or before) waiting.
-  PooledBuffer Acquire();
+  PooledBuffer Acquire() EXCLUDES(mu_);
 
   /// Returns an invalid buffer instead of blocking when the pool is dry.
-  PooledBuffer TryAcquire();
+  PooledBuffer TryAcquire() EXCLUDES(mu_);
 
   /// Wakes every blocked Acquire() and makes it (and all future dry
   /// acquires) return an invalid buffer — shutdown support for pipeline
   /// stages parked on an exhausted pool. Buffers already checked out are
   /// unaffected and must still be returned.
-  void Cancel();
+  void Cancel() EXCLUDES(mu_);
 
   size_t buffer_size() const { return buffer_size_; }
   size_t capacity() const { return count_; }
-  size_t available() const;
+  size_t available() const EXCLUDES(mu_);
 
   struct Stats {
     uint64_t acquires = 0;
     uint64_t blocked_acquires = 0;  // acquires that had to wait
     uint64_t total_wait_micros = 0;
   };
-  Stats stats() const;
+  Stats stats() const EXCLUDES(mu_);
 
  private:
   friend class PooledBuffer;
-  void Return(uint8_t* data);
+  void Return(uint8_t* data) EXCLUDES(mu_);
 
   const size_t buffer_size_;
   const size_t count_;
   std::unique_ptr<uint8_t[]> arena_;
 
-  mutable std::mutex mu_;
-  std::condition_variable available_cv_;
-  std::vector<uint8_t*> free_list_;
-  bool cancelled_ = false;
-  Stats stats_;
+  mutable Mutex mu_;
+  CondVar available_cv_;
+  std::vector<uint8_t*> free_list_ GUARDED_BY(mu_);
+  bool cancelled_ GUARDED_BY(mu_) = false;
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace jbs

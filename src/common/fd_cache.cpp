@@ -12,15 +12,27 @@ FdCache::OpenFile::~OpenFile() {
 FdCache::FdCache(size_t capacity) : cache_(capacity) {}
 
 StatusOr<FdCache::Handle> FdCache::Open(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (auto* cached = cache_.Get(path)) {
-    ++stats_.hits;
-    return Handle(*cached);
+  {
+    MutexLock lock(mu_);
+    if (auto* cached = cache_.Get(path)) {
+      ++stats_.hits;
+      return Handle(*cached);
+    }
   }
+  // open(2) walks the path and may hit disk; doing it outside mu_ keeps a
+  // slow open from stalling every concurrent prefetch-thread cache hit.
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  MutexLock lock(mu_);
   if (fd < 0) {
     ++stats_.open_failures;
     return IoError("open " + path);
+  }
+  if (auto* cached = cache_.Get(path)) {
+    // Raced with another opener for the same path; serve the cached entry
+    // and let our descriptor close when `file` drops below.
+    auto file = std::make_shared<const OpenFile>(fd);
+    ++stats_.hits;
+    return Handle(*cached);
   }
   ++stats_.misses;
   auto file = std::make_shared<const OpenFile>(fd);
@@ -29,24 +41,24 @@ StatusOr<FdCache::Handle> FdCache::Open(const std::string& path) {
 }
 
 bool FdCache::Invalidate(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return cache_.Erase(path);
 }
 
 void FdCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   cache_.Clear();
 }
 
 FdCache::Stats FdCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Stats out = stats_;
   out.evictions = cache_.eviction_count();
   return out;
 }
 
 size_t FdCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return cache_.size();
 }
 

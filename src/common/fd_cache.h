@@ -8,11 +8,12 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/lru_cache.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace jbs {
 
@@ -45,15 +46,15 @@ class FdCache {
   explicit FdCache(size_t capacity);
 
   /// Returns a handle for `path`, opening (O_RDONLY) and caching on a miss.
-  StatusOr<Handle> Open(const std::string& path);
+  StatusOr<Handle> Open(const std::string& path) EXCLUDES(mu_);
 
   /// Drops the cache entry for `path` (e.g. after an I/O error, when the
   /// descriptor may be stale). Outstanding handles stay usable; the next
   /// Open() reopens the file. Returns true if an entry was dropped.
-  bool Invalidate(const std::string& path);
+  bool Invalidate(const std::string& path) EXCLUDES(mu_);
 
   /// Drops every cached descriptor.
-  void Clear();
+  void Clear() EXCLUDES(mu_);
 
   struct Stats {
     uint64_t hits = 0;
@@ -61,14 +62,19 @@ class FdCache {
     uint64_t evictions = 0;
     uint64_t open_failures = 0;
   };
-  Stats stats() const;
-  size_t size() const;
-  size_t capacity() const { return cache_.capacity(); }
+  Stats stats() const EXCLUDES(mu_);
+  size_t size() const EXCLUDES(mu_);
+  size_t capacity() const EXCLUDES(mu_) {
+    // The capacity never changes, but cache_ is guarded; taking the lock
+    // keeps the contract uniform (and this is never a hot path).
+    MutexLock lock(mu_);
+    return cache_.capacity();
+  }
 
  private:
-  mutable std::mutex mu_;
-  LruCache<std::string, std::shared_ptr<const OpenFile>> cache_;
-  Stats stats_;
+  mutable Mutex mu_;
+  LruCache<std::string, std::shared_ptr<const OpenFile>> cache_ GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace jbs

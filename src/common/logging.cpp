@@ -5,13 +5,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace jbs::logging {
 namespace {
 
 std::atomic<LogLevel> g_level{[] {
-  const char* env = std::getenv("JBS_LOG_LEVEL");
+  // Static initializer: runs before any thread can race the environment.
+  const char* env = std::getenv("JBS_LOG_LEVEL");  // NOLINT(concurrency-mt-unsafe)
   if (env == nullptr) return LogLevel::kWarn;
   if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
   if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
@@ -21,8 +23,8 @@ std::atomic<LogLevel> g_level{[] {
   return LogLevel::kWarn;
 }()};
 
-std::mutex& EmitMutex() {
-  static std::mutex m;
+Mutex& EmitMutex() {
+  static Mutex m;
   return m;
 }
 
@@ -56,7 +58,7 @@ void Emit(LogLevel level, const char* file, int line, const std::string& msg) {
   const auto now = Clock::now().time_since_epoch();
   const auto ms =
       std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
-  std::lock_guard<std::mutex> lock(EmitMutex());
+  MutexLock lock(EmitMutex());
   std::fprintf(stderr, "[%s %lld.%03lld %s:%d] %s\n", LevelTag(level),
                static_cast<long long>(ms / 1000),
                static_cast<long long>(ms % 1000), Basename(file), line,

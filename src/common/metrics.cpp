@@ -85,23 +85,23 @@ void MetricGauge::Add(double delta) {
 }
 
 void MetricHistogram::Observe(double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   histogram_.Add(value);
   summary_.Add(value);
 }
 
 uint64_t MetricHistogram::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return summary_.count();
 }
 
 Histogram MetricHistogram::histogram() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return histogram_;
 }
 
 Summary MetricHistogram::summary() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return summary_;
 }
 
@@ -132,7 +132,7 @@ MetricCounter* MetricsRegistry::GetCounter(std::string_view name,
                                            MetricLabels labels) {
   Key key = MakeKey(name, std::move(labels));
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto& slot = shard.counters[std::move(key)];
   if (!slot) slot = std::make_unique<MetricCounter>();
   return slot.get();
@@ -142,7 +142,7 @@ MetricGauge* MetricsRegistry::GetGauge(std::string_view name,
                                        MetricLabels labels) {
   Key key = MakeKey(name, std::move(labels));
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto& slot = shard.gauges[std::move(key)];
   if (!slot) slot = std::make_unique<MetricGauge>();
   return slot.get();
@@ -152,7 +152,7 @@ MetricHistogram* MetricsRegistry::GetHistogram(std::string_view name,
                                                MetricLabels labels) {
   Key key = MakeKey(name, std::move(labels));
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto& slot = shard.histograms[std::move(key)];
   if (!slot) slot = std::make_unique<MetricHistogram>();
   return slot.get();
@@ -163,19 +163,15 @@ void MetricsRegistry::RegisterCallbackGauge(const void* owner,
                                             MetricLabels labels,
                                             std::function<double()> fn) {
   Key key = MakeKey(name, std::move(labels));
-  Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  shard.callback_gauges[std::move(key)] = CallbackGauge{owner, std::move(fn)};
+  MutexLock lock(callbacks_mu_);
+  callback_gauges_[std::move(key)] = CallbackGauge{owner, std::move(fn)};
 }
 
 void MetricsRegistry::UnregisterCallbacks(const void* owner) {
-  for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    for (auto it = shard->callback_gauges.begin();
-         it != shard->callback_gauges.end();) {
-      it = it->second.owner == owner ? shard->callback_gauges.erase(it)
-                                     : std::next(it);
-    }
+  MutexLock lock(callbacks_mu_);
+  for (auto it = callback_gauges_.begin(); it != callback_gauges_.end();) {
+    it = it->second.owner == owner ? callback_gauges_.erase(it)
+                                   : std::next(it);
   }
 }
 
@@ -190,19 +186,25 @@ std::string MetricsRegistry::DumpText() const {
   };
   std::map<Key, HistSnap> histograms;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     for (const auto& [key, counter] : shard->counters) {
       counters[key] = counter->value();
     }
     for (const auto& [key, gauge] : shard->gauges) {
       gauges[key] = gauge->value();
     }
-    for (const auto& [key, cb] : shard->callback_gauges) {
-      gauges[key] = cb.fn();
-    }
     for (const auto& [key, histogram] : shard->histograms) {
       histograms[key] = HistSnap{histogram->histogram(),
                                  histogram->summary()};
+    }
+  }
+  {
+    // User callbacks run with no shard lock held (lock-order safety: a
+    // callback may take its component's lock, and component threads take
+    // shard locks while holding component locks).
+    MutexLock lock(callbacks_mu_);
+    for (const auto& [key, cb] : callback_gauges_) {
+      gauges[key] = cb.fn();
     }
   }
 
@@ -255,19 +257,25 @@ std::string MetricsRegistry::DumpJson() const {
   };
   std::map<Key, HistSnap> histograms;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     for (const auto& [key, counter] : shard->counters) {
       counters[key] = counter->value();
     }
     for (const auto& [key, gauge] : shard->gauges) {
       gauges[key] = gauge->value();
     }
-    for (const auto& [key, cb] : shard->callback_gauges) {
-      gauges[key] = cb.fn();
-    }
     for (const auto& [key, histogram] : shard->histograms) {
       histograms[key] = HistSnap{histogram->histogram(),
                                  histogram->summary()};
+    }
+  }
+  {
+    // User callbacks run with no shard lock held (lock-order safety: a
+    // callback may take its component's lock, and component threads take
+    // shard locks while holding component locks).
+    MutexLock lock(callbacks_mu_);
+    for (const auto& [key, cb] : callback_gauges_) {
+      gauges[key] = cb.fn();
     }
   }
 
@@ -336,7 +344,7 @@ void TraceRecorder::Record(uint64_t fetch_id, TraceEvent event,
   const int64_t t_us = std::chrono::duration_cast<std::chrono::microseconds>(
                            std::chrono::steady_clock::now() - epoch_)
                            .count();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(TraceEntry{fetch_id, event, t_us, detail});
   } else {
@@ -347,7 +355,7 @@ void TraceRecorder::Record(uint64_t fetch_id, TraceEvent event,
 }
 
 std::vector<TraceEntry> TraceRecorder::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<TraceEntry> out;
   out.reserve(ring_.size());
   for (size_t i = 0; i < ring_.size(); ++i) {
@@ -379,12 +387,12 @@ std::string TraceRecorder::DumpText() const {
 }
 
 uint64_t TraceRecorder::recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return recorded_;
 }
 
 uint64_t TraceRecorder::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return recorded_ - ring_.size();
 }
 

@@ -14,6 +14,9 @@
 //   - Counter/gauge updates are atomics; histogram observations take a
 //     per-histogram mutex (an observation is two streaming updates).
 //   - Dump*() walks the shards and emits deterministically sorted output.
+//   - Callback gauges are guarded by their own mutex and evaluated with no
+//     shard lock held, so callbacks may take component locks (see
+//     RegisterCallbackGauge).
 #pragma once
 
 #include <atomic>
@@ -22,13 +25,14 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/stats.h"
+#include "common/thread_annotations.h"
 
 namespace jbs {
 
@@ -64,16 +68,16 @@ class MetricGauge {
 /// Summary (exact count/sum/mean), both behind one mutex.
 class MetricHistogram {
  public:
-  void Observe(double value);
-  uint64_t count() const;
+  void Observe(double value) EXCLUDES(mu_);
+  uint64_t count() const EXCLUDES(mu_);
   /// Snapshot copies — safe to read while writers observe.
-  Histogram histogram() const;
-  Summary summary() const;
+  Histogram histogram() const EXCLUDES(mu_);
+  Summary summary() const EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  Histogram histogram_;
-  Summary summary_;
+  mutable Mutex mu_;
+  Histogram histogram_ GUARDED_BY(mu_);
+  Summary summary_ GUARDED_BY(mu_);
 };
 
 class MetricsRegistry {
@@ -94,10 +98,17 @@ class MetricsRegistry {
   /// a component, e.g. a cache's occupancy). `owner` is an opaque token;
   /// the component MUST call UnregisterCallbacks(owner) before the
   /// captured state dies, or a later dump reads freed memory.
+  ///
+  /// Callbacks run under callbacks_mu_ only — never under a shard lock —
+  /// so a callback may take its component's lock even while other threads
+  /// register metrics from under that same component lock. A callback must
+  /// not call back into this registry (Register/Unregister/Dump*).
   void RegisterCallbackGauge(const void* owner, std::string_view name,
-                             MetricLabels labels, std::function<double()> fn);
+                             MetricLabels labels, std::function<double()> fn)
+      EXCLUDES(callbacks_mu_);
   /// Drops every callback gauge registered with `owner`. Idempotent.
-  void UnregisterCallbacks(const void* owner);
+  /// On return, no dump is running (or will run) the owner's callbacks.
+  void UnregisterCallbacks(const void* owner) EXCLUDES(callbacks_mu_);
 
   /// Prometheus-style text exposition, deterministically sorted by
   /// (name, labels). Histograms emit cumulative _bucket{le=...} lines
@@ -122,11 +133,10 @@ class MetricsRegistry {
   };
   static constexpr size_t kShards = 16;
   struct Shard {
-    std::mutex mu;
-    std::map<Key, std::unique_ptr<MetricCounter>> counters;
-    std::map<Key, std::unique_ptr<MetricGauge>> gauges;
-    std::map<Key, std::unique_ptr<MetricHistogram>> histograms;
-    std::map<Key, CallbackGauge> callback_gauges;
+    Mutex mu;
+    std::map<Key, std::unique_ptr<MetricCounter>> counters GUARDED_BY(mu);
+    std::map<Key, std::unique_ptr<MetricGauge>> gauges GUARDED_BY(mu);
+    std::map<Key, std::unique_ptr<MetricHistogram>> histograms GUARDED_BY(mu);
   };
 
   static Key MakeKey(std::string_view name, MetricLabels labels);
@@ -134,6 +144,13 @@ class MetricsRegistry {
   const Shard& ShardFor(const Key& key) const;
 
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Callback gauges live outside the shards: dumps evaluate user callbacks
+  /// under this mutex with no shard lock held, so a callback that takes its
+  /// component's lock cannot deadlock against a component thread calling
+  /// GetCounter (which takes a shard lock under the component lock).
+  mutable Mutex callbacks_mu_;
+  std::map<Key, CallbackGauge> callback_gauges_ GUARDED_BY(callbacks_mu_);
 };
 
 /// Lifecycle stages of one fetch, in causal order.
@@ -167,10 +184,11 @@ class TraceRecorder {
   /// Allocates the next fetch id (1-based, monotonic).
   uint64_t BeginFetch() { return next_fetch_id_.fetch_add(1) + 1; }
 
-  void Record(uint64_t fetch_id, TraceEvent event, int64_t detail = 0);
+  void Record(uint64_t fetch_id, TraceEvent event, int64_t detail = 0)
+      EXCLUDES(mu_);
 
   /// All retained entries, oldest first.
-  std::vector<TraceEntry> Snapshot() const;
+  std::vector<TraceEntry> Snapshot() const EXCLUDES(mu_);
   /// Retained entries for one fetch, oldest first.
   std::vector<TraceEntry> ForFetch(uint64_t fetch_id) const;
   /// Human-readable timeline (one line per entry), for tests and benches.
@@ -178,18 +196,18 @@ class TraceRecorder {
 
   size_t capacity() const { return capacity_; }
   /// Total entries ever recorded (>= retained count).
-  uint64_t recorded() const;
+  uint64_t recorded() const EXCLUDES(mu_);
   /// Entries overwritten by ring wraparound.
-  uint64_t dropped() const;
+  uint64_t dropped() const EXCLUDES(mu_);
 
  private:
   const size_t capacity_;
   const std::chrono::steady_clock::time_point epoch_;
   std::atomic<uint64_t> next_fetch_id_{0};
-  mutable std::mutex mu_;
-  std::vector<TraceEntry> ring_;
-  size_t head_ = 0;  // next write slot once the ring is full
-  uint64_t recorded_ = 0;
+  mutable Mutex mu_;
+  std::vector<TraceEntry> ring_ GUARDED_BY(mu_);
+  size_t head_ GUARDED_BY(mu_) = 0;  // next write slot once the ring is full
+  uint64_t recorded_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace jbs

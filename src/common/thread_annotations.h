@@ -1,0 +1,78 @@
+// Portable clang thread-safety-analysis annotations. Under clang the
+// macros expand to the attributes checked by -Wthread-safety (the JBS
+// concurrency contracts: which mutex guards which member, which helper
+// requires which lock); under gcc and every other compiler they expand
+// to nothing, so the default g++ CI build is unaffected. The clang-tsa
+// CMake preset builds with -Wthread-safety -Werror so a violated
+// contract is a compile error, not a TSan coin flip.
+//
+// Conventions (DESIGN.md section 12):
+//   - Members:         T x_ GUARDED_BY(mu_);
+//   - Pointees:        T* p_ PT_GUARDED_BY(mu_);
+//   - Private helpers called with the lock held:  REQUIRES(mu_)
+//   - Public entry points that take the lock:     EXCLUDES(mu_)
+//     (EXCLUDES documents "don't call me while holding mu_" and catches
+//     self-deadlock at the call site.)
+//   - Lock wrappers:   CAPABILITY / SCOPED_CAPABILITY / ACQUIRE / RELEASE
+//   - Escape hatch:    NO_THREAD_SAFETY_ANALYSIS, always with a comment
+//     explaining why the analysis cannot see the invariant.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define JBS_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define JBS_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op outside clang
+#endif
+
+#define CAPABILITY(x) JBS_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+#define SCOPED_CAPABILITY JBS_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+#define GUARDED_BY(x) JBS_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+#define PT_GUARDED_BY(x) JBS_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  JBS_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  JBS_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  JBS_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  JBS_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  JBS_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  JBS_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  JBS_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  JBS_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+#define RELEASE_GENERIC(...) \
+  JBS_THREAD_ANNOTATION_ATTRIBUTE(release_generic_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  JBS_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...) \
+  JBS_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) JBS_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) JBS_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+#define ASSERT_SHARED_CAPABILITY(x) \
+  JBS_THREAD_ANNOTATION_ATTRIBUTE(assert_shared_capability(x))
+
+#define RETURN_CAPABILITY(x) JBS_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  JBS_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

@@ -30,7 +30,7 @@ fs::path MiniDfs::BlockFile(int node, BlockId id) const {
 
 std::vector<int> MiniDfs::PlaceReplicas(int preferred_node) {
   // rng_ is shared by every concurrent Writer.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<int> replicas;
   const int n = options_.num_datanodes;
   int first = preferred_node;
@@ -68,7 +68,7 @@ Status MiniDfs::StoreBlock(const BlockInfo& block,
 }
 
 Status MiniDfs::CommitFile(FileInfo info) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (files_.count(info.path) > 0) {
     return AlreadyExists(info.path);
   }
@@ -90,7 +90,7 @@ Status MiniDfs::WriteFile(const std::string& path,
 StatusOr<MiniDfs::Writer> MiniDfs::Create(const std::string& path,
                                           int preferred_node) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (files_.count(path) > 0) return AlreadyExists(path);
   }
   return Writer(this, path, preferred_node);
@@ -123,7 +123,7 @@ Status MiniDfs::Writer::FinishBlock() {
   if (pending_.empty()) return Status::Ok();
   BlockInfo block;
   {
-    std::lock_guard<std::mutex> lock(dfs_->mu_);
+    MutexLock lock(dfs_->mu_);
     block.id = dfs_->next_block_id_++;
   }
   block.length = pending_.size();
@@ -164,7 +164,7 @@ Status MiniDfs::ReadRange(const std::string& path, uint64_t offset,
                           uint64_t length, std::vector<uint8_t>& out) const {
   FileInfo info;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = files_.find(path);
     if (it == files_.end()) return NotFound(path);
     info = it->second;
@@ -218,14 +218,14 @@ Status MiniDfs::ReadFile(const std::string& path,
 }
 
 StatusOr<FileInfo> MiniDfs::Stat(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return NotFound(path);
   return it->second;
 }
 
 std::vector<std::string> MiniDfs::ListFiles() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(files_.size());
   for (const auto& [path, info] : files_) out.push_back(path);
@@ -235,7 +235,7 @@ std::vector<std::string> MiniDfs::ListFiles() const {
 Status MiniDfs::Delete(const std::string& path) {
   FileInfo info;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = files_.find(path);
     if (it == files_.end()) return NotFound(path);
     info = std::move(it->second);
@@ -254,7 +254,7 @@ Status MiniDfs::Delete(const std::string& path) {
 }
 
 bool MiniDfs::Exists(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return files_.count(path) > 0;
 }
 
@@ -289,7 +289,7 @@ StatusOr<std::vector<InputSplit>> MiniDfs::GetSplits(
 }
 
 StatusOr<std::filesystem::path> MiniDfs::BlockPath(BlockId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = block_locations_.find(id);
   if (it == block_locations_.end()) {
     return NotFound("block " + std::to_string(id));
@@ -300,7 +300,7 @@ StatusOr<std::filesystem::path> MiniDfs::BlockPath(BlockId id) const {
 StatusOr<uint64_t> MiniDfs::Fsck() const {
   std::vector<FileInfo> files;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     files.reserve(files_.size());
     for (const auto& [path, info] : files_) files.push_back(info);
   }
@@ -330,7 +330,7 @@ StatusOr<uint64_t> MiniDfs::Fsck() const {
 }
 
 MiniDfs::UsageReport MiniDfs::Usage() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   UsageReport report;
   report.files = files_.size();
   for (const auto& [path, info] : files_) {

@@ -8,14 +8,15 @@
 #include <cstdint>
 #include <filesystem>
 #include <map>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "common/config.h"
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace jbs::hdfs {
 
@@ -84,19 +85,21 @@ class MiniDfs {
     std::vector<uint8_t> pending_;
     bool closed_ = false;
   };
-  StatusOr<Writer> Create(const std::string& path, int preferred_node = -1);
+  StatusOr<Writer> Create(const std::string& path, int preferred_node = -1)
+      EXCLUDES(mu_);
 
   /// Reads [offset, offset+length) of a file into `out` (resized).
   Status ReadRange(const std::string& path, uint64_t offset, uint64_t length,
-                   std::vector<uint8_t>& out) const;
+                   std::vector<uint8_t>& out) const EXCLUDES(mu_);
 
   /// Reads the whole file.
-  Status ReadFile(const std::string& path, std::vector<uint8_t>& out) const;
+  Status ReadFile(const std::string& path, std::vector<uint8_t>& out) const
+      EXCLUDES(mu_);
 
-  StatusOr<FileInfo> Stat(const std::string& path) const;
-  std::vector<std::string> ListFiles() const;
-  Status Delete(const std::string& path);
-  bool Exists(const std::string& path) const;
+  StatusOr<FileInfo> Stat(const std::string& path) const EXCLUDES(mu_);
+  std::vector<std::string> ListFiles() const EXCLUDES(mu_);
+  Status Delete(const std::string& path) EXCLUDES(mu_);
+  bool Exists(const std::string& path) const EXCLUDES(mu_);
 
   /// Splits a file for MapTasks. split_size defaults to the block size
   /// (Hadoop's default: one split per block).
@@ -108,12 +111,12 @@ class MiniDfs {
 
   /// Path of the primary replica's block file (for direct/mmap access by
   /// the native shuffle components).
-  StatusOr<std::filesystem::path> BlockPath(BlockId id) const;
+  StatusOr<std::filesystem::path> BlockPath(BlockId id) const EXCLUDES(mu_);
 
   /// Re-reads every replica of every block and verifies its checksum —
   /// an fsck-style integrity sweep. Returns the number of corrupt
   /// replicas found (with details logged), or an error on I/O failure.
-  StatusOr<uint64_t> Fsck() const;
+  StatusOr<uint64_t> Fsck() const EXCLUDES(mu_);
 
   struct UsageReport {
     uint64_t files = 0;
@@ -121,21 +124,21 @@ class MiniDfs {
     uint64_t bytes = 0;
     uint64_t replica_bytes = 0;  // bytes including replication
   };
-  UsageReport Usage() const;
+  UsageReport Usage() const EXCLUDES(mu_);
 
  private:
   std::filesystem::path DatanodeDir(int node) const;
   std::filesystem::path BlockFile(int node, BlockId id) const;
-  std::vector<int> PlaceReplicas(int preferred_node);
+  std::vector<int> PlaceReplicas(int preferred_node) EXCLUDES(mu_);
   Status StoreBlock(const BlockInfo& block, std::span<const uint8_t> data);
-  Status CommitFile(FileInfo info);
+  Status CommitFile(FileInfo info) EXCLUDES(mu_);
 
   Options options_;
-  mutable std::mutex mu_;
-  std::map<std::string, FileInfo> files_;
-  std::map<BlockId, std::vector<int>> block_locations_;
-  BlockId next_block_id_ = 1;
-  Rng rng_;
+  mutable Mutex mu_;
+  std::map<std::string, FileInfo> files_ GUARDED_BY(mu_);
+  std::map<BlockId, std::vector<int>> block_locations_ GUARDED_BY(mu_);
+  BlockId next_block_id_ GUARDED_BY(mu_) = 1;
+  Rng rng_ GUARDED_BY(mu_);
 };
 
 }  // namespace jbs::hdfs

@@ -4,7 +4,7 @@ namespace jbs::shuffle {
 
 StatusOr<mr::MofIndex> IndexCache::GetOrLoad(const mr::MofHandle& handle) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (auto* cached = cache_.Get(handle.map_task)) {
       ++stats_.hits;
       return *cached;
@@ -13,18 +13,18 @@ StatusOr<mr::MofIndex> IndexCache::GetOrLoad(const mr::MofHandle& handle) {
   }
   auto index = mr::MofIndex::Load(handle.index_path);
   JBS_RETURN_IF_ERROR(index.status());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   cache_.Put(handle.map_task, *index);
   return std::move(index).value();
 }
 
 IndexCache::Stats IndexCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 size_t IndexCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return cache_.size();
 }
 

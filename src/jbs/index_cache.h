@@ -2,10 +2,10 @@
 // don't re-read the index from disk for every fetch request.
 #pragma once
 
-#include <mutex>
-
 #include "common/lru_cache.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "mapred/mof.h"
 
 namespace jbs::shuffle {
@@ -15,19 +15,20 @@ class IndexCache {
   explicit IndexCache(size_t capacity = 1024) : cache_(capacity) {}
 
   /// Returns the index for `handle`, loading and caching it on a miss.
-  StatusOr<mr::MofIndex> GetOrLoad(const mr::MofHandle& handle);
+  StatusOr<mr::MofIndex> GetOrLoad(const mr::MofHandle& handle) EXCLUDES(mu_);
 
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
   };
-  Stats stats() const;
-  size_t size() const;
+  Stats stats() const EXCLUDES(mu_);
+  size_t size() const EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  LruCache<int, mr::MofIndex> cache_;  // map_task -> parsed index
-  Stats stats_;
+  mutable Mutex mu_;
+  // map_task -> parsed index
+  LruCache<int, mr::MofIndex> cache_ GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace jbs::shuffle

@@ -72,7 +72,7 @@ uint32_t MofSupplier::ChunkDataCrc(const FetchRequest& request,
                           std::to_string(request.offset) + "/" +
                           std::to_string(data.size());
   {
-    std::lock_guard<std::mutex> lock(crc_cache_mu_);
+    MutexLock lock(crc_cache_mu_);
     if (const uint32_t* cached = crc_cache_.Get(key)) {
       crc_cache_hits_c_->Increment();
       return *cached;
@@ -82,7 +82,7 @@ uint32_t MofSupplier::ChunkDataCrc(const FetchRequest& request,
   // expensive part and must not serialize the disk-thread pool.
   const uint32_t crc = Crc32(data);
   {
-    std::lock_guard<std::mutex> lock(crc_cache_mu_);
+    MutexLock lock(crc_cache_mu_);
     crc_cache_.Put(key, crc);
   }
   crc_cache_misses_c_->Increment();
@@ -177,18 +177,18 @@ uint16_t MofSupplier::port() const {
 }
 
 Status MofSupplier::PublishMof(const mr::MofHandle& handle) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   published_[handle.map_task] = handle;
   return Status::Ok();
 }
 
 void MofSupplier::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) return;
     stopping_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   data_cache_.Cancel();  // unblock disk threads parked on a dry pool
   for (auto& thread : disk_threads_) {
     if (thread.joinable()) thread.join();
@@ -209,7 +209,7 @@ mr::ShuffleServer::Stats MofSupplier::stats() const {
 }
 
 size_t MofSupplier::pending_group_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return groups_.size();
 }
 
@@ -239,7 +239,7 @@ void MofSupplier::OnFrame(net::ConnId conn, Frame frame) {
   requests_c_->Increment();
   PendingRequest pending{conn, *request, std::chrono::steady_clock::now()};
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const int group_key =
         options_.pipelined ? request->map_task
                            : -1;  // serialized mode: one global FIFO
@@ -259,13 +259,13 @@ void MofSupplier::OnFrame(net::ConnId conn, Frame frame) {
       queue.push_back(std::move(pending));
     }
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void MofSupplier::OnDisconnect(net::ConnId conn) {
   uint64_t purged = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto it = groups_.begin(); it != groups_.end();) {
       auto& queue = it->second;
       const size_t before = queue.size();
@@ -289,7 +289,7 @@ void MofSupplier::OnDisconnect(net::ConnId conn) {
 bool MofSupplier::NextBatch(std::vector<PendingRequest>* batch,
                             int* group_key) {
   batch->clear();
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
     if (stopping_) return false;
     // Round-robin across MOF groups, starting strictly after the last
@@ -316,7 +316,7 @@ bool MofSupplier::NextBatch(std::vector<PendingRequest>* batch,
       }
       ++it;
     }
-    work_cv_.wait(lock);
+    work_cv_.Wait(lock);
   }
 }
 
@@ -333,11 +333,11 @@ void MofSupplier::DiskLoop() {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       busy_groups_.erase(group_key);
     }
     // Another disk thread may be waiting for this group to free up.
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
   }
 }
 
@@ -348,7 +348,7 @@ bool MofSupplier::ResolveRequest(
   const FetchRequest& request = pending.request;
   bool found = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = published_.find(request.map_task);
     if (it != published_.end()) {
       *handle = it->second;
@@ -385,7 +385,7 @@ bool MofSupplier::ResolveRequest(
   header->segment_total = entry.length;
   header->flags = index->compressed() ? kSegmentCompressed : 0;
   {
-    std::lock_guard<std::mutex> lock(last_served_mu_);
+    MutexLock lock(last_served_mu_);
     if (last_served_mof_ != request.map_task) {
       group_switches_c_->Increment();
       last_served_mof_ = request.map_task;
@@ -411,7 +411,7 @@ void MofSupplier::ChargeDiskModel(int fd, uint64_t offset, size_t bytes) {
   if (options_.disk_seek_ms <= 0 && options_.disk_bytes_per_sec <= 0) return;
   std::chrono::steady_clock::time_point ready;
   {
-    std::lock_guard<std::mutex> lock(disk_model_mu_);
+    MutexLock lock(disk_model_mu_);
     // A read that does not continue the descriptor's previous read breaks
     // the sequential stream (readahead misses; on a spindle, the head
     // moves). Descriptor reuse after fd-cache eviction at worst charges

@@ -21,7 +21,6 @@
 #pragma once
 
 #include <climits>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <map>
@@ -34,7 +33,9 @@
 #include "common/fd_cache.h"
 #include "common/lru_cache.h"
 #include "common/metrics.h"
+#include "common/mutex.h"
 #include "common/stats.h"
+#include "common/thread_annotations.h"
 #include "jbs/index_cache.h"
 #include "jbs/protocol.h"
 #include "mapred/shuffle.h"
@@ -82,8 +83,8 @@ class MofSupplier final : public mr::ShuffleServer {
 
   Status Start() override;
   uint16_t port() const override;
-  Status PublishMof(const mr::MofHandle& handle) override;
-  void Stop() override;
+  Status PublishMof(const mr::MofHandle& handle) override EXCLUDES(mu_);
+  void Stop() override EXCLUDES(mu_);
   Stats stats() const override;
 
   /// Legacy stats view, now a thin read of the MetricsRegistry counters —
@@ -108,7 +109,7 @@ class MofSupplier final : public mr::ShuffleServer {
 
   /// Live request-group queues. Drained groups are erased eagerly, so this
   /// returns to 0 between bursts instead of growing with finished maps.
-  size_t pending_group_count() const;
+  size_t pending_group_count() const EXCLUDES(mu_);
 
  private:
   struct PendingRequest {
@@ -129,15 +130,16 @@ class MofSupplier final : public mr::ShuffleServer {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  void OnFrame(net::ConnId conn, Frame frame);
+  void OnFrame(net::ConnId conn, Frame frame) EXCLUDES(mu_);
   /// Drops queued requests from a departed connection so the disk stage
   /// doesn't read (and the send stage doesn't encode) for a dead peer.
-  void OnDisconnect(net::ConnId conn);
-  void DiskLoop();
+  void OnDisconnect(net::ConnId conn) EXCLUDES(mu_);
+  void DiskLoop() EXCLUDES(mu_);
   /// Pops the next round-robin batch and checks its group out (busy) so no
   /// other disk thread serves the same MOF concurrently. Blocks until work
   /// exists or shutdown; false on shutdown. Drained group queues are erased.
-  bool NextBatch(std::vector<PendingRequest>* batch, int* group_key);
+  bool NextBatch(std::vector<PendingRequest>* batch, int* group_key)
+      EXCLUDES(mu_);
   /// Pipelined stage 1: pread into a pooled buffer, hand to the send stage.
   void PrefetchOne(const PendingRequest& pending);
   /// Serialized ablation path: read + encode + transmit inline (seed
@@ -148,7 +150,8 @@ class MofSupplier final : public mr::ShuffleServer {
   bool ResolveRequest(const PendingRequest& pending, mr::MofHandle* handle,
                       FetchDataHeader* header, uint64_t* disk_offset,
                       uint64_t* chunk,
-                      const std::function<void(const std::string&)>& fail);
+                      const std::function<void(const std::string&)>& fail)
+      EXCLUDES(mu_, last_served_mu_);
   /// Pipelined stage 2: encode ready buffers and hand frames to the
   /// transport event thread.
   void SendLoop();
@@ -162,13 +165,15 @@ class MofSupplier final : public mr::ShuffleServer {
   /// Data-payload CRC for one resolved chunk, via the LRU memo (MOFs are
   /// immutable once published, so a cached value never goes stale).
   uint32_t ChunkDataCrc(const FetchRequest& request,
-                        std::span<const uint8_t> data);
+                        std::span<const uint8_t> data)
+      EXCLUDES(crc_cache_mu_);
   /// Stamps `header` with the full wire CRC (kChunkHasCrc) when enabled.
   void StampChunkCrc(FetchDataHeader* header, const FetchRequest& request,
                      std::span<const uint8_t> data);
   /// Sleeps for the modeled disk time of a pread (see
   /// Options::disk_seek_ms); no-op when the model is disabled.
-  void ChargeDiskModel(int fd, uint64_t offset, size_t bytes);
+  void ChargeDiskModel(int fd, uint64_t offset, size_t bytes)
+      EXCLUDES(disk_model_mu_);
   /// Labels shared by all of this supplier's metrics.
   MetricLabels BaseLabels() const;
   /// Re-exports component-owned values (cache hit counters, DataCache
@@ -185,8 +190,8 @@ class MofSupplier final : public mr::ShuffleServer {
 
   // Chunk-CRC memo: (map, partition, offset, len) -> CRC32 of the payload
   // bytes, so the hot path hashes each chunk once, not per retransmit.
-  std::mutex crc_cache_mu_;
-  LruCache<std::string, uint32_t> crc_cache_;
+  Mutex crc_cache_mu_;
+  LruCache<std::string, uint32_t> crc_cache_ GUARDED_BY(crc_cache_mu_);
   MetricCounter* crc_cache_hits_c_ = nullptr;
   MetricCounter* crc_cache_misses_c_ = nullptr;
 
@@ -202,27 +207,32 @@ class MofSupplier final : public mr::ShuffleServer {
   MetricCounter* disconnect_purges_c_ = nullptr;
   MetricHistogram* request_latency_ms_h_ = nullptr;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::map<int, mr::MofHandle> published_;  // map_task -> handle
+  mutable Mutex mu_;
+  CondVar work_cv_;
+  // map_task -> handle
+  std::map<int, mr::MofHandle> published_ GUARDED_BY(mu_);
   // Request grouping: one queue per target MOF, requests within a group
   // ordered by intended segment offset via ordered insertion. Queues are
   // erased as they drain (and recreated on demand), so long-running
   // suppliers don't accumulate a map entry per finished map task.
-  std::map<int, std::deque<PendingRequest>> groups_;
-  std::set<int> busy_groups_;  // groups checked out by a disk thread
-  int rr_last_ = INT_MIN;      // round-robin pointer (last group served)
-  bool stopping_ = false;
+  std::map<int, std::deque<PendingRequest>> groups_ GUARDED_BY(mu_);
+  // Groups checked out by a disk thread.
+  std::set<int> busy_groups_ GUARDED_BY(mu_);
+  // Round-robin pointer (last group served).
+  int rr_last_ GUARDED_BY(mu_) = INT_MIN;
+  bool stopping_ GUARDED_BY(mu_) = false;
 
   // group_switches detection only; all counters live in the registry.
-  mutable std::mutex last_served_mu_;
-  int last_served_mof_ = -1;
+  mutable Mutex last_served_mu_;
+  int last_served_mof_ GUARDED_BY(last_served_mu_) = -1;
 
   // Calibrated-disk model state: a token bucket serializing modeled disk
   // time plus per-descriptor stream positions for seek detection.
-  std::mutex disk_model_mu_;
-  std::chrono::steady_clock::time_point disk_available_at_{};
-  std::map<int, uint64_t> disk_stream_pos_;  // fd -> next sequential offset
+  Mutex disk_model_mu_;
+  std::chrono::steady_clock::time_point disk_available_at_
+      GUARDED_BY(disk_model_mu_){};
+  // fd -> next sequential offset
+  std::map<int, uint64_t> disk_stream_pos_ GUARDED_BY(disk_model_mu_);
 
   std::vector<std::thread> disk_threads_;
   std::thread send_thread_;

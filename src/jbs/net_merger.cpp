@@ -120,20 +120,20 @@ NetMerger::~NetMerger() { Stop(); }
 void NetMerger::Stop() {
   std::map<std::string, std::deque<FetchTask>> orphans;
   {
-    std::lock_guard<std::mutex> lock(sched_mu_);
+    MutexLock lock(sched_mu_);
     if (stopping_) return;
     stopping_ = true;
     orphans.swap(node_queues_);
   }
   cancelled_.store(true);
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   // Wake data threads blocked in Send/Receive on a cached connection and
   // make any racing dial fail fast.
   connections_.Shutdown();
   {
     // Ablation-mode per-fetch connections live outside the manager; close
     // them too so those threads unblock.
-    std::lock_guard<std::mutex> lock(inflight_mu_);
+    MutexLock lock(inflight_mu_);
     for (net::Connection* conn : inflight_conns_) conn->Close();
   }
   // Fail every queued (never claimed) task so its FetchAndMerge caller
@@ -190,7 +190,7 @@ net::ConnectionManager::Stats NetMerger::connection_stats() const {
 }
 
 size_t NetMerger::pending_node_count() const {
-  std::lock_guard<std::mutex> lock(sched_mu_);
+  MutexLock lock(sched_mu_);
   return node_queues_.size();
 }
 
@@ -231,9 +231,15 @@ StatusOr<std::unique_ptr<mr::RecordStream>> NetMerger::FetchAndMerge(
   }
 
   auto context = std::make_shared<CallContext>();
-  context->remaining = unique.size();
   {
-    std::lock_guard<std::mutex> lock(sched_mu_);
+    // Not yet shared with any worker, but `remaining` is guarded and this
+    // is nowhere near a hot path: take the lock rather than carve out an
+    // escape hatch.
+    MutexLock context_lock(context->mu);
+    context->remaining = unique.size();
+  }
+  {
+    MutexLock lock(sched_mu_);
     if (stopping_) return Unavailable("NetMerger stopped");
     // Consolidation: requests are grouped by target node, ordered by
     // arrival within each group.
@@ -263,10 +269,10 @@ StatusOr<std::unique_ptr<mr::RecordStream>> NetMerger::FetchAndMerge(
       SetQueueDepth(node, queue.size());
     }
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 
-  std::unique_lock<std::mutex> lock(context->mu);
-  context->done_cv.wait(lock, [&] { return context->remaining == 0; });
+  MutexLock lock(context->mu);
+  while (context->remaining != 0) context->done_cv.Wait(lock);
   if (!context->error.ok()) return context->error;
 
   // Network-levitated merge: all segments live in memory; merge directly.
@@ -292,7 +298,7 @@ StatusOr<std::unique_ptr<mr::RecordStream>> NetMerger::FetchAndMerge(
 }
 
 bool NetMerger::NextTask(std::string* node, FetchTask* task) {
-  std::unique_lock<std::mutex> lock(sched_mu_);
+  MutexLock lock(sched_mu_);
   for (;;) {
     if (stopping_) return false;
     // Reroute queued work off penalized nodes: a task with a healthy
@@ -392,13 +398,13 @@ bool NetMerger::NextTask(std::string* node, FetchTask* task) {
       // Only penalized work is pending: sleep until the box next opens
       // (or new work / shutdown wakes us) instead of forever.
       if (auto release = health_->earliest_release()) {
-        work_cv_.wait_until(lock, *release);
+        (void)work_cv_.WaitUntil(lock, *release);
         continue;
       }
       // The sentence expired between the scan and here; rescan.
       continue;
     }
-    work_cv_.wait(lock);
+    work_cv_.Wait(lock);
   }
 }
 
@@ -416,10 +422,10 @@ void NetMerger::WorkerLoop() {
     // FetchAndMerge caller is the last owner once all segments land.
     task = FetchTask{};
     {
-      std::lock_guard<std::mutex> lock(sched_mu_);
+      MutexLock lock(sched_mu_);
       busy_nodes_.erase(node);
     }
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
   }
 }
 
@@ -430,7 +436,7 @@ int64_t NetMerger::NextBackoffMs(int attempt,
     // Shared capped+jittered helper (common/rng.h): the shift is bounded
     // (`20 << 40` is UB on int and a multi-day sleep besides) and the
     // jitter decorrelates data threads hammering one recovering node.
-    std::lock_guard<std::mutex> lock(rng_mu_);
+    MutexLock lock(rng_mu_);
     backoff = CappedJitteredBackoffMs(options_.retry_backoff_ms, attempt,
                                       options_.max_retry_backoff_ms, rng_);
   }
@@ -467,10 +473,13 @@ void NetMerger::ExecuteTask(const std::string& node, FetchTask task) {
       fetch_retries_c_->Increment();
       trace_->Record(task.fetch_id, TraceEvent::kRetry, attempt);
       const int64_t backoff = NextBackoffMs(attempt, fetch_deadline);
-      std::unique_lock<std::mutex> lock(sched_mu_);
+      MutexLock lock(sched_mu_);
       // Interruptible sleep: Stop() must not wait out a backoff.
-      work_cv_.wait_for(lock, std::chrono::milliseconds(backoff),
-                        [&] { return stopping_; });
+      const auto wake = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(backoff);
+      while (!stopping_ &&
+             work_cv_.WaitUntil(lock, wake) != std::cv_status::timeout) {
+      }
       if (stopping_) {
         result = Unavailable("NetMerger stopped");
         break;
@@ -510,7 +519,7 @@ void NetMerger::ExecuteTask(const std::string& node, FetchTask task) {
         net::Connection* raw = conn->get();
         bool raced_stop = false;
         {
-          std::lock_guard<std::mutex> lock(inflight_mu_);
+          MutexLock lock(inflight_mu_);
           if (cancelled_.load()) {
             raced_stop = true;
           } else {
@@ -527,7 +536,7 @@ void NetMerger::ExecuteTask(const std::string& node, FetchTask task) {
         trace_->Record(task.fetch_id, TraceEvent::kDialed, attempt + 1);
         result = FetchSegment(**conn, task, fetch_deadline);
         {
-          std::lock_guard<std::mutex> lock(inflight_mu_);
+          MutexLock lock(inflight_mu_);
           inflight_conns_.erase(raw);
         }
         (*conn)->Close();
@@ -583,7 +592,7 @@ bool NetMerger::TryFailover(FetchTask& task, const Status& why) {
   ++task.reroutes;
   const std::string dest = NodeKey(task.source);
   {
-    std::lock_guard<std::mutex> lock(sched_mu_);
+    MutexLock lock(sched_mu_);
     if (stopping_) {
       // Undo so the caller completes the task against the node that
       // actually produced `why`.
@@ -600,7 +609,7 @@ bool NetMerger::TryFailover(FetchTask& task, const Status& why) {
     queue.push_back(std::move(task));
     SetQueueDepth(dest, queue.size());
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   return true;
 }
 
@@ -722,7 +731,7 @@ StatusOr<NetMerger::FetchedSegment> NetMerger::FetchSegment(
 void NetMerger::CompleteTask(const FetchTask& task,
                              StatusOr<FetchedSegment> result) {
   std::shared_ptr<CallContext> context = task.context;
-  std::lock_guard<std::mutex> lock(context->mu);
+  MutexLock lock(context->mu);
   if (result.ok()) {
     trace_->Record(task.fetch_id, TraceEvent::kMerged,
                    static_cast<int64_t>(result->bytes.size()));
@@ -738,7 +747,7 @@ void NetMerger::CompleteTask(const FetchTask& task,
     }
   }
   --context->remaining;
-  if (context->remaining == 0) context->done_cv.notify_all();
+  if (context->remaining == 0) context->done_cv.NotifyAll();
 }
 
 }  // namespace jbs::shuffle

@@ -15,7 +15,6 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <map>
 #include <memory>
@@ -23,6 +22,8 @@
 #include <thread>
 
 #include "common/metrics.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/rng.h"
 #include "jbs/node_health.h"
 #include "mapred/shuffle.h"
@@ -81,12 +82,13 @@ class NetMerger final : public mr::ShuffleClient {
   ~NetMerger() override;
 
   StatusOr<std::unique_ptr<mr::RecordStream>> FetchAndMerge(
-      int partition, const std::vector<mr::MofLocation>& sources) override;
+      int partition, const std::vector<mr::MofLocation>& sources) override
+      EXCLUDES(sched_mu_);
 
   /// Cancels all fetch work and joins the data threads. Queued and
   /// in-flight fetches fail with kUnavailable, so every FetchAndMerge
   /// caller — including ones blocked on a silent peer — returns promptly.
-  void Stop() override;
+  void Stop() override EXCLUDES(sched_mu_, inflight_mu_);
   Stats stats() const override;
 
   /// Legacy stats view, now a thin read of the MetricsRegistry counters —
@@ -124,7 +126,7 @@ class NetMerger final : public mr::ShuffleClient {
 
   /// Remote nodes with queued (not yet claimed) fetch tasks. Drained
   /// nodes are removed, so an idle merger reports 0.
-  size_t pending_node_count() const;
+  size_t pending_node_count() const EXCLUDES(sched_mu_);
 
  private:
   /// A fully fetched segment plus how to interpret it.
@@ -135,11 +137,11 @@ class NetMerger final : public mr::ShuffleClient {
 
   /// One FetchAndMerge call in flight.
   struct CallContext {
-    std::mutex mu;
-    std::condition_variable done_cv;
-    size_t remaining = 0;
-    Status error;
-    std::map<int, FetchedSegment> segments;  // map_task -> segment
+    Mutex mu;
+    CondVar done_cv;
+    size_t remaining GUARDED_BY(mu) = 0;
+    Status error GUARDED_BY(mu);
+    std::map<int, FetchedSegment> segments GUARDED_BY(mu);  // map_task -> segment
   };
 
   struct FetchTask {
@@ -163,20 +165,21 @@ class NetMerger final : public mr::ShuffleClient {
     return loc.host + ":" + std::to_string(loc.port);
   }
 
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(sched_mu_);
   /// Picks the next (node, task) respecting per-node exclusivity, the
   /// round-robin policy, and the penalty box: penalized nodes are skipped,
   /// their queued tasks rerouted to healthy replicas when possible, and
   /// when only penalized work remains the wait is bounded by the earliest
   /// sentence expiry. Blocks until work exists or shutdown.
-  bool NextTask(std::string* node, FetchTask* task);
-  void ExecuteTask(const std::string& node, FetchTask task);
+  bool NextTask(std::string* node, FetchTask* task) EXCLUDES(sched_mu_);
+  void ExecuteTask(const std::string& node, FetchTask task)
+      EXCLUDES(sched_mu_, inflight_mu_);
   /// Re-enqueues `task` on its next replica after `source` failed with
   /// `why`. Returns false (leaving the task untouched) when no failover is
   /// possible — no alternates, reroute budget spent, fetch deadline blown,
   /// or the merger is stopping — in which case the caller must complete
   /// the task with `why`.
-  bool TryFailover(FetchTask& task, const Status& why);
+  bool TryFailover(FetchTask& task, const Status& why) EXCLUDES(sched_mu_);
   /// Runs the chunked fetch conversation; returns the segment. Each chunk
   /// round trip is bounded by the sooner of `deadline` and the per-chunk
   /// timeout.
@@ -186,11 +189,13 @@ class NetMerger final : public mr::ShuffleClient {
   void CompleteTask(const FetchTask& task, StatusOr<FetchedSegment> result);
   /// Capped, jittered exponential backoff for retry `attempt` (>= 1),
   /// clamped so the sleep never overruns the fetch deadline.
-  int64_t NextBackoffMs(int attempt, const net::Deadline& fetch_deadline);
+  int64_t NextBackoffMs(int attempt, const net::Deadline& fetch_deadline)
+      EXCLUDES(rng_mu_);
   /// Labels shared by all of this merger's metrics.
   MetricLabels BaseLabels() const;
-  /// Publishes `depth` for the node's queue-depth gauge. Caller holds
-  /// sched_mu_ (the registry lock is a leaf, so nesting is safe).
+  /// Publishes `depth` for the node's queue-depth gauge. Touches only the
+  /// registry, so it is callable with or without sched_mu_ held (the
+  /// registry lock is a leaf, so nesting under sched_mu_ is safe).
   void SetQueueDepth(const std::string& node, size_t depth);
   /// Re-exports the connection-manager counters as gauges (they're owned
   /// by the manager, not the registry). Called from the stats accessors
@@ -223,22 +228,24 @@ class NetMerger final : public mr::ShuffleClient {
   // per-node health gauges into the same registry).
   std::unique_ptr<NodeHealthTracker> health_;
 
-  mutable std::mutex sched_mu_;
-  std::condition_variable work_cv_;
-  std::map<std::string, std::deque<FetchTask>> node_queues_;
-  std::set<std::string> busy_nodes_;
-  std::string rr_last_;  // last node serviced (round-robin pointer)
-  bool stopping_ = false;
+  mutable Mutex sched_mu_;
+  CondVar work_cv_;
+  std::map<std::string, std::deque<FetchTask>> node_queues_
+      GUARDED_BY(sched_mu_);
+  std::set<std::string> busy_nodes_ GUARDED_BY(sched_mu_);
+  // Last node serviced (round-robin pointer).
+  std::string rr_last_ GUARDED_BY(sched_mu_);
+  bool stopping_ GUARDED_BY(sched_mu_) = false;
   std::atomic<bool> cancelled_{false};
 
   // Ablation-mode (consolidate = false) connections aren't in the
   // connection manager, so Stop() closes them through this set to wake
   // any data thread blocked mid-conversation.
-  std::mutex inflight_mu_;
-  std::set<net::Connection*> inflight_conns_;
+  Mutex inflight_mu_;
+  std::set<net::Connection*> inflight_conns_ GUARDED_BY(inflight_mu_);
 
-  std::mutex rng_mu_;
-  Rng rng_;
+  Mutex rng_mu_;
+  Rng rng_ GUARDED_BY(rng_mu_);
 
   std::vector<std::thread> workers_;
 };

@@ -40,7 +40,7 @@ void NodeHealthTracker::Refresh(Node& entry) {
 
 bool NodeHealthTracker::RecordFailure(const std::string& node, Failure kind) {
   (void)kind;  // all kinds weigh equally today; the trace carries the why
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Node& entry = GetNode(node);
   Refresh(entry);
   ++entry.consecutive_failures;
@@ -67,7 +67,7 @@ bool NodeHealthTracker::RecordFailure(const std::string& node, Failure kind) {
 }
 
 void NodeHealthTracker::RecordSuccess(const std::string& node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Node& entry = GetNode(node);
   entry.consecutive_failures = 0;
   entry.penalty_level = 0;
@@ -75,7 +75,7 @@ void NodeHealthTracker::RecordSuccess(const std::string& node) {
 }
 
 NodeState NodeHealthTracker::state(const std::string& node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Node& entry = GetNode(node);
   Refresh(entry);
   return entry.state;
@@ -83,7 +83,7 @@ NodeState NodeHealthTracker::state(const std::string& node) {
 
 std::optional<std::chrono::steady_clock::time_point>
 NodeHealthTracker::earliest_release() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::optional<std::chrono::steady_clock::time_point> earliest;
   for (auto& [key, entry] : nodes_) {
     Refresh(entry);

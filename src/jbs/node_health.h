@@ -15,11 +15,12 @@
 
 #include <chrono>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 
 #include "common/metrics.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace jbs::shuffle {
 
@@ -55,15 +56,15 @@ class NodeHealthTracker {
   /// this failure pushed the node INTO the penalty box (a transition edge,
   /// not a level), so the caller can evict cached connections once per
   /// sentence.
-  bool RecordFailure(const std::string& node, Failure kind);
+  bool RecordFailure(const std::string& node, Failure kind) EXCLUDES(mu_);
 
   /// A completed fetch: node back to healthy, streak and sentence reset.
-  void RecordSuccess(const std::string& node);
+  void RecordSuccess(const std::string& node) EXCLUDES(mu_);
 
   /// Current state; a served sentence expires here (penalized -> suspect
   /// on probation — the failure streak is kept, so a node that is still
   /// dead goes straight back in with a doubled sentence).
-  NodeState state(const std::string& node);
+  NodeState state(const std::string& node) EXCLUDES(mu_);
 
   bool penalized(const std::string& node) {
     return state(node) == NodeState::kPenalized;
@@ -72,7 +73,8 @@ class NodeHealthTracker {
   /// Earliest release time among nodes still serving a sentence, for
   /// schedulers that need to sleep until the box next opens. nullopt when
   /// the box is empty.
-  std::optional<std::chrono::steady_clock::time_point> earliest_release();
+  std::optional<std::chrono::steady_clock::time_point> earliest_release()
+      EXCLUDES(mu_);
 
   /// Total sentences handed out.
   uint64_t penalties() const { return penalties_c_->value(); }
@@ -86,19 +88,19 @@ class NodeHealthTracker {
     MetricGauge* gauge = nullptr;
   };
 
-  /// Looks up (or registers) the node entry. Caller holds mu_.
-  Node& GetNode(const std::string& node);
-  /// Applies expiry, updates the gauge. Caller holds mu_.
-  void Refresh(Node& entry);
-  void SetState(Node& entry, NodeState state);
+  /// Looks up (or registers) the node entry.
+  Node& GetNode(const std::string& node) REQUIRES(mu_);
+  /// Applies expiry, updates the gauge.
+  void Refresh(Node& entry) REQUIRES(mu_);
+  void SetState(Node& entry, NodeState state) REQUIRES(mu_);
 
   const Options options_;
   MetricsRegistry* metrics_;
   const MetricLabels base_labels_;
   MetricCounter* penalties_c_;
 
-  std::mutex mu_;
-  std::map<std::string, Node> nodes_;
+  Mutex mu_;
+  std::map<std::string, Node> nodes_ GUARDED_BY(mu_);
 };
 
 }  // namespace jbs::shuffle

@@ -160,7 +160,7 @@ Status LocalJobRunner::RunMapTask(const JobSpec& spec,
   JBS_RETURN_IF_ERROR(handle.status());
   JBS_RETURN_IF_ERROR(server->PublishMof(*handle));
 
-  std::lock_guard<std::mutex> lock(counters_mu_);
+  MutexLock lock(counters_mu_);
   counters->map_input_records += input_records;
   counters->map_output_records += collector.records_collected();
   counters->map_output_bytes += collector.bytes_collected();
@@ -225,7 +225,7 @@ Status LocalJobRunner::RunReduceTask(const JobSpec& spec, int reduce_task,
   JBS_RETURN_IF_ERROR(groups.status());
   JBS_RETURN_IF_ERROR(writer->Close());
 
-  std::lock_guard<std::mutex> lock(counters_mu_);
+  MutexLock lock(counters_mu_);
   counters->reduce_input_records += input_records;
   counters->reduce_output_records += output_records;
   counters->output_files.push_back(out_path);
@@ -268,10 +268,10 @@ StatusOr<JobCounters> LocalJobRunner::Run(const JobSpec& spec) {
   auto assignments = AssignMaps(*splits, &counters.local_maps);
 
   // ---- Map phase ----
-  std::mutex status_mu;
+  Mutex status_mu;
   Status first_error;
   auto record_error = [&](const Status& st) {
-    std::lock_guard<std::mutex> lock(status_mu);
+    MutexLock lock(status_mu);
     if (first_error.ok() && !st.ok()) first_error = st;
   };
   {
@@ -286,7 +286,7 @@ StatusOr<JobCounters> LocalJobRunner::Run(const JobSpec& spec) {
         for (int attempt = 0; attempt < options_.max_task_attempts;
              ++attempt) {
           if (attempt > 0) {
-            std::lock_guard<std::mutex> lock(counters_mu_);
+            MutexLock lock(counters_mu_);
             ++counters.task_retries;
           }
           st = RunMapTask(spec, assignment,
@@ -332,7 +332,7 @@ StatusOr<JobCounters> LocalJobRunner::Run(const JobSpec& spec) {
              ++attempt) {
           if (attempt > 0) {
             {
-              std::lock_guard<std::mutex> lock(counters_mu_);
+              MutexLock lock(counters_mu_);
               ++counters.task_retries;
             }
             // A fresh attempt rewrites its output file.

@@ -6,10 +6,11 @@
 #pragma once
 
 #include <filesystem>
-#include <mutex>
 
 #include "common/config.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "hdfs/minidfs.h"
 #include "mapred/api.h"
 #include "mapred/shuffle.h"
@@ -75,11 +76,12 @@ class LocalJobRunner {
       const std::vector<hdfs::InputSplit>& splits, uint64_t* local_maps);
 
   Status RunMapTask(const JobSpec& spec, const MapAssignment& assignment,
-                    ShuffleServer* server, JobCounters* counters);
+                    ShuffleServer* server, JobCounters* counters)
+      EXCLUDES(counters_mu_);
   Status RunReduceTask(const JobSpec& spec, int reduce_task, int node,
                        ShuffleClient* client,
                        const std::vector<MofLocation>& sources,
-                       JobCounters* counters);
+                       JobCounters* counters) EXCLUDES(counters_mu_);
 
   /// Parses split bytes into (key,value) map inputs per the input format.
   Status ForEachInputRecord(
@@ -88,7 +90,9 @@ class LocalJobRunner {
       uint64_t* records);
 
   Options options_;
-  std::mutex counters_mu_;
+  // Guards the JobCounters object a Run() call threads through the task
+  // runners (a per-call local, so it cannot carry GUARDED_BY itself).
+  Mutex counters_mu_;
 };
 
 }  // namespace jbs::mr

@@ -3,13 +3,13 @@
 namespace jbs::mr {
 
 Status LocalMofRegistry::Publish(const MofHandle& handle) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   mofs_[handle.map_task] = handle;
   return Status::Ok();
 }
 
 StatusOr<MofHandle> LocalMofRegistry::Lookup(int map_task) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = mofs_.find(map_task);
   if (it == mofs_.end()) {
     return NotFound("MOF for map task " + std::to_string(map_task));
@@ -18,7 +18,7 @@ StatusOr<MofHandle> LocalMofRegistry::Lookup(int map_task) const {
 }
 
 size_t LocalMofRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return mofs_.size();
 }
 
@@ -47,7 +47,7 @@ class LocalClient final : public ShuffleClient {
       int partition, const std::vector<MofLocation>& sources) override {
     std::vector<std::unique_ptr<RecordStream>> streams;
     streams.reserve(sources.size());
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const MofLocation& source : sources) {
       auto handle = registry_->Lookup(source.map_task);
       JBS_RETURN_IF_ERROR(handle.status());
@@ -67,14 +67,14 @@ class LocalClient final : public ShuffleClient {
   }
 
   Stats stats() const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return stats_;
   }
 
  private:
   LocalMofRegistry* registry_;
-  mutable std::mutex mu_;
-  Stats stats_;
+  mutable Mutex mu_;
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace

@@ -5,21 +5,22 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "mapred/shuffle.h"
 
 namespace jbs::mr {
 
 class LocalMofRegistry {
  public:
-  Status Publish(const MofHandle& handle);
-  StatusOr<MofHandle> Lookup(int map_task) const;
-  size_t size() const;
+  Status Publish(const MofHandle& handle) EXCLUDES(mu_);
+  StatusOr<MofHandle> Lookup(int map_task) const EXCLUDES(mu_);
+  size_t size() const EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<int, MofHandle> mofs_;  // map_task -> handle
+  mutable Mutex mu_;
+  std::map<int, MofHandle> mofs_ GUARDED_BY(mu_);  // map_task -> handle
 };
 
 class LocalShufflePlugin final : public ShufflePlugin {

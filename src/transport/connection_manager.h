@@ -12,10 +12,11 @@
 
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/lru_cache.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "transport/transport.h"
 
 namespace jbs::net {
@@ -41,19 +42,20 @@ class ConnectionManager {
   /// never double-counted.
   StatusOr<std::shared_ptr<Connection>> GetOrConnect(
       const std::string& host, uint16_t port,
-      const Deadline& deadline = Deadline(), bool* dialed = nullptr);
+      const Deadline& deadline = Deadline(), bool* dialed = nullptr)
+      EXCLUDES(mu_);
 
   /// Drops a connection (e.g. after an I/O error) so the next request
   /// re-establishes it.
-  void Invalidate(const std::string& host, uint16_t port);
+  void Invalidate(const std::string& host, uint16_t port) EXCLUDES(mu_);
 
   /// Closes everything.
-  void CloseAll();
+  void CloseAll() EXCLUDES(mu_);
 
   /// Closes everything and fails all future GetOrConnect calls — the
   /// cancellation half of NetMerger::Stop(). Closing wakes any thread
   /// blocked in Send/Receive on a cached connection.
-  void Shutdown();
+  void Shutdown() EXCLUDES(mu_);
 
   struct Stats {
     uint64_t hits = 0;
@@ -62,8 +64,8 @@ class ConnectionManager {
     uint64_t dial_failures = 0;
     uint64_t idle_evictions = 0;
   };
-  Stats stats() const;
-  size_t active_connections() const;
+  Stats stats() const EXCLUDES(mu_);
+  size_t active_connections() const EXCLUDES(mu_);
   size_t capacity() const { return capacity_; }
 
  private:
@@ -81,10 +83,10 @@ class ConnectionManager {
   Transport* transport_;
   size_t capacity_;
   std::chrono::milliseconds idle_timeout_;
-  mutable std::mutex mu_;
-  bool shutdown_ = false;
-  LruCache<std::string, Cached> cache_;
-  Stats stats_;
+  mutable Mutex mu_;
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  LruCache<std::string, Cached> cache_ GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace jbs::net

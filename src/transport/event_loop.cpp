@@ -85,7 +85,7 @@ void EventLoop::Remove(int fd) {
 
 void EventLoop::RunInLoop(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    MutexLock lock(pending_mu_);
     pending_.push_back(std::move(fn));
   }
   const uint64_t one = 1;
@@ -95,7 +95,7 @@ void EventLoop::RunInLoop(std::function<void()> fn) {
 void EventLoop::DrainPending() {
   std::vector<std::function<void()>> work;
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    MutexLock lock(pending_mu_);
     work.swap(pending_);
   }
   for (auto& fn : work) fn();

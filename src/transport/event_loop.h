@@ -7,12 +7,13 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "transport/socket_util.h"
 
 namespace jbs::net {
@@ -49,7 +50,7 @@ class EventLoop {
   void Remove(int fd);
 
   /// Schedules `fn` to run on the loop thread; wakes the loop. Any thread.
-  void RunInLoop(std::function<void()> fn);
+  void RunInLoop(std::function<void()> fn) EXCLUDES(pending_mu_);
 
   bool InLoopThread() const {
     return std::this_thread::get_id() == loop_thread_id_;
@@ -57,7 +58,7 @@ class EventLoop {
 
  private:
   void Loop();
-  void DrainPending();
+  void DrainPending() EXCLUDES(pending_mu_);
 
   Fd epoll_fd_;
   Fd wake_fd_;  // eventfd
@@ -67,8 +68,8 @@ class EventLoop {
 
   std::unordered_map<int, FdCallback> callbacks_;
 
-  std::mutex pending_mu_;
-  std::vector<std::function<void()>> pending_;
+  Mutex pending_mu_;
+  std::vector<std::function<void()>> pending_ GUARDED_BY(pending_mu_);
 };
 
 }  // namespace jbs::net

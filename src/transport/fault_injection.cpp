@@ -82,7 +82,7 @@ class FaultInjectingTransport::FlakyConnection final : public Connection {
   void Close() override {
     closed_.store(true);
     inner_->Close();
-    hole_->cv.notify_all();  // wake a Receive parked in a blackhole
+    hole_->cv.NotifyAll();  // wake a Receive parked in a blackhole
   }
 
   bool alive() const override { return inner_->alive(); }
@@ -95,15 +95,15 @@ class FaultInjectingTransport::FlakyConnection final : public Connection {
   /// Blocks like a silent peer. Ok() when released; otherwise the error
   /// the caller should report.
   Status Park(const Deadline& deadline, const char* what) {
-    std::unique_lock<std::mutex> lock(hole_->mu);
+    MutexLock lock(hole_->mu);
     const uint64_t gen = hole_->release_gen;
-    const auto woken = [&] {
-      return closed_.load() || hole_->release_gen != gen;
-    };
-    if (deadline.infinite()) {
-      hole_->cv.wait(lock, woken);
-    } else {
-      hole_->cv.wait_until(lock, deadline.time(), woken);
+    while (!closed_.load() && hole_->release_gen == gen) {
+      if (deadline.infinite()) {
+        hole_->cv.Wait(lock);
+      } else if (hole_->cv.WaitUntil(lock, deadline.time()) ==
+                 std::cv_status::timeout) {
+        break;
+      }
     }
     if (closed_.load()) return Unavailable("connection closed");
     if (hole_->release_gen != gen) return Status::Ok();
@@ -127,15 +127,15 @@ bool FaultInjectingTransport::TakeToken(std::atomic<int>& counter) {
 
 void FaultInjectingTransport::ReleaseBlackholes() {
   {
-    std::lock_guard<std::mutex> lock(blackhole_->mu);
+    MutexLock lock(blackhole_->mu);
     ++blackhole_->release_gen;
   }
-  blackhole_->cv.notify_all();
+  blackhole_->cv.NotifyAll();
 }
 
 void FaultInjectingTransport::SetChaosSchedule(std::vector<ChaosPhase> phases,
                                                uint64_t seed) {
-  std::lock_guard<std::mutex> lock(chaos_mu_);
+  MutexLock lock(chaos_mu_);
   chaos_phases_ = std::move(phases);
   chaos_phase_ = 0;
   chaos_phase_ops_ = 0;
@@ -144,20 +144,20 @@ void FaultInjectingTransport::SetChaosSchedule(std::vector<ChaosPhase> phases,
 }
 
 void FaultInjectingTransport::ClearChaos() {
-  std::lock_guard<std::mutex> lock(chaos_mu_);
+  MutexLock lock(chaos_mu_);
   chaos_phases_.clear();
   chaos_phase_ = 0;
   chaos_phase_ops_ = 0;
 }
 
 uint64_t FaultInjectingTransport::chaos_seed() const {
-  std::lock_guard<std::mutex> lock(chaos_mu_);
+  MutexLock lock(chaos_mu_);
   return chaos_seed_;
 }
 
 FaultInjectingTransport::ChaosDecision
 FaultInjectingTransport::NextChaosDecision() {
-  std::lock_guard<std::mutex> lock(chaos_mu_);
+  MutexLock lock(chaos_mu_);
   // Advance past exhausted (or empty) phases.
   while (chaos_phase_ < chaos_phases_.size() &&
          chaos_phase_ops_ >= chaos_phases_[chaos_phase_].ops) {
@@ -204,13 +204,15 @@ StatusOr<std::unique_ptr<Connection>> FaultInjectingTransport::Connect(
   }
   if (TakeToken(blackholed_connects_)) {
     connects_blackholed_.fetch_add(1);
-    std::unique_lock<std::mutex> lock(blackhole_->mu);
+    MutexLock lock(blackhole_->mu);
     const uint64_t gen = blackhole_->release_gen;
-    const auto woken = [&] { return blackhole_->release_gen != gen; };
-    if (deadline.infinite()) {
-      blackhole_->cv.wait(lock, woken);
-    } else {
-      blackhole_->cv.wait_until(lock, deadline.time(), woken);
+    while (blackhole_->release_gen == gen) {
+      if (deadline.infinite()) {
+        blackhole_->cv.Wait(lock);
+      } else if (blackhole_->cv.WaitUntil(lock, deadline.time()) ==
+                 std::cv_status::timeout) {
+        break;
+      }
     }
     if (blackhole_->release_gen == gen) {
       connects_failed_.fetch_add(1);

@@ -8,12 +8,12 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "transport/transport.h"
 
 namespace jbs::net {
@@ -76,11 +76,12 @@ class FaultInjectingTransport final : public Transport {
   /// ChaosPhase). Replaces any active schedule and restarts from the first
   /// phase. Composes with the token-based knobs above: tokens are checked
   /// first, the chaos decision applies to ops they leave untouched.
-  void SetChaosSchedule(std::vector<ChaosPhase> phases, uint64_t seed);
+  void SetChaosSchedule(std::vector<ChaosPhase> phases, uint64_t seed)
+      EXCLUDES(chaos_mu_);
   /// Drops the remaining schedule; the wire is clean from now on.
-  void ClearChaos();
+  void ClearChaos() EXCLUDES(chaos_mu_);
   /// Seed of the most recently installed schedule (0 before any).
-  uint64_t chaos_seed() const;
+  uint64_t chaos_seed() const EXCLUDES(chaos_mu_);
 
   int chaos_corruptions() const { return chaos_corruptions_.load(); }
   int chaos_drops() const { return chaos_drops_.load(); }
@@ -109,9 +110,9 @@ class FaultInjectingTransport final : public Transport {
   /// Shared park bench for blackholed operations: they wait here for a
   /// deadline, a connection close, or a release broadcast.
   struct Blackhole {
-    std::mutex mu;
-    std::condition_variable cv;
-    uint64_t release_gen = 0;
+    Mutex mu;
+    CondVar cv;
+    uint64_t release_gen GUARDED_BY(mu) = 0;
   };
 
   /// Atomically consumes one token from `counter` if any remain.
@@ -128,7 +129,7 @@ class FaultInjectingTransport final : public Transport {
   };
   /// Consumes one op from the schedule (advancing phases) and rolls its
   /// fate. kNone when no schedule is active or the schedule is exhausted.
-  ChaosDecision NextChaosDecision();
+  ChaosDecision NextChaosDecision() EXCLUDES(chaos_mu_);
 
   Transport* inner_;
   std::shared_ptr<Blackhole> blackhole_ = std::make_shared<Blackhole>();
@@ -148,12 +149,13 @@ class FaultInjectingTransport final : public Transport {
   // Chaos schedule state: the phase list, the cursor, and the seeded RNG
   // all advance together under one mutex so the draw sequence is a pure
   // function of (seed, op order).
-  mutable std::mutex chaos_mu_;
-  std::vector<ChaosPhase> chaos_phases_;
-  size_t chaos_phase_ = 0;
-  int chaos_phase_ops_ = 0;  // ops already consumed from the current phase
-  uint64_t chaos_seed_ = 0;
-  Rng chaos_rng_{0};
+  mutable Mutex chaos_mu_;
+  std::vector<ChaosPhase> chaos_phases_ GUARDED_BY(chaos_mu_);
+  size_t chaos_phase_ GUARDED_BY(chaos_mu_) = 0;
+  // Ops already consumed from the current phase.
+  int chaos_phase_ops_ GUARDED_BY(chaos_mu_) = 0;
+  uint64_t chaos_seed_ GUARDED_BY(chaos_mu_) = 0;
+  Rng chaos_rng_ GUARDED_BY(chaos_mu_){0};
   std::atomic<int> chaos_corruptions_{0};
   std::atomic<int> chaos_drops_{0};
   std::atomic<int> chaos_delays_{0};

@@ -6,6 +6,8 @@
 
 #include "common/blocking_queue.h"
 #include "common/logging.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "transport/soft_rdma.h"
 
 namespace jbs::net {
@@ -75,11 +77,12 @@ class RdmaConnection final : public Connection {
 
   ~RdmaConnection() override { Close(); }
 
-  Status Send(const Frame& frame, const Deadline& deadline) override {
+  Status Send(const Frame& frame, const Deadline& deadline) override
+      EXCLUDES(send_mu_) {
     if (frame.payload.size() > ring_->buffer_size()) {
       return InvalidArgument("frame exceeds transport buffer size");
     }
-    std::lock_guard<std::mutex> lock(send_mu_);
+    MutexLock lock(send_mu_);
     JBS_RETURN_IF_ERROR(
         qp_->PostSend(next_send_wr_++, frame.type, frame.payload));
     auto wc = send_cq_->WaitPoll(deadline);
@@ -134,8 +137,8 @@ class RdmaConnection final : public Connection {
   std::unique_ptr<CompletionQueue> recv_cq_;
   std::unique_ptr<RecvRing> ring_;
   std::unique_ptr<QueuePair> qp_;
-  std::mutex send_mu_;
-  uint64_t next_send_wr_ = 1;
+  Mutex send_mu_;  // one in-flight send at a time (post + completion wait)
+  uint64_t next_send_wr_ GUARDED_BY(send_mu_) = 1;
   std::atomic<bool> closed_{false};
 };
 
@@ -178,12 +181,12 @@ class RdmaServerEndpoint final : public ServerEndpoint {
     if (cm_thread_.joinable()) cm_thread_.join();
     if (send_thread_.joinable()) send_thread_.join();
     if (recv_thread_.joinable()) recv_thread_.join();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     conns_.clear();
   }
 
-  Stats stats() const override {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+  Stats stats() const override EXCLUDES(stats_mu_) {
+    MutexLock lock(stats_mu_);
     Stats out = stats_;
     out.send_queue_depth = send_queue_.size();
     return out;
@@ -230,7 +233,7 @@ class RdmaServerEndpoint final : public ServerEndpoint {
       // request frame would be dropped and its buffer never reposted,
       // leaving the client blocked forever.
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         conns_[id] = ConnState{accepted, std::move(ring)};
       }
       // Post with conn-qualified wr_ids into the shared CQ.
@@ -242,12 +245,12 @@ class RdmaServerEndpoint final : public ServerEndpoint {
         }
       }
       if (!ok) {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         conns_.erase(id);
         continue;
       }
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(stats_mu_);
         ++stats_.connections_accepted;
       }
       if (handlers_.on_connect) handlers_.on_connect(id);
@@ -271,7 +274,7 @@ class RdmaServerEndpoint final : public ServerEndpoint {
       Frame frame;
       frame.type = wc->msg_type;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         auto it = conns_.find(id);
         if (it == conns_.end()) continue;
         const MemoryRegion& mr =
@@ -281,7 +284,7 @@ class RdmaServerEndpoint final : public ServerEndpoint {
                                 it->second.ring->region(WrBuffer(wc->wr_id)));
       }
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(stats_mu_);
         ++stats_.frames_received;
       }
       if (handlers_.on_frame) handlers_.on_frame(id, std::move(frame));
@@ -293,13 +296,15 @@ class RdmaServerEndpoint final : public ServerEndpoint {
       auto item = send_queue_.Pop();
       if (!item) return;
       auto& [conn, frame] = *item;
-      std::unique_lock<std::mutex> lock(mu_);
-      auto it = conns_.find(conn);
-      if (it == conns_.end()) continue;
-      std::shared_ptr<QueuePair> qp = it->second.qp;
-      lock.unlock();
+      std::shared_ptr<QueuePair> qp;
+      {
+        MutexLock lock(mu_);
+        auto it = conns_.find(conn);
+        if (it == conns_.end()) continue;
+        qp = it->second.qp;
+      }
       if (qp->PostSend(next_send_wr_++, frame.type, frame.payload).ok()) {
-        std::lock_guard<std::mutex> slock(stats_mu_);
+        MutexLock slock(stats_mu_);
         ++stats_.frames_sent;
         stats_.bytes_sent += frame.payload.size();
       }
@@ -310,7 +315,7 @@ class RdmaServerEndpoint final : public ServerEndpoint {
   void DropConn(ConnId id) {
     std::shared_ptr<QueuePair> dying;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       auto it = conns_.find(id);
       if (it == conns_.end()) return;
       dying = std::move(it->second.qp);
@@ -338,10 +343,10 @@ class RdmaServerEndpoint final : public ServerEndpoint {
   BlockingQueue<std::pair<ConnId, Frame>> send_queue_;
   std::atomic<uint64_t> next_send_wr_{1};
 
-  mutable std::mutex mu_;
-  std::unordered_map<ConnId, ConnState> conns_;
-  mutable std::mutex stats_mu_;
-  Stats stats_;
+  mutable Mutex mu_;
+  std::unordered_map<ConnId, ConnState> conns_ GUARDED_BY(mu_);
+  mutable Mutex stats_mu_;
+  Stats stats_ GUARDED_BY(stats_mu_);
 };
 
 class SoftRdmaTransport final : public Transport {

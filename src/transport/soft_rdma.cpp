@@ -19,14 +19,14 @@ constexpr uint8_t kMsgRdmaReadReq = 0xF4;   // req_id u64 | addr u64 | rkey u32 
 constexpr uint8_t kMsgRdmaReadResp = 0xF5;  // req_id u64 | status u8 | data
 
 // Wire: u32 payload_len | u8 wire_type | u8 app_type | payload
-Status SendMessage(int fd, std::mutex& mu, uint8_t wire_type,
-                   uint8_t app_type, std::span<const uint8_t> payload) {
+Status SendMessage(int fd, Mutex& mu, uint8_t wire_type, uint8_t app_type,
+                   std::span<const uint8_t> payload) EXCLUDES(mu) {
   std::vector<uint8_t> header;
   header.reserve(6);
   PutU32(header, static_cast<uint32_t>(payload.size()));
   header.push_back(wire_type);
   header.push_back(app_type);
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(mu);
   JBS_RETURN_IF_ERROR(SendAll(fd, header));
   if (!payload.empty()) JBS_RETURN_IF_ERROR(SendAll(fd, payload));
   return Status::Ok();
@@ -34,7 +34,7 @@ Status SendMessage(int fd, std::mutex& mu, uint8_t wire_type,
 }  // namespace
 
 MemoryRegion ProtectionDomain::Register(void* addr, size_t length) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MemoryRegion mr;
   mr.addr = static_cast<uint8_t*>(addr);
   mr.length = length;
@@ -44,7 +44,7 @@ MemoryRegion ProtectionDomain::Register(void* addr, size_t length) {
 }
 
 bool ProtectionDomain::Owns(const MemoryRegion& mr) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = regions_.find(mr.lkey);
   if (it == regions_.end()) return false;
   // The MR must sit inside the registered region.
@@ -55,7 +55,7 @@ bool ProtectionDomain::Owns(const MemoryRegion& mr) const {
 bool ProtectionDomain::ValidateRemoteAccess(uint32_t rkey,
                                             const uint8_t* addr,
                                             size_t length) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = regions_.find(rkey);
   if (it == regions_.end()) return false;
   return addr >= it->second.first &&
@@ -63,12 +63,12 @@ bool ProtectionDomain::ValidateRemoteAccess(uint32_t rkey,
 }
 
 size_t ProtectionDomain::registered_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return regions_.size();
 }
 
 std::optional<WorkCompletion> CompletionQueue::Poll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (completions_.empty()) return std::nullopt;
   WorkCompletion wc = completions_.front();
   completions_.pop_front();
@@ -81,12 +81,15 @@ std::optional<WorkCompletion> CompletionQueue::WaitPoll() {
 
 std::optional<WorkCompletion> CompletionQueue::WaitPoll(
     const Deadline& deadline) {
-  std::unique_lock<std::mutex> lock(mu_);
-  const auto ready = [&] { return shutdown_ || !completions_.empty(); };
-  if (deadline.infinite()) {
-    cv_.wait(lock, ready);
-  } else if (!cv_.wait_until(lock, deadline.time(), ready)) {
-    return std::nullopt;  // timed out; caller checks deadline.expired()
+  MutexLock lock(mu_);
+  while (!shutdown_ && completions_.empty()) {
+    if (deadline.infinite()) {
+      cv_.Wait(lock);
+    } else if (cv_.WaitUntil(lock, deadline.time()) ==
+                   std::cv_status::timeout &&
+               !shutdown_ && completions_.empty()) {
+      return std::nullopt;  // timed out; caller checks deadline.expired()
+    }
   }
   if (completions_.empty()) return std::nullopt;  // shutdown
   WorkCompletion wc = completions_.front();
@@ -96,22 +99,22 @@ std::optional<WorkCompletion> CompletionQueue::WaitPoll(
 
 void CompletionQueue::Push(WorkCompletion wc) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     completions_.push_back(wc);
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void CompletionQueue::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 size_t CompletionQueue::depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return completions_.size();
 }
 
@@ -134,18 +137,18 @@ Status QueuePair::PostRecv(uint64_t wr_id, MemoryRegion buffer) {
     return InvalidArgument("recv buffer not in protection domain");
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (state_ != State::kRts) return Unavailable("QP not in RTS");
     posted_recvs_.push_back({wr_id, buffer});
   }
-  recv_posted_cv_.notify_one();
+  recv_posted_cv_.NotifyOne();
   return Status::Ok();
 }
 
 Status QueuePair::PostSend(uint64_t wr_id, uint8_t msg_type,
                            std::span<const uint8_t> payload) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (state_ != State::kRts) return Unavailable("QP not in RTS");
   }
   Status st = SendMessage(socket_.get(), send_mu_, kMsgData, msg_type,
@@ -159,7 +162,7 @@ Status QueuePair::PostSend(uint64_t wr_id, uint8_t msg_type,
     bytes_sent_ += payload.size();
     wc.status = WcStatus::kSuccess;
   } else {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     state_ = State::kError;
     wc.status = WcStatus::kError;
   }
@@ -171,7 +174,7 @@ Status QueuePair::PostRdmaRead(uint64_t wr_id, MemoryRegion local,
                                uint64_t remote_addr, uint32_t rkey,
                                uint32_t length) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (state_ != State::kRts) return Unavailable("QP not in RTS");
   }
   if (!pd_->Owns(local) || local.length < length) {
@@ -179,7 +182,7 @@ Status QueuePair::PostRdmaRead(uint64_t wr_id, MemoryRegion local,
   }
   uint64_t read_id;
   {
-    std::lock_guard<std::mutex> lock(reads_mu_);
+    MutexLock lock(reads_mu_);
     read_id = next_read_id_++;
     pending_reads_[read_id] = PendingRead{wr_id, local};
   }
@@ -192,7 +195,7 @@ Status QueuePair::PostRdmaRead(uint64_t wr_id, MemoryRegion local,
   Status st =
       SendMessage(socket_.get(), send_mu_, kMsgRdmaReadReq, 0, request);
   if (!st.ok()) {
-    std::lock_guard<std::mutex> lock(reads_mu_);
+    MutexLock lock(reads_mu_);
     pending_reads_.erase(read_id);
   }
   return st;
@@ -225,7 +228,7 @@ void QueuePair::HandleRdmaReadResponse(std::span<const uint8_t> response) {
   const uint64_t read_id = GetU64(response.data());
   PendingRead pending;
   {
-    std::lock_guard<std::mutex> lock(reads_mu_);
+    MutexLock lock(reads_mu_);
     auto it = pending_reads_.find(read_id);
     if (it == pending_reads_.end()) return;
     pending = it->second;
@@ -251,10 +254,10 @@ void QueuePair::HandleRdmaReadResponse(std::span<const uint8_t> response) {
 }
 
 std::optional<QueuePair::PostedRecv> QueuePair::TakePostedRecv() {
-  std::unique_lock<std::mutex> lock(mu_);
-  recv_posted_cv_.wait(lock, [&] {
-    return state_ != State::kRts || !posted_recvs_.empty();
-  });
+  MutexLock lock(mu_);
+  while (state_ == State::kRts && posted_recvs_.empty()) {
+    recv_posted_cv_.Wait(lock);
+  }
   if (posted_recvs_.empty()) return std::nullopt;
   PostedRecv posted = posted_recvs_.front();
   posted_recvs_.pop_front();
@@ -311,11 +314,11 @@ void QueuePair::ReceiverLoop() {
   // Flush outstanding receives (ibv flush-error semantics on QP teardown).
   std::deque<PostedRecv> orphans;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (state_ == State::kRts) state_ = State::kClosed;
     orphans.swap(posted_recvs_);
   }
-  recv_posted_cv_.notify_all();
+  recv_posted_cv_.NotifyAll();
   for (const PostedRecv& posted : orphans) {
     WorkCompletion wc;
     wc.wr_id = posted.wr_id;
@@ -326,7 +329,7 @@ void QueuePair::ReceiverLoop() {
   // Outstanding RDMA READs flush to the send CQ.
   std::unordered_map<uint64_t, PendingRead> orphan_reads;
   {
-    std::lock_guard<std::mutex> lock(reads_mu_);
+    MutexLock lock(reads_mu_);
     orphan_reads.swap(pending_reads_);
   }
   for (const auto& [id, pending] : orphan_reads) {
@@ -340,27 +343,27 @@ void QueuePair::ReceiverLoop() {
 
 void QueuePair::Disconnect() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (state_ == State::kClosed) return;
     state_ = State::kClosed;
   }
   ::shutdown(socket_.get(), SHUT_RDWR);
-  recv_posted_cv_.notify_all();
+  recv_posted_cv_.NotifyAll();
 }
 
 QueuePair::State QueuePair::state() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return state_;
 }
 
 size_t QueuePair::posted_recvs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return posted_recvs_.size();
 }
 
 std::optional<CmEvent> EventChannel::WaitEvent() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return shutdown_ || !events_.empty(); });
+  MutexLock lock(mu_);
+  while (!shutdown_ && events_.empty()) cv_.Wait(lock);
   if (events_.empty()) return std::nullopt;
   CmEvent event = events_.front();
   events_.pop_front();
@@ -368,7 +371,7 @@ std::optional<CmEvent> EventChannel::WaitEvent() {
 }
 
 std::optional<CmEvent> EventChannel::PollEvent() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (events_.empty()) return std::nullopt;
   CmEvent event = events_.front();
   events_.pop_front();
@@ -377,18 +380,18 @@ std::optional<CmEvent> EventChannel::PollEvent() {
 
 void EventChannel::Push(CmEvent event) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     events_.push_back(event);
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void EventChannel::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 RdmaServer::~RdmaServer() { Stop(); }
@@ -424,7 +427,7 @@ void RdmaServer::ListenLoop() {
     }
     uint64_t request_id;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       request_id = next_request_id_++;
       pending_[request_id] = std::move(conn);
     }
@@ -437,7 +440,7 @@ StatusOr<std::unique_ptr<QueuePair>> RdmaServer::Accept(
     CompletionQueue* recv_cq) {
   Fd conn;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = pending_.find(request_id);
     if (it == pending_.end()) {
       return NotFound("no pending connect request " +
@@ -447,7 +450,7 @@ StatusOr<std::unique_ptr<QueuePair>> RdmaServer::Accept(
     pending_.erase(it);
   }
   // Accept-reply completes the handshake (Fig. 6's "Accept Reply" arrow).
-  std::mutex tmp_mu;
+  Mutex tmp_mu;
   JBS_RETURN_IF_ERROR(
       SendMessage(conn.get(), tmp_mu, kMsgConnAccept, 0, {}));
   channel_->Push({CmEventType::kEstablished, request_id});
@@ -455,7 +458,7 @@ StatusOr<std::unique_ptr<QueuePair>> RdmaServer::Accept(
 }
 
 Status RdmaServer::Reject(uint64_t request_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = pending_.find(request_id);
   if (it == pending_.end()) {
     return NotFound("no pending connect request");
@@ -471,7 +474,7 @@ void RdmaServer::Stop() {
   ::shutdown(listen_fd_.get(), SHUT_RDWR);
   if (listener_.joinable()) listener_.join();
   listen_fd_.Reset();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   pending_.clear();
 }
 
@@ -484,7 +487,7 @@ StatusOr<std::unique_ptr<QueuePair>> RdmaConnect(const std::string& host,
   // alloc conn + rdma_connect.
   auto fd = ConnectTcp(host, port, deadline);
   JBS_RETURN_IF_ERROR(fd.status());
-  std::mutex tmp_mu;
+  Mutex tmp_mu;
   JBS_RETURN_IF_ERROR(
       SendMessage(fd->get(), tmp_mu, kMsgConnReq, 0, {}));
   // Block until the accept-reply; a closed socket means rejection, an

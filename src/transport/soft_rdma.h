@@ -10,18 +10,18 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "transport/deadline.h"
 #include "transport/socket_util.h"
 
@@ -38,18 +38,19 @@ struct MemoryRegion {
 
 class ProtectionDomain {
  public:
-  MemoryRegion Register(void* addr, size_t length);
-  bool Owns(const MemoryRegion& mr) const;
+  MemoryRegion Register(void* addr, size_t length) EXCLUDES(mu_);
+  bool Owns(const MemoryRegion& mr) const EXCLUDES(mu_);
   /// Validates a remote-access request: does [addr, addr+length) sit
   /// inside the region registered under `rkey`?
   bool ValidateRemoteAccess(uint32_t rkey, const uint8_t* addr,
-                            size_t length) const;
-  size_t registered_count() const;
+                            size_t length) const EXCLUDES(mu_);
+  size_t registered_count() const EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  uint32_t next_lkey_ = 1;
-  std::unordered_map<uint32_t, std::pair<uint8_t*, size_t>> regions_;
+  mutable Mutex mu_;
+  uint32_t next_lkey_ GUARDED_BY(mu_) = 1;
+  std::unordered_map<uint32_t, std::pair<uint8_t*, size_t>> regions_
+      GUARDED_BY(mu_);
 };
 
 enum class WcOpcode { kSend, kRecv, kRdmaRead };
@@ -72,25 +73,26 @@ struct WorkCompletion {
 class CompletionQueue {
  public:
   /// Nonblocking poll (ibv_poll_cq).
-  std::optional<WorkCompletion> Poll();
+  std::optional<WorkCompletion> Poll() EXCLUDES(mu_);
 
   /// Blocks until a completion arrives or the CQ is shut down.
-  std::optional<WorkCompletion> WaitPoll();
+  std::optional<WorkCompletion> WaitPoll() EXCLUDES(mu_);
 
   /// Bounded wait: additionally returns nullopt once `deadline` passes
   /// (the completion-wait analogue of a hardware CQ poll timeout).
   /// Distinguish timeout from shutdown via deadline.expired().
-  std::optional<WorkCompletion> WaitPoll(const Deadline& deadline);
+  std::optional<WorkCompletion> WaitPoll(const Deadline& deadline)
+      EXCLUDES(mu_);
 
-  void Push(WorkCompletion wc);
-  void Shutdown();
-  size_t depth() const;
+  void Push(WorkCompletion wc) EXCLUDES(mu_);
+  void Shutdown() EXCLUDES(mu_);
+  size_t depth() const EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<WorkCompletion> completions_;
-  bool shutdown_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<WorkCompletion> completions_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 /// Reliable-connection queue pair over an established socket.
@@ -154,12 +156,14 @@ class QueuePair {
   CompletionQueue* send_cq_;
   CompletionQueue* recv_cq_;
 
-  mutable std::mutex mu_;
-  std::condition_variable recv_posted_cv_;
-  std::deque<PostedRecv> posted_recvs_;
-  State state_ = State::kRts;
+  mutable Mutex mu_;
+  CondVar recv_posted_cv_;
+  std::deque<PostedRecv> posted_recvs_ GUARDED_BY(mu_);
+  State state_ GUARDED_BY(mu_) = State::kRts;
 
-  std::mutex send_mu_;
+  /// Serializes writers of the socket byte stream (header + payload must
+  /// not interleave); guards no member, only the wire.
+  Mutex send_mu_;
   std::thread receiver_;
   std::atomic<uint64_t> bytes_sent_{0};
   std::atomic<uint64_t> bytes_received_{0};
@@ -168,9 +172,10 @@ class QueuePair {
     uint64_t wr_id;
     MemoryRegion local;
   };
-  std::mutex reads_mu_;
-  std::unordered_map<uint64_t, PendingRead> pending_reads_;
-  uint64_t next_read_id_ = 1;
+  Mutex reads_mu_;
+  std::unordered_map<uint64_t, PendingRead> pending_reads_
+      GUARDED_BY(reads_mu_);
+  uint64_t next_read_id_ GUARDED_BY(reads_mu_) = 1;
 };
 
 /// rdma_cm events (the subset Fig. 6 exercises).
@@ -190,16 +195,16 @@ struct CmEvent {
 /// managing network events" the paper describes.
 class EventChannel {
  public:
-  std::optional<CmEvent> WaitEvent();
-  std::optional<CmEvent> PollEvent();
-  void Push(CmEvent event);
-  void Shutdown();
+  std::optional<CmEvent> WaitEvent() EXCLUDES(mu_);
+  std::optional<CmEvent> PollEvent() EXCLUDES(mu_);
+  void Push(CmEvent event) EXCLUDES(mu_);
+  void Shutdown() EXCLUDES(mu_);
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<CmEvent> events_;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<CmEvent> events_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 /// Server half of Fig. 6: rdma_listen / CONNECT_REQUEST / rdma_accept.
@@ -234,9 +239,10 @@ class RdmaServer {
   std::thread listener_;
   std::atomic<bool> running_{false};
 
-  std::mutex mu_;
-  std::unordered_map<uint64_t, Fd> pending_;  // request_id -> socket
-  uint64_t next_request_id_ = 1;
+  Mutex mu_;
+  std::unordered_map<uint64_t, Fd> pending_
+      GUARDED_BY(mu_);  // request_id -> socket
+  uint64_t next_request_id_ GUARDED_BY(mu_) = 1;
 };
 
 /// Client half of Fig. 6: alloc conn + rdma_connect, blocking until the

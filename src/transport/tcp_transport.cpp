@@ -12,11 +12,12 @@
 #include <cstring>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <unordered_map>
 
 #include "common/bytes.h"
 #include "common/logging.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "transport/event_loop.h"
 #include "transport/socket_util.h"
 
@@ -30,8 +31,9 @@ class TcpConnection final : public Connection {
 
   ~TcpConnection() override { Close(); }
 
-  Status Send(const Frame& frame, const Deadline& deadline) override {
-    std::lock_guard<std::mutex> lock(send_mu_);
+  Status Send(const Frame& frame, const Deadline& deadline) override
+      EXCLUDES(send_mu_) {
+    MutexLock lock(send_mu_);
     if (!alive_) return Unavailable("connection closed");
     wire_.clear();
     EncodeFrame(frame, wire_);
@@ -83,8 +85,8 @@ class TcpConnection final : public Connection {
 
  private:
   Fd fd_;
-  std::mutex send_mu_;
-  std::vector<uint8_t> wire_;  // reused encode buffer (guarded by send_mu_)
+  Mutex send_mu_;  // serializes senders; also guards the encode buffer
+  std::vector<uint8_t> wire_ GUARDED_BY(send_mu_);  // reused encode buffer
   std::atomic<bool> alive_{true};
   std::atomic<uint64_t> bytes_sent_{0};
   std::atomic<uint64_t> bytes_received_{0};
@@ -122,7 +124,10 @@ class TcpServerEndpoint final : public ServerEndpoint {
       auto it = conns_.find(conn);
       if (it == conns_.end()) return;
       it->second.out_queue.push_back(std::move(*wire));
-      ++stats_.frames_sent;
+      {
+        MutexLock lock(stats_mu_);
+        ++stats_.frames_sent;
+      }
       queued_frames_.fetch_add(1, std::memory_order_relaxed);
       FlushWrites(conn);
     };
@@ -145,8 +150,8 @@ class TcpServerEndpoint final : public ServerEndpoint {
     listen_fd_.Reset();
   }
 
-  Stats stats() const override {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+  Stats stats() const override EXCLUDES(stats_mu_) {
+    MutexLock lock(stats_mu_);
     Stats out = stats_;
     out.send_queue_depth = queued_frames_.load(std::memory_order_relaxed);
     return out;
@@ -186,7 +191,7 @@ class TcpServerEndpoint final : public ServerEndpoint {
         continue;
       }
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(stats_mu_);
         ++stats_.connections_accepted;
       }
       if (handlers_.on_connect) handlers_.on_connect(id);
@@ -237,7 +242,7 @@ class TcpServerEndpoint final : public ServerEndpoint {
       }
       while (auto frame = state.decoder.Next()) {
         {
-          std::lock_guard<std::mutex> lock(stats_mu_);
+          MutexLock lock(stats_mu_);
           ++stats_.frames_received;
         }
         if (handlers_.on_frame) handlers_.on_frame(id, std::move(*frame));
@@ -268,7 +273,7 @@ class TcpServerEndpoint final : public ServerEndpoint {
         return;
       }
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(stats_mu_);
         stats_.bytes_sent += static_cast<uint64_t>(n);
       }
       state.out_offset += static_cast<size_t>(n);
@@ -311,8 +316,8 @@ class TcpServerEndpoint final : public ServerEndpoint {
   // off the loop thread.
   std::atomic<uint64_t> queued_frames_{0};
   std::atomic<bool> stopped_{false};
-  mutable std::mutex stats_mu_;
-  Stats stats_;
+  mutable Mutex stats_mu_;
+  Stats stats_ GUARDED_BY(stats_mu_);
 };
 
 class TcpTransport final : public Transport {

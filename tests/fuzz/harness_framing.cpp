@@ -1,0 +1,67 @@
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "common/framing.h"
+#include "harnesses.h"
+
+namespace jbs::fuzz {
+namespace {
+
+// Small enough that the fuzzer can actually synthesize an oversized length
+// header and reach the poisoning path.
+constexpr size_t kMaxPayload = 1 << 20;
+
+void CheckRoundTrip(const Frame& frame) {
+  std::vector<uint8_t> wire;
+  EncodeFrame(frame, wire);
+  FrameDecoder decoder(kMaxPayload);
+  if (!decoder.Feed(wire).ok()) abort();
+  std::optional<Frame> again = decoder.Next();
+  if (!again.has_value()) abort();
+  if (again->type != frame.type || again->payload != frame.payload) abort();
+  if (decoder.Next().has_value()) abort();
+  if (decoder.buffered_bytes() != 0) abort();
+}
+
+}  // namespace
+
+int FuzzFraming(const uint8_t* data, size_t size) {
+  if (size == 0) return 0;
+
+  // The first byte picks a chunking rhythm so one corpus exercises both
+  // byte-at-a-time reassembly and bulk feeds.
+  const size_t stride = std::max<size_t>(1, data[0] % 97);
+  FrameDecoder decoder(kMaxPayload);
+
+  size_t offset = 1;
+  size_t frames = 0;
+  while (offset < size) {
+    const size_t chunk = std::min(stride, size - offset);
+    const Status fed = decoder.Feed({data + offset, chunk});
+    offset += chunk;
+    if (!fed.ok()) {
+      // Feeding a poisoned decoder must keep failing and never yield frames.
+      if (!decoder.poisoned()) abort();
+      if (decoder.Next().has_value()) abort();
+      return 0;
+    }
+    while (true) {
+      std::optional<Frame> frame = decoder.Next();
+      if (!frame.has_value()) break;
+      if (frame->payload.size() > kMaxPayload) abort();
+      CheckRoundTrip(*frame);
+      ++frames;
+    }
+  }
+
+  // A drained, healthy decoder can hold at most one partial frame; its
+  // buffered bytes never exceed header + max payload.
+  if (!decoder.poisoned() && decoder.buffered_bytes() > kMaxPayload + 5) {
+    abort();
+  }
+  (void)frames;
+  return 0;
+}
+
+}  // namespace jbs::fuzz

@@ -1,0 +1,35 @@
+// Replay driver for builds without libFuzzer (the default gcc tree): runs
+// LLVMFuzzerTestOneInput over every file named on the command line, so a
+// crash reproducer from CI can be replayed anywhere with
+//   ./fuzz_<target> path/to/crash-file...
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <input-file>...\n"
+                 "(standalone replay build; compile with the `fuzz` preset "
+                 "for libFuzzer exploration)\n",
+                 argv[0]);
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 1;
+    }
+    std::vector<uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                               std::istreambuf_iterator<char>()};
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+    std::fprintf(stderr, "ok: %s (%zu bytes)\n", argv[i], bytes.size());
+  }
+  return 0;
+}
