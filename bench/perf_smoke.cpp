@@ -1,0 +1,226 @@
+// CI perf-smoke: a minutes-not-hours regression canary for the zero-copy
+// serve path. Two probes, both real sockets on loopback:
+//
+//   1. Large-frame server push — the serve-path direction — measured twice:
+//      legacy copy-into-frame handoff vs zero-copy ext+lease handoff
+//      (micro_transport's BM_ServerPushLargeFrame, reduced to one pass).
+//   2. A reduced Figs. 4/5 sweep: serialized per-request service vs the
+//      pipelined prefetch+send MofSupplier, small dataset, one repeat.
+//
+// Results land in a MetricsRegistry and are dumped as JSON (default
+// BENCH_pr6.json, or argv[1]) so CI can archive the numbers per commit.
+// Exit code is 0 unless a probe fails outright: perf deltas are recorded,
+// not gated, because shared CI runners are too noisy for hard thresholds.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/framing.h"
+#include "common/metrics.h"
+#include "jbs/mof_supplier.h"
+#include "jbs/net_merger.h"
+#include "jbs/protocol.h"
+#include "mapred/ifile.h"
+#include "transport/transport.h"
+
+using namespace jbs;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// One pass of the server-push probe: the client requests, the server
+/// pushes one `frame_bytes` frame, `rounds` times. Returns MB/s (0 on
+/// setup failure). `copied_bytes` gets the serve-side user-space copy
+/// count for the pass.
+double PushThroughputMBs(bool zerocopy, size_t frame_bytes, int rounds,
+                         uint64_t* copied_bytes) {
+  auto transport = net::MakeTcpTransport();
+  auto server = transport->CreateServer();
+  if (!server.ok()) return 0;
+  const auto src =
+      std::make_shared<const std::vector<uint8_t>>(frame_bytes, 0xab);
+  std::vector<uint8_t> wire_scratch;
+  net::ServerEndpoint::Handlers handlers;
+  handlers.on_frame = [&](net::ConnId conn, Frame) {
+    Frame out;
+    out.type = 2;
+    if (zerocopy) {
+      out.ext = {src->data(), src->size()};
+      out.lease = std::shared_ptr<const void>(src, src->data());
+    } else {
+      // The pre-zero-copy serve path copied twice: EncodeData staged the
+      // chunk into the frame payload, then the endpoint encoded frame ->
+      // wire buffer before write(). Pay both memcpys so the comparison
+      // reflects what the zero-copy rework actually removed.
+      out.payload.assign(src->begin(), src->end());
+      AddPayloadCopyBytes(out.payload.size());
+      wire_scratch.clear();  // EncodeFrame appends; legacy reused a
+                             // cleared buffer per frame
+      EncodeFrame(out, wire_scratch);
+    }
+    (void)(*server)->SendAsync(conn, std::move(out));
+  };
+  if (!(*server)->Start(handlers).ok()) return 0;
+  auto conn = transport->Connect("127.0.0.1", (*server)->port());
+  if (!conn.ok()) return 0;
+  Frame request;
+  request.type = 1;
+  request.payload.resize(1);
+  ResetPayloadCopyBytes();
+  const auto start = Clock::now();
+  for (int i = 0; i < rounds; ++i) {
+    if (!(*conn)->Send(request).ok()) return 0;
+    auto reply = (*conn)->Receive();
+    if (!reply.ok()) return 0;
+  }
+  const double secs = SecondsSince(start);
+  *copied_bytes = PayloadCopyBytes();
+  (*server)->Stop();
+  const double mb = static_cast<double>(frame_bytes) * rounds / (1 << 20);
+  return secs > 0 ? mb / secs : 0;
+}
+
+/// One reduced Figs. 4/5 run: `reducers` concurrent fetchers against one
+/// supplier with the calibrated disk model. Returns serve throughput MB/s.
+double SweepThroughputMBs(bool pipelined, int prefetch_threads,
+                          int fetch_window,
+                          const std::vector<mr::MofHandle>& handles,
+                          uint16_t* port_out = nullptr) {
+  auto transport = net::MakeTcpTransport();
+  shuffle::MofSupplier::Options options;
+  options.transport = transport.get();
+  options.buffer_size = 32 * 1024;
+  options.buffer_count = 64;
+  options.prefetch_batch = 8;
+  options.disk_bytes_per_sec = 500e6;
+  options.disk_seek_ms = 0.1;
+  options.prefetch_threads = prefetch_threads;
+  options.pipelined = pipelined;
+  shuffle::MofSupplier supplier(options);
+  if (!supplier.Start().ok()) return 0;
+  for (const auto& handle : handles) (void)supplier.PublishMof(handle);
+  if (port_out) *port_out = supplier.port();
+
+  const auto start = Clock::now();
+  std::vector<std::thread> reducers;
+  for (int partition = 0; partition < 2; ++partition) {
+    reducers.emplace_back([&, partition] {
+      auto client_transport = net::MakeTcpTransport();
+      shuffle::NetMerger::Options merger_options;
+      merger_options.transport = client_transport.get();
+      merger_options.chunk_size = 32 * 1024 - shuffle::kDataHeaderSize;
+      merger_options.data_threads = 1;
+      merger_options.fetch_window = fetch_window;
+      shuffle::NetMerger merger(merger_options);
+      std::vector<mr::MofLocation> sources;
+      for (size_t m = 0; m < handles.size(); ++m) {
+        sources.push_back(
+            {static_cast<int>(m), 0, "127.0.0.1", supplier.port()});
+      }
+      auto stream = merger.FetchAndMerge(partition, sources);
+      if (!stream.ok()) std::abort();
+      merger.Stop();
+    });
+  }
+  for (auto& reducer : reducers) reducer.join();
+  const double secs = SecondsSince(start);
+  const auto stats = supplier.supplier_stats();
+  supplier.Stop();
+  return secs > 0 ? static_cast<double>(stats.bytes_served) / (1 << 20) / secs
+                  : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_pr6.json";
+  MetricsRegistry registry;
+  bool ok = true;
+
+  // --- Probe 1: large-frame server push, copy vs zero-copy -------------
+  constexpr size_t kFrameBytes = 1 << 20;
+  constexpr int kRounds = 200;
+  bench::PrintHeader("perf-smoke 1/2: server push, 1MB frames x 200",
+                     "zero-copy serve path (DESIGN.md §13)");
+  uint64_t copied = 0;
+  (void)PushThroughputMBs(false, kFrameBytes, 32, &copied);  // warmup
+  const double copy_mbs = PushThroughputMBs(false, kFrameBytes, kRounds,
+                                            &copied);
+  registry.GetGauge("perf_smoke_push_mbs", {{"mode", "copy"}})->Set(copy_mbs);
+  registry.GetGauge("perf_smoke_push_copied_bytes", {{"mode", "copy"}})
+      ->Set(static_cast<double>(copied));
+  bench::PrintRow({"copy", bench::Fmt(copy_mbs, "%.0fMB/s"),
+                   std::to_string(copied) + "B copied"});
+  uint64_t zc_copied = 0;
+  const double zc_mbs = PushThroughputMBs(true, kFrameBytes, kRounds,
+                                          &zc_copied);
+  registry.GetGauge("perf_smoke_push_mbs", {{"mode", "zerocopy"}})
+      ->Set(zc_mbs);
+  registry.GetGauge("perf_smoke_push_copied_bytes", {{"mode", "zerocopy"}})
+      ->Set(static_cast<double>(zc_copied));
+  bench::PrintRow({"zerocopy", bench::Fmt(zc_mbs, "%.0fMB/s"),
+                   std::to_string(zc_copied) + "B copied"});
+  if (copy_mbs <= 0 || zc_mbs <= 0) ok = false;
+  const double improvement_pct =
+      copy_mbs > 0 ? (zc_mbs - copy_mbs) / copy_mbs * 100.0 : 0;
+  registry.GetGauge("perf_smoke_push_improvement_pct")->Set(improvement_pct);
+  std::printf("zero-copy improvement: %.1f%%\n", improvement_pct);
+  if (zc_copied != 0) {
+    std::printf("FAIL: zero-copy path copied %llu bytes\n",
+                static_cast<unsigned long long>(zc_copied));
+    ok = false;
+  }
+
+  // --- Probe 2: reduced Figs. 4/5 sweep ---------------------------------
+  const fs::path dir =
+      fs::temp_directory_path() / ("perf_smoke_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  std::vector<mr::MofHandle> handles;
+  for (int m = 0; m < 4; ++m) {
+    mr::MofWriter writer(dir / ("mof_" + std::to_string(m)));
+    for (int p = 0; p < 2; ++p) {
+      mr::IFileWriter segment;
+      for (int r = 0; r < 2400; ++r) {
+        segment.Append("key_" + std::to_string(r * 4 + m),
+                       std::string(180, static_cast<char>('a' + p)));
+      }
+      const uint64_t records = segment.records();
+      (void)writer.AppendSegment(segment.Finish(), records);
+    }
+    auto handle = writer.Finish(m, 0);
+    if (!handle.ok()) return 1;
+    handles.push_back(*handle);
+  }
+  bench::PrintHeader("perf-smoke 2/2: reduced Figs. 4/5 sweep",
+                     "serialized vs pipelined 2x4, 4 MOFs x 2 reducers");
+  (void)SweepThroughputMBs(true, 2, 4, handles);  // warmup
+  const double serialized_mbs = SweepThroughputMBs(false, 1, 1, handles);
+  const double pipelined_mbs = SweepThroughputMBs(true, 2, 4, handles);
+  registry.GetGauge("perf_smoke_fig45_mbs", {{"mode", "serialized"}})
+      ->Set(serialized_mbs);
+  registry.GetGauge("perf_smoke_fig45_mbs", {{"mode", "pipelined_2x4"}})
+      ->Set(pipelined_mbs);
+  bench::PrintRow({"serialized", bench::Fmt(serialized_mbs, "%.0fMB/s")});
+  bench::PrintRow({"pipelined 2x4", bench::Fmt(pipelined_mbs, "%.0fMB/s")});
+  if (serialized_mbs <= 0 || pipelined_mbs <= 0) ok = false;
+  fs::remove_all(dir);
+
+  if (!bench::WriteMetricsJson(registry, out_path)) {
+    std::printf("FAIL: could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return ok ? 0 : 1;
+}

@@ -59,7 +59,11 @@ BufferPool::BufferPool(size_t buffer_size, size_t count)
 
 BufferPool::~BufferPool() {
   // All buffers must be returned before the pool dies; PooledBuffer holds a
-  // raw pointer into the arena.
+  // raw pointer into the arena. Taking the lock orders destruction after an
+  // in-flight Return() whose notify (issued under mu_) has not finished —
+  // e.g. a transport thread dropping the last lease while the owner polls
+  // available().
+  MutexLock lock(mu_);
   assert(free_list_.size() == count_);
 }
 
@@ -101,19 +105,23 @@ BufferPool::Stats BufferPool::stats() const {
 }
 
 void BufferPool::Cancel() {
-  {
-    MutexLock lock(mu_);
-    cancelled_ = true;
-  }
+  MutexLock lock(mu_);
+  cancelled_ = true;
   available_cv_.NotifyAll();
 }
 
 void BufferPool::Return(uint8_t* data) {
-  {
-    MutexLock lock(mu_);
-    free_list_.push_back(data);
-  }
+  // Notify while holding mu_: once a buffer is visibly back, any thread
+  // that acquires mu_ (available(), the destructor) may destroy the pool,
+  // so the signal must not touch the cond var after our unlock.
+  MutexLock lock(mu_);
+  free_list_.push_back(data);
   available_cv_.NotifyOne();
+}
+
+std::shared_ptr<const void> MakeBufferLease(PooledBuffer&& buffer) {
+  auto owned = std::make_shared<PooledBuffer>(std::move(buffer));
+  return std::shared_ptr<const void>(owned, owned->data());
 }
 
 }  // namespace jbs

@@ -46,6 +46,12 @@ class PooledBuffer {
   size_t size_ = 0;
 };
 
+/// Wraps `buffer` in a refcounted lease for Frame ownership handoff
+/// (DESIGN.md §13): the returned pointer keeps the buffer checked out of
+/// its pool; when the last copy drops — last byte on the socket, or the
+/// frame died queued — the buffer returns to the pool exactly once.
+std::shared_ptr<const void> MakeBufferLease(PooledBuffer&& buffer);
+
 class BufferPool {
  public:
   /// Creates `count` buffers of `buffer_size` bytes each.

@@ -84,6 +84,10 @@ inline constexpr const char* kHealthPenaltyMs =
     "jbs.netmerger.health.penalty_ms";
 inline constexpr const char* kHealthPenaltyMaxMs =
     "jbs.netmerger.health.penalty_max_ms";
+// Zero-copy serve-path knobs.
+inline constexpr const char* kSendfileMinBytes =
+    "jbs.mofsupplier.sendfile.min_bytes";
+inline constexpr const char* kMaxFrameBytes = "jbs.transport.max_frame.bytes";
 inline constexpr const char* kMapSlotsPerNode = "mapred.map.slots";
 inline constexpr const char* kReduceSlotsPerNode = "mapred.reduce.slots";
 inline constexpr const char* kBlockSize = "dfs.block.size";

@@ -1,5 +1,9 @@
 #include "common/framing.h"
 
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
 #include <cstring>
 
 #include "common/bytes.h"
@@ -7,13 +11,75 @@
 namespace jbs {
 
 namespace {
-constexpr size_t kHeaderSize = 5;  // u32 length + u8 type
+std::atomic<uint64_t> g_payload_copy_bytes{0};
+}  // namespace
+
+uint64_t PayloadCopyBytes() {
+  return g_payload_copy_bytes.load(std::memory_order_relaxed);
+}
+
+void AddPayloadCopyBytes(uint64_t n) {
+  g_payload_copy_bytes.fetch_add(n, std::memory_order_relaxed);
+}
+
+void ResetPayloadCopyBytes() {
+  g_payload_copy_bytes.store(0, std::memory_order_relaxed);
+}
+
+Status Frame::Flatten() {
+  if (ext.empty() && !file.valid()) {
+    lease.reset();
+    return Status::Ok();
+  }
+  payload.reserve(payload.size() + ext.size() +
+                  static_cast<size_t>(file.length));
+  if (!ext.empty()) {
+    payload.insert(payload.end(), ext.begin(), ext.end());
+    AddPayloadCopyBytes(ext.size());
+    ext = {};
+  }
+  if (file.valid()) {
+    const size_t start = payload.size();
+    payload.resize(start + static_cast<size_t>(file.length));
+    size_t done = 0;
+    while (done < file.length) {
+      const ssize_t n =
+          ::pread(file.fd, payload.data() + start + done,
+                  static_cast<size_t>(file.length) - done,
+                  static_cast<off_t>(file.offset + done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        payload.resize(start);
+        return IoError(std::string("flatten pread: ") + std::strerror(errno));
+      }
+      if (n == 0) {
+        payload.resize(start);
+        return IoError("flatten pread: unexpected EOF");
+      }
+      done += static_cast<size_t>(n);
+    }
+    AddPayloadCopyBytes(file.length);
+    file = {};
+  }
+  lease.reset();
+  return Status::Ok();
 }
 
 void EncodeFrame(const Frame& frame, std::vector<uint8_t>& out) {
-  PutU32(out, static_cast<uint32_t>(frame.payload.size()));
+  PutU32(out, static_cast<uint32_t>(frame.payload_size()));
   out.push_back(frame.type);
   out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  out.insert(out.end(), frame.ext.begin(), frame.ext.end());
+  AddPayloadCopyBytes(frame.payload.size() + frame.ext.size());
+}
+
+void EncodeFrameHeader(const Frame& frame, uint8_t out[5]) {
+  const uint32_t length = static_cast<uint32_t>(frame.payload_size());
+  out[0] = static_cast<uint8_t>(length >> 24);
+  out[1] = static_cast<uint8_t>(length >> 16);
+  out[2] = static_cast<uint8_t>(length >> 8);
+  out[3] = static_cast<uint8_t>(length);
+  out[4] = frame.type;
 }
 
 Status FrameDecoder::Feed(std::span<const uint8_t> data) {
@@ -31,18 +97,19 @@ Status FrameDecoder::Feed(std::span<const uint8_t> data) {
 std::optional<Frame> FrameDecoder::Next() {
   if (poisoned_) return std::nullopt;
   const size_t available = buffer_.size() - consumed_;
-  if (available < kHeaderSize) return std::nullopt;
+  if (available < kFrameHeaderSize) return std::nullopt;
   const uint8_t* base = buffer_.data() + consumed_;
   const uint32_t length = GetU32(base);
   if (length > max_payload_) {
     poisoned_ = true;
     return std::nullopt;
   }
-  if (available < kHeaderSize + length) return std::nullopt;
+  if (available < kFrameHeaderSize + length) return std::nullopt;
   Frame frame;
   frame.type = base[4];
-  frame.payload.assign(base + kHeaderSize, base + kHeaderSize + length);
-  consumed_ += kHeaderSize + length;
+  frame.payload.assign(base + kFrameHeaderSize,
+                       base + kFrameHeaderSize + length);
+  consumed_ += kFrameHeaderSize + length;
   return frame;
 }
 

@@ -59,6 +59,10 @@ MofSupplier::MofSupplier(Options options)
       metrics_->GetCounter("jbs_mofsupplier_group_switches_total", base);
   disconnect_purges_c_ =
       metrics_->GetCounter("jbs_mofsupplier_disconnect_purges_total", base);
+  sendfile_chunks_c_ =
+      metrics_->GetCounter("jbs_mofsupplier_sendfile_chunks_total", base);
+  sendfile_bytes_c_ =
+      metrics_->GetCounter("jbs_mofsupplier_sendfile_bytes_total", base);
   crc_cache_hits_c_ =
       metrics_->GetCounter("jbs_mofsupplier_crc_cache_hits_total", base);
   crc_cache_misses_c_ =
@@ -67,10 +71,8 @@ MofSupplier::MofSupplier(Options options)
 
 uint32_t MofSupplier::ChunkDataCrc(const FetchRequest& request,
                                    std::span<const uint8_t> data) {
-  const std::string key = std::to_string(request.map_task) + "/" +
-                          std::to_string(request.partition) + "/" +
-                          std::to_string(request.offset) + "/" +
-                          std::to_string(data.size());
+  const CrcKey key{request.map_task, request.partition, request.offset,
+                   static_cast<uint64_t>(data.size())};
   {
     MutexLock lock(crc_cache_mu_);
     if (const uint32_t* cached = crc_cache_.Get(key)) {
@@ -87,6 +89,17 @@ uint32_t MofSupplier::ChunkDataCrc(const FetchRequest& request,
   }
   crc_cache_misses_c_->Increment();
   return crc;
+}
+
+bool MofSupplier::LookupChunkCrc(const FetchRequest& request, uint64_t length,
+                                 uint32_t* crc) {
+  const CrcKey key{request.map_task, request.partition, request.offset,
+                   length};
+  MutexLock lock(crc_cache_mu_);
+  const uint32_t* cached = crc_cache_.Get(key);
+  if (cached == nullptr) return false;
+  *crc = *cached;
+  return true;
 }
 
 void MofSupplier::StampChunkCrc(FetchDataHeader* header,
@@ -132,6 +145,11 @@ void MofSupplier::RefreshGauges() const {
       static_cast<double>(send_queue_.size()));
   set("jbs_mofsupplier_pending_groups",
       static_cast<double>(pending_group_count()));
+  // Process-wide user-space payload-copy odometer (framing layer). The
+  // zero-copy serve path's whole point is that this stays flat while
+  // bytes_served climbs.
+  set("jbs_serve_bytes_copied_total",
+      static_cast<double>(PayloadCopyBytes()));
   if (endpoint_) {
     const net::ServerEndpoint::Stats ep = endpoint_->stats();
     set("jbs_mofsupplier_endpoint_bytes_sent",
@@ -432,6 +450,47 @@ void MofSupplier::ChargeDiskModel(int fd, uint64_t offset, size_t bytes) {
   std::this_thread::sleep_until(ready);
 }
 
+bool MofSupplier::TrySendfileReply(const PendingRequest& pending,
+                                   const mr::MofHandle& handle,
+                                   FetchDataHeader header,
+                                   uint64_t disk_offset, uint64_t chunk) {
+  if (options_.sendfile_min_bytes == 0 ||
+      chunk < options_.sendfile_min_bytes) {
+    return false;
+  }
+  if (!endpoint_->supports_file_segments()) return false;
+  if (options_.chunk_crc) {
+    // The CRC needs the bytes; only a memoized chunk can skip the
+    // read-back. A miss takes the pooled path once and memoizes there.
+    uint32_t data_crc = 0;
+    if (!LookupChunkCrc(pending.request, chunk, &data_crc)) return false;
+    header.flags |= kChunkHasCrc;
+    header.crc32 = ChunkWireCrc(header, data_crc);
+  }
+  auto file = fd_cache_.Open(handle.data_path.string());
+  if (!file.ok()) return false;  // let the pooled path report the failure
+  // The kernel still reads the platters; charge the same modeled disk
+  // time the pooled path would pay, so sendfile's measured win is the
+  // skipped copies, not a free disk.
+  ChargeDiskModel(file->fd(), disk_offset, static_cast<size_t>(chunk));
+  ReadyReply ready;
+  ready.conn = pending.conn;
+  // The fd-cache handle rides as the frame's lease: eviction or
+  // invalidation can't close the descriptor while the event thread is
+  // still sendfile()-ing from it. Read the fd before moving the handle —
+  // argument evaluation order is unspecified.
+  const int fd = file->fd();
+  ready.frame = EncodeDataFile(
+      header, fd, disk_offset, chunk,
+      std::make_shared<FdCache::Handle>(std::move(file).value()));
+  ready.chunk = chunk;
+  ready.enqueued = pending.enqueued;
+  sendfile_chunks_c_->Increment();
+  sendfile_bytes_c_->Increment(chunk);
+  (void)send_queue_.Push(std::move(ready));
+  return true;
+}
+
 void MofSupplier::PrefetchOne(const PendingRequest& pending) {
   mr::MofHandle handle;
   FetchDataHeader header;
@@ -444,9 +503,14 @@ void MofSupplier::PrefetchOne(const PendingRequest& pending) {
                       })) {
     return;
   }
-  // DataCache buffer: bounds in-flight disk reads. Pool exhaustion blocks
-  // here, throttling the disk stage until the send stage releases buffers
-  // — the pipeline's natural backpressure.
+  if (chunk > 0 &&
+      TrySendfileReply(pending, handle, header, disk_offset, chunk)) {
+    return;
+  }
+  // DataCache buffer: bounds in-flight disk reads *and* bytes parked on
+  // the socket, since the buffer now travels with the frame until the
+  // transport drops its lease. Pool exhaustion blocks here, throttling
+  // the disk stage — the pipeline's natural backpressure.
   PooledBuffer buffer = data_cache_.Acquire();
   if (!buffer.valid()) return;  // pool cancelled: shutting down
   if (chunk > 0) {
@@ -465,11 +529,20 @@ void MofSupplier::PrefetchOne(const PendingRequest& pending) {
                 {buffer.data(), static_cast<size_t>(chunk)});
   ReadyReply ready;
   ready.conn = pending.conn;
-  ready.header = header;
-  ready.buffer = std::move(buffer);
+  // Ownership handoff, not a copy: the chunk rides as the frame's `ext`
+  // view and the buffer itself becomes the frame's lease, returning to
+  // the DataCache only when the transport finishes with it.
+  auto lease = MakeBufferLease(std::move(buffer));
+  // Take the data view before std::move(lease): argument evaluation order
+  // is unspecified, so reading lease.get() inline could see a moved-from
+  // (null) lease.
+  const std::span<const uint8_t> chunk_view{
+      static_cast<const uint8_t*>(lease.get()), static_cast<size_t>(chunk)};
+  ready.frame = EncodeDataZeroCopy(header, chunk_view, std::move(lease));
+  ready.chunk = chunk;
   ready.enqueued = pending.enqueued;
   // Push only fails once the queue is closed (shutdown); the dropped
-  // reply's buffer returns to the pool via its destructor.
+  // reply's lease returns the buffer via its destructor.
   (void)send_queue_.Push(std::move(ready));
 }
 
@@ -480,11 +553,11 @@ void MofSupplier::SendLoop() {
       errors_c_->Increment();
       continue;
     }
-    Frame frame = EncodeData(
-        ready->header, {ready->buffer.data(), ready->buffer.size()});
-    const size_t chunk = ready->buffer.size();
-    ready->buffer.Release();  // encode copied; free the disk stage early
-    Status st = endpoint_->SendAsync(ready->conn, std::move(frame));
+    // The frame was encoded in the disk stage (a 32-byte owned header plus
+    // a borrowed chunk view); nothing to copy here — just hand the lease
+    // to the transport.
+    const uint64_t chunk = ready->chunk;
+    Status st = endpoint_->SendAsync(ready->conn, std::move(ready->frame));
     const double latency_ms =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - ready->enqueued)
@@ -520,11 +593,15 @@ void MofSupplier::ServeInline(const PendingRequest& pending) {
       return;
     }
   }
+  buffer.set_size(static_cast<size_t>(chunk));
   StampChunkCrc(&header, request,
                 {buffer.data(), static_cast<size_t>(chunk)});
-  Frame frame = EncodeData(header, {buffer.data(),
-                                    static_cast<size_t>(chunk)});
-  buffer.Release();
+  // Same zero-copy handoff as the pipelined path; "serialized" here means
+  // one request at a time, not extra memcpys.
+  auto lease = MakeBufferLease(std::move(buffer));
+  const std::span<const uint8_t> chunk_view{
+      static_cast<const uint8_t*>(lease.get()), static_cast<size_t>(chunk)};
+  Frame frame = EncodeDataZeroCopy(header, chunk_view, std::move(lease));
   Status st = endpoint_->SendAsync(pending.conn, std::move(frame));
   const double latency_ms =
       std::chrono::duration<double, std::milli>(

@@ -8,13 +8,19 @@
 //     (map, partition) stay in offset order), preads segments into
 //     DataCache pooled buffers through an LRU fd cache, and hands ready
 //     buffers to the send stage;
-//   send stage — a single thread that encodes ready buffers into frames,
-//     releases them back to the DataCache, and queues the frames on the
-//     transport's event thread for asynchronous transmission.
+//   send stage — a single thread that hands the pre-encoded scatter-
+//     gather frames to the transport's event thread. The chunk bytes are
+//     never copied into the frame: the pooled buffer rides along as the
+//     frame's lease and returns to the DataCache only after the transport
+//     has put its last byte on the wire. Chunks above
+//     `sendfile_min_bytes` whose CRC is already memoized skip the pooled
+//     buffer entirely and go out via sendfile(2) straight from the MOF
+//     descriptor.
 //
 // Disk reads for request N+1 therefore overlap the network transmit of
-// request N (Fig. 5), and DataCache exhaustion throttles the disk stage
-// ahead of the network, where the stock HttpServlet serializes read and
+// request N (Fig. 5), and DataCache exhaustion — which now includes
+// buffers still in flight on the socket — throttles the disk stage ahead
+// of the network, where the stock HttpServlet serializes read and
 // transmit per request (Fig. 4). With `pipelined = false` the supplier
 // degrades to the seed's serialized single-thread read-then-send service
 // for the paper ablation.
@@ -56,6 +62,15 @@ class MofSupplier final : public mr::ShuffleServer {
     size_t crc_cache_entries = 4096;  // per-chunk data-CRC memo (LRU), so
                                       // a retransmitted chunk re-reads the
                                       // disk but never re-hashes the bytes
+    // Sendfile fast path: chunks at least this large are served straight
+    // from the MOF descriptor (sendfile(2) on the transport's event
+    // thread) instead of being pread into a pooled buffer — no disk-stage
+    // read, no user-space payload bytes at all. Taken only when the
+    // transport supports file segments (TCP) and, with chunk_crc on, when
+    // the chunk's data CRC is already memoized (a CRC needs the bytes; a
+    // memo miss reads through the pooled path once and memoizes). 0
+    // disables the fast path entirely.
+    uint64_t sendfile_min_bytes = 0;
     int prefetch_batch = 4;   // requests served per group per turn
     int prefetch_threads = 2; // disk-stage pool (pipelined mode only)
     bool pipelined = true;    // ablation: false degrades to serialized
@@ -119,13 +134,15 @@ class MofSupplier final : public mr::ShuffleServer {
   };
 
   /// One ready reply travelling from the prefetch stage to the send stage.
-  /// Data replies carry a DataCache buffer (payload bytes in [0, size()));
-  /// error replies carry just the FetchError.
+  /// Data replies carry a pre-encoded scatter-gather frame whose lease
+  /// (pooled buffer or fd-cache handle) keeps the chunk bytes alive until
+  /// the transport has put them on the wire; error replies carry just the
+  /// FetchError.
   struct ReadyReply {
     net::ConnId conn = 0;
     bool is_error = false;
-    FetchDataHeader header;
-    PooledBuffer buffer;
+    Frame frame;
+    uint64_t chunk = 0;  // data bytes carried by `frame`
     FetchError error;
     std::chrono::steady_clock::time_point enqueued;
   };
@@ -167,9 +184,20 @@ class MofSupplier final : public mr::ShuffleServer {
   uint32_t ChunkDataCrc(const FetchRequest& request,
                         std::span<const uint8_t> data)
       EXCLUDES(crc_cache_mu_);
+  /// Memo-only probe: true (and `*crc` set) on a hit, no hashing and no
+  /// disk touch on a miss. The sendfile gate — a chunk whose CRC is not
+  /// memoized can't go out via sendfile without a read-back.
+  bool LookupChunkCrc(const FetchRequest& request, uint64_t length,
+                      uint32_t* crc) EXCLUDES(crc_cache_mu_);
   /// Stamps `header` with the full wire CRC (kChunkHasCrc) when enabled.
   void StampChunkCrc(FetchDataHeader* header, const FetchRequest& request,
                      std::span<const uint8_t> data);
+  /// PrefetchOne's sendfile fast path. Returns true if the reply was
+  /// queued as a file-segment frame; false means "take the pooled path"
+  /// (gate not met — never an error).
+  bool TrySendfileReply(const PendingRequest& pending,
+                        const mr::MofHandle& handle, FetchDataHeader header,
+                        uint64_t disk_offset, uint64_t chunk);
   /// Sleeps for the modeled disk time of a pread (see
   /// Options::disk_seek_ms); no-op when the model is disabled.
   void ChargeDiskModel(int fd, uint64_t offset, size_t bytes)
@@ -190,8 +218,35 @@ class MofSupplier final : public mr::ShuffleServer {
 
   // Chunk-CRC memo: (map, partition, offset, len) -> CRC32 of the payload
   // bytes, so the hot path hashes each chunk once, not per retransmit.
+  // The key is a packed POD — the old per-lookup std::string key was four
+  // integer formats plus a heap allocation on every served chunk.
+  struct CrcKey {
+    int32_t map_task = 0;
+    int32_t partition = 0;
+    uint64_t offset = 0;
+    uint64_t length = 0;
+    bool operator==(const CrcKey&) const = default;
+  };
+  struct CrcKeyHash {
+    using is_transparent = void;
+    size_t operator()(const CrcKey& key) const {
+      // splitmix64-style finalizer over the packed fields; cheap and
+      // well-distributed for the sequential offsets a fetch sweep emits.
+      auto mix = [](uint64_t x) {
+        x += 0x9e3779b97f4a7c15ull;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return x ^ (x >> 31);
+      };
+      const uint64_t a =
+          (static_cast<uint64_t>(static_cast<uint32_t>(key.map_task)) << 32) |
+          static_cast<uint32_t>(key.partition);
+      return static_cast<size_t>(
+          mix(mix(a) ^ mix(key.offset) ^ (mix(key.length) << 1)));
+    }
+  };
   Mutex crc_cache_mu_;
-  LruCache<std::string, uint32_t> crc_cache_ GUARDED_BY(crc_cache_mu_);
+  LruCache<CrcKey, uint32_t, CrcKeyHash> crc_cache_ GUARDED_BY(crc_cache_mu_);
   MetricCounter* crc_cache_hits_c_ = nullptr;
   MetricCounter* crc_cache_misses_c_ = nullptr;
 
@@ -205,6 +260,8 @@ class MofSupplier final : public mr::ShuffleServer {
   MetricCounter* group_switches_c_ = nullptr;
   MetricCounter* errors_c_ = nullptr;
   MetricCounter* disconnect_purges_c_ = nullptr;
+  MetricCounter* sendfile_chunks_c_ = nullptr;
+  MetricCounter* sendfile_bytes_c_ = nullptr;
   MetricHistogram* request_latency_ms_h_ = nullptr;
 
   mutable Mutex mu_;

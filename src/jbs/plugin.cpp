@@ -4,12 +4,16 @@ namespace jbs::shuffle {
 
 JbsShufflePlugin::JbsShufflePlugin(Options options) : options_(options) {
   switch (options_.transport) {
-    case TransportKind::kTcp:
-      transport_ = net::MakeTcpTransport();
+    case TransportKind::kTcp: {
+      net::TcpTransportOptions topts;
+      topts.max_frame_bytes = options_.max_frame_bytes;
+      transport_ = net::MakeTcpTransport(topts);
       break;
+    }
     case TransportKind::kRdma: {
       net::RdmaTransportOptions ropts;
       ropts.buffer_size = options_.buffer_size;
+      ropts.max_message_bytes = options_.max_frame_bytes;
       transport_ = net::MakeSoftRdmaTransport(ropts);
       break;
     }
@@ -58,6 +62,10 @@ JbsShufflePlugin::Options JbsShufflePlugin::OptionsFromConfig(
   options.health_penalty_ms = conf.GetInt(conf::kHealthPenaltyMs, 200);
   options.health_penalty_max_ms =
       conf.GetInt(conf::kHealthPenaltyMaxMs, 10000);
+  options.sendfile_min_bytes =
+      static_cast<uint64_t>(conf.GetSize(conf::kSendfileMinBytes, 0));
+  options.max_frame_bytes = static_cast<size_t>(
+      conf.GetSize(conf::kMaxFrameBytes, 64 * 1024 * 1024));
   return options;
 }
 
@@ -79,6 +87,7 @@ std::unique_ptr<mr::ShuffleServer> JbsShufflePlugin::CreateServer(
   sopts.pipelined = options_.pipelined;
   sopts.chunk_crc = options_.chunk_crc;
   sopts.crc_cache_entries = options_.crc_cache_entries;
+  sopts.sendfile_min_bytes = options_.sendfile_min_bytes;
   return std::make_unique<MofSupplier>(sopts);
 }
 

@@ -44,6 +44,11 @@ struct JbsOptions {
   int health_penalize_after = 3;     // <= 0 disables the penalty box
   int64_t health_penalty_ms = 200;
   int64_t health_penalty_max_ms = 10000;
+  // Zero-copy serve path (DESIGN.md §13): supplier sendfile threshold
+  // (0 = pooled buffers only) and the per-connection inbound frame cap
+  // enforced by both transports against the untrusted length prefix.
+  uint64_t sendfile_min_bytes = 0;
+  size_t max_frame_bytes = 64 * 1024 * 1024;
 };
 
 class JbsShufflePlugin final : public mr::ShufflePlugin {

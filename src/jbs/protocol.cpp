@@ -27,18 +27,44 @@ std::optional<FetchRequest> DecodeRequest(const Frame& frame) {
   return request;
 }
 
-Frame EncodeData(const FetchDataHeader& header,
-                 std::span<const uint8_t> data) {
+namespace {
+Frame EncodeDataHeaderOnly(const FetchDataHeader& header) {
   Frame frame;
   frame.type = kFetchData;
-  frame.payload.reserve(kDataHeaderSize + data.size());
+  frame.payload.reserve(kDataHeaderSize);
   PutU32(frame.payload, static_cast<uint32_t>(header.map_task));
   PutU32(frame.payload, static_cast<uint32_t>(header.partition));
   PutU64(frame.payload, header.offset);
   PutU64(frame.payload, header.segment_total);
   PutU32(frame.payload, header.flags);
   PutU32(frame.payload, header.crc32);
+  return frame;
+}
+}  // namespace
+
+Frame EncodeData(const FetchDataHeader& header,
+                 std::span<const uint8_t> data) {
+  Frame frame = EncodeDataHeaderOnly(header);
+  frame.payload.reserve(kDataHeaderSize + data.size());
   frame.payload.insert(frame.payload.end(), data.begin(), data.end());
+  AddPayloadCopyBytes(data.size());
+  return frame;
+}
+
+Frame EncodeDataZeroCopy(const FetchDataHeader& header,
+                         std::span<const uint8_t> data,
+                         std::shared_ptr<const void> lease) {
+  Frame frame = EncodeDataHeaderOnly(header);
+  frame.ext = data;
+  frame.lease = std::move(lease);
+  return frame;
+}
+
+Frame EncodeDataFile(const FetchDataHeader& header, int fd, uint64_t offset,
+                     uint64_t length, std::shared_ptr<const void> fd_lease) {
+  Frame frame = EncodeDataHeaderOnly(header);
+  frame.file = FileSegment{fd, offset, length};
+  frame.lease = std::move(fd_lease);
   return frame;
 }
 
@@ -55,7 +81,14 @@ std::optional<FetchDataHeader> DecodeData(const Frame& frame,
   header.segment_total = GetU64(p + 16);
   header.flags = GetU32(p + 24);
   header.crc32 = GetU32(p + 28);
-  *data = std::span<const uint8_t>(frame.payload).subspan(kDataHeaderSize);
+  // Received frames are contiguous; a locally built zero-copy frame keeps
+  // its chunk bytes in `ext` (a file segment cannot be viewed — Flatten
+  // first).
+  if (frame.payload.size() == kDataHeaderSize && !frame.ext.empty()) {
+    *data = frame.ext;
+  } else {
+    *data = std::span<const uint8_t>(frame.payload).subspan(kDataHeaderSize);
+  }
   return header;
 }
 

@@ -59,8 +59,26 @@ struct FetchError {
 Frame EncodeRequest(const FetchRequest& request);
 std::optional<FetchRequest> DecodeRequest(const Frame& frame);
 
-/// Builds a data frame: header followed by `data`.
+/// Builds a data frame: header followed by `data`. Copies `data` into the
+/// frame's owned payload (counted by PayloadCopyBytes) — the serve path
+/// uses the zero-copy variants below instead.
 Frame EncodeData(const FetchDataHeader& header, std::span<const uint8_t> data);
+
+/// Zero-copy data frame: the owned payload is just the 32-byte header; the
+/// chunk bytes ride as the frame's borrowed `ext` view, kept alive by
+/// `lease` until the transport has put the last byte on the wire.
+/// `data` must point into the leased storage (e.g. a PooledBuffer wrapped
+/// by MakeBufferLease).
+Frame EncodeDataZeroCopy(const FetchDataHeader& header,
+                         std::span<const uint8_t> data,
+                         std::shared_ptr<const void> lease);
+
+/// Sendfile data frame: the chunk bytes come straight from `fd` at
+/// `offset` (a MOF file kept open by `fd_lease`, e.g. an FdCache handle).
+/// Transports without file-segment support Flatten() it — correct, but
+/// the copy is counted.
+Frame EncodeDataFile(const FetchDataHeader& header, int fd, uint64_t offset,
+                     uint64_t length, std::shared_ptr<const void> fd_lease);
 
 /// Decodes header; `data` is set to the payload bytes after it (view into
 /// the frame's payload).

@@ -54,6 +54,10 @@ void EventLoop::Stop() {
   [[maybe_unused]] ssize_t n = ::write(wake_fd_.get(), &one, sizeof(one));
   if (thread_.joinable()) thread_.join();
   callbacks_.clear();
+  // Tasks that raced in after the loop's final drain would otherwise sit
+  // here forever — and a queued send task pins its frame's buffer lease.
+  MutexLock lock(pending_mu_);
+  pending_.clear();
 }
 
 Status EventLoop::Add(int fd, bool want_read, bool want_write,

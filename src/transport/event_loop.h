@@ -36,8 +36,9 @@ class EventLoop {
   /// Starts the loop thread.
   Status Start();
 
-  /// Stops and joins the loop thread; all registrations dropped.
-  void Stop();
+  /// Stops and joins the loop thread; all registrations dropped, along
+  /// with any tasks injected too late for the loop's final drain.
+  void Stop() EXCLUDES(pending_mu_);
 
   /// Registers a (nonblocking) fd. Callbacks run on the loop thread.
   /// Must be called from the loop thread or before Start().

@@ -79,12 +79,24 @@ class RdmaConnection final : public Connection {
 
   Status Send(const Frame& frame, const Deadline& deadline) override
       EXCLUDES(send_mu_) {
-    if (frame.payload.size() > ring_->buffer_size()) {
+    if (frame.file.valid()) {
+      // No sendfile analogue on the verbs wire: materialize, then send.
+      Frame flat;
+      flat.type = frame.type;
+      flat.payload = frame.payload;
+      flat.ext = frame.ext;
+      flat.lease = frame.lease;
+      flat.file = frame.file;
+      JBS_RETURN_IF_ERROR(flat.Flatten());
+      return Send(flat, deadline);
+    }
+    if (frame.payload_size() > ring_->buffer_size()) {
       return InvalidArgument("frame exceeds transport buffer size");
     }
     MutexLock lock(send_mu_);
-    JBS_RETURN_IF_ERROR(
-        qp_->PostSend(next_send_wr_++, frame.type, frame.payload));
+    // Gather: owned head + borrowed ext go out in one vectored write.
+    JBS_RETURN_IF_ERROR(qp_->PostSend(next_send_wr_++, frame.type,
+                                      frame.payload, frame.ext));
     auto wc = send_cq_->WaitPoll(deadline);
     if (!wc) {
       if (deadline.expired()) return DeadlineExceeded("send completion wait");
@@ -162,9 +174,12 @@ class RdmaServerEndpoint final : public ServerEndpoint {
   uint16_t port() const override { return server_.port(); }
 
   Status SendAsync(ConnId conn, Frame frame) override {
-    if (frame.payload.size() > options_.buffer_size) {
+    if (frame.payload_size() > options_.buffer_size) {
       return InvalidArgument("frame exceeds transport buffer size");
     }
+    // The frame (and any buffer lease it carries) travels through the
+    // queue; the lease drops after the send thread's synchronous PostSend
+    // returns — or when the queue drains at Stop().
     if (!send_queue_.Push({conn, std::move(frame)})) {
       return Unavailable("endpoint stopped");
     }
@@ -217,7 +232,8 @@ class RdmaServerEndpoint final : public ServerEndpoint {
       auto event = channel_.WaitEvent();
       if (!event) return;
       if (event->type != CmEventType::kConnectRequest) continue;
-      auto qp = server_.Accept(event->request_id, &pd_, &send_cq_, &recv_cq_);
+      auto qp = server_.Accept(event->request_id, &pd_, &send_cq_, &recv_cq_,
+                               options_.max_message_bytes);
       if (!qp.ok()) {
         JBS_WARN << "rdma_accept failed: " << qp.status().ToString();
         continue;
@@ -303,10 +319,13 @@ class RdmaServerEndpoint final : public ServerEndpoint {
         if (it == conns_.end()) continue;
         qp = it->second.qp;
       }
-      if (qp->PostSend(next_send_wr_++, frame.type, frame.payload).ok()) {
+      if (frame.file.valid() && !frame.Flatten().ok()) continue;
+      if (qp->PostSend(next_send_wr_++, frame.type, frame.payload,
+                       frame.ext)
+              .ok()) {
         MutexLock slock(stats_mu_);
         ++stats_.frames_sent;
-        stats_.bytes_sent += frame.payload.size();
+        stats_.bytes_sent += frame.payload_size();
       }
       send_cq_.Poll();  // drain send completions
     }
@@ -369,7 +388,8 @@ class SoftRdmaTransport final : public Transport {
     auto send_cq = std::make_unique<CompletionQueue>();
     auto recv_cq = std::make_unique<CompletionQueue>();
     auto qp = verbs::RdmaConnect(host, port, pd.get(), send_cq.get(),
-                                 recv_cq.get(), deadline);
+                                 recv_cq.get(), deadline,
+                                 options_.max_message_bytes);
     JBS_RETURN_IF_ERROR(qp.status());
     auto ring = std::make_unique<RecvRing>(pd.get(), options_.buffer_size,
                                            options_.buffers_per_connection);

@@ -15,6 +15,9 @@ namespace jbs::net {
 struct RdmaTransportOptions {
   size_t buffer_size = 128 * 1024;  // paper default (Fig. 11)
   size_t buffers_per_connection = 16;
+  /// Largest message accepted from the wire (untrusted length prefix);
+  /// oversized announcements kill the connection instead of allocating.
+  size_t max_message_bytes = 64 * 1024 * 1024;
 };
 
 std::unique_ptr<Transport> MakeSoftRdmaTransport(

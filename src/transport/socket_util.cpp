@@ -5,17 +5,50 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/sendfile.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+
+#include "common/framing.h"
 
 namespace jbs::net {
 
 namespace {
 std::string Errno(const char* what) {
   return std::string(what) + ": " + std::strerror(errno);
+}
+
+// Iovec batch bound per sendmsg call; far below IOV_MAX (1024) but enough
+// to gather many frames' header+payload pairs in one syscall.
+constexpr int kMaxIovecs = 64;
+
+// Degraded SendFileAll: pread chunks into a stack buffer and send them.
+// The extra user-space copy is counted against PayloadCopyBytes.
+Status SendFileFallback(int sock, int file_fd, uint64_t offset,
+                        uint64_t length, const Deadline& deadline) {
+  uint8_t buf[64 * 1024];
+  uint64_t done = 0;
+  while (done < length) {
+    const size_t want = static_cast<size_t>(
+        std::min<uint64_t>(sizeof(buf), length - done));
+    const ssize_t n =
+        ::pread(file_fd, buf, want, static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoError(Errno("pread"));
+    }
+    if (n == 0) return IoError("sendfile fallback: unexpected EOF");
+    JBS_RETURN_IF_ERROR(
+        SendAll(sock, {buf, static_cast<size_t>(n)}, deadline));
+    AddPayloadCopyBytes(static_cast<uint64_t>(n));
+    done += static_cast<uint64_t>(n);
+  }
+  return Status::Ok();
 }
 }  // namespace
 
@@ -158,6 +191,81 @@ Status SendAll(int fd, std::span<const uint8_t> data,
       return IoError(Errno("send"));
     }
     sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status SendAllV(int fd, std::span<const std::span<const uint8_t>> bufs,
+                const Deadline& deadline) {
+  const bool bounded = !deadline.infinite();
+  // Local iovec window over the unsent remainder; sendmsg (not writev) so
+  // MSG_NOSIGNAL applies.
+  iovec iov[kMaxIovecs];
+  size_t next = 0;  // first span not yet fully sent
+  size_t head_off = 0;  // bytes of bufs[next] already sent
+  while (next < bufs.size()) {
+    int cnt = 0;
+    for (size_t i = next; i < bufs.size() && cnt < kMaxIovecs; ++i) {
+      const size_t skip = (i == next) ? head_off : 0;
+      if (bufs[i].size() <= skip) continue;
+      iov[cnt].iov_base =
+          const_cast<uint8_t*>(bufs[i].data() + skip);
+      iov[cnt].iov_len = bufs[i].size() - skip;
+      ++cnt;
+    }
+    if (cnt == 0) break;  // only empty spans remain
+    if (bounded) JBS_RETURN_IF_ERROR(WaitWritable(fd, deadline));
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<size_t>(cnt);
+    const ssize_t n = ::sendmsg(
+        fd, &msg, MSG_NOSIGNAL | (bounded ? MSG_DONTWAIT : 0));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (bounded && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+      return IoError(Errno("sendmsg"));
+    }
+    // Advance (next, head_off) past the n written bytes.
+    size_t written = static_cast<size_t>(n);
+    while (next < bufs.size()) {
+      const size_t remaining = bufs[next].size() - head_off;
+      if (written < remaining) {
+        head_off += written;
+        written = 0;
+        break;
+      }
+      written -= remaining;
+      ++next;
+      head_off = 0;
+    }
+  }
+  return Status::Ok();
+}
+
+Status SendFileAll(int sock, int file_fd, uint64_t offset, uint64_t length,
+                   const Deadline& deadline) {
+  const bool bounded = !deadline.infinite();
+  uint64_t done = 0;
+  while (done < length) {
+    if (bounded) JBS_RETURN_IF_ERROR(WaitWritable(sock, deadline));
+    off_t off = static_cast<off_t>(offset + done);
+    const ssize_t n = ::sendfile(sock, file_fd, &off,
+                                 static_cast<size_t>(length - done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!bounded) JBS_RETURN_IF_ERROR(WaitWritable(sock, Deadline()));
+        continue;
+      }
+      if (errno == EINVAL || errno == ENOSYS || errno == EOVERFLOW) {
+        // sendfile not applicable to this fd pair: degrade to read+send.
+        return SendFileFallback(sock, file_fd, offset + done, length - done,
+                                deadline);
+      }
+      return IoError(Errno("sendfile"));
+    }
+    if (n == 0) return IoError("sendfile: unexpected EOF");
+    done += static_cast<uint64_t>(n);
   }
   return Status::Ok();
 }

@@ -2,6 +2,7 @@
 
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/bytes.h"
@@ -18,17 +19,45 @@ constexpr uint8_t kMsgData = 0xF3;
 constexpr uint8_t kMsgRdmaReadReq = 0xF4;   // req_id u64 | addr u64 | rkey u32 | len u32
 constexpr uint8_t kMsgRdmaReadResp = 0xF5;  // req_id u64 | status u8 | data
 
-// Wire: u32 payload_len | u8 wire_type | u8 app_type | payload
+// Handshake private data is tiny; anything bigger is a malformed (or
+// hostile) dial and fails the connection before any allocation.
+constexpr uint32_t kMaxPrivateData = 1 * 1024 * 1024;
+
+// Wire: u32 payload_len | u8 wire_type | u8 app_type | payload. Gather
+// form: the payload is head ++ tail, sent with one vectored call under the
+// lock so a frame header and a borrowed buffer never interleave with other
+// writers — and never meet in an intermediate copy.
+Status SendMessageV(int fd, Mutex& mu, uint8_t wire_type, uint8_t app_type,
+                    std::span<const uint8_t> head,
+                    std::span<const uint8_t> tail) EXCLUDES(mu) {
+  uint8_t header[6];
+  const uint32_t len = static_cast<uint32_t>(head.size() + tail.size());
+  header[0] = static_cast<uint8_t>(len >> 24);
+  header[1] = static_cast<uint8_t>(len >> 16);
+  header[2] = static_cast<uint8_t>(len >> 8);
+  header[3] = static_cast<uint8_t>(len);
+  header[4] = wire_type;
+  header[5] = app_type;
+  const std::span<const uint8_t> bufs[] = {{header, 6}, head, tail};
+  MutexLock lock(mu);
+  return SendAllV(fd, bufs);
+}
+
 Status SendMessage(int fd, Mutex& mu, uint8_t wire_type, uint8_t app_type,
                    std::span<const uint8_t> payload) EXCLUDES(mu) {
-  std::vector<uint8_t> header;
-  header.reserve(6);
-  PutU32(header, static_cast<uint32_t>(payload.size()));
-  header.push_back(wire_type);
-  header.push_back(app_type);
-  MutexLock lock(mu);
-  JBS_RETURN_IF_ERROR(SendAll(fd, header));
-  if (!payload.empty()) JBS_RETURN_IF_ERROR(SendAll(fd, payload));
+  return SendMessageV(fd, mu, wire_type, app_type, payload, {});
+}
+
+// Discards `length` wire bytes in bounded chunks (stay in sync after a
+// local length error without trusting the announced size for allocation).
+Status DrainWire(int fd, uint64_t length) {
+  uint8_t sink[64 * 1024];
+  while (length > 0) {
+    const size_t want = static_cast<size_t>(
+        std::min<uint64_t>(sizeof(sink), length));
+    JBS_RETURN_IF_ERROR(RecvAll(fd, {sink, want}));
+    length -= want;
+  }
   return Status::Ok();
 }
 }  // namespace
@@ -119,11 +148,13 @@ size_t CompletionQueue::depth() const {
 }
 
 QueuePair::QueuePair(Fd socket, ProtectionDomain* pd,
-                     CompletionQueue* send_cq, CompletionQueue* recv_cq)
+                     CompletionQueue* send_cq, CompletionQueue* recv_cq,
+                     size_t max_message_bytes)
     : socket_(std::move(socket)),
       pd_(pd),
       send_cq_(send_cq),
-      recv_cq_(recv_cq) {
+      recv_cq_(recv_cq),
+      max_message_bytes_(max_message_bytes) {
   receiver_ = std::thread([this] { ReceiverLoop(); });
 }
 
@@ -147,19 +178,25 @@ Status QueuePair::PostRecv(uint64_t wr_id, MemoryRegion buffer) {
 
 Status QueuePair::PostSend(uint64_t wr_id, uint8_t msg_type,
                            std::span<const uint8_t> payload) {
+  return PostSend(wr_id, msg_type, payload, {});
+}
+
+Status QueuePair::PostSend(uint64_t wr_id, uint8_t msg_type,
+                           std::span<const uint8_t> head,
+                           std::span<const uint8_t> tail) {
   {
     MutexLock lock(mu_);
     if (state_ != State::kRts) return Unavailable("QP not in RTS");
   }
-  Status st = SendMessage(socket_.get(), send_mu_, kMsgData, msg_type,
-                          payload);
+  Status st =
+      SendMessageV(socket_.get(), send_mu_, kMsgData, msg_type, head, tail);
   WorkCompletion wc;
   wc.wr_id = wr_id;
   wc.opcode = WcOpcode::kSend;
-  wc.byte_len = static_cast<uint32_t>(payload.size());
+  wc.byte_len = static_cast<uint32_t>(head.size() + tail.size());
   wc.msg_type = msg_type;
   if (st.ok()) {
-    bytes_sent_ += payload.size();
+    bytes_sent_ += head.size() + tail.size();
     wc.status = WcStatus::kSuccess;
   } else {
     MutexLock lock(mu_);
@@ -271,6 +308,11 @@ void QueuePair::ReceiverLoop() {
     const uint32_t length = GetU32(header);
     const uint8_t wire_type = header[4];
     const uint8_t app_type = header[5];
+    if (length > max_message_bytes_) {
+      // Peer-announced length beyond the cap: fail the connection rather
+      // than attempt the allocation (the length prefix is untrusted).
+      break;
+    }
     if (wire_type == kMsgRdmaReadReq || wire_type == kMsgRdmaReadResp) {
       std::vector<uint8_t> control(length);
       if (length > 0 && !RecvAll(socket_.get(), control).ok()) break;
@@ -294,9 +336,9 @@ void QueuePair::ReceiverLoop() {
     wc.byte_len = length;
     wc.msg_type = app_type;
     if (length > posted->buffer.length) {
-      // Drain the wire to stay in sync, then report the length error.
-      std::vector<uint8_t> sink(length);
-      if (!RecvAll(socket_.get(), sink).ok()) break;
+      // Drain the wire (bounded chunks, no length-sized allocation) to
+      // stay in sync, then report the length error.
+      if (!DrainWire(socket_.get(), length).ok()) break;
       wc.status = WcStatus::kLocalLengthError;
       recv_cq_->Push(wc);
       continue;
@@ -421,6 +463,7 @@ void RdmaServer::ListenLoop() {
       continue;  // not a well-formed rdma_connect
     }
     const uint32_t private_len = GetU32(header);
+    if (private_len > kMaxPrivateData) continue;  // hostile dial; drop it
     if (private_len > 0) {
       std::vector<uint8_t> private_data(private_len);
       if (!RecvAll(conn.get(), private_data).ok()) continue;
@@ -437,7 +480,7 @@ void RdmaServer::ListenLoop() {
 
 StatusOr<std::unique_ptr<QueuePair>> RdmaServer::Accept(
     uint64_t request_id, ProtectionDomain* pd, CompletionQueue* send_cq,
-    CompletionQueue* recv_cq) {
+    CompletionQueue* recv_cq, size_t max_message_bytes) {
   Fd conn;
   {
     MutexLock lock(mu_);
@@ -454,7 +497,8 @@ StatusOr<std::unique_ptr<QueuePair>> RdmaServer::Accept(
   JBS_RETURN_IF_ERROR(
       SendMessage(conn.get(), tmp_mu, kMsgConnAccept, 0, {}));
   channel_->Push({CmEventType::kEstablished, request_id});
-  return std::make_unique<QueuePair>(std::move(conn), pd, send_cq, recv_cq);
+  return std::make_unique<QueuePair>(std::move(conn), pd, send_cq, recv_cq,
+                                     max_message_bytes);
 }
 
 Status RdmaServer::Reject(uint64_t request_id) {
@@ -478,12 +522,10 @@ void RdmaServer::Stop() {
   pending_.clear();
 }
 
-StatusOr<std::unique_ptr<QueuePair>> RdmaConnect(const std::string& host,
-                                                 uint16_t port,
-                                                 ProtectionDomain* pd,
-                                                 CompletionQueue* send_cq,
-                                                 CompletionQueue* recv_cq,
-                                                 const Deadline& deadline) {
+StatusOr<std::unique_ptr<QueuePair>> RdmaConnect(
+    const std::string& host, uint16_t port, ProtectionDomain* pd,
+    CompletionQueue* send_cq, CompletionQueue* recv_cq,
+    const Deadline& deadline, size_t max_message_bytes) {
   // alloc conn + rdma_connect.
   auto fd = ConnectTcp(host, port, deadline);
   JBS_RETURN_IF_ERROR(fd.status());
@@ -504,7 +546,7 @@ StatusOr<std::unique_ptr<QueuePair>> RdmaConnect(const std::string& host,
   }
   // Established on the client side.
   return std::make_unique<QueuePair>(std::move(fd).value(), pd, send_cq,
-                                     recv_cq);
+                                     recv_cq, max_message_bytes);
 }
 
 }  // namespace jbs::net::verbs

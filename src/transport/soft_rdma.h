@@ -95,13 +95,19 @@ class CompletionQueue {
   bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
+/// Largest message a QueuePair accepts from the wire. The 4-byte length
+/// prefix is peer-controlled; a message announcing more than this kills
+/// the connection instead of allocating.
+constexpr size_t kDefaultMaxMessageBytes = 64 * 1024 * 1024;
+
 /// Reliable-connection queue pair over an established socket.
 class QueuePair {
  public:
   enum class State { kRts, kError, kClosed };
 
   QueuePair(Fd socket, ProtectionDomain* pd, CompletionQueue* send_cq,
-            CompletionQueue* recv_cq);
+            CompletionQueue* recv_cq,
+            size_t max_message_bytes = kDefaultMaxMessageBytes);
   ~QueuePair();
 
   QueuePair(const QueuePair&) = delete;
@@ -115,6 +121,13 @@ class QueuePair {
   /// Sends a message; completion lands in the send CQ. Thread-safe.
   Status PostSend(uint64_t wr_id, uint8_t msg_type,
                   std::span<const uint8_t> payload);
+
+  /// Gather variant: transmits head ++ tail as one message with vectored
+  /// I/O — no intermediate copy. The spans need only stay valid for the
+  /// duration of the call (the send is synchronous under the wire lock).
+  Status PostSend(uint64_t wr_id, uint8_t msg_type,
+                  std::span<const uint8_t> head,
+                  std::span<const uint8_t> tail);
 
   /// One-sided RDMA READ: pulls `length` bytes from the peer's registered
   /// memory at (remote_addr, rkey) into `local` — no receive posted and no
@@ -137,7 +150,7 @@ class QueuePair {
   friend class RdmaServer;
   friend StatusOr<std::unique_ptr<QueuePair>> RdmaConnect(
       const std::string&, uint16_t, ProtectionDomain*, CompletionQueue*,
-      CompletionQueue*, const Deadline&);
+      CompletionQueue*, const Deadline&, size_t);
 
   void ReceiverLoop();
   struct PostedRecv {
@@ -155,6 +168,7 @@ class QueuePair {
   ProtectionDomain* pd_;
   CompletionQueue* send_cq_;
   CompletionQueue* recv_cq_;
+  const size_t max_message_bytes_;
 
   mutable Mutex mu_;
   CondVar recv_posted_cv_;
@@ -220,10 +234,10 @@ class RdmaServer {
 
   /// rdma_accept(): completes the handshake for a pending request,
   /// allocating the connection (QP). Fires kEstablished on the channel.
-  StatusOr<std::unique_ptr<QueuePair>> Accept(uint64_t request_id,
-                                              ProtectionDomain* pd,
-                                              CompletionQueue* send_cq,
-                                              CompletionQueue* recv_cq);
+  StatusOr<std::unique_ptr<QueuePair>> Accept(
+      uint64_t request_id, ProtectionDomain* pd, CompletionQueue* send_cq,
+      CompletionQueue* recv_cq,
+      size_t max_message_bytes = kDefaultMaxMessageBytes);
 
   /// rdma_reject(): refuses a pending request.
   Status Reject(uint64_t request_id);
@@ -251,6 +265,7 @@ class RdmaServer {
 StatusOr<std::unique_ptr<QueuePair>> RdmaConnect(
     const std::string& host, uint16_t port, ProtectionDomain* pd,
     CompletionQueue* send_cq, CompletionQueue* recv_cq,
-    const Deadline& deadline = Deadline());
+    const Deadline& deadline = Deadline(),
+    size_t max_message_bytes = kDefaultMaxMessageBytes);
 
 }  // namespace jbs::net::verbs

@@ -2,11 +2,21 @@
 // event-driven (epoll) server endpoint where one network thread detects
 // readability across all connections, decodes request frames, and streams
 // queued response buffers out asynchronously.
+//
+// The send path is zero-copy (DESIGN.md §13): outbound frames keep their
+// payload in place — a small owned head plus a borrowed `ext` view and/or
+// a `file` segment — and the wire is fed with sendmsg(2) iovecs and
+// sendfile(2), resuming partial writes across iovec boundaries. A frame's
+// buffer lease drops when its last byte is accepted by the kernel or the
+// connection dies with the frame still queued.
 #include "transport/tcp_transport.h"
 
+#include <sys/sendfile.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstring>
@@ -25,36 +35,55 @@ namespace jbs::net {
 
 namespace {
 
+// Iovec gather bound per sendmsg(2) on the server flush path.
+constexpr int kFlushIovecs = 64;
+
 class TcpConnection final : public Connection {
  public:
-  explicit TcpConnection(Fd fd) : fd_(std::move(fd)) {}
+  TcpConnection(Fd fd, size_t max_frame_bytes)
+      : fd_(std::move(fd)), max_frame_bytes_(max_frame_bytes) {}
 
   ~TcpConnection() override { Close(); }
 
   Status Send(const Frame& frame, const Deadline& deadline) override
       EXCLUDES(send_mu_) {
+    // Vectored: the 5-byte wire header rides in the same sendmsg as the
+    // payload spans, so nothing is glued into an encode buffer first.
+    uint8_t header[kFrameHeaderSize];
+    EncodeFrameHeader(frame, header);
+    const std::span<const uint8_t> bufs[] = {
+        {header, kFrameHeaderSize}, frame.payload, frame.ext};
     MutexLock lock(send_mu_);
     if (!alive_) return Unavailable("connection closed");
-    wire_.clear();
-    EncodeFrame(frame, wire_);
-    Status st = SendAll(fd_.get(), wire_, deadline);
+    Status st = SendAllV(fd_.get(), bufs, deadline);
+    if (st.ok() && frame.file.valid()) {
+      st = SendFileAll(fd_.get(), frame.file.fd, frame.file.offset,
+                       frame.file.length, deadline);
+    }
     if (!st.ok()) {
       alive_ = false;
       return st;
     }
-    bytes_sent_ += wire_.size();
+    bytes_sent_ += kFrameHeaderSize + frame.payload_size();
     return Status::Ok();
   }
 
   StatusOr<Frame> Receive(const Deadline& deadline) override {
     if (!alive_) return Unavailable("connection closed");
-    uint8_t header[5];
+    uint8_t header[kFrameHeaderSize];
     Status st = RecvAll(fd_.get(), header, deadline);
     if (!st.ok()) {
       alive_ = false;
       return st;
     }
     const uint32_t length = GetU32(header);
+    if (length > max_frame_bytes_) {
+      // The length prefix is attacker-controlled: refuse the allocation
+      // and fail the connection (we cannot resynchronize mid-stream).
+      Close();
+      return IoError("inbound frame of " + std::to_string(length) +
+                     " bytes exceeds max_frame_bytes");
+    }
     Frame frame;
     frame.type = header[4];
     frame.payload.resize(length);
@@ -65,7 +94,7 @@ class TcpConnection final : public Connection {
         return st;
       }
     }
-    bytes_received_ += 5 + length;
+    bytes_received_ += kFrameHeaderSize + length;
     return frame;
   }
 
@@ -85,8 +114,8 @@ class TcpConnection final : public Connection {
 
  private:
   Fd fd_;
-  Mutex send_mu_;  // serializes senders; also guards the encode buffer
-  std::vector<uint8_t> wire_ GUARDED_BY(send_mu_);  // reused encode buffer
+  const size_t max_frame_bytes_;
+  Mutex send_mu_;  // serializes senders so frames hit the wire whole
   std::atomic<bool> alive_{true};
   std::atomic<uint64_t> bytes_sent_{0};
   std::atomic<uint64_t> bytes_received_{0};
@@ -94,6 +123,9 @@ class TcpConnection final : public Connection {
 
 class TcpServerEndpoint final : public ServerEndpoint {
  public:
+  explicit TcpServerEndpoint(TcpTransportOptions options)
+      : options_(options) {}
+
   ~TcpServerEndpoint() override { Stop(); }
 
   Status Start(Handlers handlers) override {
@@ -117,13 +149,25 @@ class TcpServerEndpoint final : public ServerEndpoint {
 
   uint16_t port() const override { return port_; }
 
+  bool supports_file_segments() const override { return true; }
+
   Status SendAsync(ConnId conn, Frame frame) override {
-    auto wire = std::make_shared<std::vector<uint8_t>>();
-    EncodeFrame(frame, *wire);
-    auto enqueue = [this, conn, wire] {
+    if (stopped_.load(std::memory_order_acquire)) {
+      return Unavailable("endpoint stopped");
+    }
+    // The frame is NOT flattened into a wire buffer: its owned payload is
+    // moved, its ext/file travel as views, and the lease rides along until
+    // the flush path finishes with the bytes.
+    OutFrame out;
+    EncodeFrameHeader(frame, out.header);
+    out.payload = std::move(frame.payload);
+    out.ext = frame.ext;
+    out.lease = std::move(frame.lease);
+    out.file = frame.file;
+    auto enqueue = [this, conn, out = std::move(out)]() mutable {
       auto it = conns_.find(conn);
-      if (it == conns_.end()) return;
-      it->second.out_queue.push_back(std::move(*wire));
+      if (it == conns_.end()) return;  // conn gone; lease drops here
+      it->second.out_queue.push_back(std::move(out));
       {
         MutexLock lock(stats_mu_);
         ++stats_.frames_sent;
@@ -146,7 +190,7 @@ class TcpServerEndpoint final : public ServerEndpoint {
   void Stop() override {
     if (stopped_.exchange(true)) return;
     loop_.Stop();
-    conns_.clear();
+    conns_.clear();  // drops every queued OutFrame and its lease
     listen_fd_.Reset();
   }
 
@@ -158,13 +202,38 @@ class TcpServerEndpoint final : public ServerEndpoint {
   }
 
  private:
+  /// One queued outbound frame, scatter-gather form. Wire order:
+  ///   header | payload | ext | spill-or-file
+  /// `mem_sent` tracks progress through the in-memory part (header,
+  /// payload, ext, spill); `file_sent` through the sendfile part. `spill`
+  /// is empty unless sendfile had to degrade to pread+send.
+  struct OutFrame {
+    uint8_t header[kFrameHeaderSize];
+    std::vector<uint8_t> payload;
+    std::span<const uint8_t> ext;
+    std::shared_ptr<const void> lease;
+    FileSegment file;
+    std::vector<uint8_t> spill;
+    size_t mem_sent = 0;
+    uint64_t file_sent = 0;
+
+    size_t mem_size() const {
+      return kFrameHeaderSize + payload.size() + ext.size() + spill.size();
+    }
+    uint64_t file_remaining() const { return file.length - file_sent; }
+    bool done() const {
+      return mem_sent == mem_size() && file_remaining() == 0;
+    }
+  };
+
   struct ConnState {
     Fd fd;
     FrameDecoder decoder;
-    std::deque<std::vector<uint8_t>> out_queue;
-    size_t out_offset = 0;  // into front of out_queue
+    std::deque<OutFrame> out_queue;
     bool want_write = false;
     bool peer_half_closed = false;  // client sent FIN; drain replies first
+    ConnState(Fd fd_in, size_t max_frame)
+        : fd(std::move(fd_in)), decoder(max_frame) {}
   };
 
   void AcceptReady() {
@@ -179,9 +248,8 @@ class TcpServerEndpoint final : public ServerEndpoint {
       }
       const ConnId id = next_conn_id_++;
       (void)SetNoDelay(raw);
-      ConnState state;
-      state.fd = Fd(raw);
-      auto [it, inserted] = conns_.emplace(id, std::move(state));
+      auto [it, inserted] =
+          conns_.emplace(id, ConnState(Fd(raw), options_.max_frame_bytes));
       Status st = loop_.Add(raw, /*read=*/true, /*write=*/false,
                             [this, id](uint32_t events) {
                               OnConnEvent(id, events);
@@ -257,43 +325,173 @@ class TcpServerEndpoint final : public ServerEndpoint {
     return true;
   }
 
+  /// Appends frame's unsent in-memory slices to `iov`. Returns bytes
+  /// gathered.
+  static size_t GatherMem(const OutFrame& frame, iovec* iov, int& cnt) {
+    size_t gathered = 0;
+    size_t pos = 0;
+    const std::span<const uint8_t> parts[] = {
+        {frame.header, kFrameHeaderSize},
+        frame.payload,
+        frame.ext,
+        frame.spill};
+    for (const auto& part : parts) {
+      if (cnt >= kFlushIovecs) break;
+      const size_t end = pos + part.size();
+      if (frame.mem_sent < end && !part.empty()) {
+        const size_t skip = frame.mem_sent > pos ? frame.mem_sent - pos : 0;
+        iov[cnt].iov_base = const_cast<uint8_t*>(part.data() + skip);
+        iov[cnt].iov_len = part.size() - skip;
+        gathered += iov[cnt].iov_len;
+        ++cnt;
+      }
+      pos = end;
+    }
+    return gathered;
+  }
+
   void FlushWrites(ConnId id) {
     auto it = conns_.find(id);
     if (it == conns_.end()) return;
     ConnState& state = it->second;
-    while (!state.out_queue.empty()) {
-      const auto& buffer = state.out_queue.front();
+    bool blocked = false;
+    while (!state.out_queue.empty() && !blocked) {
+      // Phase 1: gather in-memory slices across queued frames into one
+      // sendmsg. Stop at a frame with unfinished file bytes — its
+      // sendfile part must precede any later frame's bytes.
+      iovec iov[kFlushIovecs];
+      int cnt = 0;
+      for (const OutFrame& frame : state.out_queue) {
+        GatherMem(frame, iov, cnt);
+        if (frame.file_remaining() > 0 || cnt >= kFlushIovecs) break;
+      }
+      if (cnt > 0) {
+        msghdr msg{};
+        msg.msg_iov = iov;
+        msg.msg_iovlen = static_cast<size_t>(cnt);
+        const ssize_t n =
+            ::sendmsg(state.fd.get(), &msg, MSG_NOSIGNAL | MSG_DONTWAIT);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            blocked = true;
+          } else {
+            CloseConn(id);
+            return;
+          }
+        } else {
+          {
+            MutexLock lock(stats_mu_);
+            stats_.bytes_sent += static_cast<uint64_t>(n);
+          }
+          // Advance mem_sent across the queue and retire finished frames.
+          size_t written = static_cast<size_t>(n);
+          while (written > 0 && !state.out_queue.empty()) {
+            OutFrame& front = state.out_queue.front();
+            const size_t take =
+                std::min(written, front.mem_size() - front.mem_sent);
+            front.mem_sent += take;
+            written -= take;
+            if (front.done()) {
+              state.out_queue.pop_front();
+              queued_frames_.fetch_sub(1, std::memory_order_relaxed);
+            } else if (front.mem_sent == front.mem_size()) {
+              break;  // mem done, file pending: phase 2's job
+            }
+          }
+        }
+      }
+      // Phase 2: front frame's file segment via sendfile(2).
+      if (!blocked && !state.out_queue.empty()) {
+        OutFrame& front = state.out_queue.front();
+        if (front.mem_sent == front.mem_size() &&
+            front.file_remaining() > 0) {
+          if (!SendFileStep(id, state, front, blocked)) return;
+        } else if (cnt == 0) {
+          break;  // nothing sendable (shouldn't happen)
+        }
+      }
+    }
+    it = conns_.find(id);
+    if (it == conns_.end()) return;  // closed during the flush
+    ConnState& after = it->second;
+    if (after.out_queue.empty() && after.peer_half_closed) {
+      // Replies drained to a half-closed peer: now the connection is done.
+      CloseConn(id);
+      return;
+    }
+    const bool need_write = !after.out_queue.empty();
+    if (need_write != after.want_write) {
+      after.want_write = need_write;
+      loop_.Modify(after.fd.get(), /*read=*/!after.peer_half_closed,
+                   /*write=*/need_write);
+    }
+  }
+
+  /// One sendfile(2) attempt for the front frame. Returns false if the
+  /// connection was closed; sets `blocked` on EAGAIN. On fds sendfile
+  /// rejects, degrades once to a pread into `spill` (counted as copied
+  /// bytes) and lets phase 1 send it.
+  bool SendFileStep(ConnId id, ConnState& state, OutFrame& front,
+                    bool& blocked) {
+    for (;;) {
+      off_t off = static_cast<off_t>(front.file.offset + front.file_sent);
       const ssize_t n =
-          ::send(state.fd.get(), buffer.data() + state.out_offset,
-                 buffer.size() - state.out_offset, MSG_NOSIGNAL);
+          ::sendfile(state.fd.get(), front.file.fd, &off,
+                     static_cast<size_t>(front.file_remaining()));
       if (n < 0) {
-        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
         if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          blocked = true;
+          return true;
+        }
+        if (errno == EINVAL || errno == ENOSYS || errno == EOVERFLOW) {
+          return SpillFile(id, front);
+        }
         CloseConn(id);
-        return;
+        return false;
+      }
+      if (n == 0) {
+        // File truncated under us; the frame can never complete.
+        CloseConn(id);
+        return false;
       }
       {
         MutexLock lock(stats_mu_);
         stats_.bytes_sent += static_cast<uint64_t>(n);
       }
-      state.out_offset += static_cast<size_t>(n);
-      if (state.out_offset == buffer.size()) {
+      front.file_sent += static_cast<uint64_t>(n);
+      if (front.file_remaining() == 0) {
         state.out_queue.pop_front();
-        state.out_offset = 0;
         queued_frames_.fetch_sub(1, std::memory_order_relaxed);
+        return true;
       }
     }
-    if (state.out_queue.empty() && state.peer_half_closed) {
-      // Replies drained to a half-closed peer: now the connection is done.
-      CloseConn(id);
-      return;
+  }
+
+  /// Fallback when sendfile is not applicable: pread the remaining file
+  /// bytes into the frame's spill buffer (so phase 1 streams them) and
+  /// clear the file segment.
+  bool SpillFile(ConnId id, OutFrame& front) {
+    const size_t start = front.spill.size();
+    const size_t want = static_cast<size_t>(front.file_remaining());
+    front.spill.resize(start + want);
+    size_t done = 0;
+    while (done < want) {
+      const ssize_t n = ::pread(
+          front.file.fd, front.spill.data() + start + done, want - done,
+          static_cast<off_t>(front.file.offset + front.file_sent + done));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        CloseConn(id);
+        return false;
+      }
+      done += static_cast<size_t>(n);
     }
-    const bool need_write = !state.out_queue.empty();
-    if (need_write != state.want_write) {
-      state.want_write = need_write;
-      loop_.Modify(state.fd.get(), /*read=*/!state.peer_half_closed,
-                   /*write=*/need_write);
-    }
+    AddPayloadCopyBytes(want);
+    front.file = {};
+    front.file_sent = 0;
+    return true;
   }
 
   void CloseConn(ConnId id) {
@@ -302,10 +500,11 @@ class TcpServerEndpoint final : public ServerEndpoint {
     queued_frames_.fetch_sub(it->second.out_queue.size(),
                              std::memory_order_relaxed);
     loop_.Remove(it->second.fd.get());
-    conns_.erase(it);
+    conns_.erase(it);  // queued OutFrames die here, releasing their leases
     if (handlers_.on_disconnect) handlers_.on_disconnect(id);
   }
 
+  const TcpTransportOptions options_;
   Handlers handlers_;
   EventLoop loop_;
   Fd listen_fd_;
@@ -322,11 +521,13 @@ class TcpServerEndpoint final : public ServerEndpoint {
 
 class TcpTransport final : public Transport {
  public:
+  explicit TcpTransport(TcpTransportOptions options) : options_(options) {}
+
   std::string name() const override { return "tcp"; }
 
   StatusOr<std::unique_ptr<ServerEndpoint>> CreateServer() override {
     return std::unique_ptr<ServerEndpoint>(
-        std::make_unique<TcpServerEndpoint>());
+        std::make_unique<TcpServerEndpoint>(options_));
   }
 
   using Transport::Connect;
@@ -335,15 +536,18 @@ class TcpTransport final : public Transport {
       const Deadline& deadline) override {
     auto fd = ConnectTcp(host, port, deadline);
     JBS_RETURN_IF_ERROR(fd.status());
-    return std::unique_ptr<Connection>(
-        std::make_unique<TcpConnection>(std::move(fd).value()));
+    return std::unique_ptr<Connection>(std::make_unique<TcpConnection>(
+        std::move(fd).value(), options_.max_frame_bytes));
   }
+
+ private:
+  const TcpTransportOptions options_;
 };
 
 }  // namespace
 
-std::unique_ptr<Transport> MakeTcpTransport() {
-  return std::make_unique<TcpTransport>();
+std::unique_ptr<Transport> MakeTcpTransport(TcpTransportOptions options) {
+  return std::make_unique<TcpTransport>(options);
 }
 
 }  // namespace jbs::net

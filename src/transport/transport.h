@@ -73,7 +73,29 @@ class ServerEndpoint {
 
   /// Queues a frame for asynchronous transmission to a connection. Safe
   /// from any thread.
+  ///
+  /// Zero-copy contract (DESIGN.md §13): after SendAsync accepts a frame,
+  /// the bytes behind `frame.ext`/`frame.file` belong to the endpoint —
+  /// the caller must not write them and must not assume they are still
+  /// readable. The frame's lease is released when the last byte reaches
+  /// the socket or the connection dies with the frame still queued,
+  /// whichever comes first; that release is the only signal a pooled
+  /// buffer may be reused.
   virtual Status SendAsync(ConnId conn, Frame frame) = 0;
+
+  /// Owning-buffer convenience: attaches `lease` as the frame's ownership
+  /// token (e.g. a PooledBuffer whose view `frame.ext` already points at)
+  /// and queues it. Exists so call sites read as an explicit handoff.
+  Status SendAsync(ConnId conn, Frame frame,
+                   std::shared_ptr<const void> lease) {
+    frame.lease = std::move(lease);
+    return SendAsync(conn, std::move(frame));
+  }
+
+  /// True when this endpoint can transmit Frame::file segments directly
+  /// (sendfile). When false, callers should serve from buffers instead;
+  /// an endpoint receiving a file frame anyway must Flatten() it.
+  virtual bool supports_file_segments() const { return false; }
 
   /// Stops the event thread and closes all connections.
   virtual void Stop() = 0;
@@ -106,7 +128,14 @@ class Transport {
   }
 };
 
+struct TcpTransportOptions {
+  /// Largest accepted inbound frame payload, client and server side. The
+  /// 4-byte length prefix is attacker-controlled; a frame announcing more
+  /// than this fails the connection instead of attempting the allocation.
+  size_t max_frame_bytes = 64 * 1024 * 1024;
+};
+
 /// Creates the TCP/IP transport (§IV-B).
-std::unique_ptr<Transport> MakeTcpTransport();
+std::unique_ptr<Transport> MakeTcpTransport(TcpTransportOptions options = {});
 
 }  // namespace jbs::net
