@@ -6,9 +6,16 @@
 //      (micro_transport's BM_ServerPushLargeFrame, reduced to one pass).
 //   2. A reduced Figs. 4/5 sweep: serialized per-request service vs the
 //      pipelined prefetch+send MofSupplier, small dataset, one repeat.
+//   3. A wire-compression sweep: zipf-skewed compressible vs uniformly
+//      random MOFs shuffled with negotiated per-chunk compression off and
+//      on, recording bytes_logical / bytes_on_wire / ratio / elapsed. The
+//      byte counts are deterministic, so two invariants are gated: the
+//      compressible workload must at least halve its wire bytes, and the
+//      random workload must ship raw (bail-out) with zero user-space
+//      payload copies on the compression-off pass.
 //
 // Results land in a MetricsRegistry and are dumped as JSON (default
-// BENCH_pr6.json, or argv[1]) so CI can archive the numbers per commit.
+// BENCH_pr7.json, or argv[1]) so CI can archive the numbers per commit.
 // Exit code is 0 unless a probe fails outright: perf deltas are recorded,
 // not gated, because shared CI runners are too noisy for hard thresholds.
 #include <chrono>
@@ -22,6 +29,7 @@
 #include "bench/bench_util.h"
 #include "common/framing.h"
 #include "common/metrics.h"
+#include "common/rng.h"
 #include "jbs/mof_supplier.h"
 #include "jbs/net_merger.h"
 #include "jbs/protocol.h"
@@ -142,17 +150,107 @@ double SweepThroughputMBs(bool pipelined, int prefetch_threads,
                   : 0;
 }
 
+/// Writes `mofs` single-partition MOFs under `dir`. `compressible` picks
+/// zipf-skewed words (sorted-shuffle-like repetition) vs uniform random
+/// bytes that the codec must bail out on.
+std::vector<mr::MofHandle> MakeCompressSweepMofs(const fs::path& dir,
+                                                 bool compressible, int mofs,
+                                                 int records) {
+  static const char* kVocab[] = {"clickstream", "impression", "session",
+                                 "checkout",    "pageview",   "search",
+                                 "basket",      "login"};
+  constexpr size_t kVocabSize = sizeof(kVocab) / sizeof(kVocab[0]);
+  std::vector<mr::MofHandle> handles;
+  Rng rng(compressible ? 0x51EEC0DE : 0x0DDB17E5);
+  for (int m = 0; m < mofs; ++m) {
+    mr::MofWriter writer(dir / ((compressible ? "zipf_" : "rand_") +
+                                std::to_string(m)));
+    mr::IFileWriter segment;
+    for (int r = 0; r < records; ++r) {
+      std::string value;
+      if (compressible) {
+        while (value.size() < 150) {
+          value += kVocab[rng.NextZipf(kVocabSize, 1.2) - 1];
+          value += ' ';
+        }
+      } else {
+        value.resize(150);
+        for (char& c : value) c = static_cast<char>(rng.Next() & 0xFF);
+      }
+      segment.Append("key_" + std::to_string(100000 + r), value);
+    }
+    const uint64_t n = segment.records();
+    (void)writer.AppendSegment(segment.Finish(), n);
+    auto handle = writer.Finish(m, 0);
+    if (!handle.ok()) return {};
+    handles.push_back(*handle);
+  }
+  return handles;
+}
+
+struct CompressSweepResult {
+  uint64_t bytes_logical = 0;
+  uint64_t bytes_wire = 0;
+  double secs = 0;
+  uint64_t copied_delta = 0;  // user-space payload copies during the sweep
+};
+
+/// One shuffle of `handles` through a supplier with wire compression
+/// `compress_on`, two memo-exercising sweeps (cold, then cache-hit).
+CompressSweepResult CompressSweepRun(bool compress_on,
+                                     const std::vector<mr::MofHandle>& handles) {
+  CompressSweepResult result;
+  auto transport = net::MakeTcpTransport();
+  shuffle::MofSupplier::Options options;
+  options.transport = transport.get();
+  options.buffer_size = 32 * 1024;
+  options.buffer_count = 64;
+  options.wire_compress = compress_on;
+  options.wire_compress_min_bytes = 1024;
+  shuffle::MofSupplier supplier(options);
+  if (!supplier.Start().ok()) return result;
+  for (const auto& handle : handles) (void)supplier.PublishMof(handle);
+
+  const uint64_t copied_before = PayloadCopyBytes();
+  const auto start = Clock::now();
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    auto client_transport = net::MakeTcpTransport();
+    shuffle::NetMerger::Options merger_options;
+    merger_options.transport = client_transport.get();
+    merger_options.chunk_size = 32 * 1024 - shuffle::kDataHeaderSize;
+    shuffle::NetMerger merger(merger_options);
+    std::vector<mr::MofLocation> sources;
+    for (size_t m = 0; m < handles.size(); ++m) {
+      sources.push_back(
+          {static_cast<int>(m), 0, "127.0.0.1", supplier.port()});
+    }
+    auto stream = merger.FetchAndMerge(0, sources);
+    if (!stream.ok()) return result;
+    mr::Record record;
+    while ((*stream)->Next(&record)) {
+    }
+    merger.Stop();
+  }
+  result.secs = SecondsSince(start);
+  result.copied_delta = PayloadCopyBytes() - copied_before;
+  const auto stats = supplier.supplier_stats();
+  result.bytes_logical = stats.bytes_logical;
+  result.bytes_wire = stats.bytes_wire;
+  supplier.Stop();
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_pr6.json";
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_pr7.json";
   MetricsRegistry registry;
   bool ok = true;
 
   // --- Probe 1: large-frame server push, copy vs zero-copy -------------
   constexpr size_t kFrameBytes = 1 << 20;
   constexpr int kRounds = 200;
-  bench::PrintHeader("perf-smoke 1/2: server push, 1MB frames x 200",
+  bench::PrintHeader("perf-smoke 1/3: server push, 1MB frames x 200",
                      "zero-copy serve path (DESIGN.md §13)");
   uint64_t copied = 0;
   (void)PushThroughputMBs(false, kFrameBytes, 32, &copied);  // warmup
@@ -203,7 +301,7 @@ int main(int argc, char** argv) {
     if (!handle.ok()) return 1;
     handles.push_back(*handle);
   }
-  bench::PrintHeader("perf-smoke 2/2: reduced Figs. 4/5 sweep",
+  bench::PrintHeader("perf-smoke 2/3: reduced Figs. 4/5 sweep",
                      "serialized vs pipelined 2x4, 4 MOFs x 2 reducers");
   (void)SweepThroughputMBs(true, 2, 4, handles);  // warmup
   const double serialized_mbs = SweepThroughputMBs(false, 1, 1, handles);
@@ -216,6 +314,80 @@ int main(int argc, char** argv) {
   bench::PrintRow({"pipelined 2x4", bench::Fmt(pipelined_mbs, "%.0fMB/s")});
   if (serialized_mbs <= 0 || pipelined_mbs <= 0) ok = false;
   fs::remove_all(dir);
+
+  // --- Probe 3: negotiated wire compression sweep -----------------------
+  bench::PrintHeader("perf-smoke 3/3: wire compression sweep",
+                     "zipf-skewed vs random payloads, compression off/on");
+  const fs::path cdir = fs::temp_directory_path() /
+                        ("perf_smoke_wc_" + std::to_string(::getpid()));
+  fs::create_directories(cdir);
+  for (const bool compressible : {true, false}) {
+    const char* workload = compressible ? "zipf" : "random";
+    const auto handles3 =
+        MakeCompressSweepMofs(cdir, compressible, 3, 4000);
+    if (handles3.empty()) return 1;
+    const auto off = CompressSweepRun(false, handles3);
+    const auto on = CompressSweepRun(true, handles3);
+    for (const auto& [mode, run] :
+         {std::pair<const char*, const CompressSweepResult&>{"off", off},
+          {"on", on}}) {
+      registry
+          .GetGauge("perf_smoke_wire_bytes_logical",
+                    {{"workload", workload}, {"compress", mode}})
+          ->Set(static_cast<double>(run.bytes_logical));
+      registry
+          .GetGauge("perf_smoke_wire_bytes_on_wire",
+                    {{"workload", workload}, {"compress", mode}})
+          ->Set(static_cast<double>(run.bytes_wire));
+      const double ratio =
+          run.bytes_wire > 0 ? static_cast<double>(run.bytes_logical) /
+                                   static_cast<double>(run.bytes_wire)
+                             : 0;
+      registry
+          .GetGauge("perf_smoke_wire_compress_ratio",
+                    {{"workload", workload}, {"compress", mode}})
+          ->Set(ratio);
+      registry
+          .GetGauge("perf_smoke_wire_secs",
+                    {{"workload", workload}, {"compress", mode}})
+          ->Set(run.secs);
+      bench::PrintRow({std::string(workload) + " compress=" + mode,
+                       std::to_string(run.bytes_wire) + "B wire / " +
+                           std::to_string(run.bytes_logical) + "B logical",
+                       bench::Fmt(ratio, "%.2fx"),
+                       bench::Fmt(run.secs, "%.2fs")});
+      if (run.bytes_logical == 0) ok = false;
+    }
+    if (compressible) {
+      // Deterministic gate: the repetitive workload must at least halve
+      // its wire bytes once compression is negotiated.
+      if (on.bytes_wire * 2 > on.bytes_logical) {
+        std::printf("FAIL: zipf workload wire bytes %llu not <= half of "
+                    "logical %llu\n",
+                    static_cast<unsigned long long>(on.bytes_wire),
+                    static_cast<unsigned long long>(on.bytes_logical));
+        ok = false;
+      }
+    } else {
+      // The min-ratio bail-out must ship random chunks raw.
+      if (on.bytes_wire != on.bytes_logical) {
+        std::printf("FAIL: random workload shipped %llu wire bytes for "
+                    "%llu logical (expected raw)\n",
+                    static_cast<unsigned long long>(on.bytes_wire),
+                    static_cast<unsigned long long>(on.bytes_logical));
+        ok = false;
+      }
+    }
+    // Compression off is the PR 6 zero-copy serve path: the cache-hit
+    // sweep must not have copied a single payload byte in user space.
+    if (off.copied_delta != 0) {
+      std::printf("FAIL: compression-off %s sweep copied %llu bytes\n",
+                  workload,
+                  static_cast<unsigned long long>(off.copied_delta));
+      ok = false;
+    }
+  }
+  fs::remove_all(cdir);
 
   if (!bench::WriteMetricsJson(registry, out_path)) {
     std::printf("FAIL: could not write %s\n", out_path.c_str());

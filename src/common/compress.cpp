@@ -83,6 +83,13 @@ std::vector<uint8_t> Compress(std::span<const uint8_t> input) {
   return out;
 }
 
+size_t MaxDecompressedSize(size_t token_bytes) {
+  // Densest possible encoding: every 3 input bytes are one match token
+  // producing kMaxMatch output bytes. Anything claimed above this bound
+  // cannot be backed by the tokens that follow, however they decode.
+  return token_bytes / 3 * kMaxMatch + kMaxMatch;
+}
+
 StatusOr<std::vector<uint8_t>> Decompress(std::span<const uint8_t> input) {
   if (input.size() < 2 || input[0] != kMagic || input[1] != kVersion) {
     return InvalidArgument("not a compressed stream");
@@ -92,14 +99,27 @@ StatusOr<std::vector<uint8_t>> Decompress(std::span<const uint8_t> input) {
   if (!raw_size || *raw_size < 0) {
     return IoError("corrupt compressed header");
   }
+  // `raw_size` is an untrusted wire value: a forged 16-byte stream could
+  // otherwise claim a multi-GB size and turn the reserve below into an
+  // allocation bomb. Reject claims the remaining tokens could never
+  // produce before allocating anything.
+  const size_t claimed = static_cast<size_t>(*raw_size);
+  if (claimed > MaxDecompressedSize(input.size() - offset)) {
+    return IoError("implausible decompressed size " + std::to_string(claimed) +
+                   " for " + std::to_string(input.size() - offset) +
+                   " token bytes");
+  }
   std::vector<uint8_t> out;
-  out.reserve(static_cast<size_t>(*raw_size));
+  out.reserve(claimed);
   while (offset < input.size()) {
     const uint8_t control = input[offset++];
     if ((control & 0x80) == 0) {
       const size_t run = static_cast<size_t>(control) + 1;
       if (offset + run > input.size()) {
         return IoError("truncated literal run");
+      }
+      if (out.size() + run > claimed) {
+        return IoError("decompressed size mismatch");
       }
       out.insert(out.end(), input.begin() + static_cast<ptrdiff_t>(offset),
                  input.begin() + static_cast<ptrdiff_t>(offset + run));
@@ -113,6 +133,9 @@ StatusOr<std::vector<uint8_t>> Decompress(std::span<const uint8_t> input) {
       if (distance == 0 || distance > out.size()) {
         return IoError("match distance outside window");
       }
+      if (out.size() + length > claimed) {
+        return IoError("decompressed size mismatch");
+      }
       // Byte-by-byte: matches may overlap themselves (RLE-style).
       size_t from = out.size() - distance;
       for (size_t i = 0; i < length; ++i) {
@@ -120,7 +143,7 @@ StatusOr<std::vector<uint8_t>> Decompress(std::span<const uint8_t> input) {
       }
     }
   }
-  if (out.size() != static_cast<size_t>(*raw_size)) {
+  if (out.size() != claimed) {
     return IoError("decompressed size mismatch");
   }
   return out;

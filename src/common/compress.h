@@ -26,8 +26,15 @@ namespace jbs {
 std::vector<uint8_t> Compress(std::span<const uint8_t> input);
 
 /// Decompresses a Compress() stream. Fails on malformed input (bad magic,
-/// truncated tokens, out-of-window distances, size mismatch).
+/// truncated tokens, out-of-window distances, size mismatch). The declared
+/// raw size is validated against MaxDecompressedSize() before any
+/// allocation, so a forged header cannot demand an arbitrary reserve.
 StatusOr<std::vector<uint8_t>> Decompress(std::span<const uint8_t> input);
+
+/// Upper bound on how many bytes `token_bytes` of token stream can decode
+/// to (every 3 bytes a max-length match). Decompress rejects raw-size
+/// claims above this bound.
+size_t MaxDecompressedSize(size_t token_bytes);
 
 /// True if `data` starts with a Compress() header.
 bool LooksCompressed(std::span<const uint8_t> data);

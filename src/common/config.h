@@ -87,6 +87,14 @@ inline constexpr const char* kHealthPenaltyMaxMs =
 // Zero-copy serve-path knobs.
 inline constexpr const char* kSendfileMinBytes =
     "jbs.mofsupplier.sendfile.min_bytes";
+// Negotiated wire-compression knobs (see DESIGN.md §14).
+inline constexpr const char* kWireCompressEnabled = "jbs.wire.compress.enabled";
+inline constexpr const char* kWireCompressMinBytes =
+    "jbs.wire.compress.min_bytes";
+inline constexpr const char* kWireCompressMinRatio =
+    "jbs.wire.compress.min_ratio";
+inline constexpr const char* kCompressCacheEntries =
+    "jbs.mofsupplier.compresscache.entries";
 inline constexpr const char* kMaxFrameBytes = "jbs.transport.max_frame.bytes";
 inline constexpr const char* kMapSlotsPerNode = "mapred.map.slots";
 inline constexpr const char* kReduceSlotsPerNode = "mapred.reduce.slots";

@@ -7,6 +7,7 @@
 #include <climits>
 
 #include "common/bytes.h"
+#include "common/compress.h"
 #include "common/logging.h"
 
 namespace jbs::shuffle {
@@ -38,6 +39,7 @@ MofSupplier::MofSupplier(Options options)
       index_cache_(options.index_cache_entries),
       fd_cache_(std::max<size_t>(1, options.fd_cache_entries)),
       crc_cache_(std::max<size_t>(1, options.crc_cache_entries)),
+      compress_cache_(std::max<size_t>(1, options.compress_cache_entries)),
       send_queue_(options.buffer_count) {
   if (options_.metrics != nullptr) {
     metrics_ = options_.metrics;
@@ -67,6 +69,18 @@ MofSupplier::MofSupplier(Options options)
       metrics_->GetCounter("jbs_mofsupplier_crc_cache_hits_total", base);
   crc_cache_misses_c_ =
       metrics_->GetCounter("jbs_mofsupplier_crc_cache_misses_total", base);
+  compress_cache_hits_c_ =
+      metrics_->GetCounter("jbs_mofsupplier_compress_cache_hits_total", base);
+  compress_cache_misses_c_ = metrics_->GetCounter(
+      "jbs_mofsupplier_compress_cache_misses_total", base);
+  chunks_compressed_c_ =
+      metrics_->GetCounter("jbs_mofsupplier_chunks_compressed_total", base);
+  compress_bailouts_c_ =
+      metrics_->GetCounter("jbs_mofsupplier_compress_bailouts_total", base);
+  wire_bytes_logical_c_ =
+      metrics_->GetCounter("jbs_wire_bytes_logical_total", base);
+  wire_bytes_wire_c_ = metrics_->GetCounter("jbs_wire_bytes_wire_total", base);
+  compress_ratio_h_ = metrics_->GetHistogram("jbs_wire_compress_ratio", base);
 }
 
 uint32_t MofSupplier::ChunkDataCrc(const FetchRequest& request,
@@ -241,6 +255,10 @@ MofSupplier::SupplierStats MofSupplier::supplier_stats() const {
   out.group_switches = group_switches_c_->value();
   out.errors = errors_c_->value();
   out.disconnect_purges = disconnect_purges_c_->value();
+  out.bytes_logical = wire_bytes_logical_c_->value();
+  out.bytes_wire = wire_bytes_wire_c_->value();
+  out.chunks_compressed = chunks_compressed_c_->value();
+  out.compress_bailouts = compress_bailouts_c_->value();
   out.index = index_cache_.stats();
   out.fd = fd_cache_.stats();
   out.request_latency_ms = request_latency_ms_h_->summary();
@@ -248,6 +266,16 @@ MofSupplier::SupplierStats MofSupplier::supplier_stats() const {
 }
 
 void MofSupplier::OnFrame(net::ConnId conn, Frame frame) {
+  if (frame.type == kHello) {
+    auto hello = DecodeHello(frame);
+    if (!hello) {
+      JBS_WARN << "MofSupplier: undecodable hello frame";
+      return;
+    }
+    MutexLock lock(caps_mu_);
+    conn_caps_[conn] = hello->caps;
+    return;
+  }
   auto request = DecodeRequest(frame);
   if (!request) {
     JBS_WARN << "MofSupplier: undecodable frame type "
@@ -256,6 +284,12 @@ void MofSupplier::OnFrame(net::ConnId conn, Frame frame) {
   }
   requests_c_->Increment();
   PendingRequest pending{conn, *request, std::chrono::steady_clock::now()};
+  if (options_.wire_compress) {
+    MutexLock lock(caps_mu_);
+    auto it = conn_caps_.find(conn);
+    pending.compress_ok =
+        it != conn_caps_.end() && (it->second & kCapWireCompression) != 0;
+  }
   {
     MutexLock lock(mu_);
     const int group_key =
@@ -281,6 +315,10 @@ void MofSupplier::OnFrame(net::ConnId conn, Frame frame) {
 }
 
 void MofSupplier::OnDisconnect(net::ConnId conn) {
+  {
+    MutexLock lock(caps_mu_);
+    conn_caps_.erase(conn);
+  }
   uint64_t purged = 0;
   {
     MutexLock lock(mu_);
@@ -484,11 +522,105 @@ bool MofSupplier::TrySendfileReply(const PendingRequest& pending,
       header, fd, disk_offset, chunk,
       std::make_shared<FdCache::Handle>(std::move(file).value()));
   ready.chunk = chunk;
+  ready.wire = chunk;
   ready.enqueued = pending.enqueued;
   sendfile_chunks_c_->Increment();
   sendfile_bytes_c_->Increment(chunk);
   (void)send_queue_.Push(std::move(ready));
   return true;
+}
+
+bool MofSupplier::WireCompressEligible(const PendingRequest& pending,
+                                       const FetchDataHeader& header,
+                                       uint64_t chunk) const {
+  // Segment-compressed MOFs are already dense on disk; double-compressing
+  // them burns CPU for nothing, so they always ship as stored.
+  return pending.compress_ok && chunk >= options_.wire_compress_min_bytes &&
+         chunk > 0 && (header.flags & kSegmentCompressed) == 0;
+}
+
+MofSupplier::CompressMemo MofSupplier::LookupCompressed(
+    const FetchRequest& request, uint64_t chunk,
+    std::shared_ptr<const std::vector<uint8_t>>* payload, uint32_t* crc) {
+  const CrcKey key{request.map_task, request.partition, request.offset,
+                   chunk};
+  MutexLock lock(compress_cache_mu_);
+  const CompressedChunk* cached = compress_cache_.Get(key);
+  if (cached == nullptr) return CompressMemo::kMiss;
+  if (cached->data == nullptr) return CompressMemo::kIncompressible;
+  *payload = cached->data;
+  *crc = cached->crc;
+  return CompressMemo::kCompressed;
+}
+
+std::shared_ptr<const std::vector<uint8_t>> MofSupplier::CompressAndMemoize(
+    const FetchRequest& request, std::span<const uint8_t> data,
+    uint32_t* crc) {
+  // Compress and hash outside the lock — this is the expensive part, and
+  // per-group checkout already guarantees no two disk threads race on the
+  // same chunk.
+  std::vector<uint8_t> compressed = Compress(data);
+  const CrcKey key{request.map_task, request.partition, request.offset,
+                   static_cast<uint64_t>(data.size())};
+  const double min_ratio = options_.wire_compress_min_ratio;
+  if (static_cast<double>(compressed.size()) >
+      static_cast<double>(data.size()) * min_ratio) {
+    compress_bailouts_c_->Increment();
+    MutexLock lock(compress_cache_mu_);
+    compress_cache_.Put(key, CompressedChunk{});  // memoized: ship raw
+    return nullptr;
+  }
+  auto shared =
+      std::make_shared<const std::vector<uint8_t>>(std::move(compressed));
+  *crc = Crc32(*shared);
+  MutexLock lock(compress_cache_mu_);
+  compress_cache_.Put(key, CompressedChunk{shared, *crc});
+  return shared;
+}
+
+void MofSupplier::EnqueueCompressed(
+    const PendingRequest& pending, FetchDataHeader header, uint64_t chunk,
+    std::shared_ptr<const std::vector<uint8_t>> payload, uint32_t payload_crc,
+    bool inline_send) {
+  // kChunkCompressed must be in `flags` before the CRC fold — the flag is
+  // header-covered so a stripped flag (which would make the client merge
+  // compressed bytes as data) is detected as corruption.
+  header.flags |= kChunkCompressed;
+  if (options_.chunk_crc) {
+    header.flags |= kChunkHasCrc;
+    header.crc32 = ChunkWireCrc(header, payload_crc);
+  }
+  chunks_compressed_c_->Increment();
+  compress_ratio_h_->Observe(static_cast<double>(chunk) /
+                             static_cast<double>(payload->size()));
+  ReadyReply ready;
+  ready.conn = pending.conn;
+  ready.chunk = chunk;
+  ready.wire = payload->size();
+  ready.enqueued = pending.enqueued;
+  // The memoized vector is the frame's lease: retransmits of a hot chunk
+  // all ride the same immutable buffer, alive until the last byte of the
+  // last in-flight copy is on the wire.
+  const std::span<const uint8_t> view{payload->data(), payload->size()};
+  ready.frame = EncodeDataZeroCopy(header, view, std::move(payload));
+  if (inline_send) {
+    const uint64_t wire = ready.wire;
+    Status st = endpoint_->SendAsync(ready.conn, std::move(ready.frame));
+    const double latency_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - ready.enqueued)
+            .count();
+    if (st.ok()) {
+      bytes_served_c_->Increment(chunk);
+      wire_bytes_logical_c_->Increment(chunk);
+      wire_bytes_wire_c_->Increment(wire);
+      request_latency_ms_h_->Observe(latency_ms);
+    } else {
+      errors_c_->Increment();
+    }
+    return;
+  }
+  (void)send_queue_.Push(std::move(ready));
 }
 
 void MofSupplier::PrefetchOne(const PendingRequest& pending) {
@@ -503,7 +635,31 @@ void MofSupplier::PrefetchOne(const PendingRequest& pending) {
                       })) {
     return;
   }
-  if (chunk > 0 &&
+  // Wire-compression gate. A memoized compressed chunk is served straight
+  // from the memo — no disk read at all. A memoized bail-out falls through
+  // to the raw path with the sendfile fast path intact. A miss must read
+  // the bytes first, so it takes the pooled path (sendfile can't — the
+  // compressor needs the data in user space).
+  bool want_compress = false;
+  if (WireCompressEligible(pending, header, chunk)) {
+    std::shared_ptr<const std::vector<uint8_t>> memo;
+    uint32_t memo_crc = 0;
+    switch (LookupCompressed(pending.request, chunk, &memo, &memo_crc)) {
+      case CompressMemo::kCompressed:
+        compress_cache_hits_c_->Increment();
+        EnqueueCompressed(pending, header, chunk, std::move(memo), memo_crc,
+                          /*inline_send=*/false);
+        return;
+      case CompressMemo::kIncompressible:
+        compress_cache_hits_c_->Increment();
+        break;
+      case CompressMemo::kMiss:
+        compress_cache_misses_c_->Increment();
+        want_compress = true;
+        break;
+    }
+  }
+  if (!want_compress && chunk > 0 &&
       TrySendfileReply(pending, handle, header, disk_offset, chunk)) {
     return;
   }
@@ -523,6 +679,19 @@ void MofSupplier::PrefetchOne(const PendingRequest& pending) {
     }
   }
   buffer.set_size(static_cast<size_t>(chunk));
+  if (want_compress) {
+    uint32_t payload_crc = 0;
+    auto payload = CompressAndMemoize(
+        pending.request, {buffer.data(), static_cast<size_t>(chunk)},
+        &payload_crc);
+    if (payload != nullptr) {
+      // The pooled buffer is released here (compressed copy supersedes it).
+      EnqueueCompressed(pending, header, chunk, std::move(payload),
+                        payload_crc, /*inline_send=*/false);
+      return;
+    }
+    // Bail-out: fall through and ship the bytes we already read, raw.
+  }
   // CRC in the disk stage: the hash overlaps the send stage's transmits
   // the same way the reads do.
   StampChunkCrc(&header, pending.request,
@@ -540,6 +709,7 @@ void MofSupplier::PrefetchOne(const PendingRequest& pending) {
       static_cast<const uint8_t*>(lease.get()), static_cast<size_t>(chunk)};
   ready.frame = EncodeDataZeroCopy(header, chunk_view, std::move(lease));
   ready.chunk = chunk;
+  ready.wire = chunk;
   ready.enqueued = pending.enqueued;
   // Push only fails once the queue is closed (shutdown); the dropped
   // reply's lease returns the buffer via its destructor.
@@ -557,6 +727,7 @@ void MofSupplier::SendLoop() {
     // a borrowed chunk view); nothing to copy here — just hand the lease
     // to the transport.
     const uint64_t chunk = ready->chunk;
+    const uint64_t wire = ready->wire;
     Status st = endpoint_->SendAsync(ready->conn, std::move(ready->frame));
     const double latency_ms =
         std::chrono::duration<double, std::milli>(
@@ -564,6 +735,8 @@ void MofSupplier::SendLoop() {
             .count();
     if (st.ok()) {
       bytes_served_c_->Increment(chunk);
+      wire_bytes_logical_c_->Increment(chunk);
+      wire_bytes_wire_c_->Increment(wire);
       request_latency_ms_h_->Observe(latency_ms);
     } else {
       errors_c_->Increment();
@@ -583,6 +756,26 @@ void MofSupplier::ServeInline(const PendingRequest& pending) {
                       })) {
     return;
   }
+  // Same wire-compression gate as the pipelined path, transmitted inline.
+  bool want_compress = false;
+  if (WireCompressEligible(pending, header, chunk)) {
+    std::shared_ptr<const std::vector<uint8_t>> memo;
+    uint32_t memo_crc = 0;
+    switch (LookupCompressed(request, chunk, &memo, &memo_crc)) {
+      case CompressMemo::kCompressed:
+        compress_cache_hits_c_->Increment();
+        EnqueueCompressed(pending, header, chunk, std::move(memo), memo_crc,
+                          /*inline_send=*/true);
+        return;
+      case CompressMemo::kIncompressible:
+        compress_cache_hits_c_->Increment();
+        break;
+      case CompressMemo::kMiss:
+        compress_cache_misses_c_->Increment();
+        want_compress = true;
+        break;
+    }
+  }
   PooledBuffer buffer = data_cache_.Acquire();
   if (!buffer.valid()) return;
   if (chunk > 0) {
@@ -594,6 +787,16 @@ void MofSupplier::ServeInline(const PendingRequest& pending) {
     }
   }
   buffer.set_size(static_cast<size_t>(chunk));
+  if (want_compress) {
+    uint32_t payload_crc = 0;
+    auto payload = CompressAndMemoize(
+        request, {buffer.data(), static_cast<size_t>(chunk)}, &payload_crc);
+    if (payload != nullptr) {
+      EnqueueCompressed(pending, header, chunk, std::move(payload),
+                        payload_crc, /*inline_send=*/true);
+      return;
+    }
+  }
   StampChunkCrc(&header, request,
                 {buffer.data(), static_cast<size_t>(chunk)});
   // Same zero-copy handoff as the pipelined path; "serialized" here means
@@ -609,6 +812,8 @@ void MofSupplier::ServeInline(const PendingRequest& pending) {
           .count();
   if (st.ok()) {
     bytes_served_c_->Increment(chunk);
+    wire_bytes_logical_c_->Increment(chunk);
+    wire_bytes_wire_c_->Increment(chunk);
     request_latency_ms_h_->Observe(latency_ms);
   } else {
     errors_c_->Increment();

@@ -30,6 +30,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <thread>
 #include <vector>
@@ -71,6 +72,20 @@ class MofSupplier final : public mr::ShuffleServer {
     // memo miss reads through the pooled path once and memoizes). 0
     // disables the fast path entirely.
     uint64_t sendfile_min_bytes = 0;
+    // Negotiated wire compression: chunks served to clients that advertised
+    // kCapWireCompression in their hello are LZSS-compressed in the
+    // prefetch stage when at least `wire_compress_min_bytes` long and not
+    // already segment-compressed on disk. The compressed bytes are memoized
+    // in an LRU (like the CRC memo — compress once per chunk across
+    // retransmits); chunks whose compressed size exceeds
+    // `chunk * wire_compress_min_ratio` are memoized as incompressible and
+    // ship raw (keeping the sendfile fast path). Off by default: the knob
+    // trades supplier CPU for wire bytes, which only pays on compressible
+    // workloads.
+    bool wire_compress = false;
+    uint64_t wire_compress_min_bytes = 4096;
+    double wire_compress_min_ratio = 0.9;
+    size_t compress_cache_entries = 1024;  // compressed-chunk memo (LRU)
     int prefetch_batch = 4;   // requests served per group per turn
     int prefetch_threads = 2; // disk-stage pool (pipelined mode only)
     bool pipelined = true;    // ablation: false degrades to serialized
@@ -113,6 +128,10 @@ class MofSupplier final : public mr::ShuffleServer {
     uint64_t errors = 0;
     uint64_t disconnect_purges = 0;  // queued requests dropped because
                                      // their connection went away
+    uint64_t bytes_logical = 0;      // pre-compression data bytes served
+    uint64_t bytes_wire = 0;         // payload bytes actually on the wire
+    uint64_t chunks_compressed = 0;
+    uint64_t compress_bailouts = 0;  // chunks that didn't compress enough
     IndexCache::Stats index;
     FdCache::Stats fd;
     Summary request_latency_ms;    // enqueue -> response handed to transport
@@ -131,6 +150,10 @@ class MofSupplier final : public mr::ShuffleServer {
     net::ConnId conn;
     FetchRequest request;
     std::chrono::steady_clock::time_point enqueued;
+    // Captured at enqueue time from the connection's hello so the disk
+    // stage never touches the caps map: did this peer advertise
+    // kCapWireCompression (and is the knob on)?
+    bool compress_ok = false;
   };
 
   /// One ready reply travelling from the prefetch stage to the send stage.
@@ -142,7 +165,9 @@ class MofSupplier final : public mr::ShuffleServer {
     net::ConnId conn = 0;
     bool is_error = false;
     Frame frame;
-    uint64_t chunk = 0;  // data bytes carried by `frame`
+    uint64_t chunk = 0;  // logical (decompressed) data bytes
+    uint64_t wire = 0;   // payload bytes on the wire (== chunk unless the
+                         // chunk went out compressed)
     FetchError error;
     std::chrono::steady_clock::time_point enqueued;
   };
@@ -198,6 +223,31 @@ class MofSupplier final : public mr::ShuffleServer {
   bool TrySendfileReply(const PendingRequest& pending,
                         const mr::MofHandle& handle, FetchDataHeader header,
                         uint64_t disk_offset, uint64_t chunk);
+  /// True if this chunk should be considered for wire compression: the
+  /// peer advertised the capability, the chunk clears the min-size gate,
+  /// and the segment isn't already block-compressed on disk.
+  bool WireCompressEligible(const PendingRequest& pending,
+                            const FetchDataHeader& header,
+                            uint64_t chunk) const;
+  /// Compressed-chunk memo probe. kCompressed sets `*payload`/`*crc`.
+  enum class CompressMemo { kMiss, kCompressed, kIncompressible };
+  CompressMemo LookupCompressed(
+      const FetchRequest& request, uint64_t chunk,
+      std::shared_ptr<const std::vector<uint8_t>>* payload, uint32_t* crc)
+      EXCLUDES(compress_cache_mu_);
+  /// Compresses a freshly read chunk, applies the min-ratio bail-out, and
+  /// memoizes the outcome either way. Returns the compressed payload (and
+  /// its CRC) on success, nullptr when the chunk ships raw.
+  std::shared_ptr<const std::vector<uint8_t>> CompressAndMemoize(
+      const FetchRequest& request, std::span<const uint8_t> data,
+      uint32_t* crc) EXCLUDES(compress_cache_mu_);
+  /// Queues a kChunkCompressed reply whose payload rides the memoized
+  /// vector as the frame's lease (no copy). `inline_send` transmits
+  /// directly (serialized ablation mode) instead of via the send stage.
+  void EnqueueCompressed(const PendingRequest& pending, FetchDataHeader header,
+                         uint64_t chunk,
+                         std::shared_ptr<const std::vector<uint8_t>> payload,
+                         uint32_t payload_crc, bool inline_send);
   /// Sleeps for the modeled disk time of a pread (see
   /// Options::disk_seek_ms); no-op when the model is disabled.
   void ChargeDiskModel(int fd, uint64_t offset, size_t bytes)
@@ -249,6 +299,34 @@ class MofSupplier final : public mr::ShuffleServer {
   LruCache<CrcKey, uint32_t, CrcKeyHash> crc_cache_ GUARDED_BY(crc_cache_mu_);
   MetricCounter* crc_cache_hits_c_ = nullptr;
   MetricCounter* crc_cache_misses_c_ = nullptr;
+
+  // Compressed-chunk memo, same key space as the CRC memo but its own
+  // cache: the raw-payload CRC and the compressed payload's CRC are
+  // different values for the same (map, partition, offset, length), so
+  // sharing entries would let one poison the other. `data == nullptr`
+  // memoizes "didn't compress well enough — ship raw" so the bail-out is
+  // also paid once per chunk, not per retransmit.
+  struct CompressedChunk {
+    std::shared_ptr<const std::vector<uint8_t>> data;
+    uint32_t crc = 0;  // Crc32 over *data (the compressed bytes)
+  };
+  Mutex compress_cache_mu_;
+  LruCache<CrcKey, CompressedChunk, CrcKeyHash> compress_cache_
+      GUARDED_BY(compress_cache_mu_);
+  MetricCounter* compress_cache_hits_c_ = nullptr;
+  MetricCounter* compress_cache_misses_c_ = nullptr;
+  MetricCounter* chunks_compressed_c_ = nullptr;
+  MetricCounter* compress_bailouts_c_ = nullptr;
+  MetricCounter* wire_bytes_logical_c_ = nullptr;
+  MetricCounter* wire_bytes_wire_c_ = nullptr;
+  MetricHistogram* compress_ratio_h_ = nullptr;
+
+  // Per-connection capabilities from the hello frame, erased on
+  // disconnect. Only OnFrame/OnDisconnect (event thread) touch it, but the
+  // lock keeps the contract explicit if a transport ever runs handlers on
+  // more than one thread.
+  Mutex caps_mu_;
+  std::map<net::ConnId, uint32_t> conn_caps_ GUARDED_BY(caps_mu_);
 
   // Observability plumbing: pointers into metrics_ (never null; falls back
   // to the owned registry when options don't share one).

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/bytes.h"
+#include "common/compress.h"
 #include "common/logging.h"
 #include "jbs/protocol.h"
 
@@ -19,7 +20,11 @@ NodeHealthTracker::Failure ClassifyFailure(const Status& status, bool dialed) {
   if (status.code() == StatusCode::kDeadlineExceeded) {
     return NodeHealthTracker::Failure::kTimeout;
   }
-  if (status.message().rfind("chunk CRC mismatch", 0) == 0) {
+  if (status.message().rfind("chunk CRC mismatch", 0) == 0 ||
+      status.message().rfind("chunk decompress failed", 0) == 0) {
+    // A payload that passed its CRC but won't decompress means the
+    // *supplier* shipped damaged bytes (bad memo, bit rot before the CRC
+    // was taken) — same taxonomy as corruption on the wire.
     return NodeHealthTracker::Failure::kCorrupt;
   }
   return NodeHealthTracker::Failure::kOther;
@@ -73,6 +78,8 @@ NetMerger::NetMerger(Options options)
       metrics_->GetHistogram("jbs_netmerger_fetch_attempts", base);
   chunks_corrupt_c_ =
       metrics_->GetCounter("jbs_netmerger_chunks_corrupt_total", base);
+  chunks_compressed_c_ =
+      metrics_->GetCounter("jbs_netmerger_chunks_compressed_total", base);
   failovers_c_ = metrics_->GetCounter("jbs_netmerger_failovers_total", base);
   health_ = std::make_unique<NodeHealthTracker>(
       NodeHealthTracker::Options{
@@ -176,6 +183,7 @@ NetMerger::MergerStats NetMerger::merger_stats() const {
   out.fetch_retries = fetch_retries_c_->value();
   out.deadline_expiries = deadline_expiries_c_->value();
   out.chunks_corrupt = chunks_corrupt_c_->value();
+  out.chunks_compressed = chunks_compressed_c_->value();
   out.failovers = failovers_c_->value();
   out.penalties = health_->penalties();
   return out;
@@ -446,6 +454,14 @@ int64_t NetMerger::NextBackoffMs(int attempt,
   return backoff;
 }
 
+Status NetMerger::SendHello(net::Connection& conn,
+                            const net::Deadline& deadline) {
+  Hello hello;
+  hello.version = kProtocolVersion;
+  if (options_.advertise_wire_compress) hello.caps |= kCapWireCompression;
+  return conn.Send(EncodeHello(hello), deadline);
+}
+
 void NetMerger::ExecuteTask(const std::string& node, FetchTask task) {
   // Transient fetch failures (dropped connection, refused dial, blown
   // chunk deadline, corrupt chunk) are retried with capped jittered
@@ -504,7 +520,15 @@ void NetMerger::ExecuteTask(const std::string& node, FetchTask task) {
       if (conn.ok()) {
         dialed_ok = true;
         trace_->Record(task.fetch_id, TraceEvent::kDialed, attempt + 1);
-        result = FetchSegment(**conn, task, fetch_deadline);
+        // The capability hello goes out once per connection, not per
+        // fetch — a cache hit reuses a socket the server already knows.
+        Status hello_st = dialed ? SendHello(**conn, dial_deadline)
+                                 : Status::Ok();
+        if (hello_st.ok()) {
+          result = FetchSegment(**conn, task, fetch_deadline);
+        } else {
+          result = hello_st;
+        }
         if (!result.ok()) {
           connections_.Invalidate(task.source.host, task.source.port);
         }
@@ -534,7 +558,9 @@ void NetMerger::ExecuteTask(const std::string& node, FetchTask task) {
         connections_opened_c_->Increment();
         dialed_ok = true;
         trace_->Record(task.fetch_id, TraceEvent::kDialed, attempt + 1);
-        result = FetchSegment(**conn, task, fetch_deadline);
+        Status hello_st = SendHello(**conn, dial_deadline);
+        result = hello_st.ok() ? FetchSegment(**conn, task, fetch_deadline)
+                               : StatusOr<FetchedSegment>(hello_st);
         {
           MutexLock lock(inflight_mu_);
           inflight_conns_.erase(raw);
@@ -676,12 +702,40 @@ StatusOr<NetMerger::FetchedSegment> NetMerger::FetchSegment(
     }
     *total = header->segment_total;
     fetched.compressed = (header->flags & kSegmentCompressed) != 0;
-    segment.insert(segment.end(), data.begin(), data.end());
+    // Wire compression: the CRC above covered the compressed payload, so
+    // a damaged chunk was already rejected without paying for this
+    // decompress. Offsets stay in logical coordinates — only the payload
+    // shrank — so the stride/window bookkeeping below never notices.
+    uint64_t logical = data.size();
+    if ((header->flags & kChunkCompressed) != 0) {
+      auto decoded = Decompress(data);
+      if (!decoded.ok()) {
+        chunks_corrupt_c_->Increment();
+        trace_->Record(task.fetch_id, TraceEvent::kCorrupt,
+                       static_cast<int64_t>(header->offset));
+        return IoError("chunk decompress failed for map " +
+                       std::to_string(task.source.map_task) + " at offset " +
+                       std::to_string(header->offset) + ": " +
+                       decoded.status().message());
+      }
+      // The server must honor our max_len ask and the segment bound in
+      // logical bytes; a violation here is a protocol breach, not line
+      // noise, so it is not retried as corruption.
+      if (decoded->size() > options_.chunk_size ||
+          expect_offset + decoded->size() > header->segment_total) {
+        return Internal("compressed chunk overruns its logical bounds");
+      }
+      logical = decoded->size();
+      chunks_compressed_c_->Increment();
+      segment.insert(segment.end(), decoded->begin(), decoded->end());
+    } else {
+      segment.insert(segment.end(), data.begin(), data.end());
+    }
     ++local_chunks;
-    local_bytes += data.size();
+    local_bytes += logical;
     trace_->Record(task.fetch_id, TraceEvent::kChunkReceived,
-                   static_cast<int64_t>(data.size()));
-    return static_cast<uint64_t>(data.size());
+                   static_cast<int64_t>(logical));
+    return logical;
   };
 
   // First chunk alone: it establishes segment_total (so the segment vector

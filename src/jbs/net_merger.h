@@ -55,6 +55,11 @@ class NetMerger final : public mr::ShuffleClient {
                                      // long (0 = LRU only)
     bool verify_crc = true;  // verify chunk CRCs before a byte enters the
                              // merge; a mismatch is a retryable fetch fault
+    // Advertise kCapWireCompression in the hello sent on every fresh dial,
+    // inviting the supplier to ship eligible chunks compressed (the merger
+    // can always decompress — this knob exists for the ablation bench).
+    // Whether chunks actually compress is the supplier's decision.
+    bool advertise_wire_compress = true;
     // Penalty box (see node_health.h): consecutive failures against one
     // remote node mark it suspect, then penalized; injection routes around
     // a penalized node until its sentence expires.
@@ -104,6 +109,7 @@ class NetMerger final : public mr::ShuffleClient {
     uint64_t fetch_retries = 0;     // transient failures that were retried
     uint64_t deadline_expiries = 0; // fetches that blew their time budget
     uint64_t chunks_corrupt = 0;    // chunks rejected by CRC verification
+    uint64_t chunks_compressed = 0; // chunks that arrived kChunkCompressed
     uint64_t failovers = 0;         // fetches rerouted to a replica
     uint64_t penalties = 0;         // penalty-box sentences handed out
   };
@@ -183,6 +189,11 @@ class NetMerger final : public mr::ShuffleClient {
   /// Runs the chunked fetch conversation; returns the segment. Each chunk
   /// round trip is bounded by the sooner of `deadline` and the per-chunk
   /// timeout.
+  /// Sends the protocol-v2 capability hello on a freshly dialed
+  /// connection (one-way; the server never replies). A send failure is a
+  /// dial-grade fault — the socket is already sick — surfaced to the
+  /// retry loop like a failed Connect.
+  Status SendHello(net::Connection& conn, const net::Deadline& deadline);
   StatusOr<FetchedSegment> FetchSegment(net::Connection& conn,
                                         const FetchTask& task,
                                         const net::Deadline& deadline);
@@ -220,6 +231,7 @@ class NetMerger final : public mr::ShuffleClient {
   MetricCounter* fetch_retries_c_ = nullptr;
   MetricCounter* deadline_expiries_c_ = nullptr;
   MetricCounter* chunks_corrupt_c_ = nullptr;
+  MetricCounter* chunks_compressed_c_ = nullptr;
   MetricCounter* failovers_c_ = nullptr;
   MetricHistogram* fetch_latency_ms_h_ = nullptr;
   MetricHistogram* fetch_attempts_h_ = nullptr;

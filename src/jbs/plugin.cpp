@@ -66,6 +66,13 @@ JbsShufflePlugin::Options JbsShufflePlugin::OptionsFromConfig(
       static_cast<uint64_t>(conf.GetSize(conf::kSendfileMinBytes, 0));
   options.max_frame_bytes = static_cast<size_t>(
       conf.GetSize(conf::kMaxFrameBytes, 64 * 1024 * 1024));
+  options.wire_compress = conf.GetBool(conf::kWireCompressEnabled, false);
+  options.wire_compress_min_bytes = static_cast<uint64_t>(
+      conf.GetSize(conf::kWireCompressMinBytes, 4096));
+  options.wire_compress_min_ratio =
+      conf.GetDouble(conf::kWireCompressMinRatio, 0.9);
+  options.compress_cache_entries =
+      static_cast<size_t>(conf.GetInt(conf::kCompressCacheEntries, 1024));
   return options;
 }
 
@@ -88,6 +95,10 @@ std::unique_ptr<mr::ShuffleServer> JbsShufflePlugin::CreateServer(
   sopts.chunk_crc = options_.chunk_crc;
   sopts.crc_cache_entries = options_.crc_cache_entries;
   sopts.sendfile_min_bytes = options_.sendfile_min_bytes;
+  sopts.wire_compress = options_.wire_compress;
+  sopts.wire_compress_min_bytes = options_.wire_compress_min_bytes;
+  sopts.wire_compress_min_ratio = options_.wire_compress_min_ratio;
+  sopts.compress_cache_entries = options_.compress_cache_entries;
   return std::make_unique<MofSupplier>(sopts);
 }
 
@@ -110,6 +121,7 @@ std::unique_ptr<mr::ShuffleClient> JbsShufflePlugin::CreateClient(
   nopts.chunk_timeout_ms = options_.chunk_timeout_ms;
   nopts.connection_idle_ms = options_.connection_idle_ms;
   nopts.verify_crc = options_.verify_crc;
+  nopts.advertise_wire_compress = options_.wire_compress;
   nopts.health_suspect_after = options_.health_suspect_after;
   nopts.health_penalize_after = options_.health_penalize_after;
   nopts.health_penalty_ms = options_.health_penalty_ms;

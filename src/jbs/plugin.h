@@ -49,6 +49,13 @@ struct JbsOptions {
   // enforced by both transports against the untrusted length prefix.
   uint64_t sendfile_min_bytes = 0;
   size_t max_frame_bytes = 64 * 1024 * 1024;
+  // Negotiated wire compression (DESIGN.md §14): the supplier compresses
+  // eligible chunks for peers that advertised the capability, and the
+  // merger advertises it whenever the knob is on.
+  bool wire_compress = false;
+  uint64_t wire_compress_min_bytes = 4096;
+  double wire_compress_min_ratio = 0.9;
+  size_t compress_cache_entries = 1024;
 };
 
 class JbsShufflePlugin final : public mr::ShufflePlugin {

@@ -27,6 +27,27 @@ std::optional<FetchRequest> DecodeRequest(const Frame& frame) {
   return request;
 }
 
+Frame EncodeHello(const Hello& hello) {
+  Frame frame;
+  frame.type = kHello;
+  PutU32(frame.payload, hello.version);
+  PutU32(frame.payload, hello.caps);
+  return frame;
+}
+
+std::optional<Hello> DecodeHello(const Frame& frame) {
+  // Accept >= 8 bytes: a future version may append fields, and a v2 server
+  // must still read the leading version/caps pair.
+  if (frame.type != kHello || frame.payload.size() < 8) {
+    return std::nullopt;
+  }
+  const uint8_t* p = frame.payload.data();
+  Hello hello;
+  hello.version = GetU32(p);
+  hello.caps = GetU32(p + 4);
+  return hello;
+}
+
 namespace {
 Frame EncodeDataHeaderOnly(const FetchDataHeader& header) {
   Frame frame;

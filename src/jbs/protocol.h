@@ -25,6 +25,28 @@ enum FrameType : uint8_t {
   kFetchRequest = 1,
   kFetchData = 2,
   kFetchError = 3,
+  kHello = 4,
+};
+
+/// Highest protocol version this build speaks. Version 1 (implicit — no
+/// hello frame) is the PR 6 wire format; version 2 adds the hello
+/// capability advertisement and per-chunk wire compression.
+inline constexpr uint32_t kProtocolVersion = 2;
+
+/// Hello capability bit: the client can decompress kChunkCompressed
+/// payloads, so the supplier may compress eligible chunks for this
+/// connection.
+inline constexpr uint32_t kCapWireCompression = 1u << 0;
+
+/// One-way capability advertisement, sent by the client as the first frame
+/// after dialing. There is no reply — the fetch conversation stays a strict
+/// request/response alternation — and the server treats its absence (old
+/// client, dropped frame) as "no capabilities": it just serves raw chunks.
+/// Servers older than version 2 log-and-ignore the unknown frame type, so
+/// the handshake is backward compatible in both directions.
+struct Hello {
+  uint32_t version = kProtocolVersion;
+  uint32_t caps = 0;  // kCapWireCompression etc.
 };
 
 struct FetchRequest {
@@ -40,6 +62,13 @@ inline constexpr uint32_t kSegmentCompressed = 1u << 0;
 /// header fields and the payload (see ChunkWireCrc). Suppliers always set
 /// it; a client that doesn't verify just ignores the field.
 inline constexpr uint32_t kChunkHasCrc = 1u << 1;
+/// FetchDataHeader flag: this chunk's payload is a Compress() stream of the
+/// logical chunk bytes. `offset` and `segment_total` stay in logical
+/// (decompressed) coordinates; only the payload on the wire shrinks. The
+/// chunk CRC folds over the *compressed* payload, so the client verifies
+/// integrity before paying for decompression. Only set for clients that
+/// advertised kCapWireCompression.
+inline constexpr uint32_t kChunkCompressed = 1u << 2;
 
 struct FetchDataHeader {
   int32_t map_task = 0;
@@ -58,6 +87,9 @@ struct FetchError {
 
 Frame EncodeRequest(const FetchRequest& request);
 std::optional<FetchRequest> DecodeRequest(const Frame& frame);
+
+Frame EncodeHello(const Hello& hello);
+std::optional<Hello> DecodeHello(const Frame& frame);
 
 /// Builds a data frame: header followed by `data`. Copies `data` into the
 /// frame's owned payload (counted by PayloadCopyBytes) — the serve path

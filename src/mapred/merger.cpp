@@ -49,10 +49,32 @@ std::unique_ptr<RecordStream> HierarchicalMerge(
 StatusOr<std::unique_ptr<RecordStream>> OpenSegment(
     std::vector<uint8_t> segment, bool compressed) {
   if (compressed) {
+    // Flag/payload cross-check: a segment flagged compressed that doesn't
+    // even start with the codec header means the flag and the bytes
+    // disagree — a supplier-side mixup or header corruption, which
+    // deserves a distinct verdict rather than Decompress's generic "not a
+    // compressed stream".
+    if (!LooksCompressed(segment)) {
+      return IoError(
+          "segment flagged compressed but payload has no codec header "
+          "(kSegmentCompressed flag/payload mismatch)");
+    }
     auto raw = Decompress(segment);
     JBS_RETURN_IF_ERROR(raw.status());
     return std::unique_ptr<RecordStream>(
         std::make_unique<SegmentStream>(std::move(raw).value()));
+  }
+  if (LooksCompressed(segment)) {
+    // The inverse mismatch: an unflagged segment that *looks* compressed.
+    // A legitimate raw IFile can start with the codec magic by chance, so
+    // disambiguate with the IFile trailer CRC — real record data passes,
+    // while mislabeled compressed bytes fail essentially always. Without
+    // this check the compressed bytes would be merged as records.
+    if (!IFileReader(segment).VerifyChecksum().ok()) {
+      return IoError(
+          "segment not flagged compressed but payload is a codec stream, "
+          "not a valid IFile (kSegmentCompressed flag/payload mismatch)");
+    }
   }
   return std::unique_ptr<RecordStream>(
       std::make_unique<SegmentStream>(std::move(segment)));

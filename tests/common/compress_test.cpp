@@ -4,6 +4,7 @@
 
 #include <cstring>
 
+#include "common/bytes.h"
 #include "common/rng.h"
 
 namespace jbs {
@@ -120,6 +121,93 @@ TEST(CompressTest, LooksCompressedDetection) {
   EXPECT_TRUE(LooksCompressed(compressed));
   EXPECT_FALSE(LooksCompressed(Bytes("plainly not")));
   EXPECT_FALSE(LooksCompressed({}));
+}
+
+TEST(CompressTest, RejectsForgedHugeRawSize) {
+  // Regression: a forged header claiming a terabyte behind two token bytes
+  // used to hit std::vector::reserve before any validation — an untrusted
+  // length driving an allocation. It must be a clean Status, and fast.
+  std::vector<uint8_t> forged = {'J', 0x01};
+  PutVarint64(forged, int64_t{1} << 40);
+  forged.push_back(0x00);  // literal run of 1
+  forged.push_back('x');
+  auto result = Decompress(forged);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("implausible"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(CompressTest, RawSizeAtExpansionBoundAccepted) {
+  // MaxDecompressedSize is the exact reachable ceiling: a stream of
+  // max-length matches decodes to it, so claims at the bound must pass
+  // validation while the codec still enforces the real decoded size.
+  std::vector<uint8_t> input(4096, 'm');
+  auto compressed = Compress(input);
+  auto restored = Decompress(compressed);
+  ASSERT_TRUE(restored.ok());
+  // Header is magic + version + varint; the rest is tokens.
+  const size_t token_bytes =
+      compressed.size() - 2 - VarintSize(static_cast<int64_t>(input.size()));
+  EXPECT_LE(input.size(), MaxDecompressedSize(token_bytes));
+}
+
+TEST(CompressTest, MatchAtFullWindowDistanceRoundTrips) {
+  // A repeat exactly 64 KB - 1 back sits on the window edge (distance
+  // 65535, the largest encodable); one byte farther is out of window and
+  // must be re-emitted without a match. Both must round-trip exactly.
+  const std::string phrase = "window-boundary-probe-phrase";
+  Rng rng(99);
+  for (const size_t gap :
+       {size_t{65535} - phrase.size(), size_t{65536} - phrase.size() + 1}) {
+    std::vector<uint8_t> input(phrase.begin(), phrase.end());
+    for (size_t i = 0; i < gap; ++i) {
+      input.push_back(static_cast<uint8_t>(rng.Next()));
+    }
+    input.insert(input.end(), phrase.begin(), phrase.end());
+    auto restored = Decompress(Compress(input));
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(*restored, input);
+  }
+}
+
+TEST(CompressTest, MaxLengthMatchTokensRoundTrip) {
+  // 131 bytes (kMinMatch + 0x7F) is the longest single match token. A long
+  // constant run forces the encoder to chain max-length matches; verify a
+  // 0xFF control byte (length 131) actually appears and the stream decodes.
+  std::vector<uint8_t> input(131 * 5 + 7, 'q');
+  auto compressed = Compress(input);
+  bool saw_max_match = false;
+  // Walk the token stream to find a control byte 0xFF (match, length 131).
+  size_t i = 2;
+  while (i < compressed.size() && (compressed[i - 1] & 0x80) != 0) ++i;  // skip varint
+  for (; i < compressed.size();) {
+    const uint8_t control = compressed[i];
+    if ((control & 0x80) == 0) {
+      i += 1 + static_cast<size_t>(control) + 1;
+    } else {
+      saw_max_match |= control == 0xFF;
+      i += 3;
+    }
+  }
+  EXPECT_TRUE(saw_max_match);
+  auto restored = Decompress(compressed);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, input);
+}
+
+TEST(CompressTest, EveryTruncationPointRejected) {
+  // A Compress stream has no legal proper prefix: cutting mid-token is a
+  // parse error and cutting at a token boundary leaves the decoded size
+  // short of the declared raw_size. Check every cut point of a small
+  // stream that mixes literal and match tokens.
+  const auto input = Bytes("abcabcabc unique tail abcabc");
+  const auto compressed = Compress(input);
+  for (size_t len = 0; len < compressed.size(); ++len) {
+    EXPECT_FALSE(
+        Decompress(std::span<const uint8_t>(compressed.data(), len)).ok())
+        << "prefix of " << len << " bytes decoded successfully";
+  }
+  EXPECT_TRUE(Decompress(compressed).ok());
 }
 
 TEST(CompressTest, SortedShuffleSegmentShrinks) {

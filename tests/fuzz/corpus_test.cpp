@@ -63,5 +63,7 @@ TEST(FuzzCorpusTest, Protocol) { ReplayCorpus("protocol", FuzzProtocol); }
 
 TEST(FuzzCorpusTest, Ifile) { ReplayCorpus("ifile", FuzzIfile); }
 
+TEST(FuzzCorpusTest, Compress) { ReplayCorpus("compress", FuzzCompress); }
+
 }  // namespace
 }  // namespace jbs::fuzz

@@ -1,0 +1,5 @@
+#include "harnesses.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return jbs::fuzz::FuzzCompress(data, size);
+}

@@ -1,0 +1,34 @@
+#include <algorithm>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "common/compress.h"
+#include "harnesses.h"
+
+namespace jbs::fuzz {
+
+int FuzzCompress(const uint8_t* data, size_t size) {
+  const std::span<const uint8_t> input{data, size};
+
+  // Decompress arbitrary bytes: must fail cleanly, never crash, never
+  // allocate proportionally to a forged raw_size claim. When it *does*
+  // accept, the output must fit the expansion bound the validator promised.
+  auto decoded = Decompress(input);
+  if (decoded.ok() && size >= 2 &&
+      decoded->size() > MaxDecompressedSize(size - 2)) {
+    abort();
+  }
+
+  // Round-trip identity: whatever bytes the mutator produced, compressing
+  // then decompressing must reproduce them exactly.
+  const std::vector<uint8_t> packed = Compress(input);
+  auto unpacked = Decompress(packed);
+  if (!unpacked.ok()) abort();
+  if (unpacked->size() != size) abort();
+  if (!std::equal(unpacked->begin(), unpacked->end(), data)) abort();
+
+  return 0;
+}
+
+}  // namespace jbs::fuzz

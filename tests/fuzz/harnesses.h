@@ -1,9 +1,10 @@
-// Fuzz harness entry points for the three wire/disk parsers that consume
+// Fuzz harness entry points for the wire/disk parsers that consume
 // attacker-controllable bytes: length-prefixed framing (common/framing),
-// JBS shuffle protocol headers (jbs/protocol), and IFile records
-// (mapred/ifile).
+// JBS shuffle protocol headers (jbs/protocol), IFile records
+// (mapred/ifile), and the LZSS codec (common/compress) that wire
+// compression points at network bytes.
 //
-// Each harness is an ordinary function with a unique name so that all three
+// Each harness is an ordinary function with a unique name so that all
 // can be linked into one corpus-replay gtest; the per-target
 // LLVMFuzzerTestOneInput shims (fuzz_*.cpp) are one-liners delegating here.
 // Harnesses must be deterministic, must not touch the filesystem or clock,
@@ -28,5 +29,10 @@ int FuzzProtocol(const uint8_t* data, size_t size);
 /// IFileReader: iterates records to EOF/error and verifies the checksum
 /// trailer path; accepted streams are re-encoded and must parse again.
 int FuzzIfile(const uint8_t* data, size_t size);
+
+/// LZSS codec: Decompress on arbitrary bytes (must fail cleanly — no
+/// crash, no forged-raw_size allocation bomb) plus Compress→Decompress
+/// round-trip identity on the same bytes.
+int FuzzCompress(const uint8_t* data, size_t size);
 
 }  // namespace jbs::fuzz

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/compress.h"
 #include "common/framing.h"
 #include "jbs/protocol.h"
 #include "mapred/ifile.h"
@@ -149,6 +150,48 @@ void EmitIfile(const fs::path& dir) {
   }
 }
 
+void EmitCompress(const fs::path& dir) {
+  auto packed = [](const std::vector<uint8_t>& raw) {
+    return jbs::Compress(raw);
+  };
+
+  // Compressible text: literal runs plus real matches.
+  {
+    std::string text;
+    for (int i = 0; i < 40; ++i) text += "the quick brown fox ";
+    WriteSeed(dir, "compressed_text",
+              packed({text.begin(), text.end()}));
+  }
+  // RLE-style overlapping matches (distance 1).
+  WriteSeed(dir, "compressed_rle", packed(std::vector<uint8_t>(512, 0xAB)));
+  // Incompressible bytes: mostly literal tokens.
+  {
+    std::vector<uint8_t> noise(256);
+    uint32_t state = 0x1234567u;
+    for (auto& byte : noise) {
+      state = state * 1664525u + 1013904223u;
+      byte = static_cast<uint8_t>(state >> 24);
+    }
+    WriteSeed(dir, "compressed_noise", packed(noise));
+  }
+  WriteSeed(dir, "compressed_empty", packed({}));
+  // Truncated mid-token.
+  {
+    std::vector<uint8_t> cut = packed(std::vector<uint8_t>(300, 'x'));
+    cut.resize(cut.size() / 2);
+    WriteSeed(dir, "truncated_stream", cut);
+  }
+  // Forged header claiming a huge raw size with almost no tokens behind
+  // it — the allocation-bomb reject path.
+  {
+    std::vector<uint8_t> forged = {'J', 0x01};
+    jbs::PutVarint64(forged, int64_t{1} << 40);
+    forged.push_back(0x00);  // one literal byte
+    forged.push_back('x');
+    WriteSeed(dir, "forged_raw_size", forged);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -160,5 +203,6 @@ int main(int argc, char** argv) {
   EmitFraming(root / "framing");
   EmitProtocol(root / "protocol");
   EmitIfile(root / "ifile");
+  EmitCompress(root / "compress");
   return 0;
 }

@@ -98,6 +98,11 @@ class ChaosE2ETest : public ::testing::Test {
   void Boot(int node) {
     shuffle::MofSupplier::Options options;
     options.transport = transport_.get();  // server side is healthy
+    // Whole harness runs with negotiated wire compression on: every chaos
+    // phase then also corrupts *compressed* chunks, and the CRC (folded
+    // over the compressed payload) must catch those before decompression.
+    options.wire_compress = true;
+    options.wire_compress_min_bytes = 256;  // chunk_size 1024 -> eligible
     auto supplier = std::make_unique<shuffle::MofSupplier>(options);
     ASSERT_TRUE(supplier->Start().ok());
     for (int m : published_[node]) {
@@ -227,6 +232,7 @@ TEST_F(ChaosE2ETest, ShuffleSurvivesCorruptionAndSupplierDeath) {
 
   const auto stats = merger.merger_stats();
   EXPECT_GT(stats.chunks_corrupt, 0u);  // the CRC actually fired
+  EXPECT_GT(stats.chunks_compressed, 0u);  // the wire really was compressed
   EXPECT_GT(flaky_->chaos_corruptions(), 0);
   EXPECT_GT(stats.penalties, 0u);  // somebody served a sentence
   EXPECT_GT(stats.failovers, 0u);  // the dead supplier's maps rerouted
@@ -256,6 +262,39 @@ TEST_F(ChaosE2ETest, ShuffleSurvivesCorruptionAndSupplierDeath) {
   ASSERT_TRUE(revived.ok()) << revived.status().ToString();
   EXPECT_EQ(Drain(**revived).size(), static_cast<size_t>(kRecordsPerMap));
   after.Stop();
+}
+
+TEST_F(ChaosE2ETest, CorruptCompressedChunksDetectedByCrcAndRetried) {
+  // Compressed-chunk corruption phase: with wire compression negotiated on
+  // every connection, a storm that flips a bit in each received frame is
+  // hitting compressed payloads. The chunk CRC folds over the *compressed*
+  // bytes, so every flip must be rejected before Decompress ever runs, the
+  // chunk refetched, and the merged output stay byte-identical.
+  std::vector<mr::Record> expected;
+  {
+    shuffle::NetMerger reference(MergerOptions());
+    auto stream = reference.FetchAndMerge(0, ReplicaLocations());
+    ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+    expected = Drain(**stream);
+    reference.Stop();
+  }
+  const auto reference_stats_free_of_corruption =
+      expected.size();  // sanity anchor for the chaos run below
+  ASSERT_EQ(reference_stats_free_of_corruption,
+            static_cast<size_t>(kMaps) * kRecordsPerMap);
+
+  flaky_->SetChaosSchedule({net::ChaosPhase{.ops = 16, .corrupt_prob = 1.0}},
+                           ChaosSeed() ^ 0xC033);
+  shuffle::NetMerger merger(MergerOptions());
+  auto stream = merger.FetchAndMerge(0, ReplicaLocations());
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  EXPECT_TRUE(Drain(**stream) == expected);
+
+  const auto stats = merger.merger_stats();
+  EXPECT_GT(stats.chunks_corrupt, 0u);     // CRC rejected the flips...
+  EXPECT_GT(stats.chunks_compressed, 0u);  // ...on a compressed wire
+  EXPECT_GT(stats.fetch_retries + stats.failovers, 0u);  // and it recovered
+  merger.Stop();
 }
 
 TEST_F(ChaosE2ETest, CorruptionStormAloneCannotPoisonTheMerge) {

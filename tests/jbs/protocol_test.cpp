@@ -118,6 +118,38 @@ TEST(ProtocolTest, LegacyHeaderWithoutCrcStillDecodes) {
   EXPECT_EQ(decoded->crc32, 0u);
 }
 
+TEST(ProtocolTest, HelloRoundTrip) {
+  Hello hello;
+  hello.caps = kCapWireCompression;
+  auto decoded = DecodeHello(EncodeHello(hello));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->version, kProtocolVersion);
+  EXPECT_EQ(decoded->caps, kCapWireCompression);
+}
+
+TEST(ProtocolTest, HelloRejectsWrongTypeAndShortPayload) {
+  EXPECT_FALSE(DecodeHello(EncodeRequest({})).has_value());
+  Frame truncated = EncodeHello({});
+  truncated.payload.resize(7);  // hello is two u32s; anything less is junk
+  EXPECT_FALSE(DecodeHello(truncated).has_value());
+}
+
+TEST(ProtocolTest, HelloFromNewerPeerStillDecodes) {
+  // Forward compatibility: a v3 peer may append fields after the caps
+  // word; a v2 reader takes the prefix it understands and ignores the
+  // rest, keying every behavior decision off capability bits, not the
+  // version number.
+  Hello future;
+  future.version = kProtocolVersion + 1;
+  future.caps = kCapWireCompression | (1u << 9);  // unknown future cap
+  Frame frame = EncodeHello(future);
+  frame.payload.push_back(0xEE);  // trailing bytes from a newer encoder
+  auto decoded = DecodeHello(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->version, kProtocolVersion + 1);
+  EXPECT_TRUE(decoded->caps & kCapWireCompression);
+}
+
 TEST(ProtocolTest, WrongTypeRejected) {
   Frame frame = EncodeRequest({});
   EXPECT_FALSE(DecodeError(frame).has_value());
