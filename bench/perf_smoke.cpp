@@ -1,5 +1,5 @@
 // CI perf-smoke: a minutes-not-hours regression canary for the zero-copy
-// serve path. Two probes, both real sockets on loopback:
+// serve path. Four probes, all real sockets on loopback:
 //
 //   1. Large-frame server push — the serve-path direction — measured twice:
 //      legacy copy-into-frame handoff vs zero-copy ext+lease handoff
@@ -13,11 +13,24 @@
 //      compressible workload must at least halve its wire bytes, and the
 //      random workload must ship raw (bail-out) with zero user-space
 //      payload copies on the compression-off pass.
+//   4. An engine sweep (DESIGN.md §15): zero-copy server push under epoll
+//      vs io_uring at 1/4/16 concurrent connections, recording throughput
+//      and getrusage CPU-per-MB per point. The zero-copy invariant
+//      (copied payload bytes == 0) is gated under both engines; the
+//      throughput/CPU deltas are recorded, not gated — on a CI runner
+//      with one core the CPU-vs-connections profile is the signal, not
+//      absolute MB/s. io_uring-unavailable is recorded with its reason
+//      and the probe still passes with the epoll half.
 //
 // Results land in a MetricsRegistry and are dumped as JSON (default
-// BENCH_pr7.json, or argv[1]) so CI can archive the numbers per commit.
-// Exit code is 0 unless a probe fails outright: perf deltas are recorded,
+// BENCH_pr8.json, or argv[1]) so CI can archive the numbers per commit.
+// A probe that cannot RUN (socket setup failure, MOF write failure) is a
+// hard failure: the reason prints, NO JSON is written — a partial file
+// would read downstream as "the missing probes regressed to zero" — and
+// the exit code is 1. Perf deltas on probes that did run are recorded,
 // not gated, because shared CI runners are too noisy for hard thresholds.
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -29,11 +42,13 @@
 #include "bench/bench_util.h"
 #include "common/framing.h"
 #include "common/metrics.h"
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "jbs/mof_supplier.h"
 #include "jbs/net_merger.h"
 #include "jbs/protocol.h"
 #include "mapred/ifile.h"
+#include "transport/io_uring_loop.h"
 #include "transport/transport.h"
 
 using namespace jbs;
@@ -49,14 +64,17 @@ double SecondsSince(Clock::time_point start) {
 }
 
 /// One pass of the server-push probe: the client requests, the server
-/// pushes one `frame_bytes` frame, `rounds` times. Returns MB/s (0 on
-/// setup failure). `copied_bytes` gets the serve-side user-space copy
-/// count for the pass.
+/// pushes one `frame_bytes` frame, `rounds` times. Returns MB/s; a probe
+/// that cannot run returns 0 with the reason in `*err`. `copied_bytes`
+/// gets the serve-side user-space copy count for the pass.
 double PushThroughputMBs(bool zerocopy, size_t frame_bytes, int rounds,
-                         uint64_t* copied_bytes) {
+                         uint64_t* copied_bytes, std::string* err) {
   auto transport = net::MakeTcpTransport();
   auto server = transport->CreateServer();
-  if (!server.ok()) return 0;
+  if (!server.ok()) {
+    *err = "CreateServer: " + server.status().ToString();
+    return 0;
+  }
   const auto src =
       std::make_shared<const std::vector<uint8_t>>(frame_bytes, 0xab);
   std::vector<uint8_t> wire_scratch;
@@ -80,18 +98,30 @@ double PushThroughputMBs(bool zerocopy, size_t frame_bytes, int rounds,
     }
     (void)(*server)->SendAsync(conn, std::move(out));
   };
-  if (!(*server)->Start(handlers).ok()) return 0;
+  if (Status st = (*server)->Start(handlers); !st.ok()) {
+    *err = "server Start: " + st.ToString();
+    return 0;
+  }
   auto conn = transport->Connect("127.0.0.1", (*server)->port());
-  if (!conn.ok()) return 0;
+  if (!conn.ok()) {
+    *err = "Connect: " + conn.status().ToString();
+    return 0;
+  }
   Frame request;
   request.type = 1;
   request.payload.resize(1);
   ResetPayloadCopyBytes();
   const auto start = Clock::now();
   for (int i = 0; i < rounds; ++i) {
-    if (!(*conn)->Send(request).ok()) return 0;
+    if (Status st = (*conn)->Send(request); !st.ok()) {
+      *err = "Send: " + st.ToString();
+      return 0;
+    }
     auto reply = (*conn)->Receive();
-    if (!reply.ok()) return 0;
+    if (!reply.ok()) {
+      *err = "Receive: " + reply.status().ToString();
+      return 0;
+    }
   }
   const double secs = SecondsSince(start);
   *copied_bytes = PayloadCopyBytes();
@@ -101,11 +131,12 @@ double PushThroughputMBs(bool zerocopy, size_t frame_bytes, int rounds,
 }
 
 /// One reduced Figs. 4/5 run: `reducers` concurrent fetchers against one
-/// supplier with the calibrated disk model. Returns serve throughput MB/s.
+/// supplier with the calibrated disk model. Returns serve throughput MB/s,
+/// or 0 with the reason in `*err`.
 double SweepThroughputMBs(bool pipelined, int prefetch_threads,
                           int fetch_window,
                           const std::vector<mr::MofHandle>& handles,
-                          uint16_t* port_out = nullptr) {
+                          std::string* err, uint16_t* port_out = nullptr) {
   auto transport = net::MakeTcpTransport();
   shuffle::MofSupplier::Options options;
   options.transport = transport.get();
@@ -117,10 +148,15 @@ double SweepThroughputMBs(bool pipelined, int prefetch_threads,
   options.prefetch_threads = prefetch_threads;
   options.pipelined = pipelined;
   shuffle::MofSupplier supplier(options);
-  if (!supplier.Start().ok()) return 0;
+  if (Status st = supplier.Start(); !st.ok()) {
+    *err = "supplier Start: " + st.ToString();
+    return 0;
+  }
   for (const auto& handle : handles) (void)supplier.PublishMof(handle);
   if (port_out) *port_out = supplier.port();
 
+  Mutex fetch_err_mu;
+  std::string fetch_err;
   const auto start = Clock::now();
   std::vector<std::thread> reducers;
   for (int partition = 0; partition < 2; ++partition) {
@@ -138,7 +174,11 @@ double SweepThroughputMBs(bool pipelined, int prefetch_threads,
             {static_cast<int>(m), 0, "127.0.0.1", supplier.port()});
       }
       auto stream = merger.FetchAndMerge(partition, sources);
-      if (!stream.ok()) std::abort();
+      if (!stream.ok()) {
+        MutexLock lock(fetch_err_mu);
+        fetch_err = "FetchAndMerge(partition " + std::to_string(partition) +
+                    "): " + stream.status().ToString();
+      }
       merger.Stop();
     });
   }
@@ -146,6 +186,10 @@ double SweepThroughputMBs(bool pipelined, int prefetch_threads,
   const double secs = SecondsSince(start);
   const auto stats = supplier.supplier_stats();
   supplier.Stop();
+  if (!fetch_err.empty()) {
+    *err = fetch_err;
+    return 0;
+  }
   return secs > 0 ? static_cast<double>(stats.bytes_served) / (1 << 20) / secs
                   : 0;
 }
@@ -196,9 +240,11 @@ struct CompressSweepResult {
 };
 
 /// One shuffle of `handles` through a supplier with wire compression
-/// `compress_on`, two memo-exercising sweeps (cold, then cache-hit).
+/// `compress_on`, two memo-exercising sweeps (cold, then cache-hit). A
+/// sweep that cannot run leaves the reason in `*err`.
 CompressSweepResult CompressSweepRun(bool compress_on,
-                                     const std::vector<mr::MofHandle>& handles) {
+                                     const std::vector<mr::MofHandle>& handles,
+                                     std::string* err) {
   CompressSweepResult result;
   auto transport = net::MakeTcpTransport();
   shuffle::MofSupplier::Options options;
@@ -208,7 +254,10 @@ CompressSweepResult CompressSweepRun(bool compress_on,
   options.wire_compress = compress_on;
   options.wire_compress_min_bytes = 1024;
   shuffle::MofSupplier supplier(options);
-  if (!supplier.Start().ok()) return result;
+  if (Status st = supplier.Start(); !st.ok()) {
+    *err = "supplier Start: " + st.ToString();
+    return result;
+  }
   for (const auto& handle : handles) (void)supplier.PublishMof(handle);
 
   const uint64_t copied_before = PayloadCopyBytes();
@@ -225,7 +274,10 @@ CompressSweepResult CompressSweepRun(bool compress_on,
           {static_cast<int>(m), 0, "127.0.0.1", supplier.port()});
     }
     auto stream = merger.FetchAndMerge(0, sources);
-    if (!stream.ok()) return result;
+    if (!stream.ok()) {
+      *err = "FetchAndMerge: " + stream.status().ToString();
+      return result;
+    }
     mr::Record record;
     while ((*stream)->Next(&record)) {
     }
@@ -240,37 +292,143 @@ CompressSweepResult CompressSweepRun(bool compress_on,
   return result;
 }
 
+struct EnginePoint {
+  double mbs = 0;
+  double cpu_ms_per_mb = 0;
+  uint64_t copied = 0;
+};
+
+/// One engine-sweep point: `conns` concurrent clients each pull
+/// `rounds_per_conn` zero-copy frames of `frame_bytes` from one server
+/// running `engine`. Records aggregate throughput and process CPU
+/// (getrusage user+system) per MB moved.
+bool EnginePushPoint(net::Engine engine, int conns, size_t frame_bytes,
+                     int rounds_per_conn, EnginePoint* out, std::string* err) {
+  auto transport = net::MakeTcpTransport({.engine = engine, .num_loops = 2});
+  auto server = transport->CreateServer();
+  if (!server.ok()) {
+    *err = "CreateServer: " + server.status().ToString();
+    return false;
+  }
+  const auto src =
+      std::make_shared<const std::vector<uint8_t>>(frame_bytes, 0xab);
+  net::ServerEndpoint::Handlers handlers;
+  handlers.on_frame = [&](net::ConnId conn, Frame) {
+    Frame out_frame;
+    out_frame.type = 2;
+    out_frame.ext = {src->data(), src->size()};
+    out_frame.lease = std::shared_ptr<const void>(src, src->data());
+    (void)(*server)->SendAsync(conn, std::move(out_frame));
+  };
+  if (Status st = (*server)->Start(handlers); !st.ok()) {
+    *err = "server Start: " + st.ToString();
+    return false;
+  }
+  std::vector<std::shared_ptr<net::Connection>> clients;
+  for (int c = 0; c < conns; ++c) {
+    auto conn = transport->Connect("127.0.0.1", (*server)->port());
+    if (!conn.ok()) {
+      *err = "Connect: " + conn.status().ToString();
+      return false;
+    }
+    clients.push_back(std::move(conn).value());
+  }
+  Mutex err_mu;
+  std::string thread_err;
+  ResetPayloadCopyBytes();
+  rusage before{};
+  getrusage(RUSAGE_SELF, &before);
+  const auto start = Clock::now();
+  std::vector<std::thread> pullers;
+  for (auto& client : clients) {
+    pullers.emplace_back([&, client] {
+      Frame request;
+      request.type = 1;
+      request.payload.resize(1);
+      for (int i = 0; i < rounds_per_conn; ++i) {
+        if (Status st = client->Send(request); !st.ok()) {
+          MutexLock lock(err_mu);
+          thread_err = "Send: " + st.ToString();
+          return;
+        }
+        auto reply = client->Receive();
+        if (!reply.ok()) {
+          MutexLock lock(err_mu);
+          thread_err = "Receive: " + reply.status().ToString();
+          return;
+        }
+      }
+    });
+  }
+  for (auto& puller : pullers) puller.join();
+  const double secs = SecondsSince(start);
+  rusage after{};
+  getrusage(RUSAGE_SELF, &after);
+  out->copied = PayloadCopyBytes();
+  (*server)->Stop();
+  if (!thread_err.empty()) {
+    *err = thread_err;
+    return false;
+  }
+  const auto cpu_secs = [](const rusage& a, const rusage& b) {
+    const auto tv = [](const timeval& t) {
+      return static_cast<double>(t.tv_sec) +
+             static_cast<double>(t.tv_usec) * 1e-6;
+    };
+    return tv(b.ru_utime) - tv(a.ru_utime) + tv(b.ru_stime) - tv(a.ru_stime);
+  }(before, after);
+  const double mb = static_cast<double>(frame_bytes) * rounds_per_conn *
+                    conns / (1 << 20);
+  out->mbs = secs > 0 ? mb / secs : 0;
+  out->cpu_ms_per_mb = mb > 0 ? cpu_secs * 1e3 / mb : 0;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_pr7.json";
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_pr8.json";
   MetricsRegistry registry;
-  bool ok = true;
+  bool ok = true;        // invariant gates on probes that ran
+  bool probes_ok = true; // every probe managed to run at all
+  std::string probe_err;
 
   // --- Probe 1: large-frame server push, copy vs zero-copy -------------
   constexpr size_t kFrameBytes = 1 << 20;
   constexpr int kRounds = 200;
-  bench::PrintHeader("perf-smoke 1/3: server push, 1MB frames x 200",
+  bench::PrintHeader("perf-smoke 1/4: server push, 1MB frames x 200",
                      "zero-copy serve path (DESIGN.md §13)");
   uint64_t copied = 0;
-  (void)PushThroughputMBs(false, kFrameBytes, 32, &copied);  // warmup
-  const double copy_mbs = PushThroughputMBs(false, kFrameBytes, kRounds,
-                                            &copied);
+  (void)PushThroughputMBs(false, kFrameBytes, 32, &copied,
+                          &probe_err);  // warmup
+  probe_err.clear();
+  const double copy_mbs =
+      PushThroughputMBs(false, kFrameBytes, kRounds, &copied, &probe_err);
+  if (!probe_err.empty()) {
+    std::printf("FAIL: push probe (copy) could not run: %s\n",
+                probe_err.c_str());
+    probes_ok = false;
+  }
   registry.GetGauge("perf_smoke_push_mbs", {{"mode", "copy"}})->Set(copy_mbs);
   registry.GetGauge("perf_smoke_push_copied_bytes", {{"mode", "copy"}})
       ->Set(static_cast<double>(copied));
   bench::PrintRow({"copy", bench::Fmt(copy_mbs, "%.0fMB/s"),
                    std::to_string(copied) + "B copied"});
   uint64_t zc_copied = 0;
-  const double zc_mbs = PushThroughputMBs(true, kFrameBytes, kRounds,
-                                          &zc_copied);
+  probe_err.clear();
+  const double zc_mbs =
+      PushThroughputMBs(true, kFrameBytes, kRounds, &zc_copied, &probe_err);
+  if (!probe_err.empty()) {
+    std::printf("FAIL: push probe (zerocopy) could not run: %s\n",
+                probe_err.c_str());
+    probes_ok = false;
+  }
   registry.GetGauge("perf_smoke_push_mbs", {{"mode", "zerocopy"}})
       ->Set(zc_mbs);
   registry.GetGauge("perf_smoke_push_copied_bytes", {{"mode", "zerocopy"}})
       ->Set(static_cast<double>(zc_copied));
   bench::PrintRow({"zerocopy", bench::Fmt(zc_mbs, "%.0fMB/s"),
                    std::to_string(zc_copied) + "B copied"});
-  if (copy_mbs <= 0 || zc_mbs <= 0) ok = false;
   const double improvement_pct =
       copy_mbs > 0 ? (zc_mbs - copy_mbs) / copy_mbs * 100.0 : 0;
   registry.GetGauge("perf_smoke_push_improvement_pct")->Set(improvement_pct);
@@ -298,25 +456,41 @@ int main(int argc, char** argv) {
       (void)writer.AppendSegment(segment.Finish(), records);
     }
     auto handle = writer.Finish(m, 0);
-    if (!handle.ok()) return 1;
+    if (!handle.ok()) {
+      std::printf("FAIL: Figs. 4/5 probe could not run: MOF write: %s\n",
+                  handle.status().ToString().c_str());
+      std::printf("no JSON written (a partial %s would misread as "
+                  "regressions)\n",
+                  out_path.c_str());
+      return 1;
+    }
     handles.push_back(*handle);
   }
-  bench::PrintHeader("perf-smoke 2/3: reduced Figs. 4/5 sweep",
+  bench::PrintHeader("perf-smoke 2/4: reduced Figs. 4/5 sweep",
                      "serialized vs pipelined 2x4, 4 MOFs x 2 reducers");
-  (void)SweepThroughputMBs(true, 2, 4, handles);  // warmup
-  const double serialized_mbs = SweepThroughputMBs(false, 1, 1, handles);
-  const double pipelined_mbs = SweepThroughputMBs(true, 2, 4, handles);
+  probe_err.clear();
+  (void)SweepThroughputMBs(true, 2, 4, handles, &probe_err);  // warmup
+  probe_err.clear();
+  const double serialized_mbs =
+      SweepThroughputMBs(false, 1, 1, handles, &probe_err);
+  const double pipelined_mbs =
+      probe_err.empty() ? SweepThroughputMBs(true, 2, 4, handles, &probe_err)
+                        : 0;
+  if (!probe_err.empty()) {
+    std::printf("FAIL: Figs. 4/5 probe could not run: %s\n",
+                probe_err.c_str());
+    probes_ok = false;
+  }
   registry.GetGauge("perf_smoke_fig45_mbs", {{"mode", "serialized"}})
       ->Set(serialized_mbs);
   registry.GetGauge("perf_smoke_fig45_mbs", {{"mode", "pipelined_2x4"}})
       ->Set(pipelined_mbs);
   bench::PrintRow({"serialized", bench::Fmt(serialized_mbs, "%.0fMB/s")});
   bench::PrintRow({"pipelined 2x4", bench::Fmt(pipelined_mbs, "%.0fMB/s")});
-  if (serialized_mbs <= 0 || pipelined_mbs <= 0) ok = false;
   fs::remove_all(dir);
 
   // --- Probe 3: negotiated wire compression sweep -----------------------
-  bench::PrintHeader("perf-smoke 3/3: wire compression sweep",
+  bench::PrintHeader("perf-smoke 3/4: wire compression sweep",
                      "zipf-skewed vs random payloads, compression off/on");
   const fs::path cdir = fs::temp_directory_path() /
                         ("perf_smoke_wc_" + std::to_string(::getpid()));
@@ -325,9 +499,26 @@ int main(int argc, char** argv) {
     const char* workload = compressible ? "zipf" : "random";
     const auto handles3 =
         MakeCompressSweepMofs(cdir, compressible, 3, 4000);
-    if (handles3.empty()) return 1;
-    const auto off = CompressSweepRun(false, handles3);
-    const auto on = CompressSweepRun(true, handles3);
+    if (handles3.empty()) {
+      std::printf("FAIL: compression probe could not run: %s MOF write "
+                  "failed\n",
+                  workload);
+      std::printf("no JSON written (a partial %s would misread as "
+                  "regressions)\n",
+                  out_path.c_str());
+      return 1;
+    }
+    probe_err.clear();
+    const auto off = CompressSweepRun(false, handles3, &probe_err);
+    const auto on = probe_err.empty()
+                        ? CompressSweepRun(true, handles3, &probe_err)
+                        : CompressSweepResult{};
+    if (!probe_err.empty()) {
+      std::printf("FAIL: compression probe (%s) could not run: %s\n",
+                  workload, probe_err.c_str());
+      probes_ok = false;
+      continue;  // gates below would misfire on zeroed results
+    }
     for (const auto& [mode, run] :
          {std::pair<const char*, const CompressSweepResult&>{"off", off},
           {"on", on}}) {
@@ -389,6 +580,78 @@ int main(int argc, char** argv) {
   }
   fs::remove_all(cdir);
 
+  // --- Probe 4: engine sweep, epoll vs io_uring -------------------------
+  bench::PrintHeader("perf-smoke 4/4: engine sweep (DESIGN.md §15)",
+                     "zero-copy push, epoll vs io_uring x 1/4/16 conns");
+  const Status uring = net::UringAvailable();
+  registry.GetGauge("perf_smoke_uring_available")
+      ->Set(uring.ok() ? 1.0 : 0.0);
+  if (!uring.ok()) {
+    std::printf("io_uring unavailable (%s): epoll half only\n",
+                uring.ToString().c_str());
+  }
+  std::vector<net::Engine> engines{net::Engine::kEpoll};
+  if (uring.ok()) engines.push_back(net::Engine::kIoUring);
+  constexpr int kConnPoints[] = {1, 4, 16};
+  constexpr size_t kSweepFrame = 256 * 1024;
+  constexpr int kSweepRounds = 64;
+  for (const net::Engine engine : engines) {
+    const char* name = net::EngineName(engine);
+    EnginePoint warm;
+    probe_err.clear();
+    (void)EnginePushPoint(engine, 2, kSweepFrame, 16, &warm, &probe_err);
+    double first_cpu = 0, last_cpu = 0;
+    for (const int conns : kConnPoints) {
+      EnginePoint point;
+      probe_err.clear();
+      if (!EnginePushPoint(engine, conns, kSweepFrame, kSweepRounds, &point,
+                           &probe_err)) {
+        std::printf("FAIL: engine sweep (%s, %d conns) could not run: %s\n",
+                    name, conns, probe_err.c_str());
+        probes_ok = false;
+        continue;
+      }
+      const std::string conns_label = std::to_string(conns);
+      registry
+          .GetGauge("perf_smoke_engine_push_mbs",
+                    {{"engine", name}, {"conns", conns_label}})
+          ->Set(point.mbs);
+      registry
+          .GetGauge("perf_smoke_engine_cpu_ms_per_mb",
+                    {{"engine", name}, {"conns", conns_label}})
+          ->Set(point.cpu_ms_per_mb);
+      registry
+          .GetGauge("perf_smoke_engine_copied_bytes",
+                    {{"engine", name}, {"conns", conns_label}})
+          ->Set(static_cast<double>(point.copied));
+      bench::PrintRow({std::string(name) + " x" + conns_label,
+                       bench::Fmt(point.mbs, "%.0fMB/s"),
+                       bench::Fmt(point.cpu_ms_per_mb, "%.2fms/MB"),
+                       std::to_string(point.copied) + "B copied"});
+      // The zero-copy invariant is engine-independent: neither data plane
+      // may stage payload bytes through user space on the serve path.
+      if (point.copied != 0) {
+        std::printf("FAIL: %s engine copied %llu payload bytes\n", name,
+                    static_cast<unsigned long long>(point.copied));
+        ok = false;
+      }
+      if (conns == kConnPoints[0]) first_cpu = point.cpu_ms_per_mb;
+      last_cpu = point.cpu_ms_per_mb;
+    }
+    // CPU flatness across the connection sweep: ~1.0 means the engine's
+    // per-MB cost does not grow with connection count.
+    if (first_cpu > 0) {
+      registry.GetGauge("perf_smoke_engine_cpu_flatness", {{"engine", name}})
+          ->Set(last_cpu / first_cpu);
+    }
+  }
+
+  if (!probes_ok) {
+    std::printf("\nno JSON written: a probe could not run (a partial %s "
+                "would misread as regressions)\n",
+                out_path.c_str());
+    return 1;
+  }
   if (!bench::WriteMetricsJson(registry, out_path)) {
     std::printf("FAIL: could not write %s\n", out_path.c_str());
     return 1;

@@ -96,6 +96,10 @@ inline constexpr const char* kWireCompressMinRatio =
 inline constexpr const char* kCompressCacheEntries =
     "jbs.mofsupplier.compresscache.entries";
 inline constexpr const char* kMaxFrameBytes = "jbs.transport.max_frame.bytes";
+// Thread-per-core execution-model knobs (see DESIGN.md §15).
+inline constexpr const char* kTransportEngine = "jbs.transport.engine";
+inline constexpr const char* kTransportLoops = "jbs.transport.loops";
+inline constexpr const char* kServeShards = "jbs.mofsupplier.serve.shards";
 inline constexpr const char* kMapSlotsPerNode = "mapred.map.slots";
 inline constexpr const char* kReduceSlotsPerNode = "mapred.reduce.slots";
 inline constexpr const char* kBlockSize = "dfs.block.size";

@@ -1,0 +1,55 @@
+// Per-core (striped) counters for hot-path accounting (DESIGN.md §15).
+// The thread-per-core serve path deleted its stats_mu_-class locks by
+// giving every shard its own counters; this is the shared primitive:
+// writers hit a cache-line-private atomic slot picked once per thread,
+// readers aggregate all slots at scrape time. Increments are relaxed —
+// totals are monotonic and exact, but a concurrent reader may observe a
+// sum that is momentarily behind.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace jbs {
+
+class PerCoreCounter {
+ public:
+  PerCoreCounter() = default;
+  PerCoreCounter(const PerCoreCounter&) = delete;
+  PerCoreCounter& operator=(const PerCoreCounter&) = delete;
+
+  void Add(uint64_t delta) {
+    slots_[ThisThreadSlot()].value.fetch_add(delta,
+                                             std::memory_order_relaxed);
+  }
+
+  uint64_t Load() const {
+    uint64_t total = 0;
+    for (const Slot& slot : slots_) {
+      total += slot.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  // Enough stripes that the handful of threads sharing one counter
+  // (loop shards, send threads, scrapers) rarely collide; collisions
+  // only cost a shared cache line, never correctness.
+  static constexpr size_t kStripes = 8;
+
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> value{0};
+  };
+
+  static size_t ThisThreadSlot() {
+    static std::atomic<size_t> next{0};
+    thread_local const size_t slot =
+        next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+    return slot;
+  }
+
+  Slot slots_[kStripes];
+};
+
+}  // namespace jbs

@@ -36,11 +36,24 @@ Status PreadFd(int fd, const std::string& path, uint64_t offset,
 MofSupplier::MofSupplier(Options options)
     : options_(options),
       data_cache_(options.buffer_size, options.buffer_count),
-      index_cache_(options.index_cache_entries),
-      fd_cache_(std::max<size_t>(1, options.fd_cache_entries)),
-      crc_cache_(std::max<size_t>(1, options.crc_cache_entries)),
-      compress_cache_(std::max<size_t>(1, options.compress_cache_entries)),
-      send_queue_(options.buffer_count) {
+      index_cache_(options.index_cache_entries) {
+  // §15 serve shards: each owns a slice of the fd/memo cache budget (the
+  // router hashes a given path or chunk key to exactly one shard, so the
+  // aggregate capacity is unchanged) plus its own send stage.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const size_t n_shards =
+      options_.serve_shards > 0
+          ? static_cast<size_t>(options_.serve_shards)
+          : static_cast<size_t>(std::min(8u, hw));
+  const auto slice = [n_shards](size_t total) {
+    return std::max<size_t>(1, total / n_shards);
+  };
+  shards_.reserve(n_shards);
+  for (size_t i = 0; i < n_shards; ++i) {
+    shards_.push_back(std::make_unique<ServeShard>(
+        slice(options_.fd_cache_entries), slice(options_.crc_cache_entries),
+        slice(options_.compress_cache_entries), options_.buffer_count));
+  }
   if (options_.metrics != nullptr) {
     metrics_ = options_.metrics;
   } else {
@@ -87,9 +100,10 @@ uint32_t MofSupplier::ChunkDataCrc(const FetchRequest& request,
                                    std::span<const uint8_t> data) {
   const CrcKey key{request.map_task, request.partition, request.offset,
                    static_cast<uint64_t>(data.size())};
+  ServeShard& shard = MemoShardOf(key);
   {
-    MutexLock lock(crc_cache_mu_);
-    if (const uint32_t* cached = crc_cache_.Get(key)) {
+    MutexLock lock(shard.crc_mu);
+    if (const uint32_t* cached = shard.crc_cache.Get(key)) {
       crc_cache_hits_c_->Increment();
       return *cached;
     }
@@ -98,8 +112,8 @@ uint32_t MofSupplier::ChunkDataCrc(const FetchRequest& request,
   // expensive part and must not serialize the disk-thread pool.
   const uint32_t crc = Crc32(data);
   {
-    MutexLock lock(crc_cache_mu_);
-    crc_cache_.Put(key, crc);
+    MutexLock lock(shard.crc_mu);
+    shard.crc_cache.Put(key, crc);
   }
   crc_cache_misses_c_->Increment();
   return crc;
@@ -109,8 +123,9 @@ bool MofSupplier::LookupChunkCrc(const FetchRequest& request, uint64_t length,
                                  uint32_t* crc) {
   const CrcKey key{request.map_task, request.partition, request.offset,
                    length};
-  MutexLock lock(crc_cache_mu_);
-  const uint32_t* cached = crc_cache_.Get(key);
+  ServeShard& shard = MemoShardOf(key);
+  MutexLock lock(shard.crc_mu);
+  const uint32_t* cached = shard.crc_cache.Get(key);
   if (cached == nullptr) return false;
   *crc = *cached;
   return true;
@@ -140,7 +155,7 @@ void MofSupplier::RefreshGauges() const {
   const auto set = [&](const char* name, double v) {
     metrics_->GetGauge(name, base)->Set(v);
   };
-  const FdCache::Stats fd = fd_cache_.stats();
+  const FdCache::Stats fd = AggregateFdStats();
   set("jbs_mofsupplier_fdcache_hits", static_cast<double>(fd.hits));
   set("jbs_mofsupplier_fdcache_misses", static_cast<double>(fd.misses));
   set("jbs_mofsupplier_fdcache_evictions", static_cast<double>(fd.evictions));
@@ -155,8 +170,9 @@ void MofSupplier::RefreshGauges() const {
       static_cast<double>(data_cache_.capacity()));
   set("jbs_mofsupplier_datacache_buffers_in_use",
       static_cast<double>(data_cache_.capacity() - data_cache_.available()));
-  set("jbs_mofsupplier_send_queue_depth",
-      static_cast<double>(send_queue_.size()));
+  size_t send_depth = 0;
+  for (const auto& shard : shards_) send_depth += shard->send_queue.size();
+  set("jbs_mofsupplier_send_queue_depth", static_cast<double>(send_depth));
   set("jbs_mofsupplier_pending_groups",
       static_cast<double>(pending_group_count()));
   // Process-wide user-space payload-copy odometer (framing layer). The
@@ -173,6 +189,18 @@ void MofSupplier::RefreshGauges() const {
     set("jbs_mofsupplier_endpoint_connections_accepted",
         static_cast<double>(ep.connections_accepted));
   }
+}
+
+FdCache::Stats MofSupplier::AggregateFdStats() const {
+  FdCache::Stats total;
+  for (const auto& shard : shards_) {
+    const FdCache::Stats s = shard->fd_cache.stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+    total.open_failures += s.open_failures;
+  }
+  return total;
 }
 
 MofSupplier::~MofSupplier() { Stop(); }
@@ -199,7 +227,10 @@ Status MofSupplier::Start() {
     disk_threads_.emplace_back([this] { DiskLoop(); });
   }
   if (options_.pipelined) {
-    send_thread_ = std::thread([this] { SendLoop(); });
+    for (auto& shard : shards_) {
+      ServeShard* raw = shard.get();
+      raw->send_thread = std::thread([this, raw] { SendLoop(*raw); });
+    }
   }
   return Status::Ok();
 }
@@ -225,10 +256,12 @@ void MofSupplier::Stop() {
   for (auto& thread : disk_threads_) {
     if (thread.joinable()) thread.join();
   }
-  // Producers are gone: close the stage boundary and let the send thread
-  // drain already-read replies before exiting.
-  send_queue_.Close();
-  if (send_thread_.joinable()) send_thread_.join();
+  // Producers are gone: close the stage boundaries and let each shard's
+  // send thread drain already-read replies before exiting.
+  for (auto& shard : shards_) shard->send_queue.Close();
+  for (auto& shard : shards_) {
+    if (shard->send_thread.joinable()) shard->send_thread.join();
+  }
   if (endpoint_) endpoint_->Stop();
   RefreshGauges();
 }
@@ -260,7 +293,7 @@ MofSupplier::SupplierStats MofSupplier::supplier_stats() const {
   out.chunks_compressed = chunks_compressed_c_->value();
   out.compress_bailouts = compress_bailouts_c_->value();
   out.index = index_cache_.stats();
-  out.fd = fd_cache_.stats();
+  out.fd = AggregateFdStats();
   out.request_latency_ms = request_latency_ms_h_->summary();
   return out;
 }
@@ -272,8 +305,9 @@ void MofSupplier::OnFrame(net::ConnId conn, Frame frame) {
       JBS_WARN << "MofSupplier: undecodable hello frame";
       return;
     }
-    MutexLock lock(caps_mu_);
-    conn_caps_[conn] = hello->caps;
+    ServeShard& shard = ConnShardOf(conn);
+    MutexLock lock(shard.caps_mu);
+    shard.conn_caps[conn] = hello->caps;
     return;
   }
   auto request = DecodeRequest(frame);
@@ -285,10 +319,11 @@ void MofSupplier::OnFrame(net::ConnId conn, Frame frame) {
   requests_c_->Increment();
   PendingRequest pending{conn, *request, std::chrono::steady_clock::now()};
   if (options_.wire_compress) {
-    MutexLock lock(caps_mu_);
-    auto it = conn_caps_.find(conn);
+    ServeShard& shard = ConnShardOf(conn);
+    MutexLock lock(shard.caps_mu);
+    auto it = shard.conn_caps.find(conn);
     pending.compress_ok =
-        it != conn_caps_.end() && (it->second & kCapWireCompression) != 0;
+        it != shard.conn_caps.end() && (it->second & kCapWireCompression) != 0;
   }
   {
     MutexLock lock(mu_);
@@ -316,8 +351,9 @@ void MofSupplier::OnFrame(net::ConnId conn, Frame frame) {
 
 void MofSupplier::OnDisconnect(net::ConnId conn) {
   {
-    MutexLock lock(caps_mu_);
-    conn_caps_.erase(conn);
+    ServeShard& shard = ConnShardOf(conn);
+    MutexLock lock(shard.caps_mu);
+    shard.conn_caps.erase(conn);
   }
   uint64_t purged = 0;
   {
@@ -440,12 +476,12 @@ bool MofSupplier::ResolveRequest(
   header->offset = request.offset;
   header->segment_total = entry.length;
   header->flags = index->compressed() ? kSegmentCompressed : 0;
-  {
-    MutexLock lock(last_served_mu_);
-    if (last_served_mof_ != request.map_task) {
-      group_switches_c_->Increment();
-      last_served_mof_ = request.map_task;
-    }
+  // Lock-free group-switch accounting: exchange is exact under the
+  // serialized path and a faithful-enough approximation when several disk
+  // threads interleave (each observed transition is a real switch).
+  if (last_served_mof_.exchange(request.map_task, std::memory_order_relaxed) !=
+      request.map_task) {
+    group_switches_c_->Increment();
   }
   return true;
 }
@@ -453,13 +489,14 @@ bool MofSupplier::ResolveRequest(
 Status MofSupplier::PreadInto(const mr::MofHandle& handle, uint64_t offset,
                               std::span<uint8_t> out) {
   const std::string path = handle.data_path.string();
-  auto file = fd_cache_.Open(path);
+  FdCache& fd_cache = PathShardOf(path).fd_cache;
+  auto file = fd_cache.Open(path);
   if (!file.ok()) return file.status();
   ChargeDiskModel(file->fd(), offset, out.size());
   Status st = PreadFd(file->fd(), path, offset, out);
   // A failed read may mean the descriptor went stale (file replaced);
   // drop it so the next request reopens the path.
-  if (!st.ok()) fd_cache_.Invalidate(path);
+  if (!st.ok()) fd_cache.Invalidate(path);
   return st;
 }
 
@@ -505,7 +542,8 @@ bool MofSupplier::TrySendfileReply(const PendingRequest& pending,
     header.flags |= kChunkHasCrc;
     header.crc32 = ChunkWireCrc(header, data_crc);
   }
-  auto file = fd_cache_.Open(handle.data_path.string());
+  auto file = PathShardOf(handle.data_path.string())
+                  .fd_cache.Open(handle.data_path.string());
   if (!file.ok()) return false;  // let the pooled path report the failure
   // The kernel still reads the platters; charge the same modeled disk
   // time the pooled path would pay, so sendfile's measured win is the
@@ -526,7 +564,7 @@ bool MofSupplier::TrySendfileReply(const PendingRequest& pending,
   ready.enqueued = pending.enqueued;
   sendfile_chunks_c_->Increment();
   sendfile_bytes_c_->Increment(chunk);
-  (void)send_queue_.Push(std::move(ready));
+  (void)ConnShardOf(pending.conn).send_queue.Push(std::move(ready));
   return true;
 }
 
@@ -544,8 +582,9 @@ MofSupplier::CompressMemo MofSupplier::LookupCompressed(
     std::shared_ptr<const std::vector<uint8_t>>* payload, uint32_t* crc) {
   const CrcKey key{request.map_task, request.partition, request.offset,
                    chunk};
-  MutexLock lock(compress_cache_mu_);
-  const CompressedChunk* cached = compress_cache_.Get(key);
+  ServeShard& shard = MemoShardOf(key);
+  MutexLock lock(shard.compress_mu);
+  const CompressedChunk* cached = shard.compress_cache.Get(key);
   if (cached == nullptr) return CompressMemo::kMiss;
   if (cached->data == nullptr) return CompressMemo::kIncompressible;
   *payload = cached->data;
@@ -563,18 +602,19 @@ std::shared_ptr<const std::vector<uint8_t>> MofSupplier::CompressAndMemoize(
   const CrcKey key{request.map_task, request.partition, request.offset,
                    static_cast<uint64_t>(data.size())};
   const double min_ratio = options_.wire_compress_min_ratio;
+  ServeShard& shard = MemoShardOf(key);
   if (static_cast<double>(compressed.size()) >
       static_cast<double>(data.size()) * min_ratio) {
     compress_bailouts_c_->Increment();
-    MutexLock lock(compress_cache_mu_);
-    compress_cache_.Put(key, CompressedChunk{});  // memoized: ship raw
+    MutexLock lock(shard.compress_mu);
+    shard.compress_cache.Put(key, CompressedChunk{});  // memoized: ship raw
     return nullptr;
   }
   auto shared =
       std::make_shared<const std::vector<uint8_t>>(std::move(compressed));
   *crc = Crc32(*shared);
-  MutexLock lock(compress_cache_mu_);
-  compress_cache_.Put(key, CompressedChunk{shared, *crc});
+  MutexLock lock(shard.compress_mu);
+  shard.compress_cache.Put(key, CompressedChunk{shared, *crc});
   return shared;
 }
 
@@ -620,7 +660,7 @@ void MofSupplier::EnqueueCompressed(
     }
     return;
   }
-  (void)send_queue_.Push(std::move(ready));
+  (void)ConnShardOf(pending.conn).send_queue.Push(std::move(ready));
 }
 
 void MofSupplier::PrefetchOne(const PendingRequest& pending) {
@@ -713,11 +753,11 @@ void MofSupplier::PrefetchOne(const PendingRequest& pending) {
   ready.enqueued = pending.enqueued;
   // Push only fails once the queue is closed (shutdown); the dropped
   // reply's lease returns the buffer via its destructor.
-  (void)send_queue_.Push(std::move(ready));
+  (void)ConnShardOf(pending.conn).send_queue.Push(std::move(ready));
 }
 
-void MofSupplier::SendLoop() {
-  while (auto ready = send_queue_.Pop()) {
+void MofSupplier::SendLoop(ServeShard& shard) {
+  while (auto ready = shard.send_queue.Pop()) {
     if (ready->is_error) {
       endpoint_->SendAsync(ready->conn, EncodeError(ready->error));
       errors_c_->Increment();
@@ -830,7 +870,7 @@ void MofSupplier::EnqueueError(net::ConnId conn, const FetchRequest& request,
   ready.error.partition = request.partition;
   ready.error.message = message;
   ready.enqueued = enqueued;
-  (void)send_queue_.Push(std::move(ready));
+  (void)ConnShardOf(conn).send_queue.Push(std::move(ready));
 }
 
 void MofSupplier::SendErrorNow(net::ConnId conn, const FetchRequest& request,

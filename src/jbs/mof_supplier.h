@@ -8,8 +8,10 @@
 //     (map, partition) stay in offset order), preads segments into
 //     DataCache pooled buffers through an LRU fd cache, and hands ready
 //     buffers to the send stage;
-//   send stage — a single thread that hands the pre-encoded scatter-
-//     gather frames to the transport's event thread. The chunk bytes are
+//   send stage — one thread per serve shard (Options::serve_shards;
+//     connections route to shards by ConnId, so a connection's replies
+//     stay ordered) that hands the pre-encoded scatter-gather frames to
+//     the transport's event thread. The chunk bytes are
 //     never copied into the frame: the pooled buffer rides along as the
 //     frame's lease and returns to the DataCache only after the transport
 //     has put its last byte on the wire. Chunks above
@@ -26,6 +28,7 @@
 // for the paper ablation.
 #pragma once
 
+#include <atomic>
 #include <climits>
 #include <deque>
 #include <functional>
@@ -90,6 +93,15 @@ class MofSupplier final : public mr::ShuffleServer {
     int prefetch_threads = 2; // disk-stage pool (pipelined mode only)
     bool pipelined = true;    // ablation: false degrades to serialized
                               // per-request service (HttpServlet-like)
+    // Thread-per-core serve sharding (DESIGN.md §15): number of
+    // independent serve shards, each owning its own fd-cache, CRC memo,
+    // compress memo, capability map, and send stage. Connections route by
+    // ConnId (whose low bits are the transport's accepting-loop index, so
+    // shards align with accepting cores when this matches
+    // TcpTransportOptions::num_loops); chunk memos route by content key
+    // so retransmits from any connection share one entry. 0 = one per
+    // core capped at 8; default 1 preserves the single send stage.
+    int serve_shards = 1;
     // Calibrated disk model for benchmarking on hardware whose storage is
     // far faster than the paper's spindles: each pread is charged
     // `disk_seek_ms` when it does not continue that file's previous read,
@@ -193,10 +205,7 @@ class MofSupplier final : public mr::ShuffleServer {
                       FetchDataHeader* header, uint64_t* disk_offset,
                       uint64_t* chunk,
                       const std::function<void(const std::string&)>& fail)
-      EXCLUDES(mu_, last_served_mu_);
-  /// Pipelined stage 2: encode ready buffers and hand frames to the
-  /// transport event thread.
-  void SendLoop();
+      EXCLUDES(mu_);
   void EnqueueError(net::ConnId conn, const FetchRequest& request,
                     const std::string& message,
                     std::chrono::steady_clock::time_point enqueued);
@@ -207,13 +216,12 @@ class MofSupplier final : public mr::ShuffleServer {
   /// Data-payload CRC for one resolved chunk, via the LRU memo (MOFs are
   /// immutable once published, so a cached value never goes stale).
   uint32_t ChunkDataCrc(const FetchRequest& request,
-                        std::span<const uint8_t> data)
-      EXCLUDES(crc_cache_mu_);
+                        std::span<const uint8_t> data);
   /// Memo-only probe: true (and `*crc` set) on a hit, no hashing and no
   /// disk touch on a miss. The sendfile gate — a chunk whose CRC is not
   /// memoized can't go out via sendfile without a read-back.
   bool LookupChunkCrc(const FetchRequest& request, uint64_t length,
-                      uint32_t* crc) EXCLUDES(crc_cache_mu_);
+                      uint32_t* crc);
   /// Stamps `header` with the full wire CRC (kChunkHasCrc) when enabled.
   void StampChunkCrc(FetchDataHeader* header, const FetchRequest& request,
                      std::span<const uint8_t> data);
@@ -233,14 +241,13 @@ class MofSupplier final : public mr::ShuffleServer {
   enum class CompressMemo { kMiss, kCompressed, kIncompressible };
   CompressMemo LookupCompressed(
       const FetchRequest& request, uint64_t chunk,
-      std::shared_ptr<const std::vector<uint8_t>>* payload, uint32_t* crc)
-      EXCLUDES(compress_cache_mu_);
+      std::shared_ptr<const std::vector<uint8_t>>* payload, uint32_t* crc);
   /// Compresses a freshly read chunk, applies the min-ratio bail-out, and
   /// memoizes the outcome either way. Returns the compressed payload (and
   /// its CRC) on success, nullptr when the chunk ships raw.
   std::shared_ptr<const std::vector<uint8_t>> CompressAndMemoize(
       const FetchRequest& request, std::span<const uint8_t> data,
-      uint32_t* crc) EXCLUDES(compress_cache_mu_);
+      uint32_t* crc);
   /// Queues a kChunkCompressed reply whose payload rides the memoized
   /// vector as the frame's lease (no copy). `inline_send` transmits
   /// directly (serialized ablation mode) instead of via the send stage.
@@ -264,7 +271,6 @@ class MofSupplier final : public mr::ShuffleServer {
   std::unique_ptr<net::ServerEndpoint> endpoint_;
   BufferPool data_cache_;
   IndexCache index_cache_;
-  FdCache fd_cache_;
 
   // Chunk-CRC memo: (map, partition, offset, len) -> CRC32 of the payload
   // bytes, so the hot path hashes each chunk once, not per retransmit.
@@ -295,8 +301,6 @@ class MofSupplier final : public mr::ShuffleServer {
           mix(mix(a) ^ mix(key.offset) ^ (mix(key.length) << 1)));
     }
   };
-  Mutex crc_cache_mu_;
-  LruCache<CrcKey, uint32_t, CrcKeyHash> crc_cache_ GUARDED_BY(crc_cache_mu_);
   MetricCounter* crc_cache_hits_c_ = nullptr;
   MetricCounter* crc_cache_misses_c_ = nullptr;
 
@@ -310,9 +314,6 @@ class MofSupplier final : public mr::ShuffleServer {
     std::shared_ptr<const std::vector<uint8_t>> data;
     uint32_t crc = 0;  // Crc32 over *data (the compressed bytes)
   };
-  Mutex compress_cache_mu_;
-  LruCache<CrcKey, CompressedChunk, CrcKeyHash> compress_cache_
-      GUARDED_BY(compress_cache_mu_);
   MetricCounter* compress_cache_hits_c_ = nullptr;
   MetricCounter* compress_cache_misses_c_ = nullptr;
   MetricCounter* chunks_compressed_c_ = nullptr;
@@ -321,12 +322,54 @@ class MofSupplier final : public mr::ShuffleServer {
   MetricCounter* wire_bytes_wire_c_ = nullptr;
   MetricHistogram* compress_ratio_h_ = nullptr;
 
-  // Per-connection capabilities from the hello frame, erased on
-  // disconnect. Only OnFrame/OnDisconnect (event thread) touch it, but the
-  // lock keeps the contract explicit if a transport ever runs handlers on
-  // more than one thread.
-  Mutex caps_mu_;
-  std::map<net::ConnId, uint32_t> conn_caps_ GUARDED_BY(caps_mu_);
+  // §15 thread-per-core serve state: one shard per serving core, each
+  // owning the caches and the send stage for the work routed to it, so
+  // two cores serving different connections share no locks on the
+  // per-byte path. Content-keyed state (chunk memos, fd cache) routes by
+  // hash so retransmits from any connection share one entry;
+  // connection-keyed state (caps, send queue) routes by ConnId so a
+  // connection's frames stay ordered through a single send thread.
+  struct ServeShard {
+    ServeShard(size_t fd_entries, size_t crc_entries, size_t compress_entries,
+               size_t queue_capacity)
+        : fd_cache(fd_entries),
+          crc_cache(crc_entries),
+          compress_cache(compress_entries),
+          send_queue(queue_capacity) {}
+    FdCache fd_cache;
+    Mutex crc_mu;
+    LruCache<CrcKey, uint32_t, CrcKeyHash> crc_cache GUARDED_BY(crc_mu);
+    Mutex compress_mu;
+    LruCache<CrcKey, CompressedChunk, CrcKeyHash> compress_cache
+        GUARDED_BY(compress_mu);
+    // Per-connection capabilities from the hello frame, erased on
+    // disconnect. The transport invokes a connection's handlers from its
+    // pinned loop thread, so only same-shard threads contend here.
+    Mutex caps_mu;
+    std::map<net::ConnId, uint32_t> conn_caps GUARDED_BY(caps_mu);
+    BlockingQueue<ReadyReply> send_queue;
+    std::thread send_thread;
+  };
+  std::vector<std::unique_ptr<ServeShard>> shards_;
+
+  ServeShard& MemoShardOf(const CrcKey& key) const {
+    return *shards_[CrcKeyHash{}(key) % shards_.size()];
+  }
+  ServeShard& PathShardOf(const std::string& path) const {
+    return *shards_[std::hash<std::string>{}(path) % shards_.size()];
+  }
+  // ConnId low bits are the transport's accepting-loop index (see
+  // tcp_transport), so serve shards align with accepting cores when
+  // serve_shards matches the transport's loop count.
+  ServeShard& ConnShardOf(net::ConnId conn) const {
+    return *shards_[static_cast<size_t>(conn) % shards_.size()];
+  }
+
+  /// Pipelined stage 2 (one per shard): encode ready buffers and hand
+  /// frames to the transport event thread.
+  void SendLoop(ServeShard& shard);
+  /// Sums per-shard fd-cache counters for scrape-time reporting.
+  FdCache::Stats AggregateFdStats() const;
 
   // Observability plumbing: pointers into metrics_ (never null; falls back
   // to the owned registry when options don't share one).
@@ -358,8 +401,9 @@ class MofSupplier final : public mr::ShuffleServer {
   bool stopping_ GUARDED_BY(mu_) = false;
 
   // group_switches detection only; all counters live in the registry.
-  mutable Mutex last_served_mu_;
-  int last_served_mof_ GUARDED_BY(last_served_mu_) = -1;
+  // A relaxed exchange replaces the old dedicated mutex: detection is a
+  // single compare-and-swap of the last MOF id, never a critical section.
+  std::atomic<int> last_served_mof_{-1};
 
   // Calibrated-disk model state: a token bucket serializing modeled disk
   // time plus per-descriptor stream positions for seek detection.
@@ -370,8 +414,6 @@ class MofSupplier final : public mr::ShuffleServer {
   std::map<int, uint64_t> disk_stream_pos_ GUARDED_BY(disk_model_mu_);
 
   std::vector<std::thread> disk_threads_;
-  std::thread send_thread_;
-  BlockingQueue<ReadyReply> send_queue_;
 };
 
 }  // namespace jbs::shuffle

@@ -7,6 +7,8 @@ JbsShufflePlugin::JbsShufflePlugin(Options options) : options_(options) {
     case TransportKind::kTcp: {
       net::TcpTransportOptions topts;
       topts.max_frame_bytes = options_.max_frame_bytes;
+      topts.engine = options_.engine;
+      topts.num_loops = options_.transport_loops;
       transport_ = net::MakeTcpTransport(topts);
       break;
     }
@@ -73,6 +75,12 @@ JbsShufflePlugin::Options JbsShufflePlugin::OptionsFromConfig(
       conf.GetDouble(conf::kWireCompressMinRatio, 0.9);
   options.compress_cache_entries =
       static_cast<size_t>(conf.GetInt(conf::kCompressCacheEntries, 1024));
+  options.engine =
+      net::ParseEngine(conf.GetOr(conf::kTransportEngine, "epoll"));
+  options.transport_loops =
+      static_cast<int>(conf.GetInt(conf::kTransportLoops, 1));
+  options.serve_shards =
+      static_cast<int>(conf.GetInt(conf::kServeShards, 1));
   return options;
 }
 
@@ -99,6 +107,7 @@ std::unique_ptr<mr::ShuffleServer> JbsShufflePlugin::CreateServer(
   sopts.wire_compress_min_bytes = options_.wire_compress_min_bytes;
   sopts.wire_compress_min_ratio = options_.wire_compress_min_ratio;
   sopts.compress_cache_entries = options_.compress_cache_entries;
+  sopts.serve_shards = options_.serve_shards;
   return std::make_unique<MofSupplier>(sopts);
 }
 

@@ -56,6 +56,13 @@ struct JbsOptions {
   uint64_t wire_compress_min_bytes = 4096;
   double wire_compress_min_ratio = 0.9;
   size_t compress_cache_entries = 1024;
+  // Thread-per-core execution model (DESIGN.md §15): TCP server event-loop
+  // engine, loop-shard count (0 = per core, capped at 8), and MofSupplier
+  // serve shards (0 = per core; connections pin to the shard matching
+  // their accepting loop).
+  net::Engine engine = net::Engine::kEpoll;
+  int transport_loops = 1;
+  int serve_shards = 1;
 };
 
 class JbsShufflePlugin final : public mr::ShufflePlugin {

@@ -1,0 +1,31 @@
+// Transport engine selection (DESIGN.md §15). The epoll engine is the
+// §IV-B event-driven model the paper describes; the io_uring engine is the
+// same server contract rebuilt on completion-based submission queues
+// (registered buffers, linked read→send SQE chains). Selected at runtime
+// via `jbs.transport.engine`; requesting io_uring on a kernel (or seccomp
+// policy) that cannot create a ring falls back to epoll with a logged
+// reason — the wire protocol and FetchSegment semantics are identical
+// under both engines.
+#pragma once
+
+#include <string>
+
+namespace jbs::net {
+
+enum class Engine {
+  kEpoll,
+  kIoUring,
+};
+
+inline const char* EngineName(Engine engine) {
+  return engine == Engine::kIoUring ? "io_uring" : "epoll";
+}
+
+/// Parses "epoll" / "io_uring" (also accepts "uring"); anything else maps
+/// to epoll so a typo'd config degrades to the portable engine.
+inline Engine ParseEngine(const std::string& name) {
+  if (name == "io_uring" || name == "uring") return Engine::kIoUring;
+  return Engine::kEpoll;
+}
+
+}  // namespace jbs::net

@@ -5,9 +5,11 @@
 #include <unistd.h>
 
 #include <array>
+#include <cerrno>
 #include <cstring>
 
 #include "common/logging.h"
+#include "transport/io_uring_loop.h"
 
 namespace jbs::net {
 
@@ -20,11 +22,21 @@ uint32_t ToEpollEvents(bool want_read, bool want_write) {
 }
 }  // namespace
 
-EventLoop::EventLoop() = default;
+void EventfdSignal(int fd) {
+  const uint64_t one = 1;
+  ssize_t n;
+  do {
+    n = ::write(fd, &one, sizeof(one));
+  } while (n < 0 && errno == EINTR);
+  // EAGAIN means the 64-bit counter is already non-zero: the loop has a
+  // pending wakeup, which is all we needed.
+}
 
-EventLoop::~EventLoop() { Stop(); }
+EpollEventLoop::EpollEventLoop() = default;
 
-Status EventLoop::Start() {
+EpollEventLoop::~EpollEventLoop() { Stop(); }
+
+Status EpollEventLoop::Start() {
   epoll_fd_ = Fd(::epoll_create1(0));
   if (!epoll_fd_.valid()) return IoError("epoll_create1 failed");
   wake_fd_ = Fd(::eventfd(0, EFD_NONBLOCK));
@@ -44,14 +56,13 @@ Status EventLoop::Start() {
   return Status::Ok();
 }
 
-void EventLoop::Stop() {
+void EpollEventLoop::Stop() {
   if (!running_.exchange(false)) {
     if (thread_.joinable()) thread_.join();
     return;
   }
   // Wake the loop so it observes running_ == false.
-  const uint64_t one = 1;
-  [[maybe_unused]] ssize_t n = ::write(wake_fd_.get(), &one, sizeof(one));
+  EventfdSignal(wake_fd_.get());
   if (thread_.joinable()) thread_.join();
   callbacks_.clear();
   // Tasks that raced in after the loop's final drain would otherwise sit
@@ -60,8 +71,8 @@ void EventLoop::Stop() {
   pending_.clear();
 }
 
-Status EventLoop::Add(int fd, bool want_read, bool want_write,
-                      FdCallback callback) {
+Status EpollEventLoop::Add(int fd, bool want_read, bool want_write,
+                           FdCallback callback) {
   epoll_event ev{};
   ev.events = ToEpollEvents(want_read, want_write);
   ev.data.fd = fd;
@@ -72,7 +83,7 @@ Status EventLoop::Add(int fd, bool want_read, bool want_write,
   return Status::Ok();
 }
 
-Status EventLoop::Modify(int fd, bool want_read, bool want_write) {
+Status EpollEventLoop::Modify(int fd, bool want_read, bool want_write) {
   epoll_event ev{};
   ev.events = ToEpollEvents(want_read, want_write);
   ev.data.fd = fd;
@@ -82,21 +93,20 @@ Status EventLoop::Modify(int fd, bool want_read, bool want_write) {
   return Status::Ok();
 }
 
-void EventLoop::Remove(int fd) {
+void EpollEventLoop::Remove(int fd) {
   ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
   callbacks_.erase(fd);
 }
 
-void EventLoop::RunInLoop(std::function<void()> fn) {
+void EpollEventLoop::RunInLoop(std::function<void()> fn) {
   {
     MutexLock lock(pending_mu_);
     pending_.push_back(std::move(fn));
   }
-  const uint64_t one = 1;
-  [[maybe_unused]] ssize_t n = ::write(wake_fd_.get(), &one, sizeof(one));
+  EventfdSignal(wake_fd_.get());
 }
 
-void EventLoop::DrainPending() {
+void EpollEventLoop::DrainPending() {
   std::vector<std::function<void()>> work;
   {
     MutexLock lock(pending_mu_);
@@ -105,7 +115,7 @@ void EventLoop::DrainPending() {
   for (auto& fn : work) fn();
 }
 
-void EventLoop::Loop() {
+void EpollEventLoop::Loop() {
   std::array<epoll_event, 64> events{};
   while (running_.load(std::memory_order_relaxed)) {
     const int n = ::epoll_wait(epoll_fd_.get(), events.data(),
@@ -137,6 +147,25 @@ void EventLoop::Loop() {
     DrainPending();
   }
   DrainPending();
+}
+
+std::unique_ptr<EventLoop> MakeEventLoop(Engine requested, Engine* selected) {
+  if (requested == Engine::kIoUring) {
+    Status avail = UringAvailable();
+    if (avail.ok()) {
+      if (selected != nullptr) *selected = Engine::kIoUring;
+      return std::make_unique<UringEventLoop>();
+    }
+    // One warning per process: every loop shard of every endpoint would
+    // otherwise repeat the same line.
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      JBS_WARN << "io_uring engine unavailable, falling back to epoll: "
+               << avail.message();
+    }
+  }
+  if (selected != nullptr) *selected = Engine::kEpoll;
+  return std::make_unique<EpollEventLoop>();
 }
 
 }  // namespace jbs::net

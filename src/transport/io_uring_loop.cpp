@@ -1,0 +1,592 @@
+#include "transport/io_uring_loop.h"
+
+#include <linux/io_uring.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/eventfd.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/syscall.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+// The repo rule is "no new dependencies": liburing is not in the image, so
+// the ring is driven through raw syscalls and the mmap'd SQ/CQ layout from
+// <linux/io_uring.h>. Older libcs may lack the __NR constants even when
+// the kernel has the syscalls.
+#ifndef __NR_io_uring_setup
+#define __NR_io_uring_setup 425
+#endif
+#ifndef __NR_io_uring_enter
+#define __NR_io_uring_enter 426
+#endif
+#ifndef __NR_io_uring_register
+#define __NR_io_uring_register 427
+#endif
+
+namespace jbs::net {
+
+namespace {
+
+int SysUringSetup(unsigned entries, io_uring_params* params) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, params));
+}
+
+int SysUringEnter(int ring_fd, unsigned to_submit, unsigned min_complete,
+                  unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, ring_fd, to_submit,
+                                    min_complete, flags, nullptr, _NSIG / 8));
+}
+
+int SysUringRegister(int ring_fd, unsigned opcode, const void* arg,
+                     unsigned nr_args) {
+  return static_cast<int>(
+      ::syscall(__NR_io_uring_register, ring_fd, opcode, arg, nr_args));
+}
+
+// The kernel writes sq_head/cq_tail; user space writes sq_tail/cq_head.
+// Each side reads the other's index with acquire and publishes its own
+// with release.
+unsigned LoadAcquire(const unsigned* p) {
+  return __atomic_load_n(p, __ATOMIC_ACQUIRE);
+}
+void StoreRelease(unsigned* p, unsigned v) {
+  __atomic_store_n(p, v, __ATOMIC_RELEASE);
+}
+
+}  // namespace
+
+Status UringAvailable() {
+  // Deterministic lever for fallback tests and emergency operator opt-out.
+  if (::getenv("JBS_DISABLE_IO_URING") != nullptr) {
+    return Unavailable("disabled by JBS_DISABLE_IO_URING");
+  }
+  io_uring_params params{};
+  const int fd = SysUringSetup(4, &params);
+  if (fd < 0) {
+    const int err = errno;
+    std::string reason = "io_uring_setup: ";
+    reason += std::strerror(err);
+    if (err == ENOSYS) {
+      reason += " (kernel without io_uring, or seccomp ENOSYS policy)";
+    } else if (err == EPERM) {
+      reason += " (seccomp or kernel.io_uring_disabled sysctl)";
+    }
+    return Unavailable(std::move(reason));
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+UringEventLoop::UringEventLoop(const Options& options) : options_(options) {}
+
+UringEventLoop::~UringEventLoop() { Stop(); }
+
+Status UringEventLoop::SetupRing() {
+  io_uring_params params{};
+  ring_.fd = SysUringSetup(options_.ring_entries, &params);
+  if (ring_.fd < 0) {
+    return IoError(std::string("io_uring_setup: ") + std::strerror(errno));
+  }
+  ring_.sq_entries = params.sq_entries;
+  ring_.sq_len =
+      params.sq_off.array + params.sq_entries * sizeof(unsigned);
+  ring_.cq_len =
+      params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+  bool single_mmap = false;
+#ifdef IORING_FEAT_SINGLE_MMAP
+  single_mmap = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+#endif
+  if (single_mmap) {
+    ring_.sq_len = ring_.cq_len = std::max(ring_.sq_len, ring_.cq_len);
+  }
+  void* sq = ::mmap(nullptr, ring_.sq_len, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, ring_.fd, IORING_OFF_SQ_RING);
+  if (sq == MAP_FAILED) {
+    TeardownRing();
+    return IoError("io_uring sq mmap failed");
+  }
+  ring_.sq_ptr = static_cast<uint8_t*>(sq);
+  if (single_mmap) {
+    ring_.cq_ptr = ring_.sq_ptr;
+    ring_.cq_len = 0;  // one munmap covers both
+  } else {
+    void* cq = ::mmap(nullptr, ring_.cq_len, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_.fd, IORING_OFF_CQ_RING);
+    if (cq == MAP_FAILED) {
+      TeardownRing();
+      return IoError("io_uring cq mmap failed");
+    }
+    ring_.cq_ptr = static_cast<uint8_t*>(cq);
+  }
+  ring_.sqes_len = params.sq_entries * sizeof(io_uring_sqe);
+  void* sqes = ::mmap(nullptr, ring_.sqes_len, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_.fd, IORING_OFF_SQES);
+  if (sqes == MAP_FAILED) {
+    TeardownRing();
+    return IoError("io_uring sqe mmap failed");
+  }
+  ring_.sqes = static_cast<io_uring_sqe*>(sqes);
+
+  const uint8_t* cq_base =
+      single_mmap ? ring_.sq_ptr : ring_.cq_ptr;
+  ring_.sq_head = reinterpret_cast<unsigned*>(ring_.sq_ptr + params.sq_off.head);
+  ring_.sq_tail = reinterpret_cast<unsigned*>(ring_.sq_ptr + params.sq_off.tail);
+  ring_.sq_mask = *reinterpret_cast<unsigned*>(ring_.sq_ptr +
+                                               params.sq_off.ring_mask);
+  ring_.sq_array =
+      reinterpret_cast<unsigned*>(ring_.sq_ptr + params.sq_off.array);
+  ring_.cq_head = reinterpret_cast<unsigned*>(
+      const_cast<uint8_t*>(cq_base) + params.cq_off.head);
+  ring_.cq_tail = reinterpret_cast<unsigned*>(
+      const_cast<uint8_t*>(cq_base) + params.cq_off.tail);
+  ring_.cq_mask = *reinterpret_cast<const unsigned*>(cq_base +
+                                                     params.cq_off.ring_mask);
+  ring_.cqes = reinterpret_cast<io_uring_cqe*>(
+      const_cast<uint8_t*>(cq_base) + params.cq_off.cqes);
+  return Status::Ok();
+}
+
+void UringEventLoop::TeardownRing() {
+  if (ring_.sqes != nullptr) ::munmap(ring_.sqes, ring_.sqes_len);
+  if (ring_.cq_ptr != nullptr && ring_.cq_ptr != ring_.sq_ptr &&
+      ring_.cq_len != 0) {
+    ::munmap(ring_.cq_ptr, ring_.cq_len);
+  }
+  if (ring_.sq_ptr != nullptr) ::munmap(ring_.sq_ptr, ring_.sq_len);
+  if (ring_.fd >= 0) ::close(ring_.fd);
+  ring_ = Ring{};
+}
+
+Status UringEventLoop::Start() {
+  Status st = SetupRing();
+  if (!st.ok()) return st;
+  wake_fd_ = Fd(::eventfd(0, EFD_NONBLOCK));
+  if (!wake_fd_.valid()) {
+    TeardownRing();
+    return IoError("eventfd failed");
+  }
+  st = Add(wake_fd_.get(), /*want_read=*/true, /*want_write=*/false,
+           [this](uint32_t) {
+             uint64_t drained = 0;
+             ssize_t r;
+             do {
+               r = ::read(wake_fd_.get(), &drained, sizeof(drained));
+             } while (r < 0 && errno == EINTR);
+           });
+  if (!st.ok()) {
+    TeardownRing();
+    return st;
+  }
+
+  // Registered staging buffers for READ_FIXED→SEND chains. Registration
+  // can fail under RLIMIT_MEMLOCK on pre-5.12 kernels; the loop then
+  // still runs, it just reports SupportsFileChain()==false and the
+  // endpoint keeps its sendfile path.
+  chain_arena_.assign(
+      static_cast<size_t>(options_.chain_buffers) * options_.chain_buffer_bytes,
+      0);
+  std::vector<iovec> iovs(options_.chain_buffers);
+  for (unsigned i = 0; i < options_.chain_buffers; ++i) {
+    iovs[i].iov_base = chain_arena_.data() +
+                       static_cast<size_t>(i) * options_.chain_buffer_bytes;
+    iovs[i].iov_len = options_.chain_buffer_bytes;
+  }
+  if (SysUringRegister(ring_.fd, IORING_REGISTER_BUFFERS, iovs.data(),
+                       options_.chain_buffers) == 0) {
+    chain_ok_ = true;
+    free_bufs_.clear();
+    for (unsigned i = 0; i < options_.chain_buffers; ++i) {
+      free_bufs_.push_back(static_cast<int>(i));
+    }
+  } else {
+    chain_ok_ = false;
+    JBS_WARN << "io_uring buffer registration failed ("
+             << std::strerror(errno)
+             << "); engine runs without read->send chains";
+  }
+
+  running_.store(true);
+  thread_ = std::thread([this] {
+    loop_thread_id_ = std::this_thread::get_id();
+    Loop();
+  });
+  return Status::Ok();
+}
+
+void UringEventLoop::Stop() {
+  if (!running_.exchange(false)) {
+    if (thread_.joinable()) thread_.join();
+    TeardownRing();
+    return;
+  }
+  EventfdSignal(wake_fd_.get());
+  if (thread_.joinable()) thread_.join();
+  TeardownRing();
+  MutexLock lock(pending_mu_);
+  pending_.clear();
+}
+
+Status UringEventLoop::Add(int fd, bool want_read, bool want_write,
+                           FdCallback callback) {
+  auto [it, inserted] = fds_.emplace(
+      fd, FdState{std::move(callback), want_read, want_write, nullptr});
+  if (!inserted) return IoError("fd already registered");
+  if (running_.load(std::memory_order_relaxed) && InLoopThread()) {
+    Arm(fd, it->second);
+  }
+  return Status::Ok();
+}
+
+Status UringEventLoop::Modify(int fd, bool want_read, bool want_write) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) return IoError("fd not registered");
+  it->second.want_read = want_read;
+  it->second.want_write = want_write;
+  if (running_.load(std::memory_order_relaxed) && InLoopThread()) {
+    if (it->second.armed != nullptr) {
+      // The stale poll may already have fired; its CQE is ignored via the
+      // armed-pointer check and the fresh single-shot poll below re-reports
+      // any still-pending readiness (sockets are level-triggered).
+      SubmitPollRemove(it->second.armed);
+      it->second.armed = nullptr;
+    }
+    Arm(fd, it->second);
+  }
+  return Status::Ok();
+}
+
+void UringEventLoop::Remove(int fd) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) return;
+  if (it->second.armed != nullptr &&
+      running_.load(std::memory_order_relaxed) && InLoopThread()) {
+    SubmitPollRemove(it->second.armed);
+  }
+  // The orphaned poll Op (if any) is deleted when its -ECANCELED CQE is
+  // reaped, or by the loop-exit sweep.
+  fds_.erase(it);
+}
+
+void UringEventLoop::RunInLoop(std::function<void()> fn) {
+  {
+    MutexLock lock(pending_mu_);
+    pending_.push_back(std::move(fn));
+  }
+  EventfdSignal(wake_fd_.get());
+}
+
+void UringEventLoop::DrainPending() {
+  std::vector<std::function<void()>> work;
+  {
+    MutexLock lock(pending_mu_);
+    work.swap(pending_);
+  }
+  for (auto& fn : work) fn();
+}
+
+io_uring_sqe* UringEventLoop::GetSqe() {
+  unsigned head = LoadAcquire(ring_.sq_head);
+  unsigned tail = *ring_.sq_tail;  // single producer: the loop thread
+  if (tail - head >= ring_.sq_entries) {
+    // SQ full: a plain (non-SQPOLL) ring consumes every submitted SQE
+    // synchronously inside io_uring_enter, so one flush frees the queue.
+    FlushSubmissions();
+  }
+  io_uring_sqe* sqe = &ring_.sqes[tail & ring_.sq_mask];
+  std::memset(sqe, 0, sizeof(*sqe));
+  ring_.sq_array[tail & ring_.sq_mask] = tail & ring_.sq_mask;
+  // The kernel only reads SQEs during io_uring_enter (no SQPOLL), so
+  // publishing the slot before the caller fills it is safe.
+  StoreRelease(ring_.sq_tail, tail + 1);
+  ++to_submit_;
+  return sqe;
+}
+
+void UringEventLoop::FlushSubmissions() {
+  while (to_submit_ > 0) {
+    const int ret = SysUringEnter(ring_.fd, to_submit_, 0, 0);
+    if (ret < 0) {
+      if (errno == EINTR) continue;
+      JBS_ERROR << "io_uring_enter(submit): " << std::strerror(errno);
+      return;
+    }
+    to_submit_ -= static_cast<unsigned>(ret);
+  }
+}
+
+int UringEventLoop::WaitAndReap() {
+  int ret;
+  do {
+    ret = SysUringEnter(ring_.fd, to_submit_, /*min_complete=*/1,
+                        IORING_ENTER_GETEVENTS);
+  } while (ret < 0 && errno == EINTR);
+  if (ret < 0) {
+    JBS_ERROR << "io_uring_enter(wait): " << std::strerror(errno);
+    return -1;
+  }
+  to_submit_ -= std::min(to_submit_, static_cast<unsigned>(ret));
+
+  int reaped = 0;
+  unsigned head = *ring_.cq_head;  // single consumer: the loop thread
+  unsigned tail = LoadAcquire(ring_.cq_tail);
+  while (head != tail) {
+    // Copy out and advance before dispatching: callbacks can submit new
+    // SQEs, and freeing the CQ slot first keeps the kernel from hitting
+    // overflow during nested FlushSubmissions.
+    const io_uring_cqe cqe = ring_.cqes[head & ring_.cq_mask];
+    ++head;
+    StoreRelease(ring_.cq_head, head);
+    Dispatch(cqe);
+    ++reaped;
+    tail = LoadAcquire(ring_.cq_tail);
+  }
+  return reaped;
+}
+
+void UringEventLoop::Dispatch(const io_uring_cqe& cqe) {
+  Op* op = reinterpret_cast<Op*>(static_cast<uintptr_t>(cqe.user_data));
+  live_ops_.erase(op);
+  switch (op->kind) {
+    case Op::Kind::kPoll:
+      OnPollComplete(op, cqe.res);
+      break;
+    case Op::Kind::kCancel:
+      break;  // result of POLL_REMOVE itself is uninteresting
+    case Op::Kind::kChainRead:
+      OnChainRead(op->chain, cqe.res);
+      break;
+    case Op::Kind::kChainSend:
+      OnChainSend(op->chain, cqe.res);
+      break;
+  }
+  delete op;
+}
+
+void UringEventLoop::Arm(int fd, FdState& state) {
+  if (state.armed != nullptr) return;
+  uint16_t events = 0;
+  if (state.want_read) events |= POLLIN;
+  if (state.want_write) events |= POLLOUT;
+  if (events == 0) return;  // endpoint always keeps reads armed
+  Op* op = new Op{Op::Kind::kPoll, fd, nullptr};
+  io_uring_sqe* sqe = GetSqe();
+  sqe->opcode = IORING_OP_POLL_ADD;
+  sqe->fd = fd;
+  sqe->poll_events = events;
+  sqe->user_data = reinterpret_cast<uintptr_t>(op);
+  state.armed = op;
+  live_ops_.insert(op);
+}
+
+void UringEventLoop::SubmitPollRemove(Op* target) {
+  Op* op = new Op{Op::Kind::kCancel, target->fd, nullptr};
+  io_uring_sqe* sqe = GetSqe();
+  sqe->opcode = IORING_OP_POLL_REMOVE;
+  sqe->addr = reinterpret_cast<uintptr_t>(target);
+  sqe->user_data = reinterpret_cast<uintptr_t>(op);
+  live_ops_.insert(op);
+}
+
+void UringEventLoop::OnPollComplete(Op* op, int res) {
+  auto it = fds_.find(op->fd);
+  if (it == fds_.end() || it->second.armed != op) return;  // stale poll
+  it->second.armed = nullptr;
+  if (res == -ECANCELED) {  // kernel-initiated cancel; just re-arm
+    Arm(op->fd, it->second);
+    return;
+  }
+  uint32_t mask = 0;
+  if (res < 0) {
+    mask = kError;
+  } else {
+    if ((res & POLLIN) != 0) mask |= kReadable;
+    if ((res & POLLOUT) != 0) mask |= kWritable;
+    if ((res & (POLLERR | POLLHUP)) != 0) mask |= kError;
+  }
+  if (mask == 0) {
+    Arm(op->fd, it->second);
+    return;
+  }
+  // Copy: the callback may Remove(fd) or mutate fds_.
+  FdCallback cb = it->second.callback;
+  cb(mask);
+  auto it2 = fds_.find(op->fd);
+  if (it2 != fds_.end() && it2->second.armed == nullptr) {
+    Arm(op->fd, it2->second);  // single-shot: re-arm unless Modify already did
+  }
+}
+
+bool UringEventLoop::SubmitFileChain(int sock, int file_fd, uint64_t offset,
+                                     uint64_t length, ChainCallback done) {
+  if (!chain_ok_ || !running_.load(std::memory_order_relaxed)) return false;
+  Chain* chain = new Chain;
+  chain->sock = sock;
+  chain->file_fd = file_fd;
+  chain->offset = offset;
+  chain->length = length;
+  chain->done = std::move(done);
+  live_chains_.insert(chain);
+  if (length == 0) {
+    FinishChain(chain, Status::Ok());
+    return true;
+  }
+  if (!free_bufs_.empty()) {
+    chain->buf_index = free_bufs_.back();
+    free_bufs_.pop_back();
+    StartChainRound(chain);
+  } else {
+    waiting_chains_.push_back(chain);  // FIFO for a staging buffer
+  }
+  return true;
+}
+
+void UringEventLoop::StartChainRound(Chain* chain) {
+  const uint64_t remaining = chain->length - chain->done_bytes;
+  const uint32_t n = static_cast<uint32_t>(
+      std::min<uint64_t>(remaining, options_.chain_buffer_bytes));
+  chain->round_len = n;
+  chain->round_sent = 0;
+  uint8_t* buf = chain_arena_.data() +
+                 static_cast<size_t>(chain->buf_index) *
+                     options_.chain_buffer_bytes;
+
+  // A hard link must land in one submission batch; make sure acquiring
+  // the second SQE cannot flush the first alone.
+  unsigned head = LoadAcquire(ring_.sq_head);
+  if (ring_.sq_entries - (*ring_.sq_tail - head) < 2) FlushSubmissions();
+
+  Op* read_op = new Op{Op::Kind::kChainRead, chain->file_fd, chain};
+  io_uring_sqe* read_sqe = GetSqe();
+  read_sqe->opcode = IORING_OP_READ_FIXED;
+  read_sqe->fd = chain->file_fd;
+  read_sqe->addr = reinterpret_cast<uintptr_t>(buf);
+  read_sqe->len = n;
+  read_sqe->off = chain->offset + chain->done_bytes;
+  read_sqe->buf_index = static_cast<uint16_t>(chain->buf_index);
+  read_sqe->flags = IOSQE_IO_LINK;
+  read_sqe->user_data = reinterpret_cast<uintptr_t>(read_op);
+  live_ops_.insert(read_op);
+
+  // Linked send: starts in-kernel as soon as the read fully completes; a
+  // failed or short read severs the link and the send reaps -ECANCELED.
+  Op* send_op = new Op{Op::Kind::kChainSend, chain->sock, chain};
+  io_uring_sqe* send_sqe = GetSqe();
+  send_sqe->opcode = IORING_OP_SEND;
+  send_sqe->fd = chain->sock;
+  send_sqe->addr = reinterpret_cast<uintptr_t>(buf);
+  send_sqe->len = n;
+  send_sqe->msg_flags = MSG_NOSIGNAL;
+  send_sqe->user_data = reinterpret_cast<uintptr_t>(send_op);
+  live_ops_.insert(send_op);
+}
+
+void UringEventLoop::SubmitChainSend(Chain* chain, uint32_t buf_offset,
+                                     uint32_t len) {
+  uint8_t* buf = chain_arena_.data() +
+                 static_cast<size_t>(chain->buf_index) *
+                     options_.chain_buffer_bytes;
+  Op* send_op = new Op{Op::Kind::kChainSend, chain->sock, chain};
+  io_uring_sqe* sqe = GetSqe();
+  sqe->opcode = IORING_OP_SEND;
+  sqe->fd = chain->sock;
+  sqe->addr = reinterpret_cast<uintptr_t>(buf + buf_offset);
+  sqe->len = len;
+  sqe->msg_flags = MSG_NOSIGNAL;
+  sqe->user_data = reinterpret_cast<uintptr_t>(send_op);
+  live_ops_.insert(send_op);
+}
+
+void UringEventLoop::OnChainRead(Chain* chain, int res) {
+  if (res < 0) {
+    chain->failed = true;
+    chain->error = IoError(std::string("file chain read: ") +
+                           std::strerror(-res));
+  } else if (static_cast<uint32_t>(res) != chain->round_len) {
+    // Regular-file short read == truncation; the linked send was severed.
+    chain->failed = true;
+    chain->error = IoError("file chain read truncated");
+  }
+  // Resolution happens at the linked send's CQE, which always follows.
+}
+
+void UringEventLoop::OnChainSend(Chain* chain, int res) {
+  if (res < 0) {
+    if (res == -ECANCELED && chain->failed) {
+      FinishChain(chain, chain->error);
+    } else {
+      FinishChain(chain, IoError(std::string("file chain send: ") +
+                                 std::strerror(-res)));
+    }
+    return;
+  }
+  chain->round_sent += static_cast<uint32_t>(res);
+  chain->done_bytes += static_cast<uint64_t>(res);
+  if (chain->round_sent < chain->round_len) {
+    // Partial socket send: resume from the staged bytes, no re-read.
+    SubmitChainSend(chain, chain->round_sent,
+                    chain->round_len - chain->round_sent);
+    return;
+  }
+  if (chain->done_bytes == chain->length) {
+    FinishChain(chain, Status::Ok());
+    return;
+  }
+  StartChainRound(chain);  // next buffer-sized slice, same staging buffer
+}
+
+void UringEventLoop::FinishChain(Chain* chain, Status st) {
+  if (chain->buf_index >= 0) {
+    const int freed = chain->buf_index;
+    chain->buf_index = -1;
+    if (running_.load(std::memory_order_relaxed) &&
+        !waiting_chains_.empty()) {
+      Chain* next = waiting_chains_.front();
+      waiting_chains_.pop_front();
+      next->buf_index = freed;
+      StartChainRound(next);
+    } else {
+      free_bufs_.push_back(freed);
+    }
+  }
+  live_chains_.erase(chain);
+  ChainCallback done = std::move(chain->done);
+  const uint64_t sent = chain->done_bytes;
+  delete chain;
+  if (done) done(st, sent);
+}
+
+void UringEventLoop::Loop() {
+  for (auto& [fd, state] : fds_) Arm(fd, state);  // pre-Start registrations
+  DrainPending();
+  while (running_.load(std::memory_order_relaxed)) {
+    if (WaitAndReap() < 0) break;
+    DrainPending();
+  }
+  DrainPending();
+
+  // Reclaim everything whose CQE will never be reaped (closing the ring
+  // fd discards the kernel side). Chains first: their callbacks release
+  // buffer leases / fail connections exactly once.
+  while (!live_chains_.empty()) {
+    Chain* chain = *live_chains_.begin();
+    auto queued = std::find(waiting_chains_.begin(), waiting_chains_.end(),
+                            chain);
+    if (queued != waiting_chains_.end()) waiting_chains_.erase(queued);
+    FinishChain(chain, Unavailable("event loop stopped"));
+  }
+  waiting_chains_.clear();
+  for (Op* op : live_ops_) delete op;
+  live_ops_.clear();
+  fds_.clear();
+}
+
+}  // namespace jbs::net

@@ -1,0 +1,170 @@
+// io_uring engine for the server endpoint (DESIGN.md §15). Built on raw
+// syscalls (io_uring_setup/enter/register + mmap'd SQ/CQ rings) so no
+// liburing dependency is introduced.
+//
+// Two execution modes coexist on one ring:
+//
+//  1. Readiness emulation — single-shot IORING_OP_POLL_ADD per registered
+//     fd, re-armed after each callback. This keeps the endpoint's
+//     gather/flush state machine identical across engines: the uring loop
+//     delivers the same kReadable/kWritable/kError masks epoll does.
+//  2. Completion chains — SubmitFileChain stages a file segment through a
+//     loop-owned registered buffer with IORING_OP_READ_FIXED hard-linked
+//     (IOSQE_IO_LINK) to IORING_OP_SEND, so a cache-miss chunk moves
+//     pread→send without returning to user space between the stages.
+//     User space is only re-entered to start the next round (buffer-sized
+//     slice) or resume a partial socket send.
+//
+// Thread contract matches EpollEventLoop: Add/Modify/Remove and
+// SubmitFileChain run on the loop thread (or before Start); RunInLoop is
+// the only cross-thread entry and wakes the ring via an eventfd poll.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "transport/event_loop.h"
+#include "transport/socket_util.h"
+
+struct io_uring_sqe;
+struct io_uring_cqe;
+
+namespace jbs::net {
+
+class UringEventLoop final : public EventLoop {
+ public:
+  struct Options {
+    unsigned ring_entries = 256;
+    /// Registered staging buffers for file chains. More buffers = more
+    /// concurrent cache-miss segments in flight per loop shard.
+    unsigned chain_buffers = 4;
+    size_t chain_buffer_bytes = 256 * 1024;
+  };
+
+  UringEventLoop() : UringEventLoop(Options{}) {}
+  explicit UringEventLoop(const Options& options);
+  ~UringEventLoop() override;
+
+  Status Start() override;
+  void Stop() override EXCLUDES(pending_mu_);
+  Status Add(int fd, bool want_read, bool want_write,
+             FdCallback callback) override;
+  Status Modify(int fd, bool want_read, bool want_write) override;
+  void Remove(int fd) override;
+  void RunInLoop(std::function<void()> fn) override EXCLUDES(pending_mu_);
+  bool InLoopThread() const override {
+    return std::this_thread::get_id() == loop_thread_id_;
+  }
+  Engine engine() const override { return Engine::kIoUring; }
+
+  bool SupportsFileChain() const override { return chain_ok_; }
+  bool SubmitFileChain(int sock, int file_fd, uint64_t offset,
+                       uint64_t length, ChainCallback done) override;
+
+ private:
+  // Every SQE carries a heap Op as user_data; every CQE hands exactly one
+  // back (poll ops also complete with -ECANCELED when removed), so Ops
+  // are deleted where their CQE is reaped.
+  struct Chain;
+  struct Op {
+    enum class Kind { kPoll, kCancel, kChainRead, kChainSend };
+    Kind kind;
+    int fd = -1;
+    Chain* chain = nullptr;
+  };
+
+  struct FdState {
+    FdCallback callback;
+    bool want_read = false;
+    bool want_write = false;
+    Op* armed = nullptr;  // outstanding POLL_ADD, null when disarmed
+  };
+
+  struct Chain {
+    int sock = -1;
+    int file_fd = -1;
+    uint64_t offset = 0;       // file offset of byte 0 of the chain
+    uint64_t length = 0;       // total bytes to move
+    uint64_t done_bytes = 0;   // fully on the socket
+    int buf_index = -1;        // registered buffer, -1 while queued
+    uint32_t round_len = 0;    // bytes staged this round
+    uint32_t round_sent = 0;
+    bool failed = false;
+    Status error;
+    ChainCallback done;
+  };
+
+  struct Ring {
+    int fd = -1;
+    uint8_t* sq_ptr = nullptr;
+    size_t sq_len = 0;
+    uint8_t* cq_ptr = nullptr;
+    size_t cq_len = 0;  // 0 when IORING_FEAT_SINGLE_MMAP shares sq_ptr
+    io_uring_sqe* sqes = nullptr;
+    size_t sqes_len = 0;
+    unsigned* sq_head = nullptr;
+    unsigned* sq_tail = nullptr;
+    unsigned* sq_array = nullptr;
+    unsigned sq_mask = 0;
+    unsigned sq_entries = 0;
+    unsigned* cq_head = nullptr;
+    unsigned* cq_tail = nullptr;
+    unsigned cq_mask = 0;
+    io_uring_cqe* cqes = nullptr;
+  };
+
+  Status SetupRing();
+  void TeardownRing();
+  io_uring_sqe* GetSqe();     // loop thread; flushes if the SQ is full
+  void FlushSubmissions();    // io_uring_enter(to_submit, 0)
+  int WaitAndReap();          // blocks for ≥1 CQE, dispatches all
+  void Dispatch(const io_uring_cqe& cqe);
+  void Arm(int fd, FdState& state);
+  void SubmitPollRemove(Op* target);
+  void OnPollComplete(Op* op, int res);
+
+  void StartChainRound(Chain* chain);
+  void SubmitChainSend(Chain* chain, uint32_t buf_offset, uint32_t len);
+  void OnChainRead(Chain* chain, int res);
+  void OnChainSend(Chain* chain, int res);
+  void FinishChain(Chain* chain, Status st);
+
+  void Loop();
+  void DrainPending() EXCLUDES(pending_mu_);
+
+  Options options_;
+  Ring ring_;
+  Fd wake_fd_;  // eventfd, registered like any other polled fd
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::thread::id loop_thread_id_;
+  unsigned to_submit_ = 0;  // SQEs appended since the last enter
+
+  std::unordered_map<int, FdState> fds_;
+
+  // File-chain staging: one contiguous registered allocation carved into
+  // chain_buffers slices; free list + FIFO of chains waiting for a slice.
+  bool chain_ok_ = false;
+  std::vector<uint8_t> chain_arena_;
+  std::vector<int> free_bufs_;
+  std::deque<Chain*> waiting_chains_;
+
+  // Every heap Op/Chain is tracked from birth so the loop-exit sweep can
+  // reclaim ones whose CQEs die with the ring fd.
+  std::unordered_set<Op*> live_ops_;
+  std::unordered_set<Chain*> live_chains_;
+
+  Mutex pending_mu_;
+  std::vector<std::function<void()>> pending_ GUARDED_BY(pending_mu_);
+};
+
+}  // namespace jbs::net

@@ -1,7 +1,7 @@
 // TCP/IP backend (§IV-B): blocking framed client connections; an
-// event-driven (epoll) server endpoint where one network thread detects
-// readability across all connections, decodes request frames, and streams
-// queued response buffers out asynchronously.
+// event-driven server endpoint where network threads detect readability
+// across connections, decode request frames, and stream queued response
+// buffers out asynchronously.
 //
 // The send path is zero-copy (DESIGN.md §13): outbound frames keep their
 // payload in place — a small owned head plus a borrowed `ext` view and/or
@@ -9,6 +9,15 @@
 // sendfile(2), resuming partial writes across iovec boundaries. A frame's
 // buffer lease drops when its last byte is accepted by the kernel or the
 // connection dies with the frame still queued.
+//
+// Execution model (DESIGN.md §15): the endpoint runs `num_loops` shards,
+// each one event loop (epoll or io_uring) owning a disjoint set of
+// connections. A connection is pinned to the shard that registered it for
+// its whole lifetime — its decoder, outbound queue, and counters are only
+// ever touched from that shard's loop thread, so the per-byte path takes
+// no locks; shard counters are relaxed atomics aggregated by stats(). On
+// the io_uring engine, a frame's file segment is moved by a kernel-linked
+// READ_FIXED→SEND chain instead of sendfile (see io_uring_loop.h).
 #include "transport/tcp_transport.h"
 
 #include <sys/sendfile.h>
@@ -22,11 +31,15 @@
 #include <cstring>
 #include <deque>
 #include <future>
+#include <memory>
+#include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/logging.h"
 #include "common/mutex.h"
+#include "common/percore.h"
 #include "common/thread_annotations.h"
 #include "transport/event_loop.h"
 #include "transport/socket_util.h"
@@ -37,6 +50,11 @@ namespace {
 
 // Iovec gather bound per sendmsg(2) on the server flush path.
 constexpr int kFlushIovecs = 64;
+
+// Low bits of a ConnId carry the owning shard so SendAsync routes without
+// a lookup; 6 bits bounds num_loops at 64 (far above the auto cap).
+constexpr int kShardBits = 6;
+constexpr size_t kMaxShards = size_t{1} << kShardBits;
 
 class TcpConnection final : public Connection {
  public:
@@ -130,17 +148,38 @@ class TcpServerEndpoint final : public ServerEndpoint {
 
   Status Start(Handlers handlers) override {
     handlers_ = std::move(handlers);
+    size_t n = options_.num_loops > 0
+                   ? static_cast<size_t>(options_.num_loops)
+                   : std::min<size_t>(
+                         8, std::max(1u, std::thread::hardware_concurrency()));
+    n = std::min(n, kMaxShards);
+    shards_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      auto shard = std::make_unique<Shard>();
+      Engine selected = Engine::kEpoll;
+      shard->loop = MakeEventLoop(options_.engine, &selected);
+      engine_ = selected;  // identical across shards
+      shards_.push_back(std::move(shard));
+    }
     auto listener = ListenTcp(/*port=*/0);
     JBS_RETURN_IF_ERROR(listener.status());
     listen_fd_ = std::move(listener->first);
     port_ = listener->second;
     JBS_RETURN_IF_ERROR(SetNonBlocking(listen_fd_.get()));
-    JBS_RETURN_IF_ERROR(loop_.Start());
-    Status add_status;
-    // Registration must happen on the loop thread.
+    for (auto& shard : shards_) {
+      Status st = shard->loop->Start();
+      if (!st.ok()) {
+        for (auto& started : shards_) started->loop->Stop();
+        return st;
+      }
+    }
+    // The listener lives on shard 0; accepted connections are dealt
+    // round-robin across all shards. Registration must happen on the
+    // loop thread.
+    EventLoop& loop0 = *shards_[0]->loop;
     std::promise<Status> done;
-    loop_.RunInLoop([this, &done] {
-      done.set_value(loop_.Add(listen_fd_.get(), /*read=*/true,
+    loop0.RunInLoop([this, &loop0, &done] {
+      done.set_value(loop0.Add(listen_fd_.get(), /*read=*/true,
                                /*write=*/false,
                                [this](uint32_t) { AcceptReady(); }));
     });
@@ -151,10 +190,15 @@ class TcpServerEndpoint final : public ServerEndpoint {
 
   bool supports_file_segments() const override { return true; }
 
+  std::string engine_name() const override { return EngineName(engine_); }
+
   Status SendAsync(ConnId conn, Frame frame) override {
     if (stopped_.load(std::memory_order_acquire)) {
       return Unavailable("endpoint stopped");
     }
+    const size_t index = ShardIndexOf(conn);
+    if (index >= shards_.size()) return Status::Ok();  // unknown conn: drop
+    Shard& shard = *shards_[index];
     // The frame is NOT flattened into a wire buffer: its owned payload is
     // moved, its ext/file travel as views, and the lease rides along until
     // the flush path finishes with the bytes.
@@ -164,39 +208,47 @@ class TcpServerEndpoint final : public ServerEndpoint {
     out.ext = frame.ext;
     out.lease = std::move(frame.lease);
     out.file = frame.file;
-    auto enqueue = [this, conn, out = std::move(out)]() mutable {
-      auto it = conns_.find(conn);
-      if (it == conns_.end()) return;  // conn gone; lease drops here
+    auto enqueue = [this, &shard, conn, out = std::move(out)]() mutable {
+      auto it = shard.conns.find(conn);
+      if (it == shard.conns.end()) return;  // conn gone; lease drops here
       it->second.out_queue.push_back(std::move(out));
-      {
-        MutexLock lock(stats_mu_);
-        ++stats_.frames_sent;
-      }
+      shard.frames_sent.Add(1);
       queued_frames_.fetch_add(1, std::memory_order_relaxed);
-      FlushWrites(conn);
+      FlushWrites(shard, conn);
     };
     // From the loop thread (e.g. an on_frame handler replying inline) run
     // synchronously: if the peer half-closed right after its request, the
     // EOF must find the reply already queued, not parked behind it in the
     // pending-task list.
-    if (loop_.InLoopThread()) {
+    if (shard.loop->InLoopThread()) {
       enqueue();
     } else {
-      loop_.RunInLoop(std::move(enqueue));
+      shard.loop->RunInLoop(std::move(enqueue));
     }
     return Status::Ok();
   }
 
   void Stop() override {
     if (stopped_.exchange(true)) return;
-    loop_.Stop();
-    conns_.clear();  // drops every queued OutFrame and its lease
+    // Loop Stop resolves in-flight io_uring chains (their done callbacks
+    // run on the exiting loop thread), so draining conns empty out before
+    // the maps are cleared.
+    for (auto& shard : shards_) shard->loop->Stop();
+    for (auto& shard : shards_) {
+      shard->conns.clear();  // drops every queued OutFrame and its lease
+      shard->draining.clear();
+    }
     listen_fd_.Reset();
   }
 
-  Stats stats() const override EXCLUDES(stats_mu_) {
-    MutexLock lock(stats_mu_);
-    Stats out = stats_;
+  Stats stats() const override {
+    Stats out;
+    for (const auto& shard : shards_) {
+      out.connections_accepted += shard->connections_accepted.Load();
+      out.frames_received += shard->frames_received.Load();
+      out.frames_sent += shard->frames_sent.Load();
+      out.bytes_sent += shard->bytes_sent.Load();
+    }
     out.send_queue_depth = queued_frames_.load(std::memory_order_relaxed);
     return out;
   }
@@ -216,6 +268,9 @@ class TcpServerEndpoint final : public ServerEndpoint {
     std::vector<uint8_t> spill;
     size_t mem_sent = 0;
     uint64_t file_sent = 0;
+    /// A kernel-linked read→send chain owns the socket until it resolves;
+    /// the flush path must not write around it.
+    bool chain_inflight = false;
 
     size_t mem_size() const {
       return kFrameHeaderSize + payload.size() + ext.size() + spill.size();
@@ -236,6 +291,30 @@ class TcpServerEndpoint final : public ServerEndpoint {
         : fd(std::move(fd_in)), decoder(max_frame) {}
   };
 
+  /// One thread-per-core slice of the endpoint: a loop plus every piece
+  /// of state its pinned connections touch. `conns`/`draining` are loop
+  /// thread only; counters are per-core and aggregated at scrape.
+  struct Shard {
+    std::unique_ptr<EventLoop> loop;
+    std::unordered_map<ConnId, ConnState> conns;
+    /// Connections closed while an io_uring chain still references their
+    /// fd: destroying the Fd would let the kernel finish the chain into a
+    /// recycled descriptor. Parked here until the chain resolves.
+    std::unordered_map<ConnId, ConnState> draining;
+    PerCoreCounter connections_accepted;
+    PerCoreCounter frames_received;
+    PerCoreCounter frames_sent;
+    PerCoreCounter bytes_sent;
+  };
+
+  static size_t ShardIndexOf(ConnId id) {
+    return static_cast<size_t>(id & (kMaxShards - 1));
+  }
+  ConnId MakeConnId(size_t shard_index) {
+    return (next_conn_seq_++ << kShardBits) |
+           static_cast<ConnId>(shard_index);
+  }
+
   void AcceptReady() {
     for (;;) {
       const int raw = ::accept4(listen_fd_.get(), nullptr, nullptr,
@@ -246,41 +325,58 @@ class TcpServerEndpoint final : public ServerEndpoint {
         JBS_WARN << "accept: " << std::strerror(errno);
         return;
       }
-      const ConnId id = next_conn_id_++;
       (void)SetNoDelay(raw);
-      auto [it, inserted] =
-          conns_.emplace(id, ConnState(Fd(raw), options_.max_frame_bytes));
-      Status st = loop_.Add(raw, /*read=*/true, /*write=*/false,
-                            [this, id](uint32_t events) {
-                              OnConnEvent(id, events);
-                            });
-      if (!st.ok()) {
-        conns_.erase(it);
-        continue;
+      const size_t target = next_shard_;
+      next_shard_ = (next_shard_ + 1) % shards_.size();
+      const ConnId id = MakeConnId(target);
+      Shard& shard = *shards_[target];
+      if (target == 0) {
+        RegisterConn(shard, id, Fd(raw));
+      } else {
+        // shared_ptr, not a move capture: if the target loop stops before
+        // draining its task queue, the dropped closure still closes raw.
+        auto fd = std::make_shared<Fd>(Fd(raw));
+        shard.loop->RunInLoop([this, &shard, id, fd] {
+          RegisterConn(shard, id, std::move(*fd));
+        });
       }
-      {
-        MutexLock lock(stats_mu_);
-        ++stats_.connections_accepted;
-      }
-      if (handlers_.on_connect) handlers_.on_connect(id);
     }
   }
 
-  void OnConnEvent(ConnId id, uint32_t events) {
-    auto it = conns_.find(id);
-    if (it == conns_.end()) return;
-    if ((events & EventLoop::kError) != 0) {
-      CloseConn(id);
+  /// Runs on `shard`'s loop thread: pins the connection there for life.
+  void RegisterConn(Shard& shard, ConnId id, Fd fd) {
+    if (!fd.valid()) return;
+    auto [it, inserted] =
+        shard.conns.emplace(id, ConnState(std::move(fd),
+                                          options_.max_frame_bytes));
+    Status st = shard.loop->Add(it->second.fd.get(), /*read=*/true,
+                                /*write=*/false,
+                                [this, &shard, id](uint32_t events) {
+                                  OnConnEvent(shard, id, events);
+                                });
+    if (!st.ok()) {
+      shard.conns.erase(it);
       return;
     }
-    if ((events & EventLoop::kReadable) != 0 && !ReadReady(id)) return;
-    if ((events & EventLoop::kWritable) != 0) FlushWrites(id);
+    shard.connections_accepted.Add(1);
+    if (handlers_.on_connect) handlers_.on_connect(id);
+  }
+
+  void OnConnEvent(Shard& shard, ConnId id, uint32_t events) {
+    auto it = shard.conns.find(id);
+    if (it == shard.conns.end()) return;
+    if ((events & EventLoop::kError) != 0) {
+      CloseConn(shard, id);
+      return;
+    }
+    if ((events & EventLoop::kReadable) != 0 && !ReadReady(shard, id)) return;
+    if ((events & EventLoop::kWritable) != 0) FlushWrites(shard, id);
   }
 
   /// Returns false if the connection was closed.
-  bool ReadReady(ConnId id) {
-    auto it = conns_.find(id);
-    if (it == conns_.end()) return false;
+  bool ReadReady(Shard& shard, ConnId id) {
+    auto it = shard.conns.find(id);
+    if (it == shard.conns.end()) return false;
     ConnState& state = it->second;
     uint8_t chunk[64 * 1024];
     for (;;) {
@@ -288,7 +384,7 @@ class TcpServerEndpoint final : public ServerEndpoint {
       if (n < 0) {
         if (errno == EAGAIN || errno == EWOULDBLOCK) break;
         if (errno == EINTR) continue;
-        CloseConn(id);
+        CloseConn(shard, id);
         return false;
       }
       if (n == 0) {
@@ -296,29 +392,31 @@ class TcpServerEndpoint final : public ServerEndpoint {
         // still reading: drain the queued replies before closing rather
         // than dropping them on the floor.
         if (state.out_queue.empty()) {
-          CloseConn(id);
+          CloseConn(shard, id);
           return false;
         }
         state.peer_half_closed = true;
-        loop_.Modify(state.fd.get(), /*read=*/false, /*write=*/true);
-        state.want_write = true;
+        // With a chain in flight the completion resumes the flush; poking
+        // EPOLLOUT meanwhile would spin on a writable socket we must not
+        // write to.
+        const bool chained = state.out_queue.front().chain_inflight;
+        state.want_write = !chained;
+        shard.loop->Modify(state.fd.get(), /*read=*/false,
+                           /*write=*/!chained);
         return true;
       }
       if (!state.decoder.Feed({chunk, static_cast<size_t>(n)}).ok()) {
-        CloseConn(id);
+        CloseConn(shard, id);
         return false;
       }
       while (auto frame = state.decoder.Next()) {
-        {
-          MutexLock lock(stats_mu_);
-          ++stats_.frames_received;
-        }
+        shard.frames_received.Add(1);
         if (handlers_.on_frame) handlers_.on_frame(id, std::move(*frame));
         // The handler may have closed this connection.
-        if (conns_.find(id) == conns_.end()) return false;
+        if (shard.conns.find(id) == shard.conns.end()) return false;
       }
       if (state.decoder.poisoned()) {
-        CloseConn(id);
+        CloseConn(shard, id);
         return false;
       }
     }
@@ -350,10 +448,13 @@ class TcpServerEndpoint final : public ServerEndpoint {
     return gathered;
   }
 
-  void FlushWrites(ConnId id) {
-    auto it = conns_.find(id);
-    if (it == conns_.end()) return;
+  void FlushWrites(Shard& shard, ConnId id) {
+    auto it = shard.conns.find(id);
+    if (it == shard.conns.end()) return;
     ConnState& state = it->second;
+    if (!state.out_queue.empty() && state.out_queue.front().chain_inflight) {
+      return;  // the chain's completion callback resumes this flush
+    }
     bool blocked = false;
     while (!state.out_queue.empty() && !blocked) {
       // Phase 1: gather in-memory slices across queued frames into one
@@ -372,18 +473,18 @@ class TcpServerEndpoint final : public ServerEndpoint {
         const ssize_t n =
             ::sendmsg(state.fd.get(), &msg, MSG_NOSIGNAL | MSG_DONTWAIT);
         if (n < 0) {
+          // EINTR: nothing was transferred (sendmsg is all-or-error per
+          // call); loop and regather — mem_sent is untouched, so no byte
+          // is double-counted and the connection must not be failed.
           if (errno == EINTR) continue;
           if (errno == EAGAIN || errno == EWOULDBLOCK) {
             blocked = true;
           } else {
-            CloseConn(id);
+            CloseConn(shard, id);
             return;
           }
         } else {
-          {
-            MutexLock lock(stats_mu_);
-            stats_.bytes_sent += static_cast<uint64_t>(n);
-          }
+          shard.bytes_sent.Add(static_cast<uint64_t>(n));
           // Advance mem_sent across the queue and retire finished frames.
           size_t written = static_cast<size_t>(n);
           while (written > 0 && !state.out_queue.empty()) {
@@ -401,65 +502,121 @@ class TcpServerEndpoint final : public ServerEndpoint {
           }
         }
       }
-      // Phase 2: front frame's file segment via sendfile(2).
+      // Phase 2: front frame's file segment — an io_uring read→send chain
+      // when the engine has one, else sendfile(2).
       if (!blocked && !state.out_queue.empty()) {
         OutFrame& front = state.out_queue.front();
         if (front.mem_sent == front.mem_size() &&
             front.file_remaining() > 0) {
-          if (!SendFileStep(id, state, front, blocked)) return;
+          if (shard.loop->SupportsFileChain() &&
+              StartFileChain(shard, id, state, front)) {
+            return;  // resumed by the chain completion
+          }
+          if (!SendFileStep(shard, id, state, front, blocked)) return;
         } else if (cnt == 0) {
           break;  // nothing sendable (shouldn't happen)
         }
       }
     }
-    it = conns_.find(id);
-    if (it == conns_.end()) return;  // closed during the flush
+    it = shard.conns.find(id);
+    if (it == shard.conns.end()) return;  // closed during the flush
     ConnState& after = it->second;
     if (after.out_queue.empty() && after.peer_half_closed) {
       // Replies drained to a half-closed peer: now the connection is done.
-      CloseConn(id);
+      CloseConn(shard, id);
       return;
     }
     const bool need_write = !after.out_queue.empty();
     if (need_write != after.want_write) {
       after.want_write = need_write;
-      loop_.Modify(after.fd.get(), /*read=*/!after.peer_half_closed,
-                   /*write=*/need_write);
+      shard.loop->Modify(after.fd.get(), /*read=*/!after.peer_half_closed,
+                         /*write=*/need_write);
     }
+  }
+
+  /// Hands the front frame's file remainder to the loop's kernel-linked
+  /// read→send chain. Returns false if the loop refused (caller falls
+  /// back to sendfile). While the chain is in flight the socket belongs
+  /// to it: write interest is dropped and FlushWrites bails early.
+  bool StartFileChain(Shard& shard, ConnId id, ConnState& state,
+                      OutFrame& front) {
+    if (state.want_write) {
+      state.want_write = false;
+      shard.loop->Modify(state.fd.get(), /*read=*/!state.peer_half_closed,
+                         /*write=*/false);
+    }
+    front.chain_inflight = true;
+    const bool accepted = shard.loop->SubmitFileChain(
+        state.fd.get(), front.file.fd, front.file.offset + front.file_sent,
+        front.file_remaining(),
+        [this, &shard, id](Status st, uint64_t sent) {
+          OnChainDone(shard, id, st, sent);
+        });
+    if (!accepted) front.chain_inflight = false;
+    return accepted;
+  }
+
+  /// Chain completion, on the shard's loop thread (possibly during loop
+  /// shutdown). Exactly one invocation per accepted chain.
+  void OnChainDone(Shard& shard, ConnId id, const Status& st,
+                   uint64_t sent) {
+    auto parked = shard.draining.find(id);
+    if (parked != shard.draining.end()) {
+      // Connection died mid-chain; its fd and leases were parked to keep
+      // the kernel from writing into a recycled descriptor. Release now.
+      shard.draining.erase(parked);
+      return;
+    }
+    auto it = shard.conns.find(id);
+    if (it == shard.conns.end()) return;
+    ConnState& state = it->second;
+    if (state.out_queue.empty() || !state.out_queue.front().chain_inflight) {
+      return;  // defensive; chains resolve before their frame can retire
+    }
+    OutFrame& front = state.out_queue.front();
+    front.chain_inflight = false;
+    shard.bytes_sent.Add(sent);
+    front.file_sent += sent;
+    if (!st.ok()) {
+      CloseConn(shard, id);
+      return;
+    }
+    state.out_queue.pop_front();  // chain sent the full remainder
+    queued_frames_.fetch_sub(1, std::memory_order_relaxed);
+    FlushWrites(shard, id);
   }
 
   /// One sendfile(2) attempt for the front frame. Returns false if the
   /// connection was closed; sets `blocked` on EAGAIN. On fds sendfile
   /// rejects, degrades once to a pread into `spill` (counted as copied
   /// bytes) and lets phase 1 send it.
-  bool SendFileStep(ConnId id, ConnState& state, OutFrame& front,
-                    bool& blocked) {
+  bool SendFileStep(Shard& shard, ConnId id, ConnState& state,
+                    OutFrame& front, bool& blocked) {
     for (;;) {
       off_t off = static_cast<off_t>(front.file.offset + front.file_sent);
       const ssize_t n =
           ::sendfile(state.fd.get(), front.file.fd, &off,
                      static_cast<size_t>(front.file_remaining()));
       if (n < 0) {
+        // EINTR before any byte moved: retry; `off` is recomputed from
+        // file_sent, so an interrupted attempt cannot double-advance.
         if (errno == EINTR) continue;
         if (errno == EAGAIN || errno == EWOULDBLOCK) {
           blocked = true;
           return true;
         }
         if (errno == EINVAL || errno == ENOSYS || errno == EOVERFLOW) {
-          return SpillFile(id, front);
+          return SpillFile(shard, id, front);
         }
-        CloseConn(id);
+        CloseConn(shard, id);
         return false;
       }
       if (n == 0) {
         // File truncated under us; the frame can never complete.
-        CloseConn(id);
+        CloseConn(shard, id);
         return false;
       }
-      {
-        MutexLock lock(stats_mu_);
-        stats_.bytes_sent += static_cast<uint64_t>(n);
-      }
+      shard.bytes_sent.Add(static_cast<uint64_t>(n));
       front.file_sent += static_cast<uint64_t>(n);
       if (front.file_remaining() == 0) {
         state.out_queue.pop_front();
@@ -472,7 +629,7 @@ class TcpServerEndpoint final : public ServerEndpoint {
   /// Fallback when sendfile is not applicable: pread the remaining file
   /// bytes into the frame's spill buffer (so phase 1 streams them) and
   /// clear the file segment.
-  bool SpillFile(ConnId id, OutFrame& front) {
+  bool SpillFile(Shard& shard, ConnId id, OutFrame& front) {
     const size_t start = front.spill.size();
     const size_t want = static_cast<size_t>(front.file_remaining());
     front.spill.resize(start + want);
@@ -483,7 +640,7 @@ class TcpServerEndpoint final : public ServerEndpoint {
           static_cast<off_t>(front.file.offset + front.file_sent + done));
       if (n < 0 && errno == EINTR) continue;
       if (n <= 0) {
-        CloseConn(id);
+        CloseConn(shard, id);
         return false;
       }
       done += static_cast<size_t>(n);
@@ -494,29 +651,37 @@ class TcpServerEndpoint final : public ServerEndpoint {
     return true;
   }
 
-  void CloseConn(ConnId id) {
-    auto it = conns_.find(id);
-    if (it == conns_.end()) return;
+  void CloseConn(Shard& shard, ConnId id) {
+    auto it = shard.conns.find(id);
+    if (it == shard.conns.end()) return;
     queued_frames_.fetch_sub(it->second.out_queue.size(),
                              std::memory_order_relaxed);
-    loop_.Remove(it->second.fd.get());
-    conns_.erase(it);  // queued OutFrames die here, releasing their leases
+    shard.loop->Remove(it->second.fd.get());
+    if (!it->second.out_queue.empty() &&
+        it->second.out_queue.front().chain_inflight) {
+      // An io_uring chain still references this fd in the kernel. Park
+      // the state (fd + leases) until OnChainDone releases it; closing
+      // now would hand the descriptor number to the next accept and let
+      // the chain write file bytes into a stranger's socket.
+      shard.draining.emplace(id, std::move(it->second));
+    }
+    shard.conns.erase(it);  // queued OutFrames die here, releasing leases
     if (handlers_.on_disconnect) handlers_.on_disconnect(id);
   }
 
   const TcpTransportOptions options_;
   Handlers handlers_;
-  EventLoop loop_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  Engine engine_ = Engine::kEpoll;
   Fd listen_fd_;
   uint16_t port_ = 0;
-  ConnId next_conn_id_ = 1;
-  std::unordered_map<ConnId, ConnState> conns_;  // loop thread only
+  // Accept runs only on shard 0's loop thread.
+  ConnId next_conn_seq_ = 1;
+  size_t next_shard_ = 0;
   // Frames enqueued but not fully written; atomic so stats() can read it
-  // off the loop thread.
+  // off the loop threads.
   std::atomic<uint64_t> queued_frames_{0};
   std::atomic<bool> stopped_{false};
-  mutable Mutex stats_mu_;
-  Stats stats_ GUARDED_BY(stats_mu_);
 };
 
 class TcpTransport final : public Transport {

@@ -21,6 +21,7 @@
 #include "common/framing.h"
 #include "common/status.h"
 #include "transport/deadline.h"
+#include "transport/engine.h"
 
 namespace jbs::net {
 
@@ -93,9 +94,14 @@ class ServerEndpoint {
   }
 
   /// True when this endpoint can transmit Frame::file segments directly
-  /// (sendfile). When false, callers should serve from buffers instead;
-  /// an endpoint receiving a file frame anyway must Flatten() it.
+  /// (sendfile or an io_uring read→send chain). When false, callers should
+  /// serve from buffers instead; an endpoint receiving a file frame anyway
+  /// must Flatten() it.
   virtual bool supports_file_segments() const { return false; }
+
+  /// Engine actually serving (after any io_uring→epoll fallback); empty
+  /// for endpoints without an event-loop engine (soft_rdma, fakes).
+  virtual std::string engine_name() const { return ""; }
 
   /// Stops the event thread and closes all connections.
   virtual void Stop() = 0;
@@ -133,6 +139,15 @@ struct TcpTransportOptions {
   /// 4-byte length prefix is attacker-controlled; a frame announcing more
   /// than this fails the connection instead of attempting the allocation.
   size_t max_frame_bytes = 64 * 1024 * 1024;
+  /// Server event-loop engine (DESIGN.md §15). io_uring falls back to
+  /// epoll, with a logged reason, when the kernel or seccomp refuses it.
+  Engine engine = Engine::kEpoll;
+  /// Server loop shards (thread-per-core data plane). Each accepted
+  /// connection is pinned to one shard for its lifetime; shard state is
+  /// thread-local to its loop, so no cross-core locks sit on the serve
+  /// path. 0 = one shard per available core (capped at 8); default 1
+  /// preserves the single-loop §IV-B model.
+  int num_loops = 1;
 };
 
 /// Creates the TCP/IP transport (§IV-B).

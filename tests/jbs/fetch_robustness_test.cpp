@@ -287,7 +287,7 @@ TEST_P(FetchRobustnessTest, DrainedNodeQueuesAreErased) {
 
 INSTANTIATE_TEST_SUITE_P(Transports, FetchRobustnessTest,
                          ::testing::Values("tcp", "rdma"),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& p) { return p.param; });
 
 }  // namespace
 }  // namespace jbs

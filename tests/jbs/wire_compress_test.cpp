@@ -16,6 +16,7 @@
 #include "jbs/protocol.h"
 #include "mapred/ifile.h"
 #include "mapred/mof.h"
+#include "transport/io_uring_loop.h"
 #include "transport/transport.h"
 
 namespace jbs::shuffle {
@@ -23,14 +24,23 @@ namespace {
 
 namespace fs = std::filesystem;
 
-class WireCompressTest : public ::testing::Test {
+// The compression protocol must behave identically under both server
+// engines — the codec sits above the transport, so any divergence is an
+// engine bug, not a codec one.
+std::vector<net::Engine> ServedEngines() {
+  std::vector<net::Engine> engines{net::Engine::kEpoll};
+  if (net::UringAvailable().ok()) engines.push_back(net::Engine::kIoUring);
+  return engines;
+}
+
+class WireCompressTest : public ::testing::TestWithParam<net::Engine> {
  protected:
   void SetUp() override {
     dir_ = fs::temp_directory_path() /
            ("wire_compress_" + std::to_string(::getpid()) + "_" +
             ::testing::UnitTest::GetInstance()->current_test_info()->name());
     fs::create_directories(dir_);
-    transport_ = net::MakeTcpTransport();
+    transport_ = net::MakeTcpTransport({.engine = GetParam(), .num_loops = 2});
   }
   void TearDown() override {
     suppliers_.clear();
@@ -162,7 +172,7 @@ class WireCompressTest : public ::testing::Test {
   std::vector<std::unique_ptr<MofSupplier>> suppliers_;
 };
 
-TEST_F(WireCompressTest, AdvertisedClientGetsCompressedByteIdenticalChunks) {
+TEST_P(WireCompressTest, AdvertisedClientGetsCompressedByteIdenticalChunks) {
   MofSupplier* supplier = MakeSupplier();
   auto handle = MakeCompressibleMof(0, 2, 60);
   ASSERT_TRUE(supplier->PublishMof(handle).ok());
@@ -184,7 +194,7 @@ TEST_F(WireCompressTest, AdvertisedClientGetsCompressedByteIdenticalChunks) {
   supplier->Stop();
 }
 
-TEST_F(WireCompressTest, HellolessClientStillGetsRawChunks) {
+TEST_P(WireCompressTest, HellolessClientStillGetsRawChunks) {
   // Backward compatibility: an old (v1) client never sends a hello, so the
   // supplier must serve it exactly as before — raw chunks, valid CRCs.
   MofSupplier* supplier = MakeSupplier();
@@ -201,7 +211,7 @@ TEST_F(WireCompressTest, HellolessClientStillGetsRawChunks) {
   supplier->Stop();
 }
 
-TEST_F(WireCompressTest, KnobOffIgnoresAdvertisement) {
+TEST_P(WireCompressTest, KnobOffIgnoresAdvertisement) {
   MofSupplier* supplier = MakeSupplier(/*wire_compress=*/false);
   auto handle = MakeCompressibleMof(1, 1, 60);
   ASSERT_TRUE(supplier->PublishMof(handle).ok());
@@ -216,7 +226,7 @@ TEST_F(WireCompressTest, KnobOffIgnoresAdvertisement) {
   supplier->Stop();
 }
 
-TEST_F(WireCompressTest, IncompressibleChunksShipRawViaBailout) {
+TEST_P(WireCompressTest, IncompressibleChunksShipRawViaBailout) {
   MofSupplier* supplier = MakeSupplier();
   auto handle = MakeRandomMof(7, 80);
   ASSERT_TRUE(supplier->PublishMof(handle).ok());
@@ -236,7 +246,7 @@ TEST_F(WireCompressTest, IncompressibleChunksShipRawViaBailout) {
   supplier->Stop();
 }
 
-TEST_F(WireCompressTest, CompressMemoHitsAcrossRefetch) {
+TEST_P(WireCompressTest, CompressMemoHitsAcrossRefetch) {
   MofSupplier* supplier = MakeSupplier();
   auto handle = MakeCompressibleMof(2, 1, 60);
   ASSERT_TRUE(supplier->PublishMof(handle).ok());
@@ -266,7 +276,7 @@ TEST_F(WireCompressTest, CompressMemoHitsAcrossRefetch) {
   supplier->Stop();
 }
 
-TEST_F(WireCompressTest, SegmentCompressedMofIsNeverRecompressed) {
+TEST_P(WireCompressTest, SegmentCompressedMofIsNeverRecompressed) {
   // A MOF whose segments are already block-compressed on disk ships as
   // stored: kSegmentCompressed set, kChunkCompressed never.
   mr::IFileWriter segment;
@@ -293,7 +303,7 @@ TEST_F(WireCompressTest, SegmentCompressedMofIsNeverRecompressed) {
   supplier->Stop();
 }
 
-TEST_F(WireCompressTest, MergerDecompressesEndToEnd) {
+TEST_P(WireCompressTest, MergerDecompressesEndToEnd) {
   // Full client path: NetMerger advertises by default, supplier
   // compresses, and the merged record stream is identical to a
   // compression-off run.
@@ -338,6 +348,10 @@ TEST_F(WireCompressTest, MergerDecompressesEndToEnd) {
   supplier->Stop();
   plain->Stop();
 }
+
+INSTANTIATE_TEST_SUITE_P(Engines, WireCompressTest,
+                         ::testing::ValuesIn(ServedEngines()),
+                         [](const auto& p) { return net::EngineName(p.param); });
 
 }  // namespace
 }  // namespace jbs::shuffle

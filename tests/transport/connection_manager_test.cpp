@@ -4,10 +4,24 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
+#include <future>
 #include <thread>
+
+#include "common/buffer_pool.h"
 
 namespace jbs::net {
 namespace {
+
+bool WaitUntil(const std::function<bool()>& pred,
+               std::chrono::milliseconds limit = std::chrono::seconds(5)) {
+  const auto give_up = std::chrono::steady_clock::now() + limit;
+  while (std::chrono::steady_clock::now() < give_up) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
 
 /// Transport double that mints fake connections and counts dials.
 class FakeTransport final : public Transport {
@@ -39,7 +53,7 @@ class FakeTransport final : public Transport {
   }
   using Transport::Connect;
   StatusOr<std::unique_ptr<Connection>> Connect(
-      const std::string&, uint16_t port, const Deadline&) override {
+      const std::string&, uint16_t, const Deadline&) override {
     if (fail_dials) return Unavailable("refused");
     ++dials;
     auto conn = std::make_unique<FakeConnection>(&closed);
@@ -185,6 +199,93 @@ TEST(ConnectionManagerTest, ZeroIdleTimeoutNeverEvictsByAge) {
   ASSERT_TRUE(manager.GetOrConnect("n1", 1).ok());
   EXPECT_EQ(transport.dials.load(), 1);
   EXPECT_EQ(manager.stats().idle_evictions, 0u);
+}
+
+TEST(ConnectionManagerTest, SweepIdleEvictsOnlyExpiredEntries) {
+  FakeTransport transport;
+  ConnectionManager manager(&transport, 8, /*idle_timeout_ms=*/40);
+  auto old_conn = manager.GetOrConnect("stale", 1);
+  ASSERT_TRUE(old_conn.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  ASSERT_TRUE(manager.GetOrConnect("fresh", 1).ok());
+  EXPECT_EQ(manager.SweepIdle(), 1u);
+  EXPECT_EQ(manager.active_connections(), 1u);
+  EXPECT_EQ(manager.stats().idle_evictions, 1u);
+  EXPECT_FALSE((*old_conn)->alive());  // closed, not leaked
+  // The survivor still serves without a re-dial.
+  const int dials_before = transport.dials.load();
+  ASSERT_TRUE(manager.GetOrConnect("fresh", 1).ok());
+  EXPECT_EQ(transport.dials.load(), dials_before);
+}
+
+TEST(ConnectionManagerTest, SweepIdleWithoutTimeoutIsNoOp) {
+  FakeTransport transport;
+  ConnectionManager manager(&transport, 8, /*idle_timeout_ms=*/0);
+  ASSERT_TRUE(manager.GetOrConnect("n1", 1).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(manager.SweepIdle(), 0u);
+  EXPECT_EQ(manager.active_connections(), 1u);
+  EXPECT_EQ(manager.stats().idle_evictions, 0u);
+}
+
+TEST(ConnectionManagerTest, IdleEvictionMidFlushReleasesEveryLeaseOnce) {
+  // Regression for idle eviction racing an in-flight flush: the manager
+  // closes a cached connection while the serving peer's OutFrame queue
+  // still holds buffer leases for it. The serve side must fail the
+  // connection and release every parked lease exactly once — the pool
+  // refills to exactly its capacity, never short (leak) or over (double
+  // release trips the pool's accounting).
+  BufferPool pool(64 * 1024, 4);  // before the server: leases must not
+                                  // outlive the pool on any exit path
+  auto transport = MakeTcpTransport({});
+  auto server = transport->CreateServer();
+  ASSERT_TRUE(server.ok());
+  ServerEndpoint::Handlers handlers;
+  std::atomic<ConnId> peer{0};
+  std::promise<void> gone;
+  handlers.on_connect = [&](ConnId id) { peer = id; };
+  handlers.on_disconnect = [&](ConnId) { gone.set_value(); };
+  ASSERT_TRUE((*server)->Start(handlers).ok());
+
+  ConnectionManager manager(transport.get(), 4, /*idle_timeout_ms=*/30);
+  auto conn = manager.GetOrConnect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(WaitUntil([&] { return peer.load() != 0; }));
+
+  // Fill the pipe past kernel buffering (tcp_wmem max 4MB; the cached
+  // client never reads, so its receive buffer stays at its initial size)
+  // so the lease frames behind the filler are parked in the serve queue.
+  for (int i = 0; i < 3; ++i) {
+    Frame filler;
+    filler.type = 0;
+    filler.payload.assign(4 * 1024 * 1024, static_cast<uint8_t>(i));
+    ASSERT_TRUE((*server)->SendAsync(peer, std::move(filler)).ok());
+  }
+  for (int i = 0; i < 4; ++i) {
+    PooledBuffer buffer = pool.Acquire();
+    ASSERT_TRUE(buffer.valid());
+    auto lease = MakeBufferLease(std::move(buffer));
+    Frame frame;
+    frame.type = 1;
+    frame.ext = {static_cast<const uint8_t*>(lease.get()), 64 * 1024};
+    ASSERT_TRUE(
+        (*server)->SendAsync(peer, std::move(frame), std::move(lease)).ok());
+  }
+  EXPECT_LT(pool.available(), 4u);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_EQ(manager.SweepIdle(), 1u);
+  EXPECT_EQ(manager.stats().idle_evictions, 1u);
+  EXPECT_FALSE((*conn)->alive());
+  // Eviction shut the connection down; dropping the last fetch-side
+  // reference closes the descriptor, which is what the serving peer
+  // observes (a reset, since the receive queue is non-empty).
+  conn->reset();
+  ASSERT_EQ(gone.get_future().wait_for(std::chrono::seconds(5)),
+            std::future_status::ready);
+  ASSERT_TRUE(WaitUntil([&] { return pool.available() == 4; }))
+      << "eviction mid-flush must release every queued lease exactly once";
+  (*server)->Stop();
 }
 
 TEST(ConnectionManagerTest, ShutdownClosesAndFailsFast) {

@@ -1,8 +1,13 @@
 // Zero-copy serve path (DESIGN.md §13): vectored partial writes, buffer
 // ownership handoff, sendfile file segments, and the inbound frame cap.
+// Endpoint tests are parameterized over both event-loop engines
+// (DESIGN.md §15): every zero-copy invariant must hold identically on
+// epoll and io_uring.
 #include <gtest/gtest.h>
 
 #include <fcntl.h>
+#include <pthread.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -16,12 +21,22 @@
 #include "common/buffer_pool.h"
 #include "common/bytes.h"
 #include "common/framing.h"
+#include "transport/event_loop.h"
 #include "transport/rdma_transport.h"
 #include "transport/socket_util.h"
 #include "transport/transport.h"
 
 namespace jbs::net {
 namespace {
+
+/// Engines this kernel can actually run; io_uring drops out on kernels or
+/// seccomp policies that refuse ring creation (the fallback path has its
+/// own tests in uring_loop_test.cpp).
+std::vector<Engine> ServedEngines() {
+  std::vector<Engine> engines{Engine::kEpoll};
+  if (UringAvailable().ok()) engines.push_back(Engine::kIoUring);
+  return engines;
+}
 
 std::vector<uint8_t> Pattern(size_t n, uint32_t seed = 1) {
   std::vector<uint8_t> out(n);
@@ -137,10 +152,12 @@ TEST(SendFileAllTest, FileBytesArriveByteIdentical) {
 
 // ---- Server endpoint: scatter-gather frames ------------------------------
 
-class ZeroCopyEndpointTest : public ::testing::Test {
+class ZeroCopyEndpointTest : public ::testing::TestWithParam<Engine> {
  protected:
   void SetUp() override {
-    transport_ = MakeTcpTransport();
+    // Two loop shards so the accept→shard handoff and per-shard flush
+    // state run under every test, not just a dedicated one.
+    transport_ = MakeTcpTransport({.engine = GetParam(), .num_loops = 2});
     auto server = transport_->CreateServer();
     ASSERT_TRUE(server.ok());
     server_ = std::move(*server);
@@ -152,7 +169,13 @@ class ZeroCopyEndpointTest : public ::testing::Test {
   std::unique_ptr<ServerEndpoint> server_;
 };
 
-TEST_F(ZeroCopyEndpointTest, ExtFrameArrivesContiguousWithZeroCopies) {
+INSTANTIATE_TEST_SUITE_P(Engines, ZeroCopyEndpointTest,
+                         ::testing::ValuesIn(ServedEngines()),
+                         [](const ::testing::TestParamInfo<Engine>& p) {
+                           return std::string(EngineName(p.param));
+                         });
+
+TEST_P(ZeroCopyEndpointTest, ExtFrameArrivesContiguousWithZeroCopies) {
   ServerEndpoint::Handlers handlers;
   std::atomic<ConnId> peer{0};
   handlers.on_connect = [&](ConnId id) { peer = id; };
@@ -177,7 +200,7 @@ TEST_F(ZeroCopyEndpointTest, ExtFrameArrivesContiguousWithZeroCopies) {
   EXPECT_EQ(PayloadCopyBytes(), copied_before);
 }
 
-TEST_F(ZeroCopyEndpointTest, ManyExtFramesInterleaveInOrder) {
+TEST_P(ZeroCopyEndpointTest, ManyExtFramesInterleaveInOrder) {
   ServerEndpoint::Handlers handlers;
   std::atomic<ConnId> peer{0};
   handlers.on_connect = [&](ConnId id) { peer = id; };
@@ -204,7 +227,7 @@ TEST_F(ZeroCopyEndpointTest, ManyExtFramesInterleaveInOrder) {
   }
 }
 
-TEST_F(ZeroCopyEndpointTest, FileSegmentFrameServedViaSendfile) {
+TEST_P(ZeroCopyEndpointTest, FileSegmentFrameServedViaSendfile) {
   char path[] = "/tmp/jbs_zero_copy_srv_XXXXXX";
   const int file_fd = ::mkstemp(path);
   ASSERT_GE(file_fd, 0);
@@ -238,7 +261,7 @@ TEST_F(ZeroCopyEndpointTest, FileSegmentFrameServedViaSendfile) {
   ::unlink(path);
 }
 
-TEST_F(ZeroCopyEndpointTest, ClientSendAlsoTakesFileSegments) {
+TEST_P(ZeroCopyEndpointTest, ClientSendAlsoTakesFileSegments) {
   char path[] = "/tmp/jbs_zero_copy_cli_XXXXXX";
   const int file_fd = ::mkstemp(path);
   ASSERT_GE(file_fd, 0);
@@ -272,7 +295,7 @@ TEST_F(ZeroCopyEndpointTest, ClientSendAlsoTakesFileSegments) {
 
 // ---- Buffer-ownership handoff: the lease returns exactly once ------------
 
-TEST_F(ZeroCopyEndpointTest, PooledBufferReturnsAfterSend) {
+TEST_P(ZeroCopyEndpointTest, PooledBufferReturnsAfterSend) {
   BufferPool pool(64 * 1024, 1);
   ServerEndpoint::Handlers handlers;
   std::atomic<ConnId> peer{0};
@@ -304,7 +327,7 @@ TEST_F(ZeroCopyEndpointTest, PooledBufferReturnsAfterSend) {
   }
 }
 
-TEST_F(ZeroCopyEndpointTest, QueuedLeasesReleaseWhenPeerDisconnects) {
+TEST_P(ZeroCopyEndpointTest, QueuedLeasesReleaseWhenPeerDisconnects) {
   BufferPool pool(64 * 1024, 4);
   ServerEndpoint::Handlers handlers;
   std::atomic<ConnId> peer{0};
@@ -312,12 +335,25 @@ TEST_F(ZeroCopyEndpointTest, QueuedLeasesReleaseWhenPeerDisconnects) {
   std::promise<void> gone;
   handlers.on_disconnect = [&](ConnId) { gone.set_value(); };
   ASSERT_TRUE(server_->Start(handlers).ok());
-  auto conn = transport_->Connect("127.0.0.1", server_->port());
-  ASSERT_TRUE(conn.ok());
+  // Raw client with a clamped receive buffer (clamping disables rcvbuf
+  // autotuning), so loopback can hold at most sndbuf-max + a few KB.
+  auto raw = ConnectTcp("127.0.0.1", server_->port());
+  ASSERT_TRUE(raw.ok());
+  const int tiny = 4096;
+  (void)::setsockopt(raw->get(), SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
   ASSERT_TRUE(WaitUntil([&] { return peer.load() != 0; }));
 
-  // Queue more than the socket can swallow against a client that never
-  // reads, then kill the client: every parked frame's lease must drop.
+  // Fill the pipe past any plausible kernel buffering (tcp_wmem max is
+  // 4MB here) so the lease-carrying frames behind it are guaranteed to
+  // be parked in the endpoint's OutFrame queue, not in flight.
+  for (int i = 0; i < 3; ++i) {
+    Frame filler;
+    filler.type = 0;
+    filler.payload.assign(4 * 1024 * 1024, static_cast<uint8_t>(i));
+    ASSERT_TRUE(server_->SendAsync(peer, std::move(filler)).ok());
+  }
+  // Queue frames against a client that never reads, then kill the
+  // client: every parked frame's lease must drop.
   for (int i = 0; i < 4; ++i) {
     PooledBuffer buffer = pool.Acquire();
     ASSERT_TRUE(buffer.valid());
@@ -328,19 +364,15 @@ TEST_F(ZeroCopyEndpointTest, QueuedLeasesReleaseWhenPeerDisconnects) {
     ASSERT_TRUE(
         server_->SendAsync(peer, std::move(frame), std::move(lease)).ok());
   }
-  // Kernel socket buffers may fully swallow a frame or two before the
-  // client dies, returning those leases early — but four 64KB frames
-  // cannot all be in flight at once against a non-reading peer.
   EXPECT_LT(pool.available(), 4u);
-  (*conn)->Close();
-  conn->reset();
+  raw->Reset();
   ASSERT_EQ(gone.get_future().wait_for(std::chrono::seconds(5)),
             std::future_status::ready);
   ASSERT_TRUE(WaitUntil([&] { return pool.available() == 4; }))
       << "disconnect must release every queued frame's lease exactly once";
 }
 
-TEST_F(ZeroCopyEndpointTest, QueuedLeasesReleaseOnServerStop) {
+TEST_P(ZeroCopyEndpointTest, QueuedLeasesReleaseOnServerStop) {
   BufferPool pool(64 * 1024, 4);
   ServerEndpoint::Handlers handlers;
   std::atomic<ConnId> peer{0};
@@ -364,6 +396,168 @@ TEST_F(ZeroCopyEndpointTest, QueuedLeasesReleaseOnServerStop) {
   // destructor asserts every buffer came home, so this must converge.
   ASSERT_TRUE(WaitUntil([&] { return pool.available() == 4; }));
   EXPECT_FALSE(server_->SendAsync(peer, Frame{}).ok());
+}
+
+// ---- Satellite: signals mid-syscall (EINTR) must be invisible ------------
+
+/// Installs a no-op SIGUSR1 handler WITHOUT SA_RESTART (so every blocking
+/// syscall in the target thread actually fails with EINTR) and pummels
+/// `target` from a helper thread until destruction.
+class SignalStorm {
+ public:
+  explicit SignalStorm(pthread_t target) {
+    struct sigaction sa {};
+    sa.sa_handler = [](int) {};
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;  // deliberately no SA_RESTART
+    sigaction(SIGUSR1, &sa, &old_);
+    thread_ = std::thread([this, target] {
+      while (!stop_.load(std::memory_order_relaxed)) {
+        pthread_kill(target, SIGUSR1);
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    });
+  }
+  ~SignalStorm() {
+    stop_.store(true);
+    thread_.join();
+    sigaction(SIGUSR1, &old_, nullptr);
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+  struct sigaction old_ {};
+};
+
+TEST(SendAllVTest, SignalStormDuringTinySndbufPushIsInvisible) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  const int tiny = 4096;
+  ASSERT_EQ(::setsockopt(sv[0], SOL_SOCKET, SO_SNDBUF, &tiny, sizeof(tiny)),
+            0);
+  // 2MB through a 4KB send buffer = thousands of blocking sendmsg calls,
+  // each a fresh chance for a signal to land mid-syscall. The push must
+  // neither fail nor skip/duplicate a byte.
+  const std::vector<uint8_t> head = Pattern(12345, 31);
+  const std::vector<uint8_t> tail = Pattern(2 * 1024 * 1024, 32);
+  std::vector<uint8_t> expected = head;
+  expected.insert(expected.end(), tail.begin(), tail.end());
+  const std::span<const uint8_t> spans[] = {head, tail};
+  auto reader = std::async(std::launch::async,
+                           [&] { return DrainFd(sv[1], expected.size()); });
+  {
+    SignalStorm storm(pthread_self());
+    EXPECT_TRUE(SendAllV(sv[0], spans).ok());
+  }
+  ::shutdown(sv[0], SHUT_WR);
+  EXPECT_EQ(reader.get(), expected);
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+TEST_P(ZeroCopyEndpointTest, ServerFlushSurvivesSignalStorm) {
+  // Regression for the FlushWrites EINTR contract: a signal interrupting
+  // the gathered sendmsg, the sendfile step, or an io_uring enter must
+  // neither fail the connection nor double-count bytes
+  // (jbs_serve_bytes_copied_total stays put; the stream stays
+  // byte-identical).
+  char path[] = "/tmp/jbs_signal_storm_XXXXXX";
+  const int file_fd = ::mkstemp(path);
+  ASSERT_GE(file_fd, 0);
+  const std::vector<uint8_t> content = Pattern(256 * 1024, 77);
+  ASSERT_EQ(::pwrite(file_fd, content.data(), content.size(), 0),
+            static_cast<ssize_t>(content.size()));
+
+  ServerEndpoint::Handlers handlers;
+  std::atomic<ConnId> peer{0};
+  std::atomic<int> disconnects{0};
+  handlers.on_connect = [&](ConnId id) { peer = id; };
+  handlers.on_disconnect = [&](ConnId) { disconnects.fetch_add(1); };
+  ASSERT_TRUE(server_->Start(handlers).ok());
+
+  // Raw client socket with a 32KB receive window — small enough that the
+  // server-side flush takes partial writes and resumes hundreds of times,
+  // large enough that reads free >= 2*MSS so window updates go out
+  // immediately instead of riding the delayed-ACK timer.
+  auto raw = ConnectTcp("127.0.0.1", server_->port());
+  ASSERT_TRUE(raw.ok());
+  const int tiny = 32 * 1024;
+  // Best effort — even without it the storm still interrupts syscalls.
+  (void)::setsockopt(raw->get(), SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+  ASSERT_TRUE(WaitUntil([&] { return peer.load() != 0; }));
+
+  // Block SIGUSR1 everywhere except the already-running endpoint loop
+  // threads, then raise process-directed signals: delivery can only land
+  // on the serve path.
+  sigset_t usr1, prev;
+  sigemptyset(&usr1);
+  sigaddset(&usr1, SIGUSR1);
+  ASSERT_EQ(pthread_sigmask(SIG_BLOCK, &usr1, &prev), 0);
+
+  const uint64_t copied_before = PayloadCopyBytes();
+  constexpr int kFrames = 24;
+  std::vector<uint8_t> expected;
+  struct sigaction sa {};
+  sa.sa_handler = [](int) {};
+  sigemptyset(&sa.sa_mask);
+  struct sigaction old_sa {};
+  sigaction(SIGUSR1, &sa, &old_sa);
+  std::atomic<bool> storm_stop{false};
+  std::thread storm([&] {
+    while (!storm_stop.load(std::memory_order_relaxed)) {
+      ::kill(::getpid(), SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+
+  // Mixed traffic: ext frames (gathered sendmsg) and file frames
+  // (sendfile / io_uring chain), so every flush phase runs under fire.
+  for (int i = 0; i < kFrames; ++i) {
+    Frame frame;
+    if (i % 2 == 0) {
+      std::vector<uint8_t> tail = Pattern(96 * 1024, 500 + i);
+      PutU32(expected, static_cast<uint32_t>(tail.size()));
+      expected.push_back(static_cast<uint8_t>(i));
+      expected.insert(expected.end(), tail.begin(), tail.end());
+      frame = ExtFrame(static_cast<uint8_t>(i), {}, std::move(tail));
+    } else {
+      frame.type = static_cast<uint8_t>(i);
+      frame.file = FileSegment{file_fd, 0, content.size()};
+      PutU32(expected, static_cast<uint32_t>(content.size()));
+      expected.push_back(static_cast<uint8_t>(i));
+      expected.insert(expected.end(), content.begin(), content.end());
+    }
+    ASSERT_TRUE(server_->SendAsync(peer, std::move(frame)).ok());
+  }
+  // This thread has SIGUSR1 blocked, so the drain itself is undisturbed.
+  // Throttled 4KB reads hold the server at EAGAIN for the whole transfer,
+  // so flush resumption keeps happening while signals rain down.
+  std::vector<uint8_t> got;
+  got.reserve(expected.size());
+  {
+    uint8_t buf[4096];
+    while (got.size() < expected.size()) {
+      const ssize_t n = ::read(raw->get(), buf, sizeof(buf));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      got.insert(got.end(), buf, buf + n);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  storm_stop.store(true);
+  storm.join();
+  sigaction(SIGUSR1, &old_sa, nullptr);
+  pthread_sigmask(SIG_SETMASK, &prev, nullptr);
+
+  ASSERT_EQ(got.size(), expected.size());
+  EXPECT_TRUE(got == expected) << "stream corrupted under signal storm";
+  EXPECT_EQ(disconnects.load(), 0)
+      << "a mid-syscall signal must never fail the connection";
+  EXPECT_EQ(PayloadCopyBytes(), copied_before)
+      << "EINTR retries must not re-copy (double-count) payload bytes";
+  ::close(file_fd);
+  ::unlink(path);
 }
 
 // ---- Inbound frame cap ---------------------------------------------------
