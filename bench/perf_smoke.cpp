@@ -1,5 +1,5 @@
 // CI perf-smoke: a minutes-not-hours regression canary for the zero-copy
-// serve path. Four probes, all real sockets on loopback:
+// serve path. Five probes, all real sockets on loopback:
 //
 //   1. Large-frame server push — the serve-path direction — measured twice:
 //      legacy copy-into-frame handoff vs zero-copy ext+lease handoff
@@ -21,9 +21,17 @@
 //      with one core the CPU-vs-connections profile is the signal, not
 //      absolute MB/s. io_uring-unavailable is recorded with its reason
 //      and the probe still passes with the epoll half.
+//   5. An overload sweep (DESIGN.md §16): offered load at 1x/2x/4x of a
+//      byte-budgeted supplier's capacity (admitted-inflight budget fits a
+//      single chunk; the disk model paces service), recording shed rate
+//      and served-request p99 per point. Two gates: every merge completes
+//      at every load point (pushback + retry-after must absorb the
+//      overload), and the 4x point actually shed (otherwise the sweep
+//      measured nothing). The shed-rate and p99 values themselves are
+//      recorded, not gated.
 //
 // Results land in a MetricsRegistry and are dumped as JSON (default
-// BENCH_pr8.json, or argv[1]) so CI can archive the numbers per commit.
+// BENCH_pr9.json, or argv[1]) so CI can archive the numbers per commit.
 // A probe that cannot RUN (socket setup failure, MOF write failure) is a
 // hard failure: the reason prints, NO JSON is written — a partial file
 // would read downstream as "the missing probes regressed to zero" — and
@@ -384,10 +392,92 @@ bool EnginePushPoint(net::Engine engine, int conns, size_t frame_bytes,
   return true;
 }
 
+struct OverloadResult {
+  uint64_t requests = 0;  // includes shed requests
+  uint64_t shed = 0;
+  double p99_ms = 0;  // served requests only; shed replies aren't observed
+  double secs = 0;
+};
+
+/// One overload-sweep point: `reducers` concurrent mergers (each a full
+/// stop-and-wait fetch of every MOF) against one supplier whose
+/// admitted-byte budget fits a single 1 KiB chunk, so capacity is one
+/// request at a time regardless of runner hardware — `reducers` IS the
+/// load multiplier. The disk model paces service so each request occupies
+/// its admitted window long enough for the clients to collide. Returns
+/// false with the reason in `*err` if the point cannot run or a merger
+/// fails (budget-exhausted overload IS a fetch failure here).
+bool OverloadSweepPoint(int reducers,
+                        const std::vector<mr::MofHandle>& handles,
+                        OverloadResult* out, std::string* err) {
+  auto transport = net::MakeTcpTransport();
+  shuffle::MofSupplier::Options options;
+  options.transport = transport.get();
+  options.buffer_size = 32 * 1024;
+  options.buffer_count = 64;
+  options.admission_max_inflight_bytes = 1500;  // one 1 KiB chunk, not two
+  options.disk_bytes_per_sec = 2e6;
+  shuffle::MofSupplier supplier(options);
+  if (Status st = supplier.Start(); !st.ok()) {
+    *err = "supplier Start: " + st.ToString();
+    return false;
+  }
+  for (const auto& handle : handles) (void)supplier.PublishMof(handle);
+
+  Mutex err_mu;
+  std::string fetch_err;
+  const auto start = Clock::now();
+  std::vector<std::thread> fetchers;
+  for (int r = 0; r < reducers; ++r) {
+    fetchers.emplace_back([&, r] {
+      auto client_transport = net::MakeTcpTransport();
+      shuffle::NetMerger::Options merger_options;
+      merger_options.transport = client_transport.get();
+      merger_options.chunk_size = 1024;  // many chunks: more admissions
+      merger_options.fetch_window = 1;   // stop-and-wait: sheds are cheap
+      merger_options.pushback_retry_budget = 100000;
+      merger_options.retry_backoff_ms = 1;
+      shuffle::NetMerger merger(merger_options);
+      std::vector<mr::MofLocation> sources;
+      for (size_t m = 0; m < handles.size(); ++m) {
+        sources.push_back(
+            {static_cast<int>(m), 0, "127.0.0.1", supplier.port()});
+      }
+      auto stream = merger.FetchAndMerge(0, sources);
+      if (!stream.ok()) {
+        MutexLock lock(err_mu);
+        fetch_err = "FetchAndMerge(reducer " + std::to_string(r) +
+                    "): " + stream.status().ToString();
+      } else {
+        mr::Record record;
+        while ((*stream)->Next(&record)) {
+        }
+      }
+      merger.Stop();
+    });
+  }
+  for (auto& fetcher : fetchers) fetcher.join();
+  out->secs = SecondsSince(start);
+  const auto stats = supplier.supplier_stats();
+  out->requests = stats.requests;
+  out->shed = stats.shed;
+  out->p99_ms = supplier.metrics()
+                    .GetHistogram("shuffle_request_latency_ms",
+                                  {{"server", "mofsupplier"}})
+                    ->histogram()
+                    .Percentile(99);
+  supplier.Stop();
+  if (!fetch_err.empty()) {
+    *err = fetch_err;
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_pr8.json";
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_pr9.json";
   MetricsRegistry registry;
   bool ok = true;        // invariant gates on probes that ran
   bool probes_ok = true; // every probe managed to run at all
@@ -396,7 +486,7 @@ int main(int argc, char** argv) {
   // --- Probe 1: large-frame server push, copy vs zero-copy -------------
   constexpr size_t kFrameBytes = 1 << 20;
   constexpr int kRounds = 200;
-  bench::PrintHeader("perf-smoke 1/4: server push, 1MB frames x 200",
+  bench::PrintHeader("perf-smoke 1/5: server push, 1MB frames x 200",
                      "zero-copy serve path (DESIGN.md §13)");
   uint64_t copied = 0;
   (void)PushThroughputMBs(false, kFrameBytes, 32, &copied,
@@ -466,7 +556,7 @@ int main(int argc, char** argv) {
     }
     handles.push_back(*handle);
   }
-  bench::PrintHeader("perf-smoke 2/4: reduced Figs. 4/5 sweep",
+  bench::PrintHeader("perf-smoke 2/5: reduced Figs. 4/5 sweep",
                      "serialized vs pipelined 2x4, 4 MOFs x 2 reducers");
   probe_err.clear();
   (void)SweepThroughputMBs(true, 2, 4, handles, &probe_err);  // warmup
@@ -490,7 +580,7 @@ int main(int argc, char** argv) {
   fs::remove_all(dir);
 
   // --- Probe 3: negotiated wire compression sweep -----------------------
-  bench::PrintHeader("perf-smoke 3/4: wire compression sweep",
+  bench::PrintHeader("perf-smoke 3/5: wire compression sweep",
                      "zipf-skewed vs random payloads, compression off/on");
   const fs::path cdir = fs::temp_directory_path() /
                         ("perf_smoke_wc_" + std::to_string(::getpid()));
@@ -581,7 +671,7 @@ int main(int argc, char** argv) {
   fs::remove_all(cdir);
 
   // --- Probe 4: engine sweep, epoll vs io_uring -------------------------
-  bench::PrintHeader("perf-smoke 4/4: engine sweep (DESIGN.md §15)",
+  bench::PrintHeader("perf-smoke 4/5: engine sweep (DESIGN.md §15)",
                      "zero-copy push, epoll vs io_uring x 1/4/16 conns");
   const Status uring = net::UringAvailable();
   registry.GetGauge("perf_smoke_uring_available")
@@ -645,6 +735,72 @@ int main(int argc, char** argv) {
           ->Set(last_cpu / first_cpu);
     }
   }
+
+  // --- Probe 5: overload sweep, 1x/2x/4x offered load -------------------
+  bench::PrintHeader("perf-smoke 5/5: overload sweep (DESIGN.md §16)",
+                     "admission budget = 1 chunk, 1/2/4 concurrent mergers");
+  const fs::path odir = fs::temp_directory_path() /
+                        ("perf_smoke_ol_" + std::to_string(::getpid()));
+  fs::create_directories(odir);
+  std::vector<mr::MofHandle> overload_handles;
+  for (int m = 0; m < 3; ++m) {
+    mr::MofWriter writer(odir / ("ol_mof_" + std::to_string(m)));
+    mr::IFileWriter segment;
+    for (int r = 0; r < 400; ++r) {
+      segment.Append("k" + std::to_string(m) + "_" + std::to_string(100000 + r),
+                     std::string(50, static_cast<char>('a' + m)));
+    }
+    const uint64_t records = segment.records();
+    (void)writer.AppendSegment(segment.Finish(), records);
+    auto handle = writer.Finish(m, 0);
+    if (!handle.ok()) {
+      std::printf("FAIL: overload probe could not run: MOF write: %s\n",
+                  handle.status().ToString().c_str());
+      std::printf("no JSON written (a partial %s would misread as "
+                  "regressions)\n",
+                  out_path.c_str());
+      return 1;
+    }
+    overload_handles.push_back(*handle);
+  }
+  constexpr int kLoadMultipliers[] = {1, 2, 4};
+  for (const int load : kLoadMultipliers) {
+    OverloadResult point;
+    probe_err.clear();
+    if (!OverloadSweepPoint(load, overload_handles, &point, &probe_err)) {
+      std::printf("FAIL: overload sweep (%dx) could not run: %s\n", load,
+                  probe_err.c_str());
+      probes_ok = false;
+      continue;
+    }
+    const std::string load_label = std::to_string(load) + "x";
+    const double shed_rate =
+        point.requests > 0
+            ? static_cast<double>(point.shed) /
+                  static_cast<double>(point.requests)
+            : 0;
+    registry.GetGauge("perf_smoke_overload_shed_rate", {{"load", load_label}})
+        ->Set(shed_rate);
+    registry.GetGauge("perf_smoke_overload_p99_ms", {{"load", load_label}})
+        ->Set(point.p99_ms);
+    registry.GetGauge("perf_smoke_overload_secs", {{"load", load_label}})
+        ->Set(point.secs);
+    bench::PrintRow({load_label,
+                     std::to_string(point.shed) + "/" +
+                         std::to_string(point.requests) + " shed",
+                     bench::Fmt(shed_rate * 100.0, "%.1f%% shed"),
+                     bench::Fmt(point.p99_ms, "p99 %.2fms"),
+                     bench::Fmt(point.secs, "%.2fs")});
+    // The sweep only measures overload control if overload happened: with
+    // the budget admitting one chunk, four stop-and-wait mergers must
+    // collide at least once across ~1200 requests.
+    if (load == 4 && point.shed == 0) {
+      std::printf("FAIL: 4x offered load shed nothing — admission bound "
+                  "not exercised\n");
+      ok = false;
+    }
+  }
+  fs::remove_all(odir);
 
   if (!probes_ok) {
     std::printf("\nno JSON written: a probe could not run (a partial %s "

@@ -96,6 +96,17 @@ inline constexpr const char* kWireCompressMinRatio =
 inline constexpr const char* kCompressCacheEntries =
     "jbs.mofsupplier.compresscache.entries";
 inline constexpr const char* kMaxFrameBytes = "jbs.transport.max_frame.bytes";
+// Overload-control knobs (see DESIGN.md §16). 0 disables the bound.
+inline constexpr const char* kAdmissionMaxQueue =
+    "jbs.mofsupplier.admission.max_queue";
+inline constexpr const char* kAdmissionMaxInflightBytes =
+    "jbs.mofsupplier.admission.max_inflight_bytes";
+inline constexpr const char* kAdmissionDataCacheWatermark =
+    "jbs.mofsupplier.admission.datacache_watermark";
+inline constexpr const char* kAdmissionAcquireTimeoutMs =
+    "jbs.mofsupplier.admission.acquire_timeout_ms";
+inline constexpr const char* kPushbackRetryBudget =
+    "jbs.netmerger.pushback.retry_budget";
 // Thread-per-core execution-model knobs (see DESIGN.md §15).
 inline constexpr const char* kTransportEngine = "jbs.transport.engine";
 inline constexpr const char* kTransportLoops = "jbs.transport.loops";

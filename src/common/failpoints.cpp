@@ -1,0 +1,216 @@
+#include "common/failpoints.h"
+
+#if JBS_FAILPOINTS_ENABLED
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/mutex.h"
+#include "common/rng.h"
+#include "common/thread_annotations.h"
+
+namespace jbs::failpoints {
+namespace {
+
+struct FpState {
+  Action action;
+  uint64_t max_fires = 0;  // 0 = unlimited
+  uint64_t skip = 0;       // swallow this many hits before firing
+  int prob_pct = 100;      // fire with this probability once eligible
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+};
+
+struct Registry {
+  Mutex mu;
+  std::unordered_map<std::string, FpState> points GUARDED_BY(mu);
+  Rng rng GUARDED_BY(mu){0x6A5F00D5EEDull};
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives all threads
+  return *r;
+}
+
+/// Parses one action token (no modifiers). Returns false on syntax error.
+bool ParseAction(const std::string& tok, Action& out) {
+  struct Named {
+    const char* name;
+    int err;
+  };
+  static constexpr Named kErrnos[] = {
+      {"eio", EIO},       {"enospc", ENOSPC}, {"emfile", EMFILE},
+      {"enfile", ENFILE}, {"enoent", ENOENT}, {"eagain", EAGAIN},
+      {"einval", EINVAL},
+  };
+  for (const auto& n : kErrnos) {
+    if (tok == n.name) {
+      out.kind = Action::Kind::kError;
+      out.err = n.err;
+      return true;
+    }
+  }
+  if (tok == "false") {
+    out.kind = Action::Kind::kFalse;
+    return true;
+  }
+  if (tok.rfind("err:", 0) == 0) {
+    char* end = nullptr;
+    const long v = std::strtol(tok.c_str() + 4, &end, 10);
+    if (end == nullptr || *end != '\0' || v <= 0) return false;
+    out.kind = Action::Kind::kError;
+    out.err = static_cast<int>(v);
+    return true;
+  }
+  if (tok.rfind("short:", 0) == 0) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(tok.c_str() + 6, &end, 10);
+    if (end == nullptr || *end != '\0') return false;
+    out.kind = Action::Kind::kShortRead;
+    out.arg = v;
+    return true;
+  }
+  return false;
+}
+
+/// Parses "action[*N][+K][%P]" into `st`. Modifiers may appear in any
+/// order, each at most once.
+Status ParseSpec(const std::string& name, const std::string& spec,
+                 FpState& st) {
+  const auto bad = [&](const std::string& why) {
+    return InvalidArgument("failpoint " + name + ": bad spec '" + spec +
+                           "' (" + why + ")");
+  };
+  size_t end = spec.find_first_of("*+%");
+  const std::string action_tok = spec.substr(0, end);
+  if (!ParseAction(action_tok, st.action)) return bad("unknown action");
+  while (end != std::string::npos && end < spec.size()) {
+    const char mod = spec[end];
+    const size_t next = spec.find_first_of("*+%", end + 1);
+    const std::string num = spec.substr(
+        end + 1, next == std::string::npos ? next : next - end - 1);
+    char* numend = nullptr;
+    const unsigned long long v = std::strtoull(num.c_str(), &numend, 10);
+    if (num.empty() || numend == nullptr || *numend != '\0') {
+      return bad("non-numeric modifier");
+    }
+    switch (mod) {
+      case '*':
+        st.max_fires = v;
+        break;
+      case '+':
+        st.skip = v;
+        break;
+      case '%':
+        if (v > 100) return bad("probability > 100");
+        st.prob_pct = static_cast<int>(v);
+        break;
+    }
+    end = next;
+  }
+  return Status::Ok();
+}
+
+/// One-time arming from the JBS_FAILPOINTS / JBS_FAILPOINTS_SEED env vars,
+/// run lazily on the first Hit() so any binary is scriptable from outside.
+/// A malformed env spec aborts: silently ignoring it would make a fault
+/// campaign pass vacuously.
+void ArmFromEnvOnce() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    if (const char* seed = std::getenv("JBS_FAILPOINTS_SEED")) {
+      SetSeed(std::strtoull(seed, nullptr, 10));
+    }
+    const char* env = std::getenv("JBS_FAILPOINTS");
+    if (env == nullptr || *env == '\0') return;
+    std::string all(env);
+    size_t pos = 0;
+    while (pos < all.size()) {
+      size_t sep = all.find_first_of(";,", pos);
+      if (sep == std::string::npos) sep = all.size();
+      const std::string entry = all.substr(pos, sep - pos);
+      pos = sep + 1;
+      if (entry.empty()) continue;
+      const size_t eq = entry.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "JBS_FAILPOINTS: entry '%s' has no '='\n",
+                     entry.c_str());
+        std::abort();
+      }
+      const Status s = Arm(entry.substr(0, eq), entry.substr(eq + 1));
+      if (!s.ok()) {
+        std::fprintf(stderr, "JBS_FAILPOINTS: %s\n",
+                     s.ToString().c_str());
+        std::abort();
+      }
+    }
+  });
+}
+
+}  // namespace
+
+Action Hit(const char* name) {
+  ArmFromEnvOnce();
+  Registry& reg = registry();
+  MutexLock lock(reg.mu);
+  const auto it = reg.points.find(name);
+  if (it == reg.points.end()) return {};
+  FpState& st = it->second;
+  ++st.hits;
+  if (st.hits <= st.skip) return {};
+  if (st.max_fires != 0 && st.fires >= st.max_fires) return {};
+  if (st.prob_pct < 100 &&
+      reg.rng.Below(100) >= static_cast<uint64_t>(st.prob_pct)) {
+    return {};
+  }
+  ++st.fires;
+  return st.action;
+}
+
+Status Arm(const std::string& name, const std::string& spec) {
+  FpState st;
+  JBS_RETURN_IF_ERROR(ParseSpec(name, spec, st));
+  Registry& reg = registry();
+  MutexLock lock(reg.mu);
+  reg.points[name] = st;
+  return Status::Ok();
+}
+
+void Disarm(const std::string& name) {
+  Registry& reg = registry();
+  MutexLock lock(reg.mu);
+  reg.points.erase(name);
+}
+
+void DisarmAll() {
+  Registry& reg = registry();
+  MutexLock lock(reg.mu);
+  reg.points.clear();
+}
+
+uint64_t HitCount(const std::string& name) {
+  Registry& reg = registry();
+  MutexLock lock(reg.mu);
+  const auto it = reg.points.find(name);
+  return it == reg.points.end() ? 0 : it->second.hits;
+}
+
+uint64_t FireCount(const std::string& name) {
+  Registry& reg = registry();
+  MutexLock lock(reg.mu);
+  const auto it = reg.points.find(name);
+  return it == reg.points.end() ? 0 : it->second.fires;
+}
+
+void SetSeed(uint64_t seed) {
+  Registry& reg = registry();
+  MutexLock lock(reg.mu);
+  reg.rng = Rng(seed);
+}
+
+}  // namespace jbs::failpoints
+
+#endif  // JBS_FAILPOINTS_ENABLED

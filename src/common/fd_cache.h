@@ -46,6 +46,13 @@ class FdCache {
   explicit FdCache(size_t capacity);
 
   /// Returns a handle for `path`, opening (O_RDONLY) and caching on a miss.
+  ///
+  /// open(2) errno is classified (DESIGN.md §16): ENOENT maps to kNotFound
+  /// (the MOF is gone — a permanent error); EMFILE/ENFILE mean the process
+  /// or system descriptor table is full, so the cache evicts its own
+  /// least-recently-used entry to free a descriptor and retries the open, a
+  /// bounded number of times, before surfacing kResourceExhausted.
+  /// Everything else stays kIoError.
   StatusOr<Handle> Open(const std::string& path) EXCLUDES(mu_);
 
   /// Drops the cache entry for `path` (e.g. after an I/O error, when the
@@ -61,6 +68,9 @@ class FdCache {
     uint64_t misses = 0;
     uint64_t evictions = 0;
     uint64_t open_failures = 0;
+    /// LRU entries dropped to free a descriptor after EMFILE/ENFILE — the
+    /// `fd_cache_emergency_evictions` counter.
+    uint64_t emergency_evictions = 0;
   };
   Stats stats() const EXCLUDES(mu_);
   size_t size() const EXCLUDES(mu_);

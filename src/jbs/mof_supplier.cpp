@@ -8,6 +8,7 @@
 
 #include "common/bytes.h"
 #include "common/compress.h"
+#include "common/failpoints.h"
 #include "common/logging.h"
 
 namespace jbs::shuffle {
@@ -15,11 +16,25 @@ namespace jbs::shuffle {
 namespace {
 
 /// pread the range at `offset` from `fd` into `out` (already sized).
+/// The `supplier.pread` failpoint scripts EIO/short reads here — the
+/// syscall boundary external chaos can't reach (DESIGN.md §16).
 Status PreadFd(int fd, const std::string& path, uint64_t offset,
                std::span<uint8_t> out) {
   size_t done = 0;
   while (done < out.size()) {
-    const ssize_t n = ::pread(fd, out.data() + done, out.size() - done,
+    size_t want = out.size() - done;
+    if (const auto fp = JBS_FAILPOINT("supplier.pread")) {
+      if (fp.kind == failpoints::Action::Kind::kError) {
+        errno = fp.err;
+        return IoError("pread " + path);
+      }
+      if (fp.kind == failpoints::Action::Kind::kShortRead) {
+        want = std::min<size_t>(want,
+                                static_cast<size_t>(std::max<uint64_t>(
+                                    1, fp.arg)));
+      }
+    }
+    const ssize_t n = ::pread(fd, out.data() + done, want,
                               static_cast<off_t>(offset + done));
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -30,6 +45,13 @@ Status PreadFd(int fd, const std::string& path, uint64_t offset,
   }
   return Status::Ok();
 }
+
+/// pread attempts per chunk: a failed read gets one retry through a
+/// reopened descriptor (the cache entry is invalidated between attempts —
+/// the common transient cause is a stale fd after file replacement, and a
+/// one-shot EIO storm also recovers here instead of surfacing to the
+/// merger as a fetch error).
+constexpr int kPreadAttempts = 2;
 
 }  // namespace
 
@@ -94,6 +116,21 @@ MofSupplier::MofSupplier(Options options)
       metrics_->GetCounter("jbs_wire_bytes_logical_total", base);
   wire_bytes_wire_c_ = metrics_->GetCounter("jbs_wire_bytes_wire_total", base);
   compress_ratio_h_ = metrics_->GetHistogram("jbs_wire_compress_ratio", base);
+  // Overload-control series (DESIGN.md §16): one shed counter per
+  // admission decision point, split by a `reason` label so the exposition
+  // shows *which* bound is saturating; the sum is jbs_supplier_shed_total.
+  const auto shed_labels = [&](const char* reason) {
+    MetricLabels labels = base;
+    labels.emplace_back("reason", reason);
+    return labels;
+  };
+  shed_queue_c_ =
+      metrics_->GetCounter("jbs_supplier_shed_total", shed_labels("queue"));
+  shed_inflight_c_ = metrics_->GetCounter("jbs_supplier_shed_total",
+                                          shed_labels("inflight_bytes"));
+  shed_datacache_c_ = metrics_->GetCounter("jbs_supplier_shed_total",
+                                           shed_labels("datacache"));
+  queue_depth_h_ = metrics_->GetHistogram("jbs_mofsupplier_queue_depth", base);
 }
 
 uint32_t MofSupplier::ChunkDataCrc(const FetchRequest& request,
@@ -161,6 +198,8 @@ void MofSupplier::RefreshGauges() const {
   set("jbs_mofsupplier_fdcache_evictions", static_cast<double>(fd.evictions));
   set("jbs_mofsupplier_fdcache_open_failures",
       static_cast<double>(fd.open_failures));
+  set("fd_cache_emergency_evictions",
+      static_cast<double>(fd.emergency_evictions));
   const IndexCache::Stats index = index_cache_.stats();
   set("jbs_mofsupplier_indexcache_hits", static_cast<double>(index.hits));
   set("jbs_mofsupplier_indexcache_misses", static_cast<double>(index.misses));
@@ -170,11 +209,22 @@ void MofSupplier::RefreshGauges() const {
       static_cast<double>(data_cache_.capacity()));
   set("jbs_mofsupplier_datacache_buffers_in_use",
       static_cast<double>(data_cache_.capacity() - data_cache_.available()));
+  // Overload-control gauges (DESIGN.md §16): threads parked on the
+  // DataCache and bounded-wait expiries — the saturation signals admission
+  // control acts on.
+  set("buffer_pool_waiters", static_cast<double>(data_cache_.waiters()));
+  set("jbs_mofsupplier_datacache_acquire_timeouts",
+      static_cast<double>(data_cache_.stats().acquire_timeouts));
   size_t send_depth = 0;
   for (const auto& shard : shards_) send_depth += shard->send_queue.size();
   set("jbs_mofsupplier_send_queue_depth", static_cast<double>(send_depth));
   set("jbs_mofsupplier_pending_groups",
       static_cast<double>(pending_group_count()));
+  {
+    MutexLock lock(mu_);
+    set("jbs_mofsupplier_queued_requests",
+        static_cast<double>(queued_requests_));
+  }
   // Process-wide user-space payload-copy odometer (framing layer). The
   // zero-copy serve path's whole point is that this stays flat while
   // bytes_served climbs.
@@ -199,6 +249,7 @@ FdCache::Stats MofSupplier::AggregateFdStats() const {
     total.misses += s.misses;
     total.evictions += s.evictions;
     total.open_failures += s.open_failures;
+    total.emergency_evictions += s.emergency_evictions;
   }
   return total;
 }
@@ -292,6 +343,8 @@ MofSupplier::SupplierStats MofSupplier::supplier_stats() const {
   out.bytes_wire = wire_bytes_wire_c_->value();
   out.chunks_compressed = chunks_compressed_c_->value();
   out.compress_bailouts = compress_bailouts_c_->value();
+  out.shed = shed_queue_c_->value() + shed_inflight_c_->value() +
+             shed_datacache_c_->value();
   out.index = index_cache_.stats();
   out.fd = AggregateFdStats();
   out.request_latency_ms = request_latency_ms_h_->summary();
@@ -327,6 +380,28 @@ void MofSupplier::OnFrame(net::ConnId conn, Frame frame) {
   }
   {
     MutexLock lock(mu_);
+    // Admission control (DESIGN.md §16): shed the newest request instead
+    // of queueing unboundedly. Runs on the transport event thread, so
+    // both the decision and the pushback reply must never block.
+    const size_t queued = queued_requests_;
+    queue_depth_h_->Observe(static_cast<double>(queued));
+    if (options_.admission_max_queue > 0 &&
+        queued >= options_.admission_max_queue) {
+      lock.Unlock();
+      shed_queue_c_->Increment();
+      SendBusy(conn, *request, RetryAfterHintMs(queued));
+      return;
+    }
+    if (options_.admission_max_inflight_bytes > 0 &&
+        admitted_bytes_.load(std::memory_order_relaxed) + request->max_len >
+            options_.admission_max_inflight_bytes) {
+      lock.Unlock();
+      shed_inflight_c_->Increment();
+      SendBusy(conn, *request, RetryAfterHintMs(queued));
+      return;
+    }
+    ++queued_requests_;
+    admitted_bytes_.fetch_add(request->max_len, std::memory_order_relaxed);
     const int group_key =
         options_.pipelined ? request->map_task
                            : -1;  // serialized mode: one global FIFO
@@ -356,6 +431,7 @@ void MofSupplier::OnDisconnect(net::ConnId conn) {
     shard.conn_caps.erase(conn);
   }
   uint64_t purged = 0;
+  uint64_t released_bytes = 0;
   {
     MutexLock lock(mu_);
     for (auto it = groups_.begin(); it != groups_.end();) {
@@ -363,7 +439,9 @@ void MofSupplier::OnDisconnect(net::ConnId conn) {
       const size_t before = queue.size();
       queue.erase(std::remove_if(queue.begin(), queue.end(),
                                  [&](const PendingRequest& pending) {
-                                   return pending.conn == conn;
+                                   if (pending.conn != conn) return false;
+                                   released_bytes += pending.request.max_len;
+                                   return true;
                                  }),
                   queue.end());
       purged += before - queue.size();
@@ -371,7 +449,9 @@ void MofSupplier::OnDisconnect(net::ConnId conn) {
       // so erasing a checked-out group's (now empty) queue entry is safe.
       it = queue.empty() ? groups_.erase(it) : std::next(it);
     }
+    queued_requests_ -= static_cast<size_t>(purged);
   }
+  admitted_bytes_.fetch_sub(released_bytes, std::memory_order_relaxed);
   if (purged > 0) disconnect_purges_c_->Increment(purged);
   // Requests already checked out by a disk thread or sitting in the send
   // queue still flow through; their SendAsync fails against the dead
@@ -398,6 +478,7 @@ bool MofSupplier::NextBatch(std::vector<PendingRequest>* batch,
         for (int k = 0; k < take && !queue.empty(); ++k) {
           batch->push_back(std::move(queue.front()));
           queue.pop_front();
+          --queued_requests_;
         }
         busy_groups_.insert(it->first);
         rr_last_ = it->first;
@@ -423,6 +504,11 @@ void MofSupplier::DiskLoop() {
       } else {
         ServeInline(pending);
       }
+      // Admission byte budget: the request is no longer "inflight" once
+      // the disk stage is done with it, whatever the outcome — replies
+      // queued past this point are bounded by DataCache buffers instead.
+      admitted_bytes_.fetch_sub(pending.request.max_len,
+                                std::memory_order_relaxed);
     }
     {
       MutexLock lock(mu_);
@@ -490,13 +576,24 @@ Status MofSupplier::PreadInto(const mr::MofHandle& handle, uint64_t offset,
                               std::span<uint8_t> out) {
   const std::string path = handle.data_path.string();
   FdCache& fd_cache = PathShardOf(path).fd_cache;
-  auto file = fd_cache.Open(path);
-  if (!file.ok()) return file.status();
-  ChargeDiskModel(file->fd(), offset, out.size());
-  Status st = PreadFd(file->fd(), path, offset, out);
-  // A failed read may mean the descriptor went stale (file replaced);
-  // drop it so the next request reopens the path.
-  if (!st.ok()) fd_cache.Invalidate(path);
+  Status st = Internal("pread not attempted");
+  for (int attempt = 0; attempt < kPreadAttempts; ++attempt) {
+    auto file = fd_cache.Open(path);
+    if (!file.ok()) {
+      // NotFound (the MOF is gone) won't improve on retry.
+      if (file.status().code() == StatusCode::kNotFound) {
+        return file.status();
+      }
+      st = file.status();
+      continue;
+    }
+    ChargeDiskModel(file->fd(), offset, out.size());
+    st = PreadFd(file->fd(), path, offset, out);
+    if (st.ok()) return st;
+    // A failed read may mean the descriptor went stale (file replaced);
+    // drop it so the retry (and any later request) reopens the path.
+    fd_cache.Invalidate(path);
+  }
   return st;
 }
 
@@ -705,10 +802,43 @@ void MofSupplier::PrefetchOne(const PendingRequest& pending) {
   }
   // DataCache buffer: bounds in-flight disk reads *and* bytes parked on
   // the socket, since the buffer now travels with the frame until the
-  // transport drops its lease. Pool exhaustion blocks here, throttling
-  // the disk stage — the pipeline's natural backpressure.
-  PooledBuffer buffer = data_cache_.Acquire();
-  if (!buffer.valid()) return;  // pool cancelled: shutting down
+  // transport drops its lease. Below the occupancy watermark, pool
+  // exhaustion blocks here — the pipeline's natural backpressure. At or
+  // above it (or when the `datacache.acquire` failpoint scripts
+  // exhaustion), the wait is bounded and expiry sheds the request with
+  // kErrorBusy instead of parking the disk thread (DESIGN.md §16).
+  PooledBuffer buffer;
+  bool exhausted = JBS_FAILPOINT("datacache.acquire").kind ==
+                   failpoints::Action::Kind::kFalse;
+  const double watermark = options_.admission_datacache_watermark;
+  const bool watermarked =
+      !exhausted && watermark > 0 &&
+      static_cast<double>(data_cache_.capacity() - data_cache_.available()) >=
+          watermark * static_cast<double>(data_cache_.capacity());
+  if (watermarked) {
+    auto got = data_cache_.AcquireFor(std::chrono::milliseconds(
+        std::max(1, options_.admission_acquire_timeout_ms)));
+    if (got.ok()) {
+      buffer = std::move(got).value();
+    } else if (got.status().code() == StatusCode::kCancelled) {
+      return;  // shutting down
+    } else {
+      exhausted = true;
+    }
+  } else if (!exhausted) {
+    buffer = data_cache_.Acquire();
+    if (!buffer.valid()) return;  // pool cancelled: shutting down
+  }
+  if (exhausted) {
+    shed_datacache_c_->Increment();
+    size_t queued;
+    {
+      MutexLock lock(mu_);
+      queued = queued_requests_;
+    }
+    SendBusy(pending.conn, pending.request, RetryAfterHintMs(queued));
+    return;
+  }
   if (chunk > 0) {
     Status st = PreadInto(handle, disk_offset,
                           {buffer.data(), static_cast<size_t>(chunk)});
@@ -871,6 +1001,24 @@ void MofSupplier::EnqueueError(net::ConnId conn, const FetchRequest& request,
   ready.error.message = message;
   ready.enqueued = enqueued;
   (void)ConnShardOf(conn).send_queue.Push(std::move(ready));
+}
+
+void MofSupplier::SendBusy(net::ConnId conn, const FetchRequest& request,
+                           uint32_t retry_after_ms) {
+  BusyReply busy;
+  busy.map_task = request.map_task;
+  busy.partition = request.partition;
+  busy.retry_after_ms = retry_after_ms;
+  // Not an error (errors_c_ untouched): the request was shed, not failed,
+  // and the per-reason shed counter was already bumped by the caller.
+  endpoint_->SendAsync(conn, EncodeBusy(busy));
+}
+
+uint32_t MofSupplier::RetryAfterHintMs(size_t queued) const {
+  // Backlog-proportional: an idle-ish supplier asks for a quick retry, a
+  // deep queue spreads the retry storm out. Capped so a pathological
+  // backlog can't park mergers for whole seconds per attempt.
+  return static_cast<uint32_t>(std::min<size_t>(1000, 5 + queued));
 }
 
 void MofSupplier::SendErrorNow(net::ConnId conn, const FetchRequest& request,

@@ -93,6 +93,23 @@ class MofSupplier final : public mr::ShuffleServer {
     int prefetch_threads = 2; // disk-stage pool (pipelined mode only)
     bool pipelined = true;    // ablation: false degrades to serialized
                               // per-request service (HttpServlet-like)
+    // Overload control (DESIGN.md §16). Admission is decided at frame
+    // intake: a request that would push the pending-request count past
+    // `admission_max_queue`, or the admitted-byte budget (sum of max_len
+    // over requests accepted but not yet served) past
+    // `admission_max_inflight_bytes`, is shed with a kErrorBusy reply
+    // carrying a backlog-derived retry-after-ms hint, instead of queueing
+    // unboundedly. 0 disables each bound (legacy behavior).
+    size_t admission_max_queue = 0;
+    uint64_t admission_max_inflight_bytes = 0;
+    // DataCache occupancy watermark: once the fraction of pool buffers in
+    // use reaches it, the prefetch stage switches from "block on Acquire"
+    // (natural pipeline backpressure) to a bounded wait of
+    // `admission_acquire_timeout_ms` that sheds the request with
+    // kErrorBusy on expiry — saturation then pushes back to the merger
+    // instead of parking disk threads indefinitely. 0 disables.
+    double admission_datacache_watermark = 0;
+    int admission_acquire_timeout_ms = 100;
     // Thread-per-core serve sharding (DESIGN.md §15): number of
     // independent serve shards, each owning its own fd-cache, CRC memo,
     // compress memo, capability map, and send stage. Connections route by
@@ -144,6 +161,7 @@ class MofSupplier final : public mr::ShuffleServer {
     uint64_t bytes_wire = 0;         // payload bytes actually on the wire
     uint64_t chunks_compressed = 0;
     uint64_t compress_bailouts = 0;  // chunks that didn't compress enough
+    uint64_t shed = 0;               // requests answered with kErrorBusy
     IndexCache::Stats index;
     FdCache::Stats fd;
     Summary request_latency_ms;    // enqueue -> response handed to transport
@@ -209,6 +227,13 @@ class MofSupplier final : public mr::ShuffleServer {
   void EnqueueError(net::ConnId conn, const FetchRequest& request,
                     const std::string& message,
                     std::chrono::steady_clock::time_point enqueued);
+  /// Immediate kErrorBusy pushback for a shed request. Never blocks: the
+  /// frame goes straight to the transport's async send queue, so shedding
+  /// stays cheap exactly when the supplier is drowning.
+  void SendBusy(net::ConnId conn, const FetchRequest& request,
+                uint32_t retry_after_ms);
+  /// Backlog-proportional retry hint carried in busy replies.
+  uint32_t RetryAfterHintMs(size_t queued) const;
   void SendErrorNow(net::ConnId conn, const FetchRequest& request,
                     const std::string& message);
   Status PreadInto(const mr::MofHandle& handle, uint64_t offset,
@@ -384,6 +409,13 @@ class MofSupplier final : public mr::ShuffleServer {
   MetricCounter* sendfile_chunks_c_ = nullptr;
   MetricCounter* sendfile_bytes_c_ = nullptr;
   MetricHistogram* request_latency_ms_h_ = nullptr;
+  // Overload-control series: jbs_supplier_shed_total broken out by the
+  // admission decision that shed the request (queue / inflight_bytes /
+  // datacache), plus a queue-depth histogram observed at every intake.
+  MetricCounter* shed_queue_c_ = nullptr;
+  MetricCounter* shed_inflight_c_ = nullptr;
+  MetricCounter* shed_datacache_c_ = nullptr;
+  MetricHistogram* queue_depth_h_ = nullptr;
 
   mutable Mutex mu_;
   CondVar work_cv_;
@@ -396,6 +428,13 @@ class MofSupplier final : public mr::ShuffleServer {
   std::map<int, std::deque<PendingRequest>> groups_ GUARDED_BY(mu_);
   // Groups checked out by a disk thread.
   std::set<int> busy_groups_ GUARDED_BY(mu_);
+  // Requests admitted (sitting in groups_) but not yet popped by a disk
+  // thread — the admission queue depth.
+  size_t queued_requests_ GUARDED_BY(mu_) = 0;
+  // Admission byte budget: sum of max_len over requests admitted but not
+  // yet served. Charged at intake, released when the disk stage finishes
+  // the request (any outcome) or a disconnect purges it.
+  std::atomic<uint64_t> admitted_bytes_{0};
   // Round-robin pointer (last group served).
   int rr_last_ GUARDED_BY(mu_) = INT_MIN;
   bool stopping_ GUARDED_BY(mu_) = false;

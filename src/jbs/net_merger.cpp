@@ -37,6 +37,15 @@ bool IsPermanentFetchError(const Status& status) {
          status.message().rfind("fetch error:", 0) == 0;
 }
 
+/// Overload pushback (the supplier answered kErrorBusy): the request was
+/// shed under admission control, not failed. Pushback never counts against
+/// node health, never classifies as corruption, and never promotes a
+/// failover replica — it retries the same node on its own budget.
+bool IsPushback(const Status& status) {
+  return status.code() == StatusCode::kResourceExhausted &&
+         status.message().rfind("server busy", 0) == 0;
+}
+
 }  // namespace
 
 NetMerger::NetMerger(Options options)
@@ -81,6 +90,7 @@ NetMerger::NetMerger(Options options)
   chunks_compressed_c_ =
       metrics_->GetCounter("jbs_netmerger_chunks_compressed_total", base);
   failovers_c_ = metrics_->GetCounter("jbs_netmerger_failovers_total", base);
+  pushback_c_ = metrics_->GetCounter("jbs_netmerger_pushback_total", base);
   health_ = std::make_unique<NodeHealthTracker>(
       NodeHealthTracker::Options{
           options_.health_suspect_after, options_.health_penalize_after,
@@ -186,6 +196,7 @@ NetMerger::MergerStats NetMerger::merger_stats() const {
   out.chunks_compressed = chunks_compressed_c_->value();
   out.failovers = failovers_c_->value();
   out.penalties = health_->penalties();
+  out.pushbacks = pushback_c_->value();
   return out;
 }
 
@@ -454,6 +465,36 @@ int64_t NetMerger::NextBackoffMs(int attempt,
   return backoff;
 }
 
+int64_t NetMerger::PushbackDelayMs(uint32_t hint_ms,
+                                   const net::Deadline& fetch_deadline) {
+  // Honor the server's hint but desynchronize: every shed merger got
+  // roughly the same hint, and returning in lockstep would re-create the
+  // queue spike that caused the shed. Jitter adds up to +50%.
+  int64_t delay = std::max<int64_t>(1, hint_ms);
+  {
+    MutexLock lock(rng_mu_);
+    delay += static_cast<int64_t>(
+        rng_.Below(static_cast<uint64_t>(delay / 2 + 1)));
+  }
+  if (options_.max_retry_backoff_ms > 0) {
+    delay = std::min<int64_t>(delay, options_.max_retry_backoff_ms);
+  }
+  if (!fetch_deadline.infinite()) {
+    delay = std::min(delay, fetch_deadline.remaining_ms());
+  }
+  return std::max<int64_t>(delay, 0);
+}
+
+bool NetMerger::SleepInterruptible(int64_t ms) {
+  MutexLock lock(sched_mu_);
+  const auto wake =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  while (!stopping_ &&
+         work_cv_.WaitUntil(lock, wake) != std::cv_status::timeout) {
+  }
+  return !stopping_;
+}
+
 Status NetMerger::SendHello(net::Connection& conn,
                             const net::Deadline& deadline) {
   Hello hello;
@@ -476,30 +517,18 @@ void NetMerger::ExecuteTask(const std::string& node, FetchTask task) {
   const net::Deadline fetch_deadline = task.deadline;
   const auto fetch_start = std::chrono::steady_clock::now();
   int attempts_used = 0;
+  int attempt = 0;            // transient-failure attempts consumed
+  int pushbacks_honored = 0;  // kErrorBusy budget consumed — separate ledger
   bool dialed_ok = false;
   StatusOr<FetchedSegment> result = Unavailable("not fetched");
-  for (int attempt = 0; attempt < options_.max_fetch_attempts; ++attempt) {
+  uint32_t busy_hint_ms = 0;
+  for (;;) {
     attempts_used = attempt + 1;
     dialed_ok = false;
+    busy_hint_ms = 0;
     if (cancelled_.load()) {
       result = Unavailable("NetMerger stopped");
       break;
-    }
-    if (attempt > 0) {
-      fetch_retries_c_->Increment();
-      trace_->Record(task.fetch_id, TraceEvent::kRetry, attempt);
-      const int64_t backoff = NextBackoffMs(attempt, fetch_deadline);
-      MutexLock lock(sched_mu_);
-      // Interruptible sleep: Stop() must not wait out a backoff.
-      const auto wake = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(backoff);
-      while (!stopping_ &&
-             work_cv_.WaitUntil(lock, wake) != std::cv_status::timeout) {
-      }
-      if (stopping_) {
-        result = Unavailable("NetMerger stopped");
-        break;
-      }
     }
     if (fetch_deadline.expired()) {
       deadline_expiries_c_->Increment();
@@ -525,7 +554,7 @@ void NetMerger::ExecuteTask(const std::string& node, FetchTask task) {
         Status hello_st = dialed ? SendHello(**conn, dial_deadline)
                                  : Status::Ok();
         if (hello_st.ok()) {
-          result = FetchSegment(**conn, task, fetch_deadline);
+          result = FetchSegment(**conn, task, fetch_deadline, &busy_hint_ms);
         } else {
           result = hello_st;
         }
@@ -559,8 +588,10 @@ void NetMerger::ExecuteTask(const std::string& node, FetchTask task) {
         dialed_ok = true;
         trace_->Record(task.fetch_id, TraceEvent::kDialed, attempt + 1);
         Status hello_st = SendHello(**conn, dial_deadline);
-        result = hello_st.ok() ? FetchSegment(**conn, task, fetch_deadline)
-                               : StatusOr<FetchedSegment>(hello_st);
+        result = hello_st.ok()
+                     ? FetchSegment(**conn, task, fetch_deadline,
+                                    &busy_hint_ms)
+                     : StatusOr<FetchedSegment>(hello_st);
         {
           MutexLock lock(inflight_mu_);
           inflight_conns_.erase(raw);
@@ -572,6 +603,21 @@ void NetMerger::ExecuteTask(const std::string& node, FetchTask task) {
     }
     if (result.ok()) break;
     if (cancelled_.load()) break;
+    if (IsPushback(result.status())) {
+      // Server pushback (DESIGN.md §16): the supplier shed this request
+      // under admission control. No attempt is consumed and no health
+      // bookkeeping runs — the node is healthy, just saturated. Honor the
+      // retry-after hint (jittered) against the pushback budget.
+      pushback_c_->Increment();
+      if (pushbacks_honored >= options_.pushback_retry_budget) break;
+      ++pushbacks_honored;
+      trace_->Record(task.fetch_id, TraceEvent::kRetry, attempt);
+      if (!SleepInterruptible(PushbackDelayMs(busy_hint_ms, fetch_deadline))) {
+        result = Unavailable("NetMerger stopped");
+        break;
+      }
+      continue;
+    }
     // Permanent errors (the server answered with kFetchError) don't heal
     // with retries of the same node — but a replica might hold the MOF, so
     // they still fail over below.
@@ -584,13 +630,28 @@ void NetMerger::ExecuteTask(const std::string& node, FetchTask task) {
                                ClassifyFailure(result.status(), dialed_ok))) {
       connections_.Invalidate(task.source.host, task.source.port);
     }
+    ++attempt;
+    if (attempt >= options_.max_fetch_attempts) break;
+    fetch_retries_c_->Increment();
+    trace_->Record(task.fetch_id, TraceEvent::kRetry, attempt);
+    // Interruptible sleep: Stop() must not wait out a backoff.
+    if (!SleepInterruptible(NextBackoffMs(attempt, fetch_deadline))) {
+      result = Unavailable("NetMerger stopped");
+      break;
+    }
   }
   if (!cancelled_.load() &&
-      (result.ok() || IsPermanentFetchError(result.status()))) {
+      (result.ok() || IsPermanentFetchError(result.status()) ||
+       IsPushback(result.status()))) {
     // Either way the node is alive and speaking protocol: streak cleared.
     health_->RecordSuccess(node);
   }
-  if (!result.ok() && TryFailover(task, result.status())) return;
+  // Pushback never promotes a replica: every copy of a hot partition is
+  // likely saturated too, and rerouting just spreads the overload.
+  if (!result.ok() && !IsPushback(result.status()) &&
+      TryFailover(task, result.status())) {
+    return;
+  }
   const double latency_ms = std::chrono::duration<double, std::milli>(
                                 std::chrono::steady_clock::now() - fetch_start)
                                 .count();
@@ -641,7 +702,7 @@ bool NetMerger::TryFailover(FetchTask& task, const Status& why) {
 
 StatusOr<NetMerger::FetchedSegment> NetMerger::FetchSegment(
     net::Connection& conn, const FetchTask& task,
-    const net::Deadline& deadline) {
+    const net::Deadline& deadline, uint32_t* busy_retry_after_ms) {
   FetchedSegment fetched;
   std::vector<uint8_t>& segment = fetched.bytes;
   // Per-chunk counters accumulate locally and fold into the registry once
@@ -676,6 +737,19 @@ StatusOr<NetMerger::FetchedSegment> NetMerger::FetchSegment(
       auto error = DecodeError(*reply);
       return IoError("fetch error: " +
                      (error ? error->message : "undecodable"));
+    }
+    if (reply->type == kErrorBusy) {
+      // Checked before any data decode, so a busy frame can never reach
+      // the CRC verifier and masquerade as chunk corruption.
+      auto busy = DecodeBusy(*reply);
+      if (!busy) return IoError("undecodable busy frame");
+      if (busy_retry_after_ms != nullptr) {
+        *busy_retry_after_ms = busy->retry_after_ms;
+      }
+      return ResourceExhausted(
+          "server busy: map " + std::to_string(task.source.map_task) +
+          " shed, retry after " + std::to_string(busy->retry_after_ms) +
+          "ms");
     }
     std::span<const uint8_t> data;
     auto header = DecodeData(*reply, &data);

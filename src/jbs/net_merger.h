@@ -47,6 +47,17 @@ class NetMerger final : public mr::ShuffleClient {
     int max_fetch_attempts = 3;      // transient-failure retries per fetch
     int retry_backoff_ms = 20;       // doubled per attempt, jittered
     int max_retry_backoff_ms = 2000;  // backoff ceiling (0 = uncapped)
+    // Overload pushback (DESIGN.md §16): a kErrorBusy reply is not a
+    // failure — the supplier shed the request under admission control.
+    // Busy retries honor the server's retry-after hint (plus capped
+    // jitter) and draw from this budget, a ledger separate from
+    // max_fetch_attempts and from the fetch deadline, so a long overload
+    // episode neither burns failure attempts nor converts into spurious
+    // failovers / health penalties. Exhausting the budget completes the
+    // fetch with kResourceExhausted (no failover — every replica of a hot
+    // partition is likely saturated too, and hammering the next one only
+    // spreads the overload).
+    int pushback_retry_budget = 32;
     int64_t fetch_deadline_ms = 0;   // budget for one fetch incl. retries
                                      // (0 = unbounded)
     int64_t connect_timeout_ms = 0;  // per-dial bound (0 = unbounded)
@@ -112,6 +123,7 @@ class NetMerger final : public mr::ShuffleClient {
     uint64_t chunks_compressed = 0; // chunks that arrived kChunkCompressed
     uint64_t failovers = 0;         // fetches rerouted to a replica
     uint64_t penalties = 0;         // penalty-box sentences handed out
+    uint64_t pushbacks = 0;         // kErrorBusy replies honored
   };
   MergerStats merger_stats() const;
 
@@ -194,14 +206,25 @@ class NetMerger final : public mr::ShuffleClient {
   /// dial-grade fault — the socket is already sick — surfaced to the
   /// retry loop like a failed Connect.
   Status SendHello(net::Connection& conn, const net::Deadline& deadline);
+  /// `busy_retry_after_ms` (may be null) receives the server's retry-after
+  /// hint when the conversation ends in kErrorBusy pushback.
   StatusOr<FetchedSegment> FetchSegment(net::Connection& conn,
                                         const FetchTask& task,
-                                        const net::Deadline& deadline);
+                                        const net::Deadline& deadline,
+                                        uint32_t* busy_retry_after_ms);
   void CompleteTask(const FetchTask& task, StatusOr<FetchedSegment> result);
   /// Capped, jittered exponential backoff for retry `attempt` (>= 1),
   /// clamped so the sleep never overruns the fetch deadline.
   int64_t NextBackoffMs(int attempt, const net::Deadline& fetch_deadline)
       EXCLUDES(rng_mu_);
+  /// Sleep before honoring a kErrorBusy reply: the server's retry-after
+  /// hint plus up to 50% jitter (so pushed-back mergers don't return in
+  /// lockstep), capped by max_retry_backoff_ms and the fetch deadline.
+  int64_t PushbackDelayMs(uint32_t hint_ms,
+                          const net::Deadline& fetch_deadline)
+      EXCLUDES(rng_mu_);
+  /// Interruptible sleep: returns false when Stop() cut it short.
+  bool SleepInterruptible(int64_t ms) EXCLUDES(sched_mu_);
   /// Labels shared by all of this merger's metrics.
   MetricLabels BaseLabels() const;
   /// Publishes `depth` for the node's queue-depth gauge. Touches only the
@@ -233,6 +256,7 @@ class NetMerger final : public mr::ShuffleClient {
   MetricCounter* chunks_corrupt_c_ = nullptr;
   MetricCounter* chunks_compressed_c_ = nullptr;
   MetricCounter* failovers_c_ = nullptr;
+  MetricCounter* pushback_c_ = nullptr;
   MetricHistogram* fetch_latency_ms_h_ = nullptr;
   MetricHistogram* fetch_attempts_h_ = nullptr;
 

@@ -75,6 +75,16 @@ JbsShufflePlugin::Options JbsShufflePlugin::OptionsFromConfig(
       conf.GetDouble(conf::kWireCompressMinRatio, 0.9);
   options.compress_cache_entries =
       static_cast<size_t>(conf.GetInt(conf::kCompressCacheEntries, 1024));
+  options.admission_max_queue =
+      static_cast<size_t>(conf.GetInt(conf::kAdmissionMaxQueue, 0));
+  options.admission_max_inflight_bytes = static_cast<uint64_t>(
+      conf.GetSize(conf::kAdmissionMaxInflightBytes, 0));
+  options.admission_datacache_watermark =
+      conf.GetDouble(conf::kAdmissionDataCacheWatermark, 0);
+  options.admission_acquire_timeout_ms =
+      static_cast<int>(conf.GetInt(conf::kAdmissionAcquireTimeoutMs, 100));
+  options.pushback_retry_budget =
+      static_cast<int>(conf.GetInt(conf::kPushbackRetryBudget, 32));
   options.engine =
       net::ParseEngine(conf.GetOr(conf::kTransportEngine, "epoll"));
   options.transport_loops =
@@ -108,6 +118,10 @@ std::unique_ptr<mr::ShuffleServer> JbsShufflePlugin::CreateServer(
   sopts.wire_compress_min_ratio = options_.wire_compress_min_ratio;
   sopts.compress_cache_entries = options_.compress_cache_entries;
   sopts.serve_shards = options_.serve_shards;
+  sopts.admission_max_queue = options_.admission_max_queue;
+  sopts.admission_max_inflight_bytes = options_.admission_max_inflight_bytes;
+  sopts.admission_datacache_watermark = options_.admission_datacache_watermark;
+  sopts.admission_acquire_timeout_ms = options_.admission_acquire_timeout_ms;
   return std::make_unique<MofSupplier>(sopts);
 }
 
@@ -135,6 +149,7 @@ std::unique_ptr<mr::ShuffleClient> JbsShufflePlugin::CreateClient(
   nopts.health_penalize_after = options_.health_penalize_after;
   nopts.health_penalty_ms = options_.health_penalty_ms;
   nopts.health_penalty_max_ms = options_.health_penalty_max_ms;
+  nopts.pushback_retry_budget = options_.pushback_retry_budget;
   return std::make_unique<NetMerger>(nopts);
 }
 

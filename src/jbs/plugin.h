@@ -56,6 +56,13 @@ struct JbsOptions {
   uint64_t wire_compress_min_bytes = 4096;
   double wire_compress_min_ratio = 0.9;
   size_t compress_cache_entries = 1024;
+  // Overload control (DESIGN.md §16): supplier admission bounds (0 = off)
+  // and the merger's kErrorBusy retry budget.
+  size_t admission_max_queue = 0;
+  uint64_t admission_max_inflight_bytes = 0;
+  double admission_datacache_watermark = 0;
+  int admission_acquire_timeout_ms = 100;
+  int pushback_retry_budget = 32;
   // Thread-per-core execution model (DESIGN.md §15): TCP server event-loop
   // engine, loop-shard count (0 = per core, capped at 8), and MofSupplier
   // serve shards (0 = per core; connections pin to the shard matching

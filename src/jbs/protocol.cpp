@@ -150,4 +150,27 @@ std::optional<FetchError> DecodeError(const Frame& frame) {
   return error;
 }
 
+Frame EncodeBusy(const BusyReply& busy) {
+  Frame frame;
+  frame.type = kErrorBusy;
+  PutU32(frame.payload, static_cast<uint32_t>(busy.map_task));
+  PutU32(frame.payload, static_cast<uint32_t>(busy.partition));
+  PutU32(frame.payload, busy.retry_after_ms);
+  return frame;
+}
+
+std::optional<BusyReply> DecodeBusy(const Frame& frame) {
+  // Accept >= 12 bytes so a future version may append fields, matching the
+  // hello frame's forward-compatibility posture.
+  if (frame.type != kErrorBusy || frame.payload.size() < 12) {
+    return std::nullopt;
+  }
+  const uint8_t* p = frame.payload.data();
+  BusyReply busy;
+  busy.map_task = static_cast<int32_t>(GetU32(p));
+  busy.partition = static_cast<int32_t>(GetU32(p + 4));
+  busy.retry_after_ms = GetU32(p + 8);
+  return busy;
+}
+
 }  // namespace jbs::shuffle

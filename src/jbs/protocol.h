@@ -26,6 +26,7 @@ enum FrameType : uint8_t {
   kFetchData = 2,
   kFetchError = 3,
   kHello = 4,
+  kErrorBusy = 5,
 };
 
 /// Highest protocol version this build speaks. Version 1 (implicit — no
@@ -85,6 +86,18 @@ struct FetchError {
   std::string message;
 };
 
+/// Overload pushback (DESIGN.md §16): the supplier shed this request
+/// instead of queueing it — its admission queue, inflight-byte budget, or
+/// DataCache is saturated. Not a failure: the segment exists and the server
+/// is healthy, just busy. Clients retry the same server after roughly
+/// `retry_after_ms` (plus jitter); pushback must not count against node
+/// health, trigger failover-replica promotion, or be treated as corruption.
+struct BusyReply {
+  int32_t map_task = 0;
+  int32_t partition = 0;
+  uint32_t retry_after_ms = 0;  // server's backlog-derived retry hint
+};
+
 Frame EncodeRequest(const FetchRequest& request);
 std::optional<FetchRequest> DecodeRequest(const Frame& frame);
 
@@ -119,6 +132,9 @@ std::optional<FetchDataHeader> DecodeData(const Frame& frame,
 
 Frame EncodeError(const FetchError& error);
 std::optional<FetchError> DecodeError(const Frame& frame);
+
+Frame EncodeBusy(const BusyReply& busy);
+std::optional<BusyReply> DecodeBusy(const Frame& frame);
 
 /// The chunk checksum: CRC32 over the payload bytes folded with the header
 /// fields (everything except the crc field itself), so a bit flip anywhere

@@ -16,6 +16,7 @@
 #include <cstring>
 #include <unordered_set>
 
+#include "common/failpoints.h"
 #include "common/logging.h"
 
 // The repo rule is "no new dependencies": liburing is not in the image, so
@@ -428,6 +429,9 @@ void UringEventLoop::OnPollComplete(Op* op, int res) {
 bool UringEventLoop::SubmitFileChain(int sock, int file_fd, uint64_t offset,
                                      uint64_t length, ChainCallback done) {
   if (!chain_ok_ || !running_.load(std::memory_order_relaxed)) return false;
+  // Simulated submission failure: refuse the chain so the caller takes its
+  // sendfile fallback, exactly as when the ring lacks chain support.
+  if (JBS_FAILPOINT("uring.submit")) return false;
   Chain* chain = new Chain;
   chain->sock = sock;
   chain->file_fd = file_fd;

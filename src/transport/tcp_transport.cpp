@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/failpoints.h"
 #include "common/logging.h"
 #include "common/mutex.h"
 #include "common/percore.h"
@@ -594,9 +595,16 @@ class TcpServerEndpoint final : public ServerEndpoint {
                     OutFrame& front, bool& blocked) {
     for (;;) {
       off_t off = static_cast<off_t>(front.file.offset + front.file_sent);
-      const ssize_t n =
-          ::sendfile(state.fd.get(), front.file.fd, &off,
-                     static_cast<size_t>(front.file_remaining()));
+      ssize_t n;
+      if (const auto fp = JBS_FAILPOINT("tcp.sendfile")) {
+        // kError injects an errno; any other armed action simulates the
+        // n == 0 truncated-file verdict.
+        n = fp.kind == failpoints::Action::Kind::kError ? -1 : 0;
+        errno = fp.err;
+      } else {
+        n = ::sendfile(state.fd.get(), front.file.fd, &off,
+                       static_cast<size_t>(front.file_remaining()));
+      }
       if (n < 0) {
         // EINTR before any byte moved: retry; `off` is recomputed from
         // file_sent, so an interrupted attempt cannot double-advance.
@@ -635,9 +643,15 @@ class TcpServerEndpoint final : public ServerEndpoint {
     front.spill.resize(start + want);
     size_t done = 0;
     while (done < want) {
-      const ssize_t n = ::pread(
-          front.file.fd, front.spill.data() + start + done, want - done,
-          static_cast<off_t>(front.file.offset + front.file_sent + done));
+      ssize_t n;
+      if (const auto fp = JBS_FAILPOINT("tcp.spill_pread")) {
+        n = -1;
+        errno = fp.err;
+      } else {
+        n = ::pread(
+            front.file.fd, front.spill.data() + start + done, want - done,
+            static_cast<off_t>(front.file.offset + front.file_sent + done));
+      }
       if (n < 0 && errno == EINTR) continue;
       if (n <= 0) {
         CloseConn(shard, id);

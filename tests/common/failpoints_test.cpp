@@ -1,0 +1,128 @@
+// Failpoint layer (DESIGN.md §16): spec grammar, fire bookkeeping
+// (skip / max-fires / probability), and the compiled-out contract. Most
+// tests need JBS_FAILPOINTS=ON (the `failpoints` preset) and skip
+// otherwise; the compiled-out test does the reverse.
+#include "common/failpoints.h"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+
+namespace jbs {
+namespace {
+
+class FailpointsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!failpoints::Enabled()) {
+      GTEST_SKIP() << "failpoints compiled out (build with JBS_FAILPOINTS=ON)";
+    }
+    failpoints::DisarmAll();
+  }
+  void TearDown() override { failpoints::DisarmAll(); }
+};
+
+TEST_F(FailpointsTest, UnarmedSiteBehavesNormally) {
+  const auto fp = JBS_FAILPOINT("failpoints_test.unarmed");
+  EXPECT_FALSE(static_cast<bool>(fp));
+  EXPECT_EQ(fp.kind, failpoints::Action::Kind::kNone);
+}
+
+TEST_F(FailpointsTest, NamedErrnoActionsFire) {
+  ASSERT_TRUE(failpoints::Arm("failpoints_test.a", "eio").ok());
+  const auto fp = JBS_FAILPOINT("failpoints_test.a");
+  ASSERT_TRUE(static_cast<bool>(fp));
+  EXPECT_EQ(fp.kind, failpoints::Action::Kind::kError);
+  EXPECT_EQ(fp.err, EIO);
+
+  ASSERT_TRUE(failpoints::Arm("failpoints_test.a", "emfile").ok());
+  EXPECT_EQ(JBS_FAILPOINT("failpoints_test.a").err, EMFILE);
+  ASSERT_TRUE(failpoints::Arm("failpoints_test.a", "enospc").ok());
+  EXPECT_EQ(JBS_FAILPOINT("failpoints_test.a").err, ENOSPC);
+  ASSERT_TRUE(failpoints::Arm("failpoints_test.a", "err:104").ok());
+  EXPECT_EQ(JBS_FAILPOINT("failpoints_test.a").err, 104);
+}
+
+TEST_F(FailpointsTest, ShortReadAndFalseActions) {
+  ASSERT_TRUE(failpoints::Arm("failpoints_test.s", "short:7").ok());
+  const auto fp = JBS_FAILPOINT("failpoints_test.s");
+  EXPECT_EQ(fp.kind, failpoints::Action::Kind::kShortRead);
+  EXPECT_EQ(fp.arg, 7u);
+
+  ASSERT_TRUE(failpoints::Arm("failpoints_test.f", "false").ok());
+  EXPECT_EQ(JBS_FAILPOINT("failpoints_test.f").kind,
+            failpoints::Action::Kind::kFalse);
+}
+
+TEST_F(FailpointsTest, MaxFiresThenQuiet) {
+  ASSERT_TRUE(failpoints::Arm("failpoints_test.n", "eio*2").ok());
+  EXPECT_TRUE(static_cast<bool>(JBS_FAILPOINT("failpoints_test.n")));
+  EXPECT_TRUE(static_cast<bool>(JBS_FAILPOINT("failpoints_test.n")));
+  EXPECT_FALSE(static_cast<bool>(JBS_FAILPOINT("failpoints_test.n")));
+  EXPECT_EQ(failpoints::HitCount("failpoints_test.n"), 3u);
+  EXPECT_EQ(failpoints::FireCount("failpoints_test.n"), 2u);
+}
+
+TEST_F(FailpointsTest, SkipSwallowsLeadingHits) {
+  ASSERT_TRUE(failpoints::Arm("failpoints_test.k", "eio+2*1").ok());
+  EXPECT_FALSE(static_cast<bool>(JBS_FAILPOINT("failpoints_test.k")));
+  EXPECT_FALSE(static_cast<bool>(JBS_FAILPOINT("failpoints_test.k")));
+  EXPECT_TRUE(static_cast<bool>(JBS_FAILPOINT("failpoints_test.k")));
+  EXPECT_FALSE(static_cast<bool>(JBS_FAILPOINT("failpoints_test.k")));
+  EXPECT_EQ(failpoints::FireCount("failpoints_test.k"), 1u);
+}
+
+TEST_F(FailpointsTest, ProbabilisticFiringIsSeededAndDeterministic) {
+  const auto campaign = [&] {
+    failpoints::SetSeed(42);
+    ASSERT_TRUE(failpoints::Arm("failpoints_test.p", "eio%30").ok());
+  };
+  campaign();
+  uint64_t first = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (JBS_FAILPOINT("failpoints_test.p")) ++first;
+  }
+  // ~300 expected; a generous band still catches 0%/100% regressions.
+  EXPECT_GT(first, 150u);
+  EXPECT_LT(first, 450u);
+  campaign();
+  uint64_t second = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (JBS_FAILPOINT("failpoints_test.p")) ++second;
+  }
+  EXPECT_EQ(first, second) << "same seed must replay the same fault schedule";
+}
+
+TEST_F(FailpointsTest, MalformedSpecsRejected) {
+  EXPECT_EQ(failpoints::Arm("x", "explode").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(failpoints::Arm("x", "eio*abc").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(failpoints::Arm("x", "eio%200").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(failpoints::Arm("x", "err:-5").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(FailpointsTest, DisarmStopsFiring) {
+  ASSERT_TRUE(failpoints::Arm("failpoints_test.d", "eio").ok());
+  EXPECT_TRUE(static_cast<bool>(JBS_FAILPOINT("failpoints_test.d")));
+  failpoints::Disarm("failpoints_test.d");
+  EXPECT_FALSE(static_cast<bool>(JBS_FAILPOINT("failpoints_test.d")));
+  EXPECT_EQ(failpoints::HitCount("failpoints_test.d"), 0u);
+}
+
+TEST(FailpointsDisabledTest, CompiledOutArmReportsUnavailable) {
+  if (failpoints::Enabled()) {
+    GTEST_SKIP() << "failpoints compiled in";
+  }
+  // The stub API must be inert, not silently succeed: a chaos campaign
+  // against a release build should fail loudly at arm time.
+  const Status st = failpoints::Arm("anything", "eio");
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(static_cast<bool>(JBS_FAILPOINT("anything")));
+  EXPECT_EQ(failpoints::HitCount("anything"), 0u);
+}
+
+}  // namespace
+}  // namespace jbs

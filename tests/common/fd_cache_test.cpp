@@ -101,8 +101,11 @@ TEST_F(FdCacheTest, MissingFileReportsOpenFailure) {
   FdCache cache(4);
   auto result = cache.Open((dir_ / "nope").string());
   EXPECT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  // ENOENT is fatal and classified: the MOF is gone, not the fd table —
+  // callers must not react with emergency eviction or a busy retry.
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
   EXPECT_EQ(cache.stats().open_failures, 1u);
+  EXPECT_EQ(cache.stats().emergency_evictions, 0u);
   EXPECT_EQ(cache.size(), 0u);
 }
 

@@ -150,6 +150,44 @@ TEST(ProtocolTest, HelloFromNewerPeerStillDecodes) {
   EXPECT_TRUE(decoded->caps & kCapWireCompression);
 }
 
+TEST(ProtocolTest, BusyRoundTrip) {
+  BusyReply busy;
+  busy.map_task = 11;
+  busy.partition = 3;
+  busy.retry_after_ms = 250;
+  auto decoded = DecodeBusy(EncodeBusy(busy));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->map_task, 11);
+  EXPECT_EQ(decoded->partition, 3);
+  EXPECT_EQ(decoded->retry_after_ms, 250u);
+}
+
+TEST(ProtocolTest, BusyRejectsWrongTypeAndShortPayload) {
+  EXPECT_FALSE(DecodeBusy(EncodeRequest({})).has_value());
+  Frame truncated = EncodeBusy({});
+  truncated.payload.resize(11);
+  EXPECT_FALSE(DecodeBusy(truncated).has_value());
+}
+
+TEST(ProtocolTest, BusyFromNewerPeerStillDecodes) {
+  Frame frame = EncodeBusy({1, 2, 30});
+  frame.payload.push_back(0xEE);  // trailing bytes from a newer encoder
+  auto decoded = DecodeBusy(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->retry_after_ms, 30u);
+}
+
+TEST(ProtocolTest, BusyIsNotDataAndCannotReachCrcPath) {
+  // Classification guard: a kErrorBusy frame must never decode as fetch
+  // data (and so can never be mistaken for a corrupt chunk by the CRC
+  // verifier) nor as a permanent kFetchError verdict.
+  const Frame frame = EncodeBusy({7, 0, 100});
+  std::span<const uint8_t> data;
+  EXPECT_FALSE(DecodeData(frame, &data).has_value());
+  EXPECT_FALSE(DecodeError(frame).has_value());
+  EXPECT_FALSE(DecodeRequest(frame).has_value());
+}
+
 TEST(ProtocolTest, WrongTypeRejected) {
   Frame frame = EncodeRequest({});
   EXPECT_FALSE(DecodeError(frame).has_value());
