@@ -18,7 +18,7 @@ class BlockingQueue {
   explicit BlockingQueue(size_t capacity = SIZE_MAX) : capacity_(capacity) {}
 
   /// Blocks while full. Returns false if the queue was closed.
-  bool Push(T item) EXCLUDES(mu_) {
+  JBS_BLOCKING bool Push(T item) EXCLUDES(mu_) {
     MutexLock lock(mu_);
     while (!closed_ && items_.size() >= capacity_) not_full_cv_.Wait(lock);
     if (closed_) return false;
@@ -40,7 +40,7 @@ class BlockingQueue {
   }
 
   /// Blocks while empty. Returns nullopt once closed and drained.
-  std::optional<T> Pop() EXCLUDES(mu_) {
+  JBS_BLOCKING std::optional<T> Pop() EXCLUDES(mu_) {
     MutexLock lock(mu_);
     while (!closed_ && items_.empty()) not_empty_cv_.Wait(lock);
     if (items_.empty()) return std::nullopt;

@@ -65,7 +65,7 @@ class BufferPool {
 
   /// Blocks until a buffer is available. Returns an invalid buffer if the
   /// pool was cancelled while (or before) waiting.
-  PooledBuffer Acquire() EXCLUDES(mu_);
+  JBS_BLOCKING PooledBuffer Acquire() EXCLUDES(mu_);
 
   /// Returns an invalid buffer instead of blocking when the pool is dry.
   PooledBuffer TryAcquire() EXCLUDES(mu_);
@@ -75,9 +75,9 @@ class BufferPool {
   /// Unlike Acquire(), a leaked lease cannot park a pipeline stage forever
   /// — overload-control callers (the prefetch stage) use the expiry to
   /// shed the request instead of hanging (DESIGN.md §16).
-  StatusOr<PooledBuffer> AcquireFor(
+  JBS_BLOCKING StatusOr<PooledBuffer> AcquireFor(
       std::chrono::steady_clock::time_point deadline) EXCLUDES(mu_);
-  StatusOr<PooledBuffer> AcquireFor(std::chrono::milliseconds timeout)
+  JBS_BLOCKING StatusOr<PooledBuffer> AcquireFor(std::chrono::milliseconds timeout)
       EXCLUDES(mu_) {
     return AcquireFor(std::chrono::steady_clock::now() + timeout);
   }

@@ -1,0 +1,232 @@
+#include "common/deadlock.h"
+
+#if defined(JBS_DEADLOCK_DETECT_ENABLED)
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+namespace jbs::deadlock {
+
+namespace {
+
+// The detector's own lock is a raw std::mutex, NOT jbs::Mutex — the hooks
+// fire from inside jbs::Mutex, so using the instrumented type here would
+// recurse (and put the detector's lock into its own order graph).
+std::mutex& StateMu() {
+  static std::mutex mu;
+  return mu;
+}
+
+struct Edge {
+  const void* from;
+  const void* to;
+  // Where the order was established: `from` was held (acquired at
+  // from_file:from_line) when `to` was acquired (at to_file:to_line).
+  const char* from_file;
+  int from_line;
+  const char* to_file;
+  int to_line;
+};
+
+// Fixed-capacity edge table: no allocation on the hot path after warmup,
+// bounded memory under pathological mutex churn. 8K observed orderings is
+// far beyond what the test suites produce (hundreds); overflow is counted
+// and surfaced via DroppedEdgeCount so a capacity miss can't silently
+// disable checking.
+constexpr size_t kMaxEdges = 8192;
+
+struct State {
+  std::vector<Edge> edges;
+  uint64_t dropped = 0;
+  State() { edges.reserve(kMaxEdges); }
+};
+
+State& GlobalState() {
+  static State* state = new State();  // leaked: hooks run during exit
+  return *state;
+}
+
+struct Held {
+  const void* mu;
+  const char* file;
+  int line;
+};
+
+// Per-thread held stack. Fixed capacity: beyond it, acquisitions are
+// still tracked for release correctness but stop generating edges (and
+// are counted as dropped). Real code in this tree nests 2-3 locks deep.
+constexpr size_t kMaxHeld = 64;
+
+struct ThreadStack {
+  Held held[kMaxHeld];
+  size_t depth = 0;
+};
+
+ThreadStack& LocalStack() {
+  thread_local ThreadStack stack;
+  return stack;
+}
+
+// True when `to` is reachable from `from` in the edge table. Iterative
+// DFS over at most kMaxEdges edges; called only while inserting a new
+// edge, under StateMu.
+bool Reachable(const State& state, const void* from, const void* to) {
+  if (from == to) return true;
+  std::vector<const void*> frontier{from};
+  std::vector<const void*> visited;
+  while (!frontier.empty()) {
+    const void* node = frontier.back();
+    frontier.pop_back();
+    bool seen = false;
+    for (const void* v : visited) {
+      if (v == node) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) continue;
+    visited.push_back(node);
+    for (const Edge& e : state.edges) {
+      if (e.from != node) continue;
+      if (e.to == to) return true;
+      frontier.push_back(e.to);
+    }
+  }
+  return false;
+}
+
+const Edge* FindEdge(const State& state, const void* from, const void* to) {
+  for (const Edge& e : state.edges) {
+    if (e.from == from && e.to == to) return &e;
+  }
+  return nullptr;
+}
+
+[[noreturn]] void ReportInversion(const State& state, const Held& held,
+                                  const void* acquiring, const char* file,
+                                  int line) {
+  // The direct reverse edge names the exact prior ordering when it
+  // exists; a longer reverse path falls back to its first hop.
+  const Edge* reverse = FindEdge(state, acquiring, held.mu);
+  std::fprintf(stderr,
+               "jbs-deadlock: lock-order inversion detected\n"
+               "  acquiring mutex %p at %s:%d\n"
+               "  while holding mutex %p (acquired at %s:%d)\n",
+               acquiring, file, line, held.mu, held.file, held.line);
+  if (reverse != nullptr) {
+    std::fprintf(stderr,
+                 "  opposite order established earlier: mutex %p (held, "
+                 "acquired at %s:%d) -> mutex %p (acquired at %s:%d)\n",
+                 reverse->from, reverse->from_file, reverse->from_line,
+                 reverse->to, reverse->to_file, reverse->to_line);
+  } else {
+    for (const Edge& e : state.edges) {
+      if (e.from == acquiring) {
+        std::fprintf(stderr,
+                     "  opposite order established earlier via: mutex %p "
+                     "(acquired at %s:%d) -> mutex %p (acquired at %s:%d) "
+                     "-> ... -> held mutex\n",
+                     e.from, e.from_file, e.from_line, e.to, e.to_file,
+                     e.to_line);
+        break;
+      }
+    }
+  }
+  const ThreadStack& stack = LocalStack();
+  std::fprintf(stderr, "  this thread holds %zu lock(s):\n", stack.depth);
+  for (size_t i = 0; i < stack.depth && i < kMaxHeld; ++i) {
+    std::fprintf(stderr, "    [%zu] mutex %p acquired at %s:%d\n", i,
+                 stack.held[i].mu, stack.held[i].file, stack.held[i].line);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void OnAcquire(const void* mu, const char* file, int line) {
+  ThreadStack& stack = LocalStack();
+  if (stack.depth > 0 && stack.depth <= kMaxHeld) {
+    std::lock_guard<std::mutex> guard(StateMu());
+    State& state = GlobalState();
+    for (size_t i = 0; i < stack.depth; ++i) {
+      const Held& held = stack.held[i];
+      if (held.mu == mu) continue;  // relock via condvar round trip
+      if (FindEdge(state, held.mu, mu) != nullptr) continue;
+      // New ordering: inversion iff the opposite order already exists
+      // (directly or transitively).
+      if (Reachable(state, mu, held.mu)) {
+        ReportInversion(state, held, mu, file, line);
+      }
+      if (state.edges.size() >= kMaxEdges) {
+        ++state.dropped;
+        continue;
+      }
+      state.edges.push_back(
+          Edge{held.mu, mu, held.file, held.line, file, line});
+    }
+  }
+  if (stack.depth < kMaxHeld) {
+    stack.held[stack.depth] = Held{mu, file, line};
+  }
+  ++stack.depth;
+}
+
+void OnRelease(const void* mu) {
+  ThreadStack& stack = LocalStack();
+  const size_t tracked = stack.depth < kMaxHeld ? stack.depth : kMaxHeld;
+  // Scan top-down: plain unlocks are LIFO; condvar waits release from the
+  // middle. Entries above the removed slot shift down so the stack stays
+  // dense and ordered by acquisition time.
+  for (size_t i = tracked; i > 0; --i) {
+    if (stack.held[i - 1].mu != mu) continue;
+    for (size_t j = i - 1; j + 1 < tracked; ++j) {
+      stack.held[j] = stack.held[j + 1];
+    }
+    --stack.depth;
+    return;
+  }
+  // Untracked (overflow) region or foreign release: just drop the depth.
+  if (stack.depth > 0) --stack.depth;
+}
+
+void OnDestroy(const void* mu) {
+  std::lock_guard<std::mutex> guard(StateMu());
+  State& state = GlobalState();
+  for (size_t i = 0; i < state.edges.size();) {
+    if (state.edges[i].from == mu || state.edges[i].to == mu) {
+      state.edges[i] = state.edges.back();
+      state.edges.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+void ResetForTest() {
+  {
+    std::lock_guard<std::mutex> guard(StateMu());
+    State& state = GlobalState();
+    state.edges.clear();
+    state.dropped = 0;
+  }
+  LocalStack().depth = 0;
+}
+
+uint64_t EdgeCount() {
+  std::lock_guard<std::mutex> guard(StateMu());
+  return GlobalState().edges.size();
+}
+
+uint64_t DroppedEdgeCount() {
+  std::lock_guard<std::mutex> guard(StateMu());
+  return GlobalState().dropped;
+}
+
+uint64_t HeldDepth() { return LocalStack().depth; }
+
+}  // namespace jbs::deadlock
+
+#endif  // JBS_DEADLOCK_DETECT_ENABLED

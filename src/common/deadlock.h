@@ -1,0 +1,65 @@
+// Runtime lock-order detector (DESIGN.md §17), the dynamic complement to
+// the static jbs-lock-order check in tools/jbs_tidy: the static side
+// proves the acquisition graph from the TSA annotations is acyclic per
+// build, this side watches the orders a test run actually takes and
+// aborts the process on the first inversion — with the file:line of the
+// acquisition that closed the cycle AND of the acquisition that
+// established the opposite order, so a CI failure is directly actionable.
+//
+// Model: every Mutex acquisition is reported with its call site (the
+// MutexLock construction site, captured via __builtin_FILE/__builtin_LINE
+// default arguments — no macro at the lock site). A thread-local stack
+// tracks what this thread holds; a process-wide fixed-capacity edge table
+// records "A was held while B was acquired" edges keyed by mutex
+// identity. Inserting an edge whose reverse is already reachable is an
+// inversion: both orders have been observed, so two threads interleaving
+// those paths can deadlock. CondVar waits participate: the wait releases
+// its mutex (removed from the held stack, wherever it sits) and the
+// reacquire after wakeup is a fresh acquisition, re-checked against
+// everything still held — which catches the "wait reacquires A while
+// holding B, elsewhere A is taken before B" cycle a pure lock/unlock
+// tracer misses.
+//
+// Mutex identity is the object address; ~Mutex() retires the address and
+// drops its edges, so a recycled allocation cannot inherit stale orders.
+// The detector is compiled in only under JBS_DEADLOCK_DETECT=ON (the
+// `deadlock` preset): with the option off every hook disappears and
+// Mutex/MutexLock/CondVar compile to exactly their release-build selves.
+#pragma once
+
+#if defined(JBS_DEADLOCK_DETECT_ENABLED)
+
+#include <cstdint>
+
+namespace jbs::deadlock {
+
+/// Called after `mu` is acquired (lock, successful try-lock, or condvar
+/// reacquire). Records held-while-acquiring edges against everything the
+/// calling thread already holds; aborts with both sites on inversion.
+void OnAcquire(const void* mu, const char* file, int line);
+
+/// Called after `mu` is released (unlock or condvar wait-release).
+/// Removes `mu` from the calling thread's held stack wherever it sits —
+/// condvar waits release out of LIFO order by design.
+void OnRelease(const void* mu);
+
+/// Called from ~Mutex(): forgets the address and every edge touching it,
+/// so a later allocation at the same address starts with a clean order.
+void OnDestroy(const void* mu);
+
+/// Test hooks. ResetForTest clears the process-wide edge table and the
+/// calling thread's held stack (other threads' stacks drain as they
+/// unlock). Statistics expose edge-table pressure so a capacity overflow
+/// fails loudly in tests instead of silently dropping coverage.
+void ResetForTest();
+uint64_t EdgeCount();
+uint64_t DroppedEdgeCount();
+
+/// Number of locks the calling thread currently holds according to the
+/// detector's shadow stack — lets tests assert that condvar waits
+/// (release + reacquire out of LIFO order) leave the stack intact.
+uint64_t HeldDepth();
+
+}  // namespace jbs::deadlock
+
+#endif  // JBS_DEADLOCK_DETECT_ENABLED

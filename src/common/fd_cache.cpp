@@ -42,7 +42,9 @@ StatusOr<FdCache::Handle> FdCache::Open(const std::string& path) {
     if (const auto fp = JBS_FAILPOINT("fdcache.open")) {
       errno = fp.err;
     } else {
-      fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+      do {
+        fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+      } while (fd < 0 && errno == EINTR);
     }
     if (fd >= 0) break;
     open_errno = errno;

@@ -76,3 +76,31 @@
 
 #define NO_THREAD_SAFETY_ANALYSIS \
   JBS_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+// ---------------------------------------------------------------------------
+// jbs-tidy blocking-call annotations (DESIGN.md section 17)
+//
+// JBS_BLOCKING marks an API that may park the calling thread (condvar
+// waits, bounded-queue Push/Pop, pool Acquire, blocking socket helpers).
+// The jbs-loop-thread-blocking check treats annotated functions exactly
+// like the curated raw-syscall list: reaching one from an event-loop fd
+// callback, a RunInLoop lambda, or an OnFrame handler is a finding —
+// the loop thread is the data plane and must never sleep on another
+// thread's progress.
+//
+// JBS_ALLOW_BLOCKING("why") is the audited escape hatch: it exempts the
+// annotated function (and everything it calls) from the check. The
+// reason string is mandatory by convention and should say why blocking
+// is safe *here* (e.g. "test-only helper", "startup path, loop not yet
+// serving").
+//
+// Like the TSA macros these expand to nothing outside clang, so the
+// plain g++ build is unaffected.
+#if defined(__clang__) && !defined(SWIG)
+#define JBS_BLOCKING __attribute__((annotate("jbs_blocking")))
+#define JBS_ALLOW_BLOCKING(why) \
+  __attribute__((annotate("jbs_allow_blocking:" why)))
+#else
+#define JBS_BLOCKING
+#define JBS_ALLOW_BLOCKING(why)
+#endif

@@ -130,6 +130,10 @@ void EpollEventLoop::Loop() {
       const uint32_t raw = events[static_cast<size_t>(i)].events;
       if (fd == wake_fd_.get()) {
         uint64_t drained = 0;
+        // A drain dropped to EINTR leaves the eventfd counter nonzero, so
+        // level-triggered epoll re-delivers it on the next iteration —
+        // no retry loop needed here.
+        // NOLINTNEXTLINE(jbs-eintr-retry)
         [[maybe_unused]] ssize_t r =
             ::read(wake_fd_.get(), &drained, sizeof(drained));
         continue;

@@ -90,10 +90,29 @@ StatusOr<Fd> ConnectTcp(const std::string& host, uint16_t port,
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
     return InvalidArgument("bad address " + host);
   }
+  // Reads SO_ERROR once the handshake has resolved; both connect paths
+  // below funnel through this after an in-progress/interrupted connect.
+  const auto finish_connect = [&fd, &deadline]() -> Status {
+    JBS_RETURN_IF_ERROR(WaitWritable(fd.get(), deadline));
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      return IoError(Errno("getsockopt(SO_ERROR)"));
+    }
+    if (err != 0) {
+      errno = err;
+      return Unavailable(Errno("connect"));
+    }
+    return Status::Ok();
+  };
   if (deadline.infinite()) {
     if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
                   sizeof(addr)) != 0) {
-      return Unavailable(Errno("connect"));
+      // EINTR does not abort a blocking connect: the kernel completes the
+      // handshake asynchronously, and re-calling connect() would report
+      // EALREADY. Resolve it like a nonblocking connect instead.
+      if (errno != EINTR) return Unavailable(Errno("connect"));
+      JBS_RETURN_IF_ERROR(finish_connect());
     }
   } else {
     // Bounded handshake: nonblocking connect, poll for completion, then
@@ -101,17 +120,10 @@ StatusOr<Fd> ConnectTcp(const std::string& host, uint16_t port,
     JBS_RETURN_IF_ERROR(SetNonBlocking(fd.get()));
     if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
                   sizeof(addr)) != 0) {
-      if (errno != EINPROGRESS) return Unavailable(Errno("connect"));
-      JBS_RETURN_IF_ERROR(WaitWritable(fd.get(), deadline));
-      int err = 0;
-      socklen_t len = sizeof(err);
-      if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
-        return IoError(Errno("getsockopt(SO_ERROR)"));
-      }
-      if (err != 0) {
-        errno = err;
+      if (errno != EINPROGRESS && errno != EINTR) {
         return Unavailable(Errno("connect"));
       }
+      JBS_RETURN_IF_ERROR(finish_connect());
     }
     JBS_RETURN_IF_ERROR(SetBlocking(fd.get()));
   }

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "transport/deadline.h"
 
 namespace jbs::net {
@@ -44,7 +45,7 @@ StatusOr<std::pair<Fd, uint16_t>> ListenTcp(uint16_t port, int backlog = 128);
 /// Connect to host:port with TCP_NODELAY. A finite deadline bounds the
 /// three-way handshake (nonblocking connect + poll) and fails with
 /// kDeadlineExceeded; an infinite one blocks in connect(2).
-StatusOr<Fd> ConnectTcp(const std::string& host, uint16_t port,
+JBS_BLOCKING StatusOr<Fd> ConnectTcp(const std::string& host, uint16_t port,
                         const Deadline& deadline = Deadline());
 
 Status SetNonBlocking(int fd);
@@ -56,13 +57,13 @@ Status SetNoDelay(int fd);
 
 /// Blocks until `fd` is readable (resp. writable), the deadline passes
 /// (kDeadlineExceeded), or the fd errors. poll(2)-based; EINTR retried.
-Status WaitReadable(int fd, const Deadline& deadline);
-Status WaitWritable(int fd, const Deadline& deadline);
+JBS_BLOCKING Status WaitReadable(int fd, const Deadline& deadline);
+JBS_BLOCKING Status WaitWritable(int fd, const Deadline& deadline);
 
 /// Writes the whole buffer, retrying on EINTR/partial. With a finite
 /// deadline each write is poll(2)-guarded so a stalled peer (zero window)
 /// fails with kDeadlineExceeded instead of wedging the caller.
-Status SendAll(int fd, std::span<const uint8_t> data,
+JBS_BLOCKING Status SendAll(int fd, std::span<const uint8_t> data,
                const Deadline& deadline = Deadline());
 
 /// Vectored SendAll: writes every span in order with sendmsg(2), resuming
@@ -70,7 +71,7 @@ Status SendAll(int fd, std::span<const uint8_t> data,
 /// borrowed payload buffer go out in one syscall without being glued
 /// together in user space. Same EINTR/deadline semantics as SendAll.
 /// Spans beyond IOV_MAX are sent in successive batches.
-Status SendAllV(int fd, std::span<const std::span<const uint8_t>> bufs,
+JBS_BLOCKING Status SendAllV(int fd, std::span<const std::span<const uint8_t>> bufs,
                 const Deadline& deadline = Deadline());
 
 /// Sends `length` bytes of `file_fd` starting at `offset` over socket
@@ -84,7 +85,7 @@ Status SendFileAll(int sock, int file_fd, uint64_t offset, uint64_t length,
 /// frame boundary (0 bytes read so far), kIoError otherwise. With a finite
 /// deadline each read is poll(2)-guarded: a silent peer fails with
 /// kDeadlineExceeded instead of blocking forever.
-Status RecvAll(int fd, std::span<uint8_t> out,
+JBS_BLOCKING Status RecvAll(int fd, std::span<uint8_t> out,
                const Deadline& deadline = Deadline());
 
 }  // namespace jbs::net

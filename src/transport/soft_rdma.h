@@ -76,12 +76,12 @@ class CompletionQueue {
   std::optional<WorkCompletion> Poll() EXCLUDES(mu_);
 
   /// Blocks until a completion arrives or the CQ is shut down.
-  std::optional<WorkCompletion> WaitPoll() EXCLUDES(mu_);
+  JBS_BLOCKING std::optional<WorkCompletion> WaitPoll() EXCLUDES(mu_);
 
   /// Bounded wait: additionally returns nullopt once `deadline` passes
   /// (the completion-wait analogue of a hardware CQ poll timeout).
   /// Distinguish timeout from shutdown via deadline.expired().
-  std::optional<WorkCompletion> WaitPoll(const Deadline& deadline)
+  JBS_BLOCKING std::optional<WorkCompletion> WaitPoll(const Deadline& deadline)
       EXCLUDES(mu_);
 
   void Push(WorkCompletion wc) EXCLUDES(mu_);

@@ -207,8 +207,10 @@ class TcpServerEndpoint final : public ServerEndpoint {
     EncodeFrameHeader(frame, out.header);
     out.payload = std::move(frame.payload);
     out.ext = frame.ext;
-    out.lease = std::move(frame.lease);
     out.file = frame.file;
+    // Last: once the lease moves, frame's ext/file views have no
+    // ownership token behind them (jbs-lease-lifetime).
+    out.lease = std::move(frame.lease);
     auto enqueue = [this, &shard, conn, out = std::move(out)]() mutable {
       auto it = shard.conns.find(conn);
       if (it == shard.conns.end()) return;  // conn gone; lease drops here

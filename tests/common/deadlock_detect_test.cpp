@@ -1,0 +1,174 @@
+// Regression tests for the runtime lock-order detector (DESIGN.md §17).
+// Meaningful only under JBS_DEADLOCK_DETECT=ON (the `deadlock` preset);
+// in every other build the detector is compiled out and the suite skips.
+//
+// MutexLock/CondVar site parameters are ordinary default arguments, so
+// the death tests pass synthetic site names explicitly and assert the
+// abort message names BOTH sites of the inversion — the acquisition that
+// closed the cycle and the one that established the opposite order.
+
+#include <gtest/gtest.h>
+
+#include "common/deadlock.h"
+#include "common/mutex.h"
+
+#if !defined(JBS_DEADLOCK_DETECT_ENABLED)
+
+TEST(DeadlockDetectTest, Skipped) {
+  GTEST_SKIP() << "runtime lock-order detector compiled out; configure "
+                  "with -DJBS_DEADLOCK_DETECT=ON (the `deadlock` preset)";
+}
+
+#else
+
+#include <thread>
+
+namespace jbs {
+namespace {
+
+TEST(DeadlockDetectTest, ConsistentNestingRecordsOneEdgeAndNoAbort) {
+  deadlock::ResetForTest();
+  Mutex a;
+  Mutex b;
+  for (int i = 0; i < 3; ++i) {
+    MutexLock la(a);
+    MutexLock lb(b);
+  }
+  EXPECT_EQ(deadlock::EdgeCount(), 1u);
+  EXPECT_EQ(deadlock::DroppedEdgeCount(), 0u);
+  EXPECT_EQ(deadlock::HeldDepth(), 0u);
+}
+
+TEST(DeadlockDetectTest, DestroyedMutexDropsItsEdges) {
+  deadlock::ResetForTest();
+  {
+    Mutex a;
+    Mutex b;
+    MutexLock la(a);
+    MutexLock lb(b);
+  }
+  EXPECT_EQ(deadlock::EdgeCount(), 0u);
+}
+
+TEST(DeadlockDetectTest, CondVarWaitKeepsHeldStackIntact) {
+  deadlock::ResetForTest();
+  Mutex a;
+  Mutex b;
+  CondVar cv;
+  {
+    MutexLock la(a);
+    // Repeated timed waits release and reacquire `a`; a corrupted shadow
+    // stack would show up as depth drift or duplicate entries (and the
+    // nested acquisition below would then record garbage edges).
+    for (int i = 0; i < 3; ++i) {
+      (void)cv.WaitFor(la, std::chrono::milliseconds(1));
+      EXPECT_EQ(deadlock::HeldDepth(), 1u);
+    }
+    MutexLock lb(b);
+    EXPECT_EQ(deadlock::HeldDepth(), 2u);
+  }
+  EXPECT_EQ(deadlock::HeldDepth(), 0u);
+  EXPECT_EQ(deadlock::EdgeCount(), 1u);  // a -> b, recorded once
+}
+
+TEST(DeadlockDetectDeathTest, TwoLockInversionAbortsNamingBothSites) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        deadlock::ResetForTest();
+        Mutex a;
+        Mutex b;
+        {
+          MutexLock la(a, "first_order_outer", 11);
+          MutexLock lb(b, "first_order_inner", 22);
+        }
+        {
+          MutexLock lb(b, "second_order_outer", 33);
+          MutexLock la(a, "second_order_inner", 44);  // closes the cycle
+        }
+      },
+      // The report must name the acquisition that closed the cycle, the
+      // lock held while closing it, and BOTH sites of the previously
+      // established opposite order.
+      "lock-order inversion(.|\n)*second_order_inner:44(.|\n)*"
+      "second_order_outer:33(.|\n)*first_order_outer:11(.|\n)*"
+      "first_order_inner:22");
+}
+
+TEST(DeadlockDetectDeathTest, CondVarReacquireUnderNestedLockIsInversion) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Waiting on the OUTER lock while a nested lock is held releases `a`
+  // out of LIFO order and then reacquires it while `b` is still held —
+  // the b->a edge that inverts the established a->b order. Another
+  // thread interleaving lock(a) between the release and the reacquire
+  // would deadlock for real; the detector reports it deterministically.
+  EXPECT_DEATH(
+      {
+        deadlock::ResetForTest();
+        Mutex a;
+        Mutex b;
+        CondVar cv;
+        MutexLock la(a, "wait_outer_a", 11);
+        MutexLock lb(b, "wait_inner_b", 22);
+        (void)cv.WaitFor(la, std::chrono::milliseconds(1), "wait_site", 33);
+      },
+      "lock-order inversion(.|\n)*wait_site:33(.|\n)*wait_inner_b:22(.|\n)*"
+      "wait_outer_a:11");
+}
+
+TEST(DeadlockDetectDeathTest, CrossThreadInversionIsDetected) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // The order graph is process-wide: thread 1 establishes a->b and exits;
+  // thread 2 then takes b->a. No actual deadlock ever occurs (the
+  // threads run strictly in sequence) — the detector still aborts,
+  // because the two orders could interleave on another run.
+  EXPECT_DEATH(
+      {
+        deadlock::ResetForTest();
+        Mutex a;
+        Mutex b;
+        std::thread t1([&] {
+          MutexLock la(a, "t1_outer_a", 11);
+          MutexLock lb(b, "t1_inner_b", 22);
+        });
+        t1.join();
+        std::thread t2([&] {
+          MutexLock lb(b, "t2_outer_b", 33);
+          MutexLock la(a, "t2_inner_a", 44);
+        });
+        t2.join();
+      },
+      "lock-order inversion(.|\n)*t2_inner_a:44(.|\n)*t2_outer_b:33(.|\n)*"
+      "t1_outer_a:11(.|\n)*t1_inner_b:22");
+}
+
+TEST(DeadlockDetectDeathTest, TransitiveCycleIsDetected) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // a->b and b->c are individually fine; c->a closes a 3-cycle that has
+  // no direct reverse edge, exercising the reachability walk.
+  EXPECT_DEATH(
+      {
+        deadlock::ResetForTest();
+        Mutex a;
+        Mutex b;
+        Mutex c;
+        {
+          MutexLock la(a, "chain_a", 1);
+          MutexLock lb(b, "chain_ab", 2);
+        }
+        {
+          MutexLock lb(b, "chain_b", 3);
+          MutexLock lc(c, "chain_bc", 4);
+        }
+        {
+          MutexLock lc(c, "chain_c", 5);
+          MutexLock la(a, "chain_ca", 6);  // c -> a closes the cycle
+        }
+      },
+      "lock-order inversion(.|\n)*chain_ca:6(.|\n)*chain_c:5");
+}
+
+}  // namespace
+}  // namespace jbs
+
+#endif  // JBS_DEADLOCK_DETECT_ENABLED

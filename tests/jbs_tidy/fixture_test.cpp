@@ -1,0 +1,209 @@
+// Self-tests for the jbs-* checks: runs the standalone jbs-tidy driver
+// over the fixture files and asserts findings/exit codes. Built only
+// under JBS_TIDY=ON (the driver needs an installed Clang); each check
+// gets a positive (must flag), a negative (must stay silent), and an
+// escape-hatch fixture (suppression must work). The paths come from
+// CMake:
+//   JBS_TIDY_BIN          — the jbs-tidy executable
+//   JBS_TIDY_FIXTURE_DIR  — tests/jbs_tidy/fixtures
+//   JBS_LOCK_GRAPH_BIN    — the jbs_lock_graph merge tool
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr
+};
+
+RunResult Run(const std::string& command) {
+  RunResult result;
+  const std::string full = command + " 2>&1";
+  FILE* pipe = ::popen(full.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buf;
+  while (::fgets(buf.data(), buf.size(), pipe) != nullptr) {
+    result.output += buf.data();
+  }
+  const int status = ::pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string Fixture(const std::string& rel) {
+  return std::string(JBS_TIDY_FIXTURE_DIR) + "/" + rel;
+}
+
+/// jbs-tidy over one fixture, one check. `--` ends compile-flag probing
+/// so no compile_commands.json is needed.
+RunResult Tidy(const std::string& check, const std::string& fixture) {
+  return Run(std::string(JBS_TIDY_BIN) + " --checks=" + check + " " +
+             Fixture(fixture) + " -- -std=c++20");
+}
+
+class JbsTidyFixtureTest : public ::testing::Test {};
+
+TEST_F(JbsTidyFixtureTest, ListChecksNamesAllFour) {
+  const RunResult result = Run(std::string(JBS_TIDY_BIN) + " --list-checks");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  for (const char* name :
+       {"jbs-lease-lifetime", "jbs-loop-thread-blocking", "jbs-eintr-retry",
+        "jbs-lock-order"}) {
+    EXPECT_NE(result.output.find(name), std::string::npos) << result.output;
+  }
+}
+
+// --- jbs-lease-lifetime -------------------------------------------------
+
+TEST_F(JbsTidyFixtureTest, LeaseLifetimePositive) {
+  const RunResult result =
+      Tidy("jbs-lease-lifetime", "lease_lifetime/positive.cpp");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  // Both shipped shapes: unsequenced argument and read-after-move.
+  EXPECT_NE(result.output.find("unsequenced with std::move"),
+            std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("after std::move"), std::string::npos)
+      << result.output;
+}
+
+TEST_F(JbsTidyFixtureTest, LeaseLifetimeNegative) {
+  const RunResult result =
+      Tidy("jbs-lease-lifetime", "lease_lifetime/negative.cpp");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+TEST_F(JbsTidyFixtureTest, LeaseLifetimeEscape) {
+  const RunResult result =
+      Tidy("jbs-lease-lifetime", "lease_lifetime/escape.cpp");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+// --- jbs-loop-thread-blocking -------------------------------------------
+
+TEST_F(JbsTidyFixtureTest, LoopBlockingPositive) {
+  const RunResult result =
+      Tidy("jbs-loop-thread-blocking", "loop_blocking/positive.cpp");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  // All three root kinds produce findings: fd-callback lambda (annotated
+  // Push), RunInLoop lambda via a helper (curated fsync), OnFrame method.
+  EXPECT_NE(result.output.find("Push"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("fsync"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("sleep"), std::string::npos) << result.output;
+}
+
+TEST_F(JbsTidyFixtureTest, LoopBlockingNegative) {
+  const RunResult result =
+      Tidy("jbs-loop-thread-blocking", "loop_blocking/negative.cpp");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+TEST_F(JbsTidyFixtureTest, LoopBlockingEscape) {
+  const RunResult result =
+      Tidy("jbs-loop-thread-blocking", "loop_blocking/escape.cpp");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+// --- jbs-eintr-retry ----------------------------------------------------
+
+TEST_F(JbsTidyFixtureTest, EintrRetryPositive) {
+  const RunResult result = Tidy("jbs-eintr-retry", "eintr_retry/positive.cpp");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("EINTR"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("connect"), std::string::npos)
+      << result.output;
+}
+
+TEST_F(JbsTidyFixtureTest, EintrRetryNegative) {
+  const RunResult result = Tidy("jbs-eintr-retry", "eintr_retry/negative.cpp");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+TEST_F(JbsTidyFixtureTest, EintrRetryEscape) {
+  const RunResult result = Tidy("jbs-eintr-retry", "eintr_retry/escape.cpp");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+// --- jbs-lock-order -----------------------------------------------------
+
+TEST_F(JbsTidyFixtureTest, LockOrderPositive) {
+  const RunResult result = Tidy("jbs-lock-order", "lock_order/positive.cpp");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("lock-order cycle"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("map_mu"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("stats_mu"), std::string::npos)
+      << result.output;
+}
+
+TEST_F(JbsTidyFixtureTest, LockOrderNegative) {
+  const RunResult result = Tidy("jbs-lock-order", "lock_order/negative.cpp");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+TEST_F(JbsTidyFixtureTest, LockOrderEscape) {
+  const RunResult result = Tidy("jbs-lock-order", "lock_order/escape.cpp");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+TEST_F(JbsTidyFixtureTest, LockOrderSidecarFeedsCrossTuMerge) {
+  // The per-TU run on the NEGATIVE fixture is clean, but its edges land
+  // in the sidecar; merging them with a hand-written opposite-order
+  // sidecar from "another TU" must fail the jbs_lock_graph gate.
+  const std::string dir = ::testing::TempDir();
+  const std::string sidecar = dir + "/lock_graph_tu1.yaml";
+  std::remove(sidecar.c_str());
+  const RunResult tidy =
+      Run("JBS_LOCK_GRAPH_OUT=" + sidecar + " " + std::string(JBS_TIDY_BIN) +
+          " --checks=jbs-lock-order " + Fixture("lock_order/negative.cpp") +
+          " -- -std=c++20");
+  EXPECT_EQ(tidy.exit_code, 0) << tidy.output;
+
+  std::ifstream in(sidecar);
+  ASSERT_TRUE(in.good()) << "sidecar not written: " << sidecar;
+  std::string line;
+  bool has_edge = false;
+  while (std::getline(in, line)) {
+    if (line.find("map_mu") != std::string::npos &&
+        line.find("stats_mu") != std::string::npos) {
+      has_edge = true;
+    }
+  }
+  EXPECT_TRUE(has_edge) << "expected map_mu->stats_mu edge in sidecar";
+
+  const std::string other = dir + "/lock_graph_tu2.yaml";
+  {
+    std::ofstream out(other);
+    out << "- {from: \"Registry::stats_mu\", to: \"Registry::map_mu\", "
+           "at: \"other_tu.cpp:99\"}\n";
+  }
+  const RunResult merge = Run(std::string(JBS_LOCK_GRAPH_BIN) + " " +
+                              sidecar + " " + other);
+  EXPECT_EQ(merge.exit_code, 1) << merge.output;
+  EXPECT_NE(merge.output.find("LOCK-ORDER CYCLE"), std::string::npos)
+      << merge.output;
+}
+
+// --- whole-gate smoke ---------------------------------------------------
+
+TEST_F(JbsTidyFixtureTest, AllChecksTogetherStillExitOneOnFindings) {
+  const RunResult result = Run(std::string(JBS_TIDY_BIN) + " " +
+                               Fixture("eintr_retry/positive.cpp") +
+                               " -- -std=c++20");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+}
+
+TEST_F(JbsTidyFixtureTest, CleanFixtureExitsZeroUnderAllChecks) {
+  const RunResult result = Run(std::string(JBS_TIDY_BIN) + " " +
+                               Fixture("lease_lifetime/negative.cpp") +
+                               " -- -std=c++20");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+}  // namespace

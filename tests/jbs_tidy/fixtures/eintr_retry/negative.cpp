@@ -1,0 +1,29 @@
+// jbs-eintr-retry negatives: the retry idioms PR 8 standardized.
+#include "../fixture_support.h"
+
+// Canonical retry loop.
+long ReadRetrying(int fd, void* buf, unsigned long len) {
+  for (;;) {
+    const long n = ::read(fd, buf, len);
+    if (n >= 0) return n;
+    if (errno != EINTR) return -1;
+  }
+}
+
+// Handling delegated within the function (errno switch after the loop).
+long WriteAll(int fd, const char* buf, unsigned long len) {
+  unsigned long done = 0;
+  while (done < len) {
+    const long n = ::write(fd, buf + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    done += static_cast<unsigned long>(n);
+  }
+  return static_cast<long>(done);
+}
+
+// Unlisted syscalls are not the check's business: close(2) must NOT be
+// retried on Linux, and fsync is not in the interruptible list.
+int Fsync(int fd) { return ::fsync(fd); }

@@ -1,0 +1,28 @@
+// jbs-eintr-retry positives: interruptible syscalls with no EINTR
+// provision anywhere in the enclosing function.
+#include "../fixture_support.h"
+
+long ReadNoRetry(int fd, void* buf, unsigned long len) {
+  const long n = ::read(fd, buf, len);  // expect: jbs-eintr-retry
+  if (n < 0) return -1;
+  return n;
+}
+
+int ConnectNoRetry(int fd, const void* addr, unsigned len) {
+  if (::connect(fd, addr, len) != 0) {  // expect: jbs-eintr-retry
+    return -1;
+  }
+  return 0;
+}
+
+// A loop around the call does not help if the loop never looks at EINTR:
+// a short read retries but an interrupted read still aborts the tail.
+long ReadAllNoEintr(int fd, char* buf, unsigned long len) {
+  unsigned long done = 0;
+  while (done < len) {
+    const long n = ::read(fd, buf + done, len - done);  // expect: finding
+    if (n <= 0) return -1;
+    done += static_cast<unsigned long>(n);
+  }
+  return static_cast<long>(done);
+}

@@ -1,0 +1,25 @@
+// jbs-lock-order escape hatch: NOLINT on the acquisition that the check
+// would anchor the cycle report to (e.g. a path proven unreachable
+// concurrently with the other order).
+#include "../fixture_support.h"
+
+struct Registry {
+  jbs::Mutex map_mu;
+  jbs::Mutex stats_mu;
+  int entries = 0;
+  int hits = 0;
+
+  void RecordHit() {
+    jbs::MutexLock map_lock(map_mu);
+    ++entries;
+    jbs::MutexLock stats_lock(stats_mu);
+    ++hits;
+  }
+
+  void SweepLocked() REQUIRES(stats_mu) {
+    // Only ever called during single-threaded shutdown.
+    // NOLINTNEXTLINE(jbs-lock-order)
+    jbs::MutexLock map_lock(map_mu);
+    ++entries;
+  }
+};

@@ -1,0 +1,43 @@
+// jbs-lock-order negatives: consistent ordering, scoped release, and
+// capabilities with no cross-TU identity.
+#include "../fixture_support.h"
+
+struct Registry {
+  jbs::Mutex map_mu;
+  jbs::Mutex stats_mu;
+  int entries = 0;
+  int hits = 0;
+
+  // Same nesting direction everywhere: map_mu before stats_mu.
+  void RecordHit() {
+    jbs::MutexLock map_lock(map_mu);
+    ++entries;
+    jbs::MutexLock stats_lock(stats_mu);
+    ++hits;
+  }
+
+  void Sweep() {
+    jbs::MutexLock map_lock(map_mu);
+    jbs::MutexLock stats_lock(stats_mu);
+    entries = hits = 0;
+  }
+
+  // Sequential (non-nested) acquisition establishes no edge: the first
+  // lock dies with its block before the second is taken.
+  void Sequential() {
+    {
+      jbs::MutexLock stats_lock(stats_mu);
+      ++hits;
+    }
+    jbs::MutexLock map_lock(map_mu);
+    ++entries;
+  }
+};
+
+// Locals have no stable cross-TU identity; no edges, no false cycle.
+void LocalMutexes() {
+  jbs::Mutex a;
+  jbs::Mutex b;
+  jbs::MutexLock la(a);
+  jbs::MutexLock lb(b);
+}

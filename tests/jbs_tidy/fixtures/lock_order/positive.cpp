@@ -1,0 +1,27 @@
+// jbs-lock-order positive: two call paths acquire the same two mutexes
+// in opposite orders inside one TU. Ground truth comes from MutexLock
+// scopes and the REQUIRES entry contract.
+#include "../fixture_support.h"
+
+struct Registry {
+  jbs::Mutex map_mu;
+  jbs::Mutex stats_mu;
+  int entries = 0;
+  int hits = 0;
+
+  void RecordHit() {
+    jbs::MutexLock map_lock(map_mu);
+    ++entries;
+    {
+      jbs::MutexLock stats_lock(stats_mu);  // map_mu -> stats_mu
+      ++hits;
+    }
+  }
+
+  void SweepLocked() REQUIRES(stats_mu) {
+    // Entry contract says stats_mu is held; acquiring map_mu here closes
+    // the cycle with RecordHit's nesting.
+    jbs::MutexLock map_lock(map_mu);  // expect: jbs-lock-order cycle
+    ++entries;
+  }
+};

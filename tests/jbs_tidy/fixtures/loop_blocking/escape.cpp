@@ -1,0 +1,20 @@
+// jbs-loop-thread-blocking escape hatch: JBS_ALLOW_BLOCKING exempts the
+// annotated function and everything it calls.
+#include "../fixture_support.h"
+
+struct Server {
+  jbs::EventLoop loop;
+  jbs::BlockingQueue queue;
+
+  // Startup path: the loop is not serving yet, so a bounded blocking
+  // push is acceptable and the annotation records the audit.
+  JBS_ALLOW_BLOCKING("startup path, loop not yet serving")
+  void Prime() {
+    queue.Push(0);
+    ::fsync(3);
+  }
+
+  void Register(int fd) {
+    loop.Add(fd, [this](unsigned) { Prime(); });
+  }
+};

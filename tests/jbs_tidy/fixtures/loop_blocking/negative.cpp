@@ -1,0 +1,38 @@
+// jbs-loop-thread-blocking negatives.
+#include "../fixture_support.h"
+
+struct Server {
+  jbs::EventLoop loop;
+  jbs::BlockingQueue queue;
+
+  // Nonblocking variants on the loop are the designed idiom
+  // (shed-don't-block admission control).
+  void OnFrame(jbs::ConnId conn, jbs::Frame frame) {
+    (void)conn;
+    (void)frame;
+    queue.TryPush(1);
+  }
+
+  // Blocking from a plain worker-thread method is fine: it is not a
+  // root and nothing roots reach it.
+  void PrefetchLoop() {
+    for (;;) {
+      const int item = queue.Pop();
+      if (item < 0) return;
+      ::fsync(item);
+    }
+  }
+
+  // A lambda handed to a non-loop receiver is not loop context even
+  // though the method is called Add.
+  void Enqueue();
+};
+
+struct WorkList {
+  template <typename Fn>
+  void Add(int key, Fn fn);
+};
+
+void Schedule(WorkList& work, Server& server) {
+  work.Add(1, [&server] { server.PrefetchLoop(); });
+}

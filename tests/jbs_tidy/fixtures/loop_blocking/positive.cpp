@@ -1,0 +1,33 @@
+// jbs-loop-thread-blocking positives: blocking calls reachable from
+// every root kind the check models.
+#include "../fixture_support.h"
+
+struct Server {
+  jbs::EventLoop loop;
+  jbs::BlockingQueue queue;
+
+  // Root kind 1: lambda registered as an fd callback.
+  void Register(int fd) {
+    loop.Add(fd, [this](unsigned) {
+      queue.Push(1);  // expect: jbs-loop-thread-blocking (JBS_BLOCKING)
+    });
+  }
+
+  // Root kind 2: lambda posted with RunInLoop; the blocking call is one
+  // level down the in-TU call graph, not directly in the lambda.
+  void Post() {
+    loop.RunInLoop([this] { Helper(); });
+  }
+  void Helper() {
+    ::fsync(3);  // expect: jbs-loop-thread-blocking (curated syscall)
+  }
+
+  // Root kind 3: a method named OnFrame is loop context by convention.
+  void OnFrame(jbs::ConnId conn, jbs::Frame frame) {
+    (void)conn;
+    (void)frame;
+    char buf[16];
+    ::read(0, buf, sizeof(buf));  // reads can block the loop thread too
+    ::sleep(1);                   // expect: jbs-loop-thread-blocking
+  }
+};

@@ -1,0 +1,163 @@
+// Unit tests for the clang-free half of jbs-lock-order: sidecar parsing
+// and cross-TU cycle detection (tools/jbs_tidy/lock_graph.h). These run
+// in the plain tier-1 build, so the merge logic the CI gate trusts is
+// itself gated.
+#include "lock_graph.h"
+
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace jbs::lockgraph {
+namespace {
+
+Edge E(std::string from, std::string to, std::string at = "x.cpp:1") {
+  Edge edge;
+  edge.from = std::move(from);
+  edge.to = std::move(to);
+  edge.at = std::move(at);
+  return edge;
+}
+
+TEST(LockGraphParse, RoundTripsThroughYamlLine) {
+  const Edge edge = E("jbs::NetMerger::mu_", "jbs::DataCache::mu_",
+                      "src/jbs/net_merger.cpp:311");
+  const auto parsed = ParseSidecar(ToYamlLine(edge) + "\n");
+  ASSERT_TRUE(parsed.errors.empty());
+  ASSERT_EQ(parsed.edges.size(), 1u);
+  EXPECT_EQ(parsed.edges[0].from, edge.from);
+  EXPECT_EQ(parsed.edges[0].to, edge.to);
+  EXPECT_EQ(parsed.edges[0].at, edge.at);
+}
+
+TEST(LockGraphParse, SkipsCommentsAndBlankLines) {
+  const auto parsed = ParseSidecar(
+      "# per-TU sidecar\n"
+      "\n"
+      "- {from: \"a\", to: \"b\", at: \"f.cpp:1\"}\n"
+      "   \n");
+  EXPECT_TRUE(parsed.errors.empty());
+  EXPECT_EQ(parsed.edges.size(), 1u);
+}
+
+TEST(LockGraphParse, ReportsMalformedLinesWithoutDroppingGoodOnes) {
+  // A torn concurrent append must not mask edges from other TUs.
+  const auto parsed = ParseSidecar(
+      "- {from: \"a\", to: \"b\", at: \"f.cpp:1\"}\n"
+      "- {from: \"c\", to: \n"
+      "- {from: \"c\", to: \"d\", at: \"g.cpp:2\"}\n");
+  ASSERT_EQ(parsed.errors.size(), 1u);
+  EXPECT_NE(parsed.errors[0].find("line 2"), std::string::npos);
+  EXPECT_EQ(parsed.edges.size(), 2u);
+}
+
+TEST(LockGraphParse, RejectsEmptyCapabilityNames) {
+  const auto parsed =
+      ParseSidecar("- {from: \"\", to: \"b\", at: \"f.cpp:1\"}\n");
+  EXPECT_EQ(parsed.edges.size(), 0u);
+  EXPECT_EQ(parsed.errors.size(), 1u);
+}
+
+TEST(LockGraphGraph, DeduplicatesKeepingFirstSite) {
+  Graph graph;
+  graph.Add(E("a", "b", "first.cpp:1"));
+  graph.Add(E("a", "b", "second.cpp:2"));
+  ASSERT_EQ(graph.edges().size(), 1u);
+  EXPECT_EQ(graph.edges()[0].at, "first.cpp:1");
+}
+
+TEST(LockGraphGraph, IgnoresSelfEdges) {
+  Graph graph;
+  graph.Add(E("a", "a"));
+  EXPECT_TRUE(graph.edges().empty());
+}
+
+TEST(LockGraphCycle, AcyclicChainReportsNothing) {
+  Graph graph;
+  graph.Add(E("a", "b"));
+  graph.Add(E("b", "c"));
+  graph.Add(E("a", "c"));
+  EXPECT_TRUE(graph.FindCycle().empty());
+}
+
+TEST(LockGraphCycle, DirectInversionFound) {
+  Graph graph;
+  graph.Add(E("a", "b", "f.cpp:1"));
+  graph.Add(E("b", "a", "g.cpp:2"));
+  const auto cycle = graph.FindCycle();
+  ASSERT_EQ(cycle.size(), 2u);
+  EXPECT_EQ(cycle.back().to, cycle.front().from);
+}
+
+TEST(LockGraphCycle, CrossTuCycleOnlyVisibleAfterMerge) {
+  // The point of the sidecar: each TU's edges are acyclic alone.
+  const auto tu1 = ParseSidecar(
+      "- {from: \"jbs::A::mu_\", to: \"jbs::B::mu_\", at: \"a.cpp:10\"}\n");
+  const auto tu2 = ParseSidecar(
+      "- {from: \"jbs::B::mu_\", to: \"jbs::C::mu_\", at: \"b.cpp:20\"}\n");
+  const auto tu3 = ParseSidecar(
+      "- {from: \"jbs::C::mu_\", to: \"jbs::A::mu_\", at: \"c.cpp:30\"}\n");
+
+  for (const auto* tu : {&tu1, &tu2, &tu3}) {
+    Graph alone;
+    for (const auto& edge : tu->edges) alone.Add(edge);
+    EXPECT_TRUE(alone.FindCycle().empty());
+  }
+
+  Graph merged;
+  for (const auto* tu : {&tu1, &tu2, &tu3}) {
+    for (const auto& edge : tu->edges) merged.Add(edge);
+  }
+  const auto cycle = merged.FindCycle();
+  ASSERT_EQ(cycle.size(), 3u);
+  // Every edge's evidence site survives the merge for the report.
+  for (const auto& edge : cycle) {
+    EXPECT_FALSE(edge.at.empty());
+  }
+  EXPECT_EQ(cycle.back().to, cycle.front().from);
+}
+
+TEST(LockGraphCycle, CycleIsConsecutive) {
+  Graph graph;
+  graph.Add(E("pre", "a"));
+  graph.Add(E("a", "b"));
+  graph.Add(E("b", "c"));
+  graph.Add(E("c", "a"));
+  graph.Add(E("c", "post"));
+  const auto cycle = graph.FindCycle();
+  ASSERT_FALSE(cycle.empty());
+  for (size_t i = 1; i < cycle.size(); ++i) {
+    EXPECT_EQ(cycle[i - 1].to, cycle[i].from);
+  }
+  EXPECT_EQ(cycle.back().to, cycle.front().from);
+}
+
+TEST(LockGraphCycle, LargeAcyclicDagIsFast) {
+  // Layered DAG: dense but acyclic; guards against the detector
+  // revisiting finished nodes (black-node pruning).
+  Graph graph;
+  constexpr int kLayers = 20;
+  constexpr int kWidth = 10;
+  for (int layer = 0; layer + 1 < kLayers; ++layer) {
+    for (int i = 0; i < kWidth; ++i) {
+      for (int j = 0; j < kWidth; ++j) {
+        graph.Add(E("n" + std::to_string(layer) + "_" + std::to_string(i),
+                    "n" + std::to_string(layer + 1) + "_" +
+                        std::to_string(j)));
+      }
+    }
+  }
+  EXPECT_TRUE(graph.FindCycle().empty());
+}
+
+TEST(LockGraphDot, EmitsEveryEdge) {
+  Graph graph;
+  graph.Add(E("a", "b", "f.cpp:1"));
+  const std::string dot = graph.ToDot();
+  EXPECT_NE(dot.find("\"a\" -> \"b\""), std::string::npos);
+  EXPECT_NE(dot.find("f.cpp:1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jbs::lockgraph

@@ -1,0 +1,72 @@
+// Clang-tidy plugin module for the jbs-* checks: exposes the same check
+// classes the standalone driver runs, as a module loadable with
+//
+//   clang-tidy -load libjbs_tidy_module.so -checks='jbs-*' ...
+//
+// so developers get the checks inside their editor/clangd-adjacent
+// clang-tidy runs with clang-tidy's own NOLINT machinery, fix-it
+// plumbing, and check-filtering. Compiled only when the build is given
+// clang-tidy's (non-installed) headers via JBS_TIDY_CLANG_TIDY_HEADERS;
+// the CI workflow sparse-clones llvm-project at the pinned release to
+// provide them. The CI *gate* is the standalone driver — this module is
+// the developer-experience skin over the same logic.
+#include <memory>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+#include "JbsTidyChecks.h"
+
+namespace clang::tidy::jbs {
+
+namespace {
+
+/// Adapts a JbsCheck into a ClangTidyCheck: matcher registration is
+/// forwarded, and the check's DiagReporter feeds ClangTidyCheck::diag so
+/// suppression and output behave like any built-in check.
+template <typename CheckT>
+class Wrapped : public ClangTidyCheck, jbs_tidy::DiagReporter {
+ public:
+  Wrapped(StringRef name, ClangTidyContext* context)
+      : ClangTidyCheck(name, context), inner_(this) {}
+
+  void registerMatchers(ast_matchers::MatchFinder* finder) override {
+    inner_.RegisterMatchers(finder);
+  }
+
+  void Report(ASTContext& context, SourceLocation loc, StringRef check,
+              StringRef message) override {
+    (void)context;
+    (void)check;  // the wrapper's registered name already carries it
+    diag(loc, message);
+  }
+
+ private:
+  CheckT inner_;
+};
+
+}  // namespace
+
+class JbsTidyModule : public ClangTidyModule {
+ public:
+  void addCheckFactories(ClangTidyCheckFactories& factories) override {
+    factories.registerCheck<Wrapped<jbs_tidy::LeaseLifetimeCheck>>(
+        "jbs-lease-lifetime");
+    factories.registerCheck<Wrapped<jbs_tidy::LoopThreadBlockingCheck>>(
+        "jbs-loop-thread-blocking");
+    factories.registerCheck<Wrapped<jbs_tidy::EintrRetryCheck>>(
+        "jbs-eintr-retry");
+    factories.registerCheck<Wrapped<jbs_tidy::LockOrderCheck>>(
+        "jbs-lock-order");
+  }
+};
+
+static ClangTidyModuleRegistry::Add<JbsTidyModule> X(
+    "jbs-module", "jbs-tidy checks for this repository's own invariants");
+
+}  // namespace clang::tidy::jbs
+
+// Anchors the registry entry so -load keeps the module alive.
+volatile int JbsTidyModuleAnchorSource = 0;

@@ -1,0 +1,144 @@
+#include "lock_graph.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace jbs::lockgraph {
+
+namespace {
+
+// Extracts the quoted value following `key: "` in a flow mapping, or
+// empty on malformed input. Capability names never contain quotes.
+bool ExtractQuoted(std::string_view line, std::string_view key,
+                   std::string* out) {
+  const std::string needle = std::string(key) + ": \"";
+  const size_t start = line.find(needle);
+  if (start == std::string_view::npos) return false;
+  const size_t value_begin = start + needle.size();
+  const size_t value_end = line.find('"', value_begin);
+  if (value_end == std::string_view::npos) return false;
+  out->assign(line.substr(value_begin, value_end - value_begin));
+  return true;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string ToYamlLine(const Edge& edge) {
+  std::ostringstream out;
+  out << "- {from: \"" << edge.from << "\", to: \"" << edge.to
+      << "\", at: \"" << edge.at << "\"}";
+  return out.str();
+}
+
+ParseResult ParseSidecar(std::string_view text) {
+  ParseResult result;
+  size_t line_no = 0;
+  while (!text.empty()) {
+    ++line_no;
+    const size_t newline = text.find('\n');
+    std::string_view line = Trim(text.substr(0, newline));
+    text = newline == std::string_view::npos ? std::string_view()
+                                             : text.substr(newline + 1);
+    if (line.empty() || line.front() == '#') continue;
+    Edge edge;
+    if (line.rfind("- {", 0) != 0 ||
+        !ExtractQuoted(line, "from", &edge.from) ||
+        !ExtractQuoted(line, "to", &edge.to) ||
+        !ExtractQuoted(line, "at", &edge.at) || edge.from.empty() ||
+        edge.to.empty()) {
+      result.errors.push_back("line " + std::to_string(line_no) +
+                              ": malformed edge: " + std::string(line));
+      continue;
+    }
+    result.edges.push_back(std::move(edge));
+  }
+  return result;
+}
+
+void Graph::Add(const Edge& edge) {
+  if (edge.from == edge.to) return;
+  if (std::find(edges_.begin(), edges_.end(), edge) != edges_.end()) return;
+  edges_.push_back(edge);
+}
+
+std::vector<Edge> Graph::FindCycle() const {
+  // Adjacency as edge indices per node; iterative colored DFS from every
+  // node. White 0 / grey 1 (on stack) / black 2 (finished): a grey->grey
+  // edge closes a cycle, reconstructed from the explicit stack.
+  std::map<std::string, std::vector<size_t>> out_edges;
+  std::map<std::string, int> color;
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    out_edges[edges_[i].from].push_back(i);
+    color[edges_[i].from] = 0;
+    color[edges_[i].to] = 0;
+  }
+  struct StackEntry {
+    std::string node;
+    size_t next_edge = 0;   // index into out_edges[node]
+    size_t via_edge = 0;    // edge that brought us here (valid if depth>0)
+  };
+  for (const auto& [root, unused] : out_edges) {
+    if (color[root] != 0) continue;
+    std::vector<StackEntry> stack;
+    stack.push_back({root, 0, 0});
+    color[root] = 1;
+    while (!stack.empty()) {
+      StackEntry& top = stack.back();
+      const auto it = out_edges.find(top.node);
+      if (it == out_edges.end() || top.next_edge >= it->second.size()) {
+        color[top.node] = 2;
+        stack.pop_back();
+        continue;
+      }
+      const size_t edge_index = it->second[top.next_edge++];
+      const Edge& edge = edges_[edge_index];
+      const int target_color = color[edge.to];
+      if (target_color == 2) continue;
+      if (target_color == 1) {
+        // Cycle: edges from `edge.to`'s position on the stack down to
+        // `top`, plus the closing edge.
+        std::vector<Edge> cycle;
+        size_t start = 0;
+        for (size_t i = 0; i < stack.size(); ++i) {
+          if (stack[i].node == edge.to) {
+            start = i;
+            break;
+          }
+        }
+        for (size_t i = start + 1; i < stack.size(); ++i) {
+          cycle.push_back(edges_[stack[i].via_edge]);
+        }
+        cycle.push_back(edge);
+        return cycle;
+      }
+      color[edge.to] = 1;
+      stack.push_back({edge.to, 0, edge_index});
+    }
+  }
+  return {};
+}
+
+std::string Graph::ToDot() const {
+  std::ostringstream out;
+  out << "digraph lock_order {\n";
+  for (const Edge& edge : edges_) {
+    out << "  \"" << edge.from << "\" -> \"" << edge.to << "\" [label=\""
+        << edge.at << "\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace jbs::lockgraph

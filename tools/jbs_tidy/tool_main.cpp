@@ -1,0 +1,139 @@
+// jbs-tidy — standalone libTooling driver for the jbs-* checks.
+//
+// This is the CI hard gate: it runs the same check classes the clang-tidy
+// plugin exposes, but needs only libclang-cpp (no clang-tidy headers), so
+// it builds anywhere find_package(Clang) works and its exit code is
+// trustworthy for gating:
+//
+//   jbs-tidy [--checks=jbs-a,jbs-b] [--list-checks] <sources...> [-- <flags>]
+//
+// Exit codes: 0 clean, 1 findings, 2 usage/compile error.
+//
+// NOLINT handling (clang-tidy compatible subset): a finding is suppressed
+// when its line contains `NOLINT` / `NOLINT(<check>)` / `NOLINT(*)`, or
+// the previous line contains the NOLINTNEXTLINE equivalents. A bare
+// NOLINT suppresses everything on the line, same as clang-tidy.
+#include <string>
+
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Frontend/FrontendActions.h"
+#include "clang/Tooling/CommonOptionsParser.h"
+#include "clang/Tooling/Tooling.h"
+#include "llvm/Support/CommandLine.h"
+#include "llvm/Support/raw_ostream.h"
+
+#include "JbsTidyChecks.h"
+
+namespace {
+
+llvm::cl::OptionCategory g_category("jbs-tidy options");
+llvm::cl::opt<std::string> g_checks(
+    "checks", llvm::cl::desc("Comma-separated jbs-* checks to run (default "
+                             "all)"),
+    llvm::cl::init("*"), llvm::cl::cat(g_category));
+llvm::cl::opt<bool> g_list_checks(
+    "list-checks", llvm::cl::desc("List registered checks and exit"),
+    llvm::cl::init(false), llvm::cl::cat(g_category));
+
+bool LineSuppresses(llvm::StringRef line, llvm::StringRef marker,
+                    llvm::StringRef check) {
+  const size_t pos = line.find(marker);
+  if (pos == llvm::StringRef::npos) return false;
+  llvm::StringRef rest = line.substr(pos + marker.size());
+  if (!rest.startswith("(")) {
+    // Bare NOLINT — but make sure this isn't NOLINTNEXTLINE matched as
+    // a prefix when scanning for "NOLINT".
+    return !rest.startswith("NEXTLINE") && !rest.startswith("BEGIN") &&
+           !rest.startswith("END");
+  }
+  const size_t close = rest.find(')');
+  if (close == llvm::StringRef::npos) return false;
+  llvm::StringRef list = rest.substr(1, close - 1);
+  llvm::SmallVector<llvm::StringRef, 4> parts;
+  list.split(parts, ',', -1, /*KeepEmpty=*/false);
+  for (llvm::StringRef part : parts) {
+    part = part.trim();
+    if (part == check || part == "*") return true;
+  }
+  return false;
+}
+
+class PrintingReporter : public jbs_tidy::DiagReporter {
+ public:
+  void Report(clang::ASTContext& context, clang::SourceLocation loc,
+              llvm::StringRef check, llvm::StringRef message) override {
+    const clang::SourceManager& sm = context.getSourceManager();
+    if (loc.isValid()) {
+      const clang::SourceLocation expansion = sm.getExpansionLoc(loc);
+      if (IsNolinted(sm, expansion, check)) return;
+      llvm::errs() << expansion.printToString(sm) << ": ";
+    }
+    llvm::errs() << "warning: " << message << " [" << check << "]\n";
+    ++finding_count_;
+  }
+
+  unsigned finding_count() const { return finding_count_; }
+
+ private:
+  static bool IsNolinted(const clang::SourceManager& sm,
+                         clang::SourceLocation loc, llvm::StringRef check) {
+    bool invalid = false;
+    const llvm::StringRef buffer = sm.getBufferData(sm.getFileID(loc),
+                                                    &invalid);
+    if (invalid) return false;
+    const unsigned line = sm.getSpellingLineNumber(loc);
+    llvm::SmallVector<llvm::StringRef, 0> lines;
+    buffer.split(lines, '\n');
+    if (line == 0 || line > lines.size()) return false;
+    if (LineSuppresses(lines[line - 1], "NOLINT", check)) return true;
+    if (line >= 2 &&
+        LineSuppresses(lines[line - 2], "NOLINTNEXTLINE", check)) {
+      return true;
+    }
+    return false;
+  }
+
+  unsigned finding_count_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  auto expected_parser = clang::tooling::CommonOptionsParser::create(
+      argc, argv, g_category, llvm::cl::OneOrMore);
+  if (!expected_parser) {
+    llvm::errs() << llvm::toString(expected_parser.takeError());
+    return 2;
+  }
+
+  if (g_list_checks) {
+    for (const std::string& name : jbs_tidy::AllCheckNames()) {
+      llvm::outs() << name << "\n";
+    }
+    return 0;
+  }
+
+  PrintingReporter reporter;
+  auto checks = jbs_tidy::MakeAllChecks(&reporter, g_checks);
+  if (checks.empty()) {
+    llvm::errs() << "jbs-tidy: no checks selected by --checks=" << g_checks
+                 << "\n";
+    return 2;
+  }
+  clang::ast_matchers::MatchFinder finder;
+  for (auto& check : checks) {
+    check->RegisterMatchers(&finder);
+  }
+
+  clang::tooling::ClangTool tool(expected_parser->getCompilations(),
+                                 expected_parser->getSourcePathList());
+  const int tool_status =
+      tool.run(clang::tooling::newFrontendActionFactory(&finder).get());
+  if (tool_status != 0) return 2;
+  if (reporter.finding_count() > 0) {
+    llvm::errs() << "jbs-tidy: " << reporter.finding_count()
+                 << " finding(s)\n";
+    return 1;
+  }
+  return 0;
+}
